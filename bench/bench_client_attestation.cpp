@@ -1,0 +1,275 @@
+// Table 3 reproduction: browser-based remote attestation and validation.
+//
+// Paper rows (mobile client, wireless, against a Revelio Boundary Node):
+//   network latency                    5.2 ms
+//   plain HTTP GET                   100.9 ms
+//   HTTP GET + remote attestation    778.9 ms  (KDS VCEK fetch: 427.3 ms)
+//   HTTP GET + connection validation 115.0 ms
+//
+// Link latencies are configured to the paper's observed values (client <->
+// service RTT 5.2 ms, client <-> AMD KDS RTT 427.3 ms); server-side page
+// work models the measured plain-GET gap. The attestation crypto is real.
+// Shapes to reproduce: fresh attestation is dominated by the KDS round
+// trip; once the VCEK is cached, a monitored GET costs only ~14 ms over a
+// plain one.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "imagebuild/builder.hpp"
+#include "revelio/revelio_vm.hpp"
+#include "revelio/sp_node.hpp"
+#include "revelio/web_extension.hpp"
+
+namespace {
+
+using namespace revelio;
+
+constexpr const char* kDomain = "svc.revelio.app";
+constexpr double kPageWorkMs = 90.5;  // server-side work on the app route
+
+struct ClientRig {
+  ClientRig()
+      : network(clock),
+        drbg(to_bytes(std::string_view("bench-client"))),
+        kds(drbg),
+        kds_service(kds, network, {"kds.amd.com", 443}),
+        acme(clock, drbg) {
+    network.set_default_latency_ms(2.6);                     // RTT 5.2 ms
+    network.set_link_latency_ms("laptop", "kds.amd.com", 213.65);  // 427.3
+
+    imagebuild::BaseImage base;
+    base.name = "ubuntu";
+    base.tag = "20.04";
+    base.packages = {{"nginx", "1.18",
+                      {{"/usr/sbin/nginx",
+                        to_bytes(std::string_view("nginx-binary"))}}}};
+    imagebuild::PackageRegistry registry;
+    const auto digest = registry.publish(base);
+    imagebuild::BuildInputs inputs;
+    inputs.base_image_digest = digest;
+    inputs.service_files["/opt/service/app"] =
+        to_bytes(std::string_view("bn-v1"));
+    inputs.initrd.services = {{"app", "/opt/service/app", 50.0}};
+    inputs.initrd.allowed_inbound_ports = {"443", "8443"};
+    imagebuild::ImageBuilder builder(registry);
+    const auto image = *builder.build(inputs);
+    expected = vm::Hypervisor::expected_measurement(
+        image.kernel_blob, image.initrd_blob, image.cmdline);
+
+    platform = std::make_unique<sevsnp::AmdSp>(
+        to_bytes(std::string_view("client-bench-platform")),
+        sevsnp::TcbVersion{2, 0, 8, 115});
+    kds.register_platform(*platform);
+
+    net::HttpRouter routes;
+    SimClock* clock_ptr = &clock;
+    routes.route("GET", "/", [clock_ptr](const net::HttpRequest&) {
+      clock_ptr->advance_ms(kPageWorkMs);  // page assembly + app logic
+      return net::HttpResponse::ok(
+          to_bytes(std::string_view("<html>boundary node</html>")),
+          "text/html");
+    });
+    core::RevelioVmConfig config;
+    config.domain = kDomain;
+    config.host = "10.0.0.1";
+    config.image = image;
+    config.kds_address = {"kds.amd.com", 443};
+    auto deployed = core::RevelioVm::deploy(*platform, network, config,
+                                            std::move(routes));
+    node = std::move(*deployed);
+
+    core::SpNodeConfig sp_config;
+    sp_config.domain = kDomain;
+    sp_config.kds_address = {"kds.amd.com", 443};
+    sp_config.expected_measurements = {expected};
+    sp = std::make_unique<core::SpNode>(network, acme, sp_config);
+    sp->approve_node(node->bootstrap_address(), platform->chip_id());
+    auto outcomes = sp->provision_fleet();
+    if (!outcomes.ok()) std::abort();
+    network.dns_set_a(kDomain, "10.0.0.1");
+  }
+
+  core::Browser make_browser() {
+    return core::Browser(network, "laptop", acme.trusted_roots(),
+                         crypto::HmacDrbg(drbg.generate(32)));
+  }
+  core::WebExtension make_extension(core::Browser& browser) {
+    core::WebExtensionConfig config;
+    config.kds_address = {"kds.amd.com", 443};
+    core::WebExtension ext(browser, config);
+    core::SiteRegistration site;
+    site.expected_measurements = {expected};
+    ext.register_site(kDomain, site);
+    return ext;
+  }
+
+  SimClock clock;
+  net::Network network;
+  crypto::HmacDrbg drbg;
+  sevsnp::KeyDistributionServer kds;
+  core::KdsService kds_service;
+  pki::AcmeIssuer acme;
+  sevsnp::Measurement expected;
+  std::unique_ptr<sevsnp::AmdSp> platform;
+  std::unique_ptr<core::RevelioVm> node;
+  std::unique_ptr<core::SpNode> sp;
+};
+
+ClientRig& rig() {
+  static ClientRig r;
+  return r;
+}
+
+void BM_NetworkLatency(benchmark::State& state) {
+  auto& r = rig();
+  r.network.listen({"10.0.0.9", 7}, [](ByteView req, const net::Address&) {
+    return to_bytes(req);
+  });
+  for (auto _ : state) {
+    const double before = r.clock.now_ms();
+    benchmark::DoNotOptimize(
+        r.network.call({"laptop", 1}, {"10.0.0.9", 7}, {}));
+    state.SetIterationTime((r.clock.now_ms() - before) / 1000.0);
+  }
+}
+
+void BM_PlainHttpGet(benchmark::State& state) {
+  auto& r = rig();
+  core::Browser browser = r.make_browser();
+  (void)browser.get(kDomain, 443, "/");  // establish the session
+  for (auto _ : state) {
+    const double before = r.clock.now_ms();
+    benchmark::DoNotOptimize(browser.get(kDomain, 443, "/"));
+    state.SetIterationTime((r.clock.now_ms() - before) / 1000.0);
+  }
+}
+
+void BM_GetWithRemoteAttestation(benchmark::State& state) {
+  auto& r = rig();
+  for (auto _ : state) {
+    // Fresh browser + cold VCEK cache: the paper's "fresh web session".
+    core::Browser browser = r.make_browser();
+    core::WebExtension extension = r.make_extension(browser);
+    const double before = r.clock.now_ms();
+    auto verified = extension.get(kDomain, 443, "/");
+    benchmark::DoNotOptimize(verified);
+    state.SetIterationTime((r.clock.now_ms() - before) / 1000.0);
+  }
+}
+
+void BM_GetWithCachedVcek(benchmark::State& state) {
+  auto& r = rig();
+  core::Browser browser = r.make_browser();
+  core::WebExtension extension = r.make_extension(browser);
+  (void)extension.get(kDomain, 443, "/");  // warm the VCEK cache
+  for (auto _ : state) {
+    browser.drop_session(kDomain);
+    extension.invalidate(kDomain);
+    const double before = r.clock.now_ms();
+    benchmark::DoNotOptimize(extension.get(kDomain, 443, "/"));
+    state.SetIterationTime((r.clock.now_ms() - before) / 1000.0);
+  }
+}
+
+void BM_GetWithConnectionValidation(benchmark::State& state) {
+  auto& r = rig();
+  core::Browser browser = r.make_browser();
+  core::WebExtension extension = r.make_extension(browser);
+  (void)extension.get(kDomain, 443, "/");  // attested session
+  for (auto _ : state) {
+    const double before = r.clock.now_ms();
+    benchmark::DoNotOptimize(extension.get(kDomain, 443, "/"));
+    state.SetIterationTime((r.clock.now_ms() - before) / 1000.0);
+  }
+}
+
+BENCHMARK(BM_NetworkLatency)->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlainHttpGet)->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GetWithRemoteAttestation)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_GetWithCachedVcek)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+BENCHMARK(BM_GetWithConnectionValidation)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void print_table3() {
+  auto& r = rig();
+  auto measure = [&](auto&& fn) {
+    const double before = r.clock.now_ms();
+    fn();
+    return r.clock.now_ms() - before;
+  };
+
+  r.network.listen({"10.0.0.9", 7}, [](ByteView req, const net::Address&) {
+    return to_bytes(req);
+  });
+  const double net_ms = measure([&] {
+    (void)r.network.call({"laptop", 1}, {"10.0.0.9", 7}, {});
+  });
+
+  core::Browser plain_browser = r.make_browser();
+  (void)plain_browser.get(kDomain, 443, "/");
+  const double plain_ms = measure([&] {
+    (void)plain_browser.get(kDomain, 443, "/");
+  });
+
+  core::Browser fresh_browser = r.make_browser();
+  core::WebExtension fresh_ext = r.make_extension(fresh_browser);
+  double kds_ms = 0.0;
+  const double attest_ms = measure([&] {
+    (void)fresh_ext.get(kDomain, 443, "/");
+  });
+  {
+    // Isolate the KDS round trip.
+    const double before = r.clock.now_ms();
+    (void)core::KdsService::fetch(
+        r.network, {"laptop", 2}, {"kds.amd.com", 443}, r.platform->chip_id(),
+        r.platform->tcb());
+    kds_ms = r.clock.now_ms() - before;
+  }
+
+  const double monitored_ms = measure([&] {
+    (void)fresh_ext.get(kDomain, 443, "/");
+  });
+
+  core::Browser cached_browser = r.make_browser();
+  core::WebExtension cached_ext = r.make_extension(cached_browser);
+  (void)cached_ext.get(kDomain, 443, "/");
+  cached_browser.drop_session(kDomain);
+  cached_ext.invalidate(kDomain);
+  const double cached_attest_ms = measure([&] {
+    (void)cached_ext.get(kDomain, 443, "/");
+  });
+
+  std::printf("\n=== Table 3: browser-based remote attestation ===\n");
+  std::printf("%-36s %12s %10s\n", "operation", "measured", "paper");
+  std::printf("%-36s %9.1f ms %7.1f ms\n", "network latency (RTT)", net_ms,
+              5.2);
+  std::printf("%-36s %9.1f ms %7.1f ms\n", "plain HTTP GET", plain_ms, 100.9);
+  std::printf("%-36s %9.1f ms %7.1f ms\n", "HTTP GET + remote attestation",
+              attest_ms, 778.9);
+  std::printf("%-36s %9.1f ms %7.1f ms\n", "  of which KDS VCEK fetch",
+              kds_ms, 427.3);
+  std::printf("%-36s %9.1f ms %7s\n", "HTTP GET + attestation (VCEK cached)",
+              cached_attest_ms, "n/a");
+  std::printf("%-36s %9.1f ms %7.1f ms\n", "HTTP GET + conn. validation",
+              monitored_ms, 115.0);
+  std::printf("shape: fresh attestation dominated by the KDS round trip; "
+              "caching collapses it;\n"
+              "       monitored requests cost ~14 ms over plain\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table3();
+  return 0;
+}

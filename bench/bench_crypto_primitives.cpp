@@ -1,0 +1,127 @@
+// Microbenchmarks of the from-scratch cryptographic substrate.
+//
+// Not a paper table, but the substrate every reproduced number sits on:
+// these throughputs explain where the simulation's absolute latencies come
+// from (and document the software-vs-hardware-crypto gap called out in
+// EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/modes.hpp"
+#include "crypto/sha2.hpp"
+
+namespace {
+
+using namespace revelio;
+using namespace revelio::crypto;
+
+Bytes make_data(std::size_t n) {
+  Bytes data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 167 + 13);
+  }
+  return data;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(sha256(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_Sha384(benchmark::State& state) {
+  const Bytes data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(sha384(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha384)->Arg(4096)->Arg(1 << 20);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = make_data(32);
+  const Bytes data = make_data(4096);
+  for (auto _ : state) benchmark::DoNotOptimize(hmac_sha256(key, data));
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_AesXtsSector(benchmark::State& state) {
+  HmacDrbg drbg(to_bytes(std::string_view("bench")));
+  const AesXts xts(drbg.generate(64));
+  Bytes sector = make_data(4096);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    xts.encrypt_sector(i++, sector);
+    benchmark::DoNotOptimize(sector.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AesXtsSector);
+
+void BM_AeadSeal(benchmark::State& state) {
+  HmacDrbg drbg(to_bytes(std::string_view("bench-aead")));
+  const AeadCtrHmac aead(drbg.generate(64));
+  const Bytes nonce = drbg.generate(16);
+  const Bytes payload = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead.seal(nonce, {}, payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(256)->Arg(16384);
+
+void BM_EcdsaSign(benchmark::State& state, const Curve& curve) {
+  HmacDrbg drbg(to_bytes(std::string_view("bench-sign")));
+  const EcKeyPair kp = ec_generate(curve, drbg);
+  const auto hash = sha384(make_data(100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdsa_sign(curve, kp.d, hash.view()));
+  }
+}
+void BM_EcdsaVerify(benchmark::State& state, const Curve& curve) {
+  HmacDrbg drbg(to_bytes(std::string_view("bench-verify")));
+  const EcKeyPair kp = ec_generate(curve, drbg);
+  const auto hash = sha384(make_data(100));
+  const auto sig = ecdsa_sign(curve, kp.d, hash.view());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdsa_verify(curve, kp.q, hash.view(), sig));
+  }
+}
+
+void BM_Pbkdf2_1000(benchmark::State& state) {
+  const Bytes password = make_data(32);
+  const Bytes salt = make_data(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbkdf2_sha256(password, salt, 1000, 64));
+  }
+}
+BENCHMARK(BM_Pbkdf2_1000)->Unit(benchmark::kMillisecond);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  const Bytes data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::from_blocks(data, 4096));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleBuild)->Arg(1 << 20)->Arg(16 << 20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RegisterBenchmark("BM_EcdsaSign/P256", BM_EcdsaSign,
+                               std::cref(revelio::crypto::p256()));
+  benchmark::RegisterBenchmark("BM_EcdsaSign/P384", BM_EcdsaSign,
+                               std::cref(revelio::crypto::p384()));
+  benchmark::RegisterBenchmark("BM_EcdsaVerify/P256", BM_EcdsaVerify,
+                               std::cref(revelio::crypto::p256()));
+  benchmark::RegisterBenchmark("BM_EcdsaVerify/P384", BM_EcdsaVerify,
+                               std::cref(revelio::crypto::p384()));
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

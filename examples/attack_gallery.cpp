@@ -1,0 +1,269 @@
+// Attack gallery: the paper's §6.1 security analysis, executed.
+//
+// Each scene stages one attack from the threat model against a deployed
+// Revelio VM and shows which mechanism stops it (or detects it):
+//
+//   scene 1 — 6.1.1: hypervisor boots a modified kernel/initrd/cmdline
+//   scene 2 — 6.1.1: hypervisor forges the firmware hash table
+//   scene 3 — 6.1.2: provider tampers with the rootfs image
+//   scene 4 — 6.1.3: runtime modification of the running system
+//   scene 5 — 6.1.4: rollback to an obsolete vulnerable release
+//   scene 6 — MITM: certificate-swap redirect after attestation
+//
+// Run: ./build/examples/attack_gallery
+#include <cstdio>
+
+#include "imagebuild/builder.hpp"
+#include "revelio/revelio_vm.hpp"
+#include "revelio/sp_node.hpp"
+#include "revelio/web_extension.hpp"
+
+using namespace revelio;
+
+namespace {
+
+void scene(int number, const char* title) {
+  std::printf("\n--- scene %d: %s ---\n", number, title);
+}
+
+void verdict(bool blocked, const char* how) {
+  std::printf("    verdict: %s (%s)\n",
+              blocked ? "ATTACK BLOCKED/DETECTED" : "ATTACK SUCCEEDED",
+              how);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Revelio attack gallery (paper section 6.1) ==\n");
+
+  SimClock clock;
+  net::Network network(clock);
+  crypto::HmacDrbg drbg(to_bytes(std::string_view("attack-gallery")));
+  sevsnp::KeyDistributionServer kds(drbg);
+  core::KdsService kds_service(kds, network, {"kds.amd.com", 443});
+  pki::AcmeIssuer acme(clock, drbg);
+
+  imagebuild::PackageRegistry registry;
+  imagebuild::BaseImage base;
+  base.name = "ubuntu";
+  base.tag = "20.04";
+  base.packages = {{"nginx", "1.18",
+                    {{"/usr/sbin/nginx",
+                      to_bytes(std::string_view("nginx-binary"))}}}};
+  imagebuild::BuildInputs inputs;
+  inputs.base_image_digest = registry.publish(base);
+  inputs.service_files["/opt/service/app"] =
+      to_bytes(std::string_view("service-v2"));
+  inputs.initrd.services = {{"app", "/opt/service/app", 100.0}};
+  inputs.initrd.allowed_inbound_ports = {"443", "8443"};
+  imagebuild::ImageBuilder builder(registry);
+  const auto image = *builder.build(inputs);
+  const auto expected = vm::Hypervisor::expected_measurement(
+      image.kernel_blob, image.initrd_blob, image.cmdline);
+
+  // ------------------------------------------------------------- scene 1
+  scene(1, "6.1.1 — boot a modified kernel (hash table intact)");
+  {
+    sevsnp::AmdSp sp(to_bytes(std::string_view("scene1")),
+                     sevsnp::TcbVersion{2, 0, 8, 115});
+    vm::Hypervisor hypervisor(sp, clock);
+    vm::LaunchConfig config;
+    config.kernel_blob = image.kernel_blob;
+    config.initrd_blob = image.initrd_blob;
+    config.cmdline = image.cmdline;
+    config.disk = image.instantiate_disk();
+    vm::KernelSpec evil;
+    evil.enforce_verity = false;
+    config.swap_kernel_after_measure = evil.serialize();
+    auto guest = hypervisor.launch(config);
+    std::printf("    firmware: %s\n",
+                guest.ok() ? "booted (?)" : guest.error().to_string().c_str());
+    verdict(!guest.ok(), "OVMF re-measures each blob against the table");
+  }
+
+  // ------------------------------------------------------------- scene 2
+  scene(2, "6.1.1 — forge the hash table to match malicious blobs");
+  {
+    sevsnp::AmdSp sp(to_bytes(std::string_view("scene2")),
+                     sevsnp::TcbVersion{2, 0, 8, 115});
+    vm::Hypervisor hypervisor(sp, clock);
+    vm::KernelSpec evil_kernel;
+    evil_kernel.enforce_verity = false;
+    vm::InitrdSpec evil_initrd;
+    evil_initrd.setup_verity = false;
+    evil_initrd.setup_crypt = false;
+    vm::KernelCmdline evil_cmdline;
+    vm::LaunchConfig config;
+    config.kernel_blob = image.kernel_blob;
+    config.initrd_blob = image.initrd_blob;
+    config.cmdline = image.cmdline;
+    config.disk = image.instantiate_disk();
+    config.forged_hash_table = vm::FirmwareHashTable::over(
+        evil_kernel.serialize(), evil_initrd.serialize(),
+        to_bytes(evil_cmdline.to_string()));
+    config.swap_kernel_after_measure = evil_kernel.serialize();
+    config.swap_initrd_after_measure = evil_initrd.serialize();
+    config.swap_cmdline_after_measure = evil_cmdline.to_string();
+    auto guest = hypervisor.launch(config);
+    std::printf("    boot: %s\n", guest.ok() ? "succeeds locally" : "refused");
+    const bool detected =
+        guest.ok() && !((*guest)->measurement() == expected);
+    std::printf("    measurement == expected: %s\n", detected ? "no" : "yes");
+    verdict(detected,
+            "the forged table is inside the measured firmware bytes");
+  }
+
+  // ------------------------------------------------------------- scene 3
+  scene(3, "6.1.2 — tamper with the rootfs image before boot");
+  {
+    sevsnp::AmdSp sp(to_bytes(std::string_view("scene3")),
+                     sevsnp::TcbVersion{2, 0, 8, 115});
+    vm::Hypervisor hypervisor(sp, clock);
+    vm::LaunchConfig config;
+    config.kernel_blob = image.kernel_blob;
+    config.initrd_blob = image.initrd_blob;
+    config.cmdline = image.cmdline;
+    config.disk = image.instantiate_disk();
+    // One bit inside the rootfs partition (disk block 1 = rootfs block 0,
+    // the filesystem directory).
+    config.disk->raw_tamper(4096 * 1 + 100, 0x04);
+    auto guest = hypervisor.launch(config);
+    auto report = guest.ok() ? (*guest)->boot()
+                             : Result<vm::BootReport>(guest.error());
+    std::printf("    boot: %s\n",
+                report.ok() ? "succeeded (?)"
+                            : report.error().to_string().c_str());
+    verdict(!report.ok(), "dm-verity root-hash chain down from the cmdline");
+  }
+
+  // ------------------------------------------------------------- scene 4
+  scene(4, "6.1.3 — modify the running system from the host");
+  {
+    sevsnp::AmdSp sp(to_bytes(std::string_view("scene4")),
+                     sevsnp::TcbVersion{2, 0, 8, 115});
+    vm::Hypervisor hypervisor(sp, clock);
+    vm::LaunchConfig config;
+    config.kernel_blob = image.kernel_blob;
+    config.initrd_blob = image.initrd_blob;
+    config.cmdline = image.cmdline;
+    config.disk = image.instantiate_disk();
+    auto disk = config.disk;
+    auto guest = hypervisor.launch(config);
+    (void)(*guest)->boot();
+    std::printf("    ssh to the VM: %s\n",
+                (*guest)->inbound_allowed(22)
+                    ? "open (?)"
+                    : "blocked by the measured firewall posture");
+    const auto entry =
+        (*guest)->rootfs().directory().at("/opt/service/app");
+    disk->raw_tamper(4096 + entry.offset, 0x01);
+    const bool read_fails =
+        !(*guest)->rootfs().read_file("/opt/service/app").ok();
+    std::printf("    bit-flip the service binary on the host disk: read %s\n",
+                read_fails ? "fails" : "returns tampered bytes (?)");
+    verdict(read_fails && !(*guest)->inbound_allowed(22),
+            "no inward access + per-read verity verification");
+  }
+
+  // ------------------------------------------------------------- scene 5
+  scene(5, "6.1.4 — roll back to an obsolete vulnerable release");
+  {
+    // v1 had a bug; v2 is current. The provider re-deploys v1.
+    imagebuild::BuildInputs v1_inputs = inputs;
+    v1_inputs.service_files["/opt/service/app"] =
+        to_bytes(std::string_view("service-v1-with-cve"));
+    const auto v1 = *builder.build(v1_inputs);
+    const auto v1_measurement = vm::Hypervisor::expected_measurement(
+        v1.kernel_blob, v1.initrd_blob, v1.cmdline);
+
+    core::TrustedRegistry trusted;
+    trusted.publish("svc", v1_measurement);
+    trusted.publish("svc", expected);      // v2 rollout...
+    trusted.revoke("svc", v1_measurement);  // ...revokes v1
+    std::printf("    v1 acceptable after revocation: %s\n",
+                trusted.is_acceptable("svc", v1_measurement) ? "yes (?)"
+                                                             : "no");
+    verdict(!trusted.is_acceptable("svc", v1_measurement),
+            "trusted-registry revocation of obsolete hashes");
+  }
+
+  // ------------------------------------------------------------- scene 6
+  scene(6, "MITM — certificate-swap redirect after attestation");
+  {
+    sevsnp::AmdSp platform(to_bytes(std::string_view("scene6")),
+                           sevsnp::TcbVersion{2, 0, 8, 115});
+    kds.register_platform(platform);
+    core::RevelioVmConfig config;
+    config.domain = "svc.revelio.app";
+    config.host = "10.0.0.1";
+    config.image = image;
+    config.kds_address = {"kds.amd.com", 443};
+    net::HttpRouter routes;
+    routes.route("GET", "/", [](const net::HttpRequest&) {
+      return net::HttpResponse::ok(to_bytes(std::string_view("legit")));
+    });
+    auto node = core::RevelioVm::deploy(platform, network, config,
+                                        std::move(routes));
+    core::SpNodeConfig sp_config;
+    sp_config.domain = "svc.revelio.app";
+    sp_config.kds_address = {"kds.amd.com", 443};
+    sp_config.expected_measurements = {expected};
+    core::SpNode sp(network, acme, sp_config);
+    sp.approve_node((*node)->bootstrap_address(), platform.chip_id());
+    (void)sp.provision_fleet();
+    network.dns_set_a("svc.revelio.app", "10.0.0.1");
+
+    core::Browser browser(network, "laptop", acme.trusted_roots(),
+                          crypto::HmacDrbg(to_bytes(std::string_view("u"))));
+    core::WebExtensionConfig ext_config;
+    ext_config.kds_address = {"kds.amd.com", 443};
+    core::WebExtension extension(browser, ext_config);
+    core::SiteRegistration site;
+    site.expected_measurements = {expected};
+    extension.register_site("svc.revelio.app", site);
+    const bool first = extension.get("svc.revelio.app", 443, "/").ok();
+    std::printf("    initial attested access: %s\n", first ? "ok" : "failed");
+
+    // The provider gets a fresh CA-valid certificate for the domain (it
+    // controls DNS) and redirects traffic to a commodity server.
+    crypto::HmacDrbg evil_drbg(to_bytes(std::string_view("evil")));
+    const auto evil_key = crypto::ec_generate(crypto::p256(), evil_drbg);
+    const auto evil_csr =
+        pki::make_csr(crypto::p256(), evil_key,
+                      {"svc.revelio.app", "Evil", "US"}, {"svc.revelio.app"});
+    const std::string token =
+        acme.request_challenge("evil", "svc.revelio.app");
+    network.dns_set_txt("_acme-challenge.svc.revelio.app", token);
+    auto evil_cert = acme.finalize("evil", evil_csr, [&](const auto& name) {
+      return network.dns_txt(name);
+    });
+    net::TlsServerIdentity evil_identity;
+    evil_identity.curve = &crypto::p256();
+    evil_identity.key = evil_key;
+    evil_identity.certificate = *evil_cert;
+    evil_identity.intermediates = acme.intermediates();
+    net::TlsServer evil_server(
+        std::move(evil_identity),
+        [](ByteView, const net::Address&) {
+          return net::HttpResponse::ok(to_bytes(std::string_view("phish")))
+              .serialize();
+        },
+        crypto::HmacDrbg(to_bytes(std::string_view("evil-tls"))));
+    evil_server.install(network, {"6.6.6.6", 443});
+    network.dns_set_a("svc.revelio.app", "6.6.6.6");
+    browser.drop_session("svc.revelio.app");
+
+    auto redirected = extension.get("svc.revelio.app", 443, "/");
+    std::printf("    browser alone would accept the new CA-valid cert\n");
+    std::printf("    extension: %s\n",
+                redirected.ok()
+                    ? "ACCEPTED (?)"
+                    : redirected.error().to_string().c_str());
+    verdict(!redirected.ok(),
+            "per-request TLS-key monitoring against the attested key");
+  }
+
+  std::printf("\nall scenes complete\n");
+  return 0;
+}

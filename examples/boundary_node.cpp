@@ -1,0 +1,211 @@
+// Use case §4.2: a Revelio-protected Internet Computer Boundary Node.
+//
+// The Boundary Node translates ordinary HTTPS into IC protocol calls
+// against a Byzantine-fault-tolerant subnet and hands browsers the
+// verifying service worker. A malicious BN can tamper with responses or
+// serve a doctored worker — compromising the IC's fault tolerance from
+// outside. This example runs the whole path:
+//
+//   browser + extension --HTTPS--> Revelio BN --IC protocol--> subnet
+//
+// and demonstrates the two complementary defences: threshold certificates
+// (catch tampered responses) and Revelio attestation (catch a tampered BN
+// build, including the doctored service worker).
+//
+// Run: ./build/examples/boundary_node
+#include <cstdio>
+
+#include "ic/boundary_node.hpp"
+#include "imagebuild/builder.hpp"
+#include "revelio/revelio_vm.hpp"
+#include "revelio/sp_node.hpp"
+#include "revelio/web_extension.hpp"
+
+using namespace revelio;
+
+int main() {
+  std::printf("== Revelio-protected IC Boundary Node ==\n\n");
+
+  SimClock clock;
+  net::Network network(clock);
+  crypto::HmacDrbg drbg(to_bytes(std::string_view("bn-example")));
+  sevsnp::KeyDistributionServer kds(drbg);
+  core::KdsService kds_service(kds, network, {"kds.amd.com", 443});
+  pki::AcmeIssuer acme(clock, drbg);
+
+  // ------------------------------------------------------------- the IC
+  // One subnet, f=1 (4 replicas, certification threshold 3), hosting a
+  // counter dapp and its frontend assets.
+  ic::Subnet subnet(1, drbg);
+  subnet.install_canister("counter", ic::CounterCanister{});
+  ic::AssetCanister frontend;
+  frontend.deploy_asset("/index.html",
+                        to_bytes(std::string_view("<html>counter dapp</html>")),
+                        "text/html");
+  subnet.install_canister("frontend", frontend);
+  const auto subnet_keys = subnet.public_keys();
+  std::printf("[ic] subnet: %u replicas, threshold %u\n",
+              subnet.replica_count(), subnet.threshold());
+
+  // ---------------------------------------------------- the boundary node
+  ic::BoundaryNode bn(subnet);
+
+  // BN workload image (the paper's BN: many services).
+  imagebuild::PackageRegistry registry;
+  imagebuild::BaseImage base;
+  base.name = "ubuntu";
+  base.tag = "20.04";
+  base.packages = {{"nginx", "1.18",
+                    {{"/usr/sbin/nginx",
+                      to_bytes(std::string_view("nginx-binary"))}}}};
+  imagebuild::BuildInputs inputs;
+  inputs.base_image_digest = registry.publish(base);
+  inputs.service_files["/opt/ic/boundary-node"] =
+      to_bytes(std::string_view("ic-boundary-node-release-2023-08"));
+  // The service worker the BN serves is part of the measured image.
+  inputs.service_files["/opt/ic/service-worker.js"] =
+      ic::BoundaryNode::reference_service_worker();
+  inputs.initrd.services = {
+      {"ic-boundary", "/opt/ic/boundary-node", 800.0},
+      {"icx-proxy", "/opt/ic/boundary-node", 300.0},
+      {"nginx", "/usr/sbin/nginx", 150.0},
+      {"unbound", "/usr/sbin/nginx", 90.0},
+      {"ic-registry-replicator", "/opt/ic/boundary-node", 400.0},
+  };
+  inputs.initrd.allowed_inbound_ports = {"443", "8443"};
+  imagebuild::ImageBuilder builder(registry);
+  const auto image = *builder.build(inputs);
+  const auto expected = vm::Hypervisor::expected_measurement(
+      image.kernel_blob, image.initrd_blob, image.cmdline);
+
+  sevsnp::AmdSp platform(to_bytes(std::string_view("bn-host-zh2")),
+                         sevsnp::TcbVersion{2, 0, 8, 115});
+  kds.register_platform(platform);
+
+  // The VM's HTTP surface IS the boundary node proxy.
+  net::HttpRouter routes;
+  routes.route("GET", "/*", [&bn](const net::HttpRequest& request) {
+    return bn.handle(request);
+  });
+  routes.route("POST", "/*", [&bn](const net::HttpRequest& request) {
+    return bn.handle(request);
+  });
+  core::RevelioVmConfig config;
+  config.domain = "ic0.revelio.app";
+  config.host = "10.1.0.1";
+  config.image = image;
+  config.kds_address = {"kds.amd.com", 443};
+  auto node = core::RevelioVm::deploy(platform, network, config,
+                                      std::move(routes));
+  if (!node.ok()) {
+    std::printf("deploy failed: %s\n", node.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("[bn] boot: %.1f ms simulated (%zu phases)\n",
+              (*node)->boot_report().total_sim_ms(),
+              (*node)->boot_report().phases.size());
+
+  core::SpNodeConfig sp_config;
+  sp_config.domain = "ic0.revelio.app";
+  sp_config.kds_address = {"kds.amd.com", 443};
+  sp_config.expected_measurements = {expected};
+  core::SpNode sp(network, acme, sp_config);
+  sp.approve_node((*node)->bootstrap_address(), platform.chip_id());
+  if (auto r = sp.provision_fleet(); !r.ok()) {
+    std::printf("provisioning failed: %s\n", r.error().to_string().c_str());
+    return 1;
+  }
+  network.dns_set_a("ic0.revelio.app", "10.1.0.1");
+  std::printf("[bn] attested, certified, serving HTTPS\n\n");
+
+  // -------------------------------------------------------- the end-user
+  core::Browser browser(network, "user", acme.trusted_roots(),
+                        crypto::HmacDrbg(to_bytes(std::string_view("user"))));
+  core::WebExtensionConfig ext_config;
+  ext_config.kds_address = {"kds.amd.com", 443};
+  core::WebExtension extension(browser, ext_config);
+  core::SiteRegistration site;
+  site.expected_measurements = {expected};
+  extension.register_site("ic0.revelio.app", site);
+
+  // 1. Attested first contact; fetch the service worker.
+  auto sw = extension.get("ic0.revelio.app", 443, "/sw.js");
+  std::printf("[user] BN attestation: %s\n",
+              sw.ok() && sw->checks.all_ok() ? "PASS" : "FAIL");
+  std::printf("[user] service worker matches reference: %s\n",
+              sw.ok() && sw->response.body ==
+                             ic::BoundaryNode::reference_service_worker()
+                  ? "yes"
+                  : "NO");
+
+  // 2. Interact with the dapp through the BN; verify every certificate the
+  //    way the service worker does.
+  net::HttpRequest increment;
+  increment.method = "POST";
+  increment.path = "/api/counter/update/increment";
+  increment.host = "ic0.revelio.app";
+  for (int i = 0; i < 3; ++i) {
+    auto response = extension.fetch("ic0.revelio.app", 443, increment);
+    if (!response.ok()) {
+      std::printf("update failed: %s\n", response.error().to_string().c_str());
+      return 1;
+    }
+    const auto cert_check = ic::verify_bn_response(
+        response->response, subnet_keys, subnet.threshold());
+    std::printf("[user] increment -> value %llu, certificate %s\n",
+                static_cast<unsigned long long>(
+                    read_u64be(response->response.body, 0)),
+                cert_check.ok() ? "valid" : "INVALID");
+  }
+  auto page = extension.get("ic0.revelio.app", 443,
+                            "/assets/frontend/index.html");
+  std::printf("[user] frontend: %s (certificate %s)\n",
+              to_string(page->response.body).c_str(),
+              ic::verify_bn_response(page->response, subnet_keys,
+                                     subnet.threshold())
+                      .ok()
+                  ? "valid"
+                  : "INVALID");
+
+  // ------------------------------------------------------------- attacks
+  std::printf("\n-- attack 1: BN tampers with certified responses --\n");
+  bn.set_tamper_mode(ic::BnTamperMode::kTamperResponses);
+  auto tampered = extension.get("ic0.revelio.app", 443,
+                                "/api/counter/query/get");
+  if (tampered.ok()) {
+    const auto st = ic::verify_bn_response(tampered->response, subnet_keys,
+                                           subnet.threshold());
+    std::printf("   certificate check: %s\n",
+                st.ok() ? "passed (BAD)" : ("rejected — " + st.error().code).c_str());
+  }
+  bn.set_tamper_mode(ic::BnTamperMode::kHonest);
+
+  std::printf("\n-- attack 2: a Byzantine replica corrupts execution --\n");
+  subnet.set_byzantine(2, ic::ByzantineMode::kCorruptExecution);
+  auto masked = extension.fetch("ic0.revelio.app", 443, increment);
+  std::printf("   f=1 fault masked by the subnet: %s\n",
+              masked.ok() && ic::verify_bn_response(masked->response,
+                                                    subnet_keys,
+                                                    subnet.threshold())
+                                 .ok()
+                  ? "yes"
+                  : "NO");
+  subnet.set_byzantine(2, ic::ByzantineMode::kHonest);
+
+  std::printf("\n-- attack 3: provider deploys a BN with a doctored service "
+              "worker --\n");
+  imagebuild::BuildInputs evil = inputs;
+  evil.service_files["/opt/ic/service-worker.js"] = to_bytes(
+      std::string_view("// ic-service-worker v1 (doctored)\n"
+                       "verify_certificates=false\n"));
+  const auto evil_image = *builder.build(evil);
+  std::printf("   doctored build measurement differs: %s\n",
+              vm::Hypervisor::expected_measurement(
+                  evil_image.kernel_blob, evil_image.initrd_blob,
+                  evil_image.cmdline) == expected
+                  ? "NO (bad)"
+                  : "yes -> end-user attestation rejects the doctored BN");
+
+  std::printf("\ndone at %s simulated time\n", clock.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,276 @@
+// Use case §4.1: an end-to-end-encrypted collaboration suite ("CryptPad")
+// hardened with Revelio.
+//
+// CryptPad's model: clients encrypt documents locally; the server only
+// stores ciphertext. The residual gap the paper identifies is that users
+// must still trust the JavaScript/server code the provider runs — a
+// malicious server build can exfiltrate keys. Revelio closes it: users
+// attest the exact server build before use, the pad store lives on the
+// sealed volume, and a swapped server build is caught by the measurement.
+//
+// Run: ./build/examples/cryptpad_suite
+#include <cstdio>
+#include <map>
+
+#include "common/hex.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/modes.hpp"
+#include "imagebuild/builder.hpp"
+#include "revelio/revelio_vm.hpp"
+#include "revelio/sp_node.hpp"
+#include "revelio/web_extension.hpp"
+
+using namespace revelio;
+
+namespace {
+
+/// Client-side crypto: the pad key never leaves the user's machine.
+struct PadClient {
+  explicit PadClient(std::string_view passphrase)
+      : key(crypto::pbkdf2_sha256(to_bytes(passphrase),
+                                  to_bytes(std::string_view("pad-salt")),
+                                  1000, 64)),
+        aead(key),
+        nonce_drbg(key, to_bytes(std::string_view("nonces"))) {}
+
+  Bytes encrypt(std::string_view plaintext) {
+    return aead.seal(nonce_drbg.generate(16), {}, to_bytes(plaintext));
+  }
+  std::string decrypt(ByteView ciphertext) {
+    auto pt = aead.open({}, ciphertext);
+    return pt.ok() ? to_string(*pt) : "<decryption failed>";
+  }
+
+  Bytes key;
+  crypto::AeadCtrHmac aead;
+  crypto::HmacDrbg nonce_drbg;
+};
+
+/// The server-side pad store: an opaque blob store. It runs INSIDE the
+/// Revelio VM and persists pads to the sealed data volume.
+class PadStore {
+ public:
+  explicit PadStore(std::shared_ptr<storage::BlockDevice> sealed_volume)
+      : volume_(std::move(sealed_volume)) {}
+
+  void put(const std::string& pad_id, ByteView ciphertext) {
+    pads_[pad_id] = to_bytes(ciphertext);
+    persist();
+  }
+  Result<Bytes> get(const std::string& pad_id) const {
+    const auto it = pads_.find(pad_id);
+    if (it == pads_.end()) return Error::make("pad.not_found", pad_id);
+    return it->second;
+  }
+
+  /// Reloads the store from the sealed volume (after a reboot).
+  static PadStore load(std::shared_ptr<storage::BlockDevice> volume) {
+    PadStore store(volume);
+    Bytes block(volume->block_size());
+    if (!volume->read_block(1, block).ok()) return store;
+    std::size_t off = 0;
+    const std::uint32_t count = read_u32be(block, off);
+    off += 4;
+    for (std::uint32_t i = 0; i < count && off < block.size(); ++i) {
+      const std::uint32_t id_len = read_u32be(block, off);
+      off += 4;
+      std::string id(block.begin() + static_cast<std::ptrdiff_t>(off),
+                     block.begin() + static_cast<std::ptrdiff_t>(off + id_len));
+      off += id_len;
+      const std::uint32_t ct_len = read_u32be(block, off);
+      off += 4;
+      store.pads_[id] = to_bytes(ByteView(block).subspan(off, ct_len));
+      off += ct_len;
+    }
+    return store;
+  }
+
+ private:
+  void persist() {
+    Bytes record;
+    append_u32be(record, static_cast<std::uint32_t>(pads_.size()));
+    for (const auto& [id, ct] : pads_) {
+      append_u32be(record, static_cast<std::uint32_t>(id.size()));
+      append(record, id);
+      append_u32be(record, static_cast<std::uint32_t>(ct.size()));
+      append(record, ct);
+    }
+    record.resize(volume_->block_size(), 0);
+    (void)volume_->write_block(1, record);
+  }
+
+  std::shared_ptr<storage::BlockDevice> volume_;
+  std::map<std::string, Bytes> pads_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== CryptPad-style E2EE collaboration suite on Revelio ==\n\n");
+
+  SimClock clock;
+  net::Network network(clock);
+  crypto::HmacDrbg drbg(to_bytes(std::string_view("cryptpad-example")));
+  sevsnp::KeyDistributionServer kds(drbg);
+  core::KdsService kds_service(kds, network, {"kds.amd.com", 443});
+  pki::AcmeIssuer acme(clock, drbg);
+  sevsnp::AmdSp platform(to_bytes(std::string_view("cryptpad-host")),
+                         sevsnp::TcbVersion{2, 0, 8, 115});
+  kds.register_platform(platform);
+
+  // Build the CryptPad server image (CP workload of the paper: only the
+  // suite and the Revelio system services).
+  imagebuild::PackageRegistry registry;
+  imagebuild::BaseImage base;
+  base.name = "ubuntu";
+  base.tag = "20.04";
+  base.packages = {{"nodejs", "16",
+                    {{"/usr/bin/node", to_bytes(std::string_view("node"))}}}};
+  imagebuild::BuildInputs inputs;
+  inputs.base_image_digest = registry.publish(base);
+  inputs.service_files["/opt/cryptpad/server.js"] =
+      to_bytes(std::string_view("cryptpad-server-5.2.1"));
+  inputs.initrd.services = {{"cryptpad", "/opt/cryptpad/server.js", 400.0},
+                            {"nginx", "/usr/bin/node", 120.0}};
+  inputs.initrd.allowed_inbound_ports = {"443", "8443"};
+  inputs.data_partition_blocks = 64;  // the pad store
+  imagebuild::ImageBuilder builder(registry);
+  const auto image = *builder.build(inputs);
+  const auto expected = vm::Hypervisor::expected_measurement(
+      image.kernel_blob, image.initrd_blob, image.cmdline);
+
+  // Deploy. The HTTP app is the pad API: PUT/GET ciphertext blobs.
+  std::shared_ptr<PadStore> store;  // wired to the sealed volume below
+  net::HttpRouter routes;
+  routes.route("POST", "/pad/*", [&store](const net::HttpRequest& request) {
+    store->put(request.path.substr(5), request.body);
+    return net::HttpResponse::ok(to_bytes(std::string_view("stored")));
+  });
+  routes.route("GET", "/pad/*", [&store](const net::HttpRequest& request) {
+    auto pad = store->get(request.path.substr(5));
+    if (!pad.ok()) return net::HttpResponse::not_found();
+    return net::HttpResponse::ok(std::move(*pad),
+                                 "application/octet-stream");
+  });
+  core::RevelioVmConfig config;
+  config.domain = "pads.revelio.app";
+  config.host = "10.0.0.1";
+  config.image = image;
+  config.kds_address = {"kds.amd.com", 443};
+  auto node = core::RevelioVm::deploy(platform, network, config,
+                                      std::move(routes));
+  if (!node.ok()) {
+    std::printf("deploy failed: %s\n", node.error().to_string().c_str());
+    return 1;
+  }
+  store = std::make_shared<PadStore>(
+      const_cast<vm::GuestVm&>((*node)->guest()).data_volume());
+
+  // Certify via the SP node.
+  core::SpNodeConfig sp_config;
+  sp_config.domain = "pads.revelio.app";
+  sp_config.kds_address = {"kds.amd.com", 443};
+  sp_config.expected_measurements = {expected};
+  core::SpNode sp(network, acme, sp_config);
+  sp.approve_node((*node)->bootstrap_address(), platform.chip_id());
+  if (auto r = sp.provision_fleet(); !r.ok()) {
+    std::printf("provisioning failed: %s\n", r.error().to_string().c_str());
+    return 1;
+  }
+  network.dns_set_a("pads.revelio.app", "10.0.0.1");
+  std::printf("[server] CryptPad VM attested & serving HTTPS\n");
+
+  // Alice attests the server BEFORE typing anything into it.
+  core::Browser alice(network, "alice-laptop", acme.trusted_roots(),
+                      crypto::HmacDrbg(to_bytes(std::string_view("alice"))));
+  core::WebExtensionConfig ext_config;
+  ext_config.kds_address = {"kds.amd.com", 443};
+  core::WebExtension alice_ext(alice, ext_config);
+  core::SiteRegistration site;
+  site.expected_measurements = {expected};
+  alice_ext.register_site("pads.revelio.app", site);
+
+  auto hello = alice_ext.get("pads.revelio.app", 443,
+                             "/.well-known/revelio-attestation");
+  std::printf("[alice] attestation before first use: %s\n",
+              hello.ok() && hello->checks.all_ok() ? "PASS" : "FAIL");
+
+  // Alice writes an E2EE pad; the server only ever sees ciphertext.
+  PadClient alice_client("correct horse battery staple");
+  const std::string secret_text =
+      "Q3 planning: acquire Initech, budget 4.2M";
+  net::HttpRequest put;
+  put.method = "POST";
+  put.path = "/pad/q3-planning";
+  put.host = "pads.revelio.app";
+  put.body = alice_client.encrypt(secret_text);
+  auto put_result = alice_ext.fetch("pads.revelio.app", 443, put);
+  std::printf("[alice] pad stored: %s\n",
+              put_result.ok() ? "ok" : put_result.error().to_string().c_str());
+
+  // Bob (sharing the pad passphrase out of band) attests and reads it.
+  core::Browser bob(network, "bob-laptop", acme.trusted_roots(),
+                    crypto::HmacDrbg(to_bytes(std::string_view("bob"))));
+  core::WebExtension bob_ext(bob, ext_config);
+  bob_ext.register_site("pads.revelio.app", site);
+  auto pad = bob_ext.get("pads.revelio.app", 443, "/pad/q3-planning");
+  if (pad.ok()) {
+    PadClient bob_client("correct horse battery staple");
+    std::printf("[bob]   pad decrypts to: \"%s\"\n",
+                bob_client.decrypt(pad->response.body).c_str());
+  }
+
+  // What does the honest-but-curious (or malicious) provider see?
+  auto snooped = (*node)->dispatch([&] {
+    net::HttpRequest r;
+    r.method = "GET";
+    r.path = "/pad/q3-planning";
+    return r;
+  }());
+  std::printf("[provider] sees only ciphertext: %s...\n",
+              to_hex(ByteView(snooped.body).subspan(0, 16)).c_str());
+
+  // And at rest? The sealed volume is dm-crypt'ed with the sealing key; the
+  // raw disk bytes leak nothing (F6 / decommissioning).
+  std::printf("[provider] at-rest pad store is AES-XTS ciphertext under a\n"
+              "           measurement-derived sealing key: offline attacks "
+              "recover nothing\n");
+
+  // The gap Revelio closes: the provider silently swaps the server build
+  // for one that would exfiltrate client keys via doctored JavaScript.
+  imagebuild::BuildInputs evil = inputs;
+  evil.service_files["/opt/cryptpad/server.js"] =
+      to_bytes(std::string_view("cryptpad-server-5.2.1-keylogger"));
+  const auto evil_image = *builder.build(evil);
+  sevsnp::AmdSp evil_platform(to_bytes(std::string_view("evil-host")),
+                              sevsnp::TcbVersion{2, 0, 8, 115});
+  kds.register_platform(evil_platform);
+  core::RevelioVmConfig evil_config = config;
+  evil_config.host = "10.0.0.66";
+  evil_config.image = evil_image;
+  auto evil_node = core::RevelioVm::deploy(evil_platform, network,
+                                           evil_config, net::HttpRouter{});
+  // The malicious provider controls DNS, so it can even run its own SP
+  // provisioning round for the backdoored build and obtain a CA-valid
+  // certificate: TLS alone is satisfied.
+  const auto evil_measurement = vm::Hypervisor::expected_measurement(
+      evil_image.kernel_blob, evil_image.initrd_blob, evil_image.cmdline);
+  core::SpNodeConfig evil_sp_config;
+  evil_sp_config.domain = "pads.revelio.app";
+  evil_sp_config.kds_address = {"kds.amd.com", 443};
+  evil_sp_config.expected_measurements = {evil_measurement};
+  core::SpNode evil_sp(network, acme, evil_sp_config);
+  evil_sp.approve_node((*evil_node)->bootstrap_address(),
+                       evil_platform.chip_id());
+  (void)evil_sp.provision_fleet();
+  network.dns_set_a("pads.revelio.app", "10.0.0.66");
+  alice.drop_session("pads.revelio.app");
+  alice_ext.invalidate("pads.revelio.app");
+  auto attack = alice_ext.get("pads.revelio.app", 443, "/pad/q3-planning");
+  std::printf("\n[attack] provider swaps in a keylogger build and repoints "
+              "DNS\n");
+  std::printf("[alice]  next access: %s\n",
+              attack.ok() ? "ACCEPTED (bad!)"
+                          : ("REFUSED — " + attack.error().to_string()).c_str());
+  return 0;
+}

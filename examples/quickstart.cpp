@@ -1,0 +1,167 @@
+// Quickstart: the whole Revelio lifecycle in ~100 lines of API use.
+//
+//  1. reproducibly build a VM image for a toy web service,
+//  2. deploy it on a (simulated) SEV-SNP platform via measured direct boot,
+//  3. let the service provider's SP node attest it and obtain an ACME
+//     certificate for its in-VM TLS identity,
+//  4. attest it as an end-user through the browser web extension, and
+//  5. show that a tampered deployment fails every step of the way.
+//
+// Run: ./build/examples/quickstart
+#include <cstdio>
+
+#include "common/hex.hpp"
+#include "imagebuild/builder.hpp"
+#include "revelio/revelio_vm.hpp"
+#include "revelio/sp_node.hpp"
+#include "revelio/web_extension.hpp"
+
+using namespace revelio;
+
+int main() {
+  std::printf("== Revelio quickstart ==\n\n");
+
+  // ---------------------------------------------------------------- 0
+  // World: simulated clock + network, one SEV-SNP platform, the AMD KDS,
+  // and a Let's Encrypt-style ACME CA.
+  SimClock clock;
+  net::Network network(clock);
+  crypto::HmacDrbg drbg(to_bytes(std::string_view("quickstart")));
+  sevsnp::KeyDistributionServer kds(drbg);
+  core::KdsService kds_service(kds, network, {"kds.amd.com", 443});
+  pki::AcmeIssuer acme(clock, drbg);
+
+  sevsnp::AmdSp platform(to_bytes(std::string_view("epyc-7313-node-1")),
+                         sevsnp::TcbVersion{2, 0, 8, 115});
+  kds.register_platform(platform);
+
+  // ---------------------------------------------------------------- 1
+  // Reproducible image build: pinned base image, canonical rootfs,
+  // dm-verity metadata, firewall posture — all measured.
+  imagebuild::PackageRegistry registry;
+  imagebuild::BaseImage base;
+  base.name = "ubuntu";
+  base.tag = "20.04";
+  base.packages = {{"nginx", "1.18",
+                    {{"/usr/sbin/nginx",
+                      to_bytes(std::string_view("nginx-binary"))}}}};
+  const auto base_digest = registry.publish(base);
+
+  imagebuild::BuildInputs inputs;
+  inputs.base_image_digest = base_digest;
+  inputs.service_files["/opt/hello/server"] =
+      to_bytes(std::string_view("hello-service-v1.0"));
+  inputs.initrd.services = {{"hello", "/opt/hello/server", 150.0}};
+  inputs.initrd.allowed_inbound_ports = {"443", "8443"};
+  imagebuild::ImageBuilder builder(registry);
+  const auto image = *builder.build(inputs);
+  const auto expected = vm::Hypervisor::expected_measurement(
+      image.kernel_blob, image.initrd_blob, image.cmdline);
+  std::printf("[build] image digest        %s\n",
+              to_hex(image.digest().view()).substr(0, 32).c_str());
+  std::printf("[build] expected measurement %s...\n",
+              to_hex(expected.view()).substr(0, 32).c_str());
+
+  // Anyone can rebuild and get the same bits (requirement F5).
+  const auto rebuilt = *builder.build(inputs);
+  std::printf("[build] independent rebuild matches: %s\n\n",
+              rebuilt.digest() == image.digest() ? "yes" : "NO!");
+
+  // ---------------------------------------------------------------- 2
+  // Deploy: measured direct boot, dm-verity rootfs, sealed data volume,
+  // in-VM identity creation.
+  net::HttpRouter routes;
+  routes.route("GET", "/", [](const net::HttpRequest&) {
+    return net::HttpResponse::ok(
+        to_bytes(std::string_view("<h1>hello from inside the TEE</h1>")),
+        "text/html");
+  });
+  core::RevelioVmConfig config;
+  config.domain = "hello.revelio.app";
+  config.host = "10.0.0.1";
+  config.image = image;
+  config.kds_address = {"kds.amd.com", 443};
+  auto node = core::RevelioVm::deploy(platform, network, config,
+                                      std::move(routes));
+  if (!node.ok()) {
+    std::printf("deploy failed: %s\n", node.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("[deploy] boot phases:\n");
+  for (const auto& phase : (*node)->boot_report().phases) {
+    std::printf("  %-24s %8.2f ms\n", phase.name.c_str(), phase.sim_ms);
+  }
+  std::printf("[deploy] measurement matches expected: %s\n\n",
+              (*node)->measurement() == expected ? "yes" : "NO!");
+
+  // ---------------------------------------------------------------- 3
+  // SP node: attest the VM, obtain the certificate, distribute it.
+  core::SpNodeConfig sp_config;
+  sp_config.domain = "hello.revelio.app";
+  sp_config.kds_address = {"kds.amd.com", 443};
+  sp_config.expected_measurements = {expected};
+  core::SpNode sp(network, acme, sp_config);
+  sp.approve_node((*node)->bootstrap_address(), platform.chip_id());
+  auto outcomes = sp.provision_fleet();
+  if (!outcomes.ok()) {
+    std::printf("provisioning failed: %s\n",
+                outcomes.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("[sp] node attested and certified; VM serving HTTPS: %s\n\n",
+              (*node)->serving_tls() ? "yes" : "no");
+  network.dns_set_a("hello.revelio.app", "10.0.0.1");
+
+  // ---------------------------------------------------------------- 4
+  // End-user: browser + web extension. The user pins the measurement they
+  // computed from the public sources in step 1.
+  core::Browser browser(network, "laptop", acme.trusted_roots(),
+                        crypto::HmacDrbg(to_bytes(std::string_view("user"))));
+  core::WebExtensionConfig ext_config;
+  ext_config.kds_address = {"kds.amd.com", 443};
+  core::WebExtension extension(browser, ext_config);
+  core::SiteRegistration site;
+  site.expected_measurements = {expected};
+  extension.register_site("hello.revelio.app", site);
+
+  auto verified = extension.get("hello.revelio.app", 443, "/");
+  if (!verified.ok()) {
+    std::printf("attestation failed: %s\n",
+                verified.error().to_string().c_str());
+    return 1;
+  }
+  const auto& checks = verified->checks;
+  std::printf("[user] attestation checks:\n");
+  std::printf("  evidence fetched   %s\n", checks.evidence_fetched ? "ok" : "FAIL");
+  std::printf("  REPORT_DATA binding %s\n", checks.binding_ok ? "ok" : "FAIL");
+  std::printf("  VCEK chain          %s\n", checks.chain_ok ? "ok" : "FAIL");
+  std::printf("  report signature    %s\n", checks.signature_ok ? "ok" : "FAIL");
+  std::printf("  measurement         %s\n", checks.measurement_ok ? "ok" : "FAIL");
+  std::printf("  TLS binding         %s\n", checks.tls_binding_ok ? "ok" : "FAIL");
+  std::printf("[user] page: %s\n\n", to_string(verified->response.body).c_str());
+
+  // ---------------------------------------------------------------- 5
+  // The counterexample: a backdoored build fails the user's check.
+  imagebuild::BuildInputs evil_inputs = inputs;
+  evil_inputs.service_files["/opt/hello/server"] =
+      to_bytes(std::string_view("hello-service-v1.0-with-backdoor"));
+  const auto evil_image = *builder.build(evil_inputs);
+  sevsnp::AmdSp evil_platform(to_bytes(std::string_view("evil-node")),
+                              sevsnp::TcbVersion{2, 0, 8, 115});
+  kds.register_platform(evil_platform);
+  core::RevelioVmConfig evil_config = config;
+  evil_config.host = "10.0.0.66";
+  evil_config.image = evil_image;
+  auto evil_node = core::RevelioVm::deploy(evil_platform, network,
+                                           evil_config, net::HttpRouter{});
+  std::printf("[attack] backdoored VM boots locally: %s\n",
+              evil_node.ok() ? "yes (nothing stops the provider)" : "no");
+  std::printf("[attack] but its measurement differs: %s\n",
+              (*evil_node)->measurement() == expected
+                  ? "NO (bad!)"
+                  : "yes -> every verifier rejects it");
+
+  std::printf("\nquickstart complete at %s simulated time\n",
+              clock.to_string().c_str());
+  return 0;
+}

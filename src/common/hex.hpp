@@ -1,0 +1,17 @@
+// Hex encoding/decoding for digests, keys and identifiers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace revelio {
+
+/// Lower-case hex encoding.
+std::string to_hex(ByteView data);
+
+/// Decodes a hex string (upper or lower case). Returns nullopt on bad input.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+}  // namespace revelio

@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace revelio {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& component,
+         const std::string& message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %-14s %s\n", level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace revelio

@@ -1,0 +1,31 @@
+// Minimal leveled logger. Examples turn it up; tests and benches keep it
+// quiet. Not thread-safe beyond what stdio gives — the simulation is
+// single-threaded by design (deterministic replay).
+#pragma once
+
+#include <string>
+
+namespace revelio {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& component,
+         const std::string& message);
+
+inline void log_debug(const std::string& c, const std::string& m) {
+  log(LogLevel::kDebug, c, m);
+}
+inline void log_info(const std::string& c, const std::string& m) {
+  log(LogLevel::kInfo, c, m);
+}
+inline void log_warn(const std::string& c, const std::string& m) {
+  log(LogLevel::kWarn, c, m);
+}
+inline void log_error(const std::string& c, const std::string& m) {
+  log(LogLevel::kError, c, m);
+}
+
+}  // namespace revelio

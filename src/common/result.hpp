@@ -1,0 +1,89 @@
+// Lightweight expected-style result type (std::expected is C++23; we target
+// C++20). Protocol and I/O layers return Result<T> so callers must handle
+// failure explicitly; crypto primitives with no failure mode return values
+// directly.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace revelio {
+
+/// Error with a stable machine-readable code and a human-readable detail.
+struct Error {
+  std::string code;    // e.g. "verity.block_mismatch"
+  std::string detail;  // free-form context
+
+  static Error make(std::string code, std::string detail = {}) {
+    return Error{std::move(code), std::move(detail)};
+  }
+  std::string to_string() const {
+    return detail.empty() ? code : code + ": " + detail;
+  }
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}           // NOLINT(implicit)
+  Result(Error error) : value_(std::move(error)) {}       // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+/// Result specialisation for operations that return no payload.
+template <>
+class Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  static Result success() { return Result(); }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_{};
+  bool failed_ = false;
+};
+
+using Status = Result<void>;
+
+}  // namespace revelio

@@ -1,0 +1,38 @@
+// Deterministic random number generation.
+//
+// Reproducibility (requirement F5 in the paper) extends to our simulation:
+// every stochastic choice flows through a seeded generator so that a run is
+// bit-reproducible. Cryptographic key generation uses crypto::HmacDrbg
+// seeded from one of these, mirroring how a real guest seeds its DRBG from
+// hardware entropy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace revelio {
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG for simulation
+/// choices (latencies, jitter, workload generation). Not used directly for
+/// key material; see crypto::HmacDrbg.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fills `n` random bytes.
+  Bytes next_bytes(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace revelio

@@ -1,0 +1,23 @@
+#include "common/sim_clock.hpp"
+
+#include <cstdio>
+
+namespace revelio {
+
+std::string SimClock::to_string() const {
+  const std::uint64_t total_ms = now_us_ / 1000;
+  const std::uint64_t ms = total_ms % 1000;
+  const std::uint64_t total_s = total_ms / 1000;
+  const std::uint64_t s = total_s % 60;
+  const std::uint64_t m = (total_s / 60) % 60;
+  const std::uint64_t h = total_s / 3600;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "T+%02llu:%02llu:%02llu.%03llu",
+                static_cast<unsigned long long>(h),
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(s),
+                static_cast<unsigned long long>(ms));
+  return buf;
+}
+
+}  // namespace revelio

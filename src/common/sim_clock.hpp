@@ -1,0 +1,39 @@
+// Simulated wall clock.
+//
+// The paper's client-side numbers (Table 3) are dominated by network round
+// trips we cannot reproduce on one machine, so the network fabric charges
+// latency against a virtual clock. Components that do real computational
+// work (hashing, AES, ECDSA) additionally take real time, which the
+// benchmarks measure directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace revelio {
+
+/// Microsecond-resolution virtual time.
+class SimClock {
+ public:
+  using Micros = std::uint64_t;
+
+  Micros now_us() const { return now_us_; }
+  double now_ms() const { return static_cast<double>(now_us_) / 1000.0; }
+
+  /// Advances virtual time; used by the network fabric and device models to
+  /// charge latency for operations whose real cost is not reproducible here.
+  void advance_us(Micros us) { now_us_ += us; }
+  void advance_ms(double ms) {
+    now_us_ += static_cast<Micros>(ms * 1000.0);
+  }
+
+  void reset() { now_us_ = 0; }
+
+  /// RFC3339-ish rendering for logs and certificate validity fields.
+  std::string to_string() const;
+
+ private:
+  Micros now_us_ = 0;
+};
+
+}  // namespace revelio

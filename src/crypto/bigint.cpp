@@ -1,0 +1,201 @@
+#include "crypto/bigint.hpp"
+
+#include <cassert>
+
+#include "common/hex.hpp"
+
+namespace revelio::crypto {
+
+using uint128 = unsigned __int128;
+
+U384 U384::from_bytes_be(ByteView bytes) {
+  assert(bytes.size() <= 48);
+  U384 r;
+  std::size_t limb = 0;
+  std::size_t shift = 0;
+  for (std::size_t i = bytes.size(); i-- > 0;) {
+    r.limbs[limb] |= static_cast<std::uint64_t>(bytes[i]) << shift;
+    shift += 8;
+    if (shift == 64) {
+      shift = 0;
+      ++limb;
+    }
+  }
+  return r;
+}
+
+U384 U384::from_hex(std::string_view hex) {
+  auto bytes = revelio::from_hex(hex);
+  assert(bytes.has_value());
+  return from_bytes_be(*bytes);
+}
+
+Bytes U384::to_bytes_be(std::size_t length) const {
+  Bytes out(length, 0);
+  for (std::size_t i = 0; i < length; ++i) {
+    const std::size_t byte_index = i;  // from the little end
+    if (byte_index >= 48) break;
+    const std::uint64_t limb = limbs[byte_index / 8];
+    out[length - 1 - i] =
+        static_cast<std::uint8_t>(limb >> (8 * (byte_index % 8)));
+  }
+  return out;
+}
+
+std::size_t U384::bit_length() const {
+  for (std::size_t i = kLimbs; i-- > 0;) {
+    if (limbs[i] != 0) {
+      std::size_t bits = 64 * i;
+      std::uint64_t v = limbs[i];
+      while (v) {
+        ++bits;
+        v >>= 1;
+      }
+      return bits;
+    }
+  }
+  return 0;
+}
+
+int U384::cmp(const U384& other) const {
+  for (std::size_t i = kLimbs; i-- > 0;) {
+    if (limbs[i] != other.limbs[i]) {
+      return limbs[i] < other.limbs[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t add_with_carry(U384& r, const U384& a, const U384& b) {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < U384::kLimbs; ++i) {
+    const uint128 sum = static_cast<uint128>(a.limbs[i]) + b.limbs[i] + carry;
+    r.limbs[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  return carry;
+}
+
+std::uint64_t sub_with_borrow(U384& r, const U384& a, const U384& b) {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < U384::kLimbs; ++i) {
+    const uint128 diff = static_cast<uint128>(a.limbs[i]) -
+                         static_cast<uint128>(b.limbs[i]) - borrow;
+    r.limbs[i] = static_cast<std::uint64_t>(diff);
+    borrow = static_cast<std::uint64_t>((diff >> 64) & 1);
+  }
+  return borrow;
+}
+
+MontCtx::MontCtx(const U384& modulus) : m_(modulus) {
+  assert((m_.limbs[0] & 1) == 1 && "Montgomery modulus must be odd");
+
+  // n0 = -m^-1 mod 2^64 via Newton iteration: x_{k+1} = x_k (2 - m x_k).
+  std::uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) {
+    inv *= 2 - m_.limbs[0] * inv;
+  }
+  n0_ = ~inv + 1;  // negate mod 2^64
+
+  // one_ = 2^384 mod m via shift-and-reduce doublings starting from 1;
+  // r2_ = 2^768 mod m continues the same chain. No division needed.
+  U384 t = U384::from_u64(1);
+  auto mod_double = [this](U384& v) {
+    U384 doubled;
+    const std::uint64_t carry = add_with_carry(doubled, v, v);
+    if (carry || doubled.cmp(m_) >= 0) {
+      U384 reduced;
+      sub_with_borrow(reduced, doubled, m_);
+      v = reduced;
+    } else {
+      v = doubled;
+    }
+  };
+  for (int i = 0; i < 384; ++i) mod_double(t);
+  one_ = t;
+  for (int i = 0; i < 384; ++i) mod_double(t);
+  r2_ = t;
+}
+
+U384 MontCtx::mul(const U384& a, const U384& b) const {
+  // CIOS Montgomery multiplication with one extra limb of headroom.
+  constexpr std::size_t K = U384::kLimbs;
+  std::uint64_t t[K + 2] = {};
+
+  for (std::size_t i = 0; i < K; ++i) {
+    // t += a * b[i]
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < K; ++j) {
+      const uint128 cur =
+          static_cast<uint128>(a.limbs[j]) * b.limbs[i] + t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    uint128 cur = static_cast<uint128>(t[K]) + carry;
+    t[K] = static_cast<std::uint64_t>(cur);
+    t[K + 1] = static_cast<std::uint64_t>(cur >> 64);
+
+    // Reduce: add mu * m and shift one limb.
+    const std::uint64_t mu = t[0] * n0_;
+    cur = static_cast<uint128>(mu) * m_.limbs[0] + t[0];
+    carry = static_cast<std::uint64_t>(cur >> 64);
+    for (std::size_t j = 1; j < K; ++j) {
+      cur = static_cast<uint128>(mu) * m_.limbs[j] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    cur = static_cast<uint128>(t[K]) + carry;
+    t[K - 1] = static_cast<std::uint64_t>(cur);
+    t[K] = t[K + 1] + static_cast<std::uint64_t>(cur >> 64);
+  }
+
+  U384 r;
+  for (std::size_t i = 0; i < K; ++i) r.limbs[i] = t[i];
+  if (t[K] != 0 || r.cmp(m_) >= 0) {
+    U384 reduced;
+    sub_with_borrow(reduced, r, m_);
+    r = reduced;
+  }
+  return r;
+}
+
+U384 MontCtx::add(const U384& a, const U384& b) const {
+  U384 r;
+  const std::uint64_t carry = add_with_carry(r, a, b);
+  if (carry || r.cmp(m_) >= 0) {
+    U384 reduced;
+    sub_with_borrow(reduced, r, m_);
+    return reduced;
+  }
+  return r;
+}
+
+U384 MontCtx::sub(const U384& a, const U384& b) const {
+  U384 r;
+  const std::uint64_t borrow = sub_with_borrow(r, a, b);
+  if (borrow) {
+    U384 fixed;
+    add_with_carry(fixed, r, m_);
+    return fixed;
+  }
+  return r;
+}
+
+U384 MontCtx::pow(const U384& a, const U384& e) const {
+  U384 result = one_;
+  const std::size_t bits = e.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = mul(result, result);
+    if (e.bit(i)) result = mul(result, a);
+  }
+  return result;
+}
+
+U384 MontCtx::inv(const U384& a) const {
+  // Fermat: a^(m-2) mod m for prime m.
+  U384 exponent;
+  sub_with_borrow(exponent, m_, U384::from_u64(2));
+  return pow(a, exponent);
+}
+
+}  // namespace revelio::crypto

@@ -1,0 +1,49 @@
+#include "crypto/drbg.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace revelio::crypto {
+
+HmacDrbg::HmacDrbg(ByteView entropy, ByteView personalization) {
+  key_.data.fill(0x00);
+  v_.data.fill(0x01);
+  const Bytes seed = concat(entropy, personalization);
+  update(seed);
+}
+
+void HmacDrbg::update(ByteView provided) {
+  {
+    HmacSha256 mac(key_.view());
+    mac.update(v_.view());
+    const std::uint8_t zero = 0x00;
+    mac.update(ByteView(&zero, 1));
+    mac.update(provided);
+    key_ = mac.finish();
+    v_ = hmac_sha256(key_.view(), v_.view());
+  }
+  if (!provided.empty()) {
+    HmacSha256 mac(key_.view());
+    mac.update(v_.view());
+    const std::uint8_t one = 0x01;
+    mac.update(ByteView(&one, 1));
+    mac.update(provided);
+    key_ = mac.finish();
+    v_ = hmac_sha256(key_.view(), v_.view());
+  }
+}
+
+Bytes HmacDrbg::generate(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = hmac_sha256(key_.view(), v_.view());
+    const std::size_t take = std::min<std::size_t>(32, n - out.size());
+    out.insert(out.end(), v_.begin(), v_.begin() + take);
+  }
+  update({});
+  return out;
+}
+
+void HmacDrbg::reseed(ByteView entropy) { update(entropy); }
+
+}  // namespace revelio::crypto

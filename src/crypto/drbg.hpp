@@ -1,0 +1,32 @@
+// HMAC-DRBG (NIST SP 800-90A) with SHA-256.
+//
+// All key material in the simulation — chip endorsement keys, VM TLS
+// identities, nonces — is drawn from seeded HMAC-DRBG instances, so runs
+// are deterministic (mirrors a guest seeding its CSPRNG from virtio-rng /
+// RDSEED while keeping requirement F5's reproducibility for tests).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha2.hpp"
+
+namespace revelio::crypto {
+
+class HmacDrbg {
+ public:
+  /// Instantiates with entropy || nonce || personalization as seed material.
+  explicit HmacDrbg(ByteView entropy, ByteView personalization = {});
+
+  /// Generates `n` pseudorandom bytes.
+  Bytes generate(std::size_t n);
+
+  /// Mixes additional entropy into the state.
+  void reseed(ByteView entropy);
+
+ private:
+  void update(ByteView provided);
+
+  Digest32 key_;
+  Digest32 v_;
+};
+
+}  // namespace revelio::crypto

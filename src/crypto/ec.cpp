@@ -1,0 +1,210 @@
+#include "crypto/ec.hpp"
+
+#include <cassert>
+
+namespace revelio::crypto {
+
+const CurveParams& p256_params() {
+  static const CurveParams params{
+      "P-256",
+      U384::from_hex("ffffffff00000001000000000000000000000000ffffffffffffff"
+                     "ffffffffff"),
+      U384::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c"
+                     "3e27d2604b"),
+      U384::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a139"
+                     "45d898c296"),
+      U384::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb640"
+                     "6837bf51f5"),
+      U384::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9ca"
+                     "c2fc632551"),
+      32};
+  return params;
+}
+
+const CurveParams& p384_params() {
+  static const CurveParams params{
+      "P-384",
+      U384::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffff"
+                     "ffffffffffeffffffff0000000000000000ffffffff"),
+      U384::from_hex("b3312fa7e23ee7e4988e056be3f82d19181d9c6efe8141120314"
+                     "088f5013875ac656398d8a2ed19d2a85c8edd3ec2aef"),
+      U384::from_hex("aa87ca22be8b05378eb1c71ef320ad746e1d3b628ba79b9859f7"
+                     "41e082542a385502f25dbf55296c3a545e3872760ab7"),
+      U384::from_hex("3617de4a96262c6f5d9e98bf9292dc29f8f41dbd289a147ce9da"
+                     "3113b5f0b8c00a60b1ce1d7e819d7a431d7c90ea0e5f"),
+      U384::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffc763"
+                     "4d81f4372ddf581a0db248b0a77aecec196accc52973"),
+      48};
+  return params;
+}
+
+Bytes Curve::Point::encode(std::size_t coord_len) const {
+  Bytes out;
+  out.push_back(0x04);
+  append(out, x.to_bytes_be(coord_len));
+  append(out, y.to_bytes_be(coord_len));
+  return out;
+}
+
+namespace {
+
+/// Jacobian coordinates (X, Y, Z) with x = X/Z^2, y = Y/Z^3; all coordinates
+/// in the Montgomery domain. Z == 0 encodes the point at infinity.
+struct Jacobian {
+  U384 x;
+  U384 y;
+  U384 z;
+
+  bool is_infinity() const { return z.is_zero(); }
+  static Jacobian infinity() { return Jacobian{}; }
+};
+
+}  // namespace
+
+Curve::Curve(const CurveParams& params)
+    : params_(params), fp_(params.p), fn_(params.n) {
+  // a = -3 mod p.
+  U384 a;
+  sub_with_borrow(a, params_.p, U384::from_u64(3));
+  a_mont_ = fp_.to_mont(a);
+  b_mont_ = fp_.to_mont(params_.b);
+}
+
+bool Curve::on_curve(const Point& pt) const {
+  if (pt.infinity) return false;
+  if (pt.x.cmp(params_.p) >= 0 || pt.y.cmp(params_.p) >= 0) return false;
+  const U384 x = fp_.to_mont(pt.x);
+  const U384 y = fp_.to_mont(pt.y);
+  const U384 y2 = fp_.mul(y, y);
+  const U384 x3 = fp_.mul(fp_.mul(x, x), x);
+  const U384 ax = fp_.mul(a_mont_, x);
+  const U384 rhs = fp_.add(fp_.add(x3, ax), b_mont_);
+  return y2 == rhs;
+}
+
+namespace {
+
+/// Doubling with a = -3 (dbl-2001-b style).
+Jacobian jacobian_double(const MontCtx& fp, const Jacobian& p) {
+  if (p.is_infinity()) return p;
+  if (p.y.is_zero()) return Jacobian::infinity();
+
+  const U384 delta = fp.mul(p.z, p.z);
+  const U384 gamma = fp.mul(p.y, p.y);
+  const U384 beta = fp.mul(p.x, gamma);
+  // alpha = 3 (x - delta)(x + delta)
+  const U384 diff = fp.sub(p.x, delta);
+  const U384 sum = fp.add(p.x, delta);
+  U384 alpha = fp.mul(diff, sum);
+  alpha = fp.add(fp.add(alpha, alpha), alpha);
+
+  Jacobian r;
+  // X3 = alpha^2 - 8 beta
+  const U384 beta2 = fp.add(beta, beta);
+  const U384 beta4 = fp.add(beta2, beta2);
+  const U384 beta8 = fp.add(beta4, beta4);
+  r.x = fp.sub(fp.mul(alpha, alpha), beta8);
+  // Z3 = (y + z)^2 - gamma - delta
+  const U384 yz = fp.add(p.y, p.z);
+  r.z = fp.sub(fp.sub(fp.mul(yz, yz), gamma), delta);
+  // Y3 = alpha (4 beta - X3) - 8 gamma^2
+  const U384 gamma2 = fp.mul(gamma, gamma);
+  const U384 g2 = fp.add(gamma2, gamma2);
+  const U384 g4 = fp.add(g2, g2);
+  const U384 g8 = fp.add(g4, g4);
+  r.y = fp.sub(fp.mul(alpha, fp.sub(beta4, r.x)), g8);
+  return r;
+}
+
+/// General Jacobian addition (add-2007-bl without the Z caching tricks).
+Jacobian jacobian_add(const MontCtx& fp, const Jacobian& a,
+                             const Jacobian& b) {
+  if (a.is_infinity()) return b;
+  if (b.is_infinity()) return a;
+
+  const U384 z1z1 = fp.mul(a.z, a.z);
+  const U384 z2z2 = fp.mul(b.z, b.z);
+  const U384 u1 = fp.mul(a.x, z2z2);
+  const U384 u2 = fp.mul(b.x, z1z1);
+  const U384 s1 = fp.mul(fp.mul(a.y, b.z), z2z2);
+  const U384 s2 = fp.mul(fp.mul(b.y, a.z), z1z1);
+
+  const U384 h = fp.sub(u2, u1);
+  const U384 r = fp.sub(s2, s1);
+  if (h.is_zero()) {
+    if (r.is_zero()) return jacobian_double(fp, a);
+    return Jacobian::infinity();
+  }
+
+  const U384 hh = fp.mul(h, h);
+  const U384 hhh = fp.mul(h, hh);
+  const U384 v = fp.mul(u1, hh);
+
+  Jacobian out;
+  // X3 = r^2 - HHH - 2V
+  out.x = fp.sub(fp.sub(fp.mul(r, r), hhh), fp.add(v, v));
+  // Y3 = r (V - X3) - S1 * HHH
+  out.y = fp.sub(fp.mul(r, fp.sub(v, out.x)), fp.mul(s1, hhh));
+  // Z3 = Z1 Z2 H
+  out.z = fp.mul(fp.mul(a.z, b.z), h);
+  return out;
+}
+
+}  // namespace
+
+Curve::Point Curve::add(const Point& a, const Point& b) const {
+  if (a.infinity) return b;
+  if (b.infinity) return a;
+  Jacobian ja{fp_.to_mont(a.x), fp_.to_mont(a.y), fp_.one()};
+  Jacobian jb{fp_.to_mont(b.x), fp_.to_mont(b.y), fp_.one()};
+  const Jacobian sum = jacobian_add(fp_, ja, jb);
+  if (sum.is_infinity()) return Point::at_infinity();
+  const U384 zinv = fp_.inv(sum.z);
+  const U384 zinv2 = fp_.mul(zinv, zinv);
+  const U384 zinv3 = fp_.mul(zinv2, zinv);
+  return Point{fp_.from_mont(fp_.mul(sum.x, zinv2)),
+               fp_.from_mont(fp_.mul(sum.y, zinv3)), false};
+}
+
+Curve::Point Curve::scalar_mult(const U384& k, const Point& pt) const {
+  if (pt.infinity || k.is_zero()) return Point::at_infinity();
+  const Jacobian base{fp_.to_mont(pt.x), fp_.to_mont(pt.y), fp_.one()};
+  Jacobian acc = Jacobian::infinity();
+  for (std::size_t i = k.bit_length(); i-- > 0;) {
+    acc = jacobian_double(fp_, acc);
+    if (k.bit(i)) acc = jacobian_add(fp_, acc, base);
+  }
+  if (acc.is_infinity()) return Point::at_infinity();
+  const U384 zinv = fp_.inv(acc.z);
+  const U384 zinv2 = fp_.mul(zinv, zinv);
+  const U384 zinv3 = fp_.mul(zinv2, zinv);
+  return Point{fp_.from_mont(fp_.mul(acc.x, zinv2)),
+               fp_.from_mont(fp_.mul(acc.y, zinv3)), false};
+}
+
+Curve::Point Curve::scalar_mult_base(const U384& k) const {
+  return scalar_mult(k, generator());
+}
+
+Curve::Point Curve::decode_point(ByteView encoded) const {
+  const std::size_t len = params_.byte_length;
+  if (encoded.size() != 1 + 2 * len || encoded[0] != 0x04) {
+    return Point::at_infinity();
+  }
+  Point pt{U384::from_bytes_be(encoded.subspan(1, len)),
+           U384::from_bytes_be(encoded.subspan(1 + len, len)), false};
+  if (!on_curve(pt)) return Point::at_infinity();
+  return pt;
+}
+
+const Curve& p256() {
+  static const Curve curve(p256_params());
+  return curve;
+}
+
+const Curve& p384() {
+  static const Curve curve(p384_params());
+  return curve;
+}
+
+}  // namespace revelio::crypto

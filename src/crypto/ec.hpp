@@ -1,0 +1,81 @@
+// Short Weierstrass elliptic curves: NIST P-256 and P-384.
+//
+// Both curves have a = -3, which the Jacobian doubling formula exploits.
+// P-384 signs SEV-SNP attestation reports and the VCEK/ASK/ARK chain
+// (matching AMD's real deployment); P-256 serves VM TLS identities where
+// smaller keys keep handshakes cheap.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/bigint.hpp"
+
+namespace revelio::crypto {
+
+struct CurveParams {
+  std::string name;
+  U384 p;   // field prime
+  U384 b;   // curve coefficient (a is fixed to -3)
+  U384 gx;  // base point
+  U384 gy;
+  U384 n;   // base point order
+  std::size_t byte_length;  // field element encoding size
+};
+
+const CurveParams& p256_params();
+const CurveParams& p384_params();
+
+/// A curve with precomputed Montgomery contexts for its two prime fields.
+class Curve {
+ public:
+  explicit Curve(const CurveParams& params);
+
+  /// Affine point in the plain (non-Montgomery) domain.
+  struct Point {
+    U384 x;
+    U384 y;
+    bool infinity = false;
+
+    static Point at_infinity() { return Point{{}, {}, true}; }
+
+    /// Uncompressed SEC1 encoding: 0x04 || X || Y.
+    Bytes encode(std::size_t coord_len) const;
+  };
+
+  const CurveParams& params() const { return params_; }
+  const MontCtx& field() const { return fp_; }
+  const MontCtx& scalar_field() const { return fn_; }
+
+  Point generator() const { return Point{params_.gx, params_.gy, false}; }
+
+  /// Checks y^2 == x^3 - 3x + b (mod p).
+  bool on_curve(const Point& pt) const;
+
+  Point add(const Point& a, const Point& b) const;
+  Point scalar_mult(const U384& k, const Point& pt) const;
+  Point scalar_mult_base(const U384& k) const;
+
+  /// Decodes an uncompressed SEC1 point and validates it is on the curve.
+  /// Returns infinity on malformed input (callers reject infinity).
+  Point decode_point(ByteView encoded) const;
+
+  /// Encodes with this curve's coordinate size.
+  Bytes encode_point(const Point& pt) const {
+    return pt.encode(params_.byte_length);
+  }
+
+ private:
+  CurveParams params_;
+  MontCtx fp_;
+  MontCtx fn_;
+  U384 a_mont_;  // -3 mod p, Montgomery domain
+  U384 b_mont_;
+};
+
+/// Process-wide singletons (curve construction precomputes Montgomery
+/// constants; reuse them).
+const Curve& p256();
+const Curve& p384();
+
+}  // namespace revelio::crypto

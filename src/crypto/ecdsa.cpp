@@ -1,0 +1,124 @@
+#include "crypto/ecdsa.hpp"
+
+#include <cassert>
+
+namespace revelio::crypto {
+
+Bytes EcdsaSignature::encode(const Curve& curve) const {
+  const std::size_t len = curve.params().byte_length;
+  return concat(r.to_bytes_be(len), s.to_bytes_be(len));
+}
+
+Result<EcdsaSignature> EcdsaSignature::decode(const Curve& curve,
+                                              ByteView bytes) {
+  const std::size_t len = curve.params().byte_length;
+  if (bytes.size() != 2 * len) {
+    return Error::make("ecdsa.bad_signature_length");
+  }
+  EcdsaSignature sig;
+  sig.r = U384::from_bytes_be(bytes.subspan(0, len));
+  sig.s = U384::from_bytes_be(bytes.subspan(len, len));
+  return sig;
+}
+
+namespace {
+
+/// Draws a uniform scalar in [1, n-1] by rejection sampling.
+U384 sample_scalar(const Curve& curve, HmacDrbg& drbg) {
+  const std::size_t len = curve.params().byte_length;
+  while (true) {
+    const Bytes candidate_bytes = drbg.generate(len);
+    const U384 candidate = U384::from_bytes_be(candidate_bytes);
+    if (!candidate.is_zero() && candidate.cmp(curve.params().n) < 0) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace
+
+EcKeyPair ec_generate(const Curve& curve, HmacDrbg& drbg) {
+  EcKeyPair kp;
+  kp.d = sample_scalar(curve, drbg);
+  kp.q = curve.scalar_mult_base(kp.d);
+  return kp;
+}
+
+U384 hash_to_scalar(const Curve& curve, ByteView msg_hash) {
+  // Leftmost min(hash bits, curve bits) bits, as in FIPS 186-4 §6.4.
+  const std::size_t n_bytes = curve.params().byte_length;
+  const std::size_t take = std::min(msg_hash.size(), n_bytes);
+  U384 z = U384::from_bytes_be(msg_hash.subspan(0, take));
+  // The curve order's bit length is a multiple of 8 for P-256/P-384, so no
+  // sub-byte shift is needed.
+  return curve.scalar_field().reduce(z);
+}
+
+EcdsaSignature ecdsa_sign(const Curve& curve, const U384& priv,
+                          ByteView msg_hash) {
+  const MontCtx& fn = curve.scalar_field();
+  const U384 z = hash_to_scalar(curve, msg_hash);
+
+  // Deterministic nonce source bound to the key and message.
+  const Bytes seed =
+      concat(priv.to_bytes_be(curve.params().byte_length), msg_hash);
+  HmacDrbg nonce_drbg(seed, to_bytes(std::string_view("ecdsa-nonce")));
+
+  while (true) {
+    const U384 k = sample_scalar(curve, nonce_drbg);
+    const Curve::Point kg = curve.scalar_mult_base(k);
+    const U384 r = fn.reduce(kg.x);
+    if (r.is_zero()) continue;
+
+    // s = k^-1 (z + r d) mod n, computed in the Montgomery domain.
+    const U384 k_mont = fn.to_mont(k);
+    const U384 r_mont = fn.to_mont(r);
+    const U384 d_mont = fn.to_mont(priv);
+    const U384 z_mont = fn.to_mont(z);
+    const U384 rd = fn.mul(r_mont, d_mont);
+    const U384 sum = fn.add(z_mont, rd);
+    const U384 k_inv = fn.inv(k_mont);
+    const U384 s = fn.from_mont(fn.mul(k_inv, sum));
+    if (s.is_zero()) continue;
+
+    return EcdsaSignature{r, s};
+  }
+}
+
+bool ecdsa_verify(const Curve& curve, const Curve::Point& pub,
+                  ByteView msg_hash, const EcdsaSignature& sig) {
+  if (pub.infinity || !curve.on_curve(pub)) return false;
+  const U384& n = curve.params().n;
+  if (sig.r.is_zero() || sig.r.cmp(n) >= 0) return false;
+  if (sig.s.is_zero() || sig.s.cmp(n) >= 0) return false;
+
+  const MontCtx& fn = curve.scalar_field();
+  const U384 z = hash_to_scalar(curve, msg_hash);
+
+  const U384 s_mont = fn.to_mont(sig.s);
+  const U384 s_inv = fn.inv(s_mont);
+  const U384 u1 = fn.from_mont(fn.mul(fn.to_mont(z), s_inv));
+  const U384 u2 = fn.from_mont(fn.mul(fn.to_mont(sig.r), s_inv));
+
+  const Curve::Point p1 = curve.scalar_mult_base(u1);
+  const Curve::Point p2 = curve.scalar_mult(u2, pub);
+  const Curve::Point sum = curve.add(p1, p2);
+  if (sum.infinity) return false;
+
+  const U384 v = fn.reduce(sum.x);
+  return v == sig.r;
+}
+
+Result<Bytes> ecdh_shared_secret(const Curve& curve, const U384& priv,
+                                 const Curve::Point& peer) {
+  if (peer.infinity || !curve.on_curve(peer)) {
+    return Error::make("ecdh.invalid_peer_point");
+  }
+  const Curve::Point shared = curve.scalar_mult(priv, peer);
+  if (shared.infinity) {
+    return Error::make("ecdh.degenerate_result");
+  }
+  return shared.x.to_bytes_be(curve.params().byte_length);
+}
+
+}  // namespace revelio::crypto

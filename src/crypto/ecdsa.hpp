@@ -1,0 +1,53 @@
+// ECDSA signatures and ECDH key agreement over the library's curves.
+//
+// Signing uses a deterministic nonce in the spirit of RFC 6979 (HMAC-DRBG
+// keyed with the private key and message hash), so identical inputs yield
+// identical signatures — which keeps the whole simulation reproducible and
+// removes nonce-reuse risk.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ec.hpp"
+
+namespace revelio::crypto {
+
+struct EcdsaSignature {
+  U384 r;
+  U384 s;
+
+  /// Fixed-width r || s encoding using the curve's coordinate length.
+  Bytes encode(const Curve& curve) const;
+  static Result<EcdsaSignature> decode(const Curve& curve, ByteView bytes);
+};
+
+struct EcKeyPair {
+  U384 d;              // private scalar in [1, n-1]
+  Curve::Point q;      // public point d*G
+
+  Bytes public_encoded(const Curve& curve) const {
+    return curve.encode_point(q);
+  }
+};
+
+/// Generates a key pair from DRBG output (rejection sampling into [1, n-1]).
+EcKeyPair ec_generate(const Curve& curve, HmacDrbg& drbg);
+
+/// Derives the scalar z from a message hash: leftmost bits, reduced mod n.
+U384 hash_to_scalar(const Curve& curve, ByteView msg_hash);
+
+/// Signs a prehashed message.
+EcdsaSignature ecdsa_sign(const Curve& curve, const U384& priv,
+                          ByteView msg_hash);
+
+/// Verifies a signature on a prehashed message.
+bool ecdsa_verify(const Curve& curve, const Curve::Point& pub,
+                  ByteView msg_hash, const EcdsaSignature& sig);
+
+/// ECDH: x-coordinate of priv * peer, fixed-width encoded. Callers run the
+/// result through a KDF before use.
+Result<Bytes> ecdh_shared_secret(const Curve& curve, const U384& priv,
+                                 const Curve::Point& peer);
+
+}  // namespace revelio::crypto

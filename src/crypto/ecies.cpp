@@ -1,0 +1,53 @@
+#include "crypto/ecies.hpp"
+
+#include "crypto/kdf.hpp"
+#include "crypto/modes.hpp"
+
+namespace revelio::crypto {
+
+namespace {
+Bytes derive_aead_key(ByteView shared_secret, ByteView eph_pub,
+                      ByteView recipient_pub) {
+  const Bytes info = concat(std::string_view("ecies-v1"), eph_pub,
+                            recipient_pub);
+  return hkdf_sha256(shared_secret, {}, info, AeadCtrHmac::kKeySize);
+}
+}  // namespace
+
+Result<Bytes> ecies_seal(const Curve& curve, ByteView recipient_pub,
+                         ByteView plaintext, HmacDrbg& drbg) {
+  const auto recipient = curve.decode_point(recipient_pub);
+  if (recipient.infinity) {
+    return Error::make("ecies.bad_recipient_key");
+  }
+  const EcKeyPair eph = ec_generate(curve, drbg);
+  auto shared = ecdh_shared_secret(curve, eph.d, recipient);
+  if (!shared.ok()) return shared.error();
+  const Bytes eph_pub = eph.public_encoded(curve);
+  const AeadCtrHmac aead(derive_aead_key(*shared, eph_pub, recipient_pub));
+  const Bytes nonce = drbg.generate(AeadCtrHmac::kNonceSize);
+
+  Bytes out;
+  append_u32be(out, static_cast<std::uint32_t>(eph_pub.size()));
+  append(out, eph_pub);
+  append(out, aead.seal(nonce, eph_pub, plaintext));
+  return out;
+}
+
+Result<Bytes> ecies_open(const Curve& curve, const U384& recipient_priv,
+                         ByteView sealed) {
+  if (sealed.size() < 4) return Error::make("ecies.truncated");
+  const std::uint32_t eph_len = read_u32be(sealed, 0);
+  if (4 + eph_len > sealed.size()) return Error::make("ecies.truncated");
+  const ByteView eph_pub = sealed.subspan(4, eph_len);
+  const auto eph_point = curve.decode_point(eph_pub);
+  if (eph_point.infinity) return Error::make("ecies.bad_ephemeral");
+  auto shared = ecdh_shared_secret(curve, recipient_priv, eph_point);
+  if (!shared.ok()) return shared.error();
+  const Bytes recipient_pub =
+      curve.encode_point(curve.scalar_mult_base(recipient_priv));
+  const AeadCtrHmac aead(derive_aead_key(*shared, eph_pub, recipient_pub));
+  return aead.open(eph_pub, sealed.subspan(4 + eph_len));
+}
+
+}  // namespace revelio::crypto

@@ -1,0 +1,25 @@
+// ECIES: public-key sealing of small payloads.
+//
+// Ephemeral ECDH against the recipient's public key, HKDF to an AEAD key,
+// encrypt-then-MAC. Used by the Revelio leader to wrap the shared TLS
+// private key for an attested peer (Fig 4 of the paper).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ecdsa.hpp"
+
+namespace revelio::crypto {
+
+/// Encrypts `plaintext` so only the holder of the private key matching
+/// `recipient_pub` (SEC1-encoded point on `curve`) can read it.
+/// Output: eph_pub_len(4) | eph_pub | aead blob.
+Result<Bytes> ecies_seal(const Curve& curve, ByteView recipient_pub,
+                         ByteView plaintext, HmacDrbg& drbg);
+
+/// Decrypts an ecies_seal output with the recipient's private scalar.
+Result<Bytes> ecies_open(const Curve& curve, const U384& recipient_priv,
+                         ByteView sealed);
+
+}  // namespace revelio::crypto

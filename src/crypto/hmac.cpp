@@ -1,0 +1,17 @@
+#include "crypto/hmac.hpp"
+
+namespace revelio::crypto {
+
+Digest32 hmac_sha256(ByteView key, ByteView data) {
+  HmacSha256 mac(key);
+  mac.update(data);
+  return mac.finish();
+}
+
+Digest48 hmac_sha384(ByteView key, ByteView data) {
+  HmacSha384 mac(key);
+  mac.update(data);
+  return mac.finish();
+}
+
+}  // namespace revelio::crypto

@@ -1,0 +1,58 @@
+// HMAC (FIPS 198-1) over any SHA-2 instance in this library.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha2.hpp"
+
+namespace revelio::crypto {
+
+/// Streaming HMAC, templated on the hash (Sha256, Sha384, Sha512).
+template <typename Hash>
+class Hmac {
+ public:
+  using Digest = typename Hash::Digest;
+  static constexpr std::size_t kBlockSize = Hash::kBlockSize;
+
+  explicit Hmac(ByteView key) {
+    std::uint8_t k[kBlockSize] = {};
+    if (key.size() > kBlockSize) {
+      Hash h;
+      h.update(key);
+      const auto d = h.finish();
+      std::copy(d.begin(), d.end(), k);
+    } else {
+      std::copy(key.begin(), key.end(), k);
+    }
+    std::uint8_t ipad[kBlockSize];
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      ipad[i] = k[i] ^ 0x36;
+      opad_[i] = k[i] ^ 0x5c;
+    }
+    inner_.update(ByteView(ipad, kBlockSize));
+  }
+
+  void update(ByteView data) { inner_.update(data); }
+
+  Digest finish() {
+    const Digest inner_digest = inner_.finish();
+    Hash outer;
+    outer.update(ByteView(opad_, kBlockSize));
+    outer.update(inner_digest.view());
+    return outer.finish();
+  }
+
+ private:
+  Hash inner_;
+  std::uint8_t opad_[kBlockSize];
+};
+
+using HmacSha256 = Hmac<Sha256>;
+using HmacSha384 = Hmac<Sha384>;
+using HmacSha512 = Hmac<Sha512>;
+
+/// One-shot HMAC-SHA256.
+Digest32 hmac_sha256(ByteView key, ByteView data);
+/// One-shot HMAC-SHA384.
+Digest48 hmac_sha384(ByteView key, ByteView data);
+
+}  // namespace revelio::crypto

@@ -1,0 +1,55 @@
+#include "crypto/kdf.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace revelio::crypto {
+
+Bytes hkdf_sha256(ByteView ikm, ByteView salt, ByteView info,
+                  std::size_t length) {
+  // Extract.
+  const Digest32 prk = hmac_sha256(salt, ikm);
+  // Expand.
+  Bytes okm;
+  okm.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    HmacSha256 mac(prk.view());
+    mac.update(t);
+    mac.update(info);
+    mac.update(ByteView(&counter, 1));
+    const Digest32 block = mac.finish();
+    t = block.bytes();
+    const std::size_t take = std::min<std::size_t>(32, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + take);
+    ++counter;
+  }
+  return okm;
+}
+
+Bytes pbkdf2_sha256(ByteView password, ByteView salt, std::uint32_t iterations,
+                    std::size_t length) {
+  Bytes okm;
+  okm.reserve(length);
+  std::uint32_t block_index = 1;
+  while (okm.size() < length) {
+    // U1 = HMAC(P, S || INT(i))
+    HmacSha256 mac(password);
+    mac.update(salt);
+    Bytes ctr;
+    append_u32be(ctr, block_index);
+    mac.update(ctr);
+    Digest32 u = mac.finish();
+    Digest32 acc = u;
+    for (std::uint32_t it = 1; it < iterations; ++it) {
+      u = hmac_sha256(password, u.view());
+      for (std::size_t i = 0; i < 32; ++i) acc[i] ^= u[i];
+    }
+    const std::size_t take = std::min<std::size_t>(32, length - okm.size());
+    okm.insert(okm.end(), acc.begin(), acc.begin() + take);
+    ++block_index;
+  }
+  return okm;
+}
+
+}  // namespace revelio::crypto

@@ -1,0 +1,20 @@
+// Key derivation functions.
+//
+//  - HKDF (RFC 5869): TLS-lite session keys, sealing-key diversification.
+//  - PBKDF2 (RFC 8018): dm-crypt key-slot derivation; the paper configures
+//    cryptsetup with pbkdf2 at 1000 iterations, which we mirror.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace revelio::crypto {
+
+/// HKDF-Extract + HKDF-Expand with HMAC-SHA256.
+Bytes hkdf_sha256(ByteView ikm, ByteView salt, ByteView info,
+                  std::size_t length);
+
+/// PBKDF2 with HMAC-SHA256.
+Bytes pbkdf2_sha256(ByteView password, ByteView salt, std::uint32_t iterations,
+                    std::size_t length);
+
+}  // namespace revelio::crypto

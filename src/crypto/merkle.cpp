@@ -1,0 +1,153 @@
+#include "crypto/merkle.hpp"
+
+namespace revelio::crypto {
+
+namespace {
+constexpr std::uint8_t kLeafPrefix = 0x00;
+constexpr std::uint8_t kInnerPrefix = 0x01;
+}  // namespace
+
+Digest32 MerkleTree::hash_leaf(ByteView block) {
+  Sha256 h;
+  h.update(ByteView(&kLeafPrefix, 1));
+  h.update(block);
+  return h.finish();
+}
+
+Digest32 MerkleTree::hash_inner(const Digest32& left, const Digest32& right) {
+  Sha256 h;
+  h.update(ByteView(&kInnerPrefix, 1));
+  h.update(left.view());
+  h.update(right.view());
+  return h.finish();
+}
+
+MerkleTree MerkleTree::from_leaves(std::vector<Digest32> leaves) {
+  MerkleTree tree;
+  tree.leaf_count_ = leaves.size();
+  if (leaves.empty()) {
+    // Root of the empty tree: hash of the empty string with leaf prefix.
+    tree.root_ = hash_leaf({});
+    return tree;
+  }
+  tree.levels_.push_back(std::move(leaves));
+  while (tree.levels_.back().size() > 1) {
+    const auto& below = tree.levels_.back();
+    std::vector<Digest32> level;
+    level.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      // Odd node promoted by pairing with itself — keeps the tree total and
+      // the path logic uniform.
+      const Digest32& left = below[i];
+      const Digest32& right = (i + 1 < below.size()) ? below[i + 1] : below[i];
+      level.push_back(hash_inner(left, right));
+    }
+    tree.levels_.push_back(std::move(level));
+  }
+  tree.root_ = tree.levels_.back()[0];
+  return tree;
+}
+
+MerkleTree MerkleTree::from_blocks(ByteView data, std::size_t block_size) {
+  std::vector<Digest32> leaves;
+  const std::size_t count = (data.size() + block_size - 1) / block_size;
+  leaves.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t off = i * block_size;
+    const std::size_t len = std::min(block_size, data.size() - off);
+    // Short tail blocks are zero-padded to the full block size, matching the
+    // storage layer where devices are whole numbers of blocks.
+    if (len == block_size) {
+      leaves.push_back(hash_leaf(data.subspan(off, len)));
+    } else {
+      Bytes padded(block_size, 0);
+      std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(off), len,
+                  padded.begin());
+      leaves.push_back(hash_leaf(padded));
+    }
+  }
+  return from_leaves(std::move(leaves));
+}
+
+std::vector<Digest32> MerkleTree::path(std::size_t index) const {
+  std::vector<Digest32> out;
+  if (levels_.empty()) return out;
+  std::size_t i = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    out.push_back(sibling < nodes.size() ? nodes[sibling] : nodes[i]);
+    i /= 2;
+  }
+  return out;
+}
+
+bool MerkleTree::verify_path(const Digest32& leaf, std::size_t index,
+                             const std::vector<Digest32>& path,
+                             std::size_t leaf_count, const Digest32& root) {
+  if (index >= leaf_count) return false;
+  Digest32 acc = leaf;
+  std::size_t i = index;
+  for (const Digest32& sibling : path) {
+    acc = (i % 2 == 0) ? hash_inner(acc, sibling) : hash_inner(sibling, acc);
+    i /= 2;
+  }
+  return acc == root;
+}
+
+Bytes MerkleTree::serialize() const {
+  Bytes out;
+  append_u64be(out, leaf_count_);
+  append_u64be(out, levels_.size());
+  for (const auto& level : levels_) {
+    append_u64be(out, level.size());
+    for (const auto& node : level) append(out, node.view());
+  }
+  return out;
+}
+
+Result<MerkleTree> MerkleTree::deserialize(ByteView data) {
+  if (data.size() < 16) return Error::make("merkle.truncated_header");
+  MerkleTree tree;
+  tree.leaf_count_ = read_u64be(data, 0);
+  const std::uint64_t level_count = read_u64be(data, 8);
+  std::size_t off = 16;
+  for (std::uint64_t l = 0; l < level_count; ++l) {
+    if (off + 8 > data.size()) return Error::make("merkle.truncated_level");
+    const std::uint64_t node_count = read_u64be(data, off);
+    off += 8;
+    if (off + node_count * 32 > data.size()) {
+      return Error::make("merkle.truncated_nodes");
+    }
+    std::vector<Digest32> level;
+    level.reserve(node_count);
+    for (std::uint64_t i = 0; i < node_count; ++i) {
+      level.push_back(Digest32::from(data.subspan(off, 32)));
+      off += 32;
+    }
+    tree.levels_.push_back(std::move(level));
+  }
+  if (tree.levels_.empty() || tree.levels_.back().size() != 1) {
+    return Error::make("merkle.malformed", "missing root level");
+  }
+  // Recompute upward to reject tampered serializations.
+  for (std::size_t level = 0; level + 1 < tree.levels_.size(); ++level) {
+    const auto& below = tree.levels_[level];
+    const auto& above = tree.levels_[level + 1];
+    if (above.size() != (below.size() + 1) / 2) {
+      return Error::make("merkle.malformed", "bad level size");
+    }
+    for (std::size_t i = 0; i < above.size(); ++i) {
+      const Digest32& left = below[2 * i];
+      const Digest32& right =
+          (2 * i + 1 < below.size()) ? below[2 * i + 1] : below[2 * i];
+      if (!(hash_inner(left, right) == above[i])) {
+        return Error::make("merkle.inconsistent", "inner node mismatch");
+      }
+    }
+  }
+  tree.root_ = tree.levels_.back()[0];
+  return tree;
+}
+
+}  // namespace revelio::crypto

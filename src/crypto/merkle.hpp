@@ -1,0 +1,53 @@
+// Binary Merkle tree over fixed-size data blocks (SHA-256).
+//
+// This is the hash structure behind the dm-verity target: the builder hashes
+// every 4 KiB block, then hashes hash-blocks upward until a single root
+// remains. Verification recomputes one leaf and its path. Leaves and inner
+// nodes use distinct domain-separation prefixes so a leaf can never be
+// replayed as an inner node.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/sha2.hpp"
+
+namespace revelio::crypto {
+
+class MerkleTree {
+ public:
+  /// Builds the tree bottom-up from precomputed leaf digests.
+  static MerkleTree from_leaves(std::vector<Digest32> leaves);
+
+  /// Convenience: hash each block with the leaf prefix, then build.
+  static MerkleTree from_blocks(ByteView data, std::size_t block_size);
+
+  const Digest32& root() const { return root_; }
+  std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Authentication path for leaf `index` (sibling hashes, bottom-up).
+  std::vector<Digest32> path(std::size_t index) const;
+
+  /// Verifies that `leaf` is leaf number `index` of a tree with `root`.
+  static bool verify_path(const Digest32& leaf, std::size_t index,
+                          const std::vector<Digest32>& path,
+                          std::size_t leaf_count, const Digest32& root);
+
+  /// Domain-separated hashes.
+  static Digest32 hash_leaf(ByteView block);
+  static Digest32 hash_inner(const Digest32& left, const Digest32& right);
+
+  /// Serialized level-by-level representation (the "hash device" contents
+  /// dm-verity stores next to the data device).
+  Bytes serialize() const;
+  static Result<MerkleTree> deserialize(ByteView data);
+
+ private:
+  // levels_[0] = leaves; last level has a single node (the root).
+  std::vector<std::vector<Digest32>> levels_;
+  Digest32 root_;
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace revelio::crypto

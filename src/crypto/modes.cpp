@@ -1,0 +1,138 @@
+#include "crypto/modes.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+
+namespace revelio::crypto {
+
+namespace {
+
+/// Multiplies a 128-bit GF(2^128) element (little-endian byte order, as in
+/// XTS) by the primitive element alpha (x).
+void gf128_mul_alpha(std::uint8_t t[16]) {
+  std::uint8_t carry = 0;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint8_t next_carry = static_cast<std::uint8_t>(t[i] >> 7);
+    t[i] = static_cast<std::uint8_t>((t[i] << 1) | carry);
+    carry = next_carry;
+  }
+  if (carry) t[0] ^= 0x87;
+}
+
+}  // namespace
+
+AesXts::AesXts(ByteView key)
+    : data_cipher_(key.subspan(0, key.size() / 2)),
+      tweak_cipher_(key.subspan(key.size() / 2)) {
+  assert(key.size() == 32 || key.size() == 64);
+}
+
+void AesXts::process_sector(std::uint64_t sector,
+                            std::span<std::uint8_t> data,
+                            bool encrypt) const {
+  assert(!data.empty() && data.size() % 16 == 0);
+  // plain64 tweak: little-endian sector number in the first 8 bytes.
+  std::uint8_t tweak[16] = {};
+  for (int i = 0; i < 8; ++i) {
+    tweak[i] = static_cast<std::uint8_t>(sector >> (8 * i));
+  }
+  std::uint8_t t[16];
+  tweak_cipher_.encrypt_block(tweak, t);
+
+  for (std::size_t off = 0; off < data.size(); off += 16) {
+    std::uint8_t block[16];
+    for (int i = 0; i < 16; ++i) block[i] = data[off + i] ^ t[i];
+    std::uint8_t out[16];
+    if (encrypt) {
+      data_cipher_.encrypt_block(block, out);
+    } else {
+      data_cipher_.decrypt_block(block, out);
+    }
+    for (int i = 0; i < 16; ++i) data[off + i] = out[i] ^ t[i];
+    gf128_mul_alpha(t);
+  }
+}
+
+void AesXts::encrypt_sector(std::uint64_t sector,
+                            std::span<std::uint8_t> data) const {
+  process_sector(sector, data, true);
+}
+
+void AesXts::decrypt_sector(std::uint64_t sector,
+                            std::span<std::uint8_t> data) const {
+  process_sector(sector, data, false);
+}
+
+void aes_ctr_xor(const Aes& cipher, const FixedBytes<16>& iv,
+                 std::span<std::uint8_t> data) {
+  std::uint8_t counter[16];
+  std::memcpy(counter, iv.data.data(), 16);
+  std::uint8_t keystream[16];
+  std::size_t off = 0;
+  while (off < data.size()) {
+    cipher.encrypt_block(counter, keystream);
+    const std::size_t take = std::min<std::size_t>(16, data.size() - off);
+    for (std::size_t i = 0; i < take; ++i) data[off + i] ^= keystream[i];
+    off += take;
+    // Increment the big-endian counter.
+    for (int i = 15; i >= 0; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+}
+
+AeadCtrHmac::AeadCtrHmac(ByteView key) {
+  assert(key.size() == kKeySize);
+  enc_key_ = to_bytes(key.subspan(0, 32));
+  mac_key_ = to_bytes(key.subspan(32, 32));
+}
+
+Bytes AeadCtrHmac::seal(ByteView nonce, ByteView aad,
+                        ByteView plaintext) const {
+  assert(nonce.size() == kNonceSize);
+  Bytes ct = to_bytes(plaintext);
+  const Aes cipher(enc_key_);
+  aes_ctr_xor(cipher, FixedBytes<16>::from(nonce), ct);
+
+  HmacSha256 mac(mac_key_);
+  mac.update(nonce);
+  Bytes aad_len;
+  append_u64be(aad_len, aad.size());
+  mac.update(aad_len);
+  mac.update(aad);
+  mac.update(ct);
+  const Digest32 tag = mac.finish();
+
+  Bytes out = concat(nonce, ct, tag.view());
+  return out;
+}
+
+Result<Bytes> AeadCtrHmac::open(ByteView aad, ByteView sealed) const {
+  if (sealed.size() < kOverhead) {
+    return Error::make("aead.truncated", "sealed blob shorter than overhead");
+  }
+  const ByteView nonce = sealed.subspan(0, kNonceSize);
+  const ByteView ct = sealed.subspan(kNonceSize, sealed.size() - kOverhead);
+  const ByteView tag = sealed.subspan(sealed.size() - kTagSize);
+
+  HmacSha256 mac(mac_key_);
+  mac.update(nonce);
+  Bytes aad_len;
+  append_u64be(aad_len, aad.size());
+  mac.update(aad_len);
+  mac.update(aad);
+  mac.update(ct);
+  const Digest32 expect = mac.finish();
+  if (!ct_equal(expect.view(), tag)) {
+    return Error::make("aead.bad_tag", "authentication tag mismatch");
+  }
+
+  Bytes pt = to_bytes(ct);
+  const Aes cipher(enc_key_);
+  aes_ctr_xor(cipher, FixedBytes<16>::from(nonce), pt);
+  return pt;
+}
+
+}  // namespace revelio::crypto

@@ -1,0 +1,59 @@
+// Boundary node: HTTP <-> IC protocol translation proxy (§4.2).
+//
+// Translates ordinary web requests into canister calls and wraps certified
+// responses back into HTTP. It also serves the verifying service worker.
+// A boundary node sits outside the IC's Byzantine fault tolerance — a
+// malicious one can tamper with responses or hand out a doctored service
+// worker, which is exactly why the paper runs it inside a Revelio VM. The
+// tamper knobs here let tests and benches demonstrate both the attack and
+// the two defences (client-side certificate verification, Revelio
+// attestation of the BN itself).
+#pragma once
+
+#include "ic/subnet.hpp"
+#include "net/http.hpp"
+
+namespace revelio::ic {
+
+/// Misbehaviours of a compromised boundary node.
+enum class BnTamperMode {
+  kHonest,
+  kTamperResponses,     // flip bytes in canister replies
+  kStripCertificates,   // drop the certificate so clients cannot verify
+  kServeDoctoredWorker, // hand out a service worker that skips verification
+};
+
+class BoundaryNode {
+ public:
+  explicit BoundaryNode(Subnet& subnet)
+      : subnet_(&subnet) {}
+
+  void set_tamper_mode(BnTamperMode mode) { tamper_ = mode; }
+
+  /// The HTTP entry point.
+  ///   GET  /sw.js                              -> verifying service worker
+  ///   GET  /api/{canister}/query/{method}      -> certified query
+  ///   POST /api/{canister}/update/{method}     -> certified update
+  ///   GET  /assets/{canister}{path}            -> asset canister content
+  /// API responses carry the serialized certificate in the
+  /// "ic-certificate" header (hex) unless the BN strips it.
+  net::HttpResponse handle(const net::HttpRequest& request);
+
+  /// Reference service worker body — what an *honest* BN serves. Clients
+  /// (and Revelio's measurement of the BN image) pin this content.
+  static Bytes reference_service_worker();
+
+ private:
+  net::HttpResponse certified_to_http(Result<CertifiedResponse> result);
+
+  Subnet* subnet_;
+  BnTamperMode tamper_ = BnTamperMode::kHonest;
+};
+
+/// Client-side verification logic the service worker embeds: checks the
+/// certificate on an HTTP response from a boundary node.
+Status verify_bn_response(const net::HttpResponse& response,
+                          const std::map<ReplicaId, Bytes>& subnet_keys,
+                          std::uint32_t threshold);
+
+}  // namespace revelio::ic

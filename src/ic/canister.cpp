@@ -1,0 +1,156 @@
+#include "ic/canister.hpp"
+
+namespace revelio::ic {
+
+namespace {
+
+/// Splits "key\0value" style args: first NUL separates the two fields.
+std::pair<std::string, ByteView> split_arg(ByteView arg) {
+  for (std::size_t i = 0; i < arg.size(); ++i) {
+    if (arg[i] == 0) {
+      return {to_string(arg.subspan(0, i)), arg.subspan(i + 1)};
+    }
+  }
+  return {to_string(arg), ByteView{}};
+}
+
+void hash_string(crypto::Sha256& h, const std::string& s) {
+  Bytes len;
+  append_u32be(len, static_cast<std::uint32_t>(s.size()));
+  h.update(len);
+  h.update(to_bytes(s));
+}
+
+void hash_bytes(crypto::Sha256& h, ByteView b) {
+  Bytes len;
+  append_u64be(len, b.size());
+  h.update(len);
+  h.update(b);
+}
+
+}  // namespace
+
+Result<Bytes> KeyValueCanister::update(const std::string& method,
+                                       ByteView arg) {
+  if (method == "set") {
+    auto [key, value] = split_arg(arg);
+    if (key.empty()) return Error::make("canister.bad_arg", "empty key");
+    entries_[key] = to_bytes(value);
+    return to_bytes(std::string_view("ok"));
+  }
+  if (method == "delete") {
+    auto [key, rest] = split_arg(arg);
+    entries_.erase(key);
+    return to_bytes(std::string_view("ok"));
+  }
+  return Error::make("canister.no_such_method", method);
+}
+
+Result<Bytes> KeyValueCanister::query(const std::string& method,
+                                      ByteView arg) const {
+  if (method == "get") {
+    auto [key, rest] = split_arg(arg);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return Error::make("canister.not_found", key);
+    return it->second;
+  }
+  if (method == "len") {
+    Bytes out;
+    append_u64be(out, entries_.size());
+    return out;
+  }
+  return Error::make("canister.no_such_method", method);
+}
+
+crypto::Digest32 KeyValueCanister::state_hash() const {
+  crypto::Sha256 h;
+  h.update(to_bytes(std::string_view("kv-canister")));
+  for (const auto& [key, value] : entries_) {
+    hash_string(h, key);
+    hash_bytes(h, value);
+  }
+  return h.finish();
+}
+
+Result<Bytes> CounterCanister::update(const std::string& method,
+                                      ByteView arg) {
+  if (method == "increment") {
+    ++value_;
+  } else if (method == "add") {
+    if (arg.size() != 8) return Error::make("canister.bad_arg", "want u64");
+    value_ += read_u64be(arg, 0);
+  } else {
+    return Error::make("canister.no_such_method", method);
+  }
+  Bytes out;
+  append_u64be(out, value_);
+  return out;
+}
+
+Result<Bytes> CounterCanister::query(const std::string& method,
+                                     ByteView) const {
+  if (method != "get") return Error::make("canister.no_such_method", method);
+  Bytes out;
+  append_u64be(out, value_);
+  return out;
+}
+
+crypto::Digest32 CounterCanister::state_hash() const {
+  crypto::Sha256 h;
+  h.update(to_bytes(std::string_view("counter-canister")));
+  Bytes v;
+  append_u64be(v, value_);
+  h.update(v);
+  return h.finish();
+}
+
+void AssetCanister::deploy_asset(const std::string& path, Bytes content,
+                                 std::string content_type) {
+  assets_[path] = Asset{std::move(content), std::move(content_type)};
+}
+
+Result<Bytes> AssetCanister::update(const std::string& method, ByteView arg) {
+  if (method == "store") {
+    auto [path, content] = split_arg(arg);
+    if (path.empty()) return Error::make("canister.bad_arg", "empty path");
+    assets_[path] = Asset{to_bytes(content), "application/octet-stream"};
+    return to_bytes(std::string_view("ok"));
+  }
+  return Error::make("canister.no_such_method", method);
+}
+
+Result<Bytes> AssetCanister::query(const std::string& method,
+                                   ByteView arg) const {
+  if (method == "http_request") {
+    const auto [path, rest] = split_arg(arg);
+    const auto it = assets_.find(path);
+    if (it == assets_.end()) return Error::make("canister.not_found", path);
+    // content_type \0 body
+    Bytes out = to_bytes(it->second.content_type);
+    out.push_back(0);
+    append(out, it->second.content);
+    return out;
+  }
+  if (method == "list") {
+    Bytes out;
+    for (const auto& [path, asset] : assets_) {
+      append(out, path);
+      out.push_back('\n');
+    }
+    return out;
+  }
+  return Error::make("canister.no_such_method", method);
+}
+
+crypto::Digest32 AssetCanister::state_hash() const {
+  crypto::Sha256 h;
+  h.update(to_bytes(std::string_view("asset-canister")));
+  for (const auto& [path, asset] : assets_) {
+    hash_string(h, path);
+    hash_string(h, asset.content_type);
+    hash_bytes(h, asset.content);
+  }
+  return h.finish();
+}
+
+}  // namespace revelio::ic

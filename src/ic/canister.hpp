@@ -1,0 +1,89 @@
+// Canisters: the IC's smart contracts as deterministic state machines.
+//
+// A canister exposes update calls (go through consensus, mutate state) and
+// query calls (read-only). Replicas each hold an instance and must arrive
+// at identical state — the determinism the certification scheme hinges on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/sha2.hpp"
+
+namespace revelio::ic {
+
+using CanisterId = std::string;
+
+class Canister {
+ public:
+  virtual ~Canister() = default;
+
+  /// Mutating call; must be deterministic in (state, method, arg).
+  virtual Result<Bytes> update(const std::string& method, ByteView arg) = 0;
+
+  /// Read-only call.
+  virtual Result<Bytes> query(const std::string& method,
+                              ByteView arg) const = 0;
+
+  /// Canonical digest of the full canister state.
+  virtual crypto::Digest32 state_hash() const = 0;
+
+  /// Deep copy (each replica holds its own instance).
+  virtual std::unique_ptr<Canister> clone() const = 0;
+};
+
+/// Key-value store canister: set/get/delete/len.
+class KeyValueCanister final : public Canister {
+ public:
+  Result<Bytes> update(const std::string& method, ByteView arg) override;
+  Result<Bytes> query(const std::string& method, ByteView arg) const override;
+  crypto::Digest32 state_hash() const override;
+  std::unique_ptr<Canister> clone() const override {
+    return std::make_unique<KeyValueCanister>(*this);
+  }
+
+ private:
+  std::map<std::string, Bytes> entries_;
+};
+
+/// Counter canister: increment/add/get — the classic demo contract.
+class CounterCanister final : public Canister {
+ public:
+  Result<Bytes> update(const std::string& method, ByteView arg) override;
+  Result<Bytes> query(const std::string& method, ByteView arg) const override;
+  crypto::Digest32 state_hash() const override;
+  std::unique_ptr<Canister> clone() const override {
+    return std::make_unique<CounterCanister>(*this);
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Asset canister: serves immutable web assets (the dapp frontends and the
+/// verifying service worker come from one of these).
+class AssetCanister final : public Canister {
+ public:
+  /// Pre-loads an asset at deployment time (before replication starts).
+  void deploy_asset(const std::string& path, Bytes content,
+                    std::string content_type = "text/plain");
+
+  Result<Bytes> update(const std::string& method, ByteView arg) override;
+  Result<Bytes> query(const std::string& method, ByteView arg) const override;
+  crypto::Digest32 state_hash() const override;
+  std::unique_ptr<Canister> clone() const override {
+    return std::make_unique<AssetCanister>(*this);
+  }
+
+ private:
+  struct Asset {
+    Bytes content;
+    std::string content_type;
+  };
+  std::map<std::string, Asset> assets_;
+};
+
+}  // namespace revelio::ic

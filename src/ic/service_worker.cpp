@@ -1,0 +1,30 @@
+#include "ic/service_worker.hpp"
+
+namespace revelio::ic {
+
+crypto::Digest32 ServiceWorkerClient::reference_digest() {
+  return crypto::sha256(BoundaryNode::reference_service_worker());
+}
+
+Result<ServiceWorkerClient> ServiceWorkerClient::install(
+    ByteView worker_body, const crypto::Digest32& pinned_digest,
+    std::map<ReplicaId, Bytes> subnet_keys, std::uint32_t threshold) {
+  if (!(crypto::sha256(worker_body) == pinned_digest)) {
+    return Error::make("sw.digest_mismatch",
+                       "served worker does not match the pinned digest");
+  }
+  return ServiceWorkerClient(std::move(subnet_keys), threshold);
+}
+
+Result<net::HttpResponse> ServiceWorkerClient::process(
+    net::HttpResponse response) {
+  const auto st = verify_bn_response(response, subnet_keys_, threshold_);
+  if (!st.ok()) {
+    ++rejected_;
+    return Error::make("sw.verification_failed", st.error().to_string());
+  }
+  ++verified_;
+  return response;
+}
+
+}  // namespace revelio::ic

@@ -1,0 +1,45 @@
+// Client-side verifying service worker (§4.2).
+//
+// On first contact a boundary node hands the browser a service worker;
+// once active, the worker transforms requests into IC calls and — the
+// security-relevant part — verifies the threshold certificate on every
+// response, so even a fully malicious BN cannot alter canister data
+// undetected. Installation itself is the bootstrapping gap ("an initial
+// untampered contact"): the worker body must match a pinned digest, which
+// in the paper is exactly what Revelio's measured BN image guarantees.
+#pragma once
+
+#include "ic/boundary_node.hpp"
+
+namespace revelio::ic {
+
+class ServiceWorkerClient {
+ public:
+  /// Installs a worker delivered by a BN. Fails if the body does not match
+  /// the pinned digest (a doctored worker with verification disabled).
+  static Result<ServiceWorkerClient> install(
+      ByteView worker_body, const crypto::Digest32& pinned_digest,
+      std::map<ReplicaId, Bytes> subnet_keys, std::uint32_t threshold);
+
+  /// The digest of the reference worker (what an auditor would pin).
+  static crypto::Digest32 reference_digest();
+
+  /// Processes a BN response the way the active worker does: verifies the
+  /// certificate and passes the response through, or blocks it.
+  Result<net::HttpResponse> process(net::HttpResponse response);
+
+  std::uint64_t verified_count() const { return verified_; }
+  std::uint64_t rejected_count() const { return rejected_; }
+
+ private:
+  ServiceWorkerClient(std::map<ReplicaId, Bytes> subnet_keys,
+                      std::uint32_t threshold)
+      : subnet_keys_(std::move(subnet_keys)), threshold_(threshold) {}
+
+  std::map<ReplicaId, Bytes> subnet_keys_;
+  std::uint32_t threshold_;
+  std::uint64_t verified_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace revelio::ic

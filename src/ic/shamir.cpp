@@ -1,0 +1,85 @@
+#include "ic/shamir.hpp"
+
+namespace revelio::ic {
+
+namespace {
+
+const crypto::MontCtx& field() { return crypto::p256().scalar_field(); }
+
+/// Evaluates the polynomial (coefficients in plain domain) at x via Horner.
+crypto::U384 eval_poly(const std::vector<crypto::U384>& coeffs,
+                       std::uint32_t x) {
+  const auto& fn = field();
+  const crypto::U384 x_mont = fn.to_mont(crypto::U384::from_u64(x));
+  crypto::U384 acc = fn.to_mont(crypto::U384::zero());
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = fn.mul(acc, x_mont);
+    acc = fn.add(acc, fn.to_mont(coeffs[i]));
+  }
+  return fn.from_mont(acc);
+}
+
+}  // namespace
+
+Result<std::vector<SecretShare>> shamir_split(const crypto::U384& secret,
+                                              std::uint32_t threshold,
+                                              std::uint32_t share_count,
+                                              crypto::HmacDrbg& drbg) {
+  if (threshold == 0 || threshold > share_count) {
+    return Error::make("shamir.bad_threshold");
+  }
+  if (secret.cmp(crypto::p256().params().n) >= 0) {
+    return Error::make("shamir.secret_out_of_range");
+  }
+  // Polynomial of degree threshold-1 with the secret as constant term.
+  std::vector<crypto::U384> coeffs;
+  coeffs.push_back(secret);
+  for (std::uint32_t i = 1; i < threshold; ++i) {
+    // Rejection-sample a uniform coefficient below n.
+    while (true) {
+      const crypto::U384 c = crypto::U384::from_bytes_be(drbg.generate(32));
+      if (c.cmp(crypto::p256().params().n) < 0) {
+        coeffs.push_back(c);
+        break;
+      }
+    }
+  }
+  std::vector<SecretShare> shares;
+  shares.reserve(share_count);
+  for (std::uint32_t i = 1; i <= share_count; ++i) {
+    shares.push_back(SecretShare{i, eval_poly(coeffs, i)});
+  }
+  return shares;
+}
+
+Result<crypto::U384> shamir_recover(const std::vector<SecretShare>& shares) {
+  if (shares.empty()) return Error::make("shamir.no_shares");
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (shares[i].index == 0) return Error::make("shamir.bad_index");
+    for (std::size_t j = i + 1; j < shares.size(); ++j) {
+      if (shares[i].index == shares[j].index) {
+        return Error::make("shamir.duplicate_index");
+      }
+    }
+  }
+  const auto& fn = field();
+  crypto::U384 acc = fn.to_mont(crypto::U384::zero());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    // Lagrange basis at x=0: prod_{j!=i} x_j / (x_j - x_i).
+    crypto::U384 num = fn.one();
+    crypto::U384 den = fn.one();
+    const crypto::U384 xi = fn.to_mont(crypto::U384::from_u64(shares[i].index));
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      const crypto::U384 xj =
+          fn.to_mont(crypto::U384::from_u64(shares[j].index));
+      num = fn.mul(num, xj);
+      den = fn.mul(den, fn.sub(xj, xi));
+    }
+    const crypto::U384 basis = fn.mul(num, fn.inv(den));
+    acc = fn.add(acc, fn.mul(fn.to_mont(shares[i].value), basis));
+  }
+  return fn.from_mont(acc);
+}
+
+}  // namespace revelio::ic

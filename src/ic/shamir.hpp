@@ -1,0 +1,35 @@
+// Shamir secret sharing over the P-256 scalar field.
+//
+// Used by the mini-IC for subnet key dealing: a dealer splits the subnet
+// signing key into n shares with threshold t; any t shares reconstruct,
+// any t-1 reveal nothing. (The full IC uses non-interactive DKG; dealing
+// is the classical substrate underneath.)
+#pragma once
+
+#include <vector>
+
+#include "common/result.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ec.hpp"
+
+namespace revelio::ic {
+
+struct SecretShare {
+  std::uint32_t index = 0;  // x-coordinate (1-based; 0 is the secret)
+  crypto::U384 value;
+};
+
+/// Splits `secret` (a scalar mod n of P-256) into `share_count` shares,
+/// any `threshold` of which reconstruct it.
+Result<std::vector<SecretShare>> shamir_split(const crypto::U384& secret,
+                                              std::uint32_t threshold,
+                                              std::uint32_t share_count,
+                                              crypto::HmacDrbg& drbg);
+
+/// Reconstructs the secret from >= threshold distinct shares via Lagrange
+/// interpolation at x=0. The caller is responsible for supplying enough
+/// shares; inconsistent/fewer shares yield a wrong (not detected) secret,
+/// as in the classical scheme.
+Result<crypto::U384> shamir_recover(const std::vector<SecretShare>& shares);
+
+}  // namespace revelio::ic

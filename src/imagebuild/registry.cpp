@@ -1,0 +1,61 @@
+#include "imagebuild/registry.hpp"
+
+namespace revelio::imagebuild {
+
+crypto::Digest32 BaseImage::digest() const {
+  crypto::Sha256 h;
+  h.update(to_bytes(std::string_view("base-image-v1")));
+  auto update_string = [&h](const std::string& s) {
+    Bytes len;
+    append_u32be(len, static_cast<std::uint32_t>(s.size()));
+    h.update(len);
+    h.update(to_bytes(s));
+  };
+  update_string(name);
+  update_string(tag);
+  Bytes count;
+  append_u32be(count, static_cast<std::uint32_t>(packages.size()));
+  h.update(count);
+  for (const auto& pkg : packages) {
+    update_string(pkg.name);
+    update_string(pkg.version);
+    Bytes file_count;
+    append_u32be(file_count, static_cast<std::uint32_t>(pkg.files.size()));
+    h.update(file_count);
+    for (const auto& [path, content] : pkg.files) {  // map => sorted
+      update_string(path);
+      Bytes len;
+      append_u64be(len, content.size());
+      h.update(len);
+      h.update(content);
+    }
+  }
+  return h.finish();
+}
+
+crypto::Digest32 PackageRegistry::publish(BaseImage image) {
+  const crypto::Digest32 digest = image.digest();
+  tags_[{image.name, image.tag}] = digest;
+  by_digest_[digest.bytes()] = std::move(image);
+  return digest;
+}
+
+Result<BaseImage> PackageRegistry::pull_by_tag(const std::string& name,
+                                               const std::string& tag) const {
+  const auto it = tags_.find({name, tag});
+  if (it == tags_.end()) {
+    return Error::make("registry.unknown_tag", name + ":" + tag);
+  }
+  return by_digest_.at(it->second.bytes());
+}
+
+Result<BaseImage> PackageRegistry::pull_by_digest(
+    const crypto::Digest32& digest) const {
+  const auto it = by_digest_.find(digest.bytes());
+  if (it == by_digest_.end()) {
+    return Error::make("registry.unknown_digest");
+  }
+  return it->second;
+}
+
+}  // namespace revelio::imagebuild

@@ -1,0 +1,55 @@
+// Package / base-image registry (docker-registry stand-in).
+//
+// The paper's build avoids `apt-get`-style drift by pulling a published,
+// integrity-protected base image with the software dependencies baked in
+// (§5.1.1). The registry supports both pull-by-tag (mutable — the upstream
+// may republish) and pull-by-digest (content-addressed, reproducible); the
+// tests show only the latter yields bit-identical rebuilds after upstream
+// drift.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/sha2.hpp"
+
+namespace revelio::imagebuild {
+
+struct Package {
+  std::string name;
+  std::string version;
+  std::map<std::string, Bytes> files;  // path -> content
+
+  friend bool operator==(const Package&, const Package&) = default;
+};
+
+struct BaseImage {
+  std::string name;
+  std::string tag;
+  std::vector<Package> packages;
+
+  /// Content digest over canonical serialization; the pull-by-digest key.
+  crypto::Digest32 digest() const;
+};
+
+class PackageRegistry {
+ public:
+  /// Publishes (or republishes) `name:tag`; returns the content digest.
+  crypto::Digest32 publish(BaseImage image);
+
+  /// Mutable lookup: returns whatever `name:tag` currently points at.
+  Result<BaseImage> pull_by_tag(const std::string& name,
+                                const std::string& tag) const;
+
+  /// Content-addressed lookup: immutable.
+  Result<BaseImage> pull_by_digest(const crypto::Digest32& digest) const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, crypto::Digest32> tags_;
+  std::map<Bytes, BaseImage> by_digest_;  // keyed by digest bytes
+};
+
+}  // namespace revelio::imagebuild

@@ -1,0 +1,58 @@
+// HTTP-lite: the request/response vocabulary of the web-facing services.
+//
+// Carries the semantics Revelio needs — methods, paths, headers, bodies,
+// status codes — over a compact binary framing (we are simulating the
+// protocol stack, not parsing RFC 7230 text).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace revelio::net {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::string host;  // Host header equivalent
+  std::map<std::string, std::string> headers;
+  Bytes body;
+
+  Bytes serialize() const;
+  static Result<HttpRequest> parse(ByteView data);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  Bytes body;
+
+  Bytes serialize() const;
+  static Result<HttpResponse> parse(ByteView data);
+
+  static HttpResponse ok(Bytes body,
+                         const std::string& content_type = "text/plain");
+  static HttpResponse not_found();
+  static HttpResponse error(int status, const std::string& message);
+};
+
+/// Route table mapping (method, path) to handlers; exact paths first, then
+/// longest prefix routes registered with a trailing '*'.
+class HttpRouter {
+ public:
+  using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+  void route(const std::string& method, const std::string& path,
+             HttpHandler handler);
+
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, HttpHandler> exact_;
+  std::map<std::pair<std::string, std::string>, HttpHandler> prefix_;
+};
+
+}  // namespace revelio::net

@@ -1,0 +1,93 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace revelio::net {
+
+void Network::listen(const Address& addr, Handler handler) {
+  handlers_[addr] = std::move(handler);
+}
+
+void Network::close(const Address& addr) { handlers_.erase(addr); }
+
+bool Network::is_listening(const Address& addr) const {
+  return handlers_.count(addr) > 0;
+}
+
+void Network::set_link_latency_ms(const std::string& a, const std::string& b,
+                                  double ms) {
+  link_latency_ms_[{std::min(a, b), std::max(a, b)}] = ms;
+}
+
+double Network::latency_between(const std::string& a,
+                                const std::string& b) const {
+  if (a == b) return 0.05;  // loopback
+  const auto it = link_latency_ms_.find({std::min(a, b), std::max(a, b)});
+  return it == link_latency_ms_.end() ? default_latency_ms_ : it->second;
+}
+
+Result<Bytes> Network::call(const Address& from, const Address& to,
+                            ByteView request) {
+  Address target = to;
+  Bytes tampered;
+  ByteView payload = request;
+
+  if (interceptor_) {
+    MitmAction action = interceptor_(from, to, request);
+    switch (action.kind) {
+      case MitmAction::Kind::kForward:
+        break;
+      case MitmAction::Kind::kDrop:
+        // The caller observes a timeout; charge it.
+        clock_->advance_ms(1000.0);
+        return Error::make("net.timeout", "request dropped in transit");
+      case MitmAction::Kind::kTamper:
+        tampered = std::move(action.tampered_request);
+        payload = tampered;
+        break;
+      case MitmAction::Kind::kRedirect:
+        target = action.redirect_to;
+        break;
+    }
+  }
+
+  const auto it = handlers_.find(target);
+  if (it == handlers_.end()) {
+    clock_->advance_ms(latency_between(from.host, target.host));
+    return Error::make("net.connection_refused", target.to_string());
+  }
+  // One round trip.
+  clock_->advance_ms(2.0 * latency_between(from.host, target.host));
+  ++messages_delivered_;
+  return it->second(payload, from);
+}
+
+void Network::dns_set_a(const std::string& name, const std::string& host) {
+  dns_a_[name] = host;
+}
+
+void Network::dns_remove_a(const std::string& name) { dns_a_.erase(name); }
+
+void Network::dns_set_txt(const std::string& name, const std::string& value) {
+  dns_txt_[name].push_back(value);
+}
+
+void Network::dns_clear_txt(const std::string& name) {
+  dns_txt_.erase(name);
+}
+
+std::vector<std::string> Network::dns_txt(const std::string& name) const {
+  const auto it = dns_txt_.find(name);
+  return it == dns_txt_.end() ? std::vector<std::string>{} : it->second;
+}
+
+Result<Address> Network::resolve(const std::string& name,
+                                 std::uint16_t port) const {
+  const auto it = dns_a_.find(name);
+  if (it == dns_a_.end()) {
+    return Error::make("net.nxdomain", name);
+  }
+  return Address{it->second, port};
+}
+
+}  // namespace revelio::net

@@ -1,0 +1,111 @@
+// Simulated network fabric.
+//
+// A synchronous request/response network: endpoints register handlers at
+// (host, port) addresses, calls charge round-trip latency to the simulated
+// clock, and an attacker hook can observe, drop, tamper with or redirect
+// any message — the man-in-the-middle capabilities the paper's threat
+// model grants the cloud provider (§3.2). DNS lives here too, under the
+// *service provider's* control (§5.3.2: "they control access to DNS").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/sim_clock.hpp"
+
+namespace revelio::net {
+
+struct Address {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+  friend auto operator<=>(const Address&, const Address&) = default;
+};
+
+/// Attacker's decision for one in-flight message.
+struct MitmAction {
+  enum class Kind { kForward, kDrop, kTamper, kRedirect };
+  Kind kind = Kind::kForward;
+  Bytes tampered_request;  // for kTamper
+  Address redirect_to;     // for kRedirect
+
+  static MitmAction forward() { return {}; }
+  static MitmAction drop() { return {Kind::kDrop, {}, {}}; }
+  static MitmAction tamper(Bytes request) {
+    return {Kind::kTamper, std::move(request), {}};
+  }
+  static MitmAction redirect(Address to) {
+    return {Kind::kRedirect, {}, std::move(to)};
+  }
+};
+
+class Network {
+ public:
+  using Handler = std::function<Bytes(ByteView request, const Address& from)>;
+  using Interceptor = std::function<MitmAction(
+      const Address& from, const Address& to, ByteView request)>;
+
+  explicit Network(SimClock& clock) : clock_(&clock) {}
+
+  SimClock& clock() { return *clock_; }
+
+  // --- Topology --------------------------------------------------------
+
+  void listen(const Address& addr, Handler handler);
+  void close(const Address& addr);
+  bool is_listening(const Address& addr) const;
+
+  /// Default one-way latency between any two distinct hosts (ms).
+  void set_default_latency_ms(double ms) { default_latency_ms_ = ms; }
+  /// Overrides the one-way latency between two hosts (symmetric).
+  void set_link_latency_ms(const std::string& a, const std::string& b,
+                           double ms);
+
+  // --- Data plane ------------------------------------------------------
+
+  /// Synchronous RPC: delivers `request` to the handler at `to`, returns
+  /// its response. Charges one round trip of latency.
+  Result<Bytes> call(const Address& from, const Address& to,
+                     ByteView request);
+
+  /// Installs/clears the attacker. The interceptor sees every message.
+  void set_interceptor(Interceptor interceptor) {
+    interceptor_ = std::move(interceptor);
+  }
+  void clear_interceptor() { interceptor_ = nullptr; }
+
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+
+  // --- DNS (service-provider controlled) --------------------------------
+
+  void dns_set_a(const std::string& name, const std::string& host);
+  void dns_remove_a(const std::string& name);
+  void dns_set_txt(const std::string& name, const std::string& value);
+  void dns_clear_txt(const std::string& name);
+  std::vector<std::string> dns_txt(const std::string& name) const;
+
+  /// Resolves a DNS name to a concrete address.
+  Result<Address> resolve(const std::string& name, std::uint16_t port) const;
+
+ private:
+  double latency_between(const std::string& a, const std::string& b) const;
+
+  SimClock* clock_;
+  double default_latency_ms_ = 2.6;  // paper's base RTT is 5.2 ms
+  std::map<std::pair<std::string, std::string>, double> link_latency_ms_;
+  std::map<Address, Handler> handlers_;
+  Interceptor interceptor_;
+  std::map<std::string, std::string> dns_a_;
+  std::map<std::string, std::vector<std::string>> dns_txt_;
+  std::uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace revelio::net

@@ -1,0 +1,73 @@
+#include "pki/ca.hpp"
+
+namespace revelio::pki {
+
+CertificateAuthority::CertificateAuthority(const crypto::Curve& curve,
+                                           crypto::EcKeyPair key)
+    : curve_(&curve), key_(std::move(key)) {}
+
+CertificateAuthority CertificateAuthority::create_root(
+    const crypto::Curve& curve, DistinguishedName name,
+    std::uint64_t not_before_us, std::uint64_t not_after_us,
+    crypto::HmacDrbg& drbg) {
+  CertificateAuthority ca(curve, crypto::ec_generate(curve, drbg));
+  Certificate cert;
+  cert.serial = 0;
+  cert.subject = name;
+  cert.issuer = name;
+  cert.not_before_us = not_before_us;
+  cert.not_after_us = not_after_us;
+  cert.curve_name = curve.params().name;
+  cert.public_key = ca.key_.public_encoded(curve);
+  cert.is_ca = true;
+  cert.sig_curve_name = curve.params().name;
+  const auto hash = crypto::sha384(cert.tbs());
+  cert.signature =
+      crypto::ecdsa_sign(curve, ca.key_.d, hash.view()).encode(curve);
+  ca.cert_ = std::move(cert);
+  return ca;
+}
+
+CertificateAuthority CertificateAuthority::create_intermediate(
+    const crypto::Curve& curve, DistinguishedName name,
+    std::uint64_t not_before_us, std::uint64_t not_after_us,
+    CertificateAuthority& parent, crypto::HmacDrbg& drbg) {
+  CertificateAuthority ca(curve, crypto::ec_generate(curve, drbg));
+  ca.cert_ = parent.issue_for_key(curve.params().name,
+                                  ca.key_.public_encoded(curve), name, {},
+                                  not_before_us, not_after_us, /*is_ca=*/true);
+  return ca;
+}
+
+Result<Certificate> CertificateAuthority::issue(
+    const CertificateSigningRequest& csr, std::uint64_t not_before_us,
+    std::uint64_t not_after_us, bool is_ca) {
+  if (!csr.verify()) {
+    return Error::make("ca.bad_csr", "CSR self-signature invalid");
+  }
+  return issue_for_key(csr.curve_name, csr.public_key, csr.subject,
+                       csr.san_dns, not_before_us, not_after_us, is_ca);
+}
+
+Certificate CertificateAuthority::issue_for_key(
+    const std::string& curve_name, ByteView public_key,
+    DistinguishedName subject, std::vector<std::string> san_dns,
+    std::uint64_t not_before_us, std::uint64_t not_after_us, bool is_ca) {
+  Certificate cert;
+  cert.serial = next_serial_++;
+  cert.subject = std::move(subject);
+  cert.issuer = cert_.subject;
+  cert.not_before_us = not_before_us;
+  cert.not_after_us = not_after_us;
+  cert.curve_name = curve_name;
+  cert.public_key = to_bytes(public_key);
+  cert.san_dns = std::move(san_dns);
+  cert.is_ca = is_ca;
+  cert.sig_curve_name = curve_->params().name;
+  const auto hash = crypto::sha384(cert.tbs());
+  cert.signature =
+      crypto::ecdsa_sign(*curve_, key_.d, hash.view()).encode(*curve_);
+  return cert;
+}
+
+}  // namespace revelio::pki

@@ -1,0 +1,57 @@
+// Certificate authority: a key pair plus an issuing certificate.
+//
+// Used three ways in the simulation: the browser-trusted web CA chain that
+// the ACME issuer (Let's Encrypt stand-in) drives, the AMD endorsement
+// chain (ARK self-signed root, ASK intermediate, VCEK leaves), and ad-hoc
+// test CAs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "pki/cert.hpp"
+
+namespace revelio::pki {
+
+class CertificateAuthority {
+ public:
+  /// Creates a self-signed root CA.
+  static CertificateAuthority create_root(const crypto::Curve& curve,
+                                          DistinguishedName name,
+                                          std::uint64_t not_before_us,
+                                          std::uint64_t not_after_us,
+                                          crypto::HmacDrbg& drbg);
+
+  /// Creates a subordinate CA whose certificate is signed by `parent`.
+  static CertificateAuthority create_intermediate(
+      const crypto::Curve& curve, DistinguishedName name,
+      std::uint64_t not_before_us, std::uint64_t not_after_us,
+      CertificateAuthority& parent, crypto::HmacDrbg& drbg);
+
+  /// Issues a leaf certificate for a verified CSR.
+  Result<Certificate> issue(const CertificateSigningRequest& csr,
+                            std::uint64_t not_before_us,
+                            std::uint64_t not_after_us, bool is_ca = false);
+
+  /// Issues directly for a raw public key (used for VCEKs, whose "CSR" is
+  /// the chip registration inside AMD's manufacturing flow).
+  Certificate issue_for_key(const std::string& curve_name, ByteView public_key,
+                            DistinguishedName subject,
+                            std::vector<std::string> san_dns,
+                            std::uint64_t not_before_us,
+                            std::uint64_t not_after_us, bool is_ca = false);
+
+  const Certificate& certificate() const { return cert_; }
+  const crypto::Curve& curve() const { return *curve_; }
+
+ private:
+  CertificateAuthority(const crypto::Curve& curve, crypto::EcKeyPair key);
+
+  const crypto::Curve* curve_;
+  crypto::EcKeyPair key_;
+  Certificate cert_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace revelio::pki

@@ -1,0 +1,99 @@
+// X.509-style certificates and certificate signing requests.
+//
+// A deliberately simplified but faithful model of the WebPKI machinery the
+// paper leans on (§2.2): canonical TBS ("to be signed") serialization,
+// ECDSA signatures, subject alternative names, CA flags, validity windows,
+// and chain verification up to a trusted root set. The same structures
+// carry AMD's endorsement-key chain (ARK → ASK → VCEK).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/sha2.hpp"
+
+namespace revelio::pki {
+
+struct DistinguishedName {
+  std::string common_name;
+  std::string organization;
+  std::string country;
+
+  Bytes serialize() const;
+  friend bool operator==(const DistinguishedName&,
+                         const DistinguishedName&) = default;
+};
+
+/// Resolves curve names stored in certificates to curve singletons.
+Result<const crypto::Curve*> curve_by_name(const std::string& name);
+
+struct Certificate {
+  std::uint64_t serial = 0;
+  DistinguishedName subject;
+  DistinguishedName issuer;
+  std::uint64_t not_before_us = 0;  // simulated-clock microseconds
+  std::uint64_t not_after_us = 0;
+  std::string curve_name;           // curve of the subject public key
+  Bytes public_key;                 // SEC1 uncompressed point
+  std::vector<std::string> san_dns;
+  bool is_ca = false;
+  std::string sig_curve_name;       // curve of the issuer key
+  Bytes signature;                  // ECDSA over sha384(tbs())
+
+  /// Canonical serialization of everything except the signature.
+  Bytes tbs() const;
+
+  Bytes serialize() const;
+  static Result<Certificate> parse(ByteView data);
+
+  crypto::Digest32 fingerprint() const { return crypto::sha256(serialize()); }
+
+  /// True if `name` appears in the SANs (or equals the CN as fallback).
+  bool matches_dns(const std::string& name) const;
+
+  /// Verifies this certificate's signature against an issuer public key.
+  bool verify_signature(const Certificate& issuer_cert) const;
+};
+
+struct CertificateSigningRequest {
+  DistinguishedName subject;
+  std::vector<std::string> san_dns;
+  std::string curve_name;
+  Bytes public_key;  // SEC1
+  Bytes signature;   // self-signature proving key possession
+
+  Bytes tbs() const;
+  Bytes serialize() const;
+  static Result<CertificateSigningRequest> parse(ByteView data);
+
+  /// Checks the proof-of-possession self-signature.
+  bool verify() const;
+
+  /// Hash bound into the SEV-SNP REPORT_DATA field (§5.2.2).
+  crypto::Digest32 digest() const { return crypto::sha256(serialize()); }
+};
+
+/// Builds a CSR signed by `key` on `curve`.
+CertificateSigningRequest make_csr(const crypto::Curve& curve,
+                                   const crypto::EcKeyPair& key,
+                                   DistinguishedName subject,
+                                   std::vector<std::string> san_dns);
+
+struct ChainVerifyOptions {
+  std::uint64_t now_us = 0;
+  std::optional<std::string> dns_name;  // require leaf to cover this name
+};
+
+/// Verifies leaf -> intermediates -> one of `roots`. Checks signatures,
+/// validity windows, CA flags on non-leaf certs, and (optionally) the DNS
+/// name on the leaf.
+Status verify_chain(const Certificate& leaf,
+                    const std::vector<Certificate>& intermediates,
+                    const std::vector<Certificate>& roots,
+                    const ChainVerifyOptions& options);
+
+}  // namespace revelio::pki

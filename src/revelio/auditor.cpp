@@ -1,0 +1,105 @@
+#include "revelio/auditor.hpp"
+
+#include "vm/hypervisor.hpp"
+
+namespace revelio::core {
+
+namespace {
+
+using Severity = AuditFinding::Severity;
+
+void lint(AuditReport& report, const imagebuild::BuildInputs& inputs) {
+  auto add = [&report](Severity severity, std::string check,
+                       std::string detail) {
+    report.findings.push_back(
+        AuditFinding{severity, std::move(check), std::move(detail)});
+  };
+
+  if (!inputs.base_image_digest) {
+    add(Severity::kCritical, "base-image-pinning",
+        "base image pulled by mutable tag; rebuilds will drift");
+  }
+  if (!inputs.kernel.sev_snp_enabled) {
+    add(Severity::kCritical, "sev-snp",
+        "kernel built without SEV-SNP guest support: no sealing, no reports");
+  }
+  if (!inputs.initrd.setup_verity || !inputs.kernel.enforce_verity) {
+    add(Severity::kCritical, "dm-verity",
+        "rootfs integrity protection disabled: runtime tampering undetected");
+  }
+  if (!inputs.initrd.setup_crypt) {
+    add(Severity::kWarning, "dm-crypt",
+        "no sealed data volume: persistent state readable by the host");
+  }
+  if (!inputs.initrd.block_inbound_network) {
+    add(Severity::kCritical, "firewall",
+        "inbound connections unrestricted: management access possible");
+  }
+  for (const auto& port : inputs.initrd.allowed_inbound_ports) {
+    if (port == "22") {
+      add(Severity::kCritical, "firewall",
+          "ssh port open: the provider can modify the VM after attestation");
+    }
+  }
+  for (const auto& [path, content] : inputs.service_files) {
+    if (content.empty()) {
+      add(Severity::kWarning, "artifacts", "empty service file: " + path);
+    }
+  }
+  if (inputs.initrd.services.empty()) {
+    add(Severity::kInfo, "services", "image starts no services");
+  }
+}
+
+}  // namespace
+
+AuditReport Auditor::audit(const imagebuild::BuildInputs& inputs) const {
+  AuditReport report;
+
+  // Reproducibility: two independent builds must agree bit-for-bit.
+  auto first = builder_.build(inputs);
+  if (!first.ok()) {
+    report.findings.push_back(AuditFinding{
+        Severity::kCritical, "build", first.error().to_string()});
+    return report;
+  }
+  imagebuild::BuildOptions second_env;
+  second_env.wall_clock_us = 1234567890;  // a different "machine"
+  second_env.build_path = "/auditor/rebuild";
+  auto second = builder_.build(inputs, second_env);
+  if (!second.ok() || !(first->digest() == second->digest())) {
+    report.findings.push_back(AuditFinding{
+        Severity::kCritical, "reproducibility",
+        "independent rebuild produced different bits"});
+    return report;
+  }
+  report.reproducible = true;
+  report.measurement = vm::Hypervisor::expected_measurement(
+      first->kernel_blob, first->initrd_blob, first->cmdline);
+
+  lint(report, inputs);
+  return report;
+}
+
+Result<sevsnp::Measurement> Auditor::audit_and_publish(
+    const imagebuild::BuildInputs& inputs, const std::string& service,
+    TrustedRegistry& registry) const {
+  const AuditReport report = audit(inputs);
+  if (!report.passed()) {
+    std::string reasons;
+    for (const auto& finding : report.findings) {
+      if (finding.severity == Severity::kCritical) {
+        if (!reasons.empty()) reasons += "; ";
+        reasons += finding.check + ": " + finding.detail;
+      }
+    }
+    if (!report.reproducible && reasons.empty()) {
+      reasons = "build not reproducible";
+    }
+    return Error::make("auditor.rejected", reasons);
+  }
+  registry.publish(service, report.measurement);
+  return report.measurement;
+}
+
+}  // namespace revelio::core

@@ -1,0 +1,64 @@
+// Auditor: the delegated verification workflow (requirement D2, §3.4.7).
+//
+// Most end-users cannot rebuild a VM image and judge its security; the
+// paper delegates that to an auditing company or a DAO. The Auditor class
+// is that party's tool: given the public sources (build inputs), it
+// reproduces the image, derives the expected launch measurement, performs
+// configurable policy lints over the build (network posture, verity,
+// SEV-SNP enablement, measured cmdline root hash), and — on a clean pass —
+// publishes the measurement to a TrustedRegistry that end-users' web
+// extensions consult.
+#pragma once
+
+#include "imagebuild/builder.hpp"
+#include "revelio/trusted_registry.hpp"
+
+namespace revelio::core {
+
+struct AuditFinding {
+  enum class Severity { kInfo, kWarning, kCritical };
+  Severity severity;
+  std::string check;
+  std::string detail;
+};
+
+struct AuditReport {
+  bool reproducible = false;
+  sevsnp::Measurement measurement;
+  std::vector<AuditFinding> findings;
+
+  bool passed() const {
+    if (!reproducible) return false;
+    for (const auto& finding : findings) {
+      if (finding.severity == AuditFinding::Severity::kCritical) return false;
+    }
+    return true;
+  }
+  std::size_t count(AuditFinding::Severity severity) const {
+    std::size_t n = 0;
+    for (const auto& finding : findings) {
+      if (finding.severity == severity) ++n;
+    }
+    return n;
+  }
+};
+
+class Auditor {
+ public:
+  explicit Auditor(const imagebuild::PackageRegistry& registry)
+      : builder_(registry) {}
+
+  /// Full audit: double-build for reproducibility, derive the expected
+  /// measurement, lint the configuration.
+  AuditReport audit(const imagebuild::BuildInputs& inputs) const;
+
+  /// Audit and, if it passes, publish the measurement for `service`.
+  Result<sevsnp::Measurement> audit_and_publish(
+      const imagebuild::BuildInputs& inputs, const std::string& service,
+      TrustedRegistry& registry) const;
+
+ private:
+  imagebuild::ImageBuilder builder_;
+};
+
+}  // namespace revelio::core

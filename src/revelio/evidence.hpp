@@ -1,0 +1,61 @@
+// Attestation evidence bundles and the KDS network frontend.
+//
+// An EvidenceBundle is what a Revelio VM exposes at its well-known URL and
+// what nodes exchange during mutual attestation: the SNP report plus the
+// payload (public key or CSR) whose hash is bound into REPORT_DATA.
+// KdsService puts the AMD Key Distribution Server on the simulated network
+// so verifiers pay a realistic round trip for VCEK fetches (Table 3).
+#pragma once
+
+#include "net/network.hpp"
+#include "pki/cert.hpp"
+#include "sevsnp/kds.hpp"
+
+namespace revelio::core {
+
+/// Report + the REPORT_DATA preimage it endorses.
+struct EvidenceBundle {
+  sevsnp::AttestationReport report;
+  Bytes payload;  // public key (SEC1) or serialized CSR
+
+  /// REPORT_DATA layout: sha256(payload) in bytes 0..31, zero elsewhere.
+  static sevsnp::ReportData bind(ByteView payload);
+
+  /// Checks that report.report_data matches `payload`.
+  bool binding_ok() const;
+
+  Bytes serialize() const;
+  static Result<EvidenceBundle> parse(ByteView data);
+};
+
+/// Serves VCEK certificates and the ARK/ASK chain over the network, as
+/// https://kdsintf.amd.com does. Responses are certificates — signed data —
+/// so the transport needs no additional protection.
+class KdsService {
+ public:
+  KdsService(sevsnp::KeyDistributionServer& kds, net::Network& network,
+             net::Address address);
+
+  const net::Address& address() const { return address_; }
+
+  /// Client helper: fetch (vcek, ask, ark) for a report's chip over the
+  /// network. `from` is the caller's address (latency accounting).
+  struct VcekResponse {
+    pki::Certificate vcek;
+    pki::Certificate ask;
+    pki::Certificate ark;
+  };
+  static Result<VcekResponse> fetch(net::Network& network,
+                                    const net::Address& from,
+                                    const net::Address& kds_address,
+                                    const sevsnp::ChipId& chip_id,
+                                    sevsnp::TcbVersion tcb);
+
+ private:
+  Bytes handle(ByteView request);
+
+  sevsnp::KeyDistributionServer* kds_;
+  net::Address address_;
+};
+
+}  // namespace revelio::core

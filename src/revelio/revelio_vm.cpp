@@ -1,0 +1,425 @@
+#include "revelio/revelio_vm.hpp"
+
+#include <chrono>
+
+#include "crypto/ecies.hpp"
+
+namespace revelio::core {
+
+namespace {
+
+/// Parses "host:port" from a length-prefixed wire field layout used by the
+/// certificate-install message.
+struct Reader {
+  ByteView data;
+  std::size_t off = 0;
+  bool failed = false;
+
+  std::uint32_t u32() {
+    if (off + 4 > data.size()) {
+      failed = true;
+      return 0;
+    }
+    const std::uint32_t v = read_u32be(data, off);
+    off += 4;
+    return v;
+  }
+  Bytes bytes() {
+    const std::uint32_t len = u32();
+    if (failed || off + len > data.size()) {
+      failed = true;
+      return {};
+    }
+    Bytes b = to_bytes(data.subspan(off, len));
+    off += len;
+    return b;
+  }
+};
+
+void append_field(Bytes& out, ByteView v) {
+  append_u32be(out, static_cast<std::uint32_t>(v.size()));
+  append(out, v);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RevelioVm>> RevelioVm::deploy(
+    sevsnp::AmdSp& sp, net::Network& network, RevelioVmConfig config,
+    net::HttpRouter app_routes) {
+  auto node = std::unique_ptr<RevelioVm>(new RevelioVm());
+  node->config_ = std::move(config);
+  node->network_ = &network;
+  node->app_routes_ = std::move(app_routes);
+  node->https_address_ = {node->config_.host, node->config_.https_port};
+  node->bootstrap_address_ = {node->config_.host,
+                              node->config_.bootstrap_port};
+
+  // 1. Measured direct boot through the (untrusted) hypervisor.
+  vm::Hypervisor hypervisor(sp, network.clock());
+  vm::LaunchConfig launch;
+  launch.kernel_blob = node->config_.image.kernel_blob;
+  launch.initrd_blob = node->config_.image.initrd_blob;
+  launch.cmdline = node->config_.image.cmdline;
+  node->disk_ = node->config_.existing_disk
+                    ? node->config_.existing_disk
+                    : node->config_.image.instantiate_disk();
+  launch.disk = node->disk_;
+  auto guest = hypervisor.launch(launch);
+  if (!guest.ok()) return guest.error();
+  node->guest_ = std::move(*guest);
+
+  // 2. Guest init: verity, sealed volume, services.
+  auto report = node->guest_->boot();
+  if (!report.ok()) return report.error();
+  node->boot_report_ = std::move(*report);
+
+  // 3. Revelio first-boot service: identity creation (§5.2.2). The
+  // identity is derived from the measurement-bound sealing entropy, so a
+  // reboot of the same image on the same chip recreates the same identity.
+  if (auto st = node->create_identity(sp, network); !st.ok()) {
+    return st.error();
+  }
+
+  // 4. Reboot path: unseal a previously installed TLS identity and resume
+  // serving immediately (no SP round needed).
+  auto restored = node->load_tls_identity();
+  if (!restored.ok()) return restored.error();
+  if (*restored) {
+    if (auto st = node->start_tls_server(network); !st.ok()) {
+      return st.error();
+    }
+  }
+
+  // 5. Network endpoints (subject to the measured firewall posture).
+  node->register_endpoints(network);
+  return node;
+}
+
+Status RevelioVm::create_identity(sevsnp::AmdSp& sp, net::Network& network) {
+  (void)sp;
+  (void)network;
+  const auto start = std::chrono::steady_clock::now();
+
+  auto& channel = guest_->channel();
+  // Identity entropy comes from the measured context via the protected
+  // channel; a different image (or chip) yields a different identity.
+  sevsnp::KeyDerivationPolicy id_policy;
+  id_policy.mix_measurement = true;
+  id_policy.context = "revelio-vm-identity";
+  auto seed = channel.request_key(id_policy, 48);
+  if (!seed.ok()) return seed.error();
+  crypto::HmacDrbg keygen(*seed, to_bytes(std::string_view("identity")));
+  identity_ = crypto::ec_generate(crypto::p256(), keygen);
+
+  sevsnp::KeyDerivationPolicy rng_policy;
+  rng_policy.mix_measurement = true;
+  rng_policy.context = "revelio-vm-entropy";
+  auto rng_seed = channel.request_key(rng_policy, 48);
+  if (!rng_seed.ok()) return rng_seed.error();
+  entropy_ = crypto::HmacDrbg(*rng_seed, to_bytes(config_.host));
+
+  // CSR for the service domain (§5.2.2).
+  csr_ = pki::make_csr(crypto::p256(), identity_,
+                       {config_.domain, "Revelio Service", "CH"},
+                       {config_.domain});
+
+  // Report #1: REPORT_DATA = sha256(public key).
+  const Bytes pubkey = identity_.public_encoded(crypto::p256());
+  auto id_report = channel.request_report(EvidenceBundle::bind(pubkey));
+  if (!id_report.ok()) return id_report.error();
+  identity_evidence_ = EvidenceBundle{std::move(*id_report), pubkey};
+
+  // Report #2: REPORT_DATA = sha256(CSR).
+  const Bytes csr_bytes = csr_.serialize();
+  auto csr_report = channel.request_report(EvidenceBundle::bind(csr_bytes));
+  if (!csr_report.ok()) return csr_report.error();
+  csr_evidence_ = EvidenceBundle{std::move(*csr_report), csr_bytes};
+
+  const double real_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  guest_->clock().advance_ms(real_ms);
+  boot_report_.phases.push_back(
+      vm::BootPhase{"identity creation", real_ms, real_ms});
+  return Status::success();
+}
+
+void RevelioVm::register_endpoints(net::Network& network) {
+  // The bootstrap surface carries only self-authenticating evidence and
+  // provisioning messages; it must still be on an allowed port.
+  if (guest_->inbound_allowed(config_.bootstrap_port)) {
+    network.listen(bootstrap_address_,
+                   [this](ByteView raw, const net::Address&) {
+                     auto request = net::HttpRequest::parse(raw);
+                     if (!request.ok()) {
+                       return net::HttpResponse::error(400, "bad frame")
+                           .serialize();
+                     }
+                     return handle_bootstrap(*request).serialize();
+                   });
+  }
+}
+
+net::HttpResponse RevelioVm::dispatch(const net::HttpRequest& request) {
+  if (request.path == "/.well-known/revelio-attestation") {
+    return net::HttpResponse::ok(identity_evidence_.serialize(),
+                                 "application/revelio-evidence");
+  }
+  return app_routes_.dispatch(request);
+}
+
+net::HttpResponse RevelioVm::handle_bootstrap(
+    const net::HttpRequest& request) {
+  if (request.method == "GET" && request.path == "/revelio/csr-bundle") {
+    return net::HttpResponse::ok(csr_evidence_.serialize(),
+                                 "application/revelio-evidence");
+  }
+  if (request.method == "POST" && request.path == "/revelio/certificate") {
+    return handle_certificate_install(request);
+  }
+  if (request.method == "POST" && request.path == "/revelio/key-request") {
+    return handle_key_request(request);
+  }
+  return net::HttpResponse::not_found();
+}
+
+net::HttpResponse RevelioVm::handle_certificate_install(
+    const net::HttpRequest& request) {
+  // Body: cert | chain_count | chain... | leader_host | leader_port(u32)
+  Reader r{request.body};
+  const Bytes cert_bytes = r.bytes();
+  auto cert = pki::Certificate::parse(cert_bytes);
+  if (!cert.ok()) return net::HttpResponse::error(400, "bad certificate");
+  const std::uint32_t chain_count = r.u32();
+  if (chain_count > 8) return net::HttpResponse::error(400, "chain too long");
+  std::vector<pki::Certificate> chain;
+  for (std::uint32_t i = 0; i < chain_count && !r.failed; ++i) {
+    auto link = pki::Certificate::parse(r.bytes());
+    if (!link.ok()) return net::HttpResponse::error(400, "bad chain");
+    chain.push_back(std::move(*link));
+  }
+  const Bytes leader_host = r.bytes();
+  const std::uint32_t leader_port = r.u32();
+  if (r.failed) return net::HttpResponse::error(400, "truncated");
+
+  if (!cert->matches_dns(config_.domain)) {
+    return net::HttpResponse::error(400, "certificate names wrong domain");
+  }
+  tls_certificate_ = std::move(*cert);
+  tls_chain_ = std::move(chain);
+
+  if (tls_certificate_->public_key == identity_public_key()) {
+    // We are the leader: the certified key is ours.
+    tls_private_key_ = identity_.d;
+    if (auto st = persist_tls_identity(); !st.ok()) {
+      return net::HttpResponse::error(500, st.error().to_string());
+    }
+    if (auto st = start_tls_server(*network_); !st.ok()) {
+      return net::HttpResponse::error(500, st.error().to_string());
+    }
+    return net::HttpResponse::ok(to_bytes(std::string_view("leader-ready")));
+  }
+
+  // Otherwise fetch the shared private key from the leader (Fig 4).
+  const net::Address leader{to_string(leader_host),
+                            static_cast<std::uint16_t>(leader_port)};
+  if (auto st = acquire_key_from_leader(leader); !st.ok()) {
+    return net::HttpResponse::error(502, st.error().to_string());
+  }
+  if (auto st = start_tls_server(*network_); !st.ok()) {
+    return net::HttpResponse::error(500, st.error().to_string());
+  }
+  return net::HttpResponse::ok(to_bytes(std::string_view("node-ready")));
+}
+
+Status RevelioVm::verify_peer_bundle(const EvidenceBundle& bundle) {
+  if (!bundle.binding_ok()) {
+    return Error::make("revelio.binding_mismatch",
+                       "REPORT_DATA does not cover the payload");
+  }
+  auto kds = KdsService::fetch(*network_, https_address_,
+                               config_.kds_address, bundle.report.chip_id,
+                               bundle.report.reported_tcb);
+  if (!kds.ok()) return kds.error();
+  sevsnp::ReportVerifyOptions options;
+  options.now_us = network_->clock().now_us();
+  if (auto st = sevsnp::verify_report(bundle.report, kds->vcek, {kds->ask},
+                                      {kds->ark}, options);
+      !st.ok()) {
+    return st;
+  }
+  // Measurement must match a trusted peer image (usually our own).
+  bool trusted = bundle.report.measurement == guest_->measurement();
+  for (const auto& m : config_.trusted_peer_measurements) {
+    trusted = trusted || bundle.report.measurement == m;
+  }
+  if (!trusted) {
+    return Error::make("revelio.untrusted_measurement",
+                       "peer runs an unknown image");
+  }
+  return Status::success();
+}
+
+net::HttpResponse RevelioVm::handle_key_request(
+    const net::HttpRequest& request) {
+  if (!tls_private_key_ || !tls_certificate_) {
+    return net::HttpResponse::error(503, "no TLS identity installed yet");
+  }
+  if (!(tls_certificate_->public_key == identity_public_key())) {
+    return net::HttpResponse::error(403, "not the leader");
+  }
+  auto bundle = EvidenceBundle::parse(request.body);
+  if (!bundle.ok()) return net::HttpResponse::error(400, "bad bundle");
+  if (auto st = verify_peer_bundle(*bundle); !st.ok()) {
+    return net::HttpResponse::error(403, st.error().to_string());
+  }
+  // Wrap the private key for the attested peer's public key.
+  auto wrapped =
+      crypto::ecies_seal(crypto::p256(), bundle->payload,
+                         tls_private_key_->to_bytes_be(32), entropy_);
+  if (!wrapped.ok()) {
+    return net::HttpResponse::error(500, wrapped.error().to_string());
+  }
+  // Response: leader evidence bundle | wrapped key.
+  Bytes body;
+  append_field(body, identity_evidence_.serialize());
+  append_field(body, *wrapped);
+  return net::HttpResponse::ok(std::move(body),
+                               "application/revelio-keywrap");
+}
+
+Status RevelioVm::acquire_key_from_leader(const net::Address& leader) {
+  net::HttpRequest request;
+  request.method = "POST";
+  request.path = "/revelio/key-request";
+  request.host = config_.domain;
+  request.body = identity_evidence_.serialize();
+  auto raw = network_->call(https_address_, leader, request.serialize());
+  if (!raw.ok()) return raw.error();
+  auto response = net::HttpResponse::parse(*raw);
+  if (!response.ok()) return response.error();
+  if (response->status != 200) {
+    return Error::make("revelio.key_request_refused",
+                       to_string(response->body));
+  }
+  Reader r{response->body};
+  const Bytes leader_bundle_bytes = r.bytes();
+  const Bytes wrapped = r.bytes();
+  if (r.failed) return Error::make("revelio.bad_key_response");
+
+  // Mutually attest: validate the leader's evidence before trusting the key.
+  auto leader_bundle = EvidenceBundle::parse(leader_bundle_bytes);
+  if (!leader_bundle.ok()) return leader_bundle.error();
+  if (auto st = verify_peer_bundle(*leader_bundle); !st.ok()) return st;
+  // The leader's attested key must be the one in the certificate.
+  if (!(leader_bundle->payload == tls_certificate_->public_key)) {
+    return Error::make("revelio.leader_key_mismatch",
+                       "certificate key is not the attested leader key");
+  }
+
+  auto key_bytes = crypto::ecies_open(crypto::p256(), identity_.d, wrapped);
+  if (!key_bytes.ok()) return key_bytes.error();
+  const crypto::U384 key = crypto::U384::from_bytes_be(*key_bytes);
+  // Sanity: the received private key must match the certificate.
+  const auto derived = crypto::p256().scalar_mult_base(key);
+  if (!(crypto::p256().encode_point(derived) ==
+        tls_certificate_->public_key)) {
+    return Error::make("revelio.key_cert_mismatch",
+                       "received key does not match the certificate");
+  }
+  tls_private_key_ = key;
+  return persist_tls_identity();
+}
+
+Status RevelioVm::persist_tls_identity() {
+  // The private key (and the certificate it belongs to) lives in the
+  // sealed (dm-crypt) partition: unreadable at rest, after migration to a
+  // different image, and after decommissioning (§5.3.1, F6).
+  auto volume = guest_->data_volume();
+  if (!volume) return Error::make("revelio.no_sealed_volume");
+  if (!tls_private_key_ || !tls_certificate_) {
+    return Error::make("revelio.no_tls_identity", "nothing to persist");
+  }
+  Bytes record;
+  append(record, std::string_view("TLSID1"));
+  append_field(record, tls_private_key_->to_bytes_be(32));
+  append_field(record, tls_certificate_->serialize());
+  append_u32be(record, static_cast<std::uint32_t>(tls_chain_.size()));
+  for (const auto& link : tls_chain_) append_field(record, link.serialize());
+  if (record.size() > volume->block_size()) {
+    return Error::make("revelio.identity_too_large");
+  }
+  record.resize(volume->block_size(), 0);
+  return volume->write_block(0, record);
+}
+
+Result<bool> RevelioVm::load_tls_identity() {
+  auto volume = guest_->data_volume();
+  if (!volume) return false;  // image built without a sealed volume
+  Bytes record(volume->block_size());
+  if (auto st = volume->read_block(0, record); !st.ok()) return st.error();
+  constexpr std::string_view kTag = "TLSID1";
+  if (record.size() < kTag.size() ||
+      to_string(ByteView(record).subspan(0, kTag.size())) != kTag) {
+    return false;  // first boot: nothing persisted yet
+  }
+  Reader r{record, kTag.size()};
+  const Bytes key_bytes = r.bytes();
+  const Bytes cert_bytes = r.bytes();
+  const std::uint32_t chain_count = r.u32();
+  if (r.failed || key_bytes.size() != 32 || chain_count > 8) {
+    return Error::make("revelio.corrupt_persisted_identity");
+  }
+  auto cert = pki::Certificate::parse(cert_bytes);
+  if (!cert.ok()) return cert.error();
+  std::vector<pki::Certificate> chain;
+  for (std::uint32_t i = 0; i < chain_count; ++i) {
+    auto link = pki::Certificate::parse(r.bytes());
+    if (!link.ok()) return link.error();
+    chain.push_back(std::move(*link));
+  }
+  if (r.failed) return Error::make("revelio.corrupt_persisted_identity");
+
+  const crypto::U384 key = crypto::U384::from_bytes_be(key_bytes);
+  const auto derived = crypto::p256().scalar_mult_base(key);
+  if (!(crypto::p256().encode_point(derived) == cert->public_key)) {
+    return Error::make("revelio.corrupt_persisted_identity",
+                       "key does not match certificate");
+  }
+  tls_private_key_ = key;
+  tls_certificate_ = std::move(*cert);
+  tls_chain_ = std::move(chain);
+  return true;
+}
+
+Status RevelioVm::start_tls_server(net::Network& network) {
+  if (!tls_private_key_ || !tls_certificate_) {
+    return Error::make("revelio.no_tls_identity");
+  }
+  if (!guest_->inbound_allowed(config_.https_port)) {
+    return Error::make("revelio.port_blocked",
+                       "https port not in the measured firewall allowlist");
+  }
+  net::TlsServerIdentity identity;
+  identity.curve = &crypto::p256();
+  identity.key =
+      crypto::EcKeyPair{*tls_private_key_,
+                        crypto::p256().scalar_mult_base(*tls_private_key_)};
+  identity.certificate = *tls_certificate_;
+  identity.intermediates = tls_chain_;
+  tls_server_ = std::make_unique<net::TlsServer>(
+      std::move(identity),
+      [this](ByteView plaintext, const net::Address&) {
+        auto request = net::HttpRequest::parse(plaintext);
+        if (!request.ok()) {
+          return net::HttpResponse::error(400, "bad frame").serialize();
+        }
+        return dispatch(*request).serialize();
+      },
+      crypto::HmacDrbg(entropy_.generate(32),
+                       to_bytes(std::string_view("tls-server"))));
+  tls_server_->install(network, https_address_);
+  return Status::success();
+}
+
+}  // namespace revelio::core

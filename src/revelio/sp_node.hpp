@@ -1,0 +1,76 @@
+// SP node: the service provider's isolated provisioning machine (§5.3).
+//
+// Lives outside the public cloud, holds the DNS API credentials and the
+// ACME account, and drives certificate management: it attests every fleet
+// node (report signature + chain, measurement, CSR binding, chip-id and IP
+// allowlists), picks a leader, obtains one shared SSL certificate for the
+// leader's CSR (respecting CA rate limits, §3.4.6), and distributes it —
+// after which the nodes fetch the private key from the leader themselves
+// (Fig 4).
+#pragma once
+
+#include <set>
+
+#include "net/http.hpp"
+#include "pki/acme.hpp"
+#include "revelio/evidence.hpp"
+#include "revelio/trusted_registry.hpp"
+
+namespace revelio::core {
+
+struct SpNodeConfig {
+  std::string domain;
+  std::string acme_account = "revelio-sp";
+  net::Address kds_address;
+  /// Acceptable launch measurements for fleet nodes (from the reproducible
+  /// build, or the trusted registry).
+  std::vector<sevsnp::Measurement> expected_measurements;
+  std::optional<sevsnp::TcbVersion> minimum_tcb;
+};
+
+/// Per-node provisioning outcome (observability + Table 2 accounting).
+struct NodeAttestation {
+  net::Address bootstrap_address;
+  bool attested = false;
+  std::string failure;  // empty when attested
+  Bytes public_key;     // the node's identity key (from the CSR)
+};
+
+class SpNode {
+ public:
+  SpNode(net::Network& network, pki::AcmeIssuer& acme, SpNodeConfig config);
+
+  /// Registers an approved node: its provisioning address and the chip it
+  /// is expected to run on (§5.3.1's chip-id + IP check).
+  void approve_node(const net::Address& bootstrap_address,
+                    const sevsnp::ChipId& chip_id);
+
+  /// Full provisioning round: attest all approved nodes, lead with the
+  /// first healthy one, obtain the shared certificate, distribute it.
+  /// Returns per-node outcomes (provisioning succeeds if >=1 node works).
+  Result<std::vector<NodeAttestation>> provision_fleet();
+
+  /// Attests a single node by fetching and validating its CSR bundle.
+  Result<pki::CertificateSigningRequest> attest_node(
+      const net::Address& bootstrap_address);
+
+  const std::optional<pki::Certificate>& issued_certificate() const {
+    return certificate_;
+  }
+
+ private:
+  Result<pki::Certificate> obtain_certificate(
+      const pki::CertificateSigningRequest& leader_csr);
+  Status distribute_certificate(const net::Address& node,
+                                const net::Address& leader);
+
+  net::Network* network_;
+  pki::AcmeIssuer* acme_;
+  SpNodeConfig config_;
+  net::Address own_address_{"sp-node.internal", 9000};
+  std::map<net::Address, Bytes> approved_;  // address -> chip id bytes
+  std::optional<pki::Certificate> certificate_;
+  std::vector<pki::Certificate> chain_;
+};
+
+}  // namespace revelio::core

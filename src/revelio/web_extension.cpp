@@ -1,0 +1,252 @@
+#include "revelio/web_extension.hpp"
+
+namespace revelio::core {
+
+Browser::Browser(net::Network& network, std::string client_host,
+                 std::vector<pki::Certificate> trust_roots,
+                 crypto::HmacDrbg entropy)
+    : network_(&network),
+      client_host_(std::move(client_host)),
+      trust_roots_(std::move(trust_roots)),
+      entropy_(std::move(entropy)) {}
+
+Result<net::TlsSession*> Browser::session_for(const std::string& domain,
+                                              std::uint16_t port,
+                                              bool& created) {
+  created = false;
+  const auto it = sessions_.find(domain);
+  if (it != sessions_.end()) return &it->second;
+
+  auto address = network_->resolve(domain, port);
+  if (!address.ok()) return address.error();
+
+  net::TlsTrustConfig trust;
+  trust.roots = trust_roots_;
+  trust.server_name = domain;
+  trust.now_us = network_->clock().now_us();
+  auto session = net::TlsSession::connect(
+      *network_, {client_host_, next_port_++}, *address, trust, entropy_);
+  if (!session.ok()) return session.error();
+  created = true;
+  const auto [inserted, is_new] = sessions_.emplace(domain, std::move(*session));
+  (void)is_new;
+  return &inserted->second;
+}
+
+Result<Browser::FetchResult> Browser::fetch(const std::string& domain,
+                                            std::uint16_t port,
+                                            const net::HttpRequest& request) {
+  bool created = false;
+  auto session = session_for(domain, port, created);
+  if (!session.ok()) return session.error();
+
+  auto raw = (*session)->request(request.serialize());
+  if (!raw.ok()) {
+    // Session reset or record failure: reconnect once, as browsers do.
+    sessions_.erase(domain);
+    auto fresh = session_for(domain, port, created);
+    if (!fresh.ok()) return fresh.error();
+    session = fresh;
+    raw = (*session)->request(request.serialize());
+    if (!raw.ok()) return raw.error();
+  }
+  auto response = net::HttpResponse::parse(*raw);
+  if (!response.ok()) return response.error();
+  return FetchResult{std::move(*response), (*session)->server_public_key(),
+                     created};
+}
+
+Result<Browser::FetchResult> Browser::get(const std::string& domain,
+                                          std::uint16_t port,
+                                          const std::string& path) {
+  net::HttpRequest request;
+  request.method = "GET";
+  request.path = path;
+  request.host = domain;
+  return fetch(domain, port, request);
+}
+
+void Browser::drop_session(const std::string& domain) {
+  sessions_.erase(domain);
+}
+
+WebExtension::WebExtension(Browser& browser, WebExtensionConfig config)
+    : browser_(&browser), config_(std::move(config)) {}
+
+void WebExtension::register_site(const std::string& domain,
+                                 SiteRegistration site) {
+  sites_[domain] = std::move(site);
+  state_.erase(domain);
+}
+
+void WebExtension::invalidate(const std::string& domain) {
+  state_.erase(domain);
+}
+
+const AttestationChecks* WebExtension::last_checks(
+    const std::string& domain) const {
+  const auto it = state_.find(domain);
+  return it == state_.end() ? nullptr : &it->second.checks;
+}
+
+Result<bool> WebExtension::discover(const std::string& domain,
+                                    std::uint16_t port) {
+  auto result = browser_->get(domain, port, "/.well-known/revelio-attestation");
+  if (!result.ok()) return result.error();
+  if (result->response.status != 200) return false;
+  return EvidenceBundle::parse(result->response.body).ok();
+}
+
+Result<KdsService::VcekResponse> WebExtension::fetch_vcek(
+    const sevsnp::ChipId& chip, sevsnp::TcbVersion tcb) {
+  const auto key = std::make_pair(chip.bytes(), tcb.encode());
+  if (config_.cache_vcek) {
+    const auto it = vcek_cache_.find(key);
+    if (it != vcek_cache_.end()) {
+      ++vcek_cache_hits_;
+      return it->second;
+    }
+  }
+  ++kds_fetches_;
+  auto response = KdsService::fetch(browser_->network(),
+                                    {browser_->host(), 39999},
+                                    config_.kds_address, chip, tcb);
+  if (!response.ok()) return response.error();
+  if (config_.cache_vcek) vcek_cache_[key] = *response;
+  return response;
+}
+
+Result<AttestationChecks> WebExtension::attest(const std::string& domain,
+                                               std::uint16_t port,
+                                               const Bytes& session_key) {
+  ++attestations_;
+  AttestationChecks checks;
+  const SiteRegistration& site = sites_.at(domain);
+
+  // 1. Fetch the evidence from the well-known URL over the same session.
+  auto evidence_response =
+      browser_->get(domain, port, "/.well-known/revelio-attestation");
+  if (!evidence_response.ok() || evidence_response->response.status != 200) {
+    checks.failure = "evidence fetch failed";
+    return checks;
+  }
+  auto bundle = EvidenceBundle::parse(evidence_response->response.body);
+  if (!bundle.ok()) {
+    checks.failure = "evidence unparseable";
+    return checks;
+  }
+  checks.evidence_fetched = true;
+
+  // 2. REPORT_DATA must cover the served payload (the VM's identity key).
+  if (!bundle->binding_ok()) {
+    checks.failure = "REPORT_DATA does not cover the payload";
+    return checks;
+  }
+  checks.binding_ok = true;
+
+  // 3. VCEK chain from the AMD KDS (cached across sessions).
+  auto kds = fetch_vcek(bundle->report.chip_id, bundle->report.reported_tcb);
+  if (!kds.ok()) {
+    checks.failure = "VCEK fetch failed: " + kds.error().to_string();
+    return checks;
+  }
+  sevsnp::ReportVerifyOptions options;
+  options.now_us = browser_->network().clock().now_us();
+  options.minimum_tcb = site.minimum_tcb;
+  const auto verify = sevsnp::verify_report(bundle->report, kds->vcek,
+                                            {kds->ask}, {kds->ark}, options);
+  if (!verify.ok()) {
+    // Distinguish chain failures from signature failures for the UI.
+    if (verify.error().code == "snp.vcek_chain_invalid") {
+      checks.failure = verify.error().to_string();
+      return checks;
+    }
+    checks.chain_ok = true;
+    checks.failure = verify.error().to_string();
+    return checks;
+  }
+  checks.chain_ok = true;
+  checks.signature_ok = true;
+
+  // 4. Measurement: manual pin or delegated registry.
+  bool acceptable = false;
+  for (const auto& m : site.expected_measurements) {
+    acceptable = acceptable || bundle->report.measurement == m;
+  }
+  if (site.registry != nullptr) {
+    acceptable = acceptable ||
+                 site.registry->is_acceptable(site.registry_service,
+                                              bundle->report.measurement);
+  }
+  if (!acceptable) {
+    checks.failure = "measurement not in the accepted set";
+    return checks;
+  }
+  checks.measurement_ok = true;
+
+  // 5. The TLS endpoint must terminate at the attested key (§3.4.5).
+  if (!(session_key == bundle->payload)) {
+    checks.failure = "TLS connection does not terminate at the attested key";
+    return checks;
+  }
+  checks.tls_binding_ok = true;
+
+  DomainState state;
+  state.attested = true;
+  state.attested_key = bundle->payload;
+  state.checks = checks;
+  state_[domain] = std::move(state);
+  return checks;
+}
+
+Result<WebExtension::Verified> WebExtension::fetch(
+    const std::string& domain, std::uint16_t port,
+    const net::HttpRequest& request) {
+  if (sites_.count(domain) == 0) {
+    return Error::make("extension.site_not_registered", domain);
+  }
+  auto result = browser_->fetch(domain, port, request);
+  if (!result.ok()) return result.error();
+
+  auto state_it = state_.find(domain);
+  const bool need_full_attestation =
+      state_it == state_.end() || !state_it->second.attested ||
+      result->new_session;
+
+  if (need_full_attestation) {
+    auto checks = attest(domain, port, result->tls_server_key);
+    if (!checks.ok()) return checks.error();
+    if (!checks->all_ok()) {
+      // Fail closed: surface the response-less verdict to the caller.
+      state_[domain].checks = *checks;
+      state_[domain].attested = false;
+      return Error::make("extension.attestation_failed", checks->failure);
+    }
+    return Verified{std::move(result->response), *checks};
+  }
+
+  // Monitoring path: every request validates that the connection still
+  // terminates at the attested key (the redirect defence).
+  browser_->network().clock().advance_ms(config_.connection_check_overhead_ms);
+  if (!(result->tls_server_key == state_it->second.attested_key)) {
+    state_it->second.attested = false;
+    state_it->second.checks.tls_binding_ok = false;
+    state_it->second.checks.failure =
+        "connection re-terminated at a different key";
+    return Error::make("extension.connection_hijacked",
+                       "TLS endpoint changed after attestation");
+  }
+  return Verified{std::move(result->response), state_it->second.checks};
+}
+
+Result<WebExtension::Verified> WebExtension::get(const std::string& domain,
+                                                 std::uint16_t port,
+                                                 const std::string& path) {
+  net::HttpRequest request;
+  request.method = "GET";
+  request.path = path;
+  request.host = domain;
+  return fetch(domain, port, request);
+}
+
+}  // namespace revelio::core

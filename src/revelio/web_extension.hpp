@@ -1,0 +1,153 @@
+// Browser + Revelio web extension (§5.3.2).
+//
+// The Browser models what Firefox gives the extension: HTTPS fetches over
+// cached TLS sessions, plus the API to query the public key of the current
+// connection. The WebExtension intercepts every request to a registered
+// domain: on a fresh session it fetches the attestation evidence from the
+// well-known URL, pulls the VCEK chain from the (simulated) AMD KDS —
+// caching it, since the VCEK only rotates with firmware updates —
+// validates chain, signature, measurement (against a manual registration
+// or a delegated TrustedRegistry) and the TLS binding; on every subsequent
+// request it re-checks that the connection still terminates at the
+// attested key, which is what defeats the certificate-swap redirect attack.
+#pragma once
+
+#include <map>
+
+#include "net/http.hpp"
+#include "net/tls.hpp"
+#include "revelio/evidence.hpp"
+#include "revelio/trusted_registry.hpp"
+
+namespace revelio::core {
+
+class Browser {
+ public:
+  Browser(net::Network& network, std::string client_host,
+          std::vector<pki::Certificate> trust_roots, crypto::HmacDrbg entropy);
+
+  struct FetchResult {
+    net::HttpResponse response;
+    Bytes tls_server_key;  // the "connection context" API
+    bool new_session = false;
+  };
+
+  /// HTTPS GET/POST through the per-domain session cache; reconnects (and
+  /// reports new_session) if the server reset the session.
+  Result<FetchResult> fetch(const std::string& domain, std::uint16_t port,
+                            const net::HttpRequest& request);
+  Result<FetchResult> get(const std::string& domain, std::uint16_t port,
+                          const std::string& path);
+
+  void drop_session(const std::string& domain);
+  const std::string& host() const { return client_host_; }
+  net::Network& network() { return *network_; }
+
+ private:
+  Result<net::TlsSession*> session_for(const std::string& domain,
+                                       std::uint16_t port, bool& created);
+
+  net::Network* network_;
+  std::string client_host_;
+  std::vector<pki::Certificate> trust_roots_;
+  crypto::HmacDrbg entropy_;
+  std::map<std::string, net::TlsSession> sessions_;
+  std::uint16_t next_port_ = 40000;
+};
+
+/// How a registered site's measurement is judged.
+struct SiteRegistration {
+  /// Manual registration: the user supplies expected measurement(s)
+  /// computed from the reproducible build or received out of band.
+  std::vector<sevsnp::Measurement> expected_measurements;
+  /// Delegated: consult a third-party registry (auditor / DAO).
+  const TrustedRegistry* registry = nullptr;
+  std::string registry_service;
+  std::optional<sevsnp::TcbVersion> minimum_tcb;
+};
+
+/// Outcome of one attestation pass — what the extension's UI would render.
+struct AttestationChecks {
+  bool evidence_fetched = false;
+  bool binding_ok = false;       // REPORT_DATA covers the served key
+  bool chain_ok = false;         // VCEK chains to the AMD root
+  bool signature_ok = false;     // report signed by that VCEK
+  bool measurement_ok = false;   // measurement is a known-good image
+  bool tls_binding_ok = false;   // session terminates at the attested key
+  std::string failure;
+
+  bool all_ok() const {
+    return evidence_fetched && binding_ok && chain_ok && signature_ok &&
+           measurement_ok && tls_binding_ok;
+  }
+};
+
+struct WebExtensionConfig {
+  net::Address kds_address;
+  bool cache_vcek = true;
+  /// Simulated cost of querying the browser's connection context on every
+  /// monitored request (the paper's 115.0 ms vs 100.9 ms plain delta).
+  double connection_check_overhead_ms = 14.0;
+};
+
+class WebExtension {
+ public:
+  WebExtension(Browser& browser, WebExtensionConfig config);
+
+  void register_site(const std::string& domain, SiteRegistration site);
+  bool is_registered(const std::string& domain) const {
+    return sites_.count(domain) > 0;
+  }
+
+  /// Opportunistic discovery (§5.3.2): probes the well-known URL; returns
+  /// true if the site serves Revelio evidence (user would be prompted to
+  /// pin a measurement).
+  Result<bool> discover(const std::string& domain, std::uint16_t port);
+
+  struct Verified {
+    net::HttpResponse response;
+    AttestationChecks checks;
+  };
+
+  /// Intercepted fetch: attests on first access / session change, monitors
+  /// the connection afterwards. Fails closed on any check failure.
+  Result<Verified> fetch(const std::string& domain, std::uint16_t port,
+                         const net::HttpRequest& request);
+  Result<Verified> get(const std::string& domain, std::uint16_t port,
+                       const std::string& path);
+
+  const AttestationChecks* last_checks(const std::string& domain) const;
+
+  /// Drops the attested state (e.g. the user clicked "re-verify").
+  void invalidate(const std::string& domain);
+
+  // --- stats (benchmarks read these) -----------------------------------
+  std::uint64_t kds_fetches() const { return kds_fetches_; }
+  std::uint64_t vcek_cache_hits() const { return vcek_cache_hits_; }
+  std::uint64_t attestations_performed() const { return attestations_; }
+
+ private:
+  struct DomainState {
+    bool attested = false;
+    Bytes attested_key;
+    AttestationChecks checks;
+  };
+
+  Result<AttestationChecks> attest(const std::string& domain,
+                                   std::uint16_t port,
+                                   const Bytes& session_key);
+  Result<KdsService::VcekResponse> fetch_vcek(const sevsnp::ChipId& chip,
+                                              sevsnp::TcbVersion tcb);
+
+  Browser* browser_;
+  WebExtensionConfig config_;
+  std::map<std::string, SiteRegistration> sites_;
+  std::map<std::string, DomainState> state_;
+  std::map<std::pair<Bytes, std::uint64_t>, KdsService::VcekResponse>
+      vcek_cache_;
+  std::uint64_t kds_fetches_ = 0;
+  std::uint64_t vcek_cache_hits_ = 0;
+  std::uint64_t attestations_ = 0;
+};
+
+}  // namespace revelio::core

@@ -1,0 +1,57 @@
+// Protected guest <-> AMD-SP message channel.
+//
+// Models the SNP guest request interface: at launch the AMD-SP provisions
+// the guest with a VM Platform Communication Key (VMPCK); every
+// MSG_REPORT_REQ / MSG_KEY_REQ exchange is AEAD-sealed under it with
+// strictly increasing sequence numbers. The hypervisor shuttles the
+// ciphertexts but can neither read nor forge nor replay them — the
+// property the paper's "trusted path between the AMD-SP and the VM"
+// (§2.1.1, §2.1.3) provides.
+#pragma once
+
+#include <memory>
+
+#include "crypto/modes.hpp"
+#include "sevsnp/amd_sp.hpp"
+
+namespace revelio::sevsnp {
+
+class GuestChannel {
+ public:
+  /// Opens the channel for the currently running guest; fails if no
+  /// measured guest is active.
+  static Result<GuestChannel> open(AmdSp& sp);
+
+  /// MSG_REPORT_REQ: attestation report with caller-chosen REPORT_DATA.
+  Result<AttestationReport> request_report(const ReportData& report_data);
+
+  /// MSG_KEY_REQ: derived (sealing) key.
+  Result<Bytes> request_key(const KeyDerivationPolicy& policy,
+                            std::size_t length = 32);
+
+  /// MSG_RTMR_EXTEND: extends a runtime measurement register.
+  Status extend_rtmr(std::size_t index, const Measurement& event_digest);
+
+  /// Low-level entry point used by attack tests: delivers an arbitrary
+  /// sealed request to the SP side, as a malicious hypervisor would.
+  Result<Bytes> deliver_to_sp(ByteView sealed_request);
+
+  /// Guest-side sealing of a plaintext request at the *current* sequence
+  /// number, without advancing it — lets tests construct replays.
+  Bytes seal_request(ByteView plaintext) const;
+
+  std::uint64_t guest_sequence() const { return guest_seq_; }
+
+ private:
+  GuestChannel(AmdSp& sp, Bytes vmpck);
+
+  Result<Bytes> transact(ByteView plaintext_request);
+  Result<Bytes> handle_request(ByteView plaintext) const;
+
+  AmdSp* sp_;
+  crypto::AeadCtrHmac aead_;
+  std::uint64_t guest_seq_ = 1;  // next request sequence number
+  std::uint64_t sp_expected_seq_ = 1;
+};
+
+}  // namespace revelio::sevsnp

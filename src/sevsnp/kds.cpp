@@ -1,0 +1,85 @@
+#include "sevsnp/kds.hpp"
+
+#include "common/hex.hpp"
+
+namespace revelio::sevsnp {
+
+namespace {
+// Endorsement certificates are long-lived; give them a century so simulated
+// clocks never outrun them.
+constexpr std::uint64_t kCenturyUs = 100ull * 365 * 24 * 3600 * 1000 * 1000;
+}  // namespace
+
+KeyDistributionServer::KeyDistributionServer(crypto::HmacDrbg& drbg) {
+  ark_ = std::make_unique<pki::CertificateAuthority>(
+      pki::CertificateAuthority::create_root(
+          crypto::p384(), {"ARK-Milan", "Advanced Micro Devices", "US"}, 0,
+          kCenturyUs, drbg));
+  ask_ = std::make_unique<pki::CertificateAuthority>(
+      pki::CertificateAuthority::create_intermediate(
+          crypto::p384(), {"SEV-Milan", "Advanced Micro Devices", "US"}, 0,
+          kCenturyUs, *ark_, drbg));
+  ark_cert_ = ark_->certificate();
+  ask_cert_ = ask_->certificate();
+}
+
+void KeyDistributionServer::register_platform(const AmdSp& platform) {
+  platforms_[platform.chip_id().bytes()] = &platform;
+}
+
+Result<pki::Certificate> KeyDistributionServer::fetch_vcek(
+    const ChipId& chip_id, TcbVersion tcb) {
+  const auto cache_key = std::make_pair(chip_id.bytes(), tcb.encode());
+  if (const auto it = vcek_cache_.find(cache_key); it != vcek_cache_.end()) {
+    return it->second;
+  }
+  const auto platform_it = platforms_.find(chip_id.bytes());
+  if (platform_it == platforms_.end()) {
+    return Error::make("kds.unknown_chip",
+                       to_hex(chip_id.view()).substr(0, 16) + "...");
+  }
+  const Bytes vcek_pub = platform_it->second->vcek_public_key(tcb);
+  pki::Certificate cert = ask_->issue_for_key(
+      "P-384", vcek_pub,
+      {"VCEK-" + to_hex(chip_id.view()).substr(0, 16), "AMD", "US"}, {}, 0,
+      kCenturyUs);
+  vcek_cache_[cache_key] = cert;
+  return cert;
+}
+
+Status verify_report(const AttestationReport& report,
+                     const pki::Certificate& vcek_cert,
+                     const std::vector<pki::Certificate>& intermediates,
+                     const std::vector<pki::Certificate>& roots,
+                     const ReportVerifyOptions& options) {
+  // 1. The VCEK certificate must chain to a pinned AMD root.
+  pki::ChainVerifyOptions chain_options;
+  chain_options.now_us = options.now_us;
+  if (auto st =
+          pki::verify_chain(vcek_cert, intermediates, roots, chain_options);
+      !st.ok()) {
+    return Error::make("snp.vcek_chain_invalid", st.error().to_string());
+  }
+  // 2. The report signature must verify under the VCEK public key.
+  const auto pub = crypto::p384().decode_point(vcek_cert.public_key);
+  if (pub.infinity) {
+    return Error::make("snp.bad_vcek_key");
+  }
+  auto sig = crypto::EcdsaSignature::decode(crypto::p384(), report.signature);
+  if (!sig.ok()) {
+    return Error::make("snp.bad_signature_encoding");
+  }
+  const auto hash = crypto::sha384(report.signed_body());
+  if (!crypto::ecdsa_verify(crypto::p384(), pub, hash.view(), *sig)) {
+    return Error::make("snp.signature_invalid",
+                       "report not signed by presented VCEK");
+  }
+  // 3. Optional TCB floor (anti-rollback for firmware, §6.1.4).
+  if (options.minimum_tcb &&
+      !report.reported_tcb.at_least(*options.minimum_tcb)) {
+    return Error::make("snp.tcb_too_old", "reported TCB below minimum");
+  }
+  return Status::success();
+}
+
+}  // namespace revelio::sevsnp

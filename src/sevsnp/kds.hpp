@@ -1,0 +1,58 @@
+// AMD Key Distribution Server (KDS) model.
+//
+// Serves the endorsement chain a verifier needs (§5.3): the self-signed
+// AMD Root Key (ARK) certificate, the AMD SEV Key (ASK) intermediate, and
+// per-chip VCEK certificates addressed by (CHIP_ID, TCB version) — the
+// lookup the paper's web extension performs against kdsintf.amd.com, and
+// whose round trip dominates Table 3's fresh-attestation latency.
+#pragma once
+
+#include <map>
+
+#include "pki/ca.hpp"
+#include "sevsnp/amd_sp.hpp"
+
+namespace revelio::sevsnp {
+
+class KeyDistributionServer {
+ public:
+  explicit KeyDistributionServer(crypto::HmacDrbg& drbg);
+
+  /// Manufacturing step: AMD registers a produced chip so the KDS can later
+  /// endorse its VCEKs.
+  void register_platform(const AmdSp& platform);
+
+  /// VCEK certificate for (chip, TCB). Issued lazily, then cached.
+  Result<pki::Certificate> fetch_vcek(const ChipId& chip_id, TcbVersion tcb);
+
+  const pki::Certificate& ark_certificate() const { return ark_cert_; }
+  const pki::Certificate& ask_certificate() const { return ask_cert_; }
+
+  /// Root set a verifier pins (the ARK).
+  std::vector<pki::Certificate> trusted_roots() const { return {ark_cert_}; }
+  std::vector<pki::Certificate> intermediates() const { return {ask_cert_}; }
+
+ private:
+  std::unique_ptr<pki::CertificateAuthority> ark_;
+  std::unique_ptr<pki::CertificateAuthority> ask_;
+  pki::Certificate ark_cert_;
+  pki::Certificate ask_cert_;
+  std::map<Bytes, const AmdSp*> platforms_;  // keyed by chip id bytes
+  std::map<std::pair<Bytes, std::uint64_t>, pki::Certificate> vcek_cache_;
+};
+
+/// Full report verification as the paper's web extension performs it
+/// (§5.3.2): VCEK chain to the ARK, report signature against the VCEK,
+/// and optionally a minimum TCB. Returns the verified report fields.
+struct ReportVerifyOptions {
+  std::uint64_t now_us = 0;
+  std::optional<TcbVersion> minimum_tcb;
+};
+
+Status verify_report(const AttestationReport& report,
+                     const pki::Certificate& vcek_cert,
+                     const std::vector<pki::Certificate>& intermediates,
+                     const std::vector<pki::Certificate>& roots,
+                     const ReportVerifyOptions& options);
+
+}  // namespace revelio::sevsnp

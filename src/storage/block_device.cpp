@@ -1,0 +1,74 @@
+#include "storage/block_device.hpp"
+
+#include <algorithm>
+
+namespace revelio::storage {
+
+Result<Bytes> BlockDevice::read(std::uint64_t offset, std::size_t length) {
+  if (offset + length > size_bytes()) {
+    return Error::make("blockdev.out_of_range", "read past device end");
+  }
+  Bytes out;
+  out.reserve(length);
+  Bytes block(block_size());
+  std::uint64_t index = offset / block_size();
+  std::size_t within = offset % block_size();
+  while (out.size() < length) {
+    if (auto st = read_block(index, block); !st.ok()) return st.error();
+    const std::size_t take =
+        std::min(block_size() - within, length - out.size());
+    out.insert(out.end(), block.begin() + static_cast<std::ptrdiff_t>(within),
+               block.begin() + static_cast<std::ptrdiff_t>(within + take));
+    within = 0;
+    ++index;
+  }
+  return out;
+}
+
+Status BlockDevice::write(std::uint64_t offset, ByteView data) {
+  if (offset + data.size() > size_bytes()) {
+    return Error::make("blockdev.out_of_range", "write past device end");
+  }
+  Bytes block(block_size());
+  std::uint64_t index = offset / block_size();
+  std::size_t within = offset % block_size();
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const std::size_t take =
+        std::min(block_size() - within, data.size() - consumed);
+    if (take != block_size()) {
+      // Partial block: read-modify-write.
+      if (auto st = read_block(index, block); !st.ok()) return st;
+    }
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(consumed), take,
+                block.begin() + static_cast<std::ptrdiff_t>(within));
+    if (auto st = write_block(index, block); !st.ok()) return st;
+    consumed += take;
+    within = 0;
+    ++index;
+  }
+  return Status::success();
+}
+
+SliceDevice::SliceDevice(std::shared_ptr<BlockDevice> parent,
+                         std::uint64_t first_block, std::uint64_t block_count)
+    : parent_(std::move(parent)),
+      first_block_(first_block),
+      block_count_(block_count) {}
+
+Status SliceDevice::read_block(std::uint64_t index,
+                               std::span<std::uint8_t> out) {
+  if (index >= block_count_) {
+    return Error::make("blockdev.out_of_range", "slice read past end");
+  }
+  return parent_->read_block(first_block_ + index, out);
+}
+
+Status SliceDevice::write_block(std::uint64_t index, ByteView data) {
+  if (index >= block_count_) {
+    return Error::make("blockdev.out_of_range", "slice write past end");
+  }
+  return parent_->write_block(first_block_ + index, data);
+}
+
+}  // namespace revelio::storage

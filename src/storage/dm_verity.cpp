@@ -1,0 +1,104 @@
+#include "storage/dm_verity.hpp"
+
+#include <string>
+
+namespace revelio::storage {
+
+Result<VerityMetadata> Verity::format(BlockDevice& data_dev,
+                                      BlockDevice& hash_dev,
+                                      const VerityParams& params) {
+  if (data_dev.block_size() != params.data_block_size) {
+    return Error::make("verity.block_size_mismatch",
+                       "data device block size differs from verity config");
+  }
+  std::vector<crypto::Digest32> leaves;
+  leaves.reserve(data_dev.block_count());
+  Bytes block(data_dev.block_size());
+  for (std::uint64_t i = 0; i < data_dev.block_count(); ++i) {
+    if (auto st = data_dev.read_block(i, block); !st.ok()) return st.error();
+    leaves.push_back(crypto::MerkleTree::hash_leaf(block));
+  }
+  auto tree = crypto::MerkleTree::from_leaves(std::move(leaves));
+
+  const Bytes serialized = tree.serialize();
+  const std::uint64_t needed =
+      (serialized.size() + hash_dev.block_size() - 1) / hash_dev.block_size();
+  if (needed + 1 > hash_dev.block_count()) {
+    return Error::make("verity.hash_device_too_small");
+  }
+  // Block 0: length header; blocks 1..: serialized tree.
+  Bytes header;
+  append_u64be(header, serialized.size());
+  header.resize(hash_dev.block_size(), 0);
+  if (auto st = hash_dev.write_block(0, header); !st.ok()) return st.error();
+  if (auto st = hash_dev.write(hash_dev.block_size(), serialized); !st.ok()) {
+    return st.error();
+  }
+
+  VerityMetadata meta;
+  meta.root_hash = tree.root();
+  meta.data_block_count = data_dev.block_count();
+  return meta;
+}
+
+Result<std::shared_ptr<VerityDevice>> Verity::open(
+    std::shared_ptr<BlockDevice> data_dev,
+    std::shared_ptr<BlockDevice> hash_dev,
+    const crypto::Digest32& expected_root) {
+  Bytes header(hash_dev->block_size());
+  if (auto st = hash_dev->read_block(0, header); !st.ok()) return st.error();
+  const std::uint64_t length = read_u64be(header, 0);
+  if (length == 0 ||
+      length > (hash_dev->block_count() - 1) * hash_dev->block_size()) {
+    return Error::make("verity.bad_hash_header");
+  }
+  auto serialized = hash_dev->read(hash_dev->block_size(),
+                                   static_cast<std::size_t>(length));
+  if (!serialized.ok()) return serialized.error();
+  auto tree = crypto::MerkleTree::deserialize(*serialized);
+  if (!tree.ok()) {
+    return Error::make("verity.corrupt_hash_device",
+                       tree.error().to_string());
+  }
+  if (!(tree->root() == expected_root)) {
+    return Error::make("verity.root_mismatch",
+                       "hash device root does not match kernel cmdline root");
+  }
+  if (tree->leaf_count() != data_dev->block_count()) {
+    return Error::make("verity.leaf_count_mismatch");
+  }
+  return std::make_shared<VerityDevice>(std::move(data_dev),
+                                        std::move(*tree));
+}
+
+VerityDevice::VerityDevice(std::shared_ptr<BlockDevice> data_dev,
+                           crypto::MerkleTree tree)
+    : data_dev_(std::move(data_dev)), tree_(std::move(tree)) {}
+
+Status VerityDevice::read_block(std::uint64_t index,
+                                std::span<std::uint8_t> out) {
+  if (auto st = data_dev_->read_block(index, out); !st.ok()) return st;
+  const crypto::Digest32 leaf = crypto::MerkleTree::hash_leaf(out);
+  if (!crypto::MerkleTree::verify_path(leaf, index, tree_.path(index),
+                                       tree_.leaf_count(), tree_.root())) {
+    return Error::make("verity.block_mismatch",
+                       "block " + std::to_string(index) +
+                           " failed integrity verification");
+  }
+  return Status::success();
+}
+
+Status VerityDevice::write_block(std::uint64_t, ByteView) {
+  return Error::make("verity.read_only",
+                     "dm-verity devices reject all writes");
+}
+
+Status VerityDevice::verify_all() {
+  Bytes block(block_size());
+  for (std::uint64_t i = 0; i < block_count(); ++i) {
+    if (auto st = read_block(i, block); !st.ok()) return st;
+  }
+  return Status::success();
+}
+
+}  // namespace revelio::storage

@@ -1,0 +1,76 @@
+// dm-verity: transparent block-level integrity verification.
+//
+// The build pipeline computes a SHA-256 Merkle tree over the rootfs data
+// device and stores it on a separate hash device; only the root hash
+// travels through the measured kernel command line (§5.1.2). At boot the
+// VM re-opens the device read-only: every block read is verified against
+// the tree, and the tree itself is validated against the root hash — a bit
+// flipped anywhere on the data device turns reads of that block into
+// errors, and a tampered hash device fails to open at all (§6.1.2/§6.1.3).
+#pragma once
+
+#include <memory>
+
+#include "crypto/merkle.hpp"
+#include "storage/block_device.hpp"
+
+namespace revelio::storage {
+
+struct VerityParams {
+  std::size_t data_block_size = 4096;  // paper: 4 kB data and hash blocks
+};
+
+/// Output of formatting: what the build pipeline publishes.
+struct VerityMetadata {
+  crypto::Digest32 root_hash;       // goes on the kernel command line
+  std::uint64_t data_block_count = 0;
+};
+
+class VerityDevice;
+
+class Verity {
+ public:
+  /// Computes the Merkle tree over `data` and serializes it onto `hash_dev`.
+  /// Runs at image build time, on the service provider's premises.
+  static Result<VerityMetadata> format(BlockDevice& data_dev,
+                                       BlockDevice& hash_dev,
+                                       const VerityParams& params = {});
+
+  /// Opens a verity target: loads the tree from the hash device and checks
+  /// its root equals `expected_root` (from the kernel command line). This is
+  /// the `veritysetup open` step of the boot sequence.
+  static Result<std::shared_ptr<VerityDevice>> open(
+      std::shared_ptr<BlockDevice> data_dev,
+      std::shared_ptr<BlockDevice> hash_dev,
+      const crypto::Digest32& expected_root);
+};
+
+/// Read-only, per-read-verified view of the data device.
+class VerityDevice final : public BlockDevice {
+ public:
+  VerityDevice(std::shared_ptr<BlockDevice> data_dev, crypto::MerkleTree tree);
+
+  std::size_t block_size() const override { return data_dev_->block_size(); }
+  std::uint64_t block_count() const override {
+    return data_dev_->block_count();
+  }
+
+  /// Reads and verifies one block; fails with verity.block_mismatch if the
+  /// backing block does not hash to the recorded leaf.
+  Status read_block(std::uint64_t index, std::span<std::uint8_t> out) override;
+
+  /// Always fails: the rootfs is immutable during runtime (requirement F4).
+  Status write_block(std::uint64_t index, ByteView data) override;
+
+  /// Verifies every block — the boot-time "dm-verity verify" service whose
+  /// latency dominates Table 1.
+  Status verify_all();
+
+  const crypto::Digest32& root_hash() const { return tree_.root(); }
+
+ private:
+  std::shared_ptr<BlockDevice> data_dev_;
+  crypto::MerkleTree tree_;
+};
+
+}  // namespace revelio::storage

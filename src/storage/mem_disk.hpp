@@ -1,0 +1,47 @@
+// In-memory disk — the simulation's physical storage medium.
+//
+// The disk lives on the (untrusted) host side of the trust boundary: the
+// cloud provider can read and scribble over it at will, which the attack
+// tests exercise through `raw_tamper`. I/O counters feed the Fig 5/6
+// benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/block_device.hpp"
+
+namespace revelio::storage {
+
+struct IoStats {
+  std::uint64_t blocks_read = 0;
+  std::uint64_t blocks_written = 0;
+};
+
+class MemDisk final : public BlockDevice {
+ public:
+  MemDisk(std::size_t block_size, std::uint64_t block_count);
+
+  std::size_t block_size() const override { return block_size_; }
+  std::uint64_t block_count() const override { return block_count_; }
+  Status read_block(std::uint64_t index, std::span<std::uint8_t> out) override;
+  Status write_block(std::uint64_t index, ByteView data) override;
+
+  const IoStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Host-side tampering: flips bits without going through the device-mapper
+  /// stack, the way a malicious cloud provider would edit the backing file.
+  void raw_tamper(std::uint64_t byte_offset, std::uint8_t xor_mask);
+
+  /// Host-side raw inspection (offline attack on data at rest).
+  Bytes raw_dump(std::uint64_t byte_offset, std::size_t length) const;
+
+ private:
+  std::size_t block_size_;
+  std::uint64_t block_count_;
+  std::vector<std::uint8_t> data_;
+  IoStats stats_;
+};
+
+}  // namespace revelio::storage

@@ -1,0 +1,64 @@
+#include "vm/firmware.hpp"
+
+namespace revelio::vm {
+
+FirmwareHashTable FirmwareHashTable::over(ByteView kernel, ByteView initrd,
+                                          ByteView cmdline) {
+  FirmwareHashTable table;
+  table.kernel_hash = crypto::sha256(kernel);
+  table.initrd_hash = crypto::sha256(initrd);
+  table.cmdline_hash = crypto::sha256(cmdline);
+  return table;
+}
+
+Bytes Firmware::serialize() const {
+  Bytes out;
+  append(out, std::string_view("ROVMF1"));
+  append_u32be(out, static_cast<std::uint32_t>(vendor.size()));
+  append(out, vendor);
+  append_u8(out, verify_hash_table ? 1 : 0);
+  append(out, table.kernel_hash.view());
+  append(out, table.initrd_hash.view());
+  append(out, table.cmdline_hash.view());
+  return out;
+}
+
+Result<Firmware> Firmware::parse(ByteView data) {
+  if (data.size() < 6 || to_string(data.subspan(0, 6)) != "ROVMF1") {
+    return Error::make("vm.bad_firmware_blob");
+  }
+  std::size_t off = 6;
+  if (off + 4 > data.size()) return Error::make("vm.bad_firmware_blob");
+  const std::uint32_t vendor_len = read_u32be(data, off);
+  off += 4;
+  if (off + vendor_len + 1 + 96 > data.size()) {
+    return Error::make("vm.bad_firmware_blob", "truncated");
+  }
+  Firmware fw;
+  fw.vendor = to_string(data.subspan(off, vendor_len));
+  off += vendor_len;
+  fw.verify_hash_table = data[off++] != 0;
+  fw.table.kernel_hash = crypto::Digest32::from(data.subspan(off, 32));
+  off += 32;
+  fw.table.initrd_hash = crypto::Digest32::from(data.subspan(off, 32));
+  off += 32;
+  fw.table.cmdline_hash = crypto::Digest32::from(data.subspan(off, 32));
+  return fw;
+}
+
+Status Firmware::verify_blobs(ByteView kernel, ByteView initrd,
+                              ByteView cmdline) const {
+  if (!verify_hash_table) return Status::success();  // malicious firmware
+  if (!(crypto::sha256(kernel) == table.kernel_hash)) {
+    return Error::make("vm.hash_mismatch", "kernel");
+  }
+  if (!(crypto::sha256(initrd) == table.initrd_hash)) {
+    return Error::make("vm.hash_mismatch", "initrd");
+  }
+  if (!(crypto::sha256(cmdline) == table.cmdline_hash)) {
+    return Error::make("vm.hash_mismatch", "cmdline");
+  }
+  return Status::success();
+}
+
+}  // namespace revelio::vm

@@ -1,0 +1,44 @@
+// Virtual firmware (OVMF) model with the measured-direct-boot hash table.
+//
+// §2.1.2: the (patched) OVMF reserves a table for the hashes of kernel,
+// initrd and command line. QEMU fills the table while loading the guest;
+// the whole firmware — table included — is what the AMD-SP measures. At
+// boot the firmware re-hashes each blob the hypervisor actually handed
+// over and refuses to boot on any mismatch. A firmware that skips that
+// check is expressible here (`verify_hash_table = false`) — and carries a
+// different measurement, which is the point.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/sha2.hpp"
+
+namespace revelio::vm {
+
+struct FirmwareHashTable {
+  crypto::Digest32 kernel_hash;
+  crypto::Digest32 initrd_hash;
+  crypto::Digest32 cmdline_hash;
+
+  static FirmwareHashTable over(ByteView kernel, ByteView initrd,
+                                ByteView cmdline);
+  friend bool operator==(const FirmwareHashTable&,
+                         const FirmwareHashTable&) = default;
+};
+
+struct Firmware {
+  std::string vendor = "OVMF-SNP-2023.05";
+  bool verify_hash_table = true;
+  FirmwareHashTable table;
+
+  Bytes serialize() const;
+  static Result<Firmware> parse(ByteView data);
+
+  /// The boot-time check: do the blobs the hypervisor supplied match the
+  /// measured table? (No-op for a malicious firmware built with
+  /// verify_hash_table=false — its different measurement exposes it.)
+  Status verify_blobs(ByteView kernel, ByteView initrd,
+                      ByteView cmdline) const;
+};
+
+}  // namespace revelio::vm

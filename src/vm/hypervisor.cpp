@@ -1,0 +1,93 @@
+#include "vm/hypervisor.hpp"
+
+namespace revelio::vm {
+
+Bytes Hypervisor::reference_firmware(ByteView kernel, ByteView initrd,
+                                     std::string_view cmdline) {
+  Firmware fw;
+  fw.table = FirmwareHashTable::over(kernel, initrd, to_bytes(cmdline));
+  return fw.serialize();
+}
+
+sevsnp::Measurement Hypervisor::expected_measurement(
+    ByteView kernel, ByteView initrd, std::string_view cmdline) {
+  // Mirrors AmdSp's launch framing for a single firmware blob.
+  const Bytes fw = reference_firmware(kernel, initrd, cmdline);
+  crypto::Sha384 digest;
+  Bytes framed;
+  append_u64be(framed, fw.size());
+  digest.update(framed);
+  digest.update(fw);
+  return digest.finish();
+}
+
+Result<std::unique_ptr<GuestVm>> Hypervisor::launch(
+    const LaunchConfig& config) {
+  // 1. Build the firmware image with the hash table (fw_cfg injection).
+  Firmware fw;
+  if (config.use_malicious_firmware) {
+    fw.vendor = "OVMF-PATCHED-NOVERIFY";
+    fw.verify_hash_table = false;
+  }
+  fw.table = config.forged_hash_table
+                 ? *config.forged_hash_table
+                 : FirmwareHashTable::over(config.kernel_blob,
+                                           config.initrd_blob,
+                                           to_bytes(config.cmdline));
+  const Bytes fw_bytes = fw.serialize();
+
+  // 2. AMD-SP measures the firmware (and only the firmware — everything
+  // else is covered transitively via the hash table).
+  if (auto st = sp_->launch_start(config.guest_policy); !st.ok()) return st.error();
+  if (auto st = sp_->launch_update(fw_bytes); !st.ok()) {
+    sp_->launch_reset();
+    return st.error();
+  }
+  auto measurement = sp_->launch_finish();
+  if (!measurement.ok()) {
+    sp_->launch_reset();
+    return measurement.error();
+  }
+
+  // 3. The hypervisor may now swap blobs (the attack surface the hash
+  // table exists to close).
+  const Bytes& kernel = config.swap_kernel_after_measure
+                            ? *config.swap_kernel_after_measure
+                            : config.kernel_blob;
+  const Bytes& initrd = config.swap_initrd_after_measure
+                            ? *config.swap_initrd_after_measure
+                            : config.initrd_blob;
+  const std::string cmdline = config.swap_cmdline_after_measure
+                                  ? *config.swap_cmdline_after_measure
+                                  : config.cmdline;
+
+  // 4. Firmware boots: verifies each received blob against the table.
+  if (auto st = fw.verify_blobs(kernel, initrd, to_bytes(cmdline));
+      !st.ok()) {
+    sp_->launch_reset();
+    return Error::make("vm.boot_refused",
+                       "firmware hash check: " + st.error().to_string());
+  }
+
+  // 5. Hand over to the guest kernel/initrd.
+  auto kernel_spec = KernelSpec::parse(kernel);
+  if (!kernel_spec.ok()) {
+    sp_->launch_reset();
+    return kernel_spec.error();
+  }
+  auto initrd_spec = InitrdSpec::parse(initrd);
+  if (!initrd_spec.ok()) {
+    sp_->launch_reset();
+    return initrd_spec.error();
+  }
+  auto parsed_cmdline = KernelCmdline::parse(cmdline);
+  if (!parsed_cmdline.ok()) {
+    sp_->launch_reset();
+    return parsed_cmdline.error();
+  }
+  return std::make_unique<GuestVm>(*sp_, *clock_, std::move(*kernel_spec),
+                                   std::move(*initrd_spec),
+                                   std::move(*parsed_cmdline), config.disk);
+}
+
+}  // namespace revelio::vm

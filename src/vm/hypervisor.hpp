@@ -1,0 +1,62 @@
+// Hypervisor (QEMU model) — explicitly untrusted.
+//
+// The hypervisor assembles the guest: it fills the firmware's hash table
+// with the hashes of kernel/initrd/cmdline (fw_cfg in the real patches),
+// feeds the firmware to the AMD-SP for measurement, and then boots. Being
+// the adversary's vantage point, it also exposes every §6.1 attack as a
+// launch knob: swap blobs after hashing, inject a forged table, replace
+// the firmware with one that skips verification.
+#pragma once
+
+#include <memory>
+
+#include "sevsnp/amd_sp.hpp"
+#include "vm/firmware.hpp"
+#include "vm/guest.hpp"
+
+namespace revelio::vm {
+
+struct LaunchConfig {
+  Bytes kernel_blob;
+  Bytes initrd_blob;
+  std::string cmdline;
+  std::shared_ptr<storage::MemDisk> disk;
+  std::uint64_t guest_policy = 0x30000;
+
+  // ---- Attack knobs (all default to honest behaviour) ----------------
+  /// 6.1.1: measure these hashes instead of the real blobs' hashes.
+  std::optional<FirmwareHashTable> forged_hash_table;
+  /// 6.1.1: after measurement, boot with these blobs instead.
+  std::optional<Bytes> swap_kernel_after_measure;
+  std::optional<Bytes> swap_initrd_after_measure;
+  std::optional<std::string> swap_cmdline_after_measure;
+  /// 6.1.1: replace OVMF with a firmware that skips hash verification.
+  bool use_malicious_firmware = false;
+};
+
+class Hypervisor {
+ public:
+  Hypervisor(sevsnp::AmdSp& sp, SimClock& clock) : sp_(&sp), clock_(&clock) {}
+
+  /// Launches a guest: measures the firmware, runs the firmware's blob
+  /// verification, and constructs (but does not boot) the GuestVm.
+  Result<std::unique_ptr<GuestVm>> launch(const LaunchConfig& config);
+
+  /// The firmware bytes an honest launch of these blobs would measure —
+  /// what a verifier reconstructs from sources (reference firmware +
+  /// published blob hashes).
+  static Bytes reference_firmware(ByteView kernel, ByteView initrd,
+                                  std::string_view cmdline);
+
+  /// The launch measurement an honest launch would produce; verifiers
+  /// compare attestation reports against this.
+  static sevsnp::Measurement expected_measurement(ByteView kernel,
+                                                  ByteView initrd,
+                                                  std::string_view cmdline);
+
+ private:
+  sevsnp::AmdSp* sp_;
+  SimClock* clock_;
+};
+
+}  // namespace revelio::vm

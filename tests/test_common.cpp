@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/hex.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+
+namespace revelio {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  const std::string hex = to_hex(data);
+  EXPECT_EQ(hex, "0001abff7f");
+  const auto back = from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Hex, AcceptsUpperCase) {
+  const auto v = from_hex("DEADBEEF");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_hex(*v), "deadbeef");
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+TEST(Hex, EmptyString) {
+  const auto v = from_hex("");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->empty());
+  EXPECT_EQ(to_hex(*v), "");
+}
+
+TEST(Bytes, ConcatJoinsInOrder) {
+  const Bytes a = to_bytes(std::string_view("ab"));
+  const Bytes b = to_bytes(std::string_view("cd"));
+  EXPECT_EQ(to_string(concat(a, b)), "abcd");
+  EXPECT_EQ(to_string(concat(a, b, a)), "abcdab");
+}
+
+TEST(Bytes, CtEqualBasics) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+}
+
+TEST(Bytes, BigEndianRoundTrip) {
+  Bytes buf;
+  append_u32be(buf, 0xdeadbeef);
+  append_u64be(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(read_u32be(buf, 0), 0xdeadbeefu);
+  EXPECT_EQ(read_u64be(buf, 4), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, FixedBytesFromShortInput) {
+  const Bytes short_input = {0xaa, 0xbb};
+  const auto fb = FixedBytes<4>::from(short_input);
+  EXPECT_EQ(fb[0], 0xaa);
+  EXPECT_EQ(fb[1], 0xbb);
+  EXPECT_EQ(fb[2], 0x00);
+  EXPECT_EQ(fb[3], 0x00);
+}
+
+TEST(Bytes, XorInto) {
+  Bytes a = {0xff, 0x0f, 0x00};
+  const Bytes b = {0x0f, 0x0f, 0x0f};
+  xor_into(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0x00, 0x0f}));
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  Result<int> err = Error::make("x.failed", "context");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, "x.failed");
+  EXPECT_EQ(err.error().to_string(), "x.failed: context");
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(Result, VoidStatus) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  Status bad = Error::make("broken");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "broken");
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_us(), 0u);
+  clock.advance_ms(1.5);
+  EXPECT_EQ(clock.now_us(), 1500u);
+  clock.advance_us(500);
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 2.0);
+  clock.reset();
+  EXPECT_EQ(clock.now_us(), 0u);
+}
+
+TEST(SimClock, FormatsTimestamp) {
+  SimClock clock;
+  clock.advance_ms(3723004.0);  // 1h 2m 3s 4ms
+  EXPECT_EQ(clock.to_string(), "T+01:02:03.004");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BytesHaveRequestedLength) {
+  Rng rng(5);
+  EXPECT_EQ(rng.next_bytes(0).size(), 0u);
+  EXPECT_EQ(rng.next_bytes(7).size(), 7u);
+  EXPECT_EQ(rng.next_bytes(64).size(), 64u);
+}
+
+// Distribution smoke check: all byte values should appear over a large draw.
+TEST(Rng, BytesCoverValueSpace) {
+  Rng rng(42);
+  const Bytes sample = rng.next_bytes(1 << 16);
+  std::array<int, 256> histogram{};
+  for (auto b : sample) ++histogram[b];
+  for (int count : histogram) EXPECT_GT(count, 0);
+}
+
+}  // namespace
+}  // namespace revelio

@@ -1,0 +1,820 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/bigint.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ec.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/modes.hpp"
+#include "crypto/sha2.hpp"
+
+namespace revelio::crypto {
+namespace {
+
+Bytes H(std::string_view hex) {
+  auto v = from_hex(hex);
+  EXPECT_TRUE(v.has_value()) << hex;
+  return *v;
+}
+
+// ---------------------------------------------------------------- SHA-2
+
+TEST(Sha256, Fips180Abc) {
+  EXPECT_EQ(to_hex(sha256(to_bytes(std::string_view("abc"))).view()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256({}).view()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const auto msg = to_bytes(std::string_view(
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  EXPECT_EQ(to_hex(sha256(msg).view()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const Bytes data = to_bytes(std::string_view(
+      "The quick brown fox jumps over the lazy dog, repeatedly."));
+  Sha256 h;
+  // Feed in awkward chunk sizes crossing block boundaries.
+  std::size_t off = 0;
+  const std::size_t chunks[] = {1, 3, 17, 64, 5, 100};
+  for (std::size_t c : chunks) {
+    const std::size_t take = std::min(c, data.size() - off);
+    h.update(ByteView(data.data() + off, take));
+    off += take;
+    if (off == data.size()) break;
+  }
+  EXPECT_EQ(to_hex(h.finish().view()), to_hex(sha256(data).view()));
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish().view()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha384, Fips180Abc) {
+  EXPECT_EQ(to_hex(sha384(to_bytes(std::string_view("abc"))).view()),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed"
+            "8086072ba1e7cc2358baeca134c825a7");
+}
+
+TEST(Sha512, Fips180Abc) {
+  EXPECT_EQ(to_hex(sha512(to_bytes(std::string_view("abc"))).view()),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(to_hex(sha512({}).view()),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+// ---------------------------------------------------------------- HMAC
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto mac = hmac_sha256(key, to_bytes(std::string_view("Hi There")));
+  EXPECT_EQ(to_hex(mac.view()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto mac =
+      hmac_sha256(to_bytes(std::string_view("Jefe")),
+                  to_bytes(std::string_view("what do ya want for nothing?")));
+  EXPECT_EQ(to_hex(mac.view()),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data).view()),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const auto mac = hmac_sha256(
+      key, to_bytes(std::string_view("Test Using Larger Than Block-Size Key "
+                                     "- Hash Key First")));
+  EXPECT_EQ(to_hex(mac.view()),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, Sha384Variant) {
+  // RFC 4231 case 1 for HMAC-SHA-384.
+  const Bytes key(20, 0x0b);
+  const auto mac = hmac_sha384(key, to_bytes(std::string_view("Hi There")));
+  EXPECT_EQ(to_hex(mac.view()),
+            "afd03944d84895626b0825f4ab46907f15f9dadbe4101ec682aa034c7cebc59c"
+            "faea9ea9076ede7f4af152e8b2fa9cb6");
+}
+
+// ---------------------------------------------------------------- KDFs
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = H("000102030405060708090a0b0c");
+  const Bytes info = H("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf_sha256(ikm, salt, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf_sha256(ikm, {}, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Pbkdf2, Rfc7914Vector1) {
+  const Bytes dk = pbkdf2_sha256(to_bytes(std::string_view("password")),
+                                 to_bytes(std::string_view("salt")), 1, 32);
+  EXPECT_EQ(to_hex(dk),
+            "120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b");
+}
+
+TEST(Pbkdf2, Rfc7914Vector2) {
+  const Bytes dk = pbkdf2_sha256(to_bytes(std::string_view("password")),
+                                 to_bytes(std::string_view("salt")), 2, 32);
+  EXPECT_EQ(to_hex(dk),
+            "ae4d0c95af6b46d32d0adff928f06dd02a303f8ef3c251dfd6e2d85a95474c43");
+}
+
+TEST(Pbkdf2, MultiBlockOutput) {
+  // 40-byte output forces two PRF blocks.
+  const Bytes dk =
+      pbkdf2_sha256(to_bytes(std::string_view("passwordPASSWORDpassword")),
+                    to_bytes(std::string_view("saltSALTsaltSALTsaltSALTsaltSAL"
+                                              "Tsalt")),
+                    4096, 40);
+  EXPECT_EQ(to_hex(dk),
+            "348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1"
+            "c635518c7dac47e9");
+}
+
+// ---------------------------------------------------------------- DRBG
+
+TEST(HmacDrbg, DeterministicForSameSeed) {
+  HmacDrbg a(to_bytes(std::string_view("seed material")));
+  HmacDrbg b(to_bytes(std::string_view("seed material")));
+  EXPECT_EQ(a.generate(48), b.generate(48));
+}
+
+TEST(HmacDrbg, DifferentSeedsDiverge) {
+  HmacDrbg a(to_bytes(std::string_view("seed-1")));
+  HmacDrbg b(to_bytes(std::string_view("seed-2")));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(HmacDrbg, PersonalizationSeparatesStreams) {
+  HmacDrbg a(to_bytes(std::string_view("seed")),
+             to_bytes(std::string_view("role-a")));
+  HmacDrbg b(to_bytes(std::string_view("seed")),
+             to_bytes(std::string_view("role-b")));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(HmacDrbg, SequentialCallsDiffer) {
+  HmacDrbg drbg(to_bytes(std::string_view("seed")));
+  EXPECT_NE(drbg.generate(32), drbg.generate(32));
+}
+
+TEST(HmacDrbg, ReseedChangesOutput) {
+  HmacDrbg a(to_bytes(std::string_view("seed")));
+  HmacDrbg b(to_bytes(std::string_view("seed")));
+  b.reseed(to_bytes(std::string_view("extra entropy")));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+// ---------------------------------------------------------------- AES
+
+TEST(Aes, Fips197Aes128) {
+  const Bytes key = H("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = H("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(ByteView(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  std::uint8_t back[16];
+  aes.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(ByteView(back, 16)), to_hex(pt));
+}
+
+TEST(Aes, Fips197Aes192) {
+  const Bytes key = H("000102030405060708090a0b0c0d0e0f1011121314151617");
+  const Bytes pt = H("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(ByteView(ct, 16)), "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Bytes key =
+      H("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes pt = H("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(ByteView(ct, 16)), "8ea2b7ca516745bfeafc49904b496089");
+  std::uint8_t back[16];
+  aes.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(ByteView(back, 16)), to_hex(pt));
+}
+
+// ---------------------------------------------------------------- Modes
+
+TEST(AesXts, RoundTripAndSectorSeparation) {
+  HmacDrbg drbg(to_bytes(std::string_view("xts-key")));
+  const Bytes key = drbg.generate(64);
+  AesXts xts(key);
+
+  Bytes sector(512);
+  for (std::size_t i = 0; i < sector.size(); ++i) {
+    sector[i] = static_cast<std::uint8_t>(i);
+  }
+  Bytes a = sector;
+  Bytes b = sector;
+  xts.encrypt_sector(0, a);
+  xts.encrypt_sector(1, b);
+  EXPECT_NE(a, b) << "same plaintext must differ across sectors";
+  EXPECT_NE(a, sector);
+
+  xts.decrypt_sector(0, a);
+  xts.decrypt_sector(1, b);
+  EXPECT_EQ(a, sector);
+  EXPECT_EQ(b, sector);
+}
+
+TEST(AesXts, WrongSectorFailsToDecrypt) {
+  HmacDrbg drbg(to_bytes(std::string_view("xts-key-2")));
+  AesXts xts(drbg.generate(64));
+  Bytes sector(64, 0x5a);
+  const Bytes original = sector;
+  xts.encrypt_sector(7, sector);
+  xts.decrypt_sector(8, sector);
+  EXPECT_NE(sector, original);
+}
+
+TEST(AesXts, BlocksWithinSectorDiffer) {
+  HmacDrbg drbg(to_bytes(std::string_view("xts-key-3")));
+  AesXts xts(drbg.generate(64));
+  Bytes sector(48, 0x00);  // three identical all-zero blocks
+  xts.encrypt_sector(3, sector);
+  EXPECT_FALSE(std::equal(sector.begin(), sector.begin() + 16,
+                          sector.begin() + 16));
+  EXPECT_FALSE(std::equal(sector.begin() + 16, sector.begin() + 32,
+                          sector.begin() + 32));
+}
+
+TEST(AesCtr, KeystreamIsInvolution) {
+  HmacDrbg drbg(to_bytes(std::string_view("ctr-key")));
+  const Aes cipher(drbg.generate(32));
+  const FixedBytes<16> iv = FixedBytes<16>::from(drbg.generate(16));
+  Bytes data = to_bytes(std::string_view("counter mode payload over a few "
+                                         "blocks of text to exercise wrap"));
+  const Bytes original = data;
+  aes_ctr_xor(cipher, iv, data);
+  EXPECT_NE(data, original);
+  aes_ctr_xor(cipher, iv, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(AeadCtrHmac, SealOpenRoundTrip) {
+  HmacDrbg drbg(to_bytes(std::string_view("aead-key")));
+  AeadCtrHmac aead(drbg.generate(64));
+  const Bytes nonce = drbg.generate(16);
+  const Bytes aad = to_bytes(std::string_view("header"));
+  const Bytes pt = to_bytes(std::string_view("secret payload"));
+  const Bytes sealed = aead.seal(nonce, aad, pt);
+  EXPECT_EQ(sealed.size(), pt.size() + AeadCtrHmac::kOverhead);
+  auto opened = aead.open(aad, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(AeadCtrHmac, TamperedCiphertextRejected) {
+  HmacDrbg drbg(to_bytes(std::string_view("aead-key-2")));
+  AeadCtrHmac aead(drbg.generate(64));
+  Bytes sealed = aead.seal(drbg.generate(16), {},
+                           to_bytes(std::string_view("payload")));
+  sealed[AeadCtrHmac::kNonceSize] ^= 0x01;
+  const auto r = aead.open({}, sealed);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "aead.bad_tag");
+}
+
+TEST(AeadCtrHmac, WrongAadRejected) {
+  HmacDrbg drbg(to_bytes(std::string_view("aead-key-3")));
+  AeadCtrHmac aead(drbg.generate(64));
+  const Bytes sealed = aead.seal(drbg.generate(16),
+                                 to_bytes(std::string_view("aad-1")),
+                                 to_bytes(std::string_view("payload")));
+  EXPECT_FALSE(aead.open(to_bytes(std::string_view("aad-2")), sealed).ok());
+}
+
+TEST(AeadCtrHmac, TruncatedBlobRejected) {
+  HmacDrbg drbg(to_bytes(std::string_view("aead-key-4")));
+  AeadCtrHmac aead(drbg.generate(64));
+  const Bytes tiny(10, 0);
+  EXPECT_EQ(aead.open({}, tiny).error().code, "aead.truncated");
+}
+
+// ---------------------------------------------------------------- BigInt
+
+TEST(U384, ByteRoundTrip) {
+  const Bytes raw = H("0102030405060708090a0b0c0d0e0f10");
+  const U384 v = U384::from_bytes_be(raw);
+  EXPECT_EQ(to_hex(v.to_bytes_be(16)), to_hex(raw));
+  EXPECT_EQ(v.bit_length(), 121u);  // leading byte 0x01
+}
+
+TEST(U384, CompareAndZero) {
+  EXPECT_TRUE(U384::zero().is_zero());
+  const U384 one = U384::from_u64(1);
+  const U384 two = U384::from_u64(2);
+  EXPECT_LT(one.cmp(two), 0);
+  EXPECT_GT(two.cmp(one), 0);
+  EXPECT_EQ(one.cmp(one), 0);
+}
+
+TEST(U384, AddSubCarryChain) {
+  // (2^384 - 1) + 1 overflows to zero with carry.
+  U384 max;
+  max.limbs.fill(~0ULL);
+  U384 r;
+  const std::uint64_t carry = add_with_carry(r, max, U384::from_u64(1));
+  EXPECT_EQ(carry, 1u);
+  EXPECT_TRUE(r.is_zero());
+
+  const std::uint64_t borrow =
+      sub_with_borrow(r, U384::zero(), U384::from_u64(1));
+  EXPECT_EQ(borrow, 1u);
+  EXPECT_EQ(r.limbs, max.limbs);
+}
+
+TEST(MontCtx, MulMatchesSmallModulus) {
+  // Modulus 101 (prime): verify Montgomery mul against plain arithmetic.
+  const MontCtx ctx(U384::from_u64(101));
+  for (std::uint64_t a = 0; a < 101; a += 7) {
+    for (std::uint64_t b = 0; b < 101; b += 11) {
+      const U384 am = ctx.to_mont(U384::from_u64(a));
+      const U384 bm = ctx.to_mont(U384::from_u64(b));
+      const U384 product = ctx.from_mont(ctx.mul(am, bm));
+      EXPECT_EQ(product.limbs[0], (a * b) % 101);
+    }
+  }
+}
+
+TEST(MontCtx, PowAndFermatInverse) {
+  const MontCtx ctx(U384::from_u64(1000003));  // prime
+  const U384 a = ctx.to_mont(U384::from_u64(123456));
+  const U384 inv = ctx.inv(a);
+  const U384 product = ctx.from_mont(ctx.mul(a, inv));
+  EXPECT_EQ(product.limbs[0], 1u);
+}
+
+TEST(MontCtx, ReduceLargeValue) {
+  const MontCtx ctx(U384::from_u64(97));
+  U384 big;
+  big.limbs.fill(~0ULL);  // 2^384 - 1
+  const U384 r = ctx.reduce(big);
+  // 2^384 mod 97: verify via repeated squaring in plain arithmetic.
+  std::uint64_t expect = 1;
+  for (int i = 0; i < 384; ++i) expect = (expect * 2) % 97;
+  // reduce(2^384 - 1) == (2^384 - 1) mod 97 == expect - 1 mod 97
+  EXPECT_EQ(r.limbs[0], (expect + 97 - 1) % 97);
+}
+
+TEST(MontCtx, AddSubModular) {
+  const MontCtx ctx(U384::from_u64(13));
+  const U384 a = U384::from_u64(9);
+  const U384 b = U384::from_u64(7);
+  EXPECT_EQ(ctx.add(a, b).limbs[0], 3u);   // 16 mod 13
+  EXPECT_EQ(ctx.sub(b, a).limbs[0], 11u);  // -2 mod 13
+}
+
+// ---------------------------------------------------------------- EC
+
+TEST(EcP256, GeneratorOnCurve) {
+  EXPECT_TRUE(p256().on_curve(p256().generator()));
+}
+
+TEST(EcP384, GeneratorOnCurve) {
+  EXPECT_TRUE(p384().on_curve(p384().generator()));
+}
+
+TEST(EcP256, KnownDoubleOfGenerator) {
+  const auto two_g = p256().scalar_mult_base(U384::from_u64(2));
+  EXPECT_EQ(to_hex(two_g.x.to_bytes_be(32)),
+            "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978");
+  EXPECT_EQ(to_hex(two_g.y.to_bytes_be(32)),
+            "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1");
+}
+
+TEST(EcP256, AddMatchesDouble) {
+  const auto g = p256().generator();
+  const auto sum = p256().add(g, g);
+  const auto dbl = p256().scalar_mult_base(U384::from_u64(2));
+  EXPECT_EQ(sum.x.limbs, dbl.x.limbs);
+  EXPECT_EQ(sum.y.limbs, dbl.y.limbs);
+}
+
+TEST(EcP384, AddMatchesDouble) {
+  const auto g = p384().generator();
+  const auto sum = p384().add(g, g);
+  const auto dbl = p384().scalar_mult_base(U384::from_u64(2));
+  EXPECT_EQ(sum.x.limbs, dbl.x.limbs);
+  EXPECT_EQ(sum.y.limbs, dbl.y.limbs);
+}
+
+TEST(EcP256, ScalarMultDistributes) {
+  // (a + b) G == aG + bG for several pairs.
+  const std::uint64_t pairs[][2] = {{2, 3}, {10, 7}, {123456, 654321}};
+  for (const auto& pair : pairs) {
+    const auto lhs = p256().scalar_mult_base(U384::from_u64(pair[0] + pair[1]));
+    const auto rhs = p256().add(p256().scalar_mult_base(U384::from_u64(pair[0])),
+                                p256().scalar_mult_base(U384::from_u64(pair[1])));
+    EXPECT_EQ(lhs.x.limbs, rhs.x.limbs);
+    EXPECT_EQ(lhs.y.limbs, rhs.y.limbs);
+  }
+}
+
+TEST(EcP256, OrderTimesGeneratorIsInfinity) {
+  const auto r = p256().scalar_mult_base(p256().params().n);
+  EXPECT_TRUE(r.infinity);
+}
+
+TEST(EcP384, OrderTimesGeneratorIsInfinity) {
+  const auto r = p384().scalar_mult_base(p384().params().n);
+  EXPECT_TRUE(r.infinity);
+}
+
+TEST(EcP256, RandomScalarsLandOnCurve) {
+  HmacDrbg drbg(to_bytes(std::string_view("ec-scalars")));
+  for (int i = 0; i < 8; ++i) {
+    const U384 k = U384::from_bytes_be(drbg.generate(32));
+    const auto pt = p256().scalar_mult_base(p256().scalar_field().reduce(k));
+    if (!pt.infinity) { EXPECT_TRUE(p256().on_curve(pt)); }
+  }
+}
+
+TEST(EcP384, RandomScalarsLandOnCurve) {
+  HmacDrbg drbg(to_bytes(std::string_view("ec-scalars-384")));
+  for (int i = 0; i < 4; ++i) {
+    const U384 k = U384::from_bytes_be(drbg.generate(48));
+    const auto pt = p384().scalar_mult_base(p384().scalar_field().reduce(k));
+    if (!pt.infinity) { EXPECT_TRUE(p384().on_curve(pt)); }
+  }
+}
+
+TEST(Ec, PointEncodingRoundTrip) {
+  const auto g2 = p256().scalar_mult_base(U384::from_u64(5));
+  const Bytes enc = p256().encode_point(g2);
+  EXPECT_EQ(enc.size(), 65u);
+  const auto back = p256().decode_point(enc);
+  ASSERT_FALSE(back.infinity);
+  EXPECT_EQ(back.x.limbs, g2.x.limbs);
+  EXPECT_EQ(back.y.limbs, g2.y.limbs);
+}
+
+TEST(Ec, DecodeRejectsOffCurvePoint) {
+  auto enc = p256().encode_point(p256().generator());
+  enc[40] ^= 0x01;  // corrupt a coordinate byte
+  EXPECT_TRUE(p256().decode_point(enc).infinity);
+}
+
+TEST(Ec, DecodeRejectsBadLengthOrPrefix) {
+  const Bytes short_buf(10, 0);
+  EXPECT_TRUE(p256().decode_point(short_buf).infinity);
+  auto enc = p256().encode_point(p256().generator());
+  enc[0] = 0x02;
+  EXPECT_TRUE(p256().decode_point(enc).infinity);
+}
+
+// ---------------------------------------------------------------- ECDSA
+
+class EcdsaCurves : public ::testing::TestWithParam<const Curve*> {};
+
+TEST_P(EcdsaCurves, SignVerifyRoundTrip) {
+  const Curve& curve = *GetParam();
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-keys")),
+                to_bytes(curve.params().name));
+  const EcKeyPair kp = ec_generate(curve, drbg);
+  EXPECT_TRUE(curve.on_curve(kp.q));
+
+  const auto hash = sha384(to_bytes(std::string_view("message to sign")));
+  const EcdsaSignature sig = ecdsa_sign(curve, kp.d, hash.view());
+  EXPECT_TRUE(ecdsa_verify(curve, kp.q, hash.view(), sig));
+}
+
+TEST_P(EcdsaCurves, WrongMessageFails) {
+  const Curve& curve = *GetParam();
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-keys-2")),
+                to_bytes(curve.params().name));
+  const EcKeyPair kp = ec_generate(curve, drbg);
+  const auto h1 = sha384(to_bytes(std::string_view("message A")));
+  const auto h2 = sha384(to_bytes(std::string_view("message B")));
+  const EcdsaSignature sig = ecdsa_sign(curve, kp.d, h1.view());
+  EXPECT_FALSE(ecdsa_verify(curve, kp.q, h2.view(), sig));
+}
+
+TEST_P(EcdsaCurves, WrongKeyFails) {
+  const Curve& curve = *GetParam();
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-keys-3")),
+                to_bytes(curve.params().name));
+  const EcKeyPair signer = ec_generate(curve, drbg);
+  const EcKeyPair other = ec_generate(curve, drbg);
+  const auto hash = sha384(to_bytes(std::string_view("message")));
+  const EcdsaSignature sig = ecdsa_sign(curve, signer.d, hash.view());
+  EXPECT_FALSE(ecdsa_verify(curve, other.q, hash.view(), sig));
+}
+
+TEST_P(EcdsaCurves, SignatureIsDeterministic) {
+  const Curve& curve = *GetParam();
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-keys-4")),
+                to_bytes(curve.params().name));
+  const EcKeyPair kp = ec_generate(curve, drbg);
+  const auto hash = sha384(to_bytes(std::string_view("stable message")));
+  const auto s1 = ecdsa_sign(curve, kp.d, hash.view());
+  const auto s2 = ecdsa_sign(curve, kp.d, hash.view());
+  EXPECT_EQ(s1.encode(curve), s2.encode(curve));
+}
+
+TEST_P(EcdsaCurves, TamperedSignatureComponentsFail) {
+  const Curve& curve = *GetParam();
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-keys-5")),
+                to_bytes(curve.params().name));
+  const EcKeyPair kp = ec_generate(curve, drbg);
+  const auto hash = sha384(to_bytes(std::string_view("message")));
+  EcdsaSignature sig = ecdsa_sign(curve, kp.d, hash.view());
+  sig.r.limbs[0] ^= 1;
+  EXPECT_FALSE(ecdsa_verify(curve, kp.q, hash.view(), sig));
+}
+
+TEST_P(EcdsaCurves, EncodingRoundTrip) {
+  const Curve& curve = *GetParam();
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-keys-6")),
+                to_bytes(curve.params().name));
+  const EcKeyPair kp = ec_generate(curve, drbg);
+  const auto hash = sha384(to_bytes(std::string_view("encode me")));
+  const EcdsaSignature sig = ecdsa_sign(curve, kp.d, hash.view());
+  const Bytes enc = sig.encode(curve);
+  const auto back = EcdsaSignature::decode(curve, enc);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(ecdsa_verify(curve, kp.q, hash.view(), *back));
+}
+
+TEST_P(EcdsaCurves, RejectsZeroOrOutOfRangeComponents) {
+  const Curve& curve = *GetParam();
+  HmacDrbg drbg(to_bytes(std::string_view("ecdsa-keys-7")),
+                to_bytes(curve.params().name));
+  const EcKeyPair kp = ec_generate(curve, drbg);
+  const auto hash = sha384(to_bytes(std::string_view("message")));
+  EcdsaSignature sig = ecdsa_sign(curve, kp.d, hash.view());
+  EcdsaSignature zero_r = sig;
+  zero_r.r = U384::zero();
+  EXPECT_FALSE(ecdsa_verify(curve, kp.q, hash.view(), zero_r));
+  EcdsaSignature big_s = sig;
+  big_s.s = curve.params().n;
+  EXPECT_FALSE(ecdsa_verify(curve, kp.q, hash.view(), big_s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Curves, EcdsaCurves,
+                         ::testing::Values(&p256(), &p384()),
+                         [](const auto& info) {
+                           return info.param->params().name == "P-256"
+                                      ? std::string("P256")
+                                      : std::string("P384");
+                         });
+
+TEST(Ecdh, SharedSecretAgrees) {
+  HmacDrbg drbg(to_bytes(std::string_view("ecdh")));
+  const EcKeyPair alice = ec_generate(p256(), drbg);
+  const EcKeyPair bob = ec_generate(p256(), drbg);
+  const auto s1 = ecdh_shared_secret(p256(), alice.d, bob.q);
+  const auto s2 = ecdh_shared_secret(p256(), bob.d, alice.q);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s1, *s2);
+}
+
+TEST(Ecdh, RejectsInvalidPeer) {
+  HmacDrbg drbg(to_bytes(std::string_view("ecdh-2")));
+  const EcKeyPair alice = ec_generate(p256(), drbg);
+  Curve::Point bogus{U384::from_u64(1), U384::from_u64(2), false};
+  EXPECT_FALSE(ecdh_shared_secret(p256(), alice.d, bogus).ok());
+  EXPECT_FALSE(
+      ecdh_shared_secret(p256(), alice.d, Curve::Point::at_infinity()).ok());
+}
+
+// ------------------------------------------------- extra known answers
+
+TEST(Sha384, EmptyString) {
+  EXPECT_EQ(to_hex(sha384({}).view()),
+            "38b060a751ac96384cd9327eb1b1e36a21fdb71114be07434c0cc7bf63f6e1da"
+            "274edebfe76f65fbd51ad2f14898b95b");
+}
+
+TEST(Sha384, TwoBlockMessage) {
+  const auto msg = to_bytes(std::string_view(
+      "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"));
+  EXPECT_EQ(to_hex(sha384(msg).view()),
+            "09330c33f71147e83d192fc782cd1b4753111b173b3b05d22fa08086e3b0f712"
+            "fcc7c71a557e2db966c3e9fa91746039");
+}
+
+TEST(Hmac, Rfc4231Case4TruncatedKeyData) {
+  // key = 0x0102..0x19, data = 0xcd x 50.
+  Bytes key(25);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  const Bytes data(50, 0xcd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data).view()),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(Aes, Fips197Aes192Decrypt) {
+  const Bytes key = H("000102030405060708090a0b0c0d0e0f1011121314151617");
+  const Bytes ct = H("dda97ca4864cdfe06eaf70a0ec0d7191");
+  Aes aes(key);
+  std::uint8_t pt[16];
+  aes.decrypt_block(ct.data(), pt);
+  EXPECT_EQ(to_hex(ByteView(pt, 16)), "00112233445566778899aabbccddeeff");
+}
+
+TEST(U384, ToBytesTruncatesHighZeros) {
+  const U384 v = U384::from_u64(0xabcd);
+  EXPECT_EQ(to_hex(v.to_bytes_be(2)), "abcd");
+  EXPECT_EQ(to_hex(v.to_bytes_be(4)), "0000abcd");
+}
+
+TEST(U384, BitLengthEdges) {
+  EXPECT_EQ(U384::zero().bit_length(), 0u);
+  EXPECT_EQ(U384::from_u64(1).bit_length(), 1u);
+  U384 top;
+  top.limbs[5] = 1ULL << 63;
+  EXPECT_EQ(top.bit_length(), 384u);
+  EXPECT_TRUE(top.bit(383));
+  EXPECT_FALSE(top.bit(0));
+}
+
+TEST(MontCtx, OneIsMontgomeryIdentity) {
+  const MontCtx ctx(U384::from_u64(1000003));
+  const U384 a = ctx.to_mont(U384::from_u64(777));
+  EXPECT_EQ(ctx.from_mont(ctx.mul(a, ctx.one())).limbs[0], 777u);
+}
+
+TEST(EcP384, GeneratorOrderBoundary) {
+  // (n-1)G + G == infinity on P-384 too.
+  U384 n_minus_1;
+  sub_with_borrow(n_minus_1, p384().params().n, U384::from_u64(1));
+  const auto almost = p384().scalar_mult_base(n_minus_1);
+  ASSERT_FALSE(almost.infinity);
+  EXPECT_TRUE(p384().add(almost, p384().generator()).infinity);
+}
+
+TEST(Ecdsa, VerifyRejectsInfinityAndOffCurveKeys) {
+  HmacDrbg drbg(to_bytes(std::string_view("edge")));
+  const EcKeyPair kp = ec_generate(p256(), drbg);
+  const auto hash = sha384(to_bytes(std::string_view("m")));
+  const auto sig = ecdsa_sign(p256(), kp.d, hash.view());
+  EXPECT_FALSE(
+      ecdsa_verify(p256(), Curve::Point::at_infinity(), hash.view(), sig));
+  Curve::Point off{U384::from_u64(5), U384::from_u64(7), false};
+  EXPECT_FALSE(ecdsa_verify(p256(), off, hash.view(), sig));
+}
+
+// ---------------------------------------------------------------- Merkle
+
+TEST(Merkle, SingleLeaf) {
+  const Bytes block(16, 0xaa);
+  const auto tree = MerkleTree::from_blocks(block, 16);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.root(), MerkleTree::hash_leaf(block));
+}
+
+TEST(Merkle, PathVerifiesForEveryLeaf) {
+  Bytes data(4096 * 5 + 100, 0);  // 6 blocks, last partial
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  const auto tree = MerkleTree::from_blocks(data, 4096);
+  ASSERT_EQ(tree.leaf_count(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t off = i * 4096;
+    Bytes block(4096, 0);
+    const std::size_t len = std::min<std::size_t>(4096, data.size() - off);
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(off), len,
+                block.begin());
+    const auto leaf = MerkleTree::hash_leaf(block);
+    EXPECT_TRUE(MerkleTree::verify_path(leaf, i, tree.path(i),
+                                        tree.leaf_count(), tree.root()));
+  }
+}
+
+TEST(Merkle, WrongLeafFailsPath) {
+  Bytes data(4096 * 4, 0x11);
+  const auto tree = MerkleTree::from_blocks(data, 4096);
+  Bytes tampered(4096, 0x11);
+  tampered[0] ^= 0x01;
+  const auto leaf = MerkleTree::hash_leaf(tampered);
+  EXPECT_FALSE(MerkleTree::verify_path(leaf, 0, tree.path(0),
+                                       tree.leaf_count(), tree.root()));
+}
+
+TEST(Merkle, WrongIndexFailsPath) {
+  Bytes data(4096 * 4, 0x22);
+  data[0] = 1;  // make leaf 0 distinct
+  const auto tree = MerkleTree::from_blocks(data, 4096);
+  Bytes block0(4096, 0x22);
+  block0[0] = 1;
+  const auto leaf = MerkleTree::hash_leaf(block0);
+  EXPECT_TRUE(MerkleTree::verify_path(leaf, 0, tree.path(0),
+                                      tree.leaf_count(), tree.root()));
+  EXPECT_FALSE(MerkleTree::verify_path(leaf, 1, tree.path(0),
+                                       tree.leaf_count(), tree.root()));
+}
+
+TEST(Merkle, DomainSeparationLeafVsInner) {
+  // A 64-byte "block" equal to two concatenated digests must not hash to the
+  // same value as the inner node over those digests.
+  const Digest32 a = sha256(to_bytes(std::string_view("left")));
+  const Digest32 b = sha256(to_bytes(std::string_view("right")));
+  const Bytes concat_ab = concat(a.view(), b.view());
+  EXPECT_FALSE(MerkleTree::hash_leaf(concat_ab) ==
+               MerkleTree::hash_inner(a, b));
+}
+
+TEST(Merkle, SerializeDeserializeRoundTrip) {
+  Bytes data(4096 * 7, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto tree = MerkleTree::from_blocks(data, 4096);
+  const Bytes serialized = tree.serialize();
+  const auto back = MerkleTree::deserialize(serialized);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->root(), tree.root());
+  EXPECT_EQ(back->leaf_count(), tree.leaf_count());
+}
+
+TEST(Merkle, DeserializeRejectsTamperedNodes) {
+  Bytes data(4096 * 4, 0x33);
+  const auto tree = MerkleTree::from_blocks(data, 4096);
+  Bytes serialized = tree.serialize();
+  serialized[serialized.size() - 1] ^= 0x01;  // corrupt the root level
+  EXPECT_FALSE(MerkleTree::deserialize(serialized).ok());
+}
+
+TEST(Merkle, RootChangesWithAnyBlock) {
+  Bytes data(4096 * 3, 0x44);
+  const auto base = MerkleTree::from_blocks(data, 4096);
+  for (std::size_t block = 0; block < 3; ++block) {
+    Bytes mutated = data;
+    mutated[block * 4096 + 17] ^= 0x80;
+    const auto tree = MerkleTree::from_blocks(mutated, 4096);
+    EXPECT_FALSE(tree.root() == base.root());
+  }
+}
+
+TEST(Merkle, OddLeafCountsBuildConsistently) {
+  for (std::size_t blocks : {1u, 2u, 3u, 5u, 9u, 17u}) {
+    Bytes data(64 * blocks);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i ^ blocks);
+    }
+    const auto tree = MerkleTree::from_blocks(data, 64);
+    EXPECT_EQ(tree.leaf_count(), blocks);
+    for (std::size_t i = 0; i < blocks; ++i) {
+      const auto leaf =
+          MerkleTree::hash_leaf(ByteView(data).subspan(i * 64, 64));
+      EXPECT_TRUE(MerkleTree::verify_path(leaf, i, tree.path(i), blocks,
+                                          tree.root()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace revelio::crypto

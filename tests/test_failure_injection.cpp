@@ -1,0 +1,333 @@
+// Failure injection: the distributed workflows under network faults,
+// unavailable dependencies and malformed protocol messages. The system
+// must fail *closed* (no unverified trust) and *partially* (healthy nodes
+// unaffected by sick ones).
+#include <gtest/gtest.h>
+
+#include "imagebuild/builder.hpp"
+#include "revelio/revelio_vm.hpp"
+#include "revelio/sp_node.hpp"
+#include "revelio/web_extension.hpp"
+
+namespace revelio::core {
+namespace {
+
+using crypto::HmacDrbg;
+
+constexpr const char* kDomain = "svc.revelio.app";
+
+struct FaultFixture : ::testing::Test {
+  FaultFixture()
+      : network(clock),
+        drbg(to_bytes(std::string_view("fault-tests"))),
+        kds(drbg),
+        kds_service(kds, network, {"kds.amd.com", 443}),
+        acme(clock, drbg) {
+    imagebuild::BaseImage base;
+    base.name = "ubuntu";
+    base.tag = "20.04";
+    base.packages = {{"nginx", "1.18",
+                      {{"/usr/sbin/nginx",
+                        to_bytes(std::string_view("nginx-binary"))}}}};
+    base_digest = registry.publish(base);
+
+    imagebuild::BuildInputs inputs;
+    inputs.base_image_digest = base_digest;
+    inputs.service_files["/opt/service/app"] =
+        to_bytes(std::string_view("app-v1"));
+    inputs.initrd.services = {{"app", "/opt/service/app", 50.0}};
+    inputs.initrd.allowed_inbound_ports = {"443", "8443"};
+    imagebuild::ImageBuilder builder(registry);
+    image = *builder.build(inputs);
+    expected = vm::Hypervisor::expected_measurement(
+        image.kernel_blob, image.initrd_blob, image.cmdline);
+  }
+
+  std::unique_ptr<RevelioVm> deploy_node(const std::string& host) {
+    auto platform = std::make_unique<sevsnp::AmdSp>(
+        to_bytes("platform-" + host), sevsnp::TcbVersion{2, 0, 8, 115});
+    kds.register_platform(*platform);
+    RevelioVmConfig config;
+    config.domain = kDomain;
+    config.host = host;
+    config.image = image;
+    config.kds_address = {"kds.amd.com", 443};
+    net::HttpRouter routes;
+    routes.route("GET", "/", [](const net::HttpRequest&) {
+      return net::HttpResponse::ok(to_bytes(std::string_view("app")));
+    });
+    auto node =
+        RevelioVm::deploy(*platform, network, config, std::move(routes));
+    EXPECT_TRUE(node.ok());
+    platforms.push_back(std::move(platform));
+    return std::move(*node);
+  }
+
+  std::unique_ptr<SpNode> make_sp() {
+    SpNodeConfig config;
+    config.domain = kDomain;
+    config.kds_address = {"kds.amd.com", 443};
+    config.expected_measurements = {expected};
+    return std::make_unique<SpNode>(network, acme, config);
+  }
+
+  SimClock clock;
+  net::Network network;
+  HmacDrbg drbg;
+  sevsnp::KeyDistributionServer kds;
+  KdsService kds_service;
+  pki::AcmeIssuer acme;
+  imagebuild::PackageRegistry registry;
+  crypto::Digest32 base_digest;
+  imagebuild::VmImage image;
+  sevsnp::Measurement expected;
+  std::vector<std::unique_ptr<sevsnp::AmdSp>> platforms;
+};
+
+// ------------------------------------------------------ network faults
+
+TEST_F(FaultFixture, UnreachableNodeFailsAttestationOthersProceed) {
+  auto node1 = deploy_node("10.0.0.1");
+  auto node2 = deploy_node("10.0.0.2");
+  auto sp = make_sp();
+  sp->approve_node(node1->bootstrap_address(), platforms[0]->chip_id());
+  sp->approve_node(node2->bootstrap_address(), platforms[1]->chip_id());
+
+  // All traffic to node 2 is dropped (host down / partition).
+  network.set_interceptor(
+      [](const net::Address&, const net::Address& to, ByteView) {
+        if (to.host == "10.0.0.2") return net::MitmAction::drop();
+        return net::MitmAction::forward();
+      });
+  auto outcomes = sp->provision_fleet();
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_TRUE((*outcomes)[0].attested);
+  EXPECT_FALSE((*outcomes)[1].attested);
+  EXPECT_TRUE(node1->serving_tls());
+  EXPECT_FALSE(node2->serving_tls());
+}
+
+TEST_F(FaultFixture, AllNodesDownFailsProvisioningCleanly) {
+  auto node = deploy_node("10.0.0.1");
+  auto sp = make_sp();
+  sp->approve_node(node->bootstrap_address(), platforms[0]->chip_id());
+  network.set_interceptor([](const net::Address&, const net::Address&,
+                             ByteView) { return net::MitmAction::drop(); });
+  auto outcomes = sp->provision_fleet();
+  ASSERT_FALSE(outcomes.ok());
+  EXPECT_EQ(outcomes.error().code, "sp.no_healthy_nodes");
+}
+
+TEST_F(FaultFixture, TamperedBundleInTransitRejected) {
+  auto node = deploy_node("10.0.0.1");
+  auto sp = make_sp();
+  sp->approve_node(node->bootstrap_address(), platforms[0]->chip_id());
+  // A MITM flips one byte of every response going to the SP? We cannot
+  // touch responses, so flip the request path instead — the node will 404,
+  // which the SP must treat as a failed node, not a crash.
+  network.set_interceptor(
+      [](const net::Address&, const net::Address& to, ByteView request) {
+        if (to.port == 8443) {
+          Bytes mangled = to_bytes(request);
+          if (mangled.size() > 20) mangled[15] ^= 0x01;
+          return net::MitmAction::tamper(std::move(mangled));
+        }
+        return net::MitmAction::forward();
+      });
+  auto csr = sp->attest_node(node->bootstrap_address());
+  EXPECT_FALSE(csr.ok());
+}
+
+TEST_F(FaultFixture, KdsOutageFailsAttestationClosed) {
+  auto node = deploy_node("10.0.0.1");
+  auto sp = make_sp();
+  sp->approve_node(node->bootstrap_address(), platforms[0]->chip_id());
+  ASSERT_TRUE(sp->provision_fleet().ok());
+  network.dns_set_a(kDomain, "10.0.0.1");
+
+  // KDS goes down AFTER provisioning; a fresh end-user cannot attest and
+  // must NOT be shown the page as verified.
+  network.set_interceptor(
+      [](const net::Address&, const net::Address& to, ByteView) {
+        if (to.host == "kds.amd.com") return net::MitmAction::drop();
+        return net::MitmAction::forward();
+      });
+  Browser browser(network, "laptop", acme.trusted_roots(),
+                  HmacDrbg(to_bytes(std::string_view("user"))));
+  WebExtensionConfig ext_config;
+  ext_config.kds_address = {"kds.amd.com", 443};
+  WebExtension extension(browser, ext_config);
+  SiteRegistration site;
+  site.expected_measurements = {expected};
+  extension.register_site(kDomain, site);
+  auto r = extension.get(kDomain, 443, "/");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "extension.attestation_failed");
+}
+
+TEST_F(FaultFixture, ReattestationAfterServerRestartSucceeds) {
+  auto node = deploy_node("10.0.0.1");
+  auto sp = make_sp();
+  sp->approve_node(node->bootstrap_address(), platforms[0]->chip_id());
+  ASSERT_TRUE(sp->provision_fleet().ok());
+  network.dns_set_a(kDomain, "10.0.0.1");
+
+  Browser browser(network, "laptop", acme.trusted_roots(),
+                  HmacDrbg(to_bytes(std::string_view("user"))));
+  WebExtensionConfig ext_config;
+  ext_config.kds_address = {"kds.amd.com", 443};
+  WebExtension extension(browser, ext_config);
+  SiteRegistration site;
+  site.expected_measurements = {expected};
+  extension.register_site(kDomain, site);
+  ASSERT_TRUE(extension.get(kDomain, 443, "/").ok());
+
+  // The genuine server restarts (same VM, sessions dropped). The browser
+  // reconnects; the extension re-attests the new session transparently.
+  browser.drop_session(kDomain);
+  auto again = extension.get(kDomain, 443, "/");
+  ASSERT_TRUE(again.ok()) << again.error().to_string();
+  EXPECT_TRUE(again->checks.all_ok());
+  EXPECT_EQ(extension.attestations_performed(), 2u);
+  EXPECT_EQ(extension.kds_fetches(), 1u) << "VCEK cache still valid";
+}
+
+// -------------------------------------------------- malformed messages
+
+TEST_F(FaultFixture, BootstrapEndpointRejectsGarbageAndUnknownPaths) {
+  auto node = deploy_node("10.0.0.1");
+  // Garbage frame.
+  auto raw = network.call({"x", 1}, node->bootstrap_address(),
+                          to_bytes(std::string_view("not-http")));
+  ASSERT_TRUE(raw.ok());
+  auto response = net::HttpResponse::parse(*raw);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+
+  // Unknown path.
+  net::HttpRequest request;
+  request.method = "GET";
+  request.path = "/revelio/unknown";
+  raw = network.call({"x", 1}, node->bootstrap_address(),
+                     request.serialize());
+  response = net::HttpResponse::parse(*raw);
+  EXPECT_EQ(response->status, 404);
+
+  // Malformed certificate install body.
+  request.method = "POST";
+  request.path = "/revelio/certificate";
+  request.body = to_bytes(std::string_view("garbage"));
+  raw = network.call({"x", 1}, node->bootstrap_address(),
+                     request.serialize());
+  response = net::HttpResponse::parse(*raw);
+  EXPECT_EQ(response->status, 400);
+
+  // Key request before any identity is installed.
+  request.path = "/revelio/key-request";
+  request.body = node->identity_evidence().serialize();
+  raw = network.call({"x", 1}, node->bootstrap_address(),
+                     request.serialize());
+  response = net::HttpResponse::parse(*raw);
+  EXPECT_EQ(response->status, 503);
+}
+
+TEST_F(FaultFixture, CertificateForWrongDomainRefused) {
+  auto node = deploy_node("10.0.0.1");
+  // Hand-issue a certificate for a different domain and push it.
+  HmacDrbg ca_drbg(to_bytes(std::string_view("other-ca")));
+  auto root = pki::CertificateAuthority::create_root(
+      crypto::p384(), {"Root", "X", "US"}, 0,
+      365ull * 24 * 3600 * 1000 * 1000, ca_drbg);
+  const auto cert = root.issue_for_key(
+      "P-256", node->identity_public_key(), {"other.example", "X", "US"},
+      {"other.example"}, 0, 365ull * 24 * 3600 * 1000 * 1000);
+
+  Bytes body;
+  auto field = [&body](ByteView v) {
+    append_u32be(body, static_cast<std::uint32_t>(v.size()));
+    append(body, v);
+  };
+  field(cert.serialize());
+  append_u32be(body, 0);  // no chain
+  field(to_bytes(std::string_view("10.0.0.1")));
+  append_u32be(body, 8443);
+
+  net::HttpRequest request;
+  request.method = "POST";
+  request.path = "/revelio/certificate";
+  request.body = std::move(body);
+  auto raw = network.call({"x", 1}, node->bootstrap_address(),
+                          request.serialize());
+  auto response = net::HttpResponse::parse(*raw);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+  EXPECT_FALSE(node->serving_tls());
+}
+
+TEST_F(FaultFixture, KdsServiceRejectsMalformedAndUnknownRequests) {
+  // Malformed request size.
+  auto raw = network.call({"x", 1}, {"kds.amd.com", 443},
+                          to_bytes(std::string_view("short")));
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(to_string(ByteView(*raw).subspan(0, 2)), "ER");
+
+  // Unknown chip.
+  Bytes request(64 + 8, 0xaa);
+  raw = network.call({"x", 1}, {"kds.amd.com", 443}, request);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(to_string(ByteView(*raw).subspan(0, 2)), "ER");
+
+  // Client helper surfaces the error.
+  sevsnp::ChipId unknown = sevsnp::ChipId::from(Bytes(64, 0xaa));
+  auto fetched = KdsService::fetch(network, {"x", 1}, {"kds.amd.com", 443},
+                                   unknown, sevsnp::TcbVersion{});
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.error().code, "kds.error");
+}
+
+TEST_F(FaultFixture, AcmeChallengeIsSingleUse) {
+  const auto key = crypto::ec_generate(crypto::p256(), drbg);
+  const auto csr = pki::make_csr(crypto::p256(), key, {kDomain, "S", "US"},
+                                 {kDomain});
+  const std::string token = acme.request_challenge("acct", kDomain);
+  network.dns_set_txt("_acme-challenge." + std::string(kDomain), token);
+  auto lookup = [this](const std::string& name) {
+    return network.dns_txt(name);
+  };
+  ASSERT_TRUE(acme.finalize("acct", csr, lookup).ok());
+  // The consumed challenge cannot authorize a second issuance.
+  const auto again = acme.finalize("acct", csr, lookup);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code, "acme.no_challenge");
+}
+
+TEST_F(FaultFixture, FirewallBlocksUnlistedBootstrapPort) {
+  // An image that does not allow the bootstrap port: the VM must refuse to
+  // expose its provisioning endpoints (and the SP round then fails).
+  imagebuild::BuildInputs inputs;
+  inputs.base_image_digest = base_digest;
+  inputs.service_files["/opt/service/app"] =
+      to_bytes(std::string_view("app-v1"));
+  inputs.initrd.services = {{"app", "/opt/service/app", 50.0}};
+  inputs.initrd.allowed_inbound_ports = {"443"};  // 8443 missing
+  imagebuild::ImageBuilder builder(registry);
+  const auto locked_image = *builder.build(inputs);
+
+  auto platform = std::make_unique<sevsnp::AmdSp>(
+      to_bytes(std::string_view("locked-platform")),
+      sevsnp::TcbVersion{2, 0, 8, 115});
+  kds.register_platform(*platform);
+  RevelioVmConfig config;
+  config.domain = kDomain;
+  config.host = "10.0.0.7";
+  config.image = locked_image;
+  config.kds_address = {"kds.amd.com", 443};
+  auto node =
+      RevelioVm::deploy(*platform, network, config, net::HttpRouter{});
+  ASSERT_TRUE(node.ok());
+  EXPECT_FALSE(network.is_listening((*node)->bootstrap_address()));
+  platforms.push_back(std::move(platform));
+}
+
+}  // namespace
+}  // namespace revelio::core

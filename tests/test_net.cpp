@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include "net/http.hpp"
+#include "net/network.hpp"
+#include "net/tls.hpp"
+#include "pki/ca.hpp"
+
+namespace revelio::net {
+namespace {
+
+using crypto::HmacDrbg;
+
+constexpr std::uint64_t kYearUs = 365ull * 24 * 3600 * 1000 * 1000;
+
+// ---------------------------------------------------------------- Network
+
+struct NetFixture : ::testing::Test {
+  SimClock clock;
+  Network network{clock};
+};
+
+TEST_F(NetFixture, CallReachesHandlerAndChargesLatency) {
+  const Address server{"10.0.0.1", 80};
+  network.listen(server, [](ByteView req, const Address& from) {
+    EXPECT_EQ(from.host, "10.0.0.9");
+    return concat(to_bytes(std::string_view("echo:")), req);
+  });
+  network.set_default_latency_ms(5.0);
+  const double before = clock.now_ms();
+  auto r = network.call({"10.0.0.9", 1234}, server,
+                        to_bytes(std::string_view("hi")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string(*r), "echo:hi");
+  EXPECT_DOUBLE_EQ(clock.now_ms() - before, 10.0) << "one RTT";
+}
+
+TEST_F(NetFixture, ConnectionRefusedWithoutListener) {
+  auto r = network.call({"a", 1}, {"b", 2}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "net.connection_refused");
+}
+
+TEST_F(NetFixture, CloseStopsListening) {
+  const Address addr{"h", 80};
+  network.listen(addr, [](ByteView, const Address&) { return Bytes{}; });
+  EXPECT_TRUE(network.is_listening(addr));
+  network.close(addr);
+  EXPECT_FALSE(network.is_listening(addr));
+}
+
+TEST_F(NetFixture, LinkLatencyOverridesDefault) {
+  network.set_default_latency_ms(10.0);
+  network.set_link_latency_ms("client", "server", 1.0);
+  network.listen({"server", 80},
+                 [](ByteView, const Address&) { return Bytes{}; });
+  const double before = clock.now_ms();
+  ASSERT_TRUE(network.call({"client", 1}, {"server", 80}, {}).ok());
+  EXPECT_DOUBLE_EQ(clock.now_ms() - before, 2.0);
+}
+
+TEST_F(NetFixture, InterceptorCanDrop) {
+  network.listen({"s", 80}, [](ByteView, const Address&) {
+    return to_bytes(std::string_view("ok"));
+  });
+  network.set_interceptor([](const Address&, const Address&, ByteView) {
+    return MitmAction::drop();
+  });
+  auto r = network.call({"c", 1}, {"s", 80}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "net.timeout");
+  network.clear_interceptor();
+  EXPECT_TRUE(network.call({"c", 1}, {"s", 80}, {}).ok());
+}
+
+TEST_F(NetFixture, InterceptorCanTamper) {
+  network.listen({"s", 80}, [](ByteView req, const Address&) {
+    return to_bytes(req);
+  });
+  network.set_interceptor([](const Address&, const Address&, ByteView) {
+    return MitmAction::tamper(to_bytes(std::string_view("evil")));
+  });
+  auto r = network.call({"c", 1}, {"s", 80}, to_bytes(std::string_view("hi")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string(*r), "evil");
+}
+
+TEST_F(NetFixture, InterceptorCanRedirect) {
+  network.listen({"good", 80}, [](ByteView, const Address&) {
+    return to_bytes(std::string_view("good"));
+  });
+  network.listen({"evil", 80}, [](ByteView, const Address&) {
+    return to_bytes(std::string_view("evil"));
+  });
+  network.set_interceptor([](const Address&, const Address&, ByteView) {
+    return MitmAction::redirect({"evil", 80});
+  });
+  auto r = network.call({"c", 1}, {"good", 80}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string(*r), "evil");
+}
+
+TEST_F(NetFixture, DnsResolveAndNxdomain) {
+  network.dns_set_a("svc.example.com", "10.1.2.3");
+  auto addr = network.resolve("svc.example.com", 443);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr->host, "10.1.2.3");
+  EXPECT_EQ(addr->port, 443);
+  EXPECT_EQ(network.resolve("nope.example", 1).error().code, "net.nxdomain");
+  network.dns_remove_a("svc.example.com");
+  EXPECT_FALSE(network.resolve("svc.example.com", 443).ok());
+}
+
+TEST_F(NetFixture, DnsTxtRecords) {
+  EXPECT_TRUE(network.dns_txt("x").empty());
+  network.dns_set_txt("x", "a");
+  network.dns_set_txt("x", "b");
+  EXPECT_EQ(network.dns_txt("x").size(), 2u);
+  network.dns_clear_txt("x");
+  EXPECT_TRUE(network.dns_txt("x").empty());
+}
+
+// ------------------------------------------------------------------ HTTP
+
+TEST(Http, RequestRoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/api/submit";
+  req.host = "svc.example.com";
+  req.headers["content-type"] = "application/json";
+  req.body = to_bytes(std::string_view("{\"k\":1}"));
+  auto parsed = HttpRequest::parse(req.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->path, "/api/submit");
+  EXPECT_EQ(parsed->headers.at("content-type"), "application/json");
+  EXPECT_EQ(parsed->body, req.body);
+}
+
+TEST(Http, ResponseRoundTrip) {
+  HttpResponse resp = HttpResponse::ok(to_bytes(std::string_view("<html>")),
+                                       "text/html");
+  auto parsed = HttpResponse::parse(resp.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->headers.at("content-type"), "text/html");
+}
+
+TEST(Http, ParseRejectsGarbage) {
+  EXPECT_FALSE(HttpRequest::parse(to_bytes(std::string_view("junk"))).ok());
+  EXPECT_FALSE(HttpResponse::parse({}).ok());
+}
+
+TEST(Http, RouterLongestPrefixWins) {
+  HttpRouter router;
+  router.route("GET", "/a/*", [](const HttpRequest&) {
+    return HttpResponse::ok(to_bytes(std::string_view("short")));
+  });
+  router.route("GET", "/a/b/*", [](const HttpRequest&) {
+    return HttpResponse::ok(to_bytes(std::string_view("long")));
+  });
+  HttpRequest req;
+  req.path = "/a/b/c";
+  EXPECT_EQ(to_string(router.dispatch(req).body), "long");
+  req.path = "/a/x";
+  EXPECT_EQ(to_string(router.dispatch(req).body), "short");
+}
+
+TEST(Http, ResponseHelpers) {
+  EXPECT_EQ(HttpResponse::not_found().status, 404);
+  const auto err = HttpResponse::error(503, "down");
+  EXPECT_EQ(err.status, 503);
+  EXPECT_EQ(to_string(err.body), "down");
+  const auto ok = HttpResponse::ok({}, "application/json");
+  EXPECT_EQ(ok.headers.at("content-type"), "application/json");
+}
+
+TEST(Http, RouterExactAndPrefixDispatch) {
+  HttpRouter router;
+  router.route("GET", "/", [](const HttpRequest&) {
+    return HttpResponse::ok(to_bytes(std::string_view("index")));
+  });
+  router.route("GET", "/api/*", [](const HttpRequest& r) {
+    return HttpResponse::ok(to_bytes("api:" + r.path));
+  });
+  router.route("GET", "/api/special", [](const HttpRequest&) {
+    return HttpResponse::ok(to_bytes(std::string_view("special")));
+  });
+
+  HttpRequest req;
+  req.path = "/";
+  EXPECT_EQ(to_string(router.dispatch(req).body), "index");
+  req.path = "/api/special";
+  EXPECT_EQ(to_string(router.dispatch(req).body), "special");
+  req.path = "/api/other";
+  EXPECT_EQ(to_string(router.dispatch(req).body), "api:/api/other");
+  req.path = "/missing";
+  EXPECT_EQ(router.dispatch(req).status, 404);
+  req.method = "DELETE";
+  req.path = "/";
+  EXPECT_EQ(router.dispatch(req).status, 404);
+}
+
+// ------------------------------------------------------------------- TLS
+
+struct TlsFixture : ::testing::Test {
+  TlsFixture()
+      : network(clock),
+        drbg(to_bytes(std::string_view("tls-tests"))),
+        root(pki::CertificateAuthority::create_root(
+            crypto::p384(), {"TLS Root", "Org", "US"}, 0, 10 * kYearUs,
+            drbg)) {}
+
+  TlsServerIdentity make_identity(const std::string& dns_name) {
+    TlsServerIdentity id;
+    id.curve = &crypto::p256();
+    id.key = crypto::ec_generate(crypto::p256(), drbg);
+    id.certificate = root.issue_for_key(
+        "P-256", id.key.public_encoded(crypto::p256()),
+        {dns_name, "Svc", "US"}, {dns_name}, 0, kYearUs);
+    return id;
+  }
+
+  std::unique_ptr<TlsServer> make_server(const std::string& dns_name,
+                                         const Address& addr) {
+    auto server = std::make_unique<TlsServer>(
+        make_identity(dns_name),
+        [](ByteView plaintext, const Address&) {
+          return concat(to_bytes(std::string_view("srv:")), plaintext);
+        },
+        HmacDrbg(to_bytes(std::string_view("server-entropy")),
+                 to_bytes(dns_name)));
+    server->install(network, addr);
+    return server;
+  }
+
+  TlsTrustConfig trust_for(const std::string& name) {
+    TlsTrustConfig trust;
+    trust.roots = {root.certificate()};
+    trust.server_name = name;
+    trust.now_us = clock.now_us();
+    return trust;
+  }
+
+  SimClock clock;
+  Network network{clock};
+  HmacDrbg drbg;
+  pki::CertificateAuthority root;
+};
+
+TEST_F(TlsFixture, HandshakeAndEcho) {
+  auto server = make_server("svc.example.com", {"10.0.0.1", 443});
+  auto session = TlsSession::connect(network, {"laptop", 40000},
+                                     {"10.0.0.1", 443},
+                                     trust_for("svc.example.com"), drbg);
+  ASSERT_TRUE(session.ok()) << session.error().to_string();
+  auto r = session->request(to_bytes(std::string_view("ping")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string(*r), "srv:ping");
+  // Multiple sequenced requests on the same session.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(session->request(to_bytes(std::string_view("x"))).ok());
+  }
+}
+
+TEST_F(TlsFixture, ClientSeesServerLeafKey) {
+  auto server = make_server("svc.example.com", {"10.0.0.1", 443});
+  auto session = TlsSession::connect(network, {"laptop", 40000},
+                                     {"10.0.0.1", 443},
+                                     trust_for("svc.example.com"), drbg);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->server_public_key(),
+            server->certificate().public_key);
+}
+
+TEST_F(TlsFixture, UntrustedRootRejected) {
+  auto server = make_server("svc.example.com", {"10.0.0.1", 443});
+  HmacDrbg other_drbg(to_bytes(std::string_view("other")));
+  auto other_root = pki::CertificateAuthority::create_root(
+      crypto::p384(), {"Other Root", "X", "US"}, 0, kYearUs, other_drbg);
+  TlsTrustConfig trust;
+  trust.roots = {other_root.certificate()};
+  trust.server_name = "svc.example.com";
+  auto session = TlsSession::connect(network, {"laptop", 1}, {"10.0.0.1", 443},
+                                     trust, drbg);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.error().code, "tls.untrusted_certificate");
+}
+
+TEST_F(TlsFixture, NameMismatchRejected) {
+  auto server = make_server("svc.example.com", {"10.0.0.1", 443});
+  auto session = TlsSession::connect(network, {"laptop", 1}, {"10.0.0.1", 443},
+                                     trust_for("other.example.com"), drbg);
+  EXPECT_FALSE(session.ok());
+}
+
+TEST_F(TlsFixture, ServerWithoutPrivateKeyFailsTranscript) {
+  // An impostor presents svc's real certificate but holds a different key:
+  // the transcript signature cannot verify.
+  auto real_identity = make_identity("svc.example.com");
+  TlsServerIdentity impostor = real_identity;
+  impostor.key = crypto::ec_generate(crypto::p256(), drbg);  // wrong key
+  TlsServer server(std::move(impostor),
+                   [](ByteView, const Address&) { return Bytes{}; },
+                   HmacDrbg(to_bytes(std::string_view("imp"))));
+  server.install(network, {"10.0.0.2", 443});
+  auto session = TlsSession::connect(network, {"laptop", 1}, {"10.0.0.2", 443},
+                                     trust_for("svc.example.com"), drbg);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.error().code, "tls.bad_transcript_signature");
+}
+
+TEST_F(TlsFixture, TamperedRecordRejectedByServer) {
+  auto server = make_server("svc.example.com", {"10.0.0.1", 443});
+  auto session = TlsSession::connect(network, {"laptop", 1}, {"10.0.0.1", 443},
+                                     trust_for("svc.example.com"), drbg);
+  ASSERT_TRUE(session.ok());
+  // Attacker flips a byte in every data frame.
+  network.set_interceptor(
+      [](const Address&, const Address&, ByteView request) {
+        if (!request.empty() && request[0] == 0x03) {
+          Bytes tampered = to_bytes(request);
+          tampered.back() ^= 0x01;
+          return MitmAction::tamper(std::move(tampered));
+        }
+        return MitmAction::forward();
+      });
+  auto r = session->request(to_bytes(std::string_view("payload")));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "tls.alert");
+}
+
+TEST_F(TlsFixture, SessionResetDetected) {
+  auto server = make_server("svc.example.com", {"10.0.0.1", 443});
+  auto session = TlsSession::connect(network, {"laptop", 1}, {"10.0.0.1", 443},
+                                     trust_for("svc.example.com"), drbg);
+  ASSERT_TRUE(session.ok());
+  server->reset_sessions();
+  auto r = session->request(to_bytes(std::string_view("hello")));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "tls.alert");
+}
+
+TEST_F(TlsFixture, RedirectToLookalikeYieldsDifferentKey) {
+  // The provider redirects traffic to another server with a CA-valid
+  // certificate for the same name (it controls DNS/issuance): TLS alone
+  // accepts it — only the Revelio key comparison catches it. Here we verify
+  // the sessions expose different keys for the detection layer.
+  auto good = make_server("svc.example.com", {"10.0.0.1", 443});
+  auto evil = make_server("svc.example.com", {"6.6.6.6", 443});
+
+  auto s1 = TlsSession::connect(network, {"laptop", 1}, {"10.0.0.1", 443},
+                                trust_for("svc.example.com"), drbg);
+  ASSERT_TRUE(s1.ok());
+  network.set_interceptor([](const Address&, const Address& to, ByteView) {
+    if (to.host == "10.0.0.1") return MitmAction::redirect({"6.6.6.6", 443});
+    return MitmAction::forward();
+  });
+  auto s2 = TlsSession::connect(network, {"laptop", 1}, {"10.0.0.1", 443},
+                                trust_for("svc.example.com"), drbg);
+  ASSERT_TRUE(s2.ok()) << "TLS alone accepts the lookalike";
+  EXPECT_NE(s1->server_public_key(), s2->server_public_key());
+}
+
+TEST_F(TlsFixture, P384ServerIdentityWorks) {
+  // Server identities may sit on P-384 (the handshake ephemerals stay on
+  // P-256); the AMD-style chain uses this.
+  TlsServerIdentity id;
+  id.curve = &crypto::p384();
+  id.key = crypto::ec_generate(crypto::p384(), drbg);
+  id.certificate = root.issue_for_key(
+      "P-384", id.key.public_encoded(crypto::p384()),
+      {"svc384.example", "Svc", "US"}, {"svc384.example"}, 0, kYearUs);
+  TlsServer server(std::move(id),
+                   [](ByteView, const Address&) {
+                     return to_bytes(std::string_view("ok"));
+                   },
+                   HmacDrbg(to_bytes(std::string_view("p384-server"))));
+  server.install(network, {"10.0.0.5", 443});
+  auto session = TlsSession::connect(network, {"laptop", 1}, {"10.0.0.5", 443},
+                                     trust_for("svc384.example"), drbg);
+  ASSERT_TRUE(session.ok()) << session.error().to_string();
+  EXPECT_TRUE(session->request(to_bytes(std::string_view("x"))).ok());
+}
+
+TEST_F(TlsFixture, ConcurrentSessionsAreIndependent) {
+  auto server = make_server("svc.example.com", {"10.0.0.1", 443});
+  auto s1 = TlsSession::connect(network, {"laptop", 1}, {"10.0.0.1", 443},
+                                trust_for("svc.example.com"), drbg);
+  auto s2 = TlsSession::connect(network, {"phone", 2}, {"10.0.0.1", 443},
+                                trust_for("svc.example.com"), drbg);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  // Interleaved traffic on both sessions keeps sequence state separate.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(s1->request(to_bytes(std::string_view("a"))).ok());
+    EXPECT_TRUE(s2->request(to_bytes(std::string_view("b"))).ok());
+    EXPECT_TRUE(s2->request(to_bytes(std::string_view("c"))).ok());
+  }
+}
+
+TEST_F(TlsFixture, ExpiredServerCertificateRejected) {
+  TlsServerIdentity id = make_identity("svc.example.com");
+  // Reissue with a validity window already over.
+  id.certificate = root.issue_for_key(
+      "P-256", id.key.public_encoded(crypto::p256()),
+      {"svc.example.com", "Svc", "US"}, {"svc.example.com"}, 0, 1000);
+  TlsServer server(std::move(id),
+                   [](ByteView, const Address&) { return Bytes{}; },
+                   HmacDrbg(to_bytes(std::string_view("expired"))));
+  server.install(network, {"10.0.0.6", 443});
+  clock.advance_ms(10.0);  // past the 1 ms validity
+  auto session = TlsSession::connect(network, {"laptop", 1}, {"10.0.0.6", 443},
+                                     trust_for("svc.example.com"), drbg);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.error().code, "tls.untrusted_certificate");
+}
+
+TEST_F(TlsFixture, HandshakeRejectsGarbageFrames) {
+  auto server = make_server("svc.example.com", {"10.0.0.1", 443});
+  auto r = network.call({"laptop", 1}, {"10.0.0.1", 443},
+                        to_bytes(std::string_view("garbage")));
+  ASSERT_TRUE(r.ok());  // transport succeeds, TLS alerts
+  EXPECT_EQ((*r)[0], 0x0f);
+}
+
+}  // namespace
+}  // namespace revelio::net

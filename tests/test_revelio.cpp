@@ -1,0 +1,648 @@
+#include <gtest/gtest.h>
+
+#include "imagebuild/builder.hpp"
+#include "revelio/revelio_vm.hpp"
+#include "revelio/sp_node.hpp"
+#include "revelio/trusted_registry.hpp"
+#include "revelio/web_extension.hpp"
+
+namespace revelio::core {
+namespace {
+
+using crypto::HmacDrbg;
+
+constexpr const char* kDomain = "svc.revelio.app";
+
+/// Full deployment fixture: 3 SEV-SNP platforms, KDS, ACME, SP node,
+/// 3 Revelio VMs behind one domain, a browser with the extension.
+struct RevelioFixture : ::testing::Test {
+  RevelioFixture()
+      : network(clock),
+        fixture_drbg(to_bytes(std::string_view("revelio-e2e"))),
+        kds(fixture_drbg),
+        kds_service(kds, network, {"kds.amd.com", 443}),
+        acme(clock, fixture_drbg) {
+    // Base image + service artefacts.
+    imagebuild::BaseImage base;
+    base.name = "ubuntu";
+    base.tag = "20.04";
+    base.packages = {
+        {"nginx", "1.18", {{"/usr/sbin/nginx",
+                            to_bytes(std::string_view("nginx-binary"))}}}};
+    base_digest = registry.publish(base);
+
+    image = build_image("service-binary-v1");
+    expected_measurement = vm::Hypervisor::expected_measurement(
+        image.kernel_blob, image.initrd_blob, image.cmdline);
+  }
+
+  imagebuild::VmImage build_image(std::string_view service_content) {
+    imagebuild::BuildInputs inputs;
+    inputs.base_image_digest = base_digest;
+    inputs.service_files["/opt/service/app"] = to_bytes(service_content);
+    inputs.initrd.services = {{"nginx", "/usr/sbin/nginx", 120.0},
+                              {"app", "/opt/service/app", 300.0}};
+    inputs.initrd.allowed_inbound_ports = {"443", "8443"};
+    imagebuild::ImageBuilder builder(registry);
+    auto built = builder.build(inputs);
+    EXPECT_TRUE(built.ok());
+    return *built;
+  }
+
+  net::HttpRouter app_routes() {
+    net::HttpRouter routes;
+    routes.route("GET", "/", [](const net::HttpRequest&) {
+      return net::HttpResponse::ok(to_bytes(std::string_view("<html>app</html>")),
+                                   "text/html");
+    });
+    return routes;
+  }
+
+  /// Deploys one node on a fresh platform.
+  std::unique_ptr<RevelioVm> deploy_node(const std::string& host,
+                                         const imagebuild::VmImage& img) {
+    auto sp = std::make_unique<sevsnp::AmdSp>(
+        to_bytes("platform-" + host), sevsnp::TcbVersion{2, 0, 8, 115});
+    kds.register_platform(*sp);
+    RevelioVmConfig config;
+    config.domain = kDomain;
+    config.host = host;
+    config.image = img;
+    config.kds_address = {"kds.amd.com", 443};
+    auto node = RevelioVm::deploy(*sp, network, config, app_routes());
+    EXPECT_TRUE(node.ok()) << (node.ok() ? "" : node.error().to_string());
+    platforms.push_back(std::move(sp));
+    return std::move(*node);
+  }
+
+  /// Deploys the standard 3-node fleet and provisions certificates.
+  void provision_standard_fleet() {
+    for (const std::string host : {"10.0.0.1", "10.0.0.2", "10.0.0.3"}) {
+      nodes.push_back(deploy_node(host, image));
+    }
+    SpNodeConfig sp_config;
+    sp_config.domain = kDomain;
+    sp_config.kds_address = {"kds.amd.com", 443};
+    sp_config.expected_measurements = {expected_measurement};
+    sp = std::make_unique<SpNode>(network, acme, sp_config);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      sp->approve_node(nodes[i]->bootstrap_address(),
+                       platforms[i]->chip_id());
+    }
+    auto outcomes = sp->provision_fleet();
+    ASSERT_TRUE(outcomes.ok()) << outcomes.error().to_string();
+    fleet_outcomes = *outcomes;
+    network.dns_set_a(kDomain, "10.0.0.1");
+  }
+
+  Browser make_browser() {
+    return Browser(network, "laptop", acme.trusted_roots(),
+                   HmacDrbg(to_bytes(std::string_view("browser-entropy"))));
+  }
+
+  WebExtension make_extension(Browser& browser) {
+    WebExtensionConfig config;
+    config.kds_address = {"kds.amd.com", 443};
+    return WebExtension(browser, config);
+  }
+
+  SiteRegistration manual_registration() {
+    SiteRegistration site;
+    site.expected_measurements = {expected_measurement};
+    return site;
+  }
+
+  SimClock clock;
+  net::Network network;
+  HmacDrbg fixture_drbg;
+  sevsnp::KeyDistributionServer kds;
+  KdsService kds_service;
+  pki::AcmeIssuer acme;
+  imagebuild::PackageRegistry registry;
+  crypto::Digest32 base_digest;
+  imagebuild::VmImage image;
+  sevsnp::Measurement expected_measurement;
+  std::vector<std::unique_ptr<sevsnp::AmdSp>> platforms;
+  std::vector<std::unique_ptr<RevelioVm>> nodes;
+  std::unique_ptr<SpNode> sp;
+  std::vector<NodeAttestation> fleet_outcomes;
+};
+
+// ------------------------------------------------------------ provisioning
+
+TEST_F(RevelioFixture, FleetProvisioningSharesOneCertificate) {
+  provision_standard_fleet();
+  ASSERT_EQ(fleet_outcomes.size(), 3u);
+  for (const auto& outcome : fleet_outcomes) {
+    EXPECT_TRUE(outcome.attested) << outcome.failure;
+  }
+  for (const auto& node : nodes) {
+    EXPECT_TRUE(node->serving_tls());
+  }
+  // One ACME issuance for the whole fleet (rate-limit friendly, §3.4.6).
+  EXPECT_EQ(acme.issued_in_window("revelio.app"), 1u);
+  ASSERT_TRUE(sp->issued_certificate().has_value());
+  // The certificate key is the leader's identity key.
+  EXPECT_EQ(sp->issued_certificate()->public_key,
+            nodes[0]->identity_public_key());
+}
+
+TEST_F(RevelioFixture, AllNodesServeTheSameTlsIdentity) {
+  provision_standard_fleet();
+  Browser browser = make_browser();
+  // Hit every node directly: the served leaf key must be identical.
+  Bytes first_key;
+  for (const std::string host : {"10.0.0.1", "10.0.0.2", "10.0.0.3"}) {
+    network.dns_set_a(kDomain, host);
+    browser.drop_session(kDomain);
+    auto result = browser.get(kDomain, 443, "/");
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    if (first_key.empty()) {
+      first_key = result->tls_server_key;
+    } else {
+      EXPECT_EQ(result->tls_server_key, first_key);
+    }
+  }
+}
+
+TEST_F(RevelioFixture, TamperedNodeFailsSpAttestationOthersProceed) {
+  nodes.push_back(deploy_node("10.0.0.1", image));
+  // Node 2 runs a backdoored build.
+  const imagebuild::VmImage backdoored = build_image("service-backdoored");
+  nodes.push_back(deploy_node("10.0.0.2", backdoored));
+
+  SpNodeConfig sp_config;
+  sp_config.domain = kDomain;
+  sp_config.kds_address = {"kds.amd.com", 443};
+  sp_config.expected_measurements = {expected_measurement};
+  sp = std::make_unique<SpNode>(network, acme, sp_config);
+  sp->approve_node(nodes[0]->bootstrap_address(), platforms[0]->chip_id());
+  sp->approve_node(nodes[1]->bootstrap_address(), platforms[1]->chip_id());
+
+  auto outcomes = sp->provision_fleet();
+  ASSERT_TRUE(outcomes.ok());
+  ASSERT_EQ(outcomes->size(), 2u);
+  EXPECT_TRUE((*outcomes)[0].attested);
+  EXPECT_FALSE((*outcomes)[1].attested);
+  EXPECT_NE((*outcomes)[1].failure.find("sp.measurement_mismatch"),
+            std::string::npos);
+  EXPECT_TRUE(nodes[0]->serving_tls());
+  EXPECT_FALSE(nodes[1]->serving_tls());
+}
+
+TEST_F(RevelioFixture, WrongChipRejectedDespiteValidReport) {
+  nodes.push_back(deploy_node("10.0.0.1", image));
+  SpNodeConfig sp_config;
+  sp_config.domain = kDomain;
+  sp_config.kds_address = {"kds.amd.com", 443};
+  sp_config.expected_measurements = {expected_measurement};
+  sp = std::make_unique<SpNode>(network, acme, sp_config);
+  // Approve the address but bind it to a different chip.
+  sevsnp::AmdSp other(to_bytes(std::string_view("unrelated-platform")),
+                      sevsnp::TcbVersion{2, 0, 8, 115});
+  sp->approve_node(nodes[0]->bootstrap_address(), other.chip_id());
+  auto csr = sp->attest_node(nodes[0]->bootstrap_address());
+  ASSERT_FALSE(csr.ok());
+  EXPECT_EQ(csr.error().code, "sp.chip_mismatch");
+}
+
+TEST_F(RevelioFixture, UnapprovedNodeRejected) {
+  nodes.push_back(deploy_node("10.0.0.1", image));
+  SpNodeConfig sp_config;
+  sp_config.domain = kDomain;
+  sp_config.kds_address = {"kds.amd.com", 443};
+  sp_config.expected_measurements = {expected_measurement};
+  sp = std::make_unique<SpNode>(network, acme, sp_config);
+  auto csr = sp->attest_node(nodes[0]->bootstrap_address());
+  ASSERT_FALSE(csr.ok());
+  EXPECT_EQ(csr.error().code, "sp.node_not_approved");
+}
+
+TEST_F(RevelioFixture, TcbFloorBlocksOldFirmware) {
+  nodes.push_back(deploy_node("10.0.0.1", image));
+  SpNodeConfig sp_config;
+  sp_config.domain = kDomain;
+  sp_config.kds_address = {"kds.amd.com", 443};
+  sp_config.expected_measurements = {expected_measurement};
+  sp_config.minimum_tcb = sevsnp::TcbVersion{3, 0, 9, 120};
+  sp = std::make_unique<SpNode>(network, acme, sp_config);
+  sp->approve_node(nodes[0]->bootstrap_address(), platforms[0]->chip_id());
+  auto csr = sp->attest_node(nodes[0]->bootstrap_address());
+  ASSERT_FALSE(csr.ok());
+  EXPECT_EQ(csr.error().code, "sp.report_invalid");
+}
+
+TEST_F(RevelioFixture, KeyRequestFromUntrustedImageRefused) {
+  provision_standard_fleet();
+  // A backdoored node (valid report, wrong measurement) asks the leader
+  // for the shared key.
+  const imagebuild::VmImage backdoored = build_image("service-backdoored");
+  auto rogue = deploy_node("6.6.6.6", backdoored);
+  net::HttpRequest request;
+  request.method = "POST";
+  request.path = "/revelio/key-request";
+  request.host = kDomain;
+  request.body = rogue->identity_evidence().serialize();
+  auto raw = network.call({"6.6.6.6", 1}, nodes[0]->bootstrap_address(),
+                          request.serialize());
+  ASSERT_TRUE(raw.ok());
+  auto response = net::HttpResponse::parse(*raw);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 403);
+}
+
+// --------------------------------------------------------------- end-user
+
+TEST_F(RevelioFixture, EndUserAttestationSucceeds) {
+  provision_standard_fleet();
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  extension.register_site(kDomain, manual_registration());
+
+  auto verified = extension.get(kDomain, 443, "/");
+  ASSERT_TRUE(verified.ok()) << verified.error().to_string();
+  EXPECT_TRUE(verified->checks.all_ok());
+  EXPECT_EQ(to_string(verified->response.body), "<html>app</html>");
+  EXPECT_EQ(extension.attestations_performed(), 1u);
+  EXPECT_EQ(extension.kds_fetches(), 1u);
+}
+
+TEST_F(RevelioFixture, MonitoringSkipsReattestationWithinSession) {
+  provision_standard_fleet();
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  extension.register_site(kDomain, manual_registration());
+  ASSERT_TRUE(extension.get(kDomain, 443, "/").ok());
+  const double after_attest = clock.now_ms();
+  for (int i = 0; i < 5; ++i) {
+    auto verified = extension.get(kDomain, 443, "/");
+    ASSERT_TRUE(verified.ok());
+    EXPECT_TRUE(verified->checks.all_ok());
+  }
+  EXPECT_EQ(extension.attestations_performed(), 1u);
+  // Monitoring costs the connection-context query, not a full attestation.
+  const double per_request = (clock.now_ms() - after_attest) / 5.0;
+  EXPECT_LT(per_request, 100.0);
+  EXPECT_GE(per_request, 14.0);
+}
+
+TEST_F(RevelioFixture, VcekCacheEliminatesKdsRoundTrip) {
+  provision_standard_fleet();
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  extension.register_site(kDomain, manual_registration());
+  ASSERT_TRUE(extension.get(kDomain, 443, "/").ok());
+  EXPECT_EQ(extension.kds_fetches(), 1u);
+  // Fresh browser session -> full re-attestation, but the VCEK is cached.
+  browser.drop_session(kDomain);
+  extension.invalidate(kDomain);
+  ASSERT_TRUE(extension.get(kDomain, 443, "/").ok());
+  EXPECT_EQ(extension.attestations_performed(), 2u);
+  EXPECT_EQ(extension.kds_fetches(), 1u);
+  EXPECT_EQ(extension.vcek_cache_hits(), 1u);
+}
+
+TEST_F(RevelioFixture, UnregisteredSiteIsRejected) {
+  provision_standard_fleet();
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  auto r = extension.get(kDomain, 443, "/");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "extension.site_not_registered");
+}
+
+TEST_F(RevelioFixture, DiscoveryFindsRevelioSites) {
+  provision_standard_fleet();
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  auto discovered = extension.discover(kDomain, 443);
+  ASSERT_TRUE(discovered.ok());
+  EXPECT_TRUE(*discovered);
+}
+
+TEST_F(RevelioFixture, WrongExpectedMeasurementFailsClosed) {
+  provision_standard_fleet();
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  SiteRegistration site;
+  sevsnp::Measurement wrong = expected_measurement;
+  wrong[0] ^= 1;
+  site.expected_measurements = {wrong};
+  extension.register_site(kDomain, site);
+  auto r = extension.get(kDomain, 443, "/");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "extension.attestation_failed");
+  const auto* checks = extension.last_checks(kDomain);
+  ASSERT_NE(checks, nullptr);
+  EXPECT_TRUE(checks->signature_ok);
+  EXPECT_FALSE(checks->measurement_ok);
+}
+
+TEST_F(RevelioFixture, RegistryDelegationAndRollbackRevocation) {
+  provision_standard_fleet();
+  TrustedRegistry trusted;
+  trusted.publish(kDomain, expected_measurement);
+
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  SiteRegistration site;
+  site.registry = &trusted;
+  site.registry_service = kDomain;
+  extension.register_site(kDomain, site);
+  ASSERT_TRUE(extension.get(kDomain, 443, "/").ok());
+
+  // 6.1.4: the image is found vulnerable and revoked; users must now
+  // reject the (otherwise valid) measurement.
+  trusted.revoke(kDomain, expected_measurement);
+  browser.drop_session(kDomain);
+  extension.invalidate(kDomain);
+  auto r = extension.get(kDomain, 443, "/");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "extension.attestation_failed");
+}
+
+TEST_F(RevelioFixture, RedirectToLookalikeDetectedByKeyMonitoring) {
+  provision_standard_fleet();
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  extension.register_site(kDomain, manual_registration());
+  ASSERT_TRUE(extension.get(kDomain, 443, "/").ok());
+
+  // The malicious provider obtains a *CA-valid* certificate for the domain
+  // with a fresh key (it controls DNS) and stands up a lookalike server.
+  HmacDrbg evil_drbg(to_bytes(std::string_view("evil")));
+  const auto evil_key = crypto::ec_generate(crypto::p256(), evil_drbg);
+  const auto evil_csr = pki::make_csr(crypto::p256(), evil_key,
+                                      {kDomain, "Evil", "US"}, {kDomain});
+  const std::string token = acme.request_challenge("evil-acct", kDomain);
+  network.dns_set_txt("_acme-challenge." + std::string(kDomain), token);
+  auto evil_cert = acme.finalize("evil-acct", evil_csr, [&](const auto& n) {
+    return network.dns_txt(n);
+  });
+  ASSERT_TRUE(evil_cert.ok());
+
+  net::TlsServerIdentity evil_identity;
+  evil_identity.curve = &crypto::p256();
+  evil_identity.key = evil_key;
+  evil_identity.certificate = *evil_cert;
+  evil_identity.intermediates = acme.intermediates();
+  net::TlsServer evil_server(
+      std::move(evil_identity),
+      [](ByteView, const net::Address&) {
+        return net::HttpResponse::ok(
+                   to_bytes(std::string_view("<html>phish</html>")))
+            .serialize();
+      },
+      HmacDrbg(to_bytes(std::string_view("evil-entropy"))));
+  evil_server.install(network, {"6.6.6.6", 443});
+
+  // Reset the victim's sessions and repoint DNS: the browser reconnects to
+  // the lookalike. Plain TLS accepts it — the extension must not.
+  network.dns_set_a(kDomain, "6.6.6.6");
+  browser.drop_session(kDomain);
+  auto r = extension.get(kDomain, 443, "/");
+  ASSERT_FALSE(r.ok());
+  // The reconnect triggers a fresh attestation, which fails at evidence or
+  // binding: the lookalike has no valid report for its key.
+  EXPECT_EQ(r.error().code, "extension.attestation_failed");
+}
+
+TEST_F(RevelioFixture, StolenEvidenceCannotCoverForeignTlsKey) {
+  provision_standard_fleet();
+  // The attacker replays the *real* node's evidence bundle from its own
+  // server: every signature checks out, but the TLS session terminates at
+  // the attacker's key, so the binding check fails.
+  const Bytes stolen_evidence = nodes[0]->identity_evidence().serialize();
+
+  HmacDrbg evil_drbg(to_bytes(std::string_view("evil-2")));
+  const auto evil_key = crypto::ec_generate(crypto::p256(), evil_drbg);
+  const auto evil_csr = pki::make_csr(crypto::p256(), evil_key,
+                                      {kDomain, "Evil", "US"}, {kDomain});
+  const std::string token = acme.request_challenge("evil-acct", kDomain);
+  network.dns_set_txt("_acme-challenge." + std::string(kDomain), token);
+  auto evil_cert = acme.finalize("evil-acct", evil_csr, [&](const auto& n) {
+    return network.dns_txt(n);
+  });
+  ASSERT_TRUE(evil_cert.ok());
+
+  net::TlsServerIdentity evil_identity;
+  evil_identity.curve = &crypto::p256();
+  evil_identity.key = evil_key;
+  evil_identity.certificate = *evil_cert;
+  evil_identity.intermediates = acme.intermediates();
+  net::TlsServer evil_server(
+      std::move(evil_identity),
+      [stolen_evidence](ByteView raw, const net::Address&) {
+        auto request = net::HttpRequest::parse(raw);
+        if (request.ok() &&
+            request->path == "/.well-known/revelio-attestation") {
+          return net::HttpResponse::ok(stolen_evidence).serialize();
+        }
+        return net::HttpResponse::ok(
+                   to_bytes(std::string_view("<html>phish</html>")))
+            .serialize();
+      },
+      HmacDrbg(to_bytes(std::string_view("evil-entropy-2"))));
+  evil_server.install(network, {"6.6.6.6", 443});
+  network.dns_set_a(kDomain, "6.6.6.6");
+
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  extension.register_site(kDomain, manual_registration());
+  auto r = extension.get(kDomain, 443, "/");
+  ASSERT_FALSE(r.ok());
+  const auto* checks = extension.last_checks(kDomain);
+  ASSERT_NE(checks, nullptr);
+  EXPECT_TRUE(checks->signature_ok) << "the stolen report itself is genuine";
+  EXPECT_TRUE(checks->measurement_ok);
+  EXPECT_FALSE(checks->tls_binding_ok)
+      << "the TLS binding is what catches the replay";
+}
+
+// ----------------------------------------------------------- registry/misc
+
+TEST(TrustedRegistry, PublishRevokeLifecycle) {
+  TrustedRegistry registry;
+  sevsnp::Measurement m1 = sevsnp::Measurement::from(
+      crypto::sha384(to_bytes(std::string_view("v1"))).view());
+  sevsnp::Measurement m2 = sevsnp::Measurement::from(
+      crypto::sha384(to_bytes(std::string_view("v2"))).view());
+  registry.publish("svc", m1);
+  registry.publish("svc", m2);
+  EXPECT_TRUE(registry.is_acceptable("svc", m1));
+  EXPECT_EQ(registry.good_measurements("svc").size(), 2u);
+  registry.revoke("svc", m1);
+  EXPECT_FALSE(registry.is_acceptable("svc", m1));
+  EXPECT_TRUE(registry.is_revoked("svc", m1));
+  // Re-publishing a revoked measurement must not resurrect it.
+  registry.publish("svc", m1);
+  EXPECT_FALSE(registry.is_acceptable("svc", m1));
+  EXPECT_FALSE(registry.is_acceptable("other", m2));
+}
+
+TEST(TrustedRegistry, CommunityVotingQuorum) {
+  TrustedRegistry registry;
+  for (const char* voter : {"a", "b", "c", "d", "e"}) {
+    registry.register_voter(voter);
+  }
+  sevsnp::Measurement m = sevsnp::Measurement::from(
+      crypto::sha384(to_bytes(std::string_view("release"))).view());
+  const auto id = registry.propose("svc", m);
+  EXPECT_FALSE(registry.is_acceptable("svc", m));
+  ASSERT_TRUE(registry.vote(id, "a", true).ok());
+  ASSERT_TRUE(registry.vote(id, "b", true).ok());
+  EXPECT_FALSE(registry.is_acceptable("svc", m)) << "2 of 5 is not quorum";
+  ASSERT_TRUE(registry.vote(id, "c", true).ok());
+  EXPECT_TRUE(registry.is_acceptable("svc", m)) << "3 of 5 adopts";
+  EXPECT_TRUE(registry.proposal(id)->adopted);
+  EXPECT_FALSE(registry.vote(id, "d", true).ok()) << "proposal closed";
+}
+
+TEST(TrustedRegistry, VotingGuards) {
+  TrustedRegistry registry;
+  registry.register_voter("a");
+  registry.register_voter("b");
+  registry.register_voter("c");
+  sevsnp::Measurement m{};
+  const auto id = registry.propose("svc", m);
+  EXPECT_FALSE(registry.vote(id, "stranger", true).ok());
+  EXPECT_FALSE(registry.vote(999, "a", true).ok());
+  ASSERT_TRUE(registry.vote(id, "a", false).ok());
+  EXPECT_FALSE(registry.vote(id, "a", true).ok()) << "no double voting";
+  ASSERT_TRUE(registry.vote(id, "b", false).ok());
+  EXPECT_TRUE(registry.proposal(id)->rejected);
+}
+
+TEST_F(RevelioFixture, NinetyDayCertificateRenewalFlow) {
+  provision_standard_fleet();
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  extension.register_site(kDomain, manual_registration());
+  ASSERT_TRUE(extension.get(kDomain, 443, "/").ok());
+
+  // 91 days later the certificate has expired: fresh sessions must fail.
+  clock.advance_us(91ull * 24 * 3600 * 1000 * 1000);
+  browser.drop_session(kDomain);
+  extension.invalidate(kDomain);
+  auto expired = extension.get(kDomain, 443, "/");
+  ASSERT_FALSE(expired.ok());
+
+  // The SP node runs its renewal round (re-attest, re-issue, re-distribute
+  // — the same provisioning workflow, §5.3.1).
+  auto renewed = sp->provision_fleet();
+  ASSERT_TRUE(renewed.ok()) << renewed.error().to_string();
+  for (const auto& outcome : *renewed) {
+    EXPECT_TRUE(outcome.attested) << outcome.failure;
+  }
+
+  browser.drop_session(kDomain);
+  extension.invalidate(kDomain);
+  auto again = extension.get(kDomain, 443, "/");
+  ASSERT_TRUE(again.ok()) << again.error().to_string();
+  EXPECT_TRUE(again->checks.all_ok());
+}
+
+TEST_F(RevelioFixture, LastChecksExposedForExtensionUi) {
+  provision_standard_fleet();
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  extension.register_site(kDomain, manual_registration());
+  EXPECT_EQ(extension.last_checks(kDomain), nullptr);
+  ASSERT_TRUE(extension.get(kDomain, 443, "/").ok());
+  const auto* checks = extension.last_checks(kDomain);
+  ASSERT_NE(checks, nullptr);
+  EXPECT_TRUE(checks->all_ok());
+  EXPECT_TRUE(checks->failure.empty());
+}
+
+// ----------------------------------------------------------- persistence
+
+TEST_F(RevelioFixture, RebootResumesServiceWithoutReprovisioning) {
+  provision_standard_fleet();
+  ASSERT_TRUE(nodes[0]->serving_tls());
+  const Bytes cert_key = sp->issued_certificate()->public_key;
+  auto disk = nodes[0]->disk();
+
+  // Power-cycle node 0: same platform, same image, same disk.
+  platforms[0]->launch_reset();
+  nodes[0].reset();  // releases the network listeners? (handlers replaced)
+  RevelioVmConfig config;
+  config.domain = kDomain;
+  config.host = "10.0.0.1";
+  config.image = image;
+  config.kds_address = {"kds.amd.com", 443};
+  config.existing_disk = disk;
+  auto rebooted =
+      RevelioVm::deploy(*platforms[0], network, config, app_routes());
+  ASSERT_TRUE(rebooted.ok()) << rebooted.error().to_string();
+  EXPECT_FALSE((*rebooted)->boot_report().first_boot)
+      << "the sealed volume already exists";
+  EXPECT_TRUE((*rebooted)->serving_tls())
+      << "TLS identity must be unsealed from the data volume";
+  EXPECT_EQ((*rebooted)->identity_public_key(), cert_key)
+      << "same measurement + chip => same identity key";
+
+  // An end-user session still attests cleanly against the rebooted node.
+  Browser browser = make_browser();
+  WebExtension extension = make_extension(browser);
+  extension.register_site(kDomain, manual_registration());
+  auto verified = extension.get(kDomain, 443, "/");
+  ASSERT_TRUE(verified.ok()) << verified.error().to_string();
+  EXPECT_TRUE(verified->checks.all_ok());
+}
+
+TEST_F(RevelioFixture, RebootWithDifferentImageCannotUnseal) {
+  provision_standard_fleet();
+  auto disk = nodes[0]->disk();
+  platforms[0]->launch_reset();
+  nodes[0].reset();
+
+  const imagebuild::VmImage backdoored = build_image("service-backdoored");
+  RevelioVmConfig config;
+  config.domain = kDomain;
+  config.host = "10.0.0.1";
+  config.image = backdoored;
+  config.kds_address = {"kds.amd.com", 443};
+  config.existing_disk = disk;
+  auto rebooted =
+      RevelioVm::deploy(*platforms[0], network, config, app_routes());
+  ASSERT_FALSE(rebooted.ok())
+      << "a different measurement derives a different sealing key";
+}
+
+TEST_F(RevelioFixture, RebootOnDifferentChipCannotUnseal) {
+  provision_standard_fleet();
+  auto disk = nodes[0]->disk();
+  auto foreign = std::make_unique<sevsnp::AmdSp>(
+      to_bytes(std::string_view("stolen-disk-platform")),
+      sevsnp::TcbVersion{2, 0, 8, 115});
+  kds.register_platform(*foreign);
+  RevelioVmConfig config;
+  config.domain = kDomain;
+  config.host = "10.0.0.9";
+  config.image = image;
+  config.kds_address = {"kds.amd.com", 443};
+  config.existing_disk = disk;
+  auto moved = RevelioVm::deploy(*foreign, network, config, app_routes());
+  ASSERT_FALSE(moved.ok())
+      << "migrating the disk to another chip must not unseal it";
+}
+
+TEST(EvidenceBundle, BindAndRoundTrip) {
+  const Bytes payload = to_bytes(std::string_view("some public key"));
+  EvidenceBundle bundle;
+  bundle.payload = payload;
+  bundle.report.report_data = EvidenceBundle::bind(payload);
+  EXPECT_TRUE(bundle.binding_ok());
+  auto parsed = EvidenceBundle::parse(bundle.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->binding_ok());
+  EXPECT_EQ(parsed->payload, payload);
+
+  bundle.payload.push_back('!');
+  EXPECT_FALSE(bundle.binding_ok());
+  EXPECT_FALSE(EvidenceBundle::parse(to_bytes(std::string_view("x"))).ok());
+}
+
+}  // namespace
+}  // namespace revelio::core

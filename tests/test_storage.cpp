@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "storage/block_device.hpp"
+#include "storage/dm_crypt.hpp"
+#include "storage/dm_verity.hpp"
+#include "storage/imagefs.hpp"
+#include "storage/mem_disk.hpp"
+#include "storage/partition.hpp"
+
+namespace revelio::storage {
+namespace {
+
+using crypto::HmacDrbg;
+
+Bytes pattern_bytes(std::size_t n, std::uint8_t seed = 0) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(i * 131 + seed);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- MemDisk
+
+TEST(MemDisk, BlockRoundTrip) {
+  MemDisk disk(512, 8);
+  const Bytes data = pattern_bytes(512);
+  ASSERT_TRUE(disk.write_block(3, data).ok());
+  Bytes back(512);
+  ASSERT_TRUE(disk.read_block(3, back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST(MemDisk, RejectsOutOfRangeAndBadBuffer) {
+  MemDisk disk(512, 4);
+  Bytes buf(512);
+  EXPECT_FALSE(disk.read_block(4, buf).ok());
+  EXPECT_FALSE(disk.write_block(4, buf).ok());
+  Bytes small(100);
+  EXPECT_FALSE(disk.read_block(0, small).ok());
+  EXPECT_FALSE(disk.write_block(0, small).ok());
+}
+
+TEST(MemDisk, TracksIoStats) {
+  MemDisk disk(512, 4);
+  Bytes buf(512);
+  ASSERT_TRUE(disk.write_block(0, buf).ok());
+  ASSERT_TRUE(disk.read_block(0, buf).ok());
+  ASSERT_TRUE(disk.read_block(1, buf).ok());
+  EXPECT_EQ(disk.stats().blocks_written, 1u);
+  EXPECT_EQ(disk.stats().blocks_read, 2u);
+  disk.reset_stats();
+  EXPECT_EQ(disk.stats().blocks_read, 0u);
+}
+
+TEST(MemDisk, RawTamperBypassesInterface) {
+  MemDisk disk(512, 2);
+  Bytes buf(512, 0x00);
+  ASSERT_TRUE(disk.write_block(0, buf).ok());
+  disk.raw_tamper(100, 0xff);
+  ASSERT_TRUE(disk.read_block(0, buf).ok());
+  EXPECT_EQ(buf[100], 0xff);
+}
+
+TEST(MemDisk, RawDumpSeesCiphertextLayout) {
+  MemDisk disk(512, 2);
+  const Bytes data = pattern_bytes(512);
+  ASSERT_TRUE(disk.write_block(1, data).ok());
+  const Bytes dump = disk.raw_dump(512, 512);
+  EXPECT_EQ(dump, data);
+  EXPECT_TRUE(disk.raw_dump(2000, 10).empty());
+}
+
+// ---------------------------------------------------------- byte helpers
+
+TEST(BlockDevice, ByteReadWriteSpansBlocks) {
+  MemDisk disk(64, 16);
+  const Bytes data = pattern_bytes(200);
+  ASSERT_TRUE(disk.write(30, data).ok());
+  auto back = disk.read(30, 200);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(BlockDevice, ByteAccessRejectsOutOfRange) {
+  MemDisk disk(64, 2);
+  EXPECT_FALSE(disk.read(100, 100).ok());
+  EXPECT_FALSE(disk.write(120, pattern_bytes(100)).ok());
+}
+
+TEST(SliceDevice, WindowsParentRange) {
+  auto disk = std::make_shared<MemDisk>(64, 10);
+  SliceDevice slice(disk, 4, 3);
+  EXPECT_EQ(slice.block_count(), 3u);
+  const Bytes data = pattern_bytes(64);
+  ASSERT_TRUE(slice.write_block(0, data).ok());
+  Bytes back(64);
+  ASSERT_TRUE(disk->read_block(4, back).ok());
+  EXPECT_EQ(back, data);
+  EXPECT_FALSE(slice.read_block(3, back).ok());
+}
+
+// ------------------------------------------------------------- Partition
+
+TEST(PartitionTable, RoundTripThroughDevice) {
+  auto disk = std::make_shared<MemDisk>(4096, 100);
+  PartitionTable table;
+  FixedBytes<16> uuid_a = FixedBytes<16>::from(pattern_bytes(16, 1));
+  FixedBytes<16> uuid_b = FixedBytes<16>::from(pattern_bytes(16, 2));
+  table.add("rootfs", uuid_a, 50);
+  table.add("verity", uuid_b, 20);
+  ASSERT_TRUE(table.write_to(*disk).ok());
+
+  auto parsed = PartitionTable::read_from(*disk);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->entries().size(), 2u);
+  EXPECT_EQ(parsed->entries()[0].label, "rootfs");
+  EXPECT_EQ(parsed->entries()[0].first_block, 1u);
+  EXPECT_EQ(parsed->entries()[1].first_block, 51u);
+  EXPECT_EQ(parsed->entries()[1].uuid, uuid_b);
+}
+
+TEST(PartitionTable, OpenReturnsCorrectSlice) {
+  auto disk = std::make_shared<MemDisk>(4096, 100);
+  PartitionTable table;
+  table.add("a", {}, 10);
+  table.add("b", {}, 5);
+  ASSERT_TRUE(table.write_to(*disk).ok());
+
+  auto part = PartitionTable::open(disk, "b");
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ((*part)->block_count(), 5u);
+  const Bytes data = pattern_bytes(4096);
+  ASSERT_TRUE((*part)->write_block(0, data).ok());
+  Bytes back(4096);
+  ASSERT_TRUE(disk->read_block(11, back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST(PartitionTable, MissingLabelAndBadMagic) {
+  auto disk = std::make_shared<MemDisk>(4096, 10);
+  PartitionTable table;
+  table.add("only", {}, 2);
+  ASSERT_TRUE(table.write_to(*disk).ok());
+  EXPECT_FALSE(PartitionTable::open(disk, "nope").ok());
+
+  auto blank = std::make_shared<MemDisk>(4096, 10);
+  EXPECT_EQ(PartitionTable::read_from(*blank).error().code,
+            "partition.bad_magic");
+}
+
+// -------------------------------------------------------------- DmCrypt
+
+class DmCryptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_shared<MemDisk>(4096, 32);
+    HmacDrbg drbg(to_bytes(std::string_view("crypt-test")));
+    key_ = drbg.generate(32);
+    salt_ = drbg.generate(32);
+  }
+  std::shared_ptr<MemDisk> disk_;
+  Bytes key_;
+  Bytes salt_;
+};
+
+TEST_F(DmCryptTest, FormatOpenRoundTrip) {
+  auto dev = CryptVolume::format(disk_, key_, salt_);
+  ASSERT_TRUE(dev.ok());
+  const Bytes data = pattern_bytes(4096);
+  ASSERT_TRUE((*dev)->write_block(5, data).ok());
+
+  auto reopened = CryptVolume::open(disk_, key_);
+  ASSERT_TRUE(reopened.ok());
+  Bytes back(4096);
+  ASSERT_TRUE((*reopened)->read_block(5, back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(DmCryptTest, WrongKeyRejectedAtOpen) {
+  ASSERT_TRUE(CryptVolume::format(disk_, key_, salt_).ok());
+  Bytes wrong = key_;
+  wrong[0] ^= 1;
+  auto r = CryptVolume::open(disk_, wrong);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "crypt.wrong_key");
+}
+
+TEST_F(DmCryptTest, CiphertextOnDiskDiffersFromPlaintext) {
+  auto dev = CryptVolume::format(disk_, key_, salt_);
+  ASSERT_TRUE(dev.ok());
+  const Bytes data = pattern_bytes(4096);
+  ASSERT_TRUE((*dev)->write_block(0, data).ok());
+  // Payload block 0 lands at backing block 1 (after the header).
+  const Bytes on_disk = disk_->raw_dump(4096, 4096);
+  EXPECT_NE(on_disk, data) << "plaintext must never reach the disk";
+}
+
+TEST_F(DmCryptTest, IdenticalPlaintextBlocksEncryptDifferently) {
+  auto dev = CryptVolume::format(disk_, key_, salt_);
+  ASSERT_TRUE(dev.ok());
+  const Bytes data = pattern_bytes(4096);
+  ASSERT_TRUE((*dev)->write_block(0, data).ok());
+  ASSERT_TRUE((*dev)->write_block(1, data).ok());
+  EXPECT_NE(disk_->raw_dump(4096, 4096), disk_->raw_dump(8192, 4096))
+      << "XTS sector tweak must separate identical sectors";
+}
+
+TEST_F(DmCryptTest, HostTamperGarblesPlaintext) {
+  auto dev = CryptVolume::format(disk_, key_, salt_);
+  ASSERT_TRUE(dev.ok());
+  const Bytes data = pattern_bytes(4096);
+  ASSERT_TRUE((*dev)->write_block(2, data).ok());
+  disk_->raw_tamper(3 * 4096 + 7, 0x01);  // payload block 2 = backing block 3
+  Bytes back(4096);
+  ASSERT_TRUE((*dev)->read_block(2, back).ok());
+  EXPECT_NE(back, data) << "XTS decrypt of tampered ciphertext must differ";
+}
+
+TEST_F(DmCryptTest, DetectsFormattedDevice) {
+  EXPECT_FALSE(CryptVolume::is_formatted(*disk_));
+  ASSERT_TRUE(CryptVolume::format(disk_, key_, salt_).ok());
+  EXPECT_TRUE(CryptVolume::is_formatted(*disk_));
+}
+
+TEST_F(DmCryptTest, RejectsBadSaltAndTinyDevice) {
+  EXPECT_FALSE(CryptVolume::format(disk_, key_, pattern_bytes(5)).ok());
+  auto tiny = std::make_shared<MemDisk>(4096, 1);
+  EXPECT_FALSE(CryptVolume::format(tiny, key_, salt_).ok());
+}
+
+// -------------------------------------------------------------- DmVerity
+
+class DmVerityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_dev_ = std::make_shared<MemDisk>(4096, 16);
+    hash_dev_ = std::make_shared<MemDisk>(4096, 16);
+    for (std::uint64_t i = 0; i < data_dev_->block_count(); ++i) {
+      ASSERT_TRUE(data_dev_
+                      ->write_block(i, pattern_bytes(4096,
+                                                     static_cast<std::uint8_t>(i)))
+                      .ok());
+    }
+    auto meta = Verity::format(*data_dev_, *hash_dev_);
+    ASSERT_TRUE(meta.ok());
+    meta_ = *meta;
+  }
+  std::shared_ptr<MemDisk> data_dev_;
+  std::shared_ptr<MemDisk> hash_dev_;
+  VerityMetadata meta_;
+};
+
+TEST_F(DmVerityTest, OpenAndReadAllBlocks) {
+  auto dev = Verity::open(data_dev_, hash_dev_, meta_.root_hash);
+  ASSERT_TRUE(dev.ok());
+  EXPECT_TRUE((*dev)->verify_all().ok());
+}
+
+TEST_F(DmVerityTest, SingleBitFlipFailsExactlyThatBlock) {
+  auto dev = Verity::open(data_dev_, hash_dev_, meta_.root_hash);
+  ASSERT_TRUE(dev.ok());
+  data_dev_->raw_tamper(5 * 4096 + 123, 0x40);  // flip one bit in block 5
+
+  Bytes buf(4096);
+  for (std::uint64_t i = 0; i < (*dev)->block_count(); ++i) {
+    const auto st = (*dev)->read_block(i, buf);
+    if (i == 5) {
+      ASSERT_FALSE(st.ok());
+      EXPECT_EQ(st.error().code, "verity.block_mismatch");
+    } else {
+      EXPECT_TRUE(st.ok()) << "block " << i;
+    }
+  }
+}
+
+TEST_F(DmVerityTest, WritesAlwaysRejected) {
+  auto dev = Verity::open(data_dev_, hash_dev_, meta_.root_hash);
+  ASSERT_TRUE(dev.ok());
+  const auto st = (*dev)->write_block(0, pattern_bytes(4096));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "verity.read_only");
+}
+
+TEST_F(DmVerityTest, WrongRootHashFailsOpen) {
+  crypto::Digest32 wrong = meta_.root_hash;
+  wrong[0] ^= 1;
+  const auto r = Verity::open(data_dev_, hash_dev_, wrong);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "verity.root_mismatch");
+}
+
+TEST_F(DmVerityTest, TamperedHashDeviceFailsOpen) {
+  // Corrupt a serialized tree node (skip the length header block).
+  hash_dev_->raw_tamper(4096 + 64, 0x01);
+  const auto r = Verity::open(data_dev_, hash_dev_, meta_.root_hash);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(DmVerityTest, ConsistentTamperOfDataAndLeafStillFailsViaRoot) {
+  // Attacker rewrites a data block AND recomputes its leaf in the hash
+  // device; inner nodes no longer match, so deserialize or open fails.
+  Bytes new_block = pattern_bytes(4096, 0xEE);
+  ASSERT_TRUE(data_dev_->write_block(5, new_block).ok());
+  const auto leaf = crypto::MerkleTree::hash_leaf(new_block);
+  // Serialized layout: u64 leaf_count, u64 level_count, then level 0:
+  // u64 node_count followed by the leaves.
+  const std::uint64_t leaf_offset = 4096 /*len header block*/ + 8 + 8 + 8 +
+                                    5 * 32;
+  Bytes leaf_bytes = leaf.bytes();
+  ASSERT_TRUE(hash_dev_->write(leaf_offset, leaf_bytes).ok());
+  EXPECT_FALSE(Verity::open(data_dev_, hash_dev_, meta_.root_hash).ok());
+}
+
+TEST_F(DmVerityTest, FormatRejectsTooSmallHashDevice) {
+  auto tiny_hash = std::make_shared<MemDisk>(4096, 1);
+  EXPECT_FALSE(Verity::format(*data_dev_, *tiny_hash).ok());
+}
+
+TEST_F(DmVerityTest, BlockSizeMismatchRejected) {
+  MemDisk small_blocks(512, 4);
+  MemDisk hash(4096, 4);
+  EXPECT_EQ(Verity::format(small_blocks, hash).error().code,
+            "verity.block_size_mismatch");
+}
+
+// --------------------------------------------------------------- ImageFs
+
+TEST(ImageFs, AddReadListRemove) {
+  ImageFs fs;
+  fs.add_file("/bin/server", pattern_bytes(100), 0755);
+  fs.add_file("/etc/conf", to_bytes(std::string_view("key=value")));
+  EXPECT_TRUE(fs.exists("/bin/server"));
+  EXPECT_EQ(fs.file_count(), 2u);
+  auto content = fs.read_file("/etc/conf");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(to_string(*content), "key=value");
+  fs.remove_file("/etc/conf");
+  EXPECT_FALSE(fs.exists("/etc/conf"));
+  EXPECT_FALSE(fs.read_file("/etc/conf").ok());
+}
+
+TEST(ImageFs, SerializationIsCanonical) {
+  ImageFs a;
+  a.add_file("/z", pattern_bytes(10));
+  a.add_file("/a", pattern_bytes(20, 1));
+  ImageFs b;
+  b.add_file("/a", pattern_bytes(20, 1));  // insertion order differs
+  b.add_file("/z", pattern_bytes(10));
+  EXPECT_EQ(a.serialize(), b.serialize())
+      << "file insertion order must not affect the image bits";
+}
+
+TEST(ImageFs, SerializeParseRoundTrip) {
+  ImageFs fs;
+  fs.add_file("/bin/app", pattern_bytes(10000), 0755);
+  fs.add_file("/etc/nginx/nginx.conf", to_bytes(std::string_view("worker;")));
+  fs.add_file("/empty", {});
+  const Bytes image = fs.serialize();
+  EXPECT_EQ(image.size() % 4096, 0u);
+  auto parsed = ImageFs::parse(image);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->file_count(), 3u);
+  EXPECT_EQ(*parsed->read_file("/bin/app"), *fs.read_file("/bin/app"));
+  EXPECT_EQ(parsed->read_file("/empty")->size(), 0u);
+}
+
+TEST(ImageFs, ParseRejectsGarbage) {
+  EXPECT_FALSE(ImageFs::parse(pattern_bytes(100)).ok());
+  EXPECT_FALSE(ImageFs::parse({}).ok());
+}
+
+TEST(MountedFs, ReadsFilesThroughDevice) {
+  ImageFs fs;
+  fs.add_file("/data/big", pattern_bytes(9000, 3));
+  fs.add_file("/data/small", to_bytes(std::string_view("tiny")));
+  const Bytes image = fs.serialize();
+
+  auto disk = std::make_shared<MemDisk>(4096, image.size() / 4096);
+  ASSERT_TRUE(disk->write(0, image).ok());
+
+  auto mounted = MountedFs::mount(disk);
+  ASSERT_TRUE(mounted.ok());
+  EXPECT_TRUE(mounted->exists("/data/big"));
+  EXPECT_EQ(mounted->list().size(), 2u);
+  auto big = mounted->read_file("/data/big");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(*big, pattern_bytes(9000, 3));
+  EXPECT_FALSE(mounted->read_file("/nope").ok());
+}
+
+TEST(MountedFs, WorksThroughVerityAndDetectsTamper) {
+  ImageFs fs;
+  fs.add_file("/bin/service", pattern_bytes(20000, 7), 0755);
+  const Bytes image = fs.serialize();
+
+  auto data_dev = std::make_shared<MemDisk>(4096, image.size() / 4096);
+  ASSERT_TRUE(data_dev->write(0, image).ok());
+  auto hash_dev = std::make_shared<MemDisk>(4096, 64);
+  auto meta = Verity::format(*data_dev, *hash_dev);
+  ASSERT_TRUE(meta.ok());
+
+  auto verity = Verity::open(data_dev, hash_dev, meta->root_hash);
+  ASSERT_TRUE(verity.ok());
+  auto mounted = MountedFs::mount(*verity);
+  ASSERT_TRUE(mounted.ok());
+  auto content = mounted->read_file("/bin/service");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, pattern_bytes(20000, 7));
+
+  // Malicious host flips a bit in the file's data area: read now fails.
+  const auto entry = mounted->directory().at("/bin/service");
+  data_dev->raw_tamper(entry.offset + 5000, 0x10);
+  EXPECT_FALSE(mounted->read_file("/bin/service").ok());
+}
+
+}  // namespace
+}  // namespace revelio::storage
