@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_client_attestation.dir/bench/bench_client_attestation.cpp.o"
+  "CMakeFiles/bench_client_attestation.dir/bench/bench_client_attestation.cpp.o.d"
+  "bench/bench_client_attestation"
+  "bench/bench_client_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_client_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

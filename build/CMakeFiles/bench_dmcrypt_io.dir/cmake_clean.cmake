@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dmcrypt_io.dir/bench/bench_dmcrypt_io.cpp.o"
+  "CMakeFiles/bench_dmcrypt_io.dir/bench/bench_dmcrypt_io.cpp.o.d"
+  "bench/bench_dmcrypt_io"
+  "bench/bench_dmcrypt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dmcrypt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

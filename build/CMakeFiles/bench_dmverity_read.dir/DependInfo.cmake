@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dmverity_read.cpp" "CMakeFiles/bench_dmverity_read.dir/bench/bench_dmverity_read.cpp.o" "gcc" "CMakeFiles/bench_dmverity_read.dir/bench/bench_dmverity_read.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/revelio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/revelio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/revelio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

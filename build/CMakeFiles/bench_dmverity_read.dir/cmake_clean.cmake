@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dmverity_read.dir/bench/bench_dmverity_read.cpp.o"
+  "CMakeFiles/bench_dmverity_read.dir/bench/bench_dmverity_read.cpp.o.d"
+  "bench/bench_dmverity_read"
+  "bench/bench_dmverity_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dmverity_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

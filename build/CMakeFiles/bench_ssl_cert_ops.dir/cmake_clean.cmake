@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssl_cert_ops.dir/bench/bench_ssl_cert_ops.cpp.o"
+  "CMakeFiles/bench_ssl_cert_ops.dir/bench/bench_ssl_cert_ops.cpp.o.d"
+  "bench/bench_ssl_cert_ops"
+  "bench/bench_ssl_cert_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssl_cert_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ssl_cert_ops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundary_node.dir/boundary_node.cpp.o"
+  "CMakeFiles/boundary_node.dir/boundary_node.cpp.o.d"
+  "boundary_node"
+  "boundary_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundary_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptpad_suite.dir/cryptpad_suite.cpp.o"
+  "CMakeFiles/cryptpad_suite.dir/cryptpad_suite.cpp.o.d"
+  "cryptpad_suite"
+  "cryptpad_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptpad_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

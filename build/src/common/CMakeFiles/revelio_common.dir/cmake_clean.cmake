@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_common.dir/hex.cpp.o"
+  "CMakeFiles/revelio_common.dir/hex.cpp.o.d"
+  "CMakeFiles/revelio_common.dir/log.cpp.o"
+  "CMakeFiles/revelio_common.dir/log.cpp.o.d"
+  "CMakeFiles/revelio_common.dir/rng.cpp.o"
+  "CMakeFiles/revelio_common.dir/rng.cpp.o.d"
+  "CMakeFiles/revelio_common.dir/sim_clock.cpp.o"
+  "CMakeFiles/revelio_common.dir/sim_clock.cpp.o.d"
+  "librevelio_common.a"
+  "librevelio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

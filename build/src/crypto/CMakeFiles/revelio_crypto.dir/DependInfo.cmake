@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/revelio_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/revelio_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/revelio_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/revelio_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/revelio_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/revelio_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/ec.cpp" "src/crypto/CMakeFiles/revelio_crypto.dir/ec.cpp.o" "gcc" "src/crypto/CMakeFiles/revelio_crypto.dir/ec.cpp.o.d"
+  "/root/repo/src/crypto/ecdsa.cpp" "src/crypto/CMakeFiles/revelio_crypto.dir/ecdsa.cpp.o" "gcc" "src/crypto/CMakeFiles/revelio_crypto.dir/ecdsa.cpp.o.d"
+  "/root/repo/src/crypto/ecies.cpp" "src/crypto/CMakeFiles/revelio_crypto.dir/ecies.cpp.o" "gcc" "src/crypto/CMakeFiles/revelio_crypto.dir/ecies.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/revelio_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/revelio_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/kdf.cpp" "src/crypto/CMakeFiles/revelio_crypto.dir/kdf.cpp.o" "gcc" "src/crypto/CMakeFiles/revelio_crypto.dir/kdf.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/revelio_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/revelio_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/modes.cpp" "src/crypto/CMakeFiles/revelio_crypto.dir/modes.cpp.o" "gcc" "src/crypto/CMakeFiles/revelio_crypto.dir/modes.cpp.o.d"
+  "/root/repo/src/crypto/sha2.cpp" "src/crypto/CMakeFiles/revelio_crypto.dir/sha2.cpp.o" "gcc" "src/crypto/CMakeFiles/revelio_crypto.dir/sha2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/revelio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_crypto.dir/aes.cpp.o"
+  "CMakeFiles/revelio_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/revelio_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/revelio_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/revelio_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/revelio_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/revelio_crypto.dir/ec.cpp.o"
+  "CMakeFiles/revelio_crypto.dir/ec.cpp.o.d"
+  "CMakeFiles/revelio_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/revelio_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/revelio_crypto.dir/ecies.cpp.o"
+  "CMakeFiles/revelio_crypto.dir/ecies.cpp.o.d"
+  "CMakeFiles/revelio_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/revelio_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/revelio_crypto.dir/kdf.cpp.o"
+  "CMakeFiles/revelio_crypto.dir/kdf.cpp.o.d"
+  "CMakeFiles/revelio_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/revelio_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/revelio_crypto.dir/modes.cpp.o"
+  "CMakeFiles/revelio_crypto.dir/modes.cpp.o.d"
+  "CMakeFiles/revelio_crypto.dir/sha2.cpp.o"
+  "CMakeFiles/revelio_crypto.dir/sha2.cpp.o.d"
+  "librevelio_crypto.a"
+  "librevelio_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

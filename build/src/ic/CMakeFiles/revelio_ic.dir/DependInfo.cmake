@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ic/boundary_node.cpp" "src/ic/CMakeFiles/revelio_ic.dir/boundary_node.cpp.o" "gcc" "src/ic/CMakeFiles/revelio_ic.dir/boundary_node.cpp.o.d"
+  "/root/repo/src/ic/canister.cpp" "src/ic/CMakeFiles/revelio_ic.dir/canister.cpp.o" "gcc" "src/ic/CMakeFiles/revelio_ic.dir/canister.cpp.o.d"
+  "/root/repo/src/ic/service_worker.cpp" "src/ic/CMakeFiles/revelio_ic.dir/service_worker.cpp.o" "gcc" "src/ic/CMakeFiles/revelio_ic.dir/service_worker.cpp.o.d"
+  "/root/repo/src/ic/shamir.cpp" "src/ic/CMakeFiles/revelio_ic.dir/shamir.cpp.o" "gcc" "src/ic/CMakeFiles/revelio_ic.dir/shamir.cpp.o.d"
+  "/root/repo/src/ic/subnet.cpp" "src/ic/CMakeFiles/revelio_ic.dir/subnet.cpp.o" "gcc" "src/ic/CMakeFiles/revelio_ic.dir/subnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/revelio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/revelio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/revelio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/revelio_pki.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

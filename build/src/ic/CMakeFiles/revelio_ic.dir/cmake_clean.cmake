@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_ic.dir/boundary_node.cpp.o"
+  "CMakeFiles/revelio_ic.dir/boundary_node.cpp.o.d"
+  "CMakeFiles/revelio_ic.dir/canister.cpp.o"
+  "CMakeFiles/revelio_ic.dir/canister.cpp.o.d"
+  "CMakeFiles/revelio_ic.dir/service_worker.cpp.o"
+  "CMakeFiles/revelio_ic.dir/service_worker.cpp.o.d"
+  "CMakeFiles/revelio_ic.dir/shamir.cpp.o"
+  "CMakeFiles/revelio_ic.dir/shamir.cpp.o.d"
+  "CMakeFiles/revelio_ic.dir/subnet.cpp.o"
+  "CMakeFiles/revelio_ic.dir/subnet.cpp.o.d"
+  "librevelio_ic.a"
+  "librevelio_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

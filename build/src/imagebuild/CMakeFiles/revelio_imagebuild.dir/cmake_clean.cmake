@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_imagebuild.dir/builder.cpp.o"
+  "CMakeFiles/revelio_imagebuild.dir/builder.cpp.o.d"
+  "CMakeFiles/revelio_imagebuild.dir/registry.cpp.o"
+  "CMakeFiles/revelio_imagebuild.dir/registry.cpp.o.d"
+  "librevelio_imagebuild.a"
+  "librevelio_imagebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_imagebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

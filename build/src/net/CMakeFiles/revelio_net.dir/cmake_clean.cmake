@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_net.dir/http.cpp.o"
+  "CMakeFiles/revelio_net.dir/http.cpp.o.d"
+  "CMakeFiles/revelio_net.dir/network.cpp.o"
+  "CMakeFiles/revelio_net.dir/network.cpp.o.d"
+  "CMakeFiles/revelio_net.dir/tls.cpp.o"
+  "CMakeFiles/revelio_net.dir/tls.cpp.o.d"
+  "librevelio_net.a"
+  "librevelio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

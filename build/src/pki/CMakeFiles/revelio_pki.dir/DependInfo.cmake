@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pki/acme.cpp" "src/pki/CMakeFiles/revelio_pki.dir/acme.cpp.o" "gcc" "src/pki/CMakeFiles/revelio_pki.dir/acme.cpp.o.d"
+  "/root/repo/src/pki/ca.cpp" "src/pki/CMakeFiles/revelio_pki.dir/ca.cpp.o" "gcc" "src/pki/CMakeFiles/revelio_pki.dir/ca.cpp.o.d"
+  "/root/repo/src/pki/cert.cpp" "src/pki/CMakeFiles/revelio_pki.dir/cert.cpp.o" "gcc" "src/pki/CMakeFiles/revelio_pki.dir/cert.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/revelio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/revelio_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_pki.dir/acme.cpp.o"
+  "CMakeFiles/revelio_pki.dir/acme.cpp.o.d"
+  "CMakeFiles/revelio_pki.dir/ca.cpp.o"
+  "CMakeFiles/revelio_pki.dir/ca.cpp.o.d"
+  "CMakeFiles/revelio_pki.dir/cert.cpp.o"
+  "CMakeFiles/revelio_pki.dir/cert.cpp.o.d"
+  "librevelio_pki.a"
+  "librevelio_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revelio/auditor.cpp" "src/revelio/CMakeFiles/revelio_core.dir/auditor.cpp.o" "gcc" "src/revelio/CMakeFiles/revelio_core.dir/auditor.cpp.o.d"
+  "/root/repo/src/revelio/evidence.cpp" "src/revelio/CMakeFiles/revelio_core.dir/evidence.cpp.o" "gcc" "src/revelio/CMakeFiles/revelio_core.dir/evidence.cpp.o.d"
+  "/root/repo/src/revelio/revelio_vm.cpp" "src/revelio/CMakeFiles/revelio_core.dir/revelio_vm.cpp.o" "gcc" "src/revelio/CMakeFiles/revelio_core.dir/revelio_vm.cpp.o.d"
+  "/root/repo/src/revelio/secure_channel.cpp" "src/revelio/CMakeFiles/revelio_core.dir/secure_channel.cpp.o" "gcc" "src/revelio/CMakeFiles/revelio_core.dir/secure_channel.cpp.o.d"
+  "/root/repo/src/revelio/sp_node.cpp" "src/revelio/CMakeFiles/revelio_core.dir/sp_node.cpp.o" "gcc" "src/revelio/CMakeFiles/revelio_core.dir/sp_node.cpp.o.d"
+  "/root/repo/src/revelio/trusted_registry.cpp" "src/revelio/CMakeFiles/revelio_core.dir/trusted_registry.cpp.o" "gcc" "src/revelio/CMakeFiles/revelio_core.dir/trusted_registry.cpp.o.d"
+  "/root/repo/src/revelio/web_extension.cpp" "src/revelio/CMakeFiles/revelio_core.dir/web_extension.cpp.o" "gcc" "src/revelio/CMakeFiles/revelio_core.dir/web_extension.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/revelio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/revelio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/revelio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sevsnp/CMakeFiles/revelio_sevsnp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/revelio_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/revelio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/revelio_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/imagebuild/CMakeFiles/revelio_imagebuild.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_core.dir/auditor.cpp.o"
+  "CMakeFiles/revelio_core.dir/auditor.cpp.o.d"
+  "CMakeFiles/revelio_core.dir/evidence.cpp.o"
+  "CMakeFiles/revelio_core.dir/evidence.cpp.o.d"
+  "CMakeFiles/revelio_core.dir/revelio_vm.cpp.o"
+  "CMakeFiles/revelio_core.dir/revelio_vm.cpp.o.d"
+  "CMakeFiles/revelio_core.dir/secure_channel.cpp.o"
+  "CMakeFiles/revelio_core.dir/secure_channel.cpp.o.d"
+  "CMakeFiles/revelio_core.dir/sp_node.cpp.o"
+  "CMakeFiles/revelio_core.dir/sp_node.cpp.o.d"
+  "CMakeFiles/revelio_core.dir/trusted_registry.cpp.o"
+  "CMakeFiles/revelio_core.dir/trusted_registry.cpp.o.d"
+  "CMakeFiles/revelio_core.dir/web_extension.cpp.o"
+  "CMakeFiles/revelio_core.dir/web_extension.cpp.o.d"
+  "librevelio_core.a"
+  "librevelio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sevsnp/amd_sp.cpp" "src/sevsnp/CMakeFiles/revelio_sevsnp.dir/amd_sp.cpp.o" "gcc" "src/sevsnp/CMakeFiles/revelio_sevsnp.dir/amd_sp.cpp.o.d"
+  "/root/repo/src/sevsnp/attestation_report.cpp" "src/sevsnp/CMakeFiles/revelio_sevsnp.dir/attestation_report.cpp.o" "gcc" "src/sevsnp/CMakeFiles/revelio_sevsnp.dir/attestation_report.cpp.o.d"
+  "/root/repo/src/sevsnp/guest_channel.cpp" "src/sevsnp/CMakeFiles/revelio_sevsnp.dir/guest_channel.cpp.o" "gcc" "src/sevsnp/CMakeFiles/revelio_sevsnp.dir/guest_channel.cpp.o.d"
+  "/root/repo/src/sevsnp/kds.cpp" "src/sevsnp/CMakeFiles/revelio_sevsnp.dir/kds.cpp.o" "gcc" "src/sevsnp/CMakeFiles/revelio_sevsnp.dir/kds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/revelio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/revelio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/revelio_pki.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

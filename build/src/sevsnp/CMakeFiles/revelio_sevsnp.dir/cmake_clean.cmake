@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_sevsnp.dir/amd_sp.cpp.o"
+  "CMakeFiles/revelio_sevsnp.dir/amd_sp.cpp.o.d"
+  "CMakeFiles/revelio_sevsnp.dir/attestation_report.cpp.o"
+  "CMakeFiles/revelio_sevsnp.dir/attestation_report.cpp.o.d"
+  "CMakeFiles/revelio_sevsnp.dir/guest_channel.cpp.o"
+  "CMakeFiles/revelio_sevsnp.dir/guest_channel.cpp.o.d"
+  "CMakeFiles/revelio_sevsnp.dir/kds.cpp.o"
+  "CMakeFiles/revelio_sevsnp.dir/kds.cpp.o.d"
+  "librevelio_sevsnp.a"
+  "librevelio_sevsnp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_sevsnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

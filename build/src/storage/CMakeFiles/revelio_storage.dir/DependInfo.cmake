@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_device.cpp" "src/storage/CMakeFiles/revelio_storage.dir/block_device.cpp.o" "gcc" "src/storage/CMakeFiles/revelio_storage.dir/block_device.cpp.o.d"
+  "/root/repo/src/storage/dm_crypt.cpp" "src/storage/CMakeFiles/revelio_storage.dir/dm_crypt.cpp.o" "gcc" "src/storage/CMakeFiles/revelio_storage.dir/dm_crypt.cpp.o.d"
+  "/root/repo/src/storage/dm_verity.cpp" "src/storage/CMakeFiles/revelio_storage.dir/dm_verity.cpp.o" "gcc" "src/storage/CMakeFiles/revelio_storage.dir/dm_verity.cpp.o.d"
+  "/root/repo/src/storage/imagefs.cpp" "src/storage/CMakeFiles/revelio_storage.dir/imagefs.cpp.o" "gcc" "src/storage/CMakeFiles/revelio_storage.dir/imagefs.cpp.o.d"
+  "/root/repo/src/storage/mem_disk.cpp" "src/storage/CMakeFiles/revelio_storage.dir/mem_disk.cpp.o" "gcc" "src/storage/CMakeFiles/revelio_storage.dir/mem_disk.cpp.o.d"
+  "/root/repo/src/storage/partition.cpp" "src/storage/CMakeFiles/revelio_storage.dir/partition.cpp.o" "gcc" "src/storage/CMakeFiles/revelio_storage.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/revelio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/revelio_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_storage.dir/block_device.cpp.o"
+  "CMakeFiles/revelio_storage.dir/block_device.cpp.o.d"
+  "CMakeFiles/revelio_storage.dir/dm_crypt.cpp.o"
+  "CMakeFiles/revelio_storage.dir/dm_crypt.cpp.o.d"
+  "CMakeFiles/revelio_storage.dir/dm_verity.cpp.o"
+  "CMakeFiles/revelio_storage.dir/dm_verity.cpp.o.d"
+  "CMakeFiles/revelio_storage.dir/imagefs.cpp.o"
+  "CMakeFiles/revelio_storage.dir/imagefs.cpp.o.d"
+  "CMakeFiles/revelio_storage.dir/mem_disk.cpp.o"
+  "CMakeFiles/revelio_storage.dir/mem_disk.cpp.o.d"
+  "CMakeFiles/revelio_storage.dir/partition.cpp.o"
+  "CMakeFiles/revelio_storage.dir/partition.cpp.o.d"
+  "librevelio_storage.a"
+  "librevelio_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

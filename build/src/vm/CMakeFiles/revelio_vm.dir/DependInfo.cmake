@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/blobs.cpp" "src/vm/CMakeFiles/revelio_vm.dir/blobs.cpp.o" "gcc" "src/vm/CMakeFiles/revelio_vm.dir/blobs.cpp.o.d"
+  "/root/repo/src/vm/firmware.cpp" "src/vm/CMakeFiles/revelio_vm.dir/firmware.cpp.o" "gcc" "src/vm/CMakeFiles/revelio_vm.dir/firmware.cpp.o.d"
+  "/root/repo/src/vm/guest.cpp" "src/vm/CMakeFiles/revelio_vm.dir/guest.cpp.o" "gcc" "src/vm/CMakeFiles/revelio_vm.dir/guest.cpp.o.d"
+  "/root/repo/src/vm/hypervisor.cpp" "src/vm/CMakeFiles/revelio_vm.dir/hypervisor.cpp.o" "gcc" "src/vm/CMakeFiles/revelio_vm.dir/hypervisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/revelio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/revelio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/revelio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sevsnp/CMakeFiles/revelio_sevsnp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/revelio_pki.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

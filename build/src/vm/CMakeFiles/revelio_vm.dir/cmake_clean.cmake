@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_vm.dir/blobs.cpp.o"
+  "CMakeFiles/revelio_vm.dir/blobs.cpp.o.d"
+  "CMakeFiles/revelio_vm.dir/firmware.cpp.o"
+  "CMakeFiles/revelio_vm.dir/firmware.cpp.o.d"
+  "CMakeFiles/revelio_vm.dir/guest.cpp.o"
+  "CMakeFiles/revelio_vm.dir/guest.cpp.o.d"
+  "CMakeFiles/revelio_vm.dir/hypervisor.cpp.o"
+  "CMakeFiles/revelio_vm.dir/hypervisor.cpp.o.d"
+  "librevelio_vm.a"
+  "librevelio_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

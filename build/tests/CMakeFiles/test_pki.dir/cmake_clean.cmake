@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pki.dir/test_pki.cpp.o"
+  "CMakeFiles/test_pki.dir/test_pki.cpp.o.d"
+  "test_pki"
+  "test_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_revelio.dir/test_revelio.cpp.o"
+  "CMakeFiles/test_revelio.dir/test_revelio.cpp.o.d"
+  "test_revelio"
+  "test_revelio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_revelio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_revelio_ext.dir/test_revelio_ext.cpp.o"
+  "CMakeFiles/test_revelio_ext.dir/test_revelio_ext.cpp.o.d"
+  "test_revelio_ext"
+  "test_revelio_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_revelio_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

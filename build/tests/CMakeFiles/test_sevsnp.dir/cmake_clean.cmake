@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sevsnp.dir/test_sevsnp.cpp.o"
+  "CMakeFiles/test_sevsnp.dir/test_sevsnp.cpp.o.d"
+  "test_sevsnp"
+  "test_sevsnp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sevsnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_common]=] "/root/repo/build/tests/test_common")
+set_tests_properties([=[test_common]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_crypto]=] "/root/repo/build/tests/test_crypto")
+set_tests_properties([=[test_crypto]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_storage]=] "/root/repo/build/tests/test_storage")
+set_tests_properties([=[test_storage]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_pki]=] "/root/repo/build/tests/test_pki")
+set_tests_properties([=[test_pki]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_sevsnp]=] "/root/repo/build/tests/test_sevsnp")
+set_tests_properties([=[test_sevsnp]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_net]=] "/root/repo/build/tests/test_net")
+set_tests_properties([=[test_net]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_vm]=] "/root/repo/build/tests/test_vm")
+set_tests_properties([=[test_vm]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_ic]=] "/root/repo/build/tests/test_ic")
+set_tests_properties([=[test_ic]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_revelio]=] "/root/repo/build/tests/test_revelio")
+set_tests_properties([=[test_revelio]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_revelio_ext]=] "/root/repo/build/tests/test_revelio_ext")
+set_tests_properties([=[test_revelio_ext]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_properties]=] "/root/repo/build/tests/test_properties")
+set_tests_properties([=[test_properties]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_failure_injection]=] "/root/repo/build/tests/test_failure_injection")
+set_tests_properties([=[test_failure_injection]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;revelio_test;/root/repo/tests/CMakeLists.txt;0;")
