@@ -92,6 +92,46 @@ void BM_EcdsaVerify(benchmark::State& state, const Curve& curve) {
   }
 }
 
+// --- scalar-multiplication paths (the fast paths vs the naive ladder) ----
+
+void BM_ScalarMultNaive(benchmark::State& state, const Curve& curve) {
+  HmacDrbg drbg(to_bytes(std::string_view("bench-naive")));
+  const EcKeyPair kp = ec_generate(curve, drbg);
+  const U384 k = U384::from_bytes_be(drbg.generate(48));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.scalar_mult_naive(k, kp.q));
+  }
+}
+
+void BM_ScalarMultWnaf(benchmark::State& state, const Curve& curve) {
+  HmacDrbg drbg(to_bytes(std::string_view("bench-wnaf")));
+  const EcKeyPair kp = ec_generate(curve, drbg);
+  const U384 k = U384::from_bytes_be(drbg.generate(48));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.scalar_mult(k, kp.q));
+  }
+}
+
+void BM_ScalarMultFixedBase(benchmark::State& state, const Curve& curve) {
+  HmacDrbg drbg(to_bytes(std::string_view("bench-fixed-base")));
+  const U384 k = U384::from_bytes_be(drbg.generate(48));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.scalar_mult_base(k));
+  }
+}
+
+void BM_DoubleScalarMultCached(benchmark::State& state, const Curve& curve) {
+  // Repeated same-key verification: after the first iteration the per-key
+  // Strauss-Shamir tables come from the LRU cache — the ECDSA verify shape.
+  HmacDrbg drbg(to_bytes(std::string_view("bench-double-scalar")));
+  const EcKeyPair kp = ec_generate(curve, drbg);
+  const U384 u1 = U384::from_bytes_be(drbg.generate(48));
+  const U384 u2 = U384::from_bytes_be(drbg.generate(48));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.double_scalar_mult_base(u1, u2, kp.q));
+  }
+}
+
 void BM_Pbkdf2_1000(benchmark::State& state) {
   const Bytes password = make_data(32);
   const Bytes salt = make_data(32);
@@ -122,6 +162,18 @@ int main(int argc, char** argv) {
                                std::cref(revelio::crypto::p256()));
   benchmark::RegisterBenchmark("BM_EcdsaVerify/P384", BM_EcdsaVerify,
                                std::cref(revelio::crypto::p384()));
+  for (const auto* curve : {&revelio::crypto::p256(),
+                            &revelio::crypto::p384()}) {
+    const std::string name = curve->params().name == "P-256" ? "P256" : "P384";
+    benchmark::RegisterBenchmark(("BM_ScalarMultNaive/" + name).c_str(),
+                                 BM_ScalarMultNaive, std::cref(*curve));
+    benchmark::RegisterBenchmark(("BM_ScalarMultWnaf/" + name).c_str(),
+                                 BM_ScalarMultWnaf, std::cref(*curve));
+    benchmark::RegisterBenchmark(("BM_ScalarMultFixedBase/" + name).c_str(),
+                                 BM_ScalarMultFixedBase, std::cref(*curve));
+    benchmark::RegisterBenchmark(("BM_DoubleScalarMultCached/" + name).c_str(),
+                                 BM_DoubleScalarMultCached, std::cref(*curve));
+  }
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

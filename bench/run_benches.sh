@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs the crypto benchmarks and emits a machine-readable summary.
+#
+#   bench/run_benches.sh [build-dir] [bench-name...]
+#
+# Defaults: build-dir = ./build, benches = bench_crypto_primitives.
+# Output: BENCH_crypto.json at the repo root — a JSON array of
+# {"bench": ..., "op": ..., "ns_per_op": ..., "iterations": ...}, one entry
+# per benchmark, suitable for jq / CI regression tracking.
+#
+# Each binary is run with --benchmark_out so the JSON stays clean even for
+# benches that print their own human-readable tables to stdout.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+benches=("$@")
+if [ "${#benches[@]}" -eq 0 ]; then
+  benches=(bench_crypto_primitives)
+fi
+
+out_json="$repo_root/BENCH_crypto.json"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+for bench in "${benches[@]}"; do
+  bin="$build_dir/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (run: cmake --build $build_dir -j)" >&2
+    exit 1
+  fi
+  echo "== $bench" >&2
+  "$bin" --benchmark_out="$tmp_dir/$bench.json" \
+         --benchmark_out_format=json >&2
+done
+
+python3 - "$out_json" "$tmp_dir"/*.json <<'PY'
+import json
+import os
+import sys
+
+out_path = sys.argv[1]
+scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+rows = []
+for path in sys.argv[2:]:
+    bench = os.path.splitext(os.path.basename(path))[0]
+    with open(path) as f:
+        report = json.load(f)
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = scale.get(b.get("time_unit", "ns"), 1.0)
+        rows.append({
+            "bench": bench,
+            "op": b["name"],
+            "ns_per_op": round(b["real_time"] * unit, 1),
+            "iterations": b["iterations"],
+        })
+with open(out_path, "w") as f:
+    json.dump(rows, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(rows)} entries)", file=sys.stderr)
+PY

@@ -1,8 +1,21 @@
 #include "crypto/ec.hpp"
 
+#include <array>
 #include <cassert>
 
 namespace revelio::crypto {
+
+namespace {
+
+/// wNAF window width for variable-point multiplication (16-entry tables).
+constexpr unsigned kWnafWidth = 5;
+
+/// Per-curve bound on cached per-public-key verification tables. Each entry
+/// holds 32 affine points (~3 KiB); 64 entries cover a fleet's worth of
+/// ARK/ASK/VCEK and TLS leaf keys while bounding memory at ~200 KiB.
+constexpr std::size_t kVerifyCacheCapacity = 64;
+
+}  // namespace
 
 const CurveParams& p256_params() {
   static const CurveParams params{
@@ -46,21 +59,6 @@ Bytes Curve::Point::encode(std::size_t coord_len) const {
   return out;
 }
 
-namespace {
-
-/// Jacobian coordinates (X, Y, Z) with x = X/Z^2, y = Y/Z^3; all coordinates
-/// in the Montgomery domain. Z == 0 encodes the point at infinity.
-struct Jacobian {
-  U384 x;
-  U384 y;
-  U384 z;
-
-  bool is_infinity() const { return z.is_zero(); }
-  static Jacobian infinity() { return Jacobian{}; }
-};
-
-}  // namespace
-
 Curve::Curve(const CurveParams& params)
     : params_(params), fp_(params.p), fn_(params.n) {
   // a = -3 mod p.
@@ -68,6 +66,13 @@ Curve::Curve(const CurveParams& params)
   sub_with_borrow(a, params_.p, U384::from_u64(3));
   a_mont_ = fp_.to_mont(a);
   b_mont_ = fp_.to_mont(params_.b);
+
+  order_bits_ = static_cast<unsigned>(params_.byte_length * 8);
+  half_bits_ = order_bits_ / 2;  // 128 (P-256) / 192 (P-384): whole limbs
+  const ecp::Aff g{fp_.to_mont(params_.gx), fp_.to_mont(params_.gy), false};
+  fixed_base_ = std::make_unique<ecp::FixedBaseTable>(fp_, g, order_bits_);
+  verify_cache_ =
+      std::make_unique<ecp::VerifyTableCache>(kVerifyCacheCapacity);
 }
 
 bool Curve::on_curve(const Point& pt) const {
@@ -82,118 +87,169 @@ bool Curve::on_curve(const Point& pt) const {
   return y2 == rhs;
 }
 
-namespace {
-
-/// Doubling with a = -3 (dbl-2001-b style).
-Jacobian jacobian_double(const MontCtx& fp, const Jacobian& p) {
-  if (p.is_infinity()) return p;
-  if (p.y.is_zero()) return Jacobian::infinity();
-
-  const U384 delta = fp.mul(p.z, p.z);
-  const U384 gamma = fp.mul(p.y, p.y);
-  const U384 beta = fp.mul(p.x, gamma);
-  // alpha = 3 (x - delta)(x + delta)
-  const U384 diff = fp.sub(p.x, delta);
-  const U384 sum = fp.add(p.x, delta);
-  U384 alpha = fp.mul(diff, sum);
-  alpha = fp.add(fp.add(alpha, alpha), alpha);
-
-  Jacobian r;
-  // X3 = alpha^2 - 8 beta
-  const U384 beta2 = fp.add(beta, beta);
-  const U384 beta4 = fp.add(beta2, beta2);
-  const U384 beta8 = fp.add(beta4, beta4);
-  r.x = fp.sub(fp.mul(alpha, alpha), beta8);
-  // Z3 = (y + z)^2 - gamma - delta
-  const U384 yz = fp.add(p.y, p.z);
-  r.z = fp.sub(fp.sub(fp.mul(yz, yz), gamma), delta);
-  // Y3 = alpha (4 beta - X3) - 8 gamma^2
-  const U384 gamma2 = fp.mul(gamma, gamma);
-  const U384 g2 = fp.add(gamma2, gamma2);
-  const U384 g4 = fp.add(g2, g2);
-  const U384 g8 = fp.add(g4, g4);
-  r.y = fp.sub(fp.mul(alpha, fp.sub(beta4, r.x)), g8);
-  return r;
+U384 Curve::reduce_scalar(const U384& k) const {
+  // Cofactor is 1 on both curves, so k * P == (k mod n) * P for every
+  // curve point; reducing keeps wNAF headroom assumptions valid too.
+  if (k.cmp(params_.n) < 0) return k;
+  return fn_.reduce(k);
 }
 
-/// General Jacobian addition (add-2007-bl without the Z caching tricks).
-Jacobian jacobian_add(const MontCtx& fp, const Jacobian& a,
-                             const Jacobian& b) {
-  if (a.is_infinity()) return b;
-  if (b.is_infinity()) return a;
-
-  const U384 z1z1 = fp.mul(a.z, a.z);
-  const U384 z2z2 = fp.mul(b.z, b.z);
-  const U384 u1 = fp.mul(a.x, z2z2);
-  const U384 u2 = fp.mul(b.x, z1z1);
-  const U384 s1 = fp.mul(fp.mul(a.y, b.z), z2z2);
-  const U384 s2 = fp.mul(fp.mul(b.y, a.z), z1z1);
-
-  const U384 h = fp.sub(u2, u1);
-  const U384 r = fp.sub(s2, s1);
-  if (h.is_zero()) {
-    if (r.is_zero()) return jacobian_double(fp, a);
-    return Jacobian::infinity();
-  }
-
-  const U384 hh = fp.mul(h, h);
-  const U384 hhh = fp.mul(h, hh);
-  const U384 v = fp.mul(u1, hh);
-
-  Jacobian out;
-  // X3 = r^2 - HHH - 2V
-  out.x = fp.sub(fp.sub(fp.mul(r, r), hhh), fp.add(v, v));
-  // Y3 = r (V - X3) - S1 * HHH
-  out.y = fp.sub(fp.mul(r, fp.sub(v, out.x)), fp.mul(s1, hhh));
-  // Z3 = Z1 Z2 H
-  out.z = fp.mul(fp.mul(a.z, b.z), h);
-  return out;
+Curve::Point Curve::to_affine(const ecp::Jac& p) const {
+  if (p.is_inf()) return Point::at_infinity();
+  const U384 zinv = fp_.inv(p.z);
+  const U384 zinv2 = fp_.mul(zinv, zinv);
+  const U384 zinv3 = fp_.mul(zinv2, zinv);
+  return Point{fp_.from_mont(fp_.mul(p.x, zinv2)),
+               fp_.from_mont(fp_.mul(p.y, zinv3)), false};
 }
-
-}  // namespace
 
 Curve::Point Curve::add(const Point& a, const Point& b) const {
   if (a.infinity) return b;
   if (b.infinity) return a;
-  Jacobian ja{fp_.to_mont(a.x), fp_.to_mont(a.y), fp_.one()};
-  Jacobian jb{fp_.to_mont(b.x), fp_.to_mont(b.y), fp_.one()};
-  const Jacobian sum = jacobian_add(fp_, ja, jb);
-  if (sum.is_infinity()) return Point::at_infinity();
-  const U384 zinv = fp_.inv(sum.z);
-  const U384 zinv2 = fp_.mul(zinv, zinv);
-  const U384 zinv3 = fp_.mul(zinv2, zinv);
-  return Point{fp_.from_mont(fp_.mul(sum.x, zinv2)),
-               fp_.from_mont(fp_.mul(sum.y, zinv3)), false};
+  const ecp::Jac ja{fp_.to_mont(a.x), fp_.to_mont(a.y), fp_.one()};
+  const ecp::Jac jb{fp_.to_mont(b.x), fp_.to_mont(b.y), fp_.one()};
+  return to_affine(ecp::jac_add(fp_, ja, jb));
 }
 
+namespace {
+
+/// Applies one signed wNAF digit against a Jacobian odd-multiples table.
+ecp::Jac apply_digit_jac(const MontCtx& fp, const ecp::Jac& acc, int digit,
+                         const std::array<ecp::Jac, 16>& table) {
+  if (digit > 0) return ecp::jac_add(fp, acc, table[digit >> 1]);
+  ecp::Jac neg = table[(-digit) >> 1];
+  neg.y = fp.sub(U384::zero(), neg.y);
+  return ecp::jac_add(fp, acc, neg);
+}
+
+/// Applies one signed wNAF digit against an affine odd-multiples table.
+ecp::Jac apply_digit_aff(const MontCtx& fp, const ecp::Jac& acc, int digit,
+                         const std::vector<ecp::Aff>& table) {
+  if (digit > 0) return ecp::jac_add_affine(fp, acc, table[digit >> 1]);
+  ecp::Aff neg = table[(-digit) >> 1];
+  neg.y = fp.sub(U384::zero(), neg.y);
+  return ecp::jac_add_affine(fp, acc, neg);
+}
+
+}  // namespace
+
 Curve::Point Curve::scalar_mult(const U384& k, const Point& pt) const {
-  if (pt.infinity || k.is_zero()) return Point::at_infinity();
-  const Jacobian base{fp_.to_mont(pt.x), fp_.to_mont(pt.y), fp_.one()};
-  Jacobian acc = Jacobian::infinity();
-  for (std::size_t i = k.bit_length(); i-- > 0;) {
-    acc = jacobian_double(fp_, acc);
-    if (k.bit(i)) acc = jacobian_add(fp_, acc, base);
+  if (pt.infinity) return Point::at_infinity();
+  const U384 kr = reduce_scalar(k);
+  if (kr.is_zero()) return Point::at_infinity();
+
+  // Odd multiples 1P, 3P, ..., 31P, kept Jacobian: for a one-shot
+  // multiplication the batch normalization would cost more (one field
+  // inversion) than mixed additions save.
+  const ecp::Jac base{fp_.to_mont(pt.x), fp_.to_mont(pt.y), fp_.one()};
+  std::array<ecp::Jac, 16> table;
+  table[0] = base;
+  const ecp::Jac twice = ecp::jac_double(fp_, base);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    table[i] = ecp::jac_add(fp_, table[i - 1], twice);
   }
-  if (acc.is_infinity()) return Point::at_infinity();
-  const U384 zinv = fp_.inv(acc.z);
-  const U384 zinv2 = fp_.mul(zinv, zinv);
-  const U384 zinv3 = fp_.mul(zinv2, zinv);
-  return Point{fp_.from_mont(fp_.mul(acc.x, zinv2)),
-               fp_.from_mont(fp_.mul(acc.y, zinv3)), false};
+
+  const auto digits = ecp::wnaf_recode(kr, kWnafWidth);
+  ecp::Jac acc = ecp::Jac::inf();
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    acc = ecp::jac_double(fp_, acc);
+    if (digits[i] != 0) acc = apply_digit_jac(fp_, acc, digits[i], table);
+  }
+  return to_affine(acc);
 }
 
 Curve::Point Curve::scalar_mult_base(const U384& k) const {
-  return scalar_mult(k, generator());
+  const U384 kr = reduce_scalar(k);
+  if (kr.is_zero()) return Point::at_infinity();
+  return to_affine(fixed_base_->mul(fp_, kr));
 }
 
-Curve::Point Curve::decode_point(ByteView encoded) const {
+std::shared_ptr<const ecp::VerifyTables> Curve::tables_for(
+    const Point& q) const {
+  const Bytes key = encode_point(q);
+  if (auto cached = verify_cache_->get(key)) return cached;
+
+  auto tables = std::make_shared<ecp::VerifyTables>();
+  tables->half_bits = half_bits_;
+  tables->width = kWnafWidth;
+  const ecp::Jac base{fp_.to_mont(q.x), fp_.to_mont(q.y), fp_.one()};
+  tables->low = ecp::odd_multiples(fp_, base, kWnafWidth);
+  ecp::Jac shifted = base;
+  for (unsigned i = 0; i < half_bits_; ++i) {
+    shifted = ecp::jac_double(fp_, shifted);
+  }
+  tables->high = ecp::odd_multiples(fp_, shifted, kWnafWidth);
+  verify_cache_->put(key, tables);
+  return tables;
+}
+
+Curve::Point Curve::double_scalar_mult_base(const U384& u1, const U384& u2,
+                                            const Point& q) const {
+  const U384 a = reduce_scalar(u1);
+  if (q.infinity) return scalar_mult_base(a);
+  const U384 b = reduce_scalar(u2);
+  if (b.is_zero()) return scalar_mult_base(a);
+
+  const auto tables = tables_for(q);
+
+  // Split b at half_bits (a whole number of limbs): b = hi * 2^half + lo.
+  const std::size_t split_limb = half_bits_ / 64;
+  U384 lo = b;
+  U384 hi;
+  for (std::size_t i = split_limb; i < U384::kLimbs; ++i) {
+    hi.limbs[i - split_limb] = b.limbs[i];
+    lo.limbs[i] = 0;
+  }
+
+  const auto digits_lo = ecp::wnaf_recode(lo, kWnafWidth);
+  const auto digits_hi = ecp::wnaf_recode(hi, kWnafWidth);
+
+  // One shared doubling chain of half_bits steps covers both halves of
+  // u2 * Q; the u1 * G term needs no doublings at all (fixed-base table)
+  // and is folded in at the end.
+  ecp::Jac acc = ecp::Jac::inf();
+  const std::size_t steps = std::max(digits_lo.size(), digits_hi.size());
+  for (std::size_t i = steps; i-- > 0;) {
+    acc = ecp::jac_double(fp_, acc);
+    if (i < digits_lo.size() && digits_lo[i] != 0) {
+      acc = apply_digit_aff(fp_, acc, digits_lo[i], tables->low);
+    }
+    if (i < digits_hi.size() && digits_hi[i] != 0) {
+      acc = apply_digit_aff(fp_, acc, digits_hi[i], tables->high);
+    }
+  }
+  if (!a.is_zero()) {
+    acc = ecp::jac_add(fp_, acc, fixed_base_->mul(fp_, a));
+  }
+  return to_affine(acc);
+}
+
+Curve::Point Curve::scalar_mult_naive(const U384& k, const Point& pt) const {
+  if (pt.infinity || k.is_zero()) return Point::at_infinity();
+  const ecp::Jac base{fp_.to_mont(pt.x), fp_.to_mont(pt.y), fp_.one()};
+  ecp::Jac acc = ecp::Jac::inf();
+  for (std::size_t i = k.bit_length(); i-- > 0;) {
+    acc = ecp::jac_double(fp_, acc);
+    if (k.bit(i)) acc = ecp::jac_add(fp_, acc, base);
+  }
+  return to_affine(acc);
+}
+
+Result<Curve::Point> Curve::decode_point(ByteView encoded) const {
   const std::size_t len = params_.byte_length;
   if (encoded.size() != 1 + 2 * len || encoded[0] != 0x04) {
-    return Point::at_infinity();
+    return Error::make("ec.bad_point_encoding",
+                       "expected 0x04 || X || Y of " +
+                           std::to_string(1 + 2 * len) + " bytes");
   }
-  Point pt{U384::from_bytes_be(encoded.subspan(1, len)),
-           U384::from_bytes_be(encoded.subspan(1 + len, len)), false};
-  if (!on_curve(pt)) return Point::at_infinity();
+  const Point pt{U384::from_bytes_be(encoded.subspan(1, len)),
+                 U384::from_bytes_be(encoded.subspan(1 + len, len)), false};
+  if (pt.x.cmp(params_.p) >= 0 || pt.y.cmp(params_.p) >= 0) {
+    return Error::make("ec.coordinate_out_of_range", params_.name);
+  }
+  if (!on_curve(pt)) {
+    return Error::make("ec.point_not_on_curve", params_.name);
+  }
   return pt;
 }
 

@@ -4,12 +4,22 @@
 // P-384 signs SEV-SNP attestation reports and the VCEK/ASK/ARK chain
 // (matching AMD's real deployment); P-256 serves VM TLS identities where
 // smaller keys keep handshakes cheap.
+//
+// Scalar multiplication runs on three fast paths (see ec_precomp.hpp and
+// DESIGN.md "Crypto fast paths"): wNAF for arbitrary points, a fixed-base
+// window table for the generator, and Strauss–Shamir interleaving with a
+// per-public-key LRU table cache for the u1*G + u2*Q form ECDSA
+// verification needs. The naive double-and-add ladder is kept as
+// `scalar_mult_naive` — the reference the property tests compare against.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/result.hpp"
 #include "crypto/bigint.hpp"
+#include "crypto/ec_precomp.hpp"
 
 namespace revelio::crypto {
 
@@ -26,7 +36,8 @@ struct CurveParams {
 const CurveParams& p256_params();
 const CurveParams& p384_params();
 
-/// A curve with precomputed Montgomery contexts for its two prime fields.
+/// A curve with precomputed Montgomery contexts for its two prime fields
+/// plus the fixed-base table for its generator.
 class Curve {
  public:
   explicit Curve(const CurveParams& params);
@@ -53,28 +64,61 @@ class Curve {
   bool on_curve(const Point& pt) const;
 
   Point add(const Point& a, const Point& b) const;
+
+  /// k * pt via width-5 wNAF with an on-the-fly odd-multiples table.
+  /// Both curves have cofactor 1, so k is reduced mod n first.
   Point scalar_mult(const U384& k, const Point& pt) const;
+
+  /// k * G via the fixed-base window table: one mixed addition per nonzero
+  /// radix-16 digit of k, no doublings.
   Point scalar_mult_base(const U384& k) const;
 
-  /// Decodes an uncompressed SEC1 point and validates it is on the curve.
-  /// Returns infinity on malformed input (callers reject infinity).
-  Point decode_point(ByteView encoded) const;
+  /// u1 * G + u2 * Q in one pass: fixed-base table for the G term,
+  /// Strauss–Shamir over a half-length shared doubling chain for the Q term
+  /// (u2 split at half the order bits against cached tables for Q and
+  /// 2^half * Q). This is the ECDSA verification hot path.
+  Point double_scalar_mult_base(const U384& u1, const U384& u2,
+                                const Point& q) const;
+
+  /// Reference MSB-first double-and-add ladder. Slow; exists so tests and
+  /// benchmarks can compare the optimized paths against it.
+  Point scalar_mult_naive(const U384& k, const Point& pt) const;
+
+  /// Decodes an uncompressed SEC1 point and validates it. Distinct error
+  /// codes let callers tell a parse failure ("ec.bad_point_encoding"),
+  /// a non-canonical coordinate ("ec.coordinate_out_of_range"), and an
+  /// off-curve point ("ec.point_not_on_curve") apart; a decoded point is
+  /// never the point at infinity.
+  Result<Point> decode_point(ByteView encoded) const;
 
   /// Encodes with this curve's coordinate size.
   Bytes encode_point(const Point& pt) const {
     return pt.encode(params_.byte_length);
   }
 
+  /// Stats of the per-public-key verification table cache.
+  ecp::VerifyTableCache::Stats verify_cache_stats() const {
+    return verify_cache_->stats();
+  }
+
  private:
+  U384 reduce_scalar(const U384& k) const;
+  Point to_affine(const ecp::Jac& p) const;
+  std::shared_ptr<const ecp::VerifyTables> tables_for(const Point& q) const;
+
   CurveParams params_;
   MontCtx fp_;
   MontCtx fn_;
   U384 a_mont_;  // -3 mod p, Montgomery domain
   U384 b_mont_;
+  unsigned order_bits_;
+  unsigned half_bits_;  // Strauss–Shamir split point (multiple of 64)
+  std::unique_ptr<ecp::FixedBaseTable> fixed_base_;
+  std::unique_ptr<ecp::VerifyTableCache> verify_cache_;
 };
 
 /// Process-wide singletons (curve construction precomputes Montgomery
-/// constants; reuse them).
+/// constants and the generator's fixed-base table; reuse them).
 const Curve& p256();
 const Curve& p384();
 

@@ -1,0 +1,263 @@
+#include "crypto/ec_precomp.hpp"
+
+#include <cassert>
+
+namespace revelio::crypto::ecp {
+
+Jac jac_double(const MontCtx& fp, const Jac& p) {
+  if (p.is_inf()) return p;
+  if (p.y.is_zero()) return Jac::inf();
+
+  const U384 delta = fp.mul(p.z, p.z);
+  const U384 gamma = fp.mul(p.y, p.y);
+  const U384 beta = fp.mul(p.x, gamma);
+  // alpha = 3 (x - delta)(x + delta)
+  const U384 diff = fp.sub(p.x, delta);
+  const U384 sum = fp.add(p.x, delta);
+  U384 alpha = fp.mul(diff, sum);
+  alpha = fp.add(fp.add(alpha, alpha), alpha);
+
+  Jac r;
+  // X3 = alpha^2 - 8 beta
+  const U384 beta2 = fp.add(beta, beta);
+  const U384 beta4 = fp.add(beta2, beta2);
+  const U384 beta8 = fp.add(beta4, beta4);
+  r.x = fp.sub(fp.mul(alpha, alpha), beta8);
+  // Z3 = (y + z)^2 - gamma - delta
+  const U384 yz = fp.add(p.y, p.z);
+  r.z = fp.sub(fp.sub(fp.mul(yz, yz), gamma), delta);
+  // Y3 = alpha (4 beta - X3) - 8 gamma^2
+  const U384 gamma2 = fp.mul(gamma, gamma);
+  const U384 g2 = fp.add(gamma2, gamma2);
+  const U384 g4 = fp.add(g2, g2);
+  const U384 g8 = fp.add(g4, g4);
+  r.y = fp.sub(fp.mul(alpha, fp.sub(beta4, r.x)), g8);
+  return r;
+}
+
+Jac jac_add(const MontCtx& fp, const Jac& a, const Jac& b) {
+  if (a.is_inf()) return b;
+  if (b.is_inf()) return a;
+
+  const U384 z1z1 = fp.mul(a.z, a.z);
+  const U384 z2z2 = fp.mul(b.z, b.z);
+  const U384 u1 = fp.mul(a.x, z2z2);
+  const U384 u2 = fp.mul(b.x, z1z1);
+  const U384 s1 = fp.mul(fp.mul(a.y, b.z), z2z2);
+  const U384 s2 = fp.mul(fp.mul(b.y, a.z), z1z1);
+
+  const U384 h = fp.sub(u2, u1);
+  const U384 r = fp.sub(s2, s1);
+  if (h.is_zero()) {
+    if (r.is_zero()) return jac_double(fp, a);
+    return Jac::inf();
+  }
+
+  const U384 hh = fp.mul(h, h);
+  const U384 hhh = fp.mul(h, hh);
+  const U384 v = fp.mul(u1, hh);
+
+  Jac out;
+  // X3 = r^2 - HHH - 2V
+  out.x = fp.sub(fp.sub(fp.mul(r, r), hhh), fp.add(v, v));
+  // Y3 = r (V - X3) - S1 * HHH
+  out.y = fp.sub(fp.mul(r, fp.sub(v, out.x)), fp.mul(s1, hhh));
+  // Z3 = Z1 Z2 H
+  out.z = fp.mul(fp.mul(a.z, b.z), h);
+  return out;
+}
+
+Jac jac_add_affine(const MontCtx& fp, const Jac& a, const Aff& b) {
+  if (b.inf) return a;
+  if (a.is_inf()) return jac_from_affine(fp, b);
+
+  // Z2 = 1, so U1 = X1, S1 = Y1.
+  const U384 z1z1 = fp.mul(a.z, a.z);
+  const U384 u2 = fp.mul(b.x, z1z1);
+  const U384 s2 = fp.mul(fp.mul(b.y, a.z), z1z1);
+
+  const U384 h = fp.sub(u2, a.x);
+  const U384 r = fp.sub(s2, a.y);
+  if (h.is_zero()) {
+    if (r.is_zero()) return jac_double(fp, a);
+    return Jac::inf();
+  }
+
+  const U384 hh = fp.mul(h, h);
+  const U384 hhh = fp.mul(h, hh);
+  const U384 v = fp.mul(a.x, hh);
+
+  Jac out;
+  out.x = fp.sub(fp.sub(fp.mul(r, r), hhh), fp.add(v, v));
+  out.y = fp.sub(fp.mul(r, fp.sub(v, out.x)), fp.mul(a.y, hhh));
+  out.z = fp.mul(a.z, h);
+  return out;
+}
+
+Jac jac_from_affine(const MontCtx& fp, const Aff& a) {
+  if (a.inf) return Jac::inf();
+  return Jac{a.x, a.y, fp.one()};
+}
+
+std::vector<Aff> batch_normalize(const MontCtx& fp,
+                                 const std::vector<Jac>& pts) {
+  std::vector<Aff> out(pts.size());
+  // prefix[i] = product of the first i+1 finite z coordinates.
+  std::vector<U384> prefix;
+  prefix.reserve(pts.size());
+  U384 acc = fp.one();
+  for (const Jac& p : pts) {
+    if (!p.is_inf()) acc = fp.mul(acc, p.z);
+    prefix.push_back(acc);
+  }
+  if (prefix.empty()) return out;
+
+  // One inversion for the whole batch, then peel back per point.
+  U384 inv_acc = fp.inv(acc);
+  for (std::size_t i = pts.size(); i-- > 0;) {
+    const Jac& p = pts[i];
+    if (p.is_inf()) continue;
+    // Inverse of this point's z: inv_acc * (product of earlier finite z's).
+    U384 zinv;
+    bool have_earlier = false;
+    for (std::size_t j = i; j-- > 0;) {
+      if (!pts[j].is_inf()) {
+        zinv = fp.mul(inv_acc, prefix[j]);
+        have_earlier = true;
+        break;
+      }
+    }
+    if (!have_earlier) zinv = inv_acc;
+    const U384 zinv2 = fp.mul(zinv, zinv);
+    out[i].x = fp.mul(p.x, zinv2);
+    out[i].y = fp.mul(p.y, fp.mul(zinv2, zinv));
+    out[i].inf = false;
+    inv_acc = fp.mul(inv_acc, p.z);
+  }
+  return out;
+}
+
+std::vector<std::int8_t> wnaf_recode(const U384& k, unsigned width) {
+  assert(width >= 2 && width <= 7);
+  std::vector<std::int8_t> digits;
+  digits.reserve(385);
+
+  U384 d = k;
+  const std::uint64_t mask = (std::uint64_t{1} << (width + 1)) - 1;
+  const std::int64_t half = std::int64_t{1} << width;
+
+  auto shr1 = [](U384& v) {
+    for (std::size_t i = 0; i + 1 < U384::kLimbs; ++i) {
+      v.limbs[i] = (v.limbs[i] >> 1) | (v.limbs[i + 1] << 63);
+    }
+    v.limbs[U384::kLimbs - 1] >>= 1;
+  };
+
+  while (!d.is_zero()) {
+    if (d.limbs[0] & 1) {
+      std::int64_t digit = static_cast<std::int64_t>(d.limbs[0] & mask);
+      if (digit >= half) digit -= half << 1;
+      digits.push_back(static_cast<std::int8_t>(digit));
+      // d -= digit. Negative digits add; k < 2^384 - 2^width keeps this from
+      // overflowing (curve orders leave far more headroom than that).
+      const U384 small = U384::from_u64(
+          static_cast<std::uint64_t>(digit < 0 ? -digit : digit));
+      U384 next;
+      if (digit > 0) {
+        sub_with_borrow(next, d, small);
+      } else {
+        add_with_carry(next, d, small);
+      }
+      d = next;
+    } else {
+      digits.push_back(0);
+    }
+    shr1(d);
+  }
+  return digits;
+}
+
+std::vector<Aff> odd_multiples(const MontCtx& fp, const Jac& p,
+                               unsigned width) {
+  const std::size_t count = std::size_t{1} << (width - 1);  // 1,3,...,2^w-1
+  std::vector<Jac> jac(count);
+  jac[0] = p;
+  const Jac twice = jac_double(fp, p);
+  for (std::size_t i = 1; i < count; ++i) {
+    jac[i] = jac_add(fp, jac[i - 1], twice);
+  }
+  return batch_normalize(fp, jac);
+}
+
+FixedBaseTable::FixedBaseTable(const MontCtx& fp, const Aff& g,
+                               unsigned scalar_bits) {
+  windows_ = (scalar_bits + kWindowBits - 1) / kWindowBits;
+  std::vector<Jac> jac;
+  jac.reserve(windows_ * 15);
+
+  Jac base = jac_from_affine(fp, g);  // 16^i * G for the current window
+  for (unsigned w = 0; w < windows_; ++w) {
+    Jac multiple = base;
+    jac.push_back(multiple);  // 1 * 16^i * G
+    for (unsigned d = 2; d <= 15; ++d) {
+      multiple = jac_add(fp, multiple, base);
+      jac.push_back(multiple);
+    }
+    for (unsigned b = 0; b < kWindowBits; ++b) base = jac_double(fp, base);
+  }
+  table_ = batch_normalize(fp, jac);
+}
+
+Jac FixedBaseTable::mul(const MontCtx& fp, const U384& k) const {
+  Jac acc = Jac::inf();
+  for (unsigned w = 0; w < windows_; ++w) {
+    const unsigned bit = w * kWindowBits;
+    const unsigned digit =
+        (k.limbs[bit / 64] >> (bit % 64)) & ((1u << kWindowBits) - 1);
+    if (digit != 0) acc = jac_add_affine(fp, acc, entry(w, digit));
+  }
+  return acc;
+}
+
+std::shared_ptr<const VerifyTables> VerifyTableCache::get(const Bytes& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.tables;
+}
+
+void VerifyTableCache::put(const Bytes& key,
+                           std::shared_ptr<const VerifyTables> tables) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.tables = std::move(tables);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(tables), lru_.begin()};
+}
+
+VerifyTableCache::Stats VerifyTableCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t VerifyTableCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace revelio::crypto::ecp

@@ -1,0 +1,148 @@
+// Precomputation machinery for fast elliptic-curve scalar multiplication.
+//
+// Three layers, all operating on Montgomery-domain coordinates:
+//
+//  * Jacobian/affine point formulas (a = -3 short Weierstrass) shared by the
+//    naive ladder in ec.cpp and every fast path here. Mixed addition against
+//    an affine table entry saves ~5 field mults over the general formula.
+//  * wNAF recoding plus odd-multiple tables: a width-w signed-digit window
+//    cuts the additions in a k*P ladder from ~bits/2 to ~bits/(w+1), and the
+//    signed digits get point negation for free (negate y).
+//  * Fixed-base window tables for each curve generator and a bounded LRU of
+//    per-public-key tables, so the attestation hot path (the same ARK / ASK /
+//    VCEK keys verified every session) skips both the doubling chain and the
+//    table build.
+//
+// None of this is constant-time: lookups index tables by scalar digits. See
+// DESIGN.md ("Crypto fast paths") for why that is acceptable for the verify
+// side (public data only) and what the sign side would need instead.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/bigint.hpp"
+
+namespace revelio::crypto::ecp {
+
+/// Jacobian coordinates (X, Y, Z) with x = X/Z^2, y = Y/Z^3; all coordinates
+/// in the Montgomery domain. Z == 0 encodes the point at infinity.
+struct Jac {
+  U384 x;
+  U384 y;
+  U384 z;
+
+  bool is_inf() const { return z.is_zero(); }
+  static Jac inf() { return Jac{}; }
+};
+
+/// Affine Montgomery-domain point (implicit Z = 1); table entry format.
+struct Aff {
+  U384 x;
+  U384 y;
+  bool inf = true;
+};
+
+/// Doubling with a = -3 (dbl-2001-b).
+Jac jac_double(const MontCtx& fp, const Jac& p);
+
+/// General Jacobian addition (add-2007-bl without Z caching).
+Jac jac_add(const MontCtx& fp, const Jac& a, const Jac& b);
+
+/// Mixed addition: Jacobian + affine (madd-2007-bl shape, 8M + 3S).
+Jac jac_add_affine(const MontCtx& fp, const Jac& a, const Aff& b);
+
+/// Lifts an affine table entry to Jacobian.
+Jac jac_from_affine(const MontCtx& fp, const Aff& a);
+
+/// Normalizes many Jacobian points to affine with a single field inversion
+/// (Montgomery's simultaneous-inversion trick). Infinity maps to inf entries.
+std::vector<Aff> batch_normalize(const MontCtx& fp, const std::vector<Jac>& pts);
+
+/// Width-w non-adjacent form of k, least-significant digit first. Digits are
+/// zero or odd with |d| < 2^w. Requires k < 2^384 - 2^w (callers reduce mod
+/// the curve order first, which guarantees it).
+std::vector<std::int8_t> wnaf_recode(const U384& k, unsigned width);
+
+/// Odd multiples {1, 3, 5, ..., 2^(w-1)-1... } of a point: table[i] holds
+/// (2i+1) * P in Montgomery affine. Sized for wNAF width `width`.
+std::vector<Aff> odd_multiples(const MontCtx& fp, const Jac& p, unsigned width);
+
+/// Fixed-base precomputation for one curve generator: radix-16 windows with
+/// per-window multiple tables, windows_[i][d-1] = d * 16^i * G. A base-point
+/// multiplication then costs one mixed addition per nonzero window digit and
+/// no doublings at all.
+class FixedBaseTable {
+ public:
+  /// `g` is the generator in Montgomery affine; `scalar_bits` bounds the
+  /// scalars that will be passed to mul (the curve order's bit length,
+  /// rounded up to a whole window).
+  FixedBaseTable(const MontCtx& fp, const Aff& g, unsigned scalar_bits);
+
+  /// k * G for k < 2^scalar_bits. Montgomery-domain Jacobian result.
+  Jac mul(const MontCtx& fp, const U384& k) const;
+
+  unsigned scalar_bits() const { return windows_ * kWindowBits; }
+  std::size_t memory_bytes() const {
+    return table_.size() * sizeof(Aff);
+  }
+
+  static constexpr unsigned kWindowBits = 4;
+
+ private:
+  const Aff& entry(unsigned window, unsigned digit) const {
+    return table_[window * 15 + (digit - 1)];
+  }
+
+  unsigned windows_;
+  std::vector<Aff> table_;  // windows_ x 15 entries, digit-major
+};
+
+/// Per-public-key precomputation used by Strauss–Shamir verification: odd
+/// multiples of Q and of 2^half * Q, so u2 * Q runs as two half-length
+/// scalars over one shared doubling chain.
+struct VerifyTables {
+  std::vector<Aff> low;    // odd multiples of Q
+  std::vector<Aff> high;   // odd multiples of 2^half_bits * Q
+  unsigned half_bits = 0;
+  unsigned width = 0;
+};
+
+/// Bounded LRU cache of VerifyTables keyed by the SEC1 point encoding.
+/// Thread-safe; entries are shared_ptr so an eviction cannot invalidate a
+/// table mid-verification.
+class VerifyTableCache {
+ public:
+  explicit VerifyTableCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::shared_ptr<const VerifyTables> get(const Bytes& key);
+  void put(const Bytes& key, std::shared_ptr<const VerifyTables> tables);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const VerifyTables> tables;
+    std::list<Bytes>::iterator lru_it;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Bytes> lru_;  // front = most recently used
+  std::map<Bytes, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace revelio::crypto::ecp

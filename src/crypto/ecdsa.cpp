@@ -100,9 +100,9 @@ bool ecdsa_verify(const Curve& curve, const Curve::Point& pub,
   const U384 u1 = fn.from_mont(fn.mul(fn.to_mont(z), s_inv));
   const U384 u2 = fn.from_mont(fn.mul(fn.to_mont(sig.r), s_inv));
 
-  const Curve::Point p1 = curve.scalar_mult_base(u1);
-  const Curve::Point p2 = curve.scalar_mult(u2, pub);
-  const Curve::Point sum = curve.add(p1, p2);
+  // u1*G + u2*Q over one shared (half-length) doubling chain, with the
+  // generator's fixed-base table and cached per-key tables for Q.
+  const Curve::Point sum = curve.double_scalar_mult_base(u1, u2, pub);
   if (sum.infinity) return false;
 
   const U384 v = fn.reduce(sum.x);

@@ -17,11 +17,12 @@ Bytes derive_aead_key(ByteView shared_secret, ByteView eph_pub,
 Result<Bytes> ecies_seal(const Curve& curve, ByteView recipient_pub,
                          ByteView plaintext, HmacDrbg& drbg) {
   const auto recipient = curve.decode_point(recipient_pub);
-  if (recipient.infinity) {
-    return Error::make("ecies.bad_recipient_key");
+  if (!recipient.ok()) {
+    return Error::make("ecies.bad_recipient_key",
+                       recipient.error().to_string());
   }
   const EcKeyPair eph = ec_generate(curve, drbg);
-  auto shared = ecdh_shared_secret(curve, eph.d, recipient);
+  auto shared = ecdh_shared_secret(curve, eph.d, *recipient);
   if (!shared.ok()) return shared.error();
   const Bytes eph_pub = eph.public_encoded(curve);
   const AeadCtrHmac aead(derive_aead_key(*shared, eph_pub, recipient_pub));
@@ -41,8 +42,10 @@ Result<Bytes> ecies_open(const Curve& curve, const U384& recipient_priv,
   if (4 + eph_len > sealed.size()) return Error::make("ecies.truncated");
   const ByteView eph_pub = sealed.subspan(4, eph_len);
   const auto eph_point = curve.decode_point(eph_pub);
-  if (eph_point.infinity) return Error::make("ecies.bad_ephemeral");
-  auto shared = ecdh_shared_secret(curve, recipient_priv, eph_point);
+  if (!eph_point.ok()) {
+    return Error::make("ecies.bad_ephemeral", eph_point.error().to_string());
+  }
+  auto shared = ecdh_shared_secret(curve, recipient_priv, *eph_point);
   if (!shared.ok()) return shared.error();
   const Bytes recipient_pub =
       curve.encode_point(curve.scalar_mult_base(recipient_priv));

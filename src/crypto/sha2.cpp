@@ -96,6 +96,7 @@ void Sha256::compress(const std::uint8_t* block) {
 }
 
 void Sha256::update(ByteView data) {
+  if (data.empty()) return;  // empty views may carry a null data()
   total_len_ += data.size();
   std::size_t off = 0;
   if (buf_len_ > 0) {
@@ -184,6 +185,7 @@ void Sha512Core::compress(const std::uint8_t* block) {
 }
 
 void Sha512Core::update(ByteView data) {
+  if (data.empty()) return;  // empty views may carry a null data()
   total_len_ += data.size();
   std::size_t off = 0;
   if (buf_len_ > 0) {

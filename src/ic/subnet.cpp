@@ -268,10 +268,10 @@ Status verify_certificate(const Certificate& cert, ByteView reply,
     const auto key_it = public_keys.find(id);
     if (key_it == public_keys.end()) continue;  // unknown signer: ignore
     const auto pub = crypto::p256().decode_point(key_it->second);
-    if (pub.infinity) continue;
+    if (!pub.ok()) continue;
     auto sig = crypto::EcdsaSignature::decode(crypto::p256(), sig_bytes);
     if (!sig.ok()) continue;
-    if (crypto::ecdsa_verify(crypto::p256(), pub, digest.view(), *sig)) {
+    if (crypto::ecdsa_verify(crypto::p256(), *pub, digest.view(), *sig)) {
       ++valid;
     }
   }

@@ -135,13 +135,13 @@ Bytes TlsServer::handle_client_hello(ByteView frame) {
   const ByteView client_pub_bytes = frame.subspan(37, pub_len);
 
   const auto client_pub = handshake_curve().decode_point(client_pub_bytes);
-  if (client_pub.infinity) return alert("bad client ephemeral");
+  if (!client_pub.ok()) return alert("bad client ephemeral");
 
   const crypto::EcKeyPair server_eph =
       crypto::ec_generate(handshake_curve(), entropy_);
   const Bytes server_random = entropy_.generate(32);
   auto secret =
-      crypto::ecdh_shared_secret(handshake_curve(), server_eph.d, client_pub);
+      crypto::ecdh_shared_secret(handshake_curve(), server_eph.d, *client_pub);
   if (!secret.ok()) return alert("ecdh failure");
 
   const std::uint64_t session_id = next_session_id_++;
@@ -294,10 +294,14 @@ Result<TlsSession> TlsSession::connect(Network& network, const Address& from,
   if (!trust.server_name.empty()) chain_options.dns_name = trust.server_name;
   const std::vector<pki::Certificate> intermediates(chain.begin() + 1,
                                                     chain.end());
-  if (auto st =
-          pki::verify_chain(leaf, intermediates, trust.roots, chain_options);
-      !st.ok()) {
-    return Error::make("tls.untrusted_certificate", st.error().to_string());
+  const Status chain_status =
+      trust.chain_cache != nullptr
+          ? trust.chain_cache->verify(leaf, intermediates, trust.roots,
+                                      chain_options)
+          : pki::verify_chain(leaf, intermediates, trust.roots, chain_options);
+  if (!chain_status.ok()) {
+    return Error::make("tls.untrusted_certificate",
+                       chain_status.error().to_string());
   }
 
   // 2. Verify the transcript signature under the leaf key (proves the
@@ -305,23 +309,26 @@ Result<TlsSession> TlsSession::connect(Network& network, const Address& from,
   auto leaf_curve = pki::curve_by_name(leaf.curve_name);
   if (!leaf_curve.ok()) return leaf_curve.error();
   const auto leaf_pub = (*leaf_curve)->decode_point(leaf.public_key);
-  if (leaf_pub.infinity) return Error::make("tls.bad_leaf_key");
+  if (!leaf_pub.ok()) {
+    return Error::make("tls.bad_leaf_key", leaf_pub.error().to_string());
+  }
   auto sig = crypto::EcdsaSignature::decode(**leaf_curve, signature);
   if (!sig.ok()) return sig.error();
   const auto th = transcript_hash(hello, session_id, server_random,
                                   server_eph_pub, chain_bytes);
-  if (!crypto::ecdsa_verify(**leaf_curve, leaf_pub, th.view(), *sig)) {
+  if (!crypto::ecdsa_verify(**leaf_curve, *leaf_pub, th.view(), *sig)) {
     return Error::make("tls.bad_transcript_signature",
                        "server did not prove key possession");
   }
 
   // 3. Key schedule.
   const auto server_pub = handshake_curve().decode_point(server_eph_pub);
-  if (server_pub.infinity) {
-    return Error::make("tls.bad_server_ephemeral");
+  if (!server_pub.ok()) {
+    return Error::make("tls.bad_server_ephemeral",
+                       server_pub.error().to_string());
   }
   auto secret =
-      crypto::ecdh_shared_secret(handshake_curve(), client_eph.d, server_pub);
+      crypto::ecdh_shared_secret(handshake_curve(), client_eph.d, *server_pub);
   if (!secret.ok()) return secret.error();
   const KeySchedule ks = derive_keys(*secret, client_random, server_random);
 

@@ -16,6 +16,7 @@
 #include "crypto/modes.hpp"
 #include "net/network.hpp"
 #include "pki/cert.hpp"
+#include "pki/chain_cache.hpp"
 
 namespace revelio::net {
 
@@ -75,6 +76,9 @@ struct TlsTrustConfig {
   std::vector<pki::Certificate> roots;
   std::string server_name;      // SNI / expected DNS identity
   std::uint64_t now_us = 0;     // for validity checks
+  /// Optional chain-verification cache shared across handshakes (the
+  /// browser reconnecting to the same server skips the chain walk).
+  pki::ChainVerificationCache* chain_cache = nullptr;
 };
 
 /// Client side of an established session.

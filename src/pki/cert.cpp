@@ -169,11 +169,11 @@ bool Certificate::verify_signature(const Certificate& issuer_cert) const {
   auto curve = curve_by_name(issuer_cert.curve_name);
   if (!curve.ok()) return false;
   const auto pub = (*curve)->decode_point(issuer_cert.public_key);
-  if (pub.infinity) return false;
+  if (!pub.ok()) return false;
   auto sig = crypto::EcdsaSignature::decode(**curve, signature);
   if (!sig.ok()) return false;
   const auto hash = crypto::sha384(tbs());
-  return crypto::ecdsa_verify(**curve, pub, hash.view(), *sig);
+  return crypto::ecdsa_verify(**curve, *pub, hash.view(), *sig);
 }
 
 Bytes CertificateSigningRequest::tbs() const {
@@ -220,11 +220,11 @@ bool CertificateSigningRequest::verify() const {
   auto curve = curve_by_name(curve_name);
   if (!curve.ok()) return false;
   const auto pub = (*curve)->decode_point(public_key);
-  if (pub.infinity) return false;
+  if (!pub.ok()) return false;
   auto sig = crypto::EcdsaSignature::decode(**curve, signature);
   if (!sig.ok()) return false;
   const auto hash = crypto::sha384(tbs());
-  return crypto::ecdsa_verify(**curve, pub, hash.view(), *sig);
+  return crypto::ecdsa_verify(**curve, *pub, hash.view(), *sig);
 }
 
 CertificateSigningRequest make_csr(const crypto::Curve& curve,

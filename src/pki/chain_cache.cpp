@@ -1,0 +1,103 @@
+#include "pki/chain_cache.hpp"
+
+namespace revelio::pki {
+
+ChainVerificationCache::ChainVerificationCache(std::size_t capacity)
+    : capacity_(capacity) {}
+
+crypto::Digest32 ChainVerificationCache::cache_key(
+    const Certificate& leaf, const std::vector<Certificate>& intermediates,
+    const std::vector<Certificate>& roots, const ChainVerifyOptions& options) {
+  // Hash the exact bytes of every certificate involved: a re-issued leaf
+  // (new validity window, new signature) or a rotated root set produces a
+  // different key, which is the invalidation mechanism.
+  crypto::Sha256 h;
+  auto add = [&h](const Certificate& cert) {
+    const Bytes s = cert.serialize();
+    Bytes len;
+    append_u32be(len, static_cast<std::uint32_t>(s.size()));
+    h.update(len);
+    h.update(s);
+  };
+  add(leaf);
+  Bytes counts;
+  append_u32be(counts, static_cast<std::uint32_t>(intermediates.size()));
+  append_u32be(counts, static_cast<std::uint32_t>(roots.size()));
+  h.update(counts);
+  for (const auto& cert : intermediates) add(cert);
+  for (const auto& cert : roots) add(cert);
+  if (options.dns_name) {
+    h.update(to_bytes(std::string_view("dns:")));
+    h.update(to_bytes(*options.dns_name));
+  }
+  return h.finish();
+}
+
+Status ChainVerificationCache::verify(
+    const Certificate& leaf, const std::vector<Certificate>& intermediates,
+    const std::vector<Certificate>& roots, const ChainVerifyOptions& options) {
+  const crypto::Digest32 key = cache_key(leaf, intermediates, roots, options);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (options.now_us >= it->second.valid_from_us &&
+          options.now_us <= it->second.valid_until_us) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return Status::success();
+      }
+      // Same chain, but the query time left the verified window: the
+      // cached verdict no longer applies.
+      ++stats_.window_rejects;
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+    }
+    ++stats_.misses;
+  }
+
+  const Status st = verify_chain(leaf, intermediates, roots, options);
+  if (!st.ok()) return st;  // failures are never cached
+
+  // Conservative validity intersection over every certificate supplied,
+  // not just the path verify_chain walked: a hit may only be served while
+  // all of them remain valid.
+  std::uint64_t from = leaf.not_before_us;
+  std::uint64_t until = leaf.not_after_us;
+  auto tighten = [&](const Certificate& cert) {
+    from = std::max(from, cert.not_before_us);
+    until = std::min(until, cert.not_after_us);
+  };
+  for (const auto& cert : intermediates) tighten(cert);
+  for (const auto& cert : roots) tighten(cert);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0 || entries_.count(key) != 0) return st;
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{from, until, lru_.begin()};
+  return st;
+}
+
+ChainVerificationCache::Stats ChainVerificationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ChainVerificationCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ChainVerificationCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace revelio::pki

@@ -1,0 +1,71 @@
+// Certificate-chain verification cache.
+//
+// The attestation hot path re-validates the same ARK -> ASK -> VCEK chain
+// (and the same TLS server chains) on every session; the chain itself only
+// changes when a certificate is re-issued or the trust roots rotate. This
+// cache memoizes *successful* verify_chain results, keyed by a fingerprint
+// of the exact chain bytes, the trust-root set, and the DNS-name
+// constraint. A hit is only served while `now_us` stays inside the
+// validity-window intersection recorded at verification time, so a cached
+// success can never outlive any certificate on the path.
+//
+// Failures are never cached: they can be time-dependent (expiry) and are
+// not on the hot path. Any change to a certificate's bytes (including its
+// validity window) or to the root set changes the key, which is what
+// invalidates stale entries; capacity is a bounded LRU.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+
+#include "pki/cert.hpp"
+
+namespace revelio::pki {
+
+class ChainVerificationCache {
+ public:
+  explicit ChainVerificationCache(std::size_t capacity = 64);
+
+  /// Drop-in replacement for verify_chain: returns the cached verdict when
+  /// the same (chain, roots, dns constraint) verified before and now_us is
+  /// inside the recorded validity intersection; otherwise verifies and
+  /// caches on success.
+  Status verify(const Certificate& leaf,
+                const std::vector<Certificate>& intermediates,
+                const std::vector<Certificate>& roots,
+                const ChainVerifyOptions& options);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /// Lookups that matched a key but fell outside the cached validity
+    /// window (entry dropped, chain re-verified).
+    std::uint64_t window_rejects = 0;
+  };
+  Stats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t valid_from_us = 0;   // max(not_before) over the chain
+    std::uint64_t valid_until_us = 0;  // min(not_after) over the chain
+    std::list<crypto::Digest32>::iterator lru_it;
+  };
+
+  static crypto::Digest32 cache_key(
+      const Certificate& leaf, const std::vector<Certificate>& intermediates,
+      const std::vector<Certificate>& roots, const ChainVerifyOptions& options);
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<crypto::Digest32> lru_;  // front = most recently used
+  std::map<crypto::Digest32, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace revelio::pki

@@ -154,13 +154,16 @@ Result<std::pair<ChannelHello, SecureChannel>> SecureChannel::respond(
     return st.error();
   }
   const auto initiator_pub = crypto::p256().decode_point(bundle->payload);
-  if (initiator_pub.infinity) return Error::make("channel.bad_identity_key");
+  if (!initiator_pub.ok()) {
+    return Error::make("channel.bad_identity_key",
+                       initiator_pub.error().to_string());
+  }
   auto init_sig = crypto::EcdsaSignature::decode(crypto::p256(),
                                                  initiator_hello.signature);
   if (!init_sig.ok()) return init_sig.error();
   const auto partial = transcript(initiator_hello.evidence,
                                   initiator_hello.ephemeral_pub, {}, {});
-  if (!crypto::ecdsa_verify(crypto::p256(), initiator_pub, partial.view(),
+  if (!crypto::ecdsa_verify(crypto::p256(), *initiator_pub, partial.view(),
                             *init_sig)) {
     return Error::make("channel.bad_initiator_signature",
                        "hello not signed by the attested identity key");
@@ -169,10 +172,13 @@ Result<std::pair<ChannelHello, SecureChannel>> SecureChannel::respond(
   // 2. Responder's ephemeral + ECDH.
   const auto initiator_eph =
       crypto::p256().decode_point(initiator_hello.ephemeral_pub);
-  if (initiator_eph.infinity) return Error::make("channel.bad_ephemeral");
+  if (!initiator_eph.ok()) {
+    return Error::make("channel.bad_ephemeral",
+                       initiator_eph.error().to_string());
+  }
   const crypto::EcKeyPair eph = crypto::ec_generate(crypto::p256(), entropy);
   auto shared =
-      crypto::ecdh_shared_secret(crypto::p256(), eph.d, initiator_eph);
+      crypto::ecdh_shared_secret(crypto::p256(), eph.d, *initiator_eph);
   if (!shared.ok()) return shared.error();
 
   // 3. Responder hello with a full-transcript signature.
@@ -205,7 +211,10 @@ Result<SecureChannel> SecureChannel::complete(
     return st.error();
   }
   const auto responder_pub = crypto::p256().decode_point(bundle->payload);
-  if (responder_pub.infinity) return Error::make("channel.bad_identity_key");
+  if (!responder_pub.ok()) {
+    return Error::make("channel.bad_identity_key",
+                       responder_pub.error().to_string());
+  }
 
   // 2. Recompute the full transcript and verify the responder's signature.
   const crypto::U384 eph_d = crypto::U384::from_bytes_be(initiator_state);
@@ -218,7 +227,8 @@ Result<SecureChannel> SecureChannel::complete(
   auto sig = crypto::EcdsaSignature::decode(crypto::p256(),
                                             responder_hello.signature);
   if (!sig.ok()) return sig.error();
-  if (!crypto::ecdsa_verify(crypto::p256(), responder_pub, th.view(), *sig)) {
+  if (!crypto::ecdsa_verify(crypto::p256(), *responder_pub, th.view(),
+                            *sig)) {
     return Error::make("channel.bad_responder_signature",
                        "transcript not signed by the attested identity key");
   }
@@ -226,9 +236,12 @@ Result<SecureChannel> SecureChannel::complete(
   // 3. ECDH + session keys.
   const auto responder_eph =
       crypto::p256().decode_point(responder_hello.ephemeral_pub);
-  if (responder_eph.infinity) return Error::make("channel.bad_ephemeral");
+  if (!responder_eph.ok()) {
+    return Error::make("channel.bad_ephemeral",
+                       responder_eph.error().to_string());
+  }
   auto shared = crypto::ecdh_shared_secret(crypto::p256(), eph_d,
-                                           responder_eph);
+                                           *responder_eph);
   if (!shared.ok()) return shared.error();
   const SessionKeys keys = derive_session_keys(*shared, th);
   return SecureChannel(keys.initiator_to_responder,

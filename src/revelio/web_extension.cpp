@@ -8,7 +8,8 @@ Browser::Browser(net::Network& network, std::string client_host,
     : network_(&network),
       client_host_(std::move(client_host)),
       trust_roots_(std::move(trust_roots)),
-      entropy_(std::move(entropy)) {}
+      entropy_(std::move(entropy)),
+      chain_cache_(std::make_unique<pki::ChainVerificationCache>()) {}
 
 Result<net::TlsSession*> Browser::session_for(const std::string& domain,
                                               std::uint16_t port,
@@ -24,6 +25,7 @@ Result<net::TlsSession*> Browser::session_for(const std::string& domain,
   trust.roots = trust_roots_;
   trust.server_name = domain;
   trust.now_us = network_->clock().now_us();
+  trust.chain_cache = chain_cache_.get();
   auto session = net::TlsSession::connect(
       *network_, {client_host_, next_port_++}, *address, trust, entropy_);
   if (!session.ok()) return session.error();
@@ -71,7 +73,9 @@ void Browser::drop_session(const std::string& domain) {
 }
 
 WebExtension::WebExtension(Browser& browser, WebExtensionConfig config)
-    : browser_(&browser), config_(std::move(config)) {}
+    : browser_(&browser),
+      config_(std::move(config)),
+      chain_cache_(std::make_unique<pki::ChainVerificationCache>()) {}
 
 void WebExtension::register_site(const std::string& domain,
                                  SiteRegistration site) {
@@ -153,6 +157,7 @@ Result<AttestationChecks> WebExtension::attest(const std::string& domain,
   sevsnp::ReportVerifyOptions options;
   options.now_us = browser_->network().clock().now_us();
   options.minimum_tcb = site.minimum_tcb;
+  options.chain_cache = chain_cache_.get();
   const auto verify = sevsnp::verify_report(bundle->report, kds->vcek,
                                             {kds->ask}, {kds->ark}, options);
   if (!verify.ok()) {

@@ -43,6 +43,11 @@ class Browser {
   const std::string& host() const { return client_host_; }
   net::Network& network() { return *network_; }
 
+  /// Handshake chain-verification cache stats (benchmarks read these).
+  pki::ChainVerificationCache::Stats chain_cache_stats() const {
+    return chain_cache_->stats();
+  }
+
  private:
   Result<net::TlsSession*> session_for(const std::string& domain,
                                        std::uint16_t port, bool& created);
@@ -52,6 +57,9 @@ class Browser {
   std::vector<pki::Certificate> trust_roots_;
   crypto::HmacDrbg entropy_;
   std::map<std::string, net::TlsSession> sessions_;
+  /// Reconnects to a known server revalidate its chain from this cache
+  /// (behind unique_ptr: the cache holds a mutex, Browser stays movable).
+  std::unique_ptr<pki::ChainVerificationCache> chain_cache_;
   std::uint16_t next_port_ = 40000;
 };
 
@@ -125,6 +133,9 @@ class WebExtension {
   std::uint64_t kds_fetches() const { return kds_fetches_; }
   std::uint64_t vcek_cache_hits() const { return vcek_cache_hits_; }
   std::uint64_t attestations_performed() const { return attestations_; }
+  pki::ChainVerificationCache::Stats chain_cache_stats() const {
+    return chain_cache_->stats();
+  }
 
  private:
   struct DomainState {
@@ -143,6 +154,8 @@ class WebExtension {
   WebExtensionConfig config_;
   std::map<std::string, SiteRegistration> sites_;
   std::map<std::string, DomainState> state_;
+  /// Memoizes the ARK -> ASK -> VCEK chain walk across attestations.
+  std::unique_ptr<pki::ChainVerificationCache> chain_cache_;
   std::map<std::pair<Bytes, std::uint64_t>, KdsService::VcekResponse>
       vcek_cache_;
   std::uint64_t kds_fetches_ = 0;

@@ -55,22 +55,26 @@ Status verify_report(const AttestationReport& report,
   // 1. The VCEK certificate must chain to a pinned AMD root.
   pki::ChainVerifyOptions chain_options;
   chain_options.now_us = options.now_us;
-  if (auto st =
-          pki::verify_chain(vcek_cert, intermediates, roots, chain_options);
-      !st.ok()) {
-    return Error::make("snp.vcek_chain_invalid", st.error().to_string());
+  const Status chain_status =
+      options.chain_cache != nullptr
+          ? options.chain_cache->verify(vcek_cert, intermediates, roots,
+                                        chain_options)
+          : pki::verify_chain(vcek_cert, intermediates, roots, chain_options);
+  if (!chain_status.ok()) {
+    return Error::make("snp.vcek_chain_invalid",
+                       chain_status.error().to_string());
   }
   // 2. The report signature must verify under the VCEK public key.
   const auto pub = crypto::p384().decode_point(vcek_cert.public_key);
-  if (pub.infinity) {
-    return Error::make("snp.bad_vcek_key");
+  if (!pub.ok()) {
+    return Error::make("snp.bad_vcek_key", pub.error().to_string());
   }
   auto sig = crypto::EcdsaSignature::decode(crypto::p384(), report.signature);
   if (!sig.ok()) {
     return Error::make("snp.bad_signature_encoding");
   }
   const auto hash = crypto::sha384(report.signed_body());
-  if (!crypto::ecdsa_verify(crypto::p384(), pub, hash.view(), *sig)) {
+  if (!crypto::ecdsa_verify(crypto::p384(), *pub, hash.view(), *sig)) {
     return Error::make("snp.signature_invalid",
                        "report not signed by presented VCEK");
   }

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "pki/ca.hpp"
+#include "pki/chain_cache.hpp"
 #include "sevsnp/amd_sp.hpp"
 
 namespace revelio::sevsnp {
@@ -47,6 +48,10 @@ class KeyDistributionServer {
 struct ReportVerifyOptions {
   std::uint64_t now_us = 0;
   std::optional<TcbVersion> minimum_tcb;
+  /// Optional memoization of the VCEK chain walk: verifiers that see the
+  /// same ARK/ASK/VCEK every session (the web extension, secure-channel
+  /// peers) skip the two chain signature checks on a hit.
+  pki::ChainVerificationCache* chain_cache = nullptr;
 };
 
 Status verify_report(const AttestationReport& report,

@@ -1,0 +1,134 @@
+// Tier-2 property tests: the optimized scalar-multiplication paths (wNAF,
+// fixed-base window table, Strauss–Shamir double-scalar) must agree with
+// the naive double-and-add reference ladder on random scalars and on the
+// boundary scalars 0, 1, n-1, n, n+1. Slow by design (the naive ladder is
+// the baseline the fast paths are benchmarked against); labelled `tier2`
+// in ctest so the tier-1 loop stays quick.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/ec.hpp"
+
+namespace revelio::crypto {
+namespace {
+
+Bytes seed_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+U384 random_scalar(HmacDrbg& drbg) {
+  return U384::from_bytes_be(drbg.generate(48));
+}
+
+bool same_point(const Curve::Point& a, const Curve::Point& b) {
+  if (a.infinity || b.infinity) return a.infinity == b.infinity;
+  return a.x == b.x && a.y == b.y;
+}
+
+std::vector<U384> edge_scalars(const Curve& curve) {
+  const U384& n = curve.params().n;
+  U384 n_minus_1, n_plus_1;
+  sub_with_borrow(n_minus_1, n, U384::from_u64(1));
+  add_with_carry(n_plus_1, n, U384::from_u64(1));
+  return {U384::zero(), U384::from_u64(1), n_minus_1, n, n_plus_1};
+}
+
+class EcEquivalence : public ::testing::TestWithParam<const Curve*> {
+ protected:
+  const Curve& curve() const { return *GetParam(); }
+};
+
+TEST_P(EcEquivalence, WnafMatchesNaiveOnRandomScalars) {
+  HmacDrbg drbg(seed_bytes("wnaf-vs-naive"));
+  const Curve::Point g = curve().generator();
+  // Use a non-generator base point so the wNAF path cannot be confused
+  // with the fixed-base path.
+  const Curve::Point q = curve().scalar_mult_naive(U384::from_u64(7), g);
+  for (int i = 0; i < 24; ++i) {
+    const U384 k = random_scalar(drbg);
+    EXPECT_TRUE(same_point(curve().scalar_mult(k, q),
+                           curve().scalar_mult_naive(k, q)))
+        << "iteration " << i;
+  }
+}
+
+TEST_P(EcEquivalence, FixedBaseMatchesNaiveOnRandomScalars) {
+  HmacDrbg drbg(seed_bytes("fixed-base-vs-naive"));
+  const Curve::Point g = curve().generator();
+  for (int i = 0; i < 24; ++i) {
+    const U384 k = random_scalar(drbg);
+    EXPECT_TRUE(same_point(curve().scalar_mult_base(k),
+                           curve().scalar_mult_naive(k, g)))
+        << "iteration " << i;
+  }
+}
+
+TEST_P(EcEquivalence, DoubleScalarMatchesNaiveOnRandomScalars) {
+  HmacDrbg drbg(seed_bytes("strauss-shamir-vs-naive"));
+  const Curve::Point g = curve().generator();
+  const Curve::Point q = curve().scalar_mult_naive(U384::from_u64(11), g);
+  for (int i = 0; i < 24; ++i) {
+    const U384 u1 = random_scalar(drbg);
+    const U384 u2 = random_scalar(drbg);
+    const Curve::Point expected = curve().add(
+        curve().scalar_mult_naive(u1, g), curve().scalar_mult_naive(u2, q));
+    EXPECT_TRUE(
+        same_point(curve().double_scalar_mult_base(u1, u2, q), expected))
+        << "iteration " << i;
+  }
+}
+
+TEST_P(EcEquivalence, AllPathsAgreeOnEdgeScalars) {
+  const Curve::Point g = curve().generator();
+  const Curve::Point q = curve().scalar_mult_naive(U384::from_u64(5), g);
+  for (const U384& k : edge_scalars(curve())) {
+    const Curve::Point via_naive_g = curve().scalar_mult_naive(k, g);
+    EXPECT_TRUE(same_point(curve().scalar_mult_base(k), via_naive_g));
+    EXPECT_TRUE(same_point(curve().scalar_mult(k, g), via_naive_g));
+    const Curve::Point via_naive_q = curve().scalar_mult_naive(k, q);
+    EXPECT_TRUE(same_point(curve().scalar_mult(k, q), via_naive_q));
+  }
+}
+
+TEST_P(EcEquivalence, DoubleScalarHandlesEdgeCombinations) {
+  const Curve::Point g = curve().generator();
+  const Curve::Point q = curve().scalar_mult_naive(U384::from_u64(5), g);
+  const auto edges = edge_scalars(curve());
+  for (const U384& u1 : edges) {
+    for (const U384& u2 : edges) {
+      const Curve::Point expected = curve().add(
+          curve().scalar_mult_naive(u1, g), curve().scalar_mult_naive(u2, q));
+      EXPECT_TRUE(
+          same_point(curve().double_scalar_mult_base(u1, u2, q), expected));
+    }
+  }
+}
+
+TEST_P(EcEquivalence, ScalarReductionIsSound) {
+  // k and k + n must land on the same point (cofactor-1 curves).
+  HmacDrbg drbg(seed_bytes("reduction-soundness"));
+  const Curve::Point g = curve().generator();
+  for (int i = 0; i < 8; ++i) {
+    // Keep k below n so the sum stays representable in 384 bits for P-384.
+    const U384 k = curve().scalar_field().reduce(random_scalar(drbg));
+    U384 k_plus_n;
+    if (add_with_carry(k_plus_n, k, curve().params().n) != 0) continue;
+    EXPECT_TRUE(same_point(curve().scalar_mult_base(k),
+                           curve().scalar_mult_base(k_plus_n)));
+    EXPECT_TRUE(same_point(curve().scalar_mult(k, g),
+                           curve().scalar_mult(k_plus_n, g)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Curves, EcEquivalence,
+                         ::testing::Values(&p256(), &p384()),
+                         [](const auto& info) {
+                           return info.param->params().name == "P-256"
+                                      ? "P256"
+                                      : "P384";
+                         });
+
+}  // namespace
+}  // namespace revelio::crypto

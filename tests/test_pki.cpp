@@ -5,6 +5,7 @@
 #include "pki/acme.hpp"
 #include "pki/ca.hpp"
 #include "pki/cert.hpp"
+#include "pki/chain_cache.hpp"
 
 namespace revelio::pki {
 namespace {
@@ -338,6 +339,107 @@ TEST_F(AcmeFixture, EmptyCsrRejected) {
   const auto csr = make_csr(crypto::p256(), key, {"x", "X", "US"}, {});
   EXPECT_EQ(issuer.finalize("acct", csr, dns_lookup()).error().code,
             "acme.no_identifiers");
+}
+
+// ------------------------------------------- chain verification cache
+
+struct ChainCacheFixture : PkiFixture {
+  ChainVerifyOptions at(std::uint64_t now_us,
+                        std::optional<std::string> dns = {}) const {
+    ChainVerifyOptions options;
+    options.now_us = now_us;
+    options.dns_name = std::move(dns);
+    return options;
+  }
+};
+
+TEST_F(ChainCacheFixture, SecondVerificationIsAHit) {
+  ChainVerificationCache cache;
+  const auto leaf = issue_leaf("site.example", {"site.example"});
+  const std::vector<Certificate> inters{inter.certificate()};
+  const std::vector<Certificate> roots{root.certificate()};
+  EXPECT_TRUE(cache.verify(leaf, inters, roots, at(1)).ok());
+  EXPECT_TRUE(cache.verify(leaf, inters, roots, at(2)).ok());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(ChainCacheFixture, FailuresAreNeverCached) {
+  ChainVerificationCache cache;
+  const auto leaf = issue_leaf("site.example", {"site.example"});
+  const std::vector<Certificate> roots{root.certificate()};
+  // Missing intermediate: fails both times, and nothing is cached.
+  EXPECT_FALSE(cache.verify(leaf, {}, roots, at(1)).ok());
+  EXPECT_FALSE(cache.verify(leaf, {}, roots, at(1)).ok());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST_F(ChainCacheFixture, HitRespectsValidityWindow) {
+  ChainVerificationCache cache;
+  const auto leaf = issue_leaf("site.example", {"site.example"}, 0, kYearUs);
+  const std::vector<Certificate> inters{inter.certificate()};
+  const std::vector<Certificate> roots{root.certificate()};
+  EXPECT_TRUE(cache.verify(leaf, inters, roots, at(1)).ok());
+  // Past the leaf's expiry the cached success must not be served; the
+  // re-verification then fails on expiry like the uncached path.
+  EXPECT_FALSE(cache.verify(leaf, inters, roots, at(kYearUs + 1)).ok());
+  EXPECT_EQ(cache.stats().window_rejects, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST_F(ChainCacheFixture, RotatedRootChangesTheKey) {
+  ChainVerificationCache cache;
+  HmacDrbg other_drbg(to_bytes(std::string_view("other-root")));
+  auto other_root = CertificateAuthority::create_root(
+      crypto::p384(), {"Other Root", "OtherOrg", "US"}, 0, 10 * kYearUs,
+      other_drbg);
+  const auto leaf = issue_leaf("site.example", {"site.example"});
+  const std::vector<Certificate> inters{inter.certificate()};
+  EXPECT_TRUE(cache.verify(leaf, inters, {root.certificate()}, at(1)).ok());
+  // Same chain against a rotated root set: different key, full
+  // re-verification (which fails — the chain doesn't reach the new root).
+  EXPECT_FALSE(
+      cache.verify(leaf, inters, {other_root.certificate()}, at(1)).ok());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(ChainCacheFixture, DnsConstraintIsPartOfTheKey) {
+  ChainVerificationCache cache;
+  const auto leaf = issue_leaf("site.example", {"site.example"});
+  const std::vector<Certificate> inters{inter.certificate()};
+  const std::vector<Certificate> roots{root.certificate()};
+  EXPECT_TRUE(
+      cache.verify(leaf, inters, roots, at(1, "site.example")).ok());
+  // Verifying without the name constraint must not reuse the entry.
+  EXPECT_TRUE(cache.verify(leaf, inters, roots, at(1)).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(ChainCacheFixture, LruEvictionIsBounded) {
+  ChainVerificationCache cache(2);
+  const std::vector<Certificate> inters{inter.certificate()};
+  const std::vector<Certificate> roots{root.certificate()};
+  const auto a = issue_leaf("a.example", {"a.example"});
+  const auto b = issue_leaf("b.example", {"b.example"});
+  const auto c = issue_leaf("c.example", {"c.example"});
+  EXPECT_TRUE(cache.verify(a, inters, roots, at(1)).ok());
+  EXPECT_TRUE(cache.verify(b, inters, roots, at(1)).ok());
+  // Touch `a` so `b` is the LRU entry when `c` forces an eviction.
+  EXPECT_TRUE(cache.verify(a, inters, roots, at(1)).ok());
+  EXPECT_TRUE(cache.verify(c, inters, roots, at(1)).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // `a` survived, `b` was evicted.
+  EXPECT_TRUE(cache.verify(a, inters, roots, at(1)).ok());
+  EXPECT_TRUE(cache.verify(b, inters, roots, at(1)).ok());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);    // a touched, a after the eviction round
+  EXPECT_EQ(stats.misses, 4u);  // a, b, c, b re-verified
 }
 
 }  // namespace
