@@ -15,8 +15,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
 
 #include "imagebuild/builder.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "revelio/revelio_vm.hpp"
 #include "revelio/sp_node.hpp"
 #include "revelio/web_extension.hpp"
@@ -265,9 +270,81 @@ void print_table3() {
               "       monitored requests cost ~14 ms over plain\n\n");
 }
 
+// --stages-out mode: one attested GET with tracing on, aggregated per span
+// name. Virtual-clock stage totals are deterministic, so run_benches.sh can
+// diff them against a committed baseline without noise.
+std::string run_traced_get(core::WebExtension& extension) {
+  auto& r = rig();
+  obs::tracer().clear();
+  const double before = r.clock.now_ms();
+  auto verified = extension.get(kDomain, 443, "/");
+  if (!verified.ok()) std::abort();
+  const double total_virt_ms = r.clock.now_ms() - before;
+
+  struct Agg {
+    std::uint64_t count = 0;
+    double virt_us = 0.0;
+    double real_us = 0.0;
+  };
+  std::map<std::string, Agg> stages;
+  for (const auto& span : obs::tracer().finished_spans()) {
+    Agg& agg = stages[span.name];
+    ++agg.count;
+    agg.virt_us += span.virt_us();
+    agg.real_us += span.real_us();
+  }
+
+  std::string out = "{\"total_virt_ms\":" + obs::json_number(total_virt_ms) +
+                    ",\"stages\":{";
+  bool first = true;
+  for (const auto& [name, agg] : stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json_escape(name) + "\":{\"count\":" +
+           std::to_string(agg.count) +
+           ",\"virt_ms\":" + obs::json_number(agg.virt_us / 1000.0) +
+           ",\"real_ms\":" + obs::json_number(agg.real_us / 1000.0) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+int run_stages_out(const char* path) {
+  auto& r = rig();
+  obs::tracer().set_enabled(true);
+
+  // Cold: fresh browser + extension, empty VCEK and chain caches.
+  core::Browser browser = r.make_browser();
+  core::WebExtension extension = r.make_extension(browser);
+  const std::string cold = run_traced_get(extension);
+
+  // Cached: drop the session and the attested state, keep the caches — the
+  // re-attestation skips the KDS round trip and the chain walk.
+  browser.drop_session(kDomain);
+  extension.invalidate(kDomain);
+  const std::string cached = run_traced_get(extension);
+
+  obs::tracer().set_enabled(false);
+  const std::string doc = "{\"cold\":" + cold + ",\"cached\":" + cached + "}";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::printf("per-stage attestation breakdown written to %s\n", path);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stages-out") == 0 && i + 1 < argc) {
+      return run_stages_out(argv[i + 1]);
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table3();

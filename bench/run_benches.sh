@@ -8,6 +8,13 @@
 # {"bench": ..., "op": ..., "ns_per_op": ..., "iterations": ...}, one entry
 # per benchmark, suitable for jq / CI regression tracking.
 #
+# Also writes BENCH_attestation.json: per-stage virtual/real time breakdown
+# of one attested GET (cold and VCEK-cached), from the tracing spans inside
+# bench_client_attestation --stages-out. The virtual-clock stage totals are
+# deterministic, so they are diffed against the committed baseline
+# bench/BENCH_attestation.baseline.json; a stage whose virt_ms regresses by
+# more than 25% fails the run.
+#
 # Each binary is run with --benchmark_out so the JSON stays clean even for
 # benches that print their own human-readable tables to stdout.
 set -euo pipefail
@@ -62,3 +69,57 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(rows)} entries)", file=sys.stderr)
 PY
+
+# --- per-stage attestation breakdown + regression gate --------------------
+stages_bin="$build_dir/bench/bench_client_attestation"
+stages_json="$repo_root/BENCH_attestation.json"
+baseline_json="$repo_root/bench/BENCH_attestation.baseline.json"
+if [ -x "$stages_bin" ]; then
+  echo "== bench_client_attestation --stages-out" >&2
+  "$stages_bin" --stages-out "$stages_json" >&2
+  python3 - "$stages_json" "$baseline_json" <<'PY'
+import json
+import sys
+
+current_path, baseline_path = sys.argv[1], sys.argv[2]
+with open(current_path) as f:
+    current = json.load(f)
+try:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+except FileNotFoundError:
+    print(f"no baseline at {baseline_path}; skipping regression gate",
+          file=sys.stderr)
+    sys.exit(0)
+
+# Only virtual-clock time is diffed: it is deterministic. Real time varies
+# with the machine and is reported for information only.
+THRESHOLD = 0.25
+failures = []
+for mode in ("cold", "cached"):
+    cur, base = current.get(mode, {}), baseline.get(mode, {})
+    rows = [("total", cur.get("total_virt_ms", 0.0),
+             base.get("total_virt_ms", 0.0))]
+    for name, stats in sorted(base.get("stages", {}).items()):
+        cur_stats = cur.get("stages", {}).get(name, {})
+        rows.append((name, cur_stats.get("virt_ms", 0.0),
+                     stats.get("virt_ms", 0.0)))
+    for name, cur_ms, base_ms in rows:
+        delta = (cur_ms - base_ms) / base_ms if base_ms > 0 else 0.0
+        flag = ""
+        if base_ms > 0 and delta > THRESHOLD:
+            failures.append(f"{mode}/{name}: {base_ms:.2f} -> {cur_ms:.2f} ms"
+                            f" (+{delta*100:.0f}%)")
+            flag = "  <-- REGRESSION"
+        print(f"  {mode:7s} {name:28s} {cur_ms:9.2f} ms"
+              f" (baseline {base_ms:9.2f} ms){flag}", file=sys.stderr)
+if failures:
+    print("attestation stage regression(s) beyond 25%:", file=sys.stderr)
+    for f_ in failures:
+        print(f"  {f_}", file=sys.stderr)
+    sys.exit(1)
+print("attestation stages within 25% of baseline", file=sys.stderr)
+PY
+else
+  echo "note: $stages_bin not built; skipping attestation stage breakdown" >&2
+fi

@@ -10,10 +10,18 @@
 //   scene 5 — 6.1.4: rollback to an obsolete vulnerable release
 //   scene 6 — MITM: certificate-swap redirect after attestation
 //
+// Each scene also asserts on the *observability* signal the attack leaves
+// behind — the specific failed-verification counter or span attribute —
+// not just the boolean outcome. A blocked attack with the wrong metric
+// trail means the failure was misattributed, which this gallery now
+// catches (exit code 1).
+//
 // Run: ./build/examples/attack_gallery
 #include <cstdio>
 
 #include "imagebuild/builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "revelio/revelio_vm.hpp"
 #include "revelio/sp_node.hpp"
 #include "revelio/web_extension.hpp"
@@ -21,6 +29,8 @@
 using namespace revelio;
 
 namespace {
+
+int g_metric_failures = 0;
 
 void scene(int number, const char* title) {
   std::printf("\n--- scene %d: %s ---\n", number, title);
@@ -30,6 +40,38 @@ void verdict(bool blocked, const char* how) {
   std::printf("    verdict: %s (%s)\n",
               blocked ? "ATTACK BLOCKED/DETECTED" : "ATTACK SUCCEEDED",
               how);
+}
+
+std::uint64_t counter(const std::string& name,
+                      const obs::Labels& labels = {}) {
+  return obs::metrics().counter_value(name, labels);
+}
+
+/// Asserts the counter moved by exactly `want` (or at least `want` when
+/// `at_least`) across the scene.
+void expect_delta(const char* what, std::uint64_t before, std::uint64_t after,
+                  std::uint64_t want, bool at_least = false) {
+  const std::uint64_t delta = after - before;
+  const bool ok = at_least ? delta >= want : delta == want;
+  if (!ok) ++g_metric_failures;
+  std::printf("    metric  %-48s +%llu %s\n", what,
+              static_cast<unsigned long long>(delta),
+              ok ? "(as expected)" : "(UNEXPECTED)");
+}
+
+void expect_attr(const char* span_name, const char* key,
+                 const std::string& want) {
+  for (const auto& span : obs::tracer().finished_spans()) {
+    if (span.name != span_name) continue;
+    const std::string got = span.attr(key);
+    const bool ok = got == want;
+    if (!ok) ++g_metric_failures;
+    std::printf("    span    %s.%s = \"%s\" %s\n", span_name, key,
+                got.c_str(), ok ? "(as expected)" : "(UNEXPECTED)");
+    return;
+  }
+  ++g_metric_failures;
+  std::printf("    span    %s MISSING\n", span_name);
 }
 
 }  // namespace
@@ -76,9 +118,14 @@ int main() {
     vm::KernelSpec evil;
     evil.enforce_verity = false;
     config.swap_kernel_after_measure = evil.serialize();
+    const auto fw_fail0 =
+        counter("vm.firmware_check.fail.count", {{"blob", "kernel"}});
     auto guest = hypervisor.launch(config);
     std::printf("    firmware: %s\n",
                 guest.ok() ? "booted (?)" : guest.error().to_string().c_str());
+    expect_delta("vm.firmware_check.fail.count{blob=kernel}", fw_fail0,
+                 counter("vm.firmware_check.fail.count", {{"blob", "kernel"}}),
+                 1);
     verdict(!guest.ok(), "OVMF re-measures each blob against the table");
   }
 
@@ -105,11 +152,21 @@ int main() {
     config.swap_kernel_after_measure = evil_kernel.serialize();
     config.swap_initrd_after_measure = evil_initrd.serialize();
     config.swap_cmdline_after_measure = evil_cmdline.to_string();
+    const auto fw_fail0 =
+        counter("vm.firmware_check.fail.count", {{"blob", "kernel"}});
+    const auto fw_ok0 = counter("vm.firmware_check.ok.count");
     auto guest = hypervisor.launch(config);
     std::printf("    boot: %s\n", guest.ok() ? "succeeds locally" : "refused");
     const bool detected =
         guest.ok() && !((*guest)->measurement() == expected);
     std::printf("    measurement == expected: %s\n", detected ? "no" : "yes");
+    // The local firmware check *passes* (the table was forged to match), so
+    // the only signal is the measurement itself — exactly the paper's point.
+    expect_delta("vm.firmware_check.fail.count{blob=kernel}", fw_fail0,
+                 counter("vm.firmware_check.fail.count", {{"blob", "kernel"}}),
+                 0);
+    expect_delta("vm.firmware_check.ok.count", fw_ok0,
+                 counter("vm.firmware_check.ok.count"), 1);
     verdict(detected,
             "the forged table is inside the measured firmware bytes");
   }
@@ -128,12 +185,18 @@ int main() {
     // One bit inside the rootfs partition (disk block 1 = rootfs block 0,
     // the filesystem directory).
     config.disk->raw_tamper(4096 * 1 + 100, 0x04);
+    const auto vr_fail0 = counter("storage.verity_read.fail.count",
+                                  {{"reason", "verity.block_mismatch"}});
     auto guest = hypervisor.launch(config);
     auto report = guest.ok() ? (*guest)->boot()
                              : Result<vm::BootReport>(guest.error());
     std::printf("    boot: %s\n",
                 report.ok() ? "succeeded (?)"
                             : report.error().to_string().c_str());
+    expect_delta("storage.verity_read.fail.count{..block_mismatch}", vr_fail0,
+                 counter("storage.verity_read.fail.count",
+                         {{"reason", "verity.block_mismatch"}}),
+                 1, /*at_least=*/true);
     verdict(!report.ok(), "dm-verity root-hash chain down from the cmdline");
   }
 
@@ -158,10 +221,16 @@ int main() {
     const auto entry =
         (*guest)->rootfs().directory().at("/opt/service/app");
     disk->raw_tamper(4096 + entry.offset, 0x01);
+    const auto vr_fail0 = counter("storage.verity_read.fail.count",
+                                  {{"reason", "verity.block_mismatch"}});
     const bool read_fails =
         !(*guest)->rootfs().read_file("/opt/service/app").ok();
     std::printf("    bit-flip the service binary on the host disk: read %s\n",
                 read_fails ? "fails" : "returns tampered bytes (?)");
+    expect_delta("storage.verity_read.fail.count{..block_mismatch}", vr_fail0,
+                 counter("storage.verity_read.fail.count",
+                         {{"reason", "verity.block_mismatch"}}),
+                 1, /*at_least=*/true);
     verdict(read_fails && !(*guest)->inbound_allowed(22),
             "no inward access + per-read verity verification");
   }
@@ -181,11 +250,14 @@ int main() {
     trusted.publish("svc", v1_measurement);
     trusted.publish("svc", expected);      // v2 rollout...
     trusted.revoke("svc", v1_measurement);  // ...revokes v1
+    const auto revoked0 =
+        counter("registry.lookup.count", {{"result", "revoked"}});
+    const bool v1_ok = trusted.is_acceptable("svc", v1_measurement);
     std::printf("    v1 acceptable after revocation: %s\n",
-                trusted.is_acceptable("svc", v1_measurement) ? "yes (?)"
-                                                             : "no");
-    verdict(!trusted.is_acceptable("svc", v1_measurement),
-            "trusted-registry revocation of obsolete hashes");
+                v1_ok ? "yes (?)" : "no");
+    expect_delta("registry.lookup.count{result=revoked}", revoked0,
+                 counter("registry.lookup.count", {{"result", "revoked"}}), 1);
+    verdict(!v1_ok, "trusted-registry revocation of obsolete hashes");
   }
 
   // ------------------------------------------------------------- scene 6
@@ -254,16 +326,38 @@ int main() {
     network.dns_set_a("svc.revelio.app", "6.6.6.6");
     browser.drop_session("svc.revelio.app");
 
+    // The dropped session forces a full re-attestation; the evil server has
+    // no SEV-SNP evidence to serve, so the attempt dies at evidence parsing
+    // and the trace pins the failure to that exact step.
+    const auto parse0 = counter("ext.attest.result.count",
+                                {{"result", "evidence_parse"}});
+    obs::tracer().clear();
+    obs::tracer().set_enabled(true);
     auto redirected = extension.get("svc.revelio.app", 443, "/");
+    obs::tracer().set_enabled(false);
     std::printf("    browser alone would accept the new CA-valid cert\n");
     std::printf("    extension: %s\n",
                 redirected.ok()
                     ? "ACCEPTED (?)"
                     : redirected.error().to_string().c_str());
+    expect_delta("ext.attest.result.count{result=evidence_parse}", parse0,
+                 counter("ext.attest.result.count",
+                         {{"result", "evidence_parse"}}),
+                 1);
+    expect_attr("ext.attest", "result", "evidence_parse");
+    if (const auto* checks = extension.last_checks("svc.revelio.app")) {
+      std::printf("    checks.failure_step = \"%s\"\n",
+                  checks->failure_step.c_str());
+    }
     verdict(!redirected.ok(),
             "per-request TLS-key monitoring against the attested key");
   }
 
-  std::printf("\nall scenes complete\n");
+  if (g_metric_failures > 0) {
+    std::printf("\nall scenes complete — %d metric assertion(s) FAILED\n",
+                g_metric_failures);
+    return 1;
+  }
+  std::printf("\nall scenes complete, every metric trail as expected\n");
   return 0;
 }

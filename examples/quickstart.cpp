@@ -8,17 +8,31 @@
 //  5. show that a tampered deployment fails every step of the way.
 //
 // Run: ./build/examples/quickstart
+//      ./build/examples/quickstart --trace out.json   # Chrome trace dump
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common/hex.hpp"
 #include "imagebuild/builder.hpp"
+#include "obs/trace.hpp"
 #include "revelio/revelio_vm.hpp"
 #include "revelio/sp_node.hpp"
 #include "revelio/web_extension.hpp"
 
 using namespace revelio;
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace <file>: record every span and write a Chrome trace_event file
+  // (open in chrome://tracing or https://ui.perfetto.dev).
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+  if (!trace_path.empty()) obs::tracer().set_enabled(true);
+
   std::printf("== Revelio quickstart ==\n\n");
 
   // ---------------------------------------------------------------- 0
@@ -163,5 +177,18 @@ int main() {
 
   std::printf("\nquickstart complete at %s simulated time\n",
               clock.to_string().c_str());
+
+  if (!trace_path.empty()) {
+    const std::string trace = obs::tracer().chrome_trace_json();
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("[trace] cannot open %s for writing\n", trace_path.c_str());
+      return 1;
+    }
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::printf("[trace] %zu spans written to %s\n",
+                obs::tracer().finished_spans().size(), trace_path.c_str());
+  }
   return 0;
 }

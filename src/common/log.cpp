@@ -6,8 +6,11 @@ namespace revelio {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink;          // empty = default stderr sink
+const void* g_sink_owner = nullptr;  // LogBuffer that installed g_sink
+}  // namespace
 
-const char* level_name(LogLevel l) {
+const char* log_level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO ";
@@ -16,16 +19,53 @@ const char* level_name(LogLevel l) {
     default: return "?";
   }
 }
-}  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+void set_log_sink(LogSink sink) {
+  g_sink = std::move(sink);
+  g_sink_owner = nullptr;
+}
+
 void log(LogLevel level, const std::string& component,
          const std::string& message) {
   if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %-14s %s\n", level_name(level),
+  if (g_sink) {
+    g_sink(level, component, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %-14s %s\n", log_level_name(level),
                component.c_str(), message.c_str());
+}
+
+void LogBuffer::install() {
+  g_sink = [this](LogLevel level, const std::string& component,
+                  const std::string& message) {
+    std::string line = std::string("[") + log_level_name(level) + "] " +
+                       component + " " + message;
+    lines_.push_back(std::move(line));
+    if (lines_.size() > capacity_) lines_.pop_front();
+  };
+  g_sink_owner = this;
+  installed_ = true;
+}
+
+void LogBuffer::uninstall() {
+  if (!installed_) return;
+  installed_ = false;
+  // Only tear down the global sink if nobody re-installed over us.
+  if (g_sink_owner == this) {
+    g_sink = nullptr;
+    g_sink_owner = nullptr;
+  }
+}
+
+bool LogBuffer::contains(std::string_view needle) const {
+  for (const auto& line : lines_) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
 }
 
 }  // namespace revelio

@@ -3,6 +3,21 @@
 #include <cstdio>
 
 namespace revelio {
+namespace {
+const SimClock* g_current_clock = nullptr;
+}  // namespace
+
+SimClock::SimClock() { g_current_clock = this; }
+
+SimClock::SimClock(const SimClock& other) : now_us_(other.now_us_) {
+  g_current_clock = this;
+}
+
+SimClock::~SimClock() {
+  if (g_current_clock == this) g_current_clock = nullptr;
+}
+
+const SimClock* SimClock::current() { return g_current_clock; }
 
 std::string SimClock::to_string() const {
   const std::uint64_t total_ms = now_us_ / 1000;

@@ -17,6 +17,18 @@ class SimClock {
  public:
   using Micros = std::uint64_t;
 
+  SimClock();
+  SimClock(const SimClock& other);
+  SimClock& operator=(const SimClock&) = default;
+  ~SimClock();
+
+  /// The most recently constructed clock still alive, or nullptr. Each
+  /// simulated world builds exactly one clock, so "latest wins" names it
+  /// deterministically; the tracing layer (src/obs) reads virtual
+  /// timestamps through this without threading a clock reference through
+  /// every instrumented call site.
+  static const SimClock* current();
+
   Micros now_us() const { return now_us_; }
   double now_ms() const { return static_cast<double>(now_us_) / 1000.0; }
 

@@ -1,6 +1,9 @@
 #include "crypto/ecdsa.hpp"
 
 #include <cassert>
+#include <chrono>
+
+#include "obs/metrics.hpp"
 
 namespace revelio::crypto {
 
@@ -22,6 +25,31 @@ Result<EcdsaSignature> EcdsaSignature::decode(const Curve& curve,
 }
 
 namespace {
+
+/// Counts the call and feeds its real (steady-clock) duration into a
+/// latency histogram when the enclosing scope exits. Sign/verify are the
+/// CPU-dominant primitives of the attestation path, so they get histograms
+/// rather than spans: they are called far too often to trace individually.
+class OpTimer {
+ public:
+  explicit OpTimer(const char* op) : op_(op) {
+    obs::metrics().counter(std::string("crypto.") + op_ + ".count").inc();
+  }
+  ~OpTimer() {
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    obs::metrics()
+        .histogram(std::string("crypto.") + op_ + ".real_us",
+                   {50, 100, 250, 500, 1000, 2500, 5000, 10000})
+        .observe(us);
+  }
+
+ private:
+  const char* op_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
 
 /// Draws a uniform scalar in [1, n-1] by rejection sampling.
 U384 sample_scalar(const Curve& curve, HmacDrbg& drbg) {
@@ -56,6 +84,7 @@ U384 hash_to_scalar(const Curve& curve, ByteView msg_hash) {
 
 EcdsaSignature ecdsa_sign(const Curve& curve, const U384& priv,
                           ByteView msg_hash) {
+  OpTimer timer("ecdsa_sign");
   const MontCtx& fn = curve.scalar_field();
   const U384 z = hash_to_scalar(curve, msg_hash);
 
@@ -87,6 +116,7 @@ EcdsaSignature ecdsa_sign(const Curve& curve, const U384& priv,
 
 bool ecdsa_verify(const Curve& curve, const Curve::Point& pub,
                   ByteView msg_hash, const EcdsaSignature& sig) {
+  OpTimer timer("ecdsa_verify");
   if (pub.infinity || !curve.on_curve(pub)) return false;
   const U384& n = curve.params().n;
   if (sig.r.is_zero() || sig.r.cmp(n) >= 0) return false;

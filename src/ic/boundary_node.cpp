@@ -1,6 +1,10 @@
 #include "ic/boundary_node.hpp"
 
+#include <chrono>
+
 #include "common/hex.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace revelio::ic {
 
@@ -61,7 +65,33 @@ net::HttpResponse BoundaryNode::certified_to_http(
 }
 
 net::HttpResponse BoundaryNode::handle(const net::HttpRequest& request) {
+  obs::Span span("bn.request");
+  span.attr("method", request.method);
+  span.attr("path", request.path);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string route = "other";
+  net::HttpResponse response = handle_routed(request, route);
+  span.attr("route", route);
+  span.attr("status", static_cast<std::uint64_t>(response.status));
+  const double real_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  obs::metrics()
+      .counter("bn.request.count",
+               {{"status", std::to_string(response.status)}})
+      .inc();
+  obs::metrics()
+      .histogram("bn.request.real_us",
+                 {50, 100, 250, 500, 1000, 2500, 5000, 10000})
+      .observe(real_us);
+  return response;
+}
+
+net::HttpResponse BoundaryNode::handle_routed(const net::HttpRequest& request,
+                                              std::string& route) {
   if (request.method == "GET" && request.path == "/sw.js") {
+    route = "sw";
     Bytes worker = reference_service_worker();
     if (tamper_ == BnTamperMode::kServeDoctoredWorker) {
       worker = to_bytes(std::string_view(
@@ -72,6 +102,7 @@ net::HttpResponse BoundaryNode::handle(const net::HttpRequest& request) {
   }
 
   if (const auto api = parse_api_path(request.path)) {
+    route = "api";
     if (api->kind == "query" && request.method == "GET") {
       return certified_to_http(
           subnet_->query(api->canister, api->method, request.body));
@@ -84,6 +115,7 @@ net::HttpResponse BoundaryNode::handle(const net::HttpRequest& request) {
   }
 
   if (request.method == "GET" && request.path.rfind("/assets/", 0) == 0) {
+    route = "assets";
     // /assets/{canister}/{path...}
     const std::string rest = request.path.substr(8);
     const auto slash = rest.find('/');

@@ -46,6 +46,11 @@ class BoundaryNode {
  private:
   net::HttpResponse certified_to_http(Result<CertifiedResponse> result);
 
+  /// Routing body; handle() wraps it with the bn.request span + metrics and
+  /// receives the matched route class ("sw" | "api" | "assets" | "other").
+  net::HttpResponse handle_routed(const net::HttpRequest& request,
+                                  std::string& route);
+
   Subnet* subnet_;
   BnTamperMode tamper_ = BnTamperMode::kHonest;
 };

@@ -1,5 +1,7 @@
 #include "net/http.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace revelio::net {
 
 namespace {
@@ -155,22 +157,29 @@ void HttpRouter::route(const std::string& method, const std::string& path,
 }
 
 HttpResponse HttpRouter::dispatch(const HttpRequest& request) const {
-  const auto it = exact_.find({request.method, request.path});
-  if (it != exact_.end()) return it->second(request);
-  // Longest matching prefix wins.
-  const HttpHandler* best = nullptr;
-  std::size_t best_len = 0;
-  for (const auto& [key, handler] : prefix_) {
-    const auto& [method, prefix] = key;
-    if (method == request.method &&
-        request.path.compare(0, prefix.size(), prefix) == 0 &&
-        prefix.size() >= best_len) {
-      best = &handler;
-      best_len = prefix.size();
+  HttpResponse response = [&]() -> HttpResponse {
+    const auto it = exact_.find({request.method, request.path});
+    if (it != exact_.end()) return it->second(request);
+    // Longest matching prefix wins.
+    const HttpHandler* best = nullptr;
+    std::size_t best_len = 0;
+    for (const auto& [key, handler] : prefix_) {
+      const auto& [method, prefix] = key;
+      if (method == request.method &&
+          request.path.compare(0, prefix.size(), prefix) == 0 &&
+          prefix.size() >= best_len) {
+        best = &handler;
+        best_len = prefix.size();
+      }
     }
-  }
-  if (best != nullptr) return (*best)(request);
-  return HttpResponse::not_found();
+    if (best != nullptr) return (*best)(request);
+    return HttpResponse::not_found();
+  }();
+  obs::metrics()
+      .counter("http.request.count",
+               {{"status", std::to_string(response.status)}})
+      .inc();
+  return response;
 }
 
 }  // namespace revelio::net

@@ -2,6 +2,8 @@
 
 #include "crypto/kdf.hpp"
 #include "crypto/sha2.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace revelio::net {
 
@@ -223,6 +225,28 @@ Result<TlsSession> TlsSession::connect(Network& network, const Address& from,
                                        const Address& to,
                                        const TlsTrustConfig& trust,
                                        crypto::HmacDrbg& entropy) {
+  obs::Span span("tls.handshake");
+  span.attr("server",
+            trust.server_name.empty() ? to.to_string() : trust.server_name);
+  auto session = connect_impl(network, from, to, trust, entropy);
+  obs::metrics().counter("tls.handshake.count").inc();
+  if (!session.ok()) {
+    obs::metrics()
+        .counter("tls.handshake.fail.count",
+                 {{"reason", session.error().code}})
+        .inc();
+    span.attr("result", session.error().code);
+  } else {
+    span.attr("result", "ok");
+  }
+  return session;
+}
+
+Result<TlsSession> TlsSession::connect_impl(Network& network,
+                                            const Address& from,
+                                            const Address& to,
+                                            const TlsTrustConfig& trust,
+                                            crypto::HmacDrbg& entropy) {
   const crypto::EcKeyPair client_eph =
       crypto::ec_generate(handshake_curve(), entropy);
   const Bytes client_random = entropy.generate(32);
@@ -234,7 +258,9 @@ Result<TlsSession> TlsSession::connect(Network& network, const Address& from,
   append_u32be(hello, static_cast<std::uint32_t>(client_pub.size()));
   append(hello, client_pub);
 
+  obs::Span hello_span("tls.hello_roundtrip");
   auto response = network.call(from, to, hello);
+  hello_span.end();
   if (!response.ok()) return response.error();
   const ByteView frame = *response;
   if (auto alert_reason = parse_alert(frame); alert_reason.ok()) {
@@ -294,11 +320,24 @@ Result<TlsSession> TlsSession::connect(Network& network, const Address& from,
   if (!trust.server_name.empty()) chain_options.dns_name = trust.server_name;
   const std::vector<pki::Certificate> intermediates(chain.begin() + 1,
                                                     chain.end());
-  const Status chain_status =
-      trust.chain_cache != nullptr
-          ? trust.chain_cache->verify(leaf, intermediates, trust.roots,
-                                      chain_options)
-          : pki::verify_chain(leaf, intermediates, trust.roots, chain_options);
+  Status chain_status = Status::success();
+  if (trust.chain_cache != nullptr) {
+    // The cache emits its own pki.chain_verify span + result counters.
+    chain_status = trust.chain_cache->verify(leaf, intermediates, trust.roots,
+                                             chain_options);
+  } else {
+    obs::Span chain_span("pki.chain_verify");
+    chain_span.attr("cache", "none");
+    chain_span.attr("chain_len", static_cast<std::uint64_t>(chain.size()));
+    chain_status =
+        pki::verify_chain(leaf, intermediates, trust.roots, chain_options);
+    const std::string result =
+        chain_status.ok() ? "ok" : chain_status.error().code;
+    chain_span.attr("result", result);
+    obs::metrics()
+        .counter("pki.chain_verify.result.count", {{"result", result}})
+        .inc();
+  }
   if (!chain_status.ok()) {
     return Error::make("tls.untrusted_certificate",
                        chain_status.error().to_string());
@@ -314,12 +353,17 @@ Result<TlsSession> TlsSession::connect(Network& network, const Address& from,
   }
   auto sig = crypto::EcdsaSignature::decode(**leaf_curve, signature);
   if (!sig.ok()) return sig.error();
+  obs::Span transcript_span("tls.transcript_verify");
+  transcript_span.attr("curve", leaf.curve_name);
   const auto th = transcript_hash(hello, session_id, server_random,
                                   server_eph_pub, chain_bytes);
   if (!crypto::ecdsa_verify(**leaf_curve, *leaf_pub, th.view(), *sig)) {
+    transcript_span.attr("result", "bad_signature");
     return Error::make("tls.bad_transcript_signature",
                        "server did not prove key possession");
   }
+  transcript_span.attr("result", "ok");
+  transcript_span.end();
 
   // 3. Key schedule.
   const auto server_pub = handshake_curve().decode_point(server_eph_pub);

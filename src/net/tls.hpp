@@ -85,6 +85,8 @@ struct TlsTrustConfig {
 class TlsSession {
  public:
   /// Runs the handshake; verifies the chain and transcript signature.
+  /// Emits a "tls.handshake" span (with hello round-trip, chain-verify and
+  /// transcript-verify child phases) and tls.handshake.* counters.
   static Result<TlsSession> connect(Network& network, const Address& from,
                                     const Address& to,
                                     const TlsTrustConfig& trust,
@@ -107,6 +109,12 @@ class TlsSession {
   TlsSession(Network& network, Address from, Address peer,
              std::uint64_t session_id, Bytes c2s_key, Bytes s2c_key,
              pki::Certificate server_cert);
+
+  /// Handshake body; connect() wraps it with the span + metrics.
+  static Result<TlsSession> connect_impl(Network& network, const Address& from,
+                                         const Address& to,
+                                         const TlsTrustConfig& trust,
+                                         crypto::HmacDrbg& entropy);
 
   Network* network_;
   Address from_;

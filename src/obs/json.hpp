@@ -1,0 +1,22 @@
+// Minimal JSON emission helpers for the observability exporters.
+//
+// The exporters (metrics registry snapshot, span list, Chrome trace_event
+// dump) only ever *write* JSON, and only from values we control, so a pair
+// of formatting helpers is all that is needed — no DOM, no parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace revelio::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view s);
+
+/// Renders a double the way JSON expects: no trailing garbage, "0" for
+/// zero, enough digits to round-trip the values we export (%.6g).
+std::string json_number(double v);
+
+}  // namespace revelio::obs

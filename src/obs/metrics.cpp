@@ -1,0 +1,105 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace revelio::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += value;
+}
+
+std::string MetricsRegistry::render_key(const std::string& name,
+                                        const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ",";
+    key += labels[i].first + "=" + labels[i].second;
+  }
+  key += "}";
+  return key;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return counters_[render_key(name, labels)];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return gauges_[render_key(name, labels)];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const Labels& labels) {
+  const std::string key = render_key(name, labels);
+  const auto it = histograms_.find(key);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(key, Histogram(std::move(bounds))).first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const Labels& labels) const {
+  const auto it = counters_.find(render_key(name, labels));
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(key) + "\":" + std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(key) + "\":" + json_number(g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(key) + "\":{\"buckets\":[";
+    const auto& bounds = h.bounds();
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ",";
+      const std::string le =
+          i < bounds.size() ? json_number(bounds[i]) : "\"+inf\"";
+      out += "{\"le\":" + le + ",\"count\":" + std::to_string(counts[i]) + "}";
+    }
+    out += "],\"count\":" + std::to_string(h.count()) +
+           ",\"sum\":" + json_number(h.sum()) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace revelio::obs

@@ -1,0 +1,112 @@
+// Process-wide metrics registry.
+//
+// Counters, gauges and fixed-bucket histograms, named by the
+// `subsystem.verb.unit` convention (see DESIGN.md "Observability"), with an
+// optional label set rendered into the metric key Prometheus-style:
+// `pki.chain_verify.result.count{result=ok}`. The registry is always on —
+// incrementing a counter is one map lookup plus an add, cheap enough for
+// every hot path in the simulation — and, like the rest of the codebase,
+// deliberately thread-unaware (deterministic single-threaded design).
+//
+// Exporters serialize a point-in-time snapshot with to_json(); benchmarks
+// and the attack gallery read individual counters back with
+// counter_value().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace revelio::obs {
+
+/// Label set attached to a metric name, e.g. {{"result", "ok"}}. Order is
+/// preserved in the rendered key, so use a consistent order per metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  /// Saturating add: a counter that reaches UINT64_MAX pins there instead
+  /// of wrapping — a wrapped counter would read as a rate reset downstream.
+  void inc(std::uint64_t delta = 1) {
+    value_ = (value_ + delta < value_) ? UINT64_MAX : value_ + delta;
+  }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations with
+/// value <= bounds[i] (first matching bucket wins); one implicit +inf
+/// bucket catches everything beyond the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the last entry being the +inf bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;         // ascending
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// The first caller fixes the bucket bounds; later callers get the
+  /// existing histogram whatever bounds they pass.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {});
+
+  /// Read-only probe: the counter's value if it exists, else 0. Tests and
+  /// the attack gallery assert on deltas of these.
+  std::uint64_t counter_value(const std::string& name,
+                              const Labels& labels = {}) const;
+
+  /// Snapshot of everything:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+
+  void reset();
+
+  /// Canonical key: `name` or `name{k1=v1,k2=v2}` (labels in given order).
+  static std::string render_key(const std::string& name, const Labels& labels);
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The process-wide registry every instrumented subsystem reports into.
+MetricsRegistry& metrics();
+
+}  // namespace revelio::obs

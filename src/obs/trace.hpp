@@ -1,0 +1,131 @@
+// Hierarchical tracing against both clocks.
+//
+// A Span is an RAII timed region charged against *two* clocks at once: the
+// simulation's virtual clock (SimClock::current() — network latency and
+// calibrated device models) and the real monotonic clock (actual CPU work:
+// hashing, AES, ECDSA). The process-wide Tracer keeps the active-span
+// stack — thread-unaware but re-entrant, matching the deterministic
+// single-threaded design — plus a bounded ring of finished spans.
+//
+// Exports: finished_spans_json() (a plain span list with both durations
+// and the parent links) and chrome_trace_json() (Chrome trace_event
+// format — open the file in chrome://tracing or ui.perfetto.dev; the two
+// clocks appear as two timeline rows of the same process).
+//
+// Tracing is OFF by default: a Span constructed while the tracer is
+// disabled does nothing and costs two branches. Metrics (metrics.hpp)
+// stay on unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace revelio::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;         // 1-based, unique within a tracer epoch
+  std::uint64_t parent_id = 0;  // 0 = root span
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::uint64_t virt_start_us = 0;  // SimClock at begin/end (0 if no clock)
+  std::uint64_t virt_end_us = 0;
+  std::uint64_t real_start_ns = 0;  // monotonic clock at begin/end
+  std::uint64_t real_end_ns = 0;
+
+  std::uint64_t virt_us() const { return virt_end_us - virt_start_us; }
+  double real_us() const {
+    return static_cast<double>(real_end_ns - real_start_ns) / 1000.0;
+  }
+  /// First value of attribute `key`, or "" if absent.
+  std::string attr(const std::string& key) const;
+};
+
+class Span;
+
+class Tracer {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Correlates spans with the log stream: when on, span begin/end emit
+  /// kDebug lines on component "obs" carrying the span id, so a captured
+  /// log interleaves with a dumped trace via "span#<id>".
+  void set_log_spans(bool on) { log_spans_ = on; }
+
+  /// Bounded history: beyond this many finished spans the oldest are
+  /// dropped (counted in dropped_spans()).
+  void set_max_finished(std::size_t cap);
+
+  /// Test hook: replaces the real monotonic clock so exports are
+  /// deterministic. Pass nullptr to restore std::chrono::steady_clock.
+  void set_real_clock(std::function<std::uint64_t()> now_ns);
+
+  /// Drops finished spans and the dropped counter; keeps enablement and
+  /// does not touch spans still open.
+  void clear();
+
+  const std::deque<SpanRecord>& finished_spans() const { return finished_; }
+  std::uint64_t dropped_spans() const { return dropped_; }
+  std::size_t open_spans() const { return open_.size(); }
+
+  /// JSON array of finished spans in completion order (children precede
+  /// their parent): id, parent_id, name, virtual/real start + duration,
+  /// attrs.
+  std::string finished_spans_json() const;
+
+  /// Chrome trace_event dump: one complete ("ph":"X") event per span per
+  /// clock, tid 1 = virtual clock, tid 2 = real clock. Real timestamps are
+  /// rebased to the earliest span so the trace starts near t=0.
+  std::string chrome_trace_json() const;
+
+ private:
+  friend class Span;
+
+  std::uint64_t begin_span(std::string name);
+  void annotate(std::uint64_t id, std::string key, std::string value);
+  void end_span(std::uint64_t id);
+  std::uint64_t real_now_ns() const;
+
+  bool enabled_ = false;
+  bool log_spans_ = false;
+  std::size_t max_finished_ = 100000;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::function<std::uint64_t()> real_clock_;  // empty = steady_clock
+  std::vector<SpanRecord> open_;               // active-span stack
+  std::deque<SpanRecord> finished_;
+};
+
+/// The process-wide tracer all instrumentation reports into.
+Tracer& tracer();
+
+/// RAII span handle. Construct to open, destroy (or end()) to close.
+/// Inactive (zero-cost) when the tracer is disabled at construction time.
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void attr(const std::string& key, std::string value);
+  void attr(const std::string& key, const char* value);
+  void attr(const std::string& key, std::uint64_t value);
+  void attr(const std::string& key, bool value);
+
+  /// Closes the span early; idempotent, the destructor becomes a no-op.
+  void end();
+
+  /// 0 when inactive (tracer disabled at construction).
+  std::uint64_t id() const { return id_; }
+
+ private:
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace revelio::obs

@@ -1,5 +1,8 @@
 #include "pki/chain_cache.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace revelio::pki {
 
 ChainVerificationCache::ChainVerificationCache(std::size_t capacity)
@@ -36,6 +39,9 @@ crypto::Digest32 ChainVerificationCache::cache_key(
 Status ChainVerificationCache::verify(
     const Certificate& leaf, const std::vector<Certificate>& intermediates,
     const std::vector<Certificate>& roots, const ChainVerifyOptions& options) {
+  obs::Span span("pki.chain_verify");
+  span.attr("chain_len",
+            static_cast<std::uint64_t>(1 + intermediates.size()));
   const crypto::Digest32 key = cache_key(leaf, intermediates, roots, options);
 
   {
@@ -45,19 +51,32 @@ Status ChainVerificationCache::verify(
       if (options.now_us >= it->second.valid_from_us &&
           options.now_us <= it->second.valid_until_us) {
         ++stats_.hits;
+        obs::metrics().counter("pki.chain_cache.hit.count").inc();
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        span.attr("cache", "hit");
+        span.attr("result", "ok");
         return Status::success();
       }
       // Same chain, but the query time left the verified window: the
       // cached verdict no longer applies.
       ++stats_.window_rejects;
+      obs::metrics().counter("pki.chain_cache.expiry.count").inc();
+      span.attr("cache", "expired");
       lru_.erase(it->second.lru_it);
       entries_.erase(it);
+    } else {
+      span.attr("cache", "miss");
     }
     ++stats_.misses;
+    obs::metrics().counter("pki.chain_cache.miss.count").inc();
   }
 
   const Status st = verify_chain(leaf, intermediates, roots, options);
+  obs::metrics()
+      .counter("pki.chain_verify.result.count",
+               {{"result", st.ok() ? "ok" : st.error().code}})
+      .inc();
+  span.attr("result", st.ok() ? "ok" : st.error().code);
   if (!st.ok()) return st;  // failures are never cached
 
   // Conservative validity intersection over every certificate supplied,
@@ -78,6 +97,7 @@ Status ChainVerificationCache::verify(
     entries_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
+    obs::metrics().counter("pki.chain_cache.eviction.count").inc();
   }
   lru_.push_front(key);
   entries_[key] = Entry{from, until, lru_.begin()};

@@ -40,11 +40,15 @@ class ChainVerificationCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Entries dropped to make room (capacity LRU eviction).
     std::uint64_t evictions = 0;
     /// Lookups that matched a key but fell outside the cached validity
-    /// window (entry dropped, chain re-verified).
+    /// window (entry expired, dropped, chain re-verified).
     std::uint64_t window_rejects = 0;
   };
+  /// Per-instance counters. The same events are also reported process-wide
+  /// through obs::metrics() as pki.chain_cache.{hit,miss,eviction,expiry}
+  /// .count, aggregated across all caches.
   Stats stats() const;
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }

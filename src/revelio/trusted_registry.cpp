@@ -1,5 +1,8 @@
 #include "revelio/trusted_registry.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace revelio::core {
 
 void TrustedRegistry::publish(const std::string& service,
@@ -29,8 +32,21 @@ bool TrustedRegistry::is_revoked(const std::string& service,
 
 bool TrustedRegistry::is_acceptable(const std::string& service,
                                     const sevsnp::Measurement& m) const {
-  if (is_revoked(service, m)) return false;
-  return good_.count({service, m.bytes()}) > 0;
+  obs::Span span("registry.lookup");
+  span.attr("service", service);
+  const char* result = nullptr;
+  bool acceptable = false;
+  if (is_revoked(service, m)) {
+    result = "revoked";
+  } else if (good_.count({service, m.bytes()}) > 0) {
+    result = "acceptable";
+    acceptable = true;
+  } else {
+    result = "unknown";
+  }
+  span.attr("result", result);
+  obs::metrics().counter("registry.lookup.count", {{"result", result}}).inc();
+  return acceptable;
 }
 
 void TrustedRegistry::register_voter(const std::string& voter) {

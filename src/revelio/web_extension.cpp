@@ -1,5 +1,8 @@
 #include "revelio/web_extension.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace revelio::core {
 
 Browser::Browser(net::Network& network, std::string client_host,
@@ -108,13 +111,17 @@ Result<KdsService::VcekResponse> WebExtension::fetch_vcek(
     const auto it = vcek_cache_.find(key);
     if (it != vcek_cache_.end()) {
       ++vcek_cache_hits_;
+      obs::metrics().counter("ext.vcek_cache.hit.count").inc();
       return it->second;
     }
   }
+  obs::Span span("ext.kds_fetch");
   ++kds_fetches_;
+  obs::metrics().counter("ext.kds_fetch.count").inc();
   auto response = KdsService::fetch(browser_->network(),
                                     {browser_->host(), 39999},
                                     config_.kds_address, chip, tcb);
+  span.attr("result", response.ok() ? "ok" : response.error().code);
   if (!response.ok()) return response.error();
   if (config_.cache_vcek) vcek_cache_[key] = *response;
   return response;
@@ -123,27 +130,51 @@ Result<KdsService::VcekResponse> WebExtension::fetch_vcek(
 Result<AttestationChecks> WebExtension::attest(const std::string& domain,
                                                std::uint16_t port,
                                                const Bytes& session_key) {
+  obs::Span span("ext.attest");
+  span.attr("domain", domain);
+  auto checks = attest_impl(domain, port, session_key);
+  const std::string result =
+      !checks.ok() ? checks.error().code
+                   : (checks->all_ok() ? "ok" : checks->failure_step);
+  span.attr("result", result);
+  obs::metrics()
+      .counter("ext.attest.result.count", {{"result", result}})
+      .inc();
+  return checks;
+}
+
+Result<AttestationChecks> WebExtension::attest_impl(const std::string& domain,
+                                                    std::uint16_t port,
+                                                    const Bytes& session_key) {
   ++attestations_;
   AttestationChecks checks;
   const SiteRegistration& site = sites_.at(domain);
 
   // 1. Fetch the evidence from the well-known URL over the same session.
+  obs::Span evidence_span("ext.evidence_fetch");
   auto evidence_response =
       browser_->get(domain, port, "/.well-known/revelio-attestation");
   if (!evidence_response.ok() || evidence_response->response.status != 200) {
+    evidence_span.attr("result", "fetch_failed");
     checks.failure = "evidence fetch failed";
+    checks.failure_step = "evidence_fetch";
     return checks;
   }
   auto bundle = EvidenceBundle::parse(evidence_response->response.body);
   if (!bundle.ok()) {
+    evidence_span.attr("result", "unparseable");
     checks.failure = "evidence unparseable";
+    checks.failure_step = "evidence_parse";
     return checks;
   }
+  evidence_span.attr("result", "ok");
+  evidence_span.end();
   checks.evidence_fetched = true;
 
   // 2. REPORT_DATA must cover the served payload (the VM's identity key).
   if (!bundle->binding_ok()) {
     checks.failure = "REPORT_DATA does not cover the payload";
+    checks.failure_step = "binding";
     return checks;
   }
   checks.binding_ok = true;
@@ -152,6 +183,7 @@ Result<AttestationChecks> WebExtension::attest(const std::string& domain,
   auto kds = fetch_vcek(bundle->report.chip_id, bundle->report.reported_tcb);
   if (!kds.ok()) {
     checks.failure = "VCEK fetch failed: " + kds.error().to_string();
+    checks.failure_step = "kds_fetch";
     return checks;
   }
   sevsnp::ReportVerifyOptions options;
@@ -164,10 +196,12 @@ Result<AttestationChecks> WebExtension::attest(const std::string& domain,
     // Distinguish chain failures from signature failures for the UI.
     if (verify.error().code == "snp.vcek_chain_invalid") {
       checks.failure = verify.error().to_string();
+      checks.failure_step = "chain";
       return checks;
     }
     checks.chain_ok = true;
     checks.failure = verify.error().to_string();
+    checks.failure_step = "report_verify";
     return checks;
   }
   checks.chain_ok = true;
@@ -185,6 +219,7 @@ Result<AttestationChecks> WebExtension::attest(const std::string& domain,
   }
   if (!acceptable) {
     checks.failure = "measurement not in the accepted set";
+    checks.failure_step = "measurement";
     return checks;
   }
   checks.measurement_ok = true;
@@ -192,6 +227,7 @@ Result<AttestationChecks> WebExtension::attest(const std::string& domain,
   // 5. The TLS endpoint must terminate at the attested key (§3.4.5).
   if (!(session_key == bundle->payload)) {
     checks.failure = "TLS connection does not terminate at the attested key";
+    checks.failure_step = "tls_binding";
     return checks;
   }
   checks.tls_binding_ok = true;
@@ -210,8 +246,15 @@ Result<WebExtension::Verified> WebExtension::fetch(
   if (sites_.count(domain) == 0) {
     return Error::make("extension.site_not_registered", domain);
   }
+  obs::Span span("ext.session_validate");
+  span.attr("domain", domain);
+  span.attr("path", request.path);
   auto result = browser_->fetch(domain, port, request);
-  if (!result.ok()) return result.error();
+  if (!result.ok()) {
+    span.attr("mode", "fetch");
+    span.attr("result", result.error().code);
+    return result.error();
+  }
 
   auto state_it = state_.find(domain);
   const bool need_full_attestation =
@@ -219,28 +262,42 @@ Result<WebExtension::Verified> WebExtension::fetch(
       result->new_session;
 
   if (need_full_attestation) {
+    span.attr("mode", "attest");
     auto checks = attest(domain, port, result->tls_server_key);
-    if (!checks.ok()) return checks.error();
+    if (!checks.ok()) {
+      span.attr("result", checks.error().code);
+      return checks.error();
+    }
     if (!checks->all_ok()) {
       // Fail closed: surface the response-less verdict to the caller.
       state_[domain].checks = *checks;
       state_[domain].attested = false;
+      span.attr("result", "extension.attestation_failed");
       return Error::make("extension.attestation_failed", checks->failure);
     }
+    span.attr("result", "ok");
     return Verified{std::move(result->response), *checks};
   }
 
   // Monitoring path: every request validates that the connection still
   // terminates at the attested key (the redirect defence).
+  span.attr("mode", "monitor");
+  obs::metrics().counter("ext.monitor.count").inc();
   browser_->network().clock().advance_ms(config_.connection_check_overhead_ms);
   if (!(result->tls_server_key == state_it->second.attested_key)) {
     state_it->second.attested = false;
     state_it->second.checks.tls_binding_ok = false;
     state_it->second.checks.failure =
         "connection re-terminated at a different key";
+    state_it->second.checks.failure_step = "tls_binding";
+    obs::metrics()
+        .counter("ext.monitor.fail.count", {{"reason", "key_changed"}})
+        .inc();
+    span.attr("result", "extension.connection_hijacked");
     return Error::make("extension.connection_hijacked",
                        "TLS endpoint changed after attestation");
   }
+  span.attr("result", "ok");
   return Verified{std::move(result->response), state_it->second.checks};
 }
 

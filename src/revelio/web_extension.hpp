@@ -83,6 +83,11 @@ struct AttestationChecks {
   bool measurement_ok = false;   // measurement is a known-good image
   bool tls_binding_ok = false;   // session terminates at the attested key
   std::string failure;
+  /// Machine-readable step id of the first failed check ("" when all pass):
+  /// evidence_fetch | evidence_parse | binding | kds_fetch | chain |
+  /// report_verify | measurement | tls_binding. Mirrors the `result` label
+  /// on the ext.attest.result.count metric and the ext.attest span.
+  std::string failure_step;
 
   bool all_ok() const {
     return evidence_fetched && binding_ok && chain_ok && signature_ok &&
@@ -144,9 +149,14 @@ class WebExtension {
     AttestationChecks checks;
   };
 
+  /// Emits the "ext.attest" span + ext.attest.result.count counter around
+  /// attest_impl, which holds the actual check sequence.
   Result<AttestationChecks> attest(const std::string& domain,
                                    std::uint16_t port,
                                    const Bytes& session_key);
+  Result<AttestationChecks> attest_impl(const std::string& domain,
+                                        std::uint16_t port,
+                                        const Bytes& session_key);
   Result<KdsService::VcekResponse> fetch_vcek(const sevsnp::ChipId& chip,
                                               sevsnp::TcbVersion tcb);
 

@@ -2,6 +2,8 @@
 
 #include "crypto/hmac.hpp"
 #include "crypto/kdf.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace revelio::sevsnp {
 
@@ -104,6 +106,9 @@ Result<AttestationReport> AmdSp::get_report(
   if (state_ != State::kRunning) {
     return Error::make("snp.no_guest", "no measured guest is running");
   }
+  obs::Span span("sevsnp.report_sign");
+  span.attr("tcb", static_cast<std::uint64_t>(tcb_.encode()));
+  obs::metrics().counter("sevsnp.report_sign.count").inc();
   AttestationReport report;
   report.guest_policy = guest_policy_;
   report.measurement = measurement_;

@@ -1,6 +1,8 @@
 #include "sevsnp/kds.hpp"
 
 #include "common/hex.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace revelio::sevsnp {
 
@@ -47,43 +49,84 @@ Result<pki::Certificate> KeyDistributionServer::fetch_vcek(
   return cert;
 }
 
-Status verify_report(const AttestationReport& report,
-                     const pki::Certificate& vcek_cert,
-                     const std::vector<pki::Certificate>& intermediates,
-                     const std::vector<pki::Certificate>& roots,
-                     const ReportVerifyOptions& options) {
+namespace {
+
+Status verify_report_impl(const AttestationReport& report,
+                          const pki::Certificate& vcek_cert,
+                          const std::vector<pki::Certificate>& intermediates,
+                          const std::vector<pki::Certificate>& roots,
+                          const ReportVerifyOptions& options) {
   // 1. The VCEK certificate must chain to a pinned AMD root.
   pki::ChainVerifyOptions chain_options;
   chain_options.now_us = options.now_us;
-  const Status chain_status =
-      options.chain_cache != nullptr
-          ? options.chain_cache->verify(vcek_cert, intermediates, roots,
-                                        chain_options)
-          : pki::verify_chain(vcek_cert, intermediates, roots, chain_options);
+  Status chain_status = Status::success();
+  if (options.chain_cache != nullptr) {
+    // The cache emits its own pki.chain_verify span + result counters.
+    chain_status = options.chain_cache->verify(vcek_cert, intermediates,
+                                               roots, chain_options);
+  } else {
+    obs::Span chain_span("pki.chain_verify");
+    chain_span.attr("cache", "none");
+    chain_span.attr("chain_len",
+                    static_cast<std::uint64_t>(1 + intermediates.size()));
+    chain_status =
+        pki::verify_chain(vcek_cert, intermediates, roots, chain_options);
+    const std::string result =
+        chain_status.ok() ? "ok" : chain_status.error().code;
+    chain_span.attr("result", result);
+    obs::metrics()
+        .counter("pki.chain_verify.result.count", {{"result", result}})
+        .inc();
+  }
   if (!chain_status.ok()) {
     return Error::make("snp.vcek_chain_invalid",
                        chain_status.error().to_string());
   }
   // 2. The report signature must verify under the VCEK public key.
+  obs::Span sig_span("sevsnp.signature_verify");
   const auto pub = crypto::p384().decode_point(vcek_cert.public_key);
   if (!pub.ok()) {
+    sig_span.attr("result", "bad_vcek_key");
     return Error::make("snp.bad_vcek_key", pub.error().to_string());
   }
   auto sig = crypto::EcdsaSignature::decode(crypto::p384(), report.signature);
   if (!sig.ok()) {
+    sig_span.attr("result", "bad_encoding");
     return Error::make("snp.bad_signature_encoding");
   }
   const auto hash = crypto::sha384(report.signed_body());
   if (!crypto::ecdsa_verify(crypto::p384(), *pub, hash.view(), *sig)) {
+    sig_span.attr("result", "invalid");
     return Error::make("snp.signature_invalid",
                        "report not signed by presented VCEK");
   }
+  sig_span.attr("result", "ok");
+  sig_span.end();
   // 3. Optional TCB floor (anti-rollback for firmware, §6.1.4).
   if (options.minimum_tcb &&
       !report.reported_tcb.at_least(*options.minimum_tcb)) {
     return Error::make("snp.tcb_too_old", "reported TCB below minimum");
   }
   return Status::success();
+}
+
+}  // namespace
+
+Status verify_report(const AttestationReport& report,
+                     const pki::Certificate& vcek_cert,
+                     const std::vector<pki::Certificate>& intermediates,
+                     const std::vector<pki::Certificate>& roots,
+                     const ReportVerifyOptions& options) {
+  obs::Span span("sevsnp.report_verify");
+  const Status st =
+      verify_report_impl(report, vcek_cert, intermediates, roots, options);
+  const std::string result = st.ok() ? "ok" : st.error().code;
+  span.attr("result", result);
+  span.attr("measurement_ok", st.ok());
+  obs::metrics()
+      .counter("sevsnp.report_verify.result.count", {{"result", result}})
+      .inc();
+  return st;
 }
 
 }  // namespace revelio::sevsnp

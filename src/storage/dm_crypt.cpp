@@ -2,6 +2,8 @@
 
 #include "crypto/kdf.hpp"
 #include "crypto/sha2.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace revelio::storage {
 
@@ -44,6 +46,7 @@ Status DmCryptDevice::read_block(std::uint64_t index,
   if (index >= block_count()) {
     return Error::make("blockdev.out_of_range", "crypt read past end");
   }
+  obs::metrics().counter("storage.crypt_read.block.count").inc();
   if (auto st = backing_->read_block(payload_first_block_ + index, out);
       !st.ok()) {
     return st;
@@ -60,6 +63,7 @@ Status DmCryptDevice::write_block(std::uint64_t index, ByteView data) {
   if (data.size() != block_size()) {
     return Error::make("blockdev.bad_buffer", "block buffer size mismatch");
   }
+  obs::metrics().counter("storage.crypt_write.block.count").inc();
   Bytes ct = to_bytes(data);
   xts_.encrypt_sector(index, ct);
   return backing_->write_block(payload_first_block_ + index, ct);
@@ -92,10 +96,20 @@ Result<std::shared_ptr<DmCryptDevice>> CryptVolume::format(
 
 Result<std::shared_ptr<DmCryptDevice>> CryptVolume::open(
     std::shared_ptr<BlockDevice> device, ByteView volume_key) {
+  obs::Span span("storage.crypt.open");
+  auto fail = [&span](Error error) {
+    span.attr("result", error.code);
+    obs::metrics()
+        .counter("storage.crypt_open.fail.count", {{"reason", error.code}})
+        .inc();
+    return error;
+  };
   Bytes header(device->block_size());
-  if (auto st = device->read_block(0, header); !st.ok()) return st.error();
+  if (auto st = device->read_block(0, header); !st.ok()) {
+    return fail(st.error());
+  }
   if (header.size() < 8 + kSaltSize + 32 || read_u32be(header, 0) != kMagic) {
-    return Error::make("crypt.bad_header", "missing crypt magic");
+    return fail(Error::make("crypt.bad_header", "missing crypt magic"));
   }
   const std::uint32_t iterations = read_u32be(header, 4);
   const ByteView salt = ByteView(header).subspan(8, kSaltSize);
@@ -104,9 +118,10 @@ Result<std::shared_ptr<DmCryptDevice>> CryptVolume::open(
   const Bytes xts_key = derive_xts_key(volume_key, salt, iterations);
   const crypto::Digest32 check = key_check_digest(xts_key);
   if (!ct_equal(check.view(), stored_check)) {
-    return Error::make("crypt.wrong_key",
-                       "key-check digest mismatch (wrong sealing key?)");
+    return fail(Error::make("crypt.wrong_key",
+                            "key-check digest mismatch (wrong sealing key?)"));
   }
+  span.attr("result", "ok");
   return std::make_shared<DmCryptDevice>(std::move(device), kHeaderBlocks,
                                          xts_key);
 }

@@ -1,6 +1,10 @@
 #include "storage/dm_verity.hpp"
 
+#include <chrono>
 #include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace revelio::storage {
 
@@ -41,7 +45,9 @@ Result<VerityMetadata> Verity::format(BlockDevice& data_dev,
   return meta;
 }
 
-Result<std::shared_ptr<VerityDevice>> Verity::open(
+namespace {
+
+Result<std::shared_ptr<VerityDevice>> open_impl(
     std::shared_ptr<BlockDevice> data_dev,
     std::shared_ptr<BlockDevice> hash_dev,
     const crypto::Digest32& expected_root) {
@@ -71,21 +77,61 @@ Result<std::shared_ptr<VerityDevice>> Verity::open(
                                         std::move(*tree));
 }
 
+}  // namespace
+
+Result<std::shared_ptr<VerityDevice>> Verity::open(
+    std::shared_ptr<BlockDevice> data_dev,
+    std::shared_ptr<BlockDevice> hash_dev,
+    const crypto::Digest32& expected_root) {
+  obs::Span span("storage.verity.open");
+  span.attr("data_blocks", data_dev->block_count());
+  auto device =
+      open_impl(std::move(data_dev), std::move(hash_dev), expected_root);
+  if (!device.ok()) {
+    span.attr("result", device.error().code);
+    obs::metrics()
+        .counter("storage.verity_open.fail.count",
+                 {{"reason", device.error().code}})
+        .inc();
+  } else {
+    span.attr("result", "ok");
+  }
+  return device;
+}
+
 VerityDevice::VerityDevice(std::shared_ptr<BlockDevice> data_dev,
                            crypto::MerkleTree tree)
     : data_dev_(std::move(data_dev)), tree_(std::move(tree)) {}
 
 Status VerityDevice::read_block(std::uint64_t index,
                                 std::span<std::uint8_t> out) {
-  if (auto st = data_dev_->read_block(index, out); !st.ok()) return st;
-  const crypto::Digest32 leaf = crypto::MerkleTree::hash_leaf(out);
-  if (!crypto::MerkleTree::verify_path(leaf, index, tree_.path(index),
-                                       tree_.leaf_count(), tree_.root())) {
-    return Error::make("verity.block_mismatch",
+  // Counters + a latency histogram, not a span: this runs once per block
+  // and a span per read would flood the tracer during verify_all.
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::metrics().counter("storage.verity_read.block.count").inc();
+  Status st = data_dev_->read_block(index, out);
+  if (st.ok()) {
+    const crypto::Digest32 leaf = crypto::MerkleTree::hash_leaf(out);
+    if (!crypto::MerkleTree::verify_path(leaf, index, tree_.path(index),
+                                         tree_.leaf_count(), tree_.root())) {
+      st = Error::make("verity.block_mismatch",
                        "block " + std::to_string(index) +
                            " failed integrity verification");
+    }
   }
-  return Status::success();
+  if (!st.ok()) {
+    obs::metrics()
+        .counter("storage.verity_read.fail.count",
+                 {{"reason", st.error().code}})
+        .inc();
+  }
+  obs::metrics()
+      .histogram("storage.verity_read.real_us",
+                 {1, 5, 10, 25, 50, 100, 250, 1000})
+      .observe(std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count());
+  return st;
 }
 
 Status VerityDevice::write_block(std::uint64_t, ByteView) {
@@ -94,10 +140,16 @@ Status VerityDevice::write_block(std::uint64_t, ByteView) {
 }
 
 Status VerityDevice::verify_all() {
+  obs::Span span("storage.verity.verify_all");
+  span.attr("blocks", block_count());
   Bytes block(block_size());
   for (std::uint64_t i = 0; i < block_count(); ++i) {
-    if (auto st = read_block(i, block); !st.ok()) return st;
+    if (auto st = read_block(i, block); !st.ok()) {
+      span.attr("result", st.error().code);
+      return st;
+    }
   }
+  span.attr("result", "ok");
   return Status::success();
 }
 

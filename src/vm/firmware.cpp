@@ -1,5 +1,7 @@
 #include "vm/firmware.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace revelio::vm {
 
 FirmwareHashTable FirmwareHashTable::over(ByteView kernel, ByteView initrd,
@@ -49,15 +51,22 @@ Result<Firmware> Firmware::parse(ByteView data) {
 Status Firmware::verify_blobs(ByteView kernel, ByteView initrd,
                               ByteView cmdline) const {
   if (!verify_hash_table) return Status::success();  // malicious firmware
+  auto fail = [](const char* blob) {
+    obs::metrics()
+        .counter("vm.firmware_check.fail.count", {{"blob", blob}})
+        .inc();
+    return Error::make("vm.hash_mismatch", blob);
+  };
   if (!(crypto::sha256(kernel) == table.kernel_hash)) {
-    return Error::make("vm.hash_mismatch", "kernel");
+    return fail("kernel");
   }
   if (!(crypto::sha256(initrd) == table.initrd_hash)) {
-    return Error::make("vm.hash_mismatch", "initrd");
+    return fail("initrd");
   }
   if (!(crypto::sha256(cmdline) == table.cmdline_hash)) {
-    return Error::make("vm.hash_mismatch", "cmdline");
+    return fail("cmdline");
   }
+  obs::metrics().counter("vm.firmware_check.ok.count").inc();
   return Status::success();
 }
 
