@@ -6,8 +6,8 @@
 // overhead min ~0.4 % avg ~12 %.
 //
 // Two parts here:
-//  1. Honest microbenchmarks of our real dm-crypt path (software AES —
-//     no AES-NI in this reproduction, so raw overheads are inflated).
+//  1. Honest microbenchmarks of our real dm-crypt path (AES-NI when the
+//     CPU has it, scalar AES otherwise — set REVELIO_NO_ISA=1 to compare).
 //  2. A calibrated Fig-5 table: measured XTS work rescaled to an AES-NI
 //     class cipher and combined with a representative block-device model
 //     (constants documented in EXPERIMENTS.md). The *shape* to reproduce:

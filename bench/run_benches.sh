@@ -8,6 +8,12 @@
 # {"bench": ..., "op": ..., "ns_per_op": ..., "iterations": ...}, one entry
 # per benchmark, suitable for jq / CI regression tracking.
 #
+# Also writes BENCH_storage.json: the storage fast-path numbers from
+# bench_storage (parallel Merkle format/verify_all, verified-ancestor
+# cached verity reads, AES-XTS dm-crypt I/O), diffed against the committed
+# baseline bench/BENCH_storage.baseline.json — any op whose ns_per_op
+# regresses by more than 25% fails the run.
+#
 # Also writes BENCH_attestation.json: per-stage virtual/real time breakdown
 # of one attested GET (cold and VCEK-cached), from the tracing spans inside
 # bench_client_attestation --stages-out. The virtual-clock stage totals are
@@ -69,6 +75,75 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(rows)} entries)", file=sys.stderr)
 PY
+
+# --- storage fast path + regression gate ----------------------------------
+storage_bin="$build_dir/bench/bench_storage"
+storage_json="$repo_root/BENCH_storage.json"
+storage_baseline="$repo_root/bench/BENCH_storage.baseline.json"
+if [ -x "$storage_bin" ]; then
+  echo "== bench_storage" >&2
+  "$storage_bin" --benchmark_out="$tmp_dir/bench_storage.json" \
+                 --benchmark_out_format=json >&2
+  python3 - "$storage_json" "$storage_baseline" \
+    "$tmp_dir/bench_storage.json" <<'PY'
+import json
+import sys
+
+out_path, baseline_path, report_path = sys.argv[1], sys.argv[2], sys.argv[3]
+scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+with open(report_path) as f:
+    report = json.load(f)
+rows = []
+for b in report.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    unit = scale.get(b.get("time_unit", "ns"), 1.0)
+    rows.append({
+        "bench": "bench_storage",
+        "op": b["name"],
+        "ns_per_op": round(b["real_time"] * unit, 1),
+        "iterations": b["iterations"],
+    })
+with open(out_path, "w") as f:
+    json.dump(rows, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(rows)} entries)", file=sys.stderr)
+
+try:
+    with open(baseline_path) as f:
+        baseline = {r["op"]: r["ns_per_op"] for r in json.load(f)}
+except FileNotFoundError:
+    print(f"no baseline at {baseline_path}; skipping regression gate",
+          file=sys.stderr)
+    sys.exit(0)
+
+THRESHOLD = 0.25
+failures = []
+for row in rows:
+    base = baseline.get(row["op"])
+    if base is None or base <= 0:
+        print(f"  {row['op']:24s} {row['ns_per_op']:14.1f} ns  (no baseline)",
+              file=sys.stderr)
+        continue
+    delta = (row["ns_per_op"] - base) / base
+    flag = ""
+    if delta > THRESHOLD:
+        failures.append(f"{row['op']}: {base:.1f} -> {row['ns_per_op']:.1f} ns"
+                        f" (+{delta*100:.0f}%)")
+        flag = "  <-- REGRESSION"
+    print(f"  {row['op']:24s} {row['ns_per_op']:14.1f} ns"
+          f" (baseline {base:14.1f} ns, {delta*100:+5.1f}%){flag}",
+          file=sys.stderr)
+if failures:
+    print("storage benchmark regression(s) beyond 25%:", file=sys.stderr)
+    for f_ in failures:
+        print(f"  {f_}", file=sys.stderr)
+    sys.exit(1)
+print("storage benchmarks within 25% of baseline", file=sys.stderr)
+PY
+else
+  echo "note: $storage_bin not built; skipping storage fast-path benches" >&2
+fi
 
 # --- per-stage attestation breakdown + regression gate --------------------
 stages_bin="$build_dir/bench/bench_client_attestation"

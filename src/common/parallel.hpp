@@ -1,0 +1,91 @@
+// Fork-join thread pool with a deterministic parallel_for.
+//
+// The bulk-data paths (Merkle builds, dm-verity verify_all, format-time leaf
+// hashing) are embarrassingly parallel: every output slot depends only on its
+// own input range. parallel_for exploits that while keeping the repo's
+// determinism guarantee intact:
+//
+//  - Static chunking: the split of [0, n) into chunks depends only on `n`,
+//    the grain size and the pool width — never on timing.
+//  - Disjoint outputs: the body writes only to slots inside its [begin, end)
+//    range, so the result is byte-identical to running the chunks
+//    sequentially in any order (the tier-2 equivalence suite asserts this).
+//  - No shared mutable state: bodies must not touch the tracer or the log
+//    sink (single-threaded by design; see obs/trace.hpp). MetricsRegistry
+//    counters are atomic and therefore safe, but the convention is to
+//    aggregate in the caller after the join instead.
+//
+// Pool width comes from REVELIO_THREADS if set, else hardware_concurrency.
+// A width of 1 (or small n) degrades to a plain inline loop, which keeps
+// single-core containers and ASan/TSan runs cheap.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace revelio::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller participates as the last
+  /// lane). `threads == 0` means default_thread_count().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + the calling thread).
+  unsigned width() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs body(begin, end) over a static partition of [0, n). Blocks until
+  /// every chunk finished. The body must not throw and must only write to
+  /// output slots inside its own range. `min_grain` is the smallest chunk
+  /// worth shipping to a worker; below `2 * min_grain` total the loop runs
+  /// inline on the caller.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t min_grain = 1);
+
+  /// REVELIO_THREADS env override, else std::thread::hardware_concurrency().
+  static unsigned default_thread_count();
+
+  /// Lazily-created process-wide pool used by the crypto/storage bulk paths.
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 0;        // chunk size (last chunk may be short)
+    std::size_t chunk_count = 0;
+    std::size_t next = 0;         // next chunk index to claim
+    std::size_t done = 0;         // chunks completed
+    std::uint64_t generation = 0;
+  };
+
+  void worker_loop();
+  /// Claims and runs chunks of the current job until none remain.
+  void drain_current_job(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait here for a new job
+  std::condition_variable done_cv_;  // the caller waits here for the join
+  Job job_;
+  bool shutdown_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().
+inline void parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_grain = 1) {
+  ThreadPool::global().parallel_for(n, body, min_grain);
+}
+
+}  // namespace revelio::common

@@ -1,7 +1,14 @@
 #include "crypto/aes.hpp"
 
+#include <array>
 #include <cassert>
 #include <cstring>
+
+#include "crypto/cpu_features.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 namespace revelio::crypto {
 
@@ -31,16 +38,16 @@ constexpr std::uint8_t kSbox[256] = {
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
     0xb0, 0x54, 0xbb, 0x16};
 
-std::uint8_t inv_sbox_table[256];
-bool inv_sbox_built = false;
-
-const std::uint8_t* inv_sbox() {
-  if (!inv_sbox_built) {
-    for (int i = 0; i < 256; ++i) inv_sbox_table[kSbox[i]] = static_cast<std::uint8_t>(i);
-    inv_sbox_built = true;
-  }
-  return inv_sbox_table;
+// Compile-time inverse S-box: the previous lazily-built table raced under
+// the bulk-path thread pool (unsynchronized first-use init).
+constexpr std::array<std::uint8_t, 256> build_inv_sbox() {
+  std::array<std::uint8_t, 256> t{};
+  for (int i = 0; i < 256; ++i) t[kSbox[i]] = static_cast<std::uint8_t>(i);
+  return t;
 }
+constexpr std::array<std::uint8_t, 256> kInvSbox = build_inv_sbox();
+
+const std::uint8_t* inv_sbox() { return kInvSbox.data(); }
 
 inline std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
@@ -64,6 +71,52 @@ inline std::uint32_t sub_word(std::uint32_t w) {
 }
 
 inline std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+/// InvMixColumns over one 16-byte round key (column-major, 4-byte columns).
+void inv_mix_columns(std::uint8_t rk[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = rk + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
+                                       gmul(a2, 13) ^ gmul(a3, 9));
+    col[1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
+                                       gmul(a2, 11) ^ gmul(a3, 13));
+    col[2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
+                                       gmul(a2, 14) ^ gmul(a3, 11));
+    col[3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
+                                       gmul(a2, 9) ^ gmul(a3, 14));
+  }
+}
+
+#if defined(__x86_64__)
+__attribute__((target("aes,sse4.1"))) void aesni_encrypt_block(
+    const std::uint8_t* rk, int rounds, const std::uint8_t in[16],
+    std::uint8_t out[16]) {
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  s = _mm_xor_si128(s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk)));
+  for (int r = 1; r < rounds; ++r) {
+    s = _mm_aesenc_si128(
+        s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * r)));
+  }
+  s = _mm_aesenclast_si128(
+      s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * rounds)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), s);
+}
+
+__attribute__((target("aes,sse4.1"))) void aesni_decrypt_block(
+    const std::uint8_t* rk, int rounds, const std::uint8_t in[16],
+    std::uint8_t out[16]) {
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  s = _mm_xor_si128(s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk)));
+  for (int r = 1; r < rounds; ++r) {
+    s = _mm_aesdec_si128(
+        s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * r)));
+  }
+  s = _mm_aesdeclast_si128(
+      s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * rounds)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), s);
+}
+#endif  // __x86_64__
 
 }  // namespace
 
@@ -89,9 +142,30 @@ Aes::Aes(ByteView key) {
     }
     round_keys_[i] = round_keys_[i - nk] ^ temp;
   }
+  // Byte forms of both schedules, expanded once here so neither the AES-NI
+  // kernels nor the XTS sector loop redo any schedule work per block.
+  for (std::size_t i = 0; i < total_words; ++i) {
+    const std::uint32_t w = round_keys_[i];
+    enc_rk_bytes_[4 * i] = static_cast<std::uint8_t>(w >> 24);
+    enc_rk_bytes_[4 * i + 1] = static_cast<std::uint8_t>(w >> 16);
+    enc_rk_bytes_[4 * i + 2] = static_cast<std::uint8_t>(w >> 8);
+    enc_rk_bytes_[4 * i + 3] = static_cast<std::uint8_t>(w);
+  }
+  // Equivalent inverse cipher: decryption keys are the encryption keys in
+  // reverse order with InvMixColumns applied to all but the outermost two.
+  for (int r = 0; r <= rounds_; ++r) {
+    std::memcpy(dec_rk_bytes_ + 16 * r, enc_rk_bytes_ + 16 * (rounds_ - r), 16);
+    if (r != 0 && r != rounds_) inv_mix_columns(dec_rk_bytes_ + 16 * r);
+  }
 }
 
 void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+#if defined(__x86_64__)
+  if (cpu_has_aes_ni()) {
+    aesni_encrypt_block(enc_rk_bytes_, rounds_, in, out);
+    return;
+  }
+#endif
   std::uint8_t s[16];
   std::memcpy(s, in, 16);
   auto add_round_key = [&](int round) {
@@ -130,6 +204,12 @@ void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
 }
 
 void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+#if defined(__x86_64__)
+  if (cpu_has_aes_ni()) {
+    aesni_decrypt_block(dec_rk_bytes_, rounds_, in, out);
+    return;
+  }
+#endif
   const std::uint8_t* isbox = inv_sbox();
   std::uint8_t s[16];
   std::memcpy(s, in, 16);

@@ -1,8 +1,13 @@
 // AES block cipher (FIPS 197), key sizes 128/192/256.
 //
-// Straightforward table-free S-box implementation: the simulation values
-// auditability over raw throughput, and the measured shapes (dm-crypt
-// overhead ratios) survive a slower block cipher.
+// Two cores behind one runtime dispatch: a table-free scalar implementation
+// (auditable, always compiled, the only path on non-x86 hosts or with
+// REVELIO_NO_ISA=1) and an AES-NI path on CPUs that have it — the dm-crypt
+// sector loop is the bulk consumer and is ISA-bound in practice. The key
+// schedule — including the equivalent-inverse-cipher decryption keys the
+// AES-NI path needs — is expanded exactly once, in the constructor, so
+// per-block work is rounds only; DmCrypt holds one Aes per XTS half-key for
+// the device's lifetime.
 #pragma once
 
 #include <cstdint>
@@ -15,7 +20,8 @@ class Aes {
  public:
   static constexpr std::size_t kBlockSize = 16;
 
-  /// Key must be 16, 24 or 32 bytes.
+  /// Key must be 16, 24 or 32 bytes. Expands both the encryption and the
+  /// (equivalent inverse cipher) decryption schedules up front.
   explicit Aes(ByteView key);
 
   void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
@@ -23,6 +29,11 @@ class Aes {
 
  private:
   std::uint32_t round_keys_[60];
+  // Byte-serialized schedules consumed by the AES-NI kernels: the forward
+  // keys verbatim, and the decryption keys already passed through
+  // InvMixColumns (AESDEC's equivalent-inverse-cipher convention).
+  alignas(16) std::uint8_t enc_rk_bytes_[16 * 15];
+  alignas(16) std::uint8_t dec_rk_bytes_[16 * 15];
   int rounds_;
 };
 

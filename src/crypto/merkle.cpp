@@ -1,10 +1,19 @@
 #include "crypto/merkle.hpp"
 
+#include <atomic>
+
+#include "common/parallel.hpp"
+
 namespace revelio::crypto {
 
 namespace {
 constexpr std::uint8_t kLeafPrefix = 0x00;
 constexpr std::uint8_t kInnerPrefix = 0x01;
+
+// Smallest per-chunk node count worth shipping to a pool worker: below this
+// the hash work is cheaper than the wake-up.
+constexpr std::size_t kLeafGrain = 64;    // 64 x 4 KiB SHA-256 ≈ 1 ms scalar
+constexpr std::size_t kInnerGrain = 512;  // inner hashes are 65-byte inputs
 }  // namespace
 
 Digest32 MerkleTree::hash_leaf(ByteView block) {
@@ -33,15 +42,20 @@ MerkleTree MerkleTree::from_leaves(std::vector<Digest32> leaves) {
   tree.levels_.push_back(std::move(leaves));
   while (tree.levels_.back().size() > 1) {
     const auto& below = tree.levels_.back();
-    std::vector<Digest32> level;
-    level.reserve((below.size() + 1) / 2);
-    for (std::size_t i = 0; i < below.size(); i += 2) {
-      // Odd node promoted by pairing with itself — keeps the tree total and
-      // the path logic uniform.
-      const Digest32& left = below[i];
-      const Digest32& right = (i + 1 < below.size()) ? below[i + 1] : below[i];
-      level.push_back(hash_inner(left, right));
-    }
+    std::vector<Digest32> level((below.size() + 1) / 2);
+    common::parallel_for(
+        level.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            // Odd node promoted by pairing with itself — keeps the tree
+            // total and the path logic uniform.
+            const Digest32& left = below[2 * i];
+            const Digest32& right =
+                (2 * i + 1 < below.size()) ? below[2 * i + 1] : below[2 * i];
+            level[i] = hash_inner(left, right);
+          }
+        },
+        kInnerGrain);
     tree.levels_.push_back(std::move(level));
   }
   tree.root_ = tree.levels_.back()[0];
@@ -49,23 +63,28 @@ MerkleTree MerkleTree::from_leaves(std::vector<Digest32> leaves) {
 }
 
 MerkleTree MerkleTree::from_blocks(ByteView data, std::size_t block_size) {
-  std::vector<Digest32> leaves;
   const std::size_t count = (data.size() + block_size - 1) / block_size;
-  leaves.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::size_t off = i * block_size;
-    const std::size_t len = std::min(block_size, data.size() - off);
-    // Short tail blocks are zero-padded to the full block size, matching the
-    // storage layer where devices are whole numbers of blocks.
-    if (len == block_size) {
-      leaves.push_back(hash_leaf(data.subspan(off, len)));
-    } else {
-      Bytes padded(block_size, 0);
-      std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(off), len,
-                  padded.begin());
-      leaves.push_back(hash_leaf(padded));
-    }
-  }
+  std::vector<Digest32> leaves(count);
+  common::parallel_for(
+      count,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t off = i * block_size;
+          const std::size_t len = std::min(block_size, data.size() - off);
+          // Short tail blocks are zero-padded to the full block size,
+          // matching the storage layer where devices are whole numbers of
+          // blocks.
+          if (len == block_size) {
+            leaves[i] = hash_leaf(data.subspan(off, len));
+          } else {
+            Bytes padded(block_size, 0);
+            std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(off), len,
+                        padded.begin());
+            leaves[i] = hash_leaf(padded);
+          }
+        }
+      },
+      kLeafGrain);
   return from_leaves(std::move(leaves));
 }
 
@@ -116,7 +135,9 @@ Result<MerkleTree> MerkleTree::deserialize(ByteView data) {
     if (off + 8 > data.size()) return Error::make("merkle.truncated_level");
     const std::uint64_t node_count = read_u64be(data, off);
     off += 8;
-    if (off + node_count * 32 > data.size()) {
+    // Divide instead of multiplying: `node_count * 32` wraps for huge
+    // node_count and would accept truncated input.
+    if (node_count > (data.size() - off) / 32) {
       return Error::make("merkle.truncated_nodes");
     }
     std::vector<Digest32> level;
@@ -130,20 +151,33 @@ Result<MerkleTree> MerkleTree::deserialize(ByteView data) {
   if (tree.levels_.empty() || tree.levels_.back().size() != 1) {
     return Error::make("merkle.malformed", "missing root level");
   }
-  // Recompute upward to reject tampered serializations.
+  // Recompute upward to reject tampered serializations. Each level is
+  // checked with a parallel sweep; a mismatch anywhere flips one shared
+  // flag (the only cross-chunk state, write-only, so the outcome does not
+  // depend on chunk order).
   for (std::size_t level = 0; level + 1 < tree.levels_.size(); ++level) {
     const auto& below = tree.levels_[level];
     const auto& above = tree.levels_[level + 1];
     if (above.size() != (below.size() + 1) / 2) {
       return Error::make("merkle.malformed", "bad level size");
     }
-    for (std::size_t i = 0; i < above.size(); ++i) {
-      const Digest32& left = below[2 * i];
-      const Digest32& right =
-          (2 * i + 1 < below.size()) ? below[2 * i + 1] : below[2 * i];
-      if (!(hash_inner(left, right) == above[i])) {
-        return Error::make("merkle.inconsistent", "inner node mismatch");
-      }
+    std::atomic<bool> mismatch{false};
+    common::parallel_for(
+        above.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            if (mismatch.load(std::memory_order_relaxed)) return;
+            const Digest32& left = below[2 * i];
+            const Digest32& right =
+                (2 * i + 1 < below.size()) ? below[2 * i + 1] : below[2 * i];
+            if (!(hash_inner(left, right) == above[i])) {
+              mismatch.store(true, std::memory_order_relaxed);
+            }
+          }
+        },
+        kInnerGrain);
+    if (mismatch.load()) {
+      return Error::make("merkle.inconsistent", "inner node mismatch");
     }
   }
   tree.root_ = tree.levels_.back()[0];

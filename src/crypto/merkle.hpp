@@ -5,6 +5,12 @@
 // remains. Verification recomputes one leaf and its path. Leaves and inner
 // nodes use distinct domain-separation prefixes so a leaf can never be
 // replayed as an inner node.
+//
+// Construction (leaf hashing, level reduction) and the deserialize
+// recompute check run through common::parallel_for: every node of a level
+// depends only on its two children, so a static chunking over the output
+// level is bit-identical to the sequential build (tier-2 suite
+// test_merkle_parallel asserts this across shapes).
 #pragma once
 
 #include <vector>
@@ -25,6 +31,13 @@ class MerkleTree {
 
   const Digest32& root() const { return root_; }
   std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Number of levels (0 for the empty tree); level 0 holds the leaves and
+  /// the last level the single root node.
+  std::size_t level_count() const { return levels_.size(); }
+  /// Nodes of one level. The dm-verity read path walks these in place
+  /// instead of materialising a sibling-path vector per read.
+  const std::vector<Digest32>& level(std::size_t i) const { return levels_[i]; }
 
   /// Authentication path for leaf `index` (sibling hashes, bottom-up).
   std::vector<Digest32> path(std::size_t index) const;

@@ -10,15 +10,25 @@ namespace revelio::crypto {
 namespace {
 
 /// Multiplies a 128-bit GF(2^128) element (little-endian byte order, as in
-/// XTS) by the primitive element alpha (x).
-void gf128_mul_alpha(std::uint8_t t[16]) {
-  std::uint8_t carry = 0;
-  for (int i = 0; i < 16; ++i) {
-    const std::uint8_t next_carry = static_cast<std::uint8_t>(t[i] >> 7);
-    t[i] = static_cast<std::uint8_t>((t[i] << 1) | carry);
-    carry = next_carry;
-  }
-  if (carry) t[0] ^= 0x87;
+/// XTS) by the primitive element alpha (x). Word-wise: one shift + carry
+/// propagation across two 64-bit halves instead of 16 byte-serial steps —
+/// this runs 255 times per 4 KiB sector, right behind the cipher itself.
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline void gf128_mul_alpha(std::uint8_t t[16]) {
+  const std::uint64_t lo = load_le64(t);
+  const std::uint64_t hi = load_le64(t + 8);
+  const std::uint64_t carry = hi >> 63;
+  store_le64(t, (lo << 1) ^ (carry * 0x87));
+  store_le64(t + 8, (hi << 1) | (lo >> 63));
 }
 
 }  // namespace
@@ -83,18 +93,17 @@ void aes_ctr_xor(const Aes& cipher, const FixedBytes<16>& iv,
   }
 }
 
-AeadCtrHmac::AeadCtrHmac(ByteView key) {
+AeadCtrHmac::AeadCtrHmac(ByteView key)
+    : enc_cipher_(key.subspan(0, 32)),
+      mac_key_(to_bytes(key.subspan(32, 32))) {
   assert(key.size() == kKeySize);
-  enc_key_ = to_bytes(key.subspan(0, 32));
-  mac_key_ = to_bytes(key.subspan(32, 32));
 }
 
 Bytes AeadCtrHmac::seal(ByteView nonce, ByteView aad,
                         ByteView plaintext) const {
   assert(nonce.size() == kNonceSize);
   Bytes ct = to_bytes(plaintext);
-  const Aes cipher(enc_key_);
-  aes_ctr_xor(cipher, FixedBytes<16>::from(nonce), ct);
+  aes_ctr_xor(enc_cipher_, FixedBytes<16>::from(nonce), ct);
 
   HmacSha256 mac(mac_key_);
   mac.update(nonce);
@@ -130,8 +139,7 @@ Result<Bytes> AeadCtrHmac::open(ByteView aad, ByteView sealed) const {
   }
 
   Bytes pt = to_bytes(ct);
-  const Aes cipher(enc_key_);
-  aes_ctr_xor(cipher, FixedBytes<16>::from(nonce), pt);
+  aes_ctr_xor(enc_cipher_, FixedBytes<16>::from(nonce), pt);
   return pt;
 }
 

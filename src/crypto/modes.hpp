@@ -55,7 +55,7 @@ class AeadCtrHmac {
   Result<Bytes> open(ByteView aad, ByteView sealed) const;
 
  private:
-  Bytes enc_key_;
+  Aes enc_cipher_;  // schedule expanded once, not per seal/open call
   Bytes mac_key_;
 };
 

@@ -14,6 +14,7 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 void Histogram::observe(double value) {
   std::size_t i = 0;
   while (i < bounds_.size() && value > bounds_[i]) ++i;
+  std::lock_guard<std::mutex> lock(mu_);
   ++counts_[i];
   ++count_;
   sum_ += value;
@@ -33,29 +34,37 @@ std::string MetricsRegistry::render_key(const std::string& name,
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const Labels& labels) {
-  return counters_[render_key(name, labels)];
+  const std::string key = render_key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[key];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
-  return gauges_[render_key(name, labels)];
+  const std::string key = render_key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[key];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       const Labels& labels) {
   const std::string key = render_key(name, labels);
-  const auto it = histograms_.find(key);
-  if (it != histograms_.end()) return it->second;
-  return histograms_.emplace(key, Histogram(std::move(bounds))).first->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  // try_emplace: Histogram owns a mutex, so it must be built in place —
+  // and the existing entry must win the race, keeping first-caller bounds.
+  return histograms_.try_emplace(key, std::move(bounds)).first->second;
 }
 
 std::uint64_t MetricsRegistry::counter_value(const std::string& name,
                                              const Labels& labels) const {
-  const auto it = counters_.find(render_key(name, labels));
+  const std::string key = render_key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(key);
   return it == counters_.end() ? 0 : it->second.value();
 }
 
 std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [key, c] : counters_) {
@@ -92,6 +101,7 @@ std::string MetricsRegistry::to_json() const {
 }
 
 void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

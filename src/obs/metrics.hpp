@@ -4,17 +4,28 @@
 // `subsystem.verb.unit` convention (see DESIGN.md "Observability"), with an
 // optional label set rendered into the metric key Prometheus-style:
 // `pki.chain_verify.result.count{result=ok}`. The registry is always on —
-// incrementing a counter is one map lookup plus an add, cheap enough for
-// every hot path in the simulation — and, like the rest of the codebase,
-// deliberately thread-unaware (deterministic single-threaded design).
+// incrementing a counter is one map lookup plus an atomic add, cheap
+// enough for every hot path in the simulation.
+//
+// Thread-safety: the registry became shared state when the bulk-data fast
+// path grew a thread pool (common/parallel.hpp), so it is now safe to use
+// from pool workers. Map structure is guarded by a registry mutex;
+// returned Counter/Gauge references stay valid forever (std::map nodes
+// are stable) and their updates are lock-free atomics; Histogram::observe
+// takes a per-histogram mutex. Snapshot accessors (counters() etc.,
+// bucket_counts()) return references into live storage and are meant for
+// quiescent, test/exporter-time reads. The tracer (trace.hpp) remains
+// single-threaded — pool workers update metrics, never spans.
 //
 // Exporters serialize a point-in-time snapshot with to_json(); benchmarks
 // and the attack gallery read individual counters back with
 // counter_value().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,23 +40,37 @@ class Counter {
  public:
   /// Saturating add: a counter that reaches UINT64_MAX pins there instead
   /// of wrapping — a wrapped counter would read as a rate reset downstream.
+  /// A CAS loop (not fetch_add) so concurrent increments near the ceiling
+  /// still pin instead of wrapping.
   void inc(std::uint64_t delta = 1) {
-    value_ = (value_ + delta < value_) ? UINT64_MAX : value_ + delta;
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    std::uint64_t next;
+    do {
+      next = (cur + delta < cur) ? UINT64_MAX : cur + delta;
+    } while (!value_.compare_exchange_weak(cur, next,
+                                           std::memory_order_relaxed));
   }
-  std::uint64_t value() const { return value_; }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double delta) { value_ += delta; }
-  double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram: bucket i counts observations with
@@ -55,17 +80,27 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
+  /// Thread-safe: serialized on an internal mutex (bucket search + three
+  /// updates have to land atomically for count/sum to stay consistent).
   void observe(double value);
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
-  /// the last entry being the +inf bucket.
+  /// the last entry being the +inf bucket. Returns a reference into live
+  /// storage — read it quiescent (tests, exporters), not mid-parallel-run.
   const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  std::uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
 
  private:
-  std::vector<double> bounds_;         // ascending
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;         // ascending, fixed after construction
   std::vector<std::uint64_t> counts_;  // bounds_.size() + 1
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -73,6 +108,9 @@ class Histogram {
 
 class MetricsRegistry {
  public:
+  /// Lookup-or-create is guarded by the registry mutex; the returned
+  /// reference is stable for the registry's lifetime (map nodes never
+  /// move) and safe to update from any thread.
   Counter& counter(const std::string& name, const Labels& labels = {});
   Gauge& gauge(const std::string& name, const Labels& labels = {});
   /// The first caller fixes the bucket bounds; later callers get the
@@ -94,6 +132,9 @@ class MetricsRegistry {
   /// Canonical key: `name` or `name{k1=v1,k2=v2}` (labels in given order).
   static std::string render_key(const std::string& name, const Labels& labels);
 
+  /// Whole-map views for tests and exporters. Iterating these races with
+  /// concurrent metric *creation* — call them only when no pool work is in
+  /// flight (updates to already-created metrics are fine to miss).
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const {
@@ -101,6 +142,7 @@ class MetricsRegistry {
   }
 
  private:
+  mutable std::mutex mu_;  // guards map structure, not metric values
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -4,8 +4,12 @@
 // simulation's virtual clock (SimClock::current() — network latency and
 // calibrated device models) and the real monotonic clock (actual CPU work:
 // hashing, AES, ECDSA). The process-wide Tracer keeps the active-span
-// stack — thread-unaware but re-entrant, matching the deterministic
-// single-threaded design — plus a bounded ring of finished spans.
+// stack — re-entrant but deliberately single-threaded: spans are opened
+// and closed only on the main thread. Thread-pool workers
+// (common/parallel.hpp) must not construct Spans; bulk-path code opens one
+// span around the parallel region and reports per-chunk work through the
+// thread-safe metrics registry (metrics.hpp) instead. The Tracer also
+// keeps a bounded ring of finished spans.
 //
 // Exports: finished_spans_json() (a plain span list with both durations
 // and the parent links) and chrome_trace_json() (Chrome trace_event

@@ -34,6 +34,10 @@ class DmCryptDevice final : public BlockDevice {
  private:
   std::shared_ptr<BlockDevice> backing_;
   std::uint64_t payload_first_block_;
+  // Holding the AesXts by value caches both expanded AES key schedules
+  // (data + tweak cipher) for the lifetime of the device: the per-sector
+  // read/write path never re-runs key expansion, only the block cipher and
+  // the word-wise tweak update.
   crypto::AesXts xts_;
 };
 

@@ -1,12 +1,55 @@
 #include "storage/dm_verity.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 
+#include "common/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace revelio::storage {
+
+namespace {
+
+// Per-sweep staging size for bulk leaf hashing: device reads stay on the
+// calling thread (BlockDevice implementations mutate their I/O stats), the
+// hashing fans out over the pool in 64-leaf grains.
+constexpr std::uint64_t kSweepBlocks = 256;  // 1 MiB at 4 KiB blocks
+constexpr std::size_t kLeafGrain = 64;
+
+/// Reads every block of `dev` and returns the leaf digests, hashing each
+/// staged sweep in parallel. Shared by Verity::format and
+/// VerityDevice::verify_all.
+Result<std::vector<crypto::Digest32>> hash_device_leaves(BlockDevice& dev) {
+  const std::size_t bs = dev.block_size();
+  const std::uint64_t n = dev.block_count();
+  std::vector<crypto::Digest32> leaves(n);
+  Bytes buf(bs * static_cast<std::size_t>(std::min<std::uint64_t>(
+                     std::max<std::uint64_t>(n, 1), kSweepBlocks)));
+  for (std::uint64_t start = 0; start < n; start += kSweepBlocks) {
+    const std::size_t m =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kSweepBlocks, n - start));
+    for (std::size_t j = 0; j < m; ++j) {
+      std::span<std::uint8_t> slot(buf.data() + j * bs, bs);
+      if (auto st = dev.read_block(start + j, slot); !st.ok()) {
+        return st.error();
+      }
+    }
+    common::parallel_for(
+        m,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            leaves[start + i] =
+                crypto::MerkleTree::hash_leaf(ByteView(buf.data() + i * bs, bs));
+          }
+        },
+        kLeafGrain);
+  }
+  return leaves;
+}
+
+}  // namespace
 
 Result<VerityMetadata> Verity::format(BlockDevice& data_dev,
                                       BlockDevice& hash_dev,
@@ -15,14 +58,9 @@ Result<VerityMetadata> Verity::format(BlockDevice& data_dev,
     return Error::make("verity.block_size_mismatch",
                        "data device block size differs from verity config");
   }
-  std::vector<crypto::Digest32> leaves;
-  leaves.reserve(data_dev.block_count());
-  Bytes block(data_dev.block_size());
-  for (std::uint64_t i = 0; i < data_dev.block_count(); ++i) {
-    if (auto st = data_dev.read_block(i, block); !st.ok()) return st.error();
-    leaves.push_back(crypto::MerkleTree::hash_leaf(block));
-  }
-  auto tree = crypto::MerkleTree::from_leaves(std::move(leaves));
+  auto leaves = hash_device_leaves(data_dev);
+  if (!leaves.ok()) return leaves.error();
+  auto tree = crypto::MerkleTree::from_leaves(std::move(*leaves));
 
   const Bytes serialized = tree.serialize();
   const std::uint64_t needed =
@@ -101,7 +139,70 @@ Result<std::shared_ptr<VerityDevice>> Verity::open(
 
 VerityDevice::VerityDevice(std::shared_ptr<BlockDevice> data_dev,
                            crypto::MerkleTree tree)
-    : data_dev_(std::move(data_dev)), tree_(std::move(tree)) {}
+    : data_dev_(std::move(data_dev)), tree_(std::move(tree)) {
+  verified_.resize(tree_.level_count());
+  for (std::size_t l = 0; l < tree_.level_count(); ++l) {
+    verified_[l].assign(tree_.level(l).size(), false);
+  }
+  // The root was matched against the expected (cmdline) hash before this
+  // device was handed out, so the top level starts trusted.
+  if (!verified_.empty()) verified_.back()[0] = true;
+}
+
+Status VerityDevice::verify_block(std::uint64_t idx, ByteView data) {
+  const auto index = static_cast<std::size_t>(idx);
+  const auto mismatch = [idx] {
+    return Error::make("verity.block_mismatch",
+                       "block " + std::to_string(idx) +
+                           " failed integrity verification");
+  };
+  if (tree_.level_count() == 0 || index >= tree_.level(0).size()) {
+    return mismatch();
+  }
+  // The leaf hash is recomputed unconditionally: the bitmap caches trust in
+  // *tree nodes*, never in data-block contents, so post-verification
+  // tampering of the backing device is still caught on the next read.
+  const crypto::Digest32 leaf = crypto::MerkleTree::hash_leaf(data);
+  if (!(leaf == tree_.level(0)[index])) return mismatch();
+
+  // Climb until the first ancestor already authenticated against the root.
+  // Each step hashes a stored sibling pair and compares it to the stored
+  // parent; reaching a verified node transitively authenticates the chain.
+  std::size_t level = 0;
+  std::size_t pos = index;
+  while (!verified_[level][pos]) {
+    const auto& nodes = tree_.level(level);
+    const std::size_t left = pos & ~std::size_t{1};
+    const std::size_t right = (left + 1 < nodes.size()) ? left + 1 : left;
+    const crypto::Digest32 parent =
+        crypto::MerkleTree::hash_inner(nodes[left], nodes[right]);
+    if (!(parent == tree_.level(level + 1)[pos / 2])) return mismatch();
+    ++level;
+    pos /= 2;
+  }
+  const std::size_t walked = level;  // inner hashes computed this read
+
+  // Both halves of each checked pair hashed into an authenticated parent,
+  // so mark sibling pairs — not just the direct ancestors — as verified.
+  pos = index;
+  for (std::size_t l = 0; l < walked; ++l) {
+    const std::size_t left = pos & ~std::size_t{1};
+    verified_[l][left] = true;
+    if (left + 1 < verified_[l].size()) verified_[l][left + 1] = true;
+    pos /= 2;
+  }
+
+  if (walked + 1 == tree_.level_count()) {
+    obs::metrics()
+        .counter("storage.verity_read.ancestor_cache.full_walk.count")
+        .inc();
+  } else {
+    obs::metrics()
+        .counter("storage.verity_read.ancestor_cache.hit.count")
+        .inc();
+  }
+  return Status::success();
+}
 
 Status VerityDevice::read_block(std::uint64_t index,
                                 std::span<std::uint8_t> out) {
@@ -110,15 +211,7 @@ Status VerityDevice::read_block(std::uint64_t index,
   const auto t0 = std::chrono::steady_clock::now();
   obs::metrics().counter("storage.verity_read.block.count").inc();
   Status st = data_dev_->read_block(index, out);
-  if (st.ok()) {
-    const crypto::Digest32 leaf = crypto::MerkleTree::hash_leaf(out);
-    if (!crypto::MerkleTree::verify_path(leaf, index, tree_.path(index),
-                                         tree_.leaf_count(), tree_.root())) {
-      st = Error::make("verity.block_mismatch",
-                       "block " + std::to_string(index) +
-                           " failed integrity verification");
-    }
-  }
+  if (st.ok()) st = verify_block(index, out);
   if (!st.ok()) {
     obs::metrics()
         .counter("storage.verity_read.fail.count",
@@ -142,12 +235,44 @@ Status VerityDevice::write_block(std::uint64_t, ByteView) {
 Status VerityDevice::verify_all() {
   obs::Span span("storage.verity.verify_all");
   span.attr("blocks", block_count());
-  Bytes block(block_size());
-  for (std::uint64_t i = 0; i < block_count(); ++i) {
-    if (auto st = read_block(i, block); !st.ok()) {
-      span.attr("result", st.error().code);
-      return st;
+  const std::uint64_t n = block_count();
+  obs::metrics().counter("storage.verity_read.block.count").inc(n);
+
+  const auto fail = [&](const Error& err) -> Status {
+    obs::metrics()
+        .counter("storage.verity_read.fail.count", {{"reason", err.code}})
+        .inc();
+    span.attr("result", err.code);
+    return err;
+  };
+
+  // O(n) leaf hashes: one bulk sweep over the device instead of per-read
+  // path verification (which costs O(n log n) inner hashes in total).
+  auto leaves = hash_device_leaves(*data_dev_);
+  if (!leaves.ok()) return fail(leaves.error());
+
+  if (n > 0) {
+    const auto& expect = tree_.level(0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!((*leaves)[i] == expect[i])) {
+        return fail(Error::make("verity.block_mismatch",
+                                "block " + std::to_string(i) +
+                                    " failed integrity verification"));
+      }
     }
+    // O(n) inner hashes: re-derive the root from the freshly hashed leaves
+    // and compare to the trusted root, instead of trusting the stored
+    // middle levels of the tree.
+    const auto rebuilt = crypto::MerkleTree::from_leaves(std::move(*leaves));
+    if (!(rebuilt.root() == tree_.root())) {
+      return fail(Error::make("verity.tree_mismatch",
+                              "hash tree inconsistent with device contents"));
+    }
+  }
+
+  // Everything below the root has now been authenticated end-to-end.
+  for (auto& level : verified_) {
+    std::fill(level.begin(), level.end(), true);
   }
   span.attr("result", "ok");
   return Status::success();

@@ -7,9 +7,19 @@
 // the tree, and the tree itself is validated against the root hash — a bit
 // flipped anywhere on the data device turns reads of that block into
 // errors, and a tampered hash device fails to open at all (§6.1.2/§6.1.3).
+//
+// Read-path cost model (mirrors the Linux dm-verity target): the device
+// keeps a per-level bitmap of inner nodes already authenticated against
+// the trusted root. A read always recomputes the data block's leaf hash —
+// tampered data is rejected even with a fully warm cache — but the upward
+// climb stops at the first verified ancestor, so a read after warm-up
+// costs one leaf hash and zero inner hashes instead of O(log n) hashes
+// per read. `verify_all` is O(n) leaf hashes plus O(n) inner hashes total
+// (sequential device reads, parallel hashing) rather than O(n log n).
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "crypto/merkle.hpp"
 #include "storage/block_device.hpp"
@@ -56,21 +66,34 @@ class VerityDevice final : public BlockDevice {
   }
 
   /// Reads and verifies one block; fails with verity.block_mismatch if the
-  /// backing block does not hash to the recorded leaf.
+  /// backing block does not hash to the recorded leaf. The leaf hash is
+  /// recomputed on every call; the inner-node climb short-circuits at the
+  /// first ancestor already authenticated against the root
+  /// (`storage.verity_read.ancestor_cache.{hit,full_walk}.count`).
   Status read_block(std::uint64_t index, std::span<std::uint8_t> out) override;
 
   /// Always fails: the rootfs is immutable during runtime (requirement F4).
   Status write_block(std::uint64_t index, ByteView data) override;
 
   /// Verifies every block — the boot-time "dm-verity verify" service whose
-  /// latency dominates Table 1.
+  /// latency dominates Table 1. O(n) leaf + O(n) inner hashes, hashed in
+  /// parallel; on success the whole ancestor bitmap is marked verified.
   Status verify_all();
 
   const crypto::Digest32& root_hash() const { return tree_.root(); }
 
  private:
+  /// Checks `data` (already read from the backing device) against the tree:
+  /// leaf recompute + climb to the first verified ancestor, marking newly
+  /// authenticated nodes on the way. Single-threaded, like all device I/O.
+  Status verify_block(std::uint64_t index, ByteView data);
+
   std::shared_ptr<BlockDevice> data_dev_;
   crypto::MerkleTree tree_;
+  // verified_[level][i] — tree node (level, i) has been authenticated
+  // against the trusted root. The top (root) level starts verified: the
+  // root was checked against the kernel-cmdline hash at open time.
+  std::vector<std::vector<bool>> verified_;
 };
 
 }  // namespace revelio::storage

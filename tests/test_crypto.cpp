@@ -275,6 +275,32 @@ TEST(AesXts, WrongSectorFailsToDecrypt) {
   EXPECT_NE(sector, original);
 }
 
+// IEEE 1619-2007 XTS-AES-128 test vectors (32-byte key = key1 || key2).
+// These pin the exact cipher + tweak arithmetic, so they hold for both the
+// AES-NI and the scalar core (run with REVELIO_NO_ISA=1 for the latter).
+TEST(AesXts, Ieee1619Vector1) {
+  const Bytes key(32, 0x00);
+  AesXts xts(key);
+  Bytes data(32, 0x00);
+  xts.encrypt_sector(0, data);
+  EXPECT_EQ(to_hex(ByteView(data)),
+            "917cf69ebd68b2ec9b9fe9a3eadda692cd43d2f59598ed858c02c2652fbf922e");
+  xts.decrypt_sector(0, data);
+  EXPECT_EQ(data, Bytes(32, 0x00));
+}
+
+TEST(AesXts, Ieee1619Vector2) {
+  Bytes key(32, 0x11);
+  std::fill(key.begin() + 16, key.end(), 0x22);
+  AesXts xts(key);
+  Bytes data(32, 0x44);
+  xts.encrypt_sector(0x3333333333ULL, data);
+  EXPECT_EQ(to_hex(ByteView(data)),
+            "c454185e6a16936e39334038acef838bfb186fff7480adc4289382ecd6d394f0");
+  xts.decrypt_sector(0x3333333333ULL, data);
+  EXPECT_EQ(data, Bytes(32, 0x44));
+}
+
 TEST(AesXts, BlocksWithinSectorDiffer) {
   HmacDrbg drbg(to_bytes(std::string_view("xts-key-3")));
   AesXts xts(drbg.generate(64));
@@ -918,6 +944,18 @@ TEST(Merkle, DeserializeRejectsTamperedNodes) {
   Bytes serialized = tree.serialize();
   serialized[serialized.size() - 1] ^= 0x01;  // corrupt the root level
   EXPECT_FALSE(MerkleTree::deserialize(serialized).ok());
+}
+
+TEST(Merkle, DeserializeRejectsOverflowingNodeCount) {
+  Bytes blob;
+  append_u64be(blob, 1);  // leaf_count
+  append_u64be(blob, 1);  // level_count
+  // node_count * 32 wraps to 0 mod 2^64: the old multiply-based bounds
+  // check accepted this header and then indexed far past the buffer.
+  append_u64be(blob, 0x0800000000000000ULL);
+  const auto result = MerkleTree::deserialize(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "merkle.truncated_nodes");
 }
 
 TEST(Merkle, RootChangesWithAnyBlock) {

@@ -1,0 +1,114 @@
+// Tier-2 equivalence suite: the pool-parallel Merkle build must be
+// bit-identical to a sequential build for every tree shape. The reference
+// implementation below is deliberately independent of common/parallel.hpp.
+// Run with REVELIO_THREADS > 1 (ctest sets 4) so the parallel path is
+// actually exercised even on single-core machines.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+
+namespace revelio::crypto {
+namespace {
+
+/// Plain sequential build: one level at a time, one node at a time.
+std::vector<std::vector<Digest32>> reference_levels(
+    std::vector<Digest32> leaves) {
+  std::vector<std::vector<Digest32>> levels;
+  if (leaves.empty()) return levels;
+  levels.push_back(std::move(leaves));
+  while (levels.back().size() > 1) {
+    const auto& below = levels.back();
+    std::vector<Digest32> up;
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      const Digest32& left = below[i];
+      const Digest32& right = (i + 1 < below.size()) ? below[i + 1] : below[i];
+      up.push_back(MerkleTree::hash_inner(left, right));
+    }
+    levels.push_back(std::move(up));
+  }
+  return levels;
+}
+
+std::vector<Digest32> make_leaves(std::size_t n) {
+  std::vector<Digest32> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes seed(8);
+    for (int b = 0; b < 8; ++b) {
+      seed[b] = static_cast<std::uint8_t>(i >> (8 * b));
+    }
+    leaves.push_back(sha256(seed));
+  }
+  return leaves;
+}
+
+TEST(MerkleParallel, MatchesSequentialReferenceAcrossShapes) {
+  // Empty, single leaf, powers of two, odd counts, and counts straddling
+  // the parallel grain sizes (64 leaves / 512 inner nodes per chunk).
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{5}, std::size_t{8}, std::size_t{9}, std::size_t{63},
+        std::size_t{64}, std::size_t{65}, std::size_t{127}, std::size_t{128},
+        std::size_t{129}, std::size_t{1023}, std::size_t{1024},
+        std::size_t{1500}}) {
+    const auto leaves = make_leaves(n);
+    const auto tree = MerkleTree::from_leaves(leaves);
+    const auto ref = reference_levels(leaves);
+    ASSERT_EQ(tree.leaf_count(), n);
+    if (n == 0) {
+      EXPECT_EQ(tree.level_count(), 0u);
+      EXPECT_TRUE(tree.root() == MerkleTree::hash_leaf({}));
+      continue;
+    }
+    ASSERT_EQ(tree.level_count(), ref.size()) << "n=" << n;
+    for (std::size_t l = 0; l < ref.size(); ++l) {
+      ASSERT_EQ(tree.level(l).size(), ref[l].size()) << "n=" << n;
+      for (std::size_t i = 0; i < ref[l].size(); ++i) {
+        ASSERT_TRUE(tree.level(l)[i] == ref[l][i])
+            << "n=" << n << " level=" << l << " node=" << i;
+      }
+    }
+    ASSERT_TRUE(tree.root() == ref.back()[0]) << "n=" << n;
+  }
+}
+
+TEST(MerkleParallel, FromBlocksMatchesManualLeafHashing) {
+  // 37 blocks of 256 bytes plus a short 100-byte tail (zero-padded).
+  Bytes data(37 * 256 + 100);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  const auto tree = MerkleTree::from_blocks(data, 256);
+
+  std::vector<Digest32> leaves;
+  for (std::size_t off = 0; off < data.size(); off += 256) {
+    Bytes block(256, 0);
+    const std::size_t len = std::min<std::size_t>(256, data.size() - off);
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(off), len,
+                block.begin());
+    leaves.push_back(MerkleTree::hash_leaf(block));
+  }
+  const auto expect = MerkleTree::from_leaves(std::move(leaves));
+  EXPECT_TRUE(tree.root() == expect.root());
+  EXPECT_EQ(tree.leaf_count(), 38u);
+}
+
+TEST(MerkleParallel, DeserializeRecomputeAcceptsAndRejectsUnderParallelism) {
+  // Big enough that the parallel recompute sweep actually chunks.
+  const auto tree = MerkleTree::from_leaves(make_leaves(1500));
+  Bytes blob = tree.serialize();
+  const auto ok = MerkleTree::deserialize(blob);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->root() == tree.root());
+
+  // Flip one byte of one inner node: whichever chunk inspects it must
+  // propagate the mismatch through the shared flag.
+  blob[16 + 8 + 1500 * 32 + 8 + 5 * 32 + 3] ^= 0x20;  // level 1, node 5
+  EXPECT_FALSE(MerkleTree::deserialize(blob).ok());
+}
+
+}  // namespace
+}  // namespace revelio::crypto

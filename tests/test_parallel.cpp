@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace revelio::common {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1000},
+                              std::size_t{4097}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(
+        n,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        1);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ResultsIdenticalAcrossWidths) {
+  const std::size_t n = 10000;
+  const auto fill = [n](ThreadPool& pool) {
+    std::vector<std::uint64_t> out(n);
+    pool.parallel_for(
+        n,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            // Cheap per-slot mixing; any pure function of i works.
+            std::uint64_t v = (i + 1) * 0x9e3779b97f4a7c15ULL;
+            v ^= v >> 29;
+            out[i] = v;
+          }
+        },
+        64);
+    return out;
+  };
+  ThreadPool one(1);
+  ThreadPool four(4);
+  ThreadPool nine(9);
+  const auto reference = fill(one);
+  EXPECT_EQ(fill(four), reference);
+  EXPECT_EQ(fill(nine), reference);
+}
+
+TEST(ThreadPool, ChunkLayoutIsStaticAcrossRuns) {
+  ThreadPool pool(5);
+  const auto layout = [&pool] {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(
+        997,
+        [&](std::size_t begin, std::size_t end) {
+          std::lock_guard<std::mutex> lock(mu);
+          chunks.emplace_back(begin, end);
+        },
+        10);
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto first = layout();
+  // The partition must be a function of (n, grain, width) only — identical
+  // on every run regardless of which lane claims which chunk.
+  EXPECT_EQ(layout(), first);
+  EXPECT_EQ(layout(), first);
+  // And it must tile [0, n) without gaps or overlap.
+  std::size_t expect_begin = 0;
+  for (const auto& [begin, end] : first) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_LT(begin, end);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, 997u);
+}
+
+TEST(ThreadPool, SmallLoopsRunInlineOnCaller) {
+  ThreadPool pool(4);
+  const auto self = std::this_thread::get_id();
+  // n < 2 * min_grain must not be shipped to workers at all.
+  pool.parallel_for(
+      3,
+      [&](std::size_t, std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), self);
+      },
+      2);
+}
+
+TEST(ThreadPool, WidthCountsCallerAsALane) {
+  ThreadPool one(1);
+  EXPECT_EQ(one.width(), 1u);
+  ThreadPool three(3);
+  EXPECT_EQ(three.width(), 3u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  // Regression guard for generation handling: back-to-back jobs on one pool
+  // must not leak chunks between jobs or deadlock the join.
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(
+        100,
+        [&](std::size_t begin, std::size_t end) {
+          total.fetch_add(end - begin, std::memory_order_relaxed);
+        },
+        4);
+  }
+  EXPECT_EQ(total.load(), 200u * 100u);
+}
+
+TEST(ThreadPool, GlobalPoolWorks) {
+  std::vector<std::uint64_t> out(512);
+  parallel_for(
+      out.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = i;
+      },
+      16);
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i);
+}
+
+}  // namespace
+}  // namespace revelio::common

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/drbg.hpp"
+#include "obs/metrics.hpp"
 #include "storage/block_device.hpp"
 #include "storage/dm_crypt.hpp"
 #include "storage/dm_verity.hpp"
@@ -311,6 +312,62 @@ TEST_F(DmVerityTest, ConsistentTamperOfDataAndLeafStillFailsViaRoot) {
   Bytes leaf_bytes = leaf.bytes();
   ASSERT_TRUE(hash_dev_->write(leaf_offset, leaf_bytes).ok());
   EXPECT_FALSE(Verity::open(data_dev_, hash_dev_, meta_.root_hash).ok());
+}
+
+TEST_F(DmVerityTest, TamperRejectedAfterAncestorsCached) {
+  auto dev = Verity::open(data_dev_, hash_dev_, meta_.root_hash);
+  ASSERT_TRUE(dev.ok());
+  Bytes buf(4096);
+  // Warm the ancestor cache: a clean read of block 5 authenticates (and
+  // marks) every node on its path, so a follow-up read short-circuits.
+  ASSERT_TRUE((*dev)->read_block(5, buf).ok());
+  ASSERT_TRUE((*dev)->read_block(4, buf).ok());
+  // Tamper the backing store afterwards. The cache holds trust in tree
+  // nodes, not block contents: the per-read leaf recompute must still
+  // catch this even with every ancestor of block 5 marked verified.
+  data_dev_->raw_tamper(5 * 4096 + 1000, 0x01);
+  const auto st = (*dev)->read_block(5, buf);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "verity.block_mismatch");
+  EXPECT_FALSE((*dev)->read_block(5, buf).ok()) << "must stay rejected";
+}
+
+TEST_F(DmVerityTest, AncestorCacheShortCircuitsRepeatReads) {
+  auto dev = Verity::open(data_dev_, hash_dev_, meta_.root_hash);
+  ASSERT_TRUE(dev.ok());
+  auto& reg = obs::metrics();
+  const auto full0 = reg.counter_value(
+      "storage.verity_read.ancestor_cache.full_walk.count");
+  const auto hit0 =
+      reg.counter_value("storage.verity_read.ancestor_cache.hit.count");
+  Bytes buf(4096);
+  ASSERT_TRUE((*dev)->read_block(7, buf).ok());  // cold: climbs to the root
+  ASSERT_TRUE((*dev)->read_block(7, buf).ok());  // warm: leaf hash only
+  ASSERT_TRUE((*dev)->read_block(6, buf).ok());  // sibling: warm too
+  EXPECT_EQ(reg.counter_value(
+                "storage.verity_read.ancestor_cache.full_walk.count") -
+                full0,
+            1u);
+  EXPECT_EQ(
+      reg.counter_value("storage.verity_read.ancestor_cache.hit.count") - hit0,
+      2u);
+}
+
+TEST_F(DmVerityTest, VerifyAllWarmsWholeAncestorCache) {
+  auto dev = Verity::open(data_dev_, hash_dev_, meta_.root_hash);
+  ASSERT_TRUE(dev.ok());
+  ASSERT_TRUE((*dev)->verify_all().ok());
+  auto& reg = obs::metrics();
+  const auto full0 = reg.counter_value(
+      "storage.verity_read.ancestor_cache.full_walk.count");
+  Bytes buf(4096);
+  for (std::uint64_t i = 0; i < (*dev)->block_count(); ++i) {
+    ASSERT_TRUE((*dev)->read_block(i, buf).ok());
+  }
+  EXPECT_EQ(reg.counter_value(
+                "storage.verity_read.ancestor_cache.full_walk.count"),
+            full0)
+      << "every post-verify_all read should stop at a verified ancestor";
 }
 
 TEST_F(DmVerityTest, FormatRejectsTooSmallHashDevice) {
