@@ -194,6 +194,23 @@ if failures:
         print(f"  {f_}", file=sys.stderr)
     sys.exit(1)
 print("attestation stages within 25% of baseline", file=sys.stderr)
+
+# Fault-free overhead of the resilience layer (retry/failover/deadline
+# machinery armed but never firing) on a monitored GET. Hard gate: < 2%
+# of virtual time, i.e. the layer must be free when nothing fails.
+overhead = current.get("retry_overhead", {})
+if overhead:
+    pct = overhead.get("overhead_pct", 0.0)
+    print(f"  retry-layer fault-free overhead: "
+          f"{overhead.get('plain_virt_ms', 0.0):.2f} ms -> "
+          f"{overhead.get('resilient_virt_ms', 0.0):.2f} ms "
+          f"({pct:+.2f}%)", file=sys.stderr)
+    if pct >= 2.0:
+        print(f"retry-layer overhead {pct:.2f}% breaches the 2% gate",
+              file=sys.stderr)
+        sys.exit(1)
+    print("retry-layer fault-free overhead within the 2% gate",
+          file=sys.stderr)
 PY
 else
   echo "note: $stages_bin not built; skipping attestation stage breakdown" >&2

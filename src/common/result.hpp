@@ -22,6 +22,20 @@ struct Error {
   std::string to_string() const {
     return detail.empty() ? code : code + ": " + detail;
   }
+
+  /// Error taxonomy for resilience policies (net/resilience.hpp): transient
+  /// errors are transport-level losses that a retry, failover or backoff
+  /// may cure — a dropped message, an endpoint in a blackhole window, a
+  /// replica that is down. Everything else is permanent: in particular
+  /// every *verification* failure (bad signature, wrong measurement, TLS
+  /// binding mismatch) is a fail-closed verdict that must NEVER be
+  /// retried — retrying an attacker-induced failure just hands the
+  /// attacker more attempts.
+  bool is_transient() const {
+    return code == "net.timeout" || code == "net.drop" ||
+           code == "net.unreachable" || code == "net.connection_refused" ||
+           code == "acme.unavailable";
+  }
 };
 
 template <typename T>

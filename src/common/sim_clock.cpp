@@ -1,23 +1,37 @@
 #include "common/sim_clock.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 namespace revelio {
 namespace {
-const SimClock* g_current_clock = nullptr;
+// Registration order of every live clock; current() is the back. Destroying
+// a clock erases exactly that entry, so a temporary copy dying re-exposes
+// whichever clock was registered before it instead of leaving nullptr (or a
+// dangling pointer) behind.
+std::vector<const SimClock*>& clock_registry() {
+  static std::vector<const SimClock*> registry;
+  return registry;
+}
 }  // namespace
 
-SimClock::SimClock() { g_current_clock = this; }
+SimClock::SimClock() { clock_registry().push_back(this); }
 
 SimClock::SimClock(const SimClock& other) : now_us_(other.now_us_) {
-  g_current_clock = this;
+  clock_registry().push_back(this);
 }
 
 SimClock::~SimClock() {
-  if (g_current_clock == this) g_current_clock = nullptr;
+  auto& registry = clock_registry();
+  registry.erase(std::remove(registry.begin(), registry.end(), this),
+                 registry.end());
 }
 
-const SimClock* SimClock::current() { return g_current_clock; }
+const SimClock* SimClock::current() {
+  const auto& registry = clock_registry();
+  return registry.empty() ? nullptr : registry.back();
+}
 
 std::string SimClock::to_string() const {
   const std::uint64_t total_ms = now_us_ / 1000;

@@ -26,7 +26,9 @@ class SimClock {
   /// simulated world builds exactly one clock, so "latest wins" names it
   /// deterministically; the tracing layer (src/obs) reads virtual
   /// timestamps through this without threading a clock reference through
-  /// every instrumented call site.
+  /// every instrumented call site. Destroying a copy re-registers the
+  /// previously registered clock, so a short-lived copy never leaves
+  /// current() null (or dangling) while the original is still alive.
   static const SimClock* current();
 
   Micros now_us() const { return now_us_; }

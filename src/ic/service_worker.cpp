@@ -27,4 +27,48 @@ Result<net::HttpResponse> ServiceWorkerClient::process(
   return response;
 }
 
+BnFleetClient::BnFleetClient(net::Network& network, net::Address client,
+                             std::vector<net::Address> replicas,
+                             ServiceWorkerClient worker, Config config)
+    : network_(&network),
+      client_(std::move(client)),
+      worker_(std::move(worker)),
+      failover_(std::move(replicas), config.breaker, "bn"),
+      config_(config),
+      retry_jitter_(to_bytes("bn-fleet-retry-jitter"),
+                    to_bytes(client_.host)) {}
+
+Result<net::HttpResponse> BnFleetClient::call(
+    const net::HttpRequest& request) {
+  obs::Span span("ic.bn_fleet_call");
+  span.attr("path", request.path);
+  SimClock& clock = network_->clock();
+  auto result = net::with_retries(
+      clock, retry_jitter_, config_.retry, net::Deadline::unlimited(),
+      "ic.bn_call", [&]() -> Result<net::HttpResponse> {
+        return failover_.execute(
+            clock, [&](const net::Address& bn) -> Result<net::HttpResponse> {
+              auto raw = network_->call(client_, bn, request.serialize());
+              if (!raw.ok()) return raw.error();
+              auto response = net::HttpResponse::parse(*raw);
+              if (!response.ok()) return response.error();
+              // Threshold verification happens before the response counts
+              // as a success against the replica's breaker.
+              return worker_.process(std::move(*response));
+            });
+      });
+  span.attr("result", result.ok() ? "ok" : result.error().code);
+  return result;
+}
+
+Result<net::HttpResponse> BnFleetClient::get(const std::string& path) {
+  net::HttpRequest request;
+  request.method = "GET";
+  request.path = path;
+  request.host = failover_.replicas().empty()
+                     ? client_.host
+                     : failover_.replicas().front().host;
+  return call(request);
+}
+
 }  // namespace revelio::ic

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "ic/boundary_node.hpp"
+#include "net/resilience.hpp"
 
 namespace revelio::ic {
 
@@ -40,6 +41,43 @@ class ServiceWorkerClient {
   std::uint32_t threshold_;
   std::uint64_t verified_ = 0;
   std::uint64_t rejected_ = 0;
+};
+
+/// Resilient client over a fleet of boundary-node replicas.
+///
+/// Wraps every call in retry + per-replica circuit breakers + ordered
+/// failover, and pushes each response through the installed service worker
+/// before handing it back. The split of responsibilities is deliberate:
+/// transport losses (drops, blackholed BNs) are retried and failed over,
+/// but a response that FAILS THRESHOLD VERIFICATION is returned as the
+/// permanent error `sw.verification_failed` without trying another
+/// replica — a tampered certificate is an attack verdict, not an outage.
+class BnFleetClient {
+ public:
+  struct Config {
+    net::RetryPolicy retry;
+    net::CircuitBreaker::Config breaker;
+  };
+
+  BnFleetClient(net::Network& network, net::Address client,
+                std::vector<net::Address> replicas, ServiceWorkerClient worker,
+                Config config = {});
+
+  /// Sends the request to the first healthy replica and verifies the
+  /// response through the service worker.
+  Result<net::HttpResponse> call(const net::HttpRequest& request);
+  Result<net::HttpResponse> get(const std::string& path);
+
+  const ServiceWorkerClient& worker() const { return worker_; }
+  net::Failover& failover() { return failover_; }
+
+ private:
+  net::Network* network_;
+  net::Address client_;
+  ServiceWorkerClient worker_;
+  net::Failover failover_;
+  Config config_;
+  crypto::HmacDrbg retry_jitter_;
 };
 
 }  // namespace revelio::ic

@@ -27,7 +27,9 @@ struct Reader {
   }
   std::string str() {
     const std::uint32_t len = u32();
-    if (failed || off + len > data.size()) {
+    // Overflow-proof bound: `off + len` could wrap on 32-bit size_t with a
+    // hostile length field, so compare against the remaining bytes instead.
+    if (failed || len > data.size() - off) {
       failed = true;
       return {};
     }
@@ -90,7 +92,9 @@ Result<HttpRequest> HttpRequest::parse(ByteView data) {
     return Error::make("http.bad_request_frame", "headers");
   }
   const std::uint32_t body_len = r.u32();
-  if (r.failed || r.off + body_len > data.size()) {
+  // The declared length must consume exactly the rest of the frame: a
+  // short frame is a truncation, a long one is a smuggled second message.
+  if (r.failed || body_len != data.size() - r.off) {
     return Error::make("http.bad_request_frame", "body");
   }
   req.body = to_bytes(data.subspan(r.off, body_len));
@@ -118,7 +122,7 @@ Result<HttpResponse> HttpResponse::parse(ByteView data) {
     return Error::make("http.bad_response_frame", "headers");
   }
   const std::uint32_t body_len = r.u32();
-  if (r.failed || r.off + body_len > data.size()) {
+  if (r.failed || body_len != data.size() - r.off) {
     return Error::make("http.bad_response_frame", "body");
   }
   resp.body = to_bytes(data.subspan(r.off, body_len));

@@ -11,12 +11,15 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "common/sim_clock.hpp"
+#include "crypto/drbg.hpp"
 
 namespace revelio::net {
 
@@ -45,6 +48,90 @@ struct MitmAction {
   static MitmAction redirect(Address to) {
     return {Kind::kRedirect, {}, std::move(to)};
   }
+};
+
+/// Per-link fault probabilities. Probabilities are evaluated per message
+/// against the plan's DRBG, so a given seed yields one fixed schedule.
+struct LinkFaultProfile {
+  double drop_prob = 0.0;       // message lost; caller pays the call timeout
+  double delay_prob = 0.0;      // extra latency added on top of the link RTT
+  double delay_min_ms = 1.0;
+  double delay_max_ms = 25.0;
+  double duplicate_prob = 0.0;  // handler sees the same message twice
+};
+
+/// Seeded, deterministic fault-injection plan for the network fabric.
+///
+/// All randomness comes from a single HmacDrbg: the same seed plus the same
+/// sequence of decide() calls reproduces the identical fault schedule, so a
+/// chaos run can be replayed bit-for-bit (FoundationDB-style deterministic
+/// simulation). Window faults — partitions, blackholes, flaps — are pure
+/// functions of the SimClock, so they are deterministic in virtual time too.
+class FaultPlan {
+ public:
+  explicit FaultPlan(ByteView seed);
+
+  /// Profile applied to links without an explicit override.
+  void set_default_profile(const LinkFaultProfile& profile);
+  /// Symmetric per-link override keyed on the unordered host pair.
+  void set_link_profile(const std::string& a, const std::string& b,
+                        const LinkFaultProfile& profile);
+
+  /// Symmetric host partition: every message between a and b is unreachable
+  /// until heal()ed. Partition checks precede probabilistic faults.
+  void partition(const std::string& a, const std::string& b);
+  void heal(const std::string& a, const std::string& b);
+
+  /// Endpoint blackhole: messages to `host` during [start_us, end_us) of
+  /// virtual time are unreachable.
+  void blackhole(const std::string& host, SimClock::Micros start_us,
+                 SimClock::Micros end_us);
+  /// Endpoint flap: `host` is down for the first `down_us` of every
+  /// `period_us`, phase-anchored at `phase_us`.
+  void flap(const std::string& host, SimClock::Micros period_us,
+            SimClock::Micros down_us, SimClock::Micros phase_us = 0);
+
+  /// Removes every partition, blackhole and flap and zeroes all
+  /// probabilities; the DRBG keeps its state so a healed plan stays on the
+  /// same deterministic schedule if probabilities are re-armed.
+  void clear_faults();
+
+  /// Verdict for one in-flight message.
+  struct Decision {
+    enum class Verdict { kDeliver, kDrop, kUnreachable };
+    Verdict verdict = Verdict::kDeliver;
+    double extra_delay_ms = 0.0;
+    bool duplicate = false;
+    const char* kind = "";  // metric label when a fault fired
+  };
+  Decision decide(const std::string& from, const std::string& to,
+                  SimClock::Micros now_us);
+
+ private:
+  using HostPair = std::pair<std::string, std::string>;
+  static HostPair key(const std::string& a, const std::string& b);
+  const LinkFaultProfile& profile_for(const std::string& a,
+                                      const std::string& b) const;
+  bool endpoint_down(const std::string& host, SimClock::Micros now_us,
+                     const char** kind) const;
+  /// One DRBG draw mapped to [0, 1).
+  double uniform();
+
+  crypto::HmacDrbg drbg_;
+  LinkFaultProfile default_profile_;
+  std::map<HostPair, LinkFaultProfile> link_profiles_;
+  std::set<HostPair> partitions_;
+  struct Window {
+    SimClock::Micros start_us = 0;
+    SimClock::Micros end_us = 0;
+  };
+  std::map<std::string, std::vector<Window>> blackholes_;
+  struct Flap {
+    SimClock::Micros period_us = 0;
+    SimClock::Micros down_us = 0;
+    SimClock::Micros phase_us = 0;
+  };
+  std::map<std::string, std::vector<Flap>> flaps_;
 };
 
 class Network {
@@ -82,6 +169,19 @@ class Network {
   }
   void clear_interceptor() { interceptor_ = nullptr; }
 
+  /// Installs/clears the chaos fault plan. Faults apply after the attacker
+  /// interceptor has chosen the (possibly redirected) target.
+  void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
+  void clear_fault_plan() { fault_plan_.reset(); }
+  FaultPlan* fault_plan() {
+    return fault_plan_ ? &*fault_plan_ : nullptr;
+  }
+
+  /// Virtual time a caller waits before concluding a message was lost. A
+  /// drop is never free: the full timeout is charged to the SimClock.
+  void set_call_timeout_ms(double ms) { call_timeout_ms_ = ms; }
+  double call_timeout_ms() const { return call_timeout_ms_; }
+
   std::uint64_t messages_delivered() const { return messages_delivered_; }
 
   // --- DNS (service-provider controlled) --------------------------------
@@ -100,9 +200,11 @@ class Network {
 
   SimClock* clock_;
   double default_latency_ms_ = 2.6;  // paper's base RTT is 5.2 ms
+  double call_timeout_ms_ = 1000.0;
   std::map<std::pair<std::string, std::string>, double> link_latency_ms_;
   std::map<Address, Handler> handlers_;
   Interceptor interceptor_;
+  std::optional<FaultPlan> fault_plan_;
   std::map<std::string, std::string> dns_a_;
   std::map<std::string, std::vector<std::string>> dns_txt_;
   std::uint64_t messages_delivered_ = 0;

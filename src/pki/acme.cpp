@@ -55,9 +55,19 @@ std::size_t AcmeIssuer::issued_in_window(
   return it->second.size();
 }
 
+void AcmeIssuer::set_outage_window(std::uint64_t start_us,
+                                   std::uint64_t end_us) {
+  outage_start_us_ = start_us;
+  outage_end_us_ = end_us;
+}
+
 Result<Certificate> AcmeIssuer::finalize(const std::string& account,
                                          const CertificateSigningRequest& csr,
                                          const DnsTxtLookup& lookup) {
+  if (clock_.now_us() >= outage_start_us_ &&
+      clock_.now_us() < outage_end_us_) {
+    return Error::make("acme.unavailable", "CA maintenance window");
+  }
   if (!csr.verify()) {
     return Error::make("acme.bad_csr", "CSR proof-of-possession failed");
   }

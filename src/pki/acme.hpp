@@ -59,6 +59,14 @@ class AcmeIssuer {
   /// rate window (observability for the rate-limit ablation bench).
   std::size_t issued_in_window(const std::string& registered_domain) const;
 
+  /// Simulated CA outage: while the virtual clock is inside
+  /// [start_us, end_us), finalize() fails fast with the *transient* error
+  /// `acme.unavailable` instead of issuing. Lets the chaos layer exercise
+  /// the SP node's issuance retry/backoff path; challenges stay
+  /// outstanding so a retry after the window succeeds.
+  void set_outage_window(std::uint64_t start_us, std::uint64_t end_us);
+  void clear_outage() { set_outage_window(0, 0); }
+
  private:
   std::string registered_domain(const std::string& fqdn) const;
   void prune_window(std::deque<std::uint64_t>& times) const;
@@ -72,6 +80,8 @@ class AcmeIssuer {
   Certificate issuing_cert_;
   // (account, domain) -> outstanding challenge token
   std::map<std::pair<std::string, std::string>, std::string> challenges_;
+  std::uint64_t outage_start_us_ = 0;
+  std::uint64_t outage_end_us_ = 0;
   // registered domain -> issuance timestamps (sliding window)
   mutable std::map<std::string, std::deque<std::uint64_t>> issuance_log_;
 };

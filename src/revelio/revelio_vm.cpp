@@ -53,6 +53,12 @@ Result<std::unique_ptr<RevelioVm>> RevelioVm::deploy(
   node->https_address_ = {node->config_.host, node->config_.https_port};
   node->bootstrap_address_ = {node->config_.host,
                               node->config_.bootstrap_port};
+  std::vector<net::Address> kds_replicas{node->config_.kds_address};
+  kds_replicas.insert(kds_replicas.end(), node->config_.kds_mirrors.begin(),
+                      node->config_.kds_mirrors.end());
+  node->kds_failover_.emplace(std::move(kds_replicas),
+                              net::CircuitBreaker::Config{}, "vm-kds");
+  node->retry_jitter_.reseed(to_bytes(node->config_.host));
 
   // 1. Measured direct boot through the (untrusted) hypervisor.
   vm::Hypervisor hypervisor(sp, network.clock());
@@ -237,9 +243,16 @@ Status RevelioVm::verify_peer_bundle(const EvidenceBundle& bundle) {
     return Error::make("revelio.binding_mismatch",
                        "REPORT_DATA does not cover the payload");
   }
-  auto kds = KdsService::fetch(*network_, https_address_,
-                               config_.kds_address, bundle.report.chip_id,
-                               bundle.report.reported_tcb);
+  auto kds = net::with_retries(
+      network_->clock(), retry_jitter_, config_.retry,
+      net::Deadline::unlimited(), "vm.kds_fetch", [&] {
+        return kds_failover_->execute(
+            network_->clock(), [&](const net::Address& kds_addr) {
+              return KdsService::fetch(*network_, https_address_, kds_addr,
+                                       bundle.report.chip_id,
+                                       bundle.report.reported_tcb);
+            });
+      });
   if (!kds.ok()) return kds.error();
   sevsnp::ReportVerifyOptions options;
   options.now_us = network_->clock().now_us();
@@ -294,7 +307,12 @@ Status RevelioVm::acquire_key_from_leader(const net::Address& leader) {
   request.path = "/revelio/key-request";
   request.host = config_.domain;
   request.body = identity_evidence_.serialize();
-  auto raw = network_->call(https_address_, leader, request.serialize());
+  // The key request is idempotent (the leader just re-wraps the same key),
+  // so resending after a transport loss is safe.
+  auto raw = net::with_retries(
+      network_->clock(), retry_jitter_, config_.retry,
+      net::Deadline::unlimited(), "vm.key_request",
+      [&] { return network_->call(https_address_, leader, request.serialize()); });
   if (!raw.ok()) return raw.error();
   auto response = net::HttpResponse::parse(*raw);
   if (!response.ok()) return response.error();

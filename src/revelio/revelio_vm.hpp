@@ -13,6 +13,7 @@
 
 #include "imagebuild/builder.hpp"
 #include "net/http.hpp"
+#include "net/resilience.hpp"
 #include "net/tls.hpp"
 #include "revelio/evidence.hpp"
 #include "vm/hypervisor.hpp"
@@ -38,6 +39,12 @@ struct RevelioVmConfig {
   std::vector<sevsnp::Measurement> trusted_peer_measurements;
   /// KDS address for VCEK fetches during mutual attestation.
   net::Address kds_address;
+  /// Ordered KDS mirrors tried when the primary is transiently down; the
+  /// fetched chain still has to verify against the pinned AMD root.
+  std::vector<net::Address> kds_mirrors;
+  /// Transient-transport retry policy for KDS fetches and the leader key
+  /// exchange. Defaults to a single attempt (no behavioural change).
+  net::RetryPolicy retry{.max_attempts = 1};
 };
 
 class RevelioVm {
@@ -98,6 +105,9 @@ class RevelioVm {
 
   RevelioVmConfig config_;
   net::Network* network_ = nullptr;
+  /// KDS replica set (primary + mirrors); built once config_ is known.
+  std::optional<net::Failover> kds_failover_;
+  crypto::HmacDrbg retry_jitter_{to_bytes("vm-retry-jitter")};
   std::shared_ptr<storage::MemDisk> disk_;
   std::unique_ptr<vm::GuestVm> guest_;
   vm::BootReport boot_report_;

@@ -32,8 +32,12 @@ Result<pki::CertificateSigningRequest> SpNode::attest_node(
   request.method = "GET";
   request.path = "/revelio/csr-bundle";
   request.host = config_.domain;
-  auto raw = network_->call(own_address_, bootstrap_address,
-                            request.serialize());
+  auto raw = net::with_retries(
+      network_->clock(), retry_jitter_, config_.retry,
+      net::Deadline::unlimited(), "sp.csr_fetch", [&] {
+        return network_->call(own_address_, bootstrap_address,
+                              request.serialize());
+      });
   if (!raw.ok()) return raw.error();
   auto response = net::HttpResponse::parse(*raw);
   if (!response.ok()) return response.error();
@@ -55,9 +59,13 @@ Result<pki::CertificateSigningRequest> SpNode::attest_node(
                        "report comes from an unapproved chip");
   }
   // 4. Signature + endorsement chain via the KDS.
-  auto kds = KdsService::fetch(*network_, own_address_, config_.kds_address,
-                               bundle->report.chip_id,
-                               bundle->report.reported_tcb);
+  auto kds = net::with_retries(
+      network_->clock(), retry_jitter_, config_.retry,
+      net::Deadline::unlimited(), "sp.kds_fetch", [&] {
+        return KdsService::fetch(*network_, own_address_, config_.kds_address,
+                                 bundle->report.chip_id,
+                                 bundle->report.reported_tcb);
+      });
   if (!kds.ok()) return kds.error();
   sevsnp::ReportVerifyOptions options;
   options.now_us = network_->clock().now_us();
@@ -93,22 +101,30 @@ Result<pki::CertificateSigningRequest> SpNode::attest_node(
 }
 
 Result<pki::Certificate> SpNode::obtain_certificate(
-    const pki::CertificateSigningRequest& leader_csr) {
+    const pki::CertificateSigningRequest& leader_csr,
+    const net::Deadline& deadline) {
   // DNS-01: the SP node controls the domain's DNS (the credentials never
   // leave its premises).
   const std::string token =
       acme_->request_challenge(config_.acme_account, config_.domain);
   network_->dns_set_txt("_acme-challenge." + config_.domain, token);
-  auto cert = acme_->finalize(
-      config_.acme_account, leader_csr, [this](const std::string& name) {
-        return network_->dns_txt(name);
+  // An `acme.unavailable` outage is transient and retried on backoff; an
+  // issuance *refusal* (bad CSR, failed challenge, rate limit) is final.
+  auto cert = net::with_retries(
+      network_->clock(), retry_jitter_, config_.retry, deadline,
+      "sp.acme_finalize", [&] {
+        return acme_->finalize(config_.acme_account, leader_csr,
+                               [this](const std::string& name) {
+                                 return network_->dns_txt(name);
+                               });
       });
   network_->dns_clear_txt("_acme-challenge." + config_.domain);
   return cert;
 }
 
 Status SpNode::distribute_certificate(const net::Address& node,
-                                      const net::Address& leader) {
+                                      const net::Address& leader,
+                                      const net::Deadline& deadline) {
   Bytes body;
   append_field(body, certificate_->serialize());
   append_u32be(body, static_cast<std::uint32_t>(chain_.size()));
@@ -121,7 +137,12 @@ Status SpNode::distribute_certificate(const net::Address& node,
   request.path = "/revelio/certificate";
   request.host = config_.domain;
   request.body = std::move(body);
-  auto raw = network_->call(own_address_, node, request.serialize());
+  // Certificate installation is idempotent on the node, so re-sending
+  // after a transport loss is safe.
+  auto raw = net::with_retries(
+      network_->clock(), retry_jitter_, config_.retry, deadline,
+      "sp.distribute",
+      [&] { return network_->call(own_address_, node, request.serialize()); });
   if (!raw.ok()) return raw.error();
   auto response = net::HttpResponse::parse(*raw);
   if (!response.ok()) return response.error();
@@ -138,6 +159,13 @@ Result<std::vector<NodeAttestation>> SpNode::provision_fleet() {
   std::vector<NodeAttestation> outcomes;
   std::optional<net::Address> leader;
   std::optional<pki::CertificateSigningRequest> leader_csr;
+  // The whole round shares one virtual-time budget, threaded through the
+  // issuance and distribution sub-calls.
+  const net::Deadline deadline =
+      config_.provision_deadline_ms > 0.0
+          ? net::Deadline::after_ms(network_->clock(),
+                                    config_.provision_deadline_ms)
+          : net::Deadline::unlimited();
 
   // Round 1: attest everyone; first healthy node becomes the leader.
   for (const auto& [address, chip] : approved_) {
@@ -162,7 +190,7 @@ Result<std::vector<NodeAttestation>> SpNode::provision_fleet() {
   }
 
   // Round 2: one shared certificate for the leader's key (§3.4.6).
-  auto cert = obtain_certificate(*leader_csr);
+  auto cert = obtain_certificate(*leader_csr, deadline);
   if (!cert.ok()) return cert.error();
   certificate_ = std::move(*cert);
   chain_ = acme_->intermediates();
@@ -170,12 +198,13 @@ Result<std::vector<NodeAttestation>> SpNode::provision_fleet() {
   // Round 3: distribute; the leader installs directly, the others fetch the
   // wrapped key from the leader during the same exchange (Fig 4).
   // The leader must be first so it is ready to serve key requests.
-  if (auto st = distribute_certificate(*leader, *leader); !st.ok()) {
+  if (auto st = distribute_certificate(*leader, *leader, deadline); !st.ok()) {
     return st.error();
   }
   for (auto& outcome : outcomes) {
     if (!outcome.attested || outcome.bootstrap_address == *leader) continue;
-    if (auto st = distribute_certificate(outcome.bootstrap_address, *leader);
+    if (auto st = distribute_certificate(outcome.bootstrap_address, *leader,
+                                         deadline);
         !st.ok()) {
       outcome.attested = false;
       outcome.failure = st.error().to_string();

@@ -12,6 +12,7 @@
 #include <set>
 
 #include "net/http.hpp"
+#include "net/resilience.hpp"
 #include "pki/acme.hpp"
 #include "revelio/evidence.hpp"
 #include "revelio/trusted_registry.hpp"
@@ -26,6 +27,12 @@ struct SpNodeConfig {
   /// build, or the trusted registry).
   std::vector<sevsnp::Measurement> expected_measurements;
   std::optional<sevsnp::TcbVersion> minimum_tcb;
+  /// Transient-transport retry policy for node fetches, certificate
+  /// distribution and ACME issuance (an `acme.unavailable` outage is
+  /// transient; every attestation failure is permanent and never retried).
+  net::RetryPolicy retry{.max_attempts = 1};
+  /// Virtual-time budget for one provision_fleet() round (0 = unlimited).
+  double provision_deadline_ms = 0.0;
 };
 
 /// Per-node provisioning outcome (observability + Table 2 accounting).
@@ -60,13 +67,16 @@ class SpNode {
 
  private:
   Result<pki::Certificate> obtain_certificate(
-      const pki::CertificateSigningRequest& leader_csr);
+      const pki::CertificateSigningRequest& leader_csr,
+      const net::Deadline& deadline);
   Status distribute_certificate(const net::Address& node,
-                                const net::Address& leader);
+                                const net::Address& leader,
+                                const net::Deadline& deadline);
 
   net::Network* network_;
   pki::AcmeIssuer* acme_;
   SpNodeConfig config_;
+  crypto::HmacDrbg retry_jitter_{to_bytes("sp-retry-jitter")};
   net::Address own_address_{"sp-node.internal", 9000};
   std::map<net::Address, Bytes> approved_;  // address -> chip id bytes
   std::optional<pki::Certificate> certificate_;

@@ -75,9 +75,20 @@ void Browser::drop_session(const std::string& domain) {
   sessions_.erase(domain);
 }
 
+namespace {
+std::vector<net::Address> kds_replicas(const WebExtensionConfig& config) {
+  std::vector<net::Address> replicas{config.kds_address};
+  replicas.insert(replicas.end(), config.kds_mirrors.begin(),
+                  config.kds_mirrors.end());
+  return replicas;
+}
+}  // namespace
+
 WebExtension::WebExtension(Browser& browser, WebExtensionConfig config)
     : browser_(&browser),
       config_(std::move(config)),
+      kds_failover_(kds_replicas(config_), config_.kds_breaker, "kds"),
+      retry_jitter_(to_bytes("ext-retry-jitter"), to_bytes(browser.host())),
       chain_cache_(std::make_unique<pki::ChainVerificationCache>()) {}
 
 void WebExtension::register_site(const std::string& domain,
@@ -105,7 +116,8 @@ Result<bool> WebExtension::discover(const std::string& domain,
 }
 
 Result<KdsService::VcekResponse> WebExtension::fetch_vcek(
-    const sevsnp::ChipId& chip, sevsnp::TcbVersion tcb) {
+    const sevsnp::ChipId& chip, sevsnp::TcbVersion tcb,
+    const net::Deadline& deadline) {
   const auto key = std::make_pair(chip.bytes(), tcb.encode());
   if (config_.cache_vcek) {
     const auto it = vcek_cache_.find(key);
@@ -118,9 +130,17 @@ Result<KdsService::VcekResponse> WebExtension::fetch_vcek(
   obs::Span span("ext.kds_fetch");
   ++kds_fetches_;
   obs::metrics().counter("ext.kds_fetch.count").inc();
-  auto response = KdsService::fetch(browser_->network(),
-                                    {browser_->host(), 39999},
-                                    config_.kds_address, chip, tcb);
+  SimClock& clock = browser_->network().clock();
+  // Retry wraps failover: each attempt sweeps the replica list (skipping
+  // open breakers), and the backoff between attempts is what lets an open
+  // breaker reach its half-open probe window.
+  auto response = net::with_retries(
+      clock, retry_jitter_, config_.retry, deadline, "ext.kds_fetch", [&] {
+        return kds_failover_.execute(clock, [&](const net::Address& kds) {
+          return KdsService::fetch(browser_->network(),
+                                   {browser_->host(), 39999}, kds, chip, tcb);
+        });
+      });
   span.attr("result", response.ok() ? "ok" : response.error().code);
   if (!response.ok()) return response.error();
   if (config_.cache_vcek) vcek_cache_[key] = *response;
@@ -129,10 +149,11 @@ Result<KdsService::VcekResponse> WebExtension::fetch_vcek(
 
 Result<AttestationChecks> WebExtension::attest(const std::string& domain,
                                                std::uint16_t port,
-                                               const Bytes& session_key) {
+                                               const Bytes& session_key,
+                                               const net::Deadline& deadline) {
   obs::Span span("ext.attest");
   span.attr("domain", domain);
-  auto checks = attest_impl(domain, port, session_key);
+  auto checks = attest_impl(domain, port, session_key, deadline);
   const std::string result =
       !checks.ok() ? checks.error().code
                    : (checks->all_ok() ? "ok" : checks->failure_step);
@@ -143,17 +164,21 @@ Result<AttestationChecks> WebExtension::attest(const std::string& domain,
   return checks;
 }
 
-Result<AttestationChecks> WebExtension::attest_impl(const std::string& domain,
-                                                    std::uint16_t port,
-                                                    const Bytes& session_key) {
+Result<AttestationChecks> WebExtension::attest_impl(
+    const std::string& domain, std::uint16_t port, const Bytes& session_key,
+    const net::Deadline& deadline) {
   ++attestations_;
   AttestationChecks checks;
   const SiteRegistration& site = sites_.at(domain);
 
   // 1. Fetch the evidence from the well-known URL over the same session.
   obs::Span evidence_span("ext.evidence_fetch");
-  auto evidence_response =
-      browser_->get(domain, port, "/.well-known/revelio-attestation");
+  SimClock& clock = browser_->network().clock();
+  auto evidence_response = net::with_retries(
+      clock, retry_jitter_, config_.retry, deadline, "ext.evidence_fetch",
+      [&] {
+        return browser_->get(domain, port, "/.well-known/revelio-attestation");
+      });
   if (!evidence_response.ok() || evidence_response->response.status != 200) {
     evidence_span.attr("result", "fetch_failed");
     checks.failure = "evidence fetch failed";
@@ -180,7 +205,8 @@ Result<AttestationChecks> WebExtension::attest_impl(const std::string& domain,
   checks.binding_ok = true;
 
   // 3. VCEK chain from the AMD KDS (cached across sessions).
-  auto kds = fetch_vcek(bundle->report.chip_id, bundle->report.reported_tcb);
+  auto kds = fetch_vcek(bundle->report.chip_id, bundle->report.reported_tcb,
+                        deadline);
   if (!kds.ok()) {
     checks.failure = "VCEK fetch failed: " + kds.error().to_string();
     checks.failure_step = "kds_fetch";
@@ -249,7 +275,14 @@ Result<WebExtension::Verified> WebExtension::fetch(
   obs::Span span("ext.session_validate");
   span.attr("domain", domain);
   span.attr("path", request.path);
-  auto result = browser_->fetch(domain, port, request);
+  SimClock& clock = browser_->network().clock();
+  const net::Deadline deadline =
+      config_.attest_deadline_ms > 0.0
+          ? net::Deadline::after_ms(clock, config_.attest_deadline_ms)
+          : net::Deadline::unlimited();
+  auto result = net::with_retries(
+      clock, retry_jitter_, config_.retry, deadline, "ext.fetch",
+      [&] { return browser_->fetch(domain, port, request); });
   if (!result.ok()) {
     span.attr("mode", "fetch");
     span.attr("result", result.error().code);
@@ -263,7 +296,7 @@ Result<WebExtension::Verified> WebExtension::fetch(
 
   if (need_full_attestation) {
     span.attr("mode", "attest");
-    auto checks = attest(domain, port, result->tls_server_key);
+    auto checks = attest(domain, port, result->tls_server_key, deadline);
     if (!checks.ok()) {
       span.attr("result", checks.error().code);
       return checks.error();

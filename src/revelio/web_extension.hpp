@@ -15,6 +15,7 @@
 #include <map>
 
 #include "net/http.hpp"
+#include "net/resilience.hpp"
 #include "net/tls.hpp"
 #include "revelio/evidence.hpp"
 #include "revelio/trusted_registry.hpp"
@@ -97,10 +98,25 @@ struct AttestationChecks {
 
 struct WebExtensionConfig {
   net::Address kds_address;
+  /// Read-only KDS mirrors tried, in order, when kds_address (or an earlier
+  /// mirror) is transiently unreachable or its breaker is open. The VCEK
+  /// chain is self-authenticating (it must chain to the pinned AMD root),
+  /// so fetching it from any mirror is safe.
+  std::vector<net::Address> kds_mirrors;
   bool cache_vcek = true;
   /// Simulated cost of querying the browser's connection context on every
   /// monitored request (the paper's 115.0 ms vs 100.9 ms plain delta).
   double connection_check_overhead_ms = 14.0;
+  /// Transient-transport retry policy for page fetches, evidence fetches
+  /// and KDS calls. max_attempts = 1 keeps the resilience layer in the
+  /// path (counters, spans, failover) without changing timing — chaos
+  /// configs raise it.
+  net::RetryPolicy retry{.max_attempts = 1};
+  /// Virtual-time budget for one full attestation pass (0 = unlimited),
+  /// threaded as a Deadline through evidence + KDS sub-calls.
+  double attest_deadline_ms = 0.0;
+  /// Breaker config shared by the per-KDS-replica circuit breakers.
+  net::CircuitBreaker::Config kds_breaker;
 };
 
 class WebExtension {
@@ -153,15 +169,22 @@ class WebExtension {
   /// attest_impl, which holds the actual check sequence.
   Result<AttestationChecks> attest(const std::string& domain,
                                    std::uint16_t port,
-                                   const Bytes& session_key);
+                                   const Bytes& session_key,
+                                   const net::Deadline& deadline);
   Result<AttestationChecks> attest_impl(const std::string& domain,
                                         std::uint16_t port,
-                                        const Bytes& session_key);
+                                        const Bytes& session_key,
+                                        const net::Deadline& deadline);
   Result<KdsService::VcekResponse> fetch_vcek(const sevsnp::ChipId& chip,
-                                              sevsnp::TcbVersion tcb);
+                                              sevsnp::TcbVersion tcb,
+                                              const net::Deadline& deadline);
 
   Browser* browser_;
   WebExtensionConfig config_;
+  /// KDS replica list (kds_address first, then mirrors), one breaker each.
+  net::Failover kds_failover_;
+  /// Seeded jitter source for retry backoff; deterministic per extension.
+  crypto::HmacDrbg retry_jitter_;
   std::map<std::string, SiteRegistration> sites_;
   std::map<std::string, DomainState> state_;
   /// Memoizes the ARK -> ASK -> VCEK chain walk across attestations.

@@ -116,7 +116,15 @@ Result<Bytes> GuestChannel::transact(ByteView plaintext_request) {
   const std::uint64_t seq = guest_seq_;
   const Bytes sealed = seal_request(plaintext_request);
   ++guest_seq_;
-  auto sealed_response = deliver_to_sp(sealed);
+  const auto shuttle = [&]() -> Result<Bytes> {
+    return transport_ ? transport_(sealed) : deliver_to_sp(sealed);
+  };
+  auto sealed_response =
+      clock_ != nullptr && retry_
+          ? net::with_retries(*clock_, retry_jitter_, *retry_,
+                              net::Deadline::unlimited(), "snp.guest_channel",
+                              shuttle)
+          : shuttle();
   if (!sealed_response.ok()) return sealed_response.error();
   auto response =
       aead_.open(make_aad(kDirSpToGuest, seq), *sealed_response);

@@ -9,15 +9,23 @@
 // (§2.1.1, §2.1.3) provides.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 
+#include "common/sim_clock.hpp"
 #include "crypto/modes.hpp"
+#include "net/resilience.hpp"
 #include "sevsnp/amd_sp.hpp"
 
 namespace revelio::sevsnp {
 
 class GuestChannel {
  public:
+  /// The hypervisor shuttle: carries a sealed request to the SP and brings
+  /// the sealed response back. The default transport delivers directly;
+  /// tests and the chaos layer install flaky ones.
+  using Transport = std::function<Result<Bytes>(ByteView sealed_request)>;
   /// Opens the channel for the currently running guest; fails if no
   /// measured guest is active.
   static Result<GuestChannel> open(AmdSp& sp);
@@ -42,6 +50,24 @@ class GuestChannel {
 
   std::uint64_t guest_sequence() const { return guest_seq_; }
 
+  /// Replaces the hypervisor shuttle (pass nullptr to restore the direct
+  /// path). The shuttle is untrusted: it may drop or corrupt ciphertexts,
+  /// never read or forge them.
+  void set_transport(Transport transport) {
+    transport_ = std::move(transport);
+  }
+
+  /// Arms transport retries: a transiently lost *request* is resent
+  /// verbatim (safe — the SP never saw it, so the sequence still matches).
+  /// If the SP processed the request and the *response* was lost, the
+  /// resend fails authentication and the channel fails closed with
+  /// `snp.channel_auth_failed`: the guest cannot distinguish that from a
+  /// replay attack and must not silently resynchronise.
+  void set_resilience(SimClock& clock, net::RetryPolicy policy) {
+    clock_ = &clock;
+    retry_ = policy;
+  }
+
  private:
   GuestChannel(AmdSp& sp, Bytes vmpck);
 
@@ -52,6 +78,10 @@ class GuestChannel {
   crypto::AeadCtrHmac aead_;
   std::uint64_t guest_seq_ = 1;  // next request sequence number
   std::uint64_t sp_expected_seq_ = 1;
+  Transport transport_;
+  SimClock* clock_ = nullptr;
+  std::optional<net::RetryPolicy> retry_;
+  crypto::HmacDrbg retry_jitter_{to_bytes("guest-channel-retry-jitter")};
 };
 
 }  // namespace revelio::sevsnp

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/bytes.hpp"
 #include "common/hex.hpp"
 #include "common/result.hpp"
@@ -114,6 +116,51 @@ TEST(SimClock, FormatsTimestamp) {
   SimClock clock;
   clock.advance_ms(3723004.0);  // 1h 2m 3s 4ms
   EXPECT_EQ(clock.to_string(), "T+01:02:03.004");
+}
+
+// Regression: destroying a copied clock used to null out current() even
+// though the original was still alive, silently zeroing virtual timestamps
+// in the tracer. The registry must re-expose the surviving clock.
+TEST(SimClock, CurrentSurvivesCopyDestruction) {
+  SimClock original;
+  original.advance_ms(5.0);
+  ASSERT_EQ(SimClock::current(), &original);
+  {
+    SimClock copy(original);
+    EXPECT_EQ(SimClock::current(), &copy);  // latest wins while alive
+    EXPECT_EQ(copy.now_us(), original.now_us());
+  }
+  EXPECT_EQ(SimClock::current(), &original);  // not nullptr, not dangling
+}
+
+TEST(SimClock, CurrentHandlesInterleavedLifetimes) {
+  auto a = std::make_unique<SimClock>();
+  auto b = std::make_unique<SimClock>(*a);
+  auto c = std::make_unique<SimClock>(*b);
+  EXPECT_EQ(SimClock::current(), c.get());
+  b.reset();  // destroying a middle clock keeps the latest survivor
+  EXPECT_EQ(SimClock::current(), c.get());
+  c.reset();
+  EXPECT_EQ(SimClock::current(), a.get());
+  a.reset();
+  EXPECT_EQ(SimClock::current(), nullptr);
+}
+
+TEST(Result, ErrorTaxonomyTransientVsPermanent) {
+  // Transport losses a retry can cure.
+  EXPECT_TRUE(Error::make("net.timeout").is_transient());
+  EXPECT_TRUE(Error::make("net.drop").is_transient());
+  EXPECT_TRUE(Error::make("net.unreachable").is_transient());
+  EXPECT_TRUE(Error::make("net.connection_refused").is_transient());
+  EXPECT_TRUE(Error::make("acme.unavailable").is_transient());
+  // Fail-closed verdicts that must never be retried.
+  EXPECT_FALSE(Error::make("snp.signature_invalid").is_transient());
+  EXPECT_FALSE(Error::make("snp.vcek_chain_invalid").is_transient());
+  EXPECT_FALSE(Error::make("tls.untrusted_certificate").is_transient());
+  EXPECT_FALSE(Error::make("extension.attestation_failed").is_transient());
+  EXPECT_FALSE(Error::make("sw.verification_failed").is_transient());
+  EXPECT_FALSE(Error::make("net.deadline_exceeded").is_transient());
+  EXPECT_FALSE(Error::make("acme.rate_limited").is_transient());
 }
 
 TEST(Rng, DeterministicForSameSeed) {

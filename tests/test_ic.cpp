@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "ic/boundary_node.hpp"
 #include "ic/service_worker.hpp"
 #include "ic/canister.hpp"
@@ -380,6 +382,89 @@ TEST_F(BnFixture, WorkerPassesHonestTrafficBlocksTampered) {
   bn.set_tamper_mode(BnTamperMode::kStripCertificates);
   EXPECT_FALSE(worker->process(bn.handle(query)).ok());
   EXPECT_EQ(worker->rejected_count(), 2u);
+}
+
+// ---------------------------------------------------------- BnFleetClient
+
+struct BnFleetFixture : BnFixture {
+  BnFleetFixture() : network(clock), bn2(subnet) {
+    listen("bn1.ic.example", bn, bn1_handled);
+    listen("bn2.ic.example", bn2, bn2_handled);
+  }
+
+  void listen(const std::string& host, BoundaryNode& node, int& counter) {
+    network.listen({host, 443},
+                   [&node, &counter](ByteView raw, const net::Address&) {
+                     ++counter;
+                     auto req = net::HttpRequest::parse(raw);
+                     if (!req.ok()) {
+                       return net::HttpResponse::error(400, "bad frame")
+                           .serialize();
+                     }
+                     return node.handle(*req).serialize();
+                   });
+  }
+
+  ServiceWorkerClient make_worker() {
+    auto resp = bn.handle(get("/sw.js"));
+    auto worker = ServiceWorkerClient::install(
+        resp.body, ServiceWorkerClient::reference_digest(),
+        subnet.public_keys(), subnet.threshold());
+    EXPECT_TRUE(worker.ok());
+    return *worker;
+  }
+
+  BnFleetClient make_client() {
+    BnFleetClient::Config config;
+    config.retry.max_attempts = 2;
+    config.retry.jitter = 0.0;
+    return BnFleetClient(network, {"laptop", 40000},
+                         {{"bn1.ic.example", 443}, {"bn2.ic.example", 443}},
+                         make_worker(), config);
+  }
+
+  SimClock clock;
+  net::Network network;
+  BoundaryNode bn2;
+  int bn1_handled = 0;
+  int bn2_handled = 0;
+};
+
+TEST_F(BnFleetFixture, CallVerifiesThroughPrimary) {
+  auto client = make_client();
+  auto resp = client.get("/api/counter/query/get");
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(client.worker().verified_count(), 1u);
+  EXPECT_EQ(bn1_handled, 1);
+  EXPECT_EQ(bn2_handled, 0);
+}
+
+TEST_F(BnFleetFixture, FailsOverWhenPrimaryIsBlackholed) {
+  net::FaultPlan plan(to_bytes(std::string_view("bn-hole")));
+  plan.blackhole("bn1.ic.example", 0,
+                 std::numeric_limits<SimClock::Micros>::max());
+  network.set_fault_plan(std::move(plan));
+  auto client = make_client();
+  auto resp = client.get("/api/counter/query/get");
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  EXPECT_EQ(bn1_handled, 0);
+  EXPECT_EQ(bn2_handled, 1) << "the backup replica served the call";
+  EXPECT_EQ(client.worker().verified_count(), 1u)
+      << "failed-over responses still pass threshold verification";
+}
+
+TEST_F(BnFleetFixture, TamperedResponseNeverFailsOver) {
+  bn.set_tamper_mode(BnTamperMode::kTamperResponses);
+  auto client = make_client();
+  auto resp = client.get("/api/counter/query/get");
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error().code, "sw.verification_failed");
+  EXPECT_EQ(bn1_handled, 1);
+  EXPECT_EQ(bn2_handled, 0)
+      << "a tampered certificate is an attack verdict, not an outage: the "
+         "client must not mask it by asking another replica";
+  EXPECT_EQ(client.worker().rejected_count(), 1u);
 }
 
 TEST_F(BnFixture, UnknownRoutesAre404) {

@@ -2,7 +2,9 @@
 
 #include "net/http.hpp"
 #include "net/network.hpp"
+#include "net/resilience.hpp"
 #include "net/tls.hpp"
+#include "obs/metrics.hpp"
 #include "pki/ca.hpp"
 
 namespace revelio::net {
@@ -65,9 +67,13 @@ TEST_F(NetFixture, InterceptorCanDrop) {
   network.set_interceptor([](const Address&, const Address&, ByteView) {
     return MitmAction::drop();
   });
+  network.set_call_timeout_ms(500.0);
+  const double before = clock.now_ms();
   auto r = network.call({"c", 1}, {"s", 80}, {});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.error().code, "net.timeout");
+  // A drop is never free: the caller waits out the configured timeout.
+  EXPECT_DOUBLE_EQ(clock.now_ms() - before, 500.0);
   network.clear_interceptor();
   EXPECT_TRUE(network.call({"c", 1}, {"s", 80}, {}).ok());
 }
@@ -119,6 +125,361 @@ TEST_F(NetFixture, DnsTxtRecords) {
   EXPECT_TRUE(network.dns_txt("x").empty());
 }
 
+// ------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  LinkFaultProfile lossy;
+  lossy.drop_prob = 0.2;
+  lossy.delay_prob = 0.3;
+  lossy.duplicate_prob = 0.1;
+  FaultPlan a(to_bytes(std::string_view("chaos-seed")));
+  FaultPlan b(to_bytes(std::string_view("chaos-seed")));
+  FaultPlan c(to_bytes(std::string_view("other-seed")));
+  a.set_default_profile(lossy);
+  b.set_default_profile(lossy);
+  c.set_default_profile(lossy);
+  bool c_diverged = false;
+  for (int i = 0; i < 300; ++i) {
+    const auto da = a.decide("x", "y", 0);
+    const auto db = b.decide("x", "y", 0);
+    const auto dc = c.decide("x", "y", 0);
+    EXPECT_EQ(da.verdict, db.verdict);
+    EXPECT_DOUBLE_EQ(da.extra_delay_ms, db.extra_delay_ms);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    if (da.verdict != dc.verdict || da.extra_delay_ms != dc.extra_delay_ms ||
+        da.duplicate != dc.duplicate) {
+      c_diverged = true;
+    }
+  }
+  EXPECT_TRUE(c_diverged) << "a different seed must change the schedule";
+}
+
+TEST_F(NetFixture, FaultPlanDropChargesConfiguredTimeout) {
+  network.listen({"s", 80}, [](ByteView, const Address&) {
+    return to_bytes(std::string_view("ok"));
+  });
+  LinkFaultProfile always_drop;
+  always_drop.drop_prob = 1.0;
+  FaultPlan plan(to_bytes(std::string_view("drop")));
+  plan.set_default_profile(always_drop);
+  network.set_fault_plan(std::move(plan));
+  network.set_call_timeout_ms(250.0);
+  const auto before_faults =
+      obs::metrics().counter_value("net.fault.injected", {{"kind", "drop"}});
+  const double before_ms = clock.now_ms();
+  auto r = network.call({"c", 1}, {"s", 80}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "net.timeout");
+  EXPECT_TRUE(r.error().is_transient());
+  EXPECT_DOUBLE_EQ(clock.now_ms() - before_ms, 250.0)
+      << "a drop costs the full configured timeout, never zero";
+  EXPECT_EQ(obs::metrics().counter_value("net.fault.injected",
+                                         {{"kind", "drop"}}),
+            before_faults + 1);
+}
+
+TEST_F(NetFixture, FaultPlanPartitionIsUnreachableUntilHealed) {
+  network.listen({"s", 80}, [](ByteView, const Address&) {
+    return to_bytes(std::string_view("ok"));
+  });
+  FaultPlan plan(to_bytes(std::string_view("split")));
+  plan.partition("c", "s");
+  network.set_fault_plan(std::move(plan));
+  auto r = network.call({"c", 1}, {"s", 80}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "net.unreachable");
+  network.fault_plan()->heal("c", "s");
+  EXPECT_TRUE(network.call({"c", 1}, {"s", 80}, {}).ok());
+}
+
+TEST_F(NetFixture, FaultPlanBlackholeWindowExpiresWithVirtualTime) {
+  network.listen({"s", 80}, [](ByteView, const Address&) {
+    return to_bytes(std::string_view("ok"));
+  });
+  FaultPlan plan(to_bytes(std::string_view("hole")));
+  plan.blackhole("s", 0, 1'000'000);  // down for the first virtual second
+  network.set_fault_plan(std::move(plan));
+  auto r = network.call({"c", 1}, {"s", 80}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "net.unreachable");
+  // The failed call itself charged the timeout (1000 ms), which carries the
+  // clock past the window's end: the endpoint is back.
+  EXPECT_GE(clock.now_us(), 1'000'000u);
+  EXPECT_TRUE(network.call({"c", 1}, {"s", 80}, {}).ok());
+}
+
+TEST_F(NetFixture, FaultPlanFlapAlternatesAvailability) {
+  network.listen({"s", 80}, [](ByteView, const Address&) {
+    return to_bytes(std::string_view("ok"));
+  });
+  FaultPlan plan(to_bytes(std::string_view("flap")));
+  // Down for the first 4 ms of every 10 ms period.
+  plan.flap("s", 10'000, 4'000);
+  network.set_fault_plan(std::move(plan));
+  network.set_call_timeout_ms(1.0);
+  EXPECT_EQ(network.call({"c", 1}, {"s", 80}, {}).error().code,
+            "net.unreachable");  // t=0: inside the down window
+  clock.advance_us(5'000 - clock.now_us());
+  EXPECT_TRUE(network.call({"c", 1}, {"s", 80}, {}).ok());  // t=5ms: up
+  clock.advance_us(11'000 - clock.now_us());
+  EXPECT_EQ(network.call({"c", 1}, {"s", 80}, {}).error().code,
+            "net.unreachable");  // t=11ms: next period's down window
+}
+
+TEST_F(NetFixture, FaultPlanDuplicateDeliversHandlerTwice) {
+  int handled = 0;
+  network.listen({"s", 80}, [&](ByteView, const Address&) {
+    ++handled;
+    return to_bytes("reply-" + std::to_string(handled));
+  });
+  LinkFaultProfile dup;
+  dup.duplicate_prob = 1.0;
+  FaultPlan plan(to_bytes(std::string_view("dup")));
+  plan.set_default_profile(dup);
+  network.set_fault_plan(std::move(plan));
+  auto r = network.call({"c", 1}, {"s", 80}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string(*r), "reply-1") << "caller gets the first response";
+  EXPECT_EQ(handled, 2) << "the duplicate still reaches the handler";
+}
+
+TEST_F(NetFixture, FaultPlanDelayAddsLatencyOnTopOfRtt) {
+  network.listen({"s", 80}, [](ByteView, const Address&) {
+    return to_bytes(std::string_view("ok"));
+  });
+  network.set_default_latency_ms(5.0);
+  LinkFaultProfile slow;
+  slow.delay_prob = 1.0;
+  slow.delay_min_ms = 7.0;
+  slow.delay_max_ms = 7.0;
+  FaultPlan plan(to_bytes(std::string_view("slow")));
+  plan.set_default_profile(slow);
+  network.set_fault_plan(std::move(plan));
+  const double before = clock.now_ms();
+  ASSERT_TRUE(network.call({"c", 1}, {"s", 80}, {}).ok());
+  EXPECT_DOUBLE_EQ(clock.now_ms() - before, 10.0 + 7.0);
+}
+
+TEST_F(NetFixture, FaultPlanClearFaultsRestoresCleanDelivery) {
+  network.listen({"s", 80}, [](ByteView, const Address&) {
+    return to_bytes(std::string_view("ok"));
+  });
+  LinkFaultProfile lossy;
+  lossy.drop_prob = 1.0;
+  FaultPlan plan(to_bytes(std::string_view("clear")));
+  plan.set_default_profile(lossy);
+  plan.partition("c", "s");
+  network.set_fault_plan(std::move(plan));
+  EXPECT_FALSE(network.call({"c", 1}, {"s", 80}, {}).ok());
+  network.fault_plan()->clear_faults();
+  EXPECT_TRUE(network.call({"c", 1}, {"s", 80}, {}).ok());
+}
+
+// ------------------------------------------------------------ Resilience
+
+struct ResilienceFixture : ::testing::Test {
+  SimClock clock;
+  HmacDrbg jitter{to_bytes(std::string_view("resilience-tests"))};
+  RetryPolicy no_jitter(std::uint32_t attempts) {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    p.jitter = 0.0;  // deterministic backoff for exact clock assertions
+    return p;
+  }
+};
+
+TEST_F(ResilienceFixture, RetriesTransientAndChargesBackoffToClock) {
+  int calls = 0;
+  auto r = with_retries(clock, jitter, no_jitter(4), Deadline::unlimited(),
+                        "test.op", [&]() -> Result<int> {
+                          if (++calls < 3) return Error::make("net.timeout");
+                          return 7;
+                        });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(calls, 3);
+  // Two backoffs: 50 ms then 100 ms, all virtual.
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 150.0);
+}
+
+TEST_F(ResilienceFixture, NeverRetriesPermanentErrors) {
+  int calls = 0;
+  auto r = with_retries(clock, jitter, no_jitter(5), Deadline::unlimited(),
+                        "test.op", [&]() -> Result<int> {
+                          ++calls;
+                          return Error::make("tls.untrusted_certificate");
+                        });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "tls.untrusted_certificate");
+  EXPECT_EQ(calls, 1) << "a fail-closed verdict must not be retried";
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 0.0) << "no backoff charged";
+}
+
+TEST_F(ResilienceFixture, ReturnsLastTransientWhenAttemptsRunOut) {
+  int calls = 0;
+  auto r = with_retries(clock, jitter, no_jitter(3), Deadline::unlimited(),
+                        "test.op", [&]() -> Result<int> {
+                          ++calls;
+                          return Error::make("net.drop");
+                        });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "net.drop");
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(ResilienceFixture, DeadlineExhaustionIsPermanent) {
+  int calls = 0;
+  const Deadline deadline = Deadline::after_ms(clock, 200.0);
+  auto r = with_retries(clock, jitter, no_jitter(10), deadline, "test.op",
+                        [&]() -> Result<int> {
+                          ++calls;
+                          clock.advance_ms(60.0);  // the call itself is slow
+                          return Error::make("net.timeout");
+                        });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "net.deadline_exceeded");
+  EXPECT_FALSE(r.error().is_transient())
+      << "budget exhaustion must not be retried by an outer layer";
+  EXPECT_EQ(calls, 2) << "backoff was clamped to the remaining budget";
+}
+
+TEST_F(ResilienceFixture, DeadlineCapsChildBudgets) {
+  const Deadline parent = Deadline::after_ms(clock, 100.0);
+  const Deadline child = parent.capped_ms(clock, 500.0);
+  EXPECT_DOUBLE_EQ(child.remaining_ms(clock), 100.0)
+      << "a child never outlives its parent";
+  const Deadline small = parent.capped_ms(clock, 10.0);
+  EXPECT_DOUBLE_EQ(small.remaining_ms(clock), 10.0);
+  EXPECT_TRUE(Deadline::unlimited().is_unlimited());
+  EXPECT_FALSE(Deadline::unlimited().expired(clock));
+  clock.advance_ms(11.0);
+  EXPECT_TRUE(small.expired(clock));
+  EXPECT_DOUBLE_EQ(small.remaining_ms(clock), 0.0);
+}
+
+TEST_F(ResilienceFixture, BackoffIsCappedAndJittered) {
+  RetryPolicy p;
+  p.initial_backoff_ms = 50.0;
+  p.multiplier = 2.0;
+  p.max_backoff_ms = 300.0;
+  p.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(p.backoff_ms(1, jitter), 50.0);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(2, jitter), 100.0);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(4, jitter), 300.0) << "capped";
+  p.jitter = 0.25;
+  for (int i = 0; i < 50; ++i) {
+    const double b = p.backoff_ms(1, jitter);
+    EXPECT_GE(b, 50.0 * 0.75);
+    EXPECT_LE(b, 50.0 * 1.25);
+  }
+}
+
+TEST_F(ResilienceFixture, CircuitBreakerFullStateMachine) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 2;
+  cfg.open_ms = 100.0;
+  CircuitBreaker br("kds.example:443", cfg);
+  EXPECT_EQ(br.state(clock), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(br.allow(clock));
+
+  br.on_failure(clock);
+  EXPECT_EQ(br.state(clock), CircuitBreaker::State::kClosed);
+  br.on_failure(clock);  // threshold reached
+  EXPECT_EQ(br.state(clock), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(br.allow(clock)) << "open breaker short-circuits";
+  EXPECT_EQ(br.times_opened(), 1u);
+
+  clock.advance_ms(100.0);  // cooldown elapses
+  EXPECT_EQ(br.state(clock), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(br.allow(clock)) << "half-open admits a probe";
+
+  br.on_failure(clock);  // failed probe re-opens for a fresh cooldown
+  EXPECT_EQ(br.state(clock), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(br.times_opened(), 2u);
+  clock.advance_ms(99.0);
+  EXPECT_FALSE(br.allow(clock)) << "fresh cooldown, not the stale one";
+  clock.advance_ms(1.0);
+  EXPECT_TRUE(br.allow(clock));
+
+  br.on_success(clock);  // successful probe closes
+  EXPECT_EQ(br.state(clock), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(br.allow(clock));
+}
+
+TEST_F(ResilienceFixture, FailoverSwitchesToHealthyReplica) {
+  Failover fo({{"primary", 443}, {"backup", 443}}, {}, "test");
+  const auto switches_before =
+      obs::metrics().counter_value("failover.switch.count",
+                                   {{"service", "test"}});
+  std::vector<std::string> tried;
+  auto r = fo.execute(clock, [&](const Address& a) -> Result<int> {
+    tried.push_back(a.host);
+    if (a.host == "primary") return Error::make("net.timeout");
+    return 1;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(tried, (std::vector<std::string>{"primary", "backup"}));
+  EXPECT_EQ(obs::metrics().counter_value("failover.switch.count",
+                                         {{"service", "test"}}),
+            switches_before + 1);
+}
+
+TEST_F(ResilienceFixture, FailoverReturnsPermanentErrorImmediately) {
+  Failover fo({{"primary", 443}, {"backup", 443}}, {}, "test");
+  std::vector<std::string> tried;
+  auto r = fo.execute(clock, [&](const Address& a) -> Result<int> {
+    tried.push_back(a.host);
+    return Error::make("snp.signature_invalid");
+  });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "snp.signature_invalid");
+  EXPECT_EQ(tried, (std::vector<std::string>{"primary"}))
+      << "verification failures never fail over";
+}
+
+TEST_F(ResilienceFixture, FailoverSkipsOpenBreakersAndRecovers) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_ms = 200.0;
+  Failover fo({{"primary", 443}, {"backup", 443}}, cfg, "test");
+  int primary_calls = 0;
+  auto attempt = [&]() {
+    return fo.execute(clock, [&](const Address& a) -> Result<int> {
+      if (a.host == "primary") {
+        ++primary_calls;
+        return Error::make("net.timeout");
+      }
+      return 1;
+    });
+  };
+  EXPECT_TRUE(attempt().ok());  // primary fails once -> breaker opens
+  EXPECT_EQ(primary_calls, 1);
+  EXPECT_TRUE(attempt().ok());  // open breaker: primary not even tried
+  EXPECT_EQ(primary_calls, 1);
+  clock.advance_ms(200.0);      // cooldown: half-open admits a probe again
+  EXPECT_TRUE(attempt().ok());
+  EXPECT_EQ(primary_calls, 2);
+}
+
+TEST_F(ResilienceFixture, AllReplicasShortCircuitedYieldsTransientError) {
+  CircuitBreaker::Config cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_ms = 1000.0;
+  Failover fo({{"only", 443}}, cfg, "test");
+  auto fail = [&]() {
+    return fo.execute(clock,
+                      [&](const Address&) -> Result<int> {
+                        return Error::make("net.timeout");
+                      });
+  };
+  EXPECT_EQ(fail().error().code, "net.timeout");
+  const auto r = fail();  // breaker now open: nothing is attempted
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "net.unreachable");
+  EXPECT_TRUE(r.error().is_transient())
+      << "an outer retry may wait for the breaker to half-open";
+}
+
 // ------------------------------------------------------------------ HTTP
 
 TEST(Http, RequestRoundTrip) {
@@ -148,6 +509,90 @@ TEST(Http, ResponseRoundTrip) {
 TEST(Http, ParseRejectsGarbage) {
   EXPECT_FALSE(HttpRequest::parse(to_bytes(std::string_view("junk"))).ok());
   EXPECT_FALSE(HttpResponse::parse({}).ok());
+}
+
+TEST(Http, ParseRejectsOversizedHeaderCount) {
+  // A frame claiming 2^32-1 headers (or anything past the 256 cap) must be
+  // rejected before the parser loops on it.
+  Bytes frame = to_bytes(std::string_view("HTQ1"));
+  for (int i = 0; i < 3; ++i) append_u32be(frame, 0);  // method/path/host ""
+  append_u32be(frame, 0xffffffffu);                    // header count
+  auto r = HttpRequest::parse(frame);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "http.bad_request_frame");
+
+  Bytes capped = to_bytes(std::string_view("HTS1"));
+  append_u32be(capped, 200);  // status
+  append_u32be(capped, 257);  // one past the cap
+  EXPECT_FALSE(HttpResponse::parse(capped).ok());
+}
+
+TEST(Http, ParseRejectsHostileLengthFields) {
+  // A string length of 2^32-1 with almost no payload: the bounds check must
+  // not overflow `off + len` into accepting it.
+  Bytes frame = to_bytes(std::string_view("HTQ1"));
+  append_u32be(frame, 0xffffffffu);  // method length
+  frame.push_back('G');
+  EXPECT_FALSE(HttpRequest::parse(frame).ok());
+
+  // Same hostile length on a header value.
+  Bytes hdr = to_bytes(std::string_view("HTQ1"));
+  for (int i = 0; i < 3; ++i) append_u32be(hdr, 0);
+  append_u32be(hdr, 1);             // one header
+  append_u32be(hdr, 1);
+  hdr.push_back('k');
+  append_u32be(hdr, 0xfffffff0u);   // value length
+  EXPECT_FALSE(HttpRequest::parse(hdr).ok());
+}
+
+TEST(Http, ParseRejectsBodyLengthMismatch) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/p";
+  req.host = "h";
+  req.body = to_bytes(std::string_view("12345"));
+  Bytes wire = req.serialize();
+  ASSERT_TRUE(HttpRequest::parse(wire).ok());
+
+  Bytes truncated = wire;
+  truncated.pop_back();  // declared length over-runs the frame
+  EXPECT_FALSE(HttpRequest::parse(truncated).ok());
+
+  Bytes padded = wire;
+  padded.push_back(0x00);  // trailing bytes: a smuggled second message
+  EXPECT_FALSE(HttpRequest::parse(padded).ok());
+
+  Bytes resp_wire = HttpResponse::ok(req.body).serialize();
+  ASSERT_TRUE(HttpResponse::parse(resp_wire).ok());
+  resp_wire.push_back(0x00);
+  EXPECT_FALSE(HttpResponse::parse(resp_wire).ok());
+}
+
+TEST(Http, TruncationSweepNeverCrashes) {
+  // Every prefix of a real frame must be cleanly rejected — truncation is
+  // what a dropped tail segment looks like to the parser. Run under asan
+  // this doubles as an out-of-bounds probe on every reader path.
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/api/submit";
+  req.host = "svc.example.com";
+  req.headers["content-type"] = "application/json";
+  req.headers["x-trace"] = "abc123";
+  req.body = to_bytes(std::string_view("{\"k\":1}"));
+  const Bytes wire = req.serialize();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(HttpRequest::parse(ByteView(wire).subspan(0, len)).ok())
+        << "prefix of length " << len << " must not parse";
+  }
+  EXPECT_TRUE(HttpRequest::parse(wire).ok());
+
+  const Bytes resp_wire =
+      HttpResponse::ok(req.body, "application/json").serialize();
+  for (std::size_t len = 0; len < resp_wire.size(); ++len) {
+    EXPECT_FALSE(
+        HttpResponse::parse(ByteView(resp_wire).subspan(0, len)).ok());
+  }
+  EXPECT_TRUE(HttpResponse::parse(resp_wire).ok());
 }
 
 TEST(Http, RouterLongestPrefixWins) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "imagebuild/builder.hpp"
+#include "obs/metrics.hpp"
 #include "revelio/revelio_vm.hpp"
 #include "revelio/sp_node.hpp"
 #include "revelio/trusted_registry.hpp"
@@ -145,6 +146,43 @@ TEST_F(RevelioFixture, FleetProvisioningSharesOneCertificate) {
   // The certificate key is the leader's identity key.
   EXPECT_EQ(sp->issued_certificate()->public_key,
             nodes[0]->identity_public_key());
+}
+
+TEST_F(RevelioFixture, AcmeOutageRetriedOnBackoffUntilWindowEnds) {
+  for (const std::string host : {"10.0.0.1", "10.0.0.2", "10.0.0.3"}) {
+    nodes.push_back(deploy_node(host, image));
+  }
+  SpNodeConfig sp_config;
+  sp_config.domain = kDomain;
+  sp_config.kds_address = {"kds.amd.com", 443};
+  sp_config.expected_measurements = {expected_measurement};
+  sp_config.retry = {.max_attempts = 6,
+                     .initial_backoff_ms = 200.0,
+                     .multiplier = 2.0,
+                     .max_backoff_ms = 1600.0,
+                     .jitter = 0.0};
+  sp = std::make_unique<SpNode>(network, acme, sp_config);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    sp->approve_node(nodes[i]->bootstrap_address(), platforms[i]->chip_id());
+  }
+  // CA maintenance window opens now and lasts 500ms of virtual time; the
+  // SP's backoff schedule (200, 400, ...) carries the clock past it.
+  const auto outage_end = clock.now_us() + 500'000;
+  acme.set_outage_window(clock.now_us(), outage_end);
+  const std::uint64_t attempts_before = obs::metrics().counter_value(
+      "retry.attempts", {{"op", "sp.acme_finalize"}});
+
+  auto outcomes = sp->provision_fleet();
+  ASSERT_TRUE(outcomes.ok()) << outcomes.error().to_string();
+  for (const auto& outcome : *outcomes) {
+    EXPECT_TRUE(outcome.attested) << outcome.failure;
+  }
+  ASSERT_TRUE(sp->issued_certificate().has_value());
+  // Issuance only succeeded after the window closed, on a later attempt.
+  EXPECT_GE(clock.now_us(), outage_end);
+  EXPECT_GE(obs::metrics().counter_value("retry.attempts",
+                                         {{"op", "sp.acme_finalize"}}),
+            attempts_before + 2);
 }
 
 TEST_F(RevelioFixture, AllNodesServeTheSameTlsIdentity) {

@@ -2,6 +2,7 @@
 
 #include "sevsnp/amd_sp.hpp"
 #include "sevsnp/attestation_report.hpp"
+#include "obs/metrics.hpp"
 #include "sevsnp/guest_channel.hpp"
 #include "sevsnp/kds.hpp"
 
@@ -410,6 +411,63 @@ TEST_F(SnpFixture, ChannelRejectsForgedMessages) {
 
 TEST_F(SnpFixture, ChannelRequiresRunningGuest) {
   EXPECT_FALSE(GuestChannel::open(sp).ok());
+}
+
+TEST_F(SnpFixture, ChannelRetriesFlakyTransportAndRecovers) {
+  launch_guest();
+  auto channel = GuestChannel::open(sp);
+  ASSERT_TRUE(channel.ok());
+  SimClock clock;
+  net::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter = 0.0;
+  channel->set_resilience(clock, policy);
+  // The hypervisor shuttle loses the first two *requests* — the SP never
+  // sees them, so resending the identical ciphertext is safe.
+  int attempts = 0;
+  channel->set_transport([&](ByteView sealed) -> Result<Bytes> {
+    if (++attempts <= 2) return Error::make("net.drop", "shuttle lost it");
+    return channel->deliver_to_sp(sealed);
+  });
+  const auto before = obs::metrics().counter_value(
+      "retry.attempts", {{"op", "snp.guest_channel"}});
+  ReportData rd = ReportData::from(to_bytes(std::string_view("flaky")));
+  auto report = channel->request_report(rd);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(attempts, 3);
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 150.0) << "50 + 100 ms virtual backoff";
+  EXPECT_EQ(obs::metrics().counter_value("retry.attempts",
+                                         {{"op", "snp.guest_channel"}}),
+            before + 3);
+}
+
+TEST_F(SnpFixture, ChannelLostResponseFailsClosed) {
+  launch_guest();
+  auto channel = GuestChannel::open(sp);
+  ASSERT_TRUE(channel.ok());
+  SimClock clock;
+  net::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter = 0.0;
+  channel->set_resilience(clock, policy);
+  // The SP processes the request but the *response* is lost in transit. On
+  // resend the SP has already advanced its expected sequence number, so the
+  // identical ciphertext authenticates as a replay: the channel must fail
+  // closed rather than resynchronise — the guest cannot tell an unlucky
+  // drop from an active replay attempt.
+  int attempts = 0;
+  channel->set_transport([&](ByteView sealed) -> Result<Bytes> {
+    auto response = channel->deliver_to_sp(sealed);
+    if (++attempts == 1 && response.ok()) {
+      return Error::make("net.drop", "response lost on the way back");
+    }
+    return response;
+  });
+  ReportData rd = ReportData::from(to_bytes(std::string_view("lost-resp")));
+  auto report = channel->request_report(rd);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, "snp.channel_auth_failed");
+  EXPECT_EQ(attempts, 2) << "the auth failure is permanent: no third try";
 }
 
 TEST_F(SnpFixture, ChannelRejectsMalformedRequests) {
