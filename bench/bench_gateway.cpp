@@ -1,0 +1,287 @@
+// Gateway load bench: sessions/sec scaling of the concurrent attestation
+// gateway (revelio/session_engine.hpp) at 1 / 4 / 16 / 64 concurrent
+// clients.
+//
+// 64 identically-seeded world replicas (KDS + attested VM + SP + browser)
+// are built once; each level drives 64 full client sessions — fresh TLS
+// handshake, full attestation, page fetch — over a fresh SessionEngine, so
+// every level starts with cold shared caches and the single-flight layer
+// must collapse the VCEK stampede into exactly one KDS fetch.
+//
+// Throughput is measured on the virtual clock with the engine's lane
+// model: session i is charged to lane i % clients, the makespan is the
+// heaviest lane, sessions_per_virtual_sec = N / makespan. That number is
+// deterministic (the simulated worlds are seeded), so run_benches.sh gates
+// it against bench/BENCH_gateway.baseline.json and requires >= 3x scaling
+// at 16 clients vs 1. Real elapsed time is reported but never gated.
+//
+//   bench_gateway [--out BENCH_gateway.json]
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "imagebuild/builder.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "revelio/revelio_vm.hpp"
+#include "revelio/session_engine.hpp"
+#include "revelio/sp_node.hpp"
+#include "revelio/web_extension.hpp"
+#include "vm/hypervisor.hpp"
+
+namespace {
+
+using namespace revelio;
+
+constexpr const char* kDomain = "svc.revelio.app";
+constexpr const char* kKdsHost = "kds.amd.com";
+constexpr std::size_t kSessionsPerLevel = 64;
+constexpr unsigned kLevels[] = {1, 4, 16, 64};
+
+/// One complete single-threaded deployment, driven by whichever engine
+/// lane holds its mutex. Identical seeds make the AMD chip/VCEK/root
+/// certificates byte-identical across replicas (the platform registers
+/// with the KDS at t=0), which is what lets all 64 worlds share the
+/// engine's VCEK and chain caches.
+struct GatewayWorld {
+  explicit GatewayWorld(const std::string& seed)
+      : network(clock),
+        world_drbg(to_bytes("gateway-bench-" + seed)),
+        kds(world_drbg),
+        kds_service(kds, network, {kKdsHost, 443}),
+        acme(clock, world_drbg),
+        browser(network, "laptop", acme.trusted_roots(),
+                crypto::HmacDrbg(to_bytes("browser-" + seed))) {
+    imagebuild::BaseImage base;
+    base.name = "ubuntu";
+    base.tag = "20.04";
+    base.packages = {{"nginx", "1.18",
+                      {{"/usr/sbin/nginx",
+                        to_bytes(std::string_view("nginx-binary"))}}}};
+    const crypto::Digest32 base_digest = registry.publish(base);
+
+    imagebuild::BuildInputs inputs;
+    inputs.base_image_digest = base_digest;
+    inputs.service_files["/opt/service/app"] =
+        to_bytes(std::string_view("service-binary-v1"));
+    inputs.initrd.services = {{"app", "/opt/service/app", 300.0}};
+    inputs.initrd.allowed_inbound_ports = {"443", "8443"};
+    imagebuild::ImageBuilder builder(registry);
+    auto built = builder.build(inputs);
+    if (!built.ok()) std::abort();
+    image = *built;
+    expected_measurement = vm::Hypervisor::expected_measurement(
+        image.kernel_blob, image.initrd_blob, image.cmdline);
+
+    net::HttpRouter routes;
+    routes.route("GET", "/", [](const net::HttpRequest&) {
+      return net::HttpResponse::ok(
+          to_bytes(std::string_view("<html>gateway</html>")), "text/html");
+    });
+    platform = std::make_unique<sevsnp::AmdSp>(
+        to_bytes("platform-10.0.0.1-" + seed),
+        sevsnp::TcbVersion{2, 0, 8, 115});
+    kds.register_platform(*platform);
+    core::RevelioVmConfig config;
+    config.domain = kDomain;
+    config.host = "10.0.0.1";
+    config.image = image;
+    config.kds_address = {kKdsHost, 443};
+    auto deployed =
+        core::RevelioVm::deploy(*platform, network, config, routes);
+    if (!deployed.ok()) std::abort();
+    node = std::move(*deployed);
+
+    core::SpNodeConfig sp_config;
+    sp_config.domain = kDomain;
+    sp_config.kds_address = {kKdsHost, 443};
+    sp_config.expected_measurements = {expected_measurement};
+    sp = std::make_unique<core::SpNode>(network, acme, sp_config);
+    sp->approve_node(node->bootstrap_address(), platform->chip_id());
+    if (!sp->provision_fleet().ok()) std::abort();
+    network.dns_set_a(kDomain, "10.0.0.1");
+  }
+
+  core::SiteRegistration registration() {
+    core::SiteRegistration site;
+    site.expected_measurements = {expected_measurement};
+    return site;
+  }
+
+  SimClock clock;
+  net::Network network;
+  crypto::HmacDrbg world_drbg;
+  sevsnp::KeyDistributionServer kds;
+  core::KdsService kds_service;
+  pki::AcmeIssuer acme;
+  core::Browser browser;
+  imagebuild::PackageRegistry registry;
+  imagebuild::VmImage image;
+  sevsnp::Measurement expected_measurement;
+  std::unique_ptr<sevsnp::AmdSp> platform;
+  std::unique_ptr<core::RevelioVm> node;
+  std::unique_ptr<core::SpNode> sp;
+  std::mutex mu;  // one lane drives the world at a time
+};
+
+struct LevelResult {
+  unsigned clients = 0;
+  core::SessionEngine::Report report;
+  int unverified_accepts = 0;
+  std::uint64_t kds_fetch_count_delta = 0;
+};
+
+/// One load level: N sessions at `clients` concurrency over a FRESH engine
+/// (cold shared caches — the level must re-prove the single-flight
+/// guarantee). Each session locks its world, binds its clock, and runs a
+/// complete fresh-profile client: new TLS handshake, full attestation via
+/// the shared caches, verified page fetch.
+LevelResult run_level(std::vector<std::unique_ptr<GatewayWorld>>& worlds,
+                      unsigned clients) {
+  core::SessionEngineConfig config;
+  config.workers = clients;
+  core::SessionEngine engine(config);
+  std::atomic<int> unverified{0};
+  const std::uint64_t kds_before =
+      obs::metrics().counter_value("kds.fetch.count");
+
+  LevelResult out;
+  out.clients = clients;
+  out.report = engine.run(
+      kSessionsPerLevel, [&](core::SessionContext& ctx) -> Status {
+        GatewayWorld& world = *worlds[ctx.index % worlds.size()];
+        std::lock_guard<std::mutex> world_lock(world.mu);
+        ScopedClockCurrent clock_scope(world.clock);
+        const double virt_start = world.clock.now_ms();
+
+        world.browser.set_chain_cache(ctx.chain_cache);
+        world.browser.drop_session(kDomain);
+        core::WebExtensionConfig ext_config;
+        ext_config.kds_address = {kKdsHost, 443};
+        ext_config.shared_chain_cache = ctx.chain_cache;
+        ext_config.shared_vcek_cache = ctx.vcek_cache;
+        core::WebExtension extension(world.browser, ext_config);
+        extension.register_site(kDomain, world.registration());
+
+        auto verified = extension.get(kDomain, 443, "/");
+        ctx.virt_ms = world.clock.now_ms() - virt_start;
+        if (!verified.ok()) return verified.error();
+        if (!verified->checks.all_ok()) {
+          unverified.fetch_add(1);
+          return Error::make("bench.unverified_trust_accepted");
+        }
+        return Status::success();
+      });
+  out.unverified_accepts = unverified.load();
+  out.kds_fetch_count_delta =
+      obs::metrics().counter_value("kds.fetch.count") - kds_before;
+  return out;
+}
+
+std::string level_json(const LevelResult& level) {
+  const auto& r = level.report;
+  std::string out = "{\"clients\":" + std::to_string(level.clients) +
+                    ",\"sessions\":" + std::to_string(r.sessions) +
+                    ",\"succeeded\":" + std::to_string(r.succeeded) +
+                    ",\"failed\":" + std::to_string(r.failed) +
+                    ",\"unverified_accepts\":" +
+                    std::to_string(level.unverified_accepts) +
+                    ",\"virt_makespan_ms\":" +
+                    obs::json_number(r.virt_makespan_ms) +
+                    ",\"sessions_per_virtual_sec\":" +
+                    obs::json_number(r.sessions_per_virtual_sec) +
+                    ",\"virt_p50_ms\":" + obs::json_number(r.virt_p50_ms) +
+                    ",\"virt_p95_ms\":" + obs::json_number(r.virt_p95_ms) +
+                    ",\"virt_p99_ms\":" + obs::json_number(r.virt_p99_ms) +
+                    ",\"real_elapsed_ms\":" +
+                    obs::json_number(r.real_elapsed_ms) +
+                    ",\"sessions_per_real_sec\":" +
+                    obs::json_number(r.sessions_per_real_sec) +
+                    ",\"kds_fetch_count_delta\":" +
+                    std::to_string(level.kds_fetch_count_delta);
+  out += ",\"chain\":{\"hits\":" + std::to_string(r.chain_stats.hits) +
+         ",\"misses\":" + std::to_string(r.chain_stats.misses) +
+         ",\"evictions\":" + std::to_string(r.chain_stats.evictions) +
+         ",\"window_rejects\":" +
+         std::to_string(r.chain_stats.window_rejects) + "}";
+  out += ",\"vcek\":{\"hits\":" + std::to_string(r.vcek_stats.hits) +
+         ",\"fetches\":" + std::to_string(r.vcek_stats.fetches) +
+         ",\"coalesced\":" + std::to_string(r.vcek_stats.coalesced) +
+         ",\"failures\":" + std::to_string(r.vcek_stats.failures) + "}";
+  out += "}";
+  return out;
+}
+
+int run_gateway_bench(const char* out_path) {
+  std::fprintf(stderr, "building %zu world replicas...\n", kSessionsPerLevel);
+  std::vector<std::unique_ptr<GatewayWorld>> worlds;
+  worlds.reserve(kSessionsPerLevel);
+  for (std::size_t i = 0; i < kSessionsPerLevel; ++i) {
+    worlds.push_back(std::make_unique<GatewayWorld>("gw-bench-1"));
+  }
+
+  std::vector<LevelResult> levels;
+  std::printf("%8s %10s %14s %12s %10s %10s %10s\n", "clients", "sessions",
+              "makespan(ms)", "sess/vsec", "p50(ms)", "p95(ms)", "p99(ms)");
+  for (const unsigned clients : kLevels) {
+    LevelResult level = run_level(worlds, clients);
+    std::printf("%8u %7zu/%zu %14.1f %12.1f %10.1f %10.1f %10.1f\n",
+                clients, level.report.succeeded, level.report.sessions,
+                level.report.virt_makespan_ms,
+                level.report.sessions_per_virtual_sec,
+                level.report.virt_p50_ms, level.report.virt_p95_ms,
+                level.report.virt_p99_ms);
+    levels.push_back(std::move(level));
+  }
+
+  auto per_vsec = [&](unsigned clients) {
+    for (const auto& level : levels) {
+      if (level.clients == clients) {
+        return level.report.sessions_per_virtual_sec;
+      }
+    }
+    return 0.0;
+  };
+  const double base = per_vsec(1);
+  const double scaling_16v1 = base > 0.0 ? per_vsec(16) / base : 0.0;
+  const double scaling_64v1 = base > 0.0 ? per_vsec(64) / base : 0.0;
+  std::printf("scaling: 16 clients vs 1 = %.1fx, 64 vs 1 = %.1fx\n",
+              scaling_16v1, scaling_64v1);
+
+  if (out_path == nullptr) return 0;
+  std::string doc = "{\"sessions_per_level\":" +
+                    std::to_string(kSessionsPerLevel) +
+                    ",\"worlds\":" + std::to_string(worlds.size()) +
+                    ",\"levels\":[";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) doc += ",";
+    doc += level_json(levels[i]);
+  }
+  doc += "],\"scaling_16v1\":" + obs::json_number(scaling_16v1) +
+         ",\"scaling_64v1\":" + obs::json_number(scaling_64v1) + "}";
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::printf("gateway load summary written to %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  return run_gateway_bench(out_path);
+}

@@ -18,3 +18,4 @@ revelio_bench(bench_boot_latency revelio_core)
 revelio_bench(bench_ssl_cert_ops revelio_core)
 revelio_bench(bench_client_attestation revelio_core)
 revelio_bench(bench_attack_detection revelio_core)
+revelio_bench(bench_gateway revelio_core)

@@ -21,6 +21,13 @@
 # bench/BENCH_attestation.baseline.json; a stage whose virt_ms regresses by
 # more than 25% fails the run.
 #
+# Also writes BENCH_gateway.json: sessions/sec scaling of the concurrent
+# attestation gateway (bench_gateway) at 1/4/16/64 concurrent clients. The
+# virtual-clock numbers are deterministic and gated: >= 3x throughput at 16
+# clients vs 1, exactly one KDS fetch per cold level (single-flight), zero
+# unverified-trust acceptances, and virtual makespan/latency percentiles
+# within 25% of bench/BENCH_gateway.baseline.json.
+#
 # Each binary is run with --benchmark_out so the JSON stays clean even for
 # benches that print their own human-readable tables to stdout.
 set -euo pipefail
@@ -214,4 +221,87 @@ if overhead:
 PY
 else
   echo "note: $stages_bin not built; skipping attestation stage breakdown" >&2
+fi
+
+# --- gateway load scaling + regression gate -------------------------------
+gateway_bin="$build_dir/bench/bench_gateway"
+gateway_json="$repo_root/BENCH_gateway.json"
+gateway_baseline="$repo_root/bench/BENCH_gateway.baseline.json"
+if [ -x "$gateway_bin" ]; then
+  echo "== bench_gateway" >&2
+  "$gateway_bin" --out "$gateway_json" >&2
+  python3 - "$gateway_json" "$gateway_baseline" <<'PY'
+import json
+import sys
+
+current_path, baseline_path = sys.argv[1], sys.argv[2]
+with open(current_path) as f:
+    current = json.load(f)
+
+failures = []
+
+# Correctness gates: these hold regardless of any baseline. Every session
+# must succeed fully verified, and a cold cache must cost exactly one KDS
+# round trip per level no matter how many clients stampede it.
+MIN_SCALING_16V1 = 3.0
+for level in current.get("levels", []):
+    c = level["clients"]
+    if level["succeeded"] != level["sessions"]:
+        failures.append(f"clients={c}: {level['succeeded']}/"
+                        f"{level['sessions']} sessions succeeded")
+    if level["unverified_accepts"] != 0:
+        failures.append(f"clients={c}: "
+                        f"{level['unverified_accepts']} unverified accepts")
+    if level["vcek"]["fetches"] != 1:
+        failures.append(f"clients={c}: {level['vcek']['fetches']} KDS "
+                        f"fetches on a cold cache (single-flight broken)")
+    if level["kds_fetch_count_delta"] != 1:
+        failures.append(f"clients={c}: kds.fetch.count rose by "
+                        f"{level['kds_fetch_count_delta']}, expected 1")
+scaling = current.get("scaling_16v1", 0.0)
+if scaling < MIN_SCALING_16V1:
+    failures.append(f"scaling_16v1 = {scaling:.2f}x, "
+                    f"below the {MIN_SCALING_16V1}x gate")
+
+# Regression gate: virtual-clock throughput and latency vs the committed
+# baseline. Real time is machine-dependent and reported only.
+THRESHOLD = 0.25
+try:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+except FileNotFoundError:
+    baseline = None
+    print(f"no baseline at {baseline_path}; skipping regression gate",
+          file=sys.stderr)
+
+base_levels = ({level["clients"]: level
+                for level in baseline.get("levels", [])} if baseline else {})
+for level in current.get("levels", []):
+    c = level["clients"]
+    base = base_levels.get(c)
+    rows = [("virt_makespan_ms", 1), ("virt_p50_ms", 1),
+            ("virt_p95_ms", 1), ("virt_p99_ms", 1)]
+    for key, _ in rows:
+        cur_ms = level.get(key, 0.0)
+        base_ms = base.get(key, 0.0) if base else 0.0
+        delta = (cur_ms - base_ms) / base_ms if base_ms > 0 else 0.0
+        flag = ""
+        if base_ms > 0 and delta > THRESHOLD:
+            failures.append(f"clients={c} {key}: {base_ms:.1f} -> "
+                            f"{cur_ms:.1f} ms (+{delta*100:.0f}%)")
+            flag = "  <-- REGRESSION"
+        print(f"  clients={c:<3d} {key:18s} {cur_ms:9.1f} ms"
+              f" (baseline {base_ms:9.1f} ms){flag}", file=sys.stderr)
+print(f"  scaling_16v1 = {scaling:.2f}x, scaling_64v1 = "
+      f"{current.get('scaling_64v1', 0.0):.2f}x", file=sys.stderr)
+
+if failures:
+    print("gateway gate failure(s):", file=sys.stderr)
+    for f_ in failures:
+        print(f"  {f_}", file=sys.stderr)
+    sys.exit(1)
+print("gateway scaling and latency within gates", file=sys.stderr)
+PY
+else
+  echo "note: $gateway_bin not built; skipping gateway load bench" >&2
 fi

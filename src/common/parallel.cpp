@@ -63,6 +63,35 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::run_job(
+    std::size_t n, std::size_t chunk, std::size_t chunk_count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (busy_) {
+    // A fan-out is already in flight (a concurrent caller, or a body on
+    // this very pool fanning out again). Fall back to the sequential loop:
+    // outputs are disjoint per range, so the result is identical.
+    lock.unlock();
+    body(0, n);
+    return;
+  }
+  busy_ = true;
+  job_.body = &body;
+  job_.n = n;
+  job_.chunk = chunk;
+  job_.chunk_count = chunk_count;
+  job_.next = 0;
+  job_.done = 0;
+  ++job_.generation;
+  work_cv_.notify_all();
+  // The caller is a lane too: claim chunks until none remain, then wait for
+  // stragglers still running on workers.
+  drain_current_job(lock);
+  done_cv_.wait(lock, [this] { return job_.done == job_.chunk_count; });
+  job_.body = nullptr;
+  busy_ = false;
+}
+
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
     std::size_t min_grain) {
@@ -79,21 +108,23 @@ void ThreadPool::parallel_for(
   const std::size_t max_chunks = std::min<std::size_t>(lanes, n / min_grain);
   const std::size_t chunk = (n + max_chunks - 1) / max_chunks;
   const std::size_t chunk_count = (n + chunk - 1) / chunk;
+  run_job(n, chunk, chunk_count, body);
+}
 
-  std::unique_lock<std::mutex> lock(mu_);
-  job_.body = &body;
-  job_.n = n;
-  job_.chunk = chunk;
-  job_.chunk_count = chunk_count;
-  job_.next = 0;
-  job_.done = 0;
-  ++job_.generation;
-  work_cv_.notify_all();
-  // The caller is a lane too: claim chunks until none remain, then wait for
-  // stragglers still running on workers.
-  drain_current_job(lock);
-  done_cv_.wait(lock, [this] { return job_.done == job_.chunk_count; });
-  job_.body = nullptr;
+void ThreadPool::for_tasks(std::size_t n,
+                           const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  const std::function<void(std::size_t, std::size_t)> body =
+      [&task](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) task(i);
+      };
+  if (width() == 1 || n == 1) {
+    body(0, n);
+    return;
+  }
+  // Chunk size 1: every index is its own unit of claim, so a slow task
+  // never holds indices hostage behind a static chunk boundary.
+  run_job(n, /*chunk=*/1, /*chunk_count=*/n, body);
 }
 
 }  // namespace revelio::common

@@ -1,4 +1,6 @@
-// Fork-join thread pool with a deterministic parallel_for.
+// Fork-join thread pool with a deterministic parallel_for and a task-queue
+// mode for independent long-running tasks (the attestation gateway's
+// concurrent sessions).
 //
 // The bulk-data paths (Merkle builds, dm-verity verify_all, format-time leaf
 // hashing) are embarrassingly parallel: every output slot depends only on its
@@ -10,10 +12,15 @@
 //  - Disjoint outputs: the body writes only to slots inside its [begin, end)
 //    range, so the result is byte-identical to running the chunks
 //    sequentially in any order (the tier-2 equivalence suite asserts this).
-//  - No shared mutable state: bodies must not touch the tracer or the log
-//    sink (single-threaded by design; see obs/trace.hpp). MetricsRegistry
-//    counters are atomic and therefore safe, but the convention is to
-//    aggregate in the caller after the join instead.
+//  - No shared mutable state beyond what the callee makes thread-safe:
+//    MetricsRegistry counters are atomic and safe; the tracer and SimClock
+//    are per-thread (see obs/trace.hpp, common/sim_clock.hpp), so a worker
+//    that has not bound them sees a disabled tracer and a null clock.
+//
+// for_tasks is the task-queue mode: each index is claimed dynamically by the
+// next free lane, so long, *uneven* tasks (whole client sessions) do not
+// convoy behind static chunk boundaries. Outputs must still be disjoint per
+// index; the claiming order is timing-dependent but the result is not.
 //
 // Pool width comes from REVELIO_THREADS if set, else hardware_concurrency.
 // A width of 1 (or small n) degrades to a plain inline loop, which keeps
@@ -48,14 +55,33 @@ class ThreadPool {
   /// output slots inside its own range. `min_grain` is the smallest chunk
   /// worth shipping to a worker; below `2 * min_grain` total the loop runs
   /// inline on the caller.
+  ///
+  /// Thread-safety: safe to call from any thread, including from inside a
+  /// body already running on this pool. The pool runs one fan-out at a
+  /// time; a caller that finds the pool busy runs its loop inline (same
+  /// result — outputs are disjoint — just without extra lanes).
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t min_grain = 1);
+
+  /// Task-queue mode: runs task(i) once for every i in [0, n), each index
+  /// claimed dynamically (chunk size 1) by the next idle lane. Blocks until
+  /// all tasks finished. Use for independent, potentially long and uneven
+  /// tasks — e.g. one full client session per index. Tasks must not throw
+  /// and must only write to per-index state; they may block (condition
+  /// variables, single-flight waits) as long as the wait is resolved by
+  /// another *running* task, never by a task that has not been claimed yet.
+  ///
+  /// Thread-safety: same policy as parallel_for — concurrent or nested
+  /// callers degrade to an inline loop.
+  void for_tasks(std::size_t n, const std::function<void(std::size_t)>& task);
 
   /// REVELIO_THREADS env override, else std::thread::hardware_concurrency().
   static unsigned default_thread_count();
 
   /// Lazily-created process-wide pool used by the crypto/storage bulk paths.
+  /// Never run whole sessions on it — give long-lived task sets their own
+  /// pool so bulk ops inside a session still find this one (mostly) free.
   static ThreadPool& global();
 
  private:
@@ -72,12 +98,17 @@ class ThreadPool {
   void worker_loop();
   /// Claims and runs chunks of the current job until none remain.
   void drain_current_job(std::unique_lock<std::mutex>& lock);
+  /// Publishes one job (pre-chunked) and joins it; inline fallback when a
+  /// job is already in flight.
+  void run_job(std::size_t n, std::size_t chunk, std::size_t chunk_count,
+               const std::function<void(std::size_t, std::size_t)>& body);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers wait here for a new job
   std::condition_variable done_cv_;  // the caller waits here for the join
   Job job_;
+  bool busy_ = false;  // a fan-out is in flight (owner still joining)
   bool shutdown_ = false;
 };
 

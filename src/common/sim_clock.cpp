@@ -6,27 +6,38 @@
 
 namespace revelio {
 namespace {
-// Registration order of every live clock; current() is the back. Destroying
-// a clock erases exactly that entry, so a temporary copy dying re-exposes
-// whichever clock was registered before it instead of leaving nullptr (or a
-// dangling pointer) behind.
+// Registration order of every clock registered on this thread; current()
+// is the back. The registry is thread_local: each gateway worker sees only
+// the clocks of the world it is currently driving, so concurrent session
+// worlds never race on (or mis-resolve) current(). Destroying a clock
+// erases exactly that entry, so a temporary copy dying re-exposes
+// whichever clock was registered before it instead of leaving nullptr (or
+// a dangling pointer) behind.
 std::vector<const SimClock*>& clock_registry() {
-  static std::vector<const SimClock*> registry;
+  thread_local std::vector<const SimClock*> registry;
   return registry;
 }
 }  // namespace
 
-SimClock::SimClock() { clock_registry().push_back(this); }
+void SimClock::register_on_this_thread(const SimClock* clock) {
+  clock_registry().push_back(clock);
+}
+
+void SimClock::unregister_on_this_thread(const SimClock* clock) {
+  auto& registry = clock_registry();
+  // Erase the most recent matching entry (scopes nest LIFO; a plain erase
+  // of *all* entries would break nested ScopedClockCurrent of one clock).
+  const auto it = std::find(registry.rbegin(), registry.rend(), clock);
+  if (it != registry.rend()) registry.erase(std::next(it).base());
+}
+
+SimClock::SimClock() { register_on_this_thread(this); }
 
 SimClock::SimClock(const SimClock& other) : now_us_(other.now_us_) {
-  clock_registry().push_back(this);
+  register_on_this_thread(this);
 }
 
-SimClock::~SimClock() {
-  auto& registry = clock_registry();
-  registry.erase(std::remove(registry.begin(), registry.end(), this),
-                 registry.end());
-}
+SimClock::~SimClock() { unregister_on_this_thread(this); }
 
 const SimClock* SimClock::current() {
   const auto& registry = clock_registry();

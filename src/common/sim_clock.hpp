@@ -13,6 +13,14 @@
 namespace revelio {
 
 /// Microsecond-resolution virtual time.
+///
+/// Thread-safety: a SimClock instance is NOT thread-safe — it belongs to
+/// one simulated world, and a world is driven by one thread at a time.
+/// The current() registry is per-thread (thread_local), so concurrent
+/// session worlds on different gateway workers never observe each other's
+/// clocks. A clock must be constructed and destroyed on the same thread;
+/// to drive a world built on another thread, bind its clock with
+/// ScopedClockCurrent for the duration of the work.
 class SimClock {
  public:
   using Micros = std::uint64_t;
@@ -22,7 +30,7 @@ class SimClock {
   SimClock& operator=(const SimClock&) = default;
   ~SimClock();
 
-  /// The most recently constructed clock still alive, or nullptr. Each
+  /// The most recently registered clock on *this thread*, or nullptr. Each
   /// simulated world builds exactly one clock, so "latest wins" names it
   /// deterministically; the tracing layer (src/obs) reads virtual
   /// timestamps through this without threading a clock reference through
@@ -47,7 +55,32 @@ class SimClock {
   std::string to_string() const;
 
  private:
+  friend class ScopedClockCurrent;
+  /// Raw per-thread registry hooks used by construction/destruction and by
+  /// ScopedClockCurrent.
+  static void register_on_this_thread(const SimClock* clock);
+  static void unregister_on_this_thread(const SimClock* clock);
+
   Micros now_us_ = 0;
+};
+
+/// RAII: makes `clock` this thread's SimClock::current() for the scope.
+/// This is how a gateway worker driving a world that was *built on another
+/// thread* (construction auto-registers only on the constructing thread)
+/// exposes that world's virtual clock to the tracing/metrics layer. The
+/// referenced clock must outlive the scope; scopes nest (latest wins).
+class ScopedClockCurrent {
+ public:
+  explicit ScopedClockCurrent(const SimClock& clock) : clock_(&clock) {
+    SimClock::register_on_this_thread(clock_);
+  }
+  ~ScopedClockCurrent() { SimClock::unregister_on_this_thread(clock_); }
+
+  ScopedClockCurrent(const ScopedClockCurrent&) = delete;
+  ScopedClockCurrent& operator=(const ScopedClockCurrent&) = delete;
+
+ private:
+  const SimClock* clock_;
 };
 
 }  // namespace revelio

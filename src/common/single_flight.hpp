@@ -1,0 +1,89 @@
+// Single-flight request coalescing.
+//
+// When N concurrent callers need the same expensive, idempotent result
+// (the gateway's sessions all fetching the VCEK chain for the same
+// (chip id, TCB)), exactly one caller — the leader — executes the fetch;
+// the rest block until it completes and receive a copy of the same
+// Result. This turns a thundering herd of identical KDS round trips into
+// one fetch plus N-1 cheap waits.
+//
+// Failure semantics: the leader's error is delivered to every coalesced
+// waiter of that flight and nothing is cached here — the next caller
+// starts a fresh flight. Retries therefore stay where they belong, inside
+// the leader's fetch function (net::with_retries), and are never
+// multiplied by the number of waiters.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/result.hpp"
+
+namespace revelio::common {
+
+/// Coalesces concurrent run() calls with equal keys into one execution.
+///
+/// Thread-safety: fully thread-safe; that is its purpose. The flight map
+/// mutex is never held while `fn` runs. `Value` must be copyable (every
+/// waiter gets a copy). Key needs operator<.
+template <typename Key, typename Value>
+class SingleFlight {
+ public:
+  /// Runs `fn` if no flight for `key` is in progress (the caller becomes
+  /// the leader), otherwise blocks until the leader finishes and returns a
+  /// copy of its result. `coalesced`, when non-null, is set to true iff
+  /// this call waited on another caller's flight.
+  ///
+  /// `fn` must not re-enter run() with the same key on the same thread
+  /// (self-deadlock), and a waiting caller must always be matched by a
+  /// *running* leader — guaranteed here because the flight is created by
+  /// the leader itself immediately before it runs `fn`.
+  template <typename Fn>
+  Result<Value> run(const Key& key, bool* coalesced, Fn&& fn) {
+    if (coalesced != nullptr) *coalesced = false;
+    std::shared_ptr<Flight> flight;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        // Follower: wait for the leader's result.
+        flight = it->second;
+        cv_.wait(lock, [&flight] { return flight->done; });
+        if (coalesced != nullptr) *coalesced = true;
+        return flight->result;
+      }
+      flight = std::make_shared<Flight>();
+      inflight_[key] = flight;
+    }
+    // Leader: execute outside the lock, publish, wake the waiters.
+    Result<Value> result = fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      flight->result = result;
+      flight->done = true;
+      inflight_.erase(key);
+    }
+    cv_.notify_all();
+    return result;
+  }
+
+  /// Flights currently in progress (tests).
+  std::size_t inflight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_.size();
+  }
+
+ private:
+  struct Flight {
+    bool done = false;
+    Result<Value> result = Error::make("singleflight.pending");
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::shared_ptr<Flight>> inflight_;
+};
+
+}  // namespace revelio::common

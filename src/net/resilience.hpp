@@ -9,6 +9,16 @@
 // Error::is_transient(): only transport losses are retried — a
 // verification failure is a fail-closed verdict and is returned
 // immediately, no matter how many replicas or attempts remain.
+//
+// Thread safety: NONE of these types synchronize internally. They are
+// per-client state, owned by whatever owns the client (a WebExtension,
+// an SpNode, a BnFleetClient) and driven by one thread at a time — under
+// the concurrent gateway (revelio/session_engine.hpp) each session builds
+// its own extension, so each gets private breakers, retry state and
+// jitter DRBG, and the world mutex serializes everything that touches a
+// given SimClock or Network. Sharing a CircuitBreaker, Failover, Deadline
+// or jitter DRBG across concurrently-running sessions without external
+// locking is a data race.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +40,10 @@ namespace revelio::net {
 
 /// Virtual-time budget for an operation, threaded by value through nested
 /// calls. Default-constructed deadlines are unlimited.
+///
+/// Thread safety: immutable after construction, so copies may be read
+/// from any thread; the SimClock passed to the query methods must be the
+/// thread's own (world-locked) clock.
 class Deadline {
  public:
   Deadline() = default;
@@ -90,6 +104,10 @@ struct RetryPolicy {
 ///   consecutive probe successes close the breaker, any failure re-opens
 ///   it. State is exported as the gauge `breaker.state{endpoint=...}`
 ///   (0 closed, 1 open, 2 half-open).
+///
+/// Thread safety: not synchronized. allow/on_success/on_failure mutate
+/// state and must come from one thread at a time (in practice: the
+/// session that owns the enclosing Failover, under its world's mutex).
 class CircuitBreaker {
  public:
   struct Config {
@@ -131,6 +149,11 @@ class CircuitBreaker {
 /// open. Transient failures record against the replica's breaker and fall
 /// through to the next; a permanent error (a fail-closed verdict) is
 /// returned immediately without consulting further replicas.
+///
+/// Thread safety: not synchronized — execute() mutates breaker state and
+/// may insert into the breaker map. One owner thread at a time; metric
+/// emission inside execute() is safe regardless (the registry is
+/// thread-resolved and internally synchronized).
 class Failover {
  public:
   explicit Failover(std::vector<Address> replicas,
@@ -193,6 +216,11 @@ class Failover {
 /// deadline) run out; an already-expired deadline yields
 /// `net.deadline_exceeded` (permanent by design: budget exhaustion must not
 /// be retried by an outer layer).
+///
+/// Thread safety: re-entrant but not synchronized — `clock` and
+/// `jitter_drbg` are mutated (backoff advances the clock, jitter draws
+/// consume DRBG state), so concurrent callers must pass thread-private or
+/// externally-locked instances.
 template <typename Fn>
 auto with_retries(SimClock& clock, crypto::HmacDrbg& jitter_drbg,
                   const RetryPolicy& policy, const Deadline& deadline,

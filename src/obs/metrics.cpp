@@ -20,6 +20,32 @@ void Histogram::observe(double value) {
   sum_ += value;
 }
 
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  return snap;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  // Copy the source under its own lock, update under ours — never both, so
+  // two histograms merging into each other cannot deadlock.
+  const Snapshot src = other.snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (src.bounds == bounds_) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += src.counts[i];
+  } else {
+    // Incompatible bucketing: keep count/sum exact, park the source's
+    // observations in the +inf bucket rather than guessing a rebinning.
+    counts_.back() += src.count;
+  }
+  count_ += src.count;
+  sum_ += src.sum;
+}
+
 std::string MetricsRegistry::render_key(const std::string& name,
                                         const Labels& labels) {
   if (labels.empty()) return name;
@@ -85,19 +111,78 @@ std::string MetricsRegistry::to_json() const {
     if (!first) out += ",";
     first = false;
     out += "\"" + json_escape(key) + "\":{\"buckets\":[";
-    const auto& bounds = h.bounds();
-    const auto& counts = h.bucket_counts();
-    for (std::size_t i = 0; i < counts.size(); ++i) {
+    // snapshot(): buckets/count/sum come from one locked read, so an
+    // observe() racing with export cannot skew count against buckets.
+    const Histogram::Snapshot snap = h.snapshot();
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
       if (i > 0) out += ",";
       const std::string le =
-          i < bounds.size() ? json_number(bounds[i]) : "\"+inf\"";
-      out += "{\"le\":" + le + ",\"count\":" + std::to_string(counts[i]) + "}";
+          i < snap.bounds.size() ? json_number(snap.bounds[i]) : "\"+inf\"";
+      out += "{\"le\":" + le +
+             ",\"count\":" + std::to_string(snap.counts[i]) + "}";
     }
-    out += "],\"count\":" + std::to_string(h.count()) +
-           ",\"sum\":" + json_number(h.sum()) + "}";
+    out += "],\"count\":" + std::to_string(snap.count) +
+           ",\"sum\":" + json_number(snap.sum) + "}";
   }
   out += "}}";
   return out;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Stage 1: copy the source's values under its lock only. The staged
+  // copies decouple the two registry locks — this function never holds
+  // both, so concurrent cross-merges cannot deadlock.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_vals;
+  std::vector<std::pair<std::string, double>> gauge_vals;
+  std::vector<std::string> histogram_keys;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    counter_vals.reserve(other.counters_.size());
+    for (const auto& [key, c] : other.counters_) {
+      counter_vals.emplace_back(key, c.value());
+    }
+    gauge_vals.reserve(other.gauges_.size());
+    for (const auto& [key, g] : other.gauges_) {
+      gauge_vals.emplace_back(key, g.value());
+    }
+    histogram_keys.reserve(other.histograms_.size());
+    for (const auto& [key, h] : other.histograms_) histogram_keys.push_back(key);
+  }
+
+  // Stage 2: fold into this registry. Counter/Gauge updates are atomic;
+  // histogram folds go through Histogram::merge_from, whose target-side
+  // read-modify-write runs under the target histogram's mutex — so any
+  // number of sessions ending at once merge without losing updates.
+  for (const auto& [key, value] : counter_vals) {
+    if (value == 0) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[key].inc(value);
+  }
+  for (const auto& [key, value] : gauge_vals) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[key].add(value);
+  }
+  for (const auto& key : histogram_keys) {
+    // Re-find under the source lock (map *structure* needs it), then drop
+    // it — the node reference stays valid forever, and merge_from locks
+    // the histogram's own mutex for the actual read.
+    const Histogram* src = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(other.mu_);
+      src = &other.histograms_.at(key);
+    }
+    Histogram* dst = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = histograms_.find(key);
+      if (it != histograms_.end()) {
+        dst = &it->second;
+      } else {
+        dst = &histograms_.try_emplace(key, src->bounds()).first->second;
+      }
+    }
+    dst->merge_from(*src);
+  }
 }
 
 void MetricsRegistry::reset() {
@@ -107,7 +192,18 @@ void MetricsRegistry::reset() {
   histograms_.clear();
 }
 
+namespace {
+thread_local MetricsRegistry* thread_metrics = nullptr;
+}  // namespace
+
+MetricsRegistry* set_thread_metrics(MetricsRegistry* m) {
+  MetricsRegistry* prev = thread_metrics;
+  thread_metrics = m;
+  return prev;
+}
+
 MetricsRegistry& metrics() {
+  if (thread_metrics != nullptr) return *thread_metrics;
   static MetricsRegistry registry;
   return registry;
 }

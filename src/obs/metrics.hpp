@@ -12,10 +12,16 @@
 // from pool workers. Map structure is guarded by a registry mutex;
 // returned Counter/Gauge references stay valid forever (std::map nodes
 // are stable) and their updates are lock-free atomics; Histogram::observe
-// takes a per-histogram mutex. Snapshot accessors (counters() etc.,
-// bucket_counts()) return references into live storage and are meant for
-// quiescent, test/exporter-time reads. The tracer (trace.hpp) remains
-// single-threaded — pool workers update metrics, never spans.
+// takes a per-histogram mutex, and Histogram::snapshot() reads all four
+// fields under the same mutex (use it, not bucket_counts(), when updates
+// may be in flight). Whole-map views (counters() etc.) are still meant
+// for quiescent, test/exporter-time reads.
+//
+// Session isolation: metrics() resolves per-thread — a gateway worker
+// with a registry bound via ScopedThreadMetrics reports into its own
+// session registry, which the engine folds into the process-wide one at
+// session end with merge_from() (counters/gauges add, histograms merge
+// bucket-wise under both locks — safe when many sessions end at once).
 //
 // Exporters serialize a point-in-time snapshot with to_json(); benchmarks
 // and the attack gallery read individual counters back with
@@ -84,10 +90,32 @@ class Histogram {
   /// updates have to land atomically for count/sum to stay consistent).
   void observe(double value);
 
+  /// Consistent point-in-time copy of buckets + count + sum, taken under
+  /// the histogram mutex. The only safe way to read a histogram while
+  /// observe()/merge_from() may be running on other threads.
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 (+inf last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  /// Folds another histogram's observations into this one. Thread-safe
+  /// against concurrent observe()/merge_from() on *both* histograms: the
+  /// source is snapshotted under its own lock, then the target updated
+  /// under its lock (never both at once, so cross-merges cannot deadlock,
+  /// and concurrent merges into one target cannot lose updates — the
+  /// read-modify-write happens entirely under the target mutex). Matching
+  /// bucket bounds merge bucket-wise; mismatched bounds fold the source's
+  /// whole count into the +inf bucket (count/sum stay exact).
+  void merge_from(const Histogram& other);
+
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
   /// the last entry being the +inf bucket. Returns a reference into live
-  /// storage — read it quiescent (tests, exporters), not mid-parallel-run.
+  /// storage — read it quiescent (tests, exporters), not mid-parallel-run;
+  /// use snapshot() otherwise.
   const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
   std::uint64_t count() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -127,6 +155,14 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string to_json() const;
 
+  /// Folds every metric of `other` into this registry: counters and gauges
+  /// add their values, histograms merge via Histogram::merge_from (first
+  /// merge of a new key adopts the source's bucket bounds). Thread-safe on
+  /// both sides; many sessions may merge into the process registry
+  /// concurrently while other threads keep updating it. `other` should be
+  /// quiescent (a finished session's registry) for an exact fold.
+  void merge_from(const MetricsRegistry& other);
+
   void reset();
 
   /// Canonical key: `name` or `name{k1=v1,k2=v2}` (labels in given order).
@@ -148,7 +184,29 @@ class MetricsRegistry {
   std::map<std::string, Histogram> histograms_;
 };
 
-/// The process-wide registry every instrumented subsystem reports into.
+/// The registry instrumentation on this thread reports into: the registry
+/// bound to this thread via set_thread_metrics / ScopedThreadMetrics if
+/// any, else the process-wide instance.
 MetricsRegistry& metrics();
+
+/// Binds `m` as this thread's registry (nullptr unbinds). Returns the
+/// previous binding. Prefer ScopedThreadMetrics.
+MetricsRegistry* set_thread_metrics(MetricsRegistry* m);
+
+/// RAII thread-registry binding: metrics recorded on this thread inside
+/// the scope land in `m` — how the session engine isolates per-session
+/// series before folding them into the process registry with merge_from().
+class ScopedThreadMetrics {
+ public:
+  explicit ScopedThreadMetrics(MetricsRegistry& m)
+      : prev_(set_thread_metrics(&m)) {}
+  ~ScopedThreadMetrics() { set_thread_metrics(prev_); }
+
+  ScopedThreadMetrics(const ScopedThreadMetrics&) = delete;
+  ScopedThreadMetrics& operator=(const ScopedThreadMetrics&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
 
 }  // namespace revelio::obs

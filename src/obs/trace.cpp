@@ -169,7 +169,18 @@ std::string Tracer::chrome_trace_json() const {
   return out;
 }
 
+namespace {
+thread_local Tracer* thread_tracer = nullptr;
+}  // namespace
+
+Tracer* set_thread_tracer(Tracer* t) {
+  Tracer* prev = thread_tracer;
+  thread_tracer = t;
+  return prev;
+}
+
 Tracer& tracer() {
+  if (thread_tracer != nullptr) return *thread_tracer;
   static Tracer t;
   return t;
 }

@@ -3,13 +3,16 @@
 // A Span is an RAII timed region charged against *two* clocks at once: the
 // simulation's virtual clock (SimClock::current() — network latency and
 // calibrated device models) and the real monotonic clock (actual CPU work:
-// hashing, AES, ECDSA). The process-wide Tracer keeps the active-span
-// stack — re-entrant but deliberately single-threaded: spans are opened
-// and closed only on the main thread. Thread-pool workers
-// (common/parallel.hpp) must not construct Spans; bulk-path code opens one
-// span around the parallel region and reports per-chunk work through the
-// thread-safe metrics registry (metrics.hpp) instead. The Tracer also
-// keeps a bounded ring of finished spans.
+// hashing, AES, ECDSA). A Tracer instance keeps the active-span stack —
+// re-entrant but deliberately single-threaded: one tracer is driven by one
+// thread. tracer() resolves per-thread: a thread with a bound tracer
+// (ScopedThreadTracer — how the gateway gives every concurrent session its
+// own isolated trace) sees that one; every other thread sees the
+// process-wide instance, which remains main-thread-only by convention.
+// Bulk-path thread-pool workers (common/parallel.hpp) must not construct
+// Spans; bulk code opens one span around the parallel region and reports
+// per-chunk work through the thread-safe metrics registry (metrics.hpp)
+// instead. The Tracer also keeps a bounded ring of finished spans.
 //
 // Exports: finished_spans_json() (a plain span list with both durations
 // and the parent links) and chrome_trace_json() (Chrome trace_event
@@ -104,8 +107,32 @@ class Tracer {
   std::deque<SpanRecord> finished_;
 };
 
-/// The process-wide tracer all instrumentation reports into.
+/// The tracer instrumentation on this thread reports into: the tracer
+/// bound to this thread via set_thread_tracer / ScopedThreadTracer if any,
+/// else the process-wide instance.
 Tracer& tracer();
+
+/// Binds `t` as this thread's tracer (nullptr unbinds, restoring the
+/// process-wide instance). Returns the previous binding so callers can
+/// restore it. Prefer ScopedThreadTracer.
+Tracer* set_thread_tracer(Tracer* t);
+
+/// RAII thread-tracer binding: spans opened on this thread inside the
+/// scope land in `t`, isolated from every other thread's spans. Used by
+/// the session engine so interleaved concurrent sessions each produce a
+/// coherent, self-contained trace. `t` must outlive the scope; every span
+/// opened inside must also end inside.
+class ScopedThreadTracer {
+ public:
+  explicit ScopedThreadTracer(Tracer& t) : prev_(set_thread_tracer(&t)) {}
+  ~ScopedThreadTracer() { set_thread_tracer(prev_); }
+
+  ScopedThreadTracer(const ScopedThreadTracer&) = delete;
+  ScopedThreadTracer& operator=(const ScopedThreadTracer&) = delete;
+
+ private:
+  Tracer* prev_;
+};
 
 /// RAII span handle. Construct to open, destroy (or end()) to close.
 /// Inactive (zero-cost) when the tracer is disabled at construction time.

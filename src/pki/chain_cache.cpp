@@ -39,10 +39,17 @@ crypto::Digest32 ChainVerificationCache::cache_key(
 Status ChainVerificationCache::verify(
     const Certificate& leaf, const std::vector<Certificate>& intermediates,
     const std::vector<Certificate>& roots, const ChainVerifyOptions& options) {
+  return verify_keyed(cache_key(leaf, intermediates, roots, options), leaf,
+                      intermediates, roots, options);
+}
+
+Status ChainVerificationCache::verify_keyed(
+    const crypto::Digest32& key, const Certificate& leaf,
+    const std::vector<Certificate>& intermediates,
+    const std::vector<Certificate>& roots, const ChainVerifyOptions& options) {
   obs::Span span("pki.chain_verify");
   span.attr("chain_len",
             static_cast<std::uint64_t>(1 + intermediates.size()));
-  const crypto::Digest32 key = cache_key(leaf, intermediates, roots, options);
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -118,6 +125,56 @@ void ChainVerificationCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   lru_.clear();
+}
+
+ShardedChainCache::ShardedChainCache(std::size_t shards,
+                                     std::size_t capacity_per_shard) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(
+        std::make_unique<ChainVerificationCache>(capacity_per_shard));
+  }
+}
+
+std::size_t ShardedChainCache::shard_index(const crypto::Digest32& key) const {
+  std::uint64_t prefix = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    prefix = (prefix << 8) | key[i];
+  }
+  return static_cast<std::size_t>(prefix % shards_.size());
+}
+
+Status ShardedChainCache::verify(const Certificate& leaf,
+                                 const std::vector<Certificate>& intermediates,
+                                 const std::vector<Certificate>& roots,
+                                 const ChainVerifyOptions& options) {
+  const crypto::Digest32 key =
+      ChainVerificationCache::cache_key(leaf, intermediates, roots, options);
+  return shards_[shard_index(key)]->verify_keyed(key, leaf, intermediates,
+                                                 roots, options);
+}
+
+ChainVerificationCache::Stats ShardedChainCache::stats() const {
+  ChainVerificationCache::Stats total;
+  for (const auto& shard : shards_) {
+    const ChainVerificationCache::Stats s = shard->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.window_rejects += s.window_rejects;
+  }
+  return total;
+}
+
+std::size_t ShardedChainCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+void ShardedChainCache::clear() {
+  for (auto& shard : shards_) shard->clear();
 }
 
 }  // namespace revelio::pki

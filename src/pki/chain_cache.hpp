@@ -13,29 +13,73 @@
 // not on the hot path. Any change to a certificate's bytes (including its
 // validity window) or to the root set changes the key, which is what
 // invalidates stale entries; capacity is a bounded LRU.
+//
+// Two implementations sit behind the ChainVerifier interface that
+// consumers (net::TlsTrustConfig, sevsnp::ReportVerifyOptions) hold a
+// pointer to:
+//   - ChainVerificationCache: one LRU under one mutex. Right for a single
+//     client, or per-session private caches.
+//   - ShardedChainCache: K independent ChainVerificationCache shards,
+//     selected by the cache-key fingerprint. Same semantics, but
+//     concurrent gateway sessions verifying *different* chains contend on
+//     different mutexes instead of serializing on one.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "pki/cert.hpp"
 
 namespace revelio::pki {
 
-class ChainVerificationCache {
+/// Interface for anything that can stand in for verify_chain. All
+/// implementations here are thread-safe: the gateway shares one verifier
+/// across concurrent sessions.
+class ChainVerifier {
+ public:
+  virtual ~ChainVerifier() = default;
+
+  /// Drop-in replacement for verify_chain (same arguments, same verdict
+  /// semantics), typically backed by a cache of prior successes.
+  virtual Status verify(const Certificate& leaf,
+                        const std::vector<Certificate>& intermediates,
+                        const std::vector<Certificate>& roots,
+                        const ChainVerifyOptions& options) = 0;
+};
+
+class ChainVerificationCache final : public ChainVerifier {
  public:
   explicit ChainVerificationCache(std::size_t capacity = 64);
 
-  /// Drop-in replacement for verify_chain: returns the cached verdict when
-  /// the same (chain, roots, dns constraint) verified before and now_us is
-  /// inside the recorded validity intersection; otherwise verifies and
-  /// caches on success.
+  /// Returns the cached verdict when the same (chain, roots, dns
+  /// constraint) verified before and now_us is inside the recorded
+  /// validity intersection; otherwise verifies and caches on success.
+  /// Thread-safe: lookups and insertions serialize on one internal mutex;
+  /// the actual verify_chain work for a miss runs outside it (two misses
+  /// of the same chain may race to verify — both succeed, one caches).
   Status verify(const Certificate& leaf,
                 const std::vector<Certificate>& intermediates,
                 const std::vector<Certificate>& roots,
-                const ChainVerifyOptions& options);
+                const ChainVerifyOptions& options) override;
+
+  /// The fingerprint verify() keys entries by: exact bytes of every
+  /// certificate supplied plus the DNS-name constraint. Public so that
+  /// ShardedChainCache can hash once, route, and pass the key down.
+  static crypto::Digest32 cache_key(const Certificate& leaf,
+                                    const std::vector<Certificate>& inters,
+                                    const std::vector<Certificate>& roots,
+                                    const ChainVerifyOptions& options);
+
+  /// verify() with the key already computed — must be the cache_key of the
+  /// same arguments. Same thread-safety as verify().
+  Status verify_keyed(const crypto::Digest32& key, const Certificate& leaf,
+                      const std::vector<Certificate>& intermediates,
+                      const std::vector<Certificate>& roots,
+                      const ChainVerifyOptions& options);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -46,9 +90,10 @@ class ChainVerificationCache {
     /// window (entry expired, dropped, chain re-verified).
     std::uint64_t window_rejects = 0;
   };
-  /// Per-instance counters. The same events are also reported process-wide
-  /// through obs::metrics() as pki.chain_cache.{hit,miss,eviction,expiry}
-  /// .count, aggregated across all caches.
+  /// Per-instance counters, read under the cache mutex (safe any time).
+  /// The same events are also reported process-wide through obs::metrics()
+  /// as pki.chain_cache.{hit,miss,eviction,expiry}.count, aggregated
+  /// across all caches.
   Stats stats() const;
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
@@ -61,15 +106,52 @@ class ChainVerificationCache {
     std::list<crypto::Digest32>::iterator lru_it;
   };
 
-  static crypto::Digest32 cache_key(
-      const Certificate& leaf, const std::vector<Certificate>& intermediates,
-      const std::vector<Certificate>& roots, const ChainVerifyOptions& options);
-
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::list<crypto::Digest32> lru_;  // front = most recently used
   std::map<crypto::Digest32, Entry> entries_;
   Stats stats_;
+};
+
+/// Lock-striped chain cache: the cache-key fingerprint picks one of
+/// `shards` independent ChainVerificationCache instances, so concurrent
+/// verifications of unrelated chains (different clients, different server
+/// certs) proceed without sharing a mutex. Repeat verifications of the
+/// same chain always land on the same shard and hit its LRU exactly like
+/// the unsharded cache would. Total capacity = shards * capacity_per_shard.
+class ShardedChainCache final : public ChainVerifier {
+ public:
+  explicit ShardedChainCache(std::size_t shards = 8,
+                             std::size_t capacity_per_shard = 64);
+
+  /// Thread-safe; hashes once, routes to the key's shard, then behaves
+  /// exactly like ChainVerificationCache::verify on that shard.
+  Status verify(const Certificate& leaf,
+                const std::vector<Certificate>& intermediates,
+                const std::vector<Certificate>& roots,
+                const ChainVerifyOptions& options) override;
+
+  /// Stats summed over all shards (each shard read under its own mutex;
+  /// the sum is not a single atomic snapshot, which only matters if
+  /// updates are in flight while reading).
+  ChainVerificationCache::Stats stats() const;
+  /// Entry count summed over all shards.
+  std::size_t size() const;
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Direct shard access for tests (distribution, per-shard eviction).
+  const ChainVerificationCache& shard(std::size_t i) const {
+    return *shards_[i];
+  }
+  void clear();
+
+  /// Which shard a cache key routes to: first 8 bytes of the fingerprint
+  /// (big-endian) modulo the shard count. Exposed for tests.
+  std::size_t shard_index(const crypto::Digest32& key) const;
+
+ private:
+  // unique_ptr: ChainVerificationCache owns a mutex, so the shard array
+  // must never reallocate or copy.
+  std::vector<std::unique_ptr<ChainVerificationCache>> shards_;
 };
 
 }  // namespace revelio::pki

@@ -1,0 +1,114 @@
+#include "revelio/session_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <optional>
+
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+
+namespace revelio::core {
+
+namespace {
+
+/// Nearest-rank percentile over a sorted sample (q in (0, 1]).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+SessionEngine::SessionEngine(SessionEngineConfig config)
+    : config_(config),
+      chain_cache_(config.chain_cache_shards,
+                   config.chain_cache_capacity_per_shard),
+      vcek_cache_(config.vcek_cache_shards,
+                  config.vcek_cache_capacity_per_shard) {}
+
+unsigned SessionEngine::workers() const {
+  return config_.workers == 0 ? common::ThreadPool::default_thread_count()
+                              : config_.workers;
+}
+
+SessionEngine::Report SessionEngine::run(std::size_t sessions,
+                                         const SessionFn& fn) {
+  Report report;
+  report.sessions = sessions;
+  report.outcomes.assign(sessions, Status::success());
+  report.session_virt_ms.assign(sessions, 0.0);
+  if (sessions == 0) return report;
+
+  const auto real_start = std::chrono::steady_clock::now();
+  common::ThreadPool pool(workers());
+  pool.for_tasks(sessions, [&](std::size_t i) {
+    // Per-session observability: its own tracer always (the process
+    // tracer is not thread-safe), its own metrics registry when isolating.
+    obs::MetricsRegistry session_metrics;
+    obs::Tracer session_tracer;
+    session_tracer.set_enabled(config_.trace_sessions);
+    {
+      obs::ScopedThreadTracer tracer_scope(session_tracer);
+      std::optional<obs::ScopedThreadMetrics> metrics_scope;
+      if (config_.isolate_obs) metrics_scope.emplace(session_metrics);
+
+      SessionContext ctx;
+      ctx.index = i;
+      ctx.chain_cache = &chain_cache_;
+      ctx.vcek_cache = &vcek_cache_;
+      ctx.tracer = &session_tracer;
+      report.outcomes[i] = fn(ctx);
+      report.session_virt_ms[i] = ctx.virt_ms;
+    }
+    // Bindings restored: metrics() is the process registry again. Folding
+    // here — concurrently with other sessions ending — is the case the
+    // locked histogram merge exists for.
+    if (config_.isolate_obs && config_.merge_metrics) {
+      obs::metrics().merge_from(session_metrics);
+    }
+  });
+  const auto real_end = std::chrono::steady_clock::now();
+
+  report.real_elapsed_ms =
+      std::chrono::duration<double, std::milli>(real_end - real_start).count();
+  for (const auto& st : report.outcomes) {
+    if (st.ok()) {
+      ++report.succeeded;
+    } else {
+      ++report.failed;
+    }
+  }
+  if (report.real_elapsed_ms > 0.0) {
+    report.sessions_per_real_sec = static_cast<double>(sessions) /
+                                   (report.real_elapsed_ms / 1000.0);
+  }
+
+  // Virtual-time lane model: deterministic round-robin assignment (session
+  // i -> lane i % workers), independent of which OS thread actually ran
+  // which task. That keeps the makespan — and everything derived from it —
+  // reproducible run to run.
+  std::vector<double> lanes(std::min<std::size_t>(workers(), sessions), 0.0);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    lanes[i % lanes.size()] += report.session_virt_ms[i];
+  }
+  report.virt_makespan_ms = *std::max_element(lanes.begin(), lanes.end());
+  if (report.virt_makespan_ms > 0.0) {
+    report.sessions_per_virtual_sec = static_cast<double>(sessions) /
+                                      (report.virt_makespan_ms / 1000.0);
+  }
+
+  std::vector<double> sorted = report.session_virt_ms;
+  std::sort(sorted.begin(), sorted.end());
+  report.virt_p50_ms = percentile(sorted, 0.50);
+  report.virt_p95_ms = percentile(sorted, 0.95);
+  report.virt_p99_ms = percentile(sorted, 0.99);
+
+  report.chain_stats = chain_cache_.stats();
+  report.vcek_stats = vcek_cache_.stats();
+  return report;
+}
+
+}  // namespace revelio::core

@@ -1,0 +1,135 @@
+// Concurrent attestation gateway: the session engine.
+//
+// The paper evaluates one client attesting one Revelio VM; a deployment
+// fronts *many* clients at once. SessionEngine drives N independent client
+// sessions over a task-queue thread pool (common/parallel.hpp — each
+// session is one dynamically-claimed task, so long sessions don't convoy),
+// sharing exactly two pieces of state across them, both built for
+// concurrency:
+//
+//  - a ShardedChainCache (pki/chain_cache.hpp): certificate-chain verdicts,
+//    lock-striped so unrelated chains don't contend;
+//  - a VcekCache (revelio/vcek_cache.hpp): VCEK chains from the KDS, with
+//    single-flight so a cold cache costs ONE fetch no matter how many
+//    sessions stampede it.
+//
+// Everything else is per-session. The simulation's core objects (Network,
+// SimClock, TLS sessions) are single-threaded by design, so each session
+// (or each lane) drives its own world replica; the engine's per-thread
+// bindings keep the worlds from bleeding into each other:
+//
+//  - SimClock resolution is thread-local (common/sim_clock.hpp) — a worker
+//    binds its world's clock with ScopedClockCurrent;
+//  - each session gets its own Tracer bound via ScopedThreadTracer, so
+//    interleaved sessions produce coherent, isolated traces;
+//  - with isolate_obs, each session records into a private MetricsRegistry
+//    that the engine folds into the process registry when the session ends
+//    (obs/metrics.hpp merge_from — safe under concurrent session-end).
+//
+// The Report separates the two clocks: real_elapsed_ms is wall time of the
+// whole run; the virtual-latency percentiles and the lane-model makespan
+// come from the per-session virtual durations the session function
+// reports, which are deterministic — benchmarks gate on them (see
+// bench/bench_gateway.cpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/result.hpp"
+#include "obs/trace.hpp"
+#include "pki/chain_cache.hpp"
+#include "revelio/vcek_cache.hpp"
+
+namespace revelio::core {
+
+struct SessionEngineConfig {
+  /// Worker lanes (0 = ThreadPool::default_thread_count()). Also the lane
+  /// count of the virtual-time makespan model in Report.
+  unsigned workers = 0;
+  std::size_t chain_cache_shards = 8;
+  std::size_t chain_cache_capacity_per_shard = 64;
+  std::size_t vcek_cache_shards = 8;
+  std::size_t vcek_cache_capacity_per_shard = 64;
+  /// Give each session a private MetricsRegistry for its duration.
+  bool isolate_obs = true;
+  /// Fold each session's private registry into the process-wide one when
+  /// the session ends (only meaningful with isolate_obs).
+  bool merge_metrics = true;
+  /// Enable each session's private tracer (spans cost nothing otherwise).
+  bool trace_sessions = false;
+};
+
+/// What one session sees while it runs. The cache pointers are shared with
+/// every other session and safe to use concurrently; everything a session
+/// builds beyond them must be its own.
+struct SessionContext {
+  std::size_t index = 0;                     // session number in [0, N)
+  pki::ChainVerifier* chain_cache = nullptr; // the engine's sharded cache
+  VcekCache* vcek_cache = nullptr;           // the engine's VCEK cache
+  /// The session's tracer (already bound to the thread; enabled iff
+  /// trace_sessions). Read finished spans from it before returning — it
+  /// dies with the session.
+  obs::Tracer* tracer = nullptr;
+  /// Out-parameter: the session's virtual duration, reported by the
+  /// session function (e.g. the world clock's delta across the session).
+  /// Feeds the Report's percentiles and makespan.
+  double virt_ms = 0.0;
+};
+
+/// One client session: attest, fetch, verify — whatever the caller stages.
+/// Runs on a pool lane; must only touch the shared caches through ctx and
+/// its own per-session/per-lane state. A failed Status marks the session
+/// failed in the Report; the engine itself never interprets the error.
+using SessionFn = std::function<Status(SessionContext&)>;
+
+class SessionEngine {
+ public:
+  explicit SessionEngine(SessionEngineConfig config = {});
+
+  struct Report {
+    std::size_t sessions = 0;
+    std::size_t succeeded = 0;
+    std::size_t failed = 0;
+    /// Per-session outcome, indexed by session number.
+    std::vector<Status> outcomes;
+    /// Per-session virtual duration as reported via ctx.virt_ms.
+    std::vector<double> session_virt_ms;
+
+    /// Wall-clock time of the whole run (not deterministic; not gated).
+    double real_elapsed_ms = 0.0;
+    double sessions_per_real_sec = 0.0;
+
+    /// Deterministic virtual-time lane model: session i is charged to lane
+    /// i % workers and lanes run in parallel, so the makespan is the
+    /// heaviest lane's total. This is what "concurrency" means under a
+    /// simulated clock — and what the gateway bench gates on.
+    double virt_makespan_ms = 0.0;
+    double sessions_per_virtual_sec = 0.0;
+    double virt_p50_ms = 0.0;
+    double virt_p95_ms = 0.0;
+    double virt_p99_ms = 0.0;
+
+    pki::ChainVerificationCache::Stats chain_stats;  // summed over shards
+    VcekCache::Stats vcek_stats;
+  };
+
+  /// Runs `sessions` instances of `fn` over the pool and aggregates. Not
+  /// re-entrant: one run() at a time per engine (the shared caches persist
+  /// across runs; construct a fresh engine for cold-cache measurements).
+  Report run(std::size_t sessions, const SessionFn& fn);
+
+  /// Lanes the engine schedules on (== the makespan model's lane count).
+  unsigned workers() const;
+
+  pki::ShardedChainCache& chain_cache() { return chain_cache_; }
+  VcekCache& vcek_cache() { return vcek_cache_; }
+
+ private:
+  SessionEngineConfig config_;
+  pki::ShardedChainCache chain_cache_;
+  VcekCache vcek_cache_;
+};
+
+}  // namespace revelio::core

@@ -1,0 +1,124 @@
+#include "revelio/vcek_cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace revelio::core {
+
+VcekCache::VcekCache(std::size_t shards, std::size_t capacity_per_shard)
+    : capacity_per_shard_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::size_t VcekCache::shard_index(const Key& key) const {
+  // FNV-1a over the chip id bytes then the encoded TCB: cheap, stable, and
+  // spreads sequential chip ids across shards.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto byte : key.first) {
+    h ^= static_cast<std::uint64_t>(byte);
+    h *= 1099511628211ULL;
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    h ^= (key.second >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h % shards_.size());
+}
+
+bool VcekCache::lookup(Shard& shard, const Key& key,
+                       KdsService::VcekResponse* out) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.second);
+  *out = it->second.first;
+  return true;
+}
+
+Result<KdsService::VcekResponse> VcekCache::get_or_fetch(
+    const sevsnp::ChipId& chip, sevsnp::TcbVersion tcb, const FetchFn& fetch) {
+  const Key key = std::make_pair(chip.bytes(), tcb.encode());
+  Shard& shard = *shards_[shard_index(key)];
+
+  KdsService::VcekResponse cached;
+  if (lookup(shard, key, &cached)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().counter("kds.fetch.hit.count").inc();
+    return cached;
+  }
+
+  bool coalesced = false;
+  auto result = shard.flights.run(key, &coalesced, [&] {
+    // Leader. Re-check the shard first: a previous flight may have filled
+    // the entry between our miss and the flight starting.
+    KdsService::VcekResponse refilled;
+    if (lookup(shard, key, &refilled)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::metrics().counter("kds.fetch.hit.count").inc();
+      return Result<KdsService::VcekResponse>(refilled);
+    }
+
+    fetches_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().counter("kds.fetch.count").inc();
+    Result<KdsService::VcekResponse> fetched = fetch();
+    if (!fetched.ok()) return fetched;  // failures are never cached
+
+    // Insert BEFORE the flight publishes: once any waiter observes the
+    // result, the entry is already servable — no window where a fresh
+    // caller misses a chain that a finished flight just fetched.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.count(key) == 0) {
+      if (shard.entries.size() >= capacity_per_shard_) {
+        shard.entries.erase(shard.lru.back());
+        shard.lru.pop_back();
+      }
+      shard.lru.push_front(key);
+      shard.entries.emplace(
+          key, std::make_pair(*fetched, shard.lru.begin()));
+    }
+    return fetched;
+  });
+
+  if (coalesced) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().counter("kds.fetch.coalesced.count").inc();
+  }
+  if (!result.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+VcekCache::Stats VcekCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.fetches = fetches_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.failures = failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t VcekCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+std::size_t VcekCache::shard_size(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(shards_[i]->mu);
+  return shards_[i]->entries.size();
+}
+
+void VcekCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace revelio::core

@@ -1,0 +1,105 @@
+// Shared VCEK-chain cache with single-flight KDS fetch coalescing.
+//
+// Every attesting client needs the VCEK certificate chain for the
+// (chip id, TCB) its server's report names, and the chain only changes on
+// a firmware update — yet a gateway's concurrent sessions would otherwise
+// each pay the full KDS round trip (or, worse, all of them at once on a
+// cold cache: the thundering herd AMD's production KDS is documented to
+// rate-limit). This cache gives the gateway one shared store:
+//
+//  - Lock-striped LRU: the key hashes to one of K independent shards,
+//    each with its own mutex and capacity, so sessions resolving
+//    *different* chips don't contend.
+//  - Single-flight misses: concurrent misses on the SAME key coalesce
+//    into one KDS fetch (common/single_flight.hpp); the leader inserts
+//    the response into the shard before publishing, so followers and all
+//    later callers hit. Fetch failures are never cached and are delivered
+//    to every coalesced waiter; retries belong inside the fetch function.
+//
+// Metrics (process-wide via obs::metrics(), or the session registry when
+// one is bound): kds.fetch.count — real fetches executed (the acceptance
+// signal for dedup: N concurrent cold sessions must leave this at 1);
+// kds.fetch.hit.count — cache hits; kds.fetch.coalesced.count — callers
+// that waited on another caller's fetch instead of issuing their own.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/single_flight.hpp"
+#include "revelio/evidence.hpp"
+
+namespace revelio::core {
+
+/// Thread-safe sharded VCEK store. Values are whole KdsService::VcekResponse
+/// bundles (VCEK + ASK + ARK), copied out on every hit — the certificates
+/// are small and a copy keeps hits lock-free for the caller.
+class VcekCache {
+ public:
+  /// Cache key: (raw chip id bytes, encoded TCB version).
+  using Key = std::pair<Bytes, std::uint64_t>;
+  /// The actual KDS round trip, supplied by the caller so the cache stays
+  /// ignorant of transport, retries and failover. Runs outside all cache
+  /// locks; at most one instance per key runs at a time.
+  using FetchFn = std::function<Result<KdsService::VcekResponse>()>;
+
+  explicit VcekCache(std::size_t shards = 8,
+                     std::size_t capacity_per_shard = 64);
+
+  /// Returns the cached chain for (chip, tcb), or executes `fetch` —
+  /// coalescing with any concurrent fetch of the same key — and caches the
+  /// response on success. Thread-safe; the dominant concurrent pattern
+  /// (every session asking for the same chip) costs one fetch total.
+  Result<KdsService::VcekResponse> get_or_fetch(const sevsnp::ChipId& chip,
+                                                sevsnp::TcbVersion tcb,
+                                                const FetchFn& fetch);
+
+  struct Stats {
+    std::uint64_t hits = 0;       // served from a shard without fetching
+    std::uint64_t fetches = 0;    // FetchFn actually executed (leaders)
+    std::uint64_t coalesced = 0;  // waited on another caller's fetch
+    std::uint64_t failures = 0;   // get_or_fetch calls that returned error
+  };
+  /// Atomic counters; readable at any time from any thread.
+  Stats stats() const;
+
+  /// Entries currently cached, summed over shards.
+  std::size_t size() const;
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Entry count of one shard (tests: key distribution, eviction).
+  std::size_t shard_size(std::size_t i) const;
+  /// Which shard a key routes to (FNV-1a over chip bytes + TCB, mod K).
+  std::size_t shard_index(const Key& key) const;
+  void clear();
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::list<Key> lru;  // front = most recently used
+    std::map<Key, std::pair<KdsService::VcekResponse,
+                            std::list<Key>::iterator>>
+        entries;
+    common::SingleFlight<Key, KdsService::VcekResponse> flights;
+  };
+
+  /// Looks `key` up in `shard`, refreshing LRU order on a hit.
+  bool lookup(Shard& shard, const Key& key, KdsService::VcekResponse* out);
+
+  std::size_t capacity_per_shard_;
+  // unique_ptr: Shard owns a mutex, the array must never move.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> fetches_{0};
+  mutable std::atomic<std::uint64_t> coalesced_{0};
+  mutable std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace revelio::core

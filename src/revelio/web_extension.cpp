@@ -28,7 +28,8 @@ Result<net::TlsSession*> Browser::session_for(const std::string& domain,
   trust.roots = trust_roots_;
   trust.server_name = domain;
   trust.now_us = network_->clock().now_us();
-  trust.chain_cache = chain_cache_.get();
+  trust.chain_cache = external_chain_cache_ != nullptr ? external_chain_cache_
+                                                       : chain_cache_.get();
   auto session = net::TlsSession::connect(
       *network_, {client_host_, next_port_++}, *address, trust, entropy_);
   if (!session.ok()) return session.error();
@@ -89,7 +90,11 @@ WebExtension::WebExtension(Browser& browser, WebExtensionConfig config)
       config_(std::move(config)),
       kds_failover_(kds_replicas(config_), config_.kds_breaker, "kds"),
       retry_jitter_(to_bytes("ext-retry-jitter"), to_bytes(browser.host())),
-      chain_cache_(std::make_unique<pki::ChainVerificationCache>()) {}
+      chain_cache_(std::make_unique<pki::ChainVerificationCache>()),
+      chain_verifier_(config_.shared_chain_cache != nullptr
+                          ? config_.shared_chain_cache
+                          : static_cast<pki::ChainVerifier*>(
+                                chain_cache_.get())) {}
 
 void WebExtension::register_site(const std::string& domain,
                                  SiteRegistration site) {
@@ -118,6 +123,29 @@ Result<bool> WebExtension::discover(const std::string& domain,
 Result<KdsService::VcekResponse> WebExtension::fetch_vcek(
     const sevsnp::ChipId& chip, sevsnp::TcbVersion tcb,
     const net::Deadline& deadline) {
+  if (config_.shared_vcek_cache != nullptr) {
+    // Gateway mode: hit the shared cache; on a miss, this extension's own
+    // resilience stack (retry x failover, breakers) becomes the
+    // single-flight leader's fetch — concurrent sessions missing on the
+    // same (chip, tcb) wait for it instead of stampeding the KDS.
+    return config_.shared_vcek_cache->get_or_fetch(chip, tcb, [&] {
+      obs::Span span("ext.kds_fetch");
+      ++kds_fetches_;
+      obs::metrics().counter("ext.kds_fetch.count").inc();
+      SimClock& clock = browser_->network().clock();
+      auto response = net::with_retries(
+          clock, retry_jitter_, config_.retry, deadline, "ext.kds_fetch", [&] {
+            return kds_failover_.execute(clock, [&](const net::Address& kds) {
+              return KdsService::fetch(browser_->network(),
+                                       {browser_->host(), 39999}, kds, chip,
+                                       tcb);
+            });
+          });
+      span.attr("result", response.ok() ? "ok" : response.error().code);
+      return response;
+    });
+  }
+
   const auto key = std::make_pair(chip.bytes(), tcb.encode());
   if (config_.cache_vcek) {
     const auto it = vcek_cache_.find(key);
@@ -215,7 +243,7 @@ Result<AttestationChecks> WebExtension::attest_impl(
   sevsnp::ReportVerifyOptions options;
   options.now_us = browser_->network().clock().now_us();
   options.minimum_tcb = site.minimum_tcb;
-  options.chain_cache = chain_cache_.get();
+  options.chain_cache = chain_verifier_;
   const auto verify = sevsnp::verify_report(bundle->report, kds->vcek,
                                             {kds->ask}, {kds->ark}, options);
   if (!verify.ok()) {

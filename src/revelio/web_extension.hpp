@@ -19,6 +19,7 @@
 #include "net/tls.hpp"
 #include "revelio/evidence.hpp"
 #include "revelio/trusted_registry.hpp"
+#include "revelio/vcek_cache.hpp"
 
 namespace revelio::core {
 
@@ -44,6 +45,14 @@ class Browser {
   const std::string& host() const { return client_host_; }
   net::Network& network() { return *network_; }
 
+  /// Replaces the private handshake chain cache with a shared verifier
+  /// (e.g. the gateway's ShardedChainCache — thread-safe, so many browsers
+  /// on many lanes can share it). Pass nullptr to revert to the private
+  /// cache. The verifier must outlive the browser.
+  void set_chain_cache(pki::ChainVerifier* cache) {
+    external_chain_cache_ = cache;
+  }
+
   /// Handshake chain-verification cache stats (benchmarks read these).
   pki::ChainVerificationCache::Stats chain_cache_stats() const {
     return chain_cache_->stats();
@@ -61,6 +70,8 @@ class Browser {
   /// Reconnects to a known server revalidate its chain from this cache
   /// (behind unique_ptr: the cache holds a mutex, Browser stays movable).
   std::unique_ptr<pki::ChainVerificationCache> chain_cache_;
+  /// When set (set_chain_cache), used instead of chain_cache_.
+  pki::ChainVerifier* external_chain_cache_ = nullptr;
   std::uint16_t next_port_ = 40000;
 };
 
@@ -117,6 +128,14 @@ struct WebExtensionConfig {
   double attest_deadline_ms = 0.0;
   /// Breaker config shared by the per-KDS-replica circuit breakers.
   net::CircuitBreaker::Config kds_breaker;
+  /// Gateway mode: a shared, thread-safe chain verifier (typically the
+  /// engine's ShardedChainCache) used for report-chain verification in
+  /// place of the extension's private cache. Must outlive the extension.
+  pki::ChainVerifier* shared_chain_cache = nullptr;
+  /// Gateway mode: a shared VCEK cache with single-flight fetch
+  /// coalescing, replacing the private per-extension VCEK map (and making
+  /// cache_vcek irrelevant). Must outlive the extension.
+  VcekCache* shared_vcek_cache = nullptr;
 };
 
 class WebExtension {
@@ -189,6 +208,9 @@ class WebExtension {
   std::map<std::string, DomainState> state_;
   /// Memoizes the ARK -> ASK -> VCEK chain walk across attestations.
   std::unique_ptr<pki::ChainVerificationCache> chain_cache_;
+  /// What report verification actually uses: config_.shared_chain_cache
+  /// when provided, else chain_cache_.get().
+  pki::ChainVerifier* chain_verifier_ = nullptr;
   std::map<std::pair<Bytes, std::uint64_t>, KdsService::VcekResponse>
       vcek_cache_;
   std::uint64_t kds_fetches_ = 0;

@@ -1,0 +1,743 @@
+// Concurrent attestation gateway: session engine, sharded caches,
+// single-flight KDS fetch coalescing, and the per-session observability
+// isolation they rely on. Runs tier-1 and under the tsan preset — most of
+// these tests exist precisely to put real threads on the shared state.
+//
+// The end-to-end tests drive several complete simulated worlds (the
+// chaos-soak fixture, trimmed to one VM) from the engine's worker lanes:
+// each world is single-threaded by design, so a session locks its world,
+// binds the world's clock to the worker thread (ScopedClockCurrent), and
+// shares only the engine's thread-safe caches with other sessions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/single_flight.hpp"
+#include "imagebuild/builder.hpp"
+#include "obs/metrics.hpp"
+#include "pki/ca.hpp"
+#include "revelio/revelio_vm.hpp"
+#include "revelio/session_engine.hpp"
+#include "revelio/sp_node.hpp"
+#include "revelio/web_extension.hpp"
+#include "vm/hypervisor.hpp"
+
+namespace revelio::core {
+namespace {
+
+using crypto::HmacDrbg;
+
+// ---------------------------------------------------------------------------
+// Histogram / registry merge (the concurrent session-end bugfix)
+
+TEST(MetricsMerge, SnapshotIsConsistentUnderConcurrentObserve) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("gw.x.ms", {1.0, 10.0});
+  constexpr int kObservations = 200000;
+  std::thread writer([&h] {
+    for (int i = 0; i < kObservations; ++i) h.observe(3.0);
+  });
+  // Every snapshot taken mid-write must be internally consistent: the
+  // bucket total, the count and the sum all describe the same instant.
+  for (int i = 0; i < 50; ++i) {
+    const obs::Histogram::Snapshot snap = h.snapshot();
+    std::uint64_t bucket_total = 0;
+    for (const auto c : snap.counts) bucket_total += c;
+    EXPECT_EQ(bucket_total, snap.count);
+    EXPECT_DOUBLE_EQ(snap.sum, 3.0 * static_cast<double>(snap.count));
+  }
+  writer.join();
+  EXPECT_EQ(h.snapshot().count, static_cast<std::uint64_t>(kObservations));
+}
+
+TEST(MetricsMerge, ConcurrentSessionEndLosesNoObservations) {
+  // The regression this PR fixes: merging per-session histograms into one
+  // registry from many threads at once (sessions ending together) while
+  // other threads keep observing. Every observation must land exactly once.
+  obs::MetricsRegistry global;
+  constexpr int kSessions = 8;
+  constexpr int kPerSession = 2000;
+  constexpr int kDirect = 5000;
+
+  std::thread direct_writer([&global] {
+    obs::Histogram& h = global.histogram("gw.session.virt.ms", {1.0, 10.0});
+    for (int i = 0; i < kDirect; ++i) h.observe(5.0);
+  });
+  std::vector<std::thread> sessions;
+  sessions.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&global] {
+      obs::MetricsRegistry session;
+      obs::Histogram& h =
+          session.histogram("gw.session.virt.ms", {1.0, 10.0});
+      for (int i = 0; i < kPerSession; ++i) {
+        h.observe(static_cast<double>(i % 20));
+      }
+      session.counter("gw.sessions.count").inc();
+      session.gauge("gw.last.ms").add(1.0);
+      global.merge_from(session);
+    });
+  }
+  for (auto& t : sessions) t.join();
+  direct_writer.join();
+
+  const obs::Histogram::Snapshot snap =
+      global.histograms().at("gw.session.virt.ms").snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kSessions * kPerSession + kDirect));
+  std::uint64_t bucket_total = 0;
+  for (const auto c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_EQ(global.counter_value("gw.sessions.count"),
+            static_cast<std::uint64_t>(kSessions));
+  EXPECT_DOUBLE_EQ(global.gauges().at("gw.last.ms").value(),
+                   static_cast<double>(kSessions));
+}
+
+TEST(MetricsMerge, MismatchedBucketsFoldIntoOverflowKeepingTotalsExact) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.histogram("h", {10.0}).observe(2.0);
+  b.histogram("h", {1.0, 2.0}).observe(1.5);
+  b.histogram("h", {1.0, 2.0}).observe(100.0);
+  a.merge_from(b);
+  const obs::Histogram::Snapshot snap = a.histograms().at("h").snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 103.5);
+  // a's own observation sits in its bucket; b's two observations (bounds
+  // differ) are parked in +inf rather than guessed into bins.
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 2u);
+}
+
+TEST(MetricsMerge, ThreadBindingIsolatesAndMergeFolds) {
+  obs::MetricsRegistry session;
+  obs::MetricsRegistry* global = &obs::metrics();
+  const std::uint64_t before = global->counter_value("gw.bind.count");
+  {
+    obs::ScopedThreadMetrics scope(session);
+    EXPECT_EQ(&obs::metrics(), &session);
+    obs::metrics().counter("gw.bind.count").inc(3);
+  }
+  EXPECT_EQ(&obs::metrics(), global);
+  EXPECT_EQ(global->counter_value("gw.bind.count"), before);
+  EXPECT_EQ(session.counter_value("gw.bind.count"), 3u);
+  global->merge_from(session);
+  EXPECT_EQ(global->counter_value("gw.bind.count"), before + 3);
+}
+
+// ---------------------------------------------------------------------------
+// SingleFlight
+
+TEST(SingleFlight, CoalescesConcurrentSameKeyCallers) {
+  common::SingleFlight<int, int> flights;
+  constexpr int kThreads = 8;
+  std::atomic<int> calls{0};
+  std::atomic<int> entered{0};
+  std::vector<int> values(kThreads, 0);
+  std::vector<char> coalesced(kThreads, 0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      entered.fetch_add(1);
+      bool waited = false;
+      auto result = flights.run(7, &waited, [&]() -> Result<int> {
+        calls.fetch_add(1);
+        // Leader: hold the flight open until every thread has at least
+        // reached run(), then a grace period for them to hit the wait.
+        while (entered.load() < kThreads) {
+          std::this_thread::yield();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        return 42;
+      });
+      ASSERT_TRUE(result.ok());
+      values[t] = *result;
+      coalesced[t] = waited ? 1 : 0;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(calls.load(), 1) << "exactly one leader executes the function";
+  int waited_count = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(values[t], 42);
+    waited_count += coalesced[t];
+  }
+  EXPECT_EQ(waited_count, kThreads - 1);
+  EXPECT_EQ(flights.inflight(), 0u);
+}
+
+TEST(SingleFlight, DistinctKeysRunIndependently) {
+  common::SingleFlight<int, int> flights;
+  std::atomic<int> calls{0};
+  std::vector<std::thread> threads;
+  for (int k = 0; k < 4; ++k) {
+    threads.emplace_back([&flights, &calls, k] {
+      auto result = flights.run(k, nullptr, [&calls, k]() -> Result<int> {
+        calls.fetch_add(1);
+        return k * 10;
+      });
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(*result, k * 10);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(SingleFlight, LeaderErrorReachesWaitersAndIsNotSticky) {
+  common::SingleFlight<int, int> flights;
+  auto failed = flights.run(1, nullptr, []() -> Result<int> {
+    return Error::make("net.timeout");
+  });
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, "net.timeout");
+  // A failed flight leaves nothing behind; the next caller runs fresh.
+  auto retried = flights.run(1, nullptr, []() -> Result<int> { return 5; });
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(*retried, 5);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedChainCache
+
+constexpr std::uint64_t kYearUs = 365ull * 24 * 3600 * 1000 * 1000;
+
+struct ChainFixture {
+  ChainFixture()
+      : drbg(to_bytes(std::string_view("gateway-chain-tests"))),
+        root(pki::CertificateAuthority::create_root(
+            crypto::p384(), {"Gateway Root", "TestOrg", "US"}, 0, 10 * kYearUs,
+            drbg)),
+        inter(pki::CertificateAuthority::create_intermediate(
+            crypto::p384(), {"Gateway Intermediate", "TestOrg", "US"}, 0,
+            5 * kYearUs, root, drbg)) {}
+
+  pki::Certificate issue_leaf(const std::string& cn) {
+    const auto key = crypto::ec_generate(crypto::p256(), drbg);
+    const auto csr =
+        pki::make_csr(crypto::p256(), key, {cn, "Leaf", "US"}, {cn});
+    auto cert = inter.issue(csr, 0, kYearUs);
+    EXPECT_TRUE(cert.ok());
+    return *cert;
+  }
+
+  pki::ChainVerifyOptions options(const std::string& cn) const {
+    pki::ChainVerifyOptions o;
+    o.now_us = kYearUs / 2;
+    o.dns_name = cn;
+    return o;
+  }
+
+  HmacDrbg drbg;
+  pki::CertificateAuthority root;
+  pki::CertificateAuthority inter;
+};
+
+TEST(ShardedChainCache, ConcurrentVerificationsAgreeAndHit) {
+  ChainFixture fx;
+  constexpr int kLeaves = 16;
+  std::vector<pki::Certificate> leaves;
+  std::vector<std::string> names;
+  for (int i = 0; i < kLeaves; ++i) {
+    names.push_back("site-" + std::to_string(i) + ".example");
+    leaves.push_back(fx.issue_leaf(names.back()));
+  }
+  pki::Certificate tampered = leaves[0];
+  tampered.signature[0] ^= 0x01;
+
+  pki::ShardedChainCache cache(4, 16);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 100;
+  std::atomic<int> good_failures{0};
+  std::atomic<int> bad_successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int leaf = (t + i) % kLeaves;
+        const auto st =
+            cache.verify(leaves[leaf], {fx.inter.certificate()},
+                         {fx.root.certificate()}, fx.options(names[leaf]));
+        if (!st.ok()) good_failures.fetch_add(1);
+        if (t == 0 && i % 10 == 0) {
+          const auto bad =
+              cache.verify(tampered, {fx.inter.certificate()},
+                           {fx.root.certificate()}, fx.options(names[0]));
+          if (bad.ok()) bad_successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(good_failures.load(), 0) << "valid chains must verify everywhere";
+  EXPECT_EQ(bad_successes.load(), 0)
+      << "a tampered chain must fail even while hits fly on other shards";
+  const auto stats = cache.stats();
+  // Every distinct chain misses once; everything else is hits (failures
+  // count as misses — they are never cached).
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads * kIters + kIters / 10));
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kLeaves));
+  // Cross-shard spread: 16 distinct chains across 4 shards must touch
+  // more than one shard (SHA-256 keyed, astronomically unlikely not to).
+  int populated = 0;
+  for (std::size_t s = 0; s < cache.shard_count(); ++s) {
+    if (cache.shard(s).size() > 0) ++populated;
+  }
+  EXPECT_GT(populated, 1);
+}
+
+TEST(ShardedChainCache, EvictionUnderContentionStaysCorrect) {
+  ChainFixture fx;
+  constexpr int kLeaves = 8;
+  std::vector<pki::Certificate> leaves;
+  std::vector<std::string> names;
+  for (int i = 0; i < kLeaves; ++i) {
+    names.push_back("evict-" + std::to_string(i) + ".example");
+    leaves.push_back(fx.issue_leaf(names.back()));
+  }
+  // One shard, capacity 2: eight chains hammering it from four threads
+  // churn the LRU constantly. Verdicts must stay correct throughout.
+  pki::ShardedChainCache cache(1, 2);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        const int leaf = (t * 3 + i) % kLeaves;
+        if (!cache
+                 .verify(leaves[leaf], {fx.inter.certificate()},
+                         {fx.root.certificate()}, fx.options(names[leaf]))
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// VcekCache
+
+KdsService::VcekResponse fake_vcek(const std::string& tag) {
+  KdsService::VcekResponse r;
+  r.vcek.subject.common_name = "vcek-" + tag;
+  r.ask.subject.common_name = "ask-" + tag;
+  r.ark.subject.common_name = "ark-" + tag;
+  return r;
+}
+
+TEST(VcekCache, ConcurrentColdMissesCostExactlyOneFetch) {
+  VcekCache cache(4, 8);
+  sevsnp::ChipId chip;
+  chip[0] = 0x42;
+  const sevsnp::TcbVersion tcb{2, 0, 8, 115};
+  std::atomic<int> fetches{0};
+  const std::uint64_t metric_before =
+      obs::metrics().counter_value("kds.fetch.count");
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto result = cache.get_or_fetch(
+          chip, tcb, [&]() -> Result<KdsService::VcekResponse> {
+            fetches.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            return fake_vcek("A");
+          });
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->vcek.subject.common_name, "vcek-A");
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // The strong guarantee: whether a caller coalesced into the flight or
+  // arrived after it completed (cache hit), the fetch ran exactly once.
+  EXPECT_EQ(fetches.load(), 1);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.fetches, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced,
+            static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(obs::metrics().counter_value("kds.fetch.count"),
+            metric_before + 1);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Warm path: no new fetch.
+  auto warm = cache.get_or_fetch(
+      chip, tcb, [&]() -> Result<KdsService::VcekResponse> {
+        fetches.fetch_add(1);
+        return fake_vcek("B");
+      });
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->vcek.subject.common_name, "vcek-A");
+  EXPECT_EQ(fetches.load(), 1);
+}
+
+TEST(VcekCache, FailuresAreDeliveredButNeverCached) {
+  VcekCache cache(2, 4);
+  sevsnp::ChipId chip;
+  chip[0] = 0x07;
+  const sevsnp::TcbVersion tcb{2, 0, 8, 115};
+  auto failed = cache.get_or_fetch(
+      chip, tcb, []() -> Result<KdsService::VcekResponse> {
+        return Error::make("net.timeout", "kds unreachable");
+      });
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, "net.timeout");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().failures, 1u);
+
+  auto recovered = cache.get_or_fetch(
+      chip, tcb,
+      []() -> Result<KdsService::VcekResponse> { return fake_vcek("ok"); });
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(cache.stats().fetches, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(VcekCache, DistinctChipsSpreadAcrossShardsAndEvict) {
+  VcekCache cache(4, 2);
+  for (int i = 0; i < 32; ++i) {
+    sevsnp::ChipId chip;
+    chip[0] = static_cast<std::uint8_t>(i);
+    auto r = cache.get_or_fetch(
+        chip, sevsnp::TcbVersion{2, 0, 8, 115},
+        [i]() -> Result<KdsService::VcekResponse> {
+          return fake_vcek(std::to_string(i));
+        });
+    ASSERT_TRUE(r.ok());
+  }
+  // Per-shard LRU capacity 2 over 4 shards: at most 8 survivors.
+  EXPECT_LE(cache.size(), 8u);
+  std::size_t populated = 0;
+  for (std::size_t s = 0; s < cache.shard_count(); ++s) {
+    if (cache.shard_size(s) > 0) ++populated;
+  }
+  EXPECT_GT(populated, 1u);
+  EXPECT_EQ(cache.stats().fetches, 32u);
+}
+
+// ---------------------------------------------------------------------------
+// SessionEngine: scheduling, aggregation, obs isolation (synthetic sessions)
+
+TEST(SessionEngine, AggregatesLaneModelAndPercentiles) {
+  SessionEngineConfig config;
+  config.workers = 4;
+  SessionEngine engine(config);
+  const auto report = engine.run(8, [](SessionContext& ctx) -> Status {
+    EXPECT_NE(ctx.chain_cache, nullptr);
+    EXPECT_NE(ctx.vcek_cache, nullptr);
+    ctx.virt_ms = static_cast<double>(ctx.index + 1) * 10.0;
+    if (ctx.index == 3) return Error::make("test.synthetic_failure");
+    return Status::success();
+  });
+
+  EXPECT_EQ(report.sessions, 8u);
+  EXPECT_EQ(report.succeeded, 7u);
+  EXPECT_EQ(report.failed, 1u);
+  ASSERT_FALSE(report.outcomes[3].ok());
+  EXPECT_EQ(report.outcomes[3].error().code, "test.synthetic_failure");
+  // Round-robin lanes over 4 workers: lane 3 carries sessions 3 and 7
+  // (40 + 80 ms) — the heaviest lane, so the makespan.
+  EXPECT_DOUBLE_EQ(report.virt_makespan_ms, 120.0);
+  EXPECT_DOUBLE_EQ(report.virt_p50_ms, 40.0);
+  EXPECT_DOUBLE_EQ(report.virt_p95_ms, 80.0);
+  EXPECT_DOUBLE_EQ(report.virt_p99_ms, 80.0);
+  EXPECT_NEAR(report.sessions_per_virtual_sec, 8.0 / 0.12, 1e-6);
+  EXPECT_GT(report.real_elapsed_ms, 0.0);
+}
+
+TEST(SessionEngine, IsolatesSessionObsAndMergesAtSessionEnd) {
+  obs::MetricsRegistry* global = &obs::metrics();
+  const std::uint64_t before = global->counter_value("gw.engine.test.count");
+  SessionEngineConfig config;
+  config.workers = 4;
+  config.trace_sessions = true;
+  SessionEngine engine(config);
+  std::vector<std::size_t> span_counts(16, 0);
+  const auto report = engine.run(16, [&](SessionContext& ctx) -> Status {
+    // The worker thread must see a private registry, not the global one.
+    EXPECT_NE(&obs::metrics(), global);
+    obs::metrics().counter("gw.engine.test.count").inc();
+    obs::metrics()
+        .histogram("gw.engine.test.ms", {1.0, 10.0})
+        .observe(static_cast<double>(ctx.index));
+    {
+      obs::Span span("gw.test.session");
+      span.attr("index", static_cast<std::uint64_t>(ctx.index));
+    }
+    span_counts[ctx.index] = ctx.tracer->finished_spans().size();
+    return Status::success();
+  });
+  EXPECT_EQ(report.succeeded, 16u);
+  // Merged: every session's private counter landed in the global registry.
+  EXPECT_EQ(global->counter_value("gw.engine.test.count"), before + 16);
+  const auto snap =
+      global->histograms().at("gw.engine.test.ms").snapshot();
+  EXPECT_GE(snap.count, 16u);
+  // Each session saw exactly its own span in its own tracer.
+  for (const auto count : span_counts) EXPECT_EQ(count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end gateway: several complete worlds driven concurrently
+
+constexpr const char* kDomain = "svc.revelio.app";
+constexpr const char* kKdsPrimary = "kds.amd.com";
+constexpr const char* kKdsMirror = "kds-mirror.amd.com";
+constexpr const char* kBody = "<html>app</html>";
+
+/// One-VM variant of the chaos-soak world: a complete deployment (KDS +
+/// mirror, attested VM, SP provisioning, browser), single-threaded, driven
+/// by whichever gateway lane holds its mutex. Identical seeds produce
+/// byte-identical AMD certificates (registered at t=0, before any
+/// real-time-measured deploy), which is what lets worlds share the
+/// engine's VCEK and chain caches.
+struct GatewayWorld {
+  explicit GatewayWorld(const std::string& seed)
+      : network(clock),
+        world_drbg(to_bytes("gateway-world-" + seed)),
+        kds(world_drbg),
+        kds_service(kds, network, {kKdsPrimary, 443}),
+        kds_mirror_service(kds, network, {kKdsMirror, 443}),
+        acme(clock, world_drbg),
+        browser(network, "laptop", acme.trusted_roots(),
+                HmacDrbg(to_bytes("browser-" + seed))) {
+    imagebuild::BaseImage base;
+    base.name = "ubuntu";
+    base.tag = "20.04";
+    base.packages = {
+        {"nginx", "1.18", {{"/usr/sbin/nginx",
+                            to_bytes(std::string_view("nginx-binary"))}}}};
+    const crypto::Digest32 base_digest = registry.publish(base);
+
+    imagebuild::BuildInputs inputs;
+    inputs.base_image_digest = base_digest;
+    inputs.service_files["/opt/service/app"] =
+        to_bytes(std::string_view("service-binary-v1"));
+    inputs.initrd.services = {{"nginx", "/usr/sbin/nginx", 120.0},
+                              {"app", "/opt/service/app", 300.0}};
+    inputs.initrd.allowed_inbound_ports = {"443", "8443"};
+    imagebuild::ImageBuilder builder(registry);
+    auto built = builder.build(inputs);
+    EXPECT_TRUE(built.ok());
+    image = *built;
+    expected_measurement = vm::Hypervisor::expected_measurement(
+        image.kernel_blob, image.initrd_blob, image.cmdline);
+
+    net::HttpRouter routes;
+    routes.route("GET", "/", [](const net::HttpRequest&) {
+      return net::HttpResponse::ok(to_bytes(std::string_view(kBody)),
+                                   "text/html");
+    });
+    platform = std::make_unique<sevsnp::AmdSp>(
+        to_bytes("platform-10.0.0.1-" + seed),
+        sevsnp::TcbVersion{2, 0, 8, 115});
+    kds.register_platform(*platform);
+    RevelioVmConfig config;
+    config.domain = kDomain;
+    config.host = "10.0.0.1";
+    config.image = image;
+    config.kds_address = {kKdsPrimary, 443};
+    config.kds_mirrors = {{kKdsMirror, 443}};
+    auto deployed = RevelioVm::deploy(*platform, network, config, routes);
+    EXPECT_TRUE(deployed.ok())
+        << (deployed.ok() ? "" : deployed.error().to_string());
+    node = std::move(*deployed);
+
+    SpNodeConfig sp_config;
+    sp_config.domain = kDomain;
+    sp_config.kds_address = {kKdsPrimary, 443};
+    sp_config.expected_measurements = {expected_measurement};
+    sp = std::make_unique<SpNode>(network, acme, sp_config);
+    sp->approve_node(node->bootstrap_address(), platform->chip_id());
+    auto outcomes = sp->provision_fleet();
+    EXPECT_TRUE(outcomes.ok())
+        << (outcomes.ok() ? "" : outcomes.error().to_string());
+    network.dns_set_a(kDomain, "10.0.0.1");
+    t0_ = clock.now_us();
+  }
+
+  SimClock::Micros t0() const { return t0_; }
+
+  SiteRegistration registration() {
+    SiteRegistration site;
+    site.expected_measurements = {expected_measurement};
+    return site;
+  }
+
+  SimClock clock;
+  net::Network network;
+  HmacDrbg world_drbg;
+  sevsnp::KeyDistributionServer kds;
+  KdsService kds_service;
+  KdsService kds_mirror_service;
+  pki::AcmeIssuer acme;
+  Browser browser;
+  imagebuild::PackageRegistry registry;
+  imagebuild::VmImage image;
+  sevsnp::Measurement expected_measurement;
+  std::unique_ptr<sevsnp::AmdSp> platform;
+  std::unique_ptr<RevelioVm> node;
+  std::unique_ptr<SpNode> sp;
+  std::mutex mu;  // one lane drives the world at a time
+
+ private:
+  SimClock::Micros t0_ = 0;
+};
+
+struct GatewayRun {
+  SessionEngine::Report report;
+  int unverified_accepts = 0;
+  int wrong_bodies = 0;
+};
+
+/// Drives `sessions` full client sessions over `worlds` via the engine,
+/// sharing its caches. Each session: lock the world, bind its clock, fresh
+/// extension (fresh breakers/retry state — a new browser profile) wired to
+/// the shared caches, attest + fetch the page.
+GatewayRun run_gateway(SessionEngine& engine,
+                       std::vector<std::unique_ptr<GatewayWorld>>& worlds,
+                       std::size_t sessions, int retry_attempts) {
+  std::atomic<int> unverified{0};
+  std::atomic<int> wrong_body{0};
+  GatewayRun out;
+  out.report = engine.run(sessions, [&](SessionContext& ctx) -> Status {
+    GatewayWorld& world = *worlds[ctx.index % worlds.size()];
+    std::lock_guard<std::mutex> world_lock(world.mu);
+    ScopedClockCurrent clock_scope(world.clock);
+    const double virt_start = world.clock.now_ms();
+
+    world.browser.drop_session(kDomain);
+    WebExtensionConfig config;
+    config.kds_address = {kKdsPrimary, 443};
+    config.kds_mirrors = {{kKdsMirror, 443}};
+    config.retry.max_attempts = retry_attempts;
+    config.shared_chain_cache = ctx.chain_cache;
+    config.shared_vcek_cache = ctx.vcek_cache;
+    WebExtension extension(world.browser, config);
+    extension.register_site(kDomain, world.registration());
+
+    auto verified = extension.get(kDomain, 443, "/");
+    ctx.virt_ms = world.clock.now_ms() - virt_start;
+    if (!verified.ok()) return verified.error();
+    // Fail-closed: an accepted session must be fully verified, end to end.
+    if (!verified->checks.all_ok()) {
+      unverified.fetch_add(1);
+      return Error::make("test.unverified_trust_accepted");
+    }
+    if (to_string(verified->response.body) != kBody) {
+      wrong_body.fetch_add(1);
+      return Error::make("test.body_mismatch");
+    }
+    return Status::success();
+  });
+  out.unverified_accepts = unverified.load();
+  out.wrong_bodies = wrong_body.load();
+  return out;
+}
+
+std::vector<std::unique_ptr<GatewayWorld>> build_worlds(std::size_t count,
+                                                        const char* seed) {
+  std::vector<std::unique_ptr<GatewayWorld>> worlds;
+  worlds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    worlds.push_back(std::make_unique<GatewayWorld>(seed));
+  }
+  return worlds;
+}
+
+TEST(GatewayEndToEnd, ConcurrentSessionsShareCachesAndFetchKdsOnce) {
+  SessionEngineConfig config;
+  config.workers = 4;
+  SessionEngine engine(config);
+  auto worlds = build_worlds(4, "gw-seed-1");
+  for (auto& world : worlds) {
+    world->browser.set_chain_cache(&engine.chain_cache());
+  }
+  const std::uint64_t kds_before =
+      obs::metrics().counter_value("kds.fetch.count");
+
+  const GatewayRun run = run_gateway(engine, worlds, 16, 1);
+
+  EXPECT_EQ(run.report.sessions, 16u);
+  EXPECT_EQ(run.report.succeeded, 16u) << "fault-free run must be all green";
+  EXPECT_EQ(run.unverified_accepts, 0);
+  EXPECT_EQ(run.wrong_bodies, 0);
+
+  // Single-flight + same-seed worlds: every session needs the same VCEK
+  // chain, and exactly one KDS round trip happens — the rest coalesce into
+  // it or hit the cache it filled.
+  const auto vcek = run.report.vcek_stats;
+  EXPECT_EQ(vcek.fetches, 1u);
+  EXPECT_EQ(vcek.hits + vcek.coalesced, 15u);
+  EXPECT_EQ(vcek.failures, 0u);
+  EXPECT_EQ(obs::metrics().counter_value("kds.fetch.count"), kds_before + 1);
+
+  // The SNP chain (byte-identical across worlds) verifies once and hits 15
+  // times; TLS chains add per-world misses then hit on reconnects.
+  EXPECT_GT(run.report.chain_stats.hits, 0u);
+  EXPECT_GT(run.report.virt_makespan_ms, 0.0);
+  EXPECT_GT(run.report.sessions_per_virtual_sec, 0.0);
+  EXPECT_GE(run.report.virt_p99_ms, run.report.virt_p50_ms);
+}
+
+TEST(GatewayEndToEnd, ConcurrentChaosSoakNeverAcceptsUnverifiedTrust) {
+  SessionEngineConfig config;
+  config.workers = 4;
+  SessionEngine engine(config);
+  auto worlds = build_worlds(4, "gw-chaos-1");
+  for (auto& world : worlds) {
+    world->browser.set_chain_cache(&engine.chain_cache());
+    net::LinkFaultProfile lossy;
+    lossy.drop_prob = 0.12;
+    lossy.delay_prob = 0.2;
+    lossy.delay_min_ms = 1.0;
+    lossy.delay_max_ms = 8.0;
+    lossy.duplicate_prob = 0.05;
+    net::FaultPlan plan(to_bytes(std::string_view("gw-chaos-plan")));
+    plan.set_default_profile(lossy);
+    world->network.set_fault_plan(std::move(plan));
+  }
+
+  const GatewayRun run = run_gateway(engine, worlds, 24, 5);
+
+  EXPECT_EQ(run.report.sessions, 24u);
+  EXPECT_EQ(run.report.succeeded + run.report.failed, 24u);
+  // The property under chaos: zero unverified-trust acceptances. Failures
+  // are fine (and expected under a 12% drop rate) — acceptances that are
+  // not fully green are not.
+  EXPECT_EQ(run.unverified_accepts, 0);
+  EXPECT_EQ(run.wrong_bodies, 0);
+  EXPECT_GT(run.report.succeeded, 0u)
+      << "retries must carry some sessions through";
+  for (const auto& st : run.report.outcomes) {
+    if (!st.ok()) {
+      EXPECT_NE(st.error().code, "test.unverified_trust_accepted");
+      EXPECT_NE(st.error().code, "extension.site_not_registered");
+    }
+  }
+  // Even under chaos the successful fetch population coalesces: real KDS
+  // round trips stay far below one per session.
+  EXPECT_LT(run.report.vcek_stats.fetches, 24u);
+}
+
+}  // namespace
+}  // namespace revelio::core

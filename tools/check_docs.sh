@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Documentation checker (ctest label `docs`).
+#
+# Two guarantees:
+#   1. Every intra-repo markdown link in the maintained docs (README.md,
+#      DESIGN.md, EXPERIMENTS.md, ROADMAP.md, CHANGES.md, docs/**) points
+#      at a file that exists. External links (http/https/mailto) and pure
+#      anchors are skipped; a link's #fragment is stripped before the
+#      check. ISSUE.md / PAPERS.md / SNIPPETS.md are generated inputs and
+#      are not checked.
+#   2. docs/ARCHITECTURE.md names every subsystem directory under src/ —
+#      adding a module without documenting it fails the build.
+#
+# Usage: tools/check_docs.sh [repo-root]   (defaults to the script's repo)
+set -euo pipefail
+
+repo_root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+python3 - "$repo_root" <<'PY'
+import os
+import re
+import sys
+
+root = sys.argv[1]
+failures = []
+
+# --- 1. intra-repo markdown links -----------------------------------------
+doc_files = []
+for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+             "CHANGES.md"):
+    path = os.path.join(root, name)
+    if os.path.exists(path):
+        doc_files.append(path)
+docs_dir = os.path.join(root, "docs")
+if os.path.isdir(docs_dir):
+    for dirpath, _, names in os.walk(docs_dir):
+        doc_files.extend(os.path.join(dirpath, n) for n in sorted(names)
+                         if n.endswith(".md"))
+
+# [text](target) — skip images' leading ! by matching the bracket pair
+# itself; inline code spans are stripped first so `[i % C]`-style snippets
+# aren't mistaken for links.
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+code_re = re.compile(r"`[^`]*`")
+checked = 0
+for path in doc_files:
+    rel = os.path.relpath(path, root)
+    with open(path) as f:
+        text = code_re.sub("", f.read())
+    for target in link_re.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target))
+        checked += 1
+        if not os.path.exists(resolved):
+            failures.append(f"{rel}: broken link -> {target}")
+print(f"checked {checked} intra-repo links across {len(doc_files)} docs")
+
+# --- 2. ARCHITECTURE.md covers every src/ subsystem ------------------------
+arch_path = os.path.join(root, "docs", "ARCHITECTURE.md")
+if not os.path.exists(arch_path):
+    failures.append("docs/ARCHITECTURE.md is missing")
+else:
+    with open(arch_path) as f:
+        arch = f.read()
+    subsystems = sorted(
+        d for d in os.listdir(os.path.join(root, "src"))
+        if os.path.isdir(os.path.join(root, "src", d)))
+    for d in subsystems:
+        if f"src/{d}" not in arch:
+            failures.append(
+                f"docs/ARCHITECTURE.md does not mention src/{d}")
+    print(f"architecture doc covers {len(subsystems)} src/ subsystems")
+
+if failures:
+    print("documentation check failure(s):", file=sys.stderr)
+    for f_ in failures:
+        print(f"  {f_}", file=sys.stderr)
+    sys.exit(1)
+print("documentation checks passed")
+PY
