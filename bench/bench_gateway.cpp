@@ -1,21 +1,35 @@
-// Gateway load bench: sessions/sec scaling of the concurrent attestation
-// gateway (revelio/session_engine.hpp) at 1 / 4 / 16 / 64 concurrent
-// clients.
+// Gateway load bench: the blocking lane model vs the event-driven staged
+// engine (revelio/session_engine.hpp), plus parked-session scale levels.
 //
-// 64 identically-seeded world replicas (KDS + attested VM + SP + browser)
-// are built once; each level drives 64 full client sessions — fresh TLS
-// handshake, full attestation, page fetch — over a fresh SessionEngine, so
-// every level starts with cold shared caches and the single-flight layer
-// must collapse the VCEK stampede into exactly one KDS fetch.
+// Four families of levels, all over the same 64 identically-seeded world
+// replicas (KDS + attested VM + SP + browser; identical seeds make the
+// AMD certificates byte-identical, so worlds share the engine's VCEK and
+// chain caches):
 //
-// Throughput is measured on the virtual clock with the engine's lane
-// model: session i is charged to lane i % clients, the makespan is the
-// heaviest lane, sessions_per_virtual_sec = N / makespan. That number is
-// deterministic (the simulated worlds are seeded), so run_benches.sh gates
-// it against bench/BENCH_gateway.baseline.json and requires >= 3x scaling
-// at 16 clients vs 1. Real elapsed time is reported but never gated.
+//  - "blocking":  the legacy engine.run() path at 1 and 4 workers. A
+//    session holds its lane for its whole virtual duration, so the
+//    makespan is the heaviest lane's sum — the baseline this PR beats.
+//  - "staged":    the same 64 full-crypto sessions (fresh TLS handshake,
+//    staged attestation, verified page fetch) as state machines on the
+//    virtual-time event loop. Waits overlap in virtual time, so the
+//    makespan collapses to roughly the slowest single session even at
+//    one worker.
+//  - "synthetic": 1k/10k/100k-session scale levels with deterministic
+//    synthetic stage durations and a width-512 KDS admission gate. This
+//    is where parked-population memory (bytes/parked session, flat by
+//    construction) and same-seed bit-identical transcripts are measured:
+//    the 1k and 100k levels run twice and must reproduce their digests.
+//  - "chaos":     1000 full-crypto sessions over 32 lossy worlds (drop +
+//    delay fault plan, retries on) with a width-8 KDS gate. The gate that
+//    matters: zero unverified-trust acceptances while thousands of wakes
+//    interleave.
 //
-//   bench_gateway [--out BENCH_gateway.json]
+// Virtual-clock numbers are deterministic and gated by run_benches.sh
+// against bench/BENCH_gateway.baseline.json (chaos levels excepted: the
+// fault plan keys on absolute virtual time, which inherits real boot
+// timing). Real elapsed time is reported but never gated.
+//
+//   bench_gateway [--out BENCH_gateway.json] [--quick]
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -39,8 +53,12 @@ using namespace revelio;
 
 constexpr const char* kDomain = "svc.revelio.app";
 constexpr const char* kKdsHost = "kds.amd.com";
-constexpr std::size_t kSessionsPerLevel = 64;
-constexpr unsigned kLevels[] = {1, 4, 16, 64};
+constexpr const char* kBody = "<html>gateway</html>";
+constexpr std::size_t kWorlds = 64;
+constexpr std::size_t kFullSessions = 64;
+constexpr std::size_t kChaosWorlds = 32;
+constexpr std::size_t kChaosSessions = 1000;
+constexpr unsigned kScaleWorkers = 8;
 
 /// One complete single-threaded deployment, driven by whichever engine
 /// lane holds its mutex. Identical seeds make the AMD chip/VCEK/root
@@ -79,8 +97,8 @@ struct GatewayWorld {
 
     net::HttpRouter routes;
     routes.route("GET", "/", [](const net::HttpRequest&) {
-      return net::HttpResponse::ok(
-          to_bytes(std::string_view("<html>gateway</html>")), "text/html");
+      return net::HttpResponse::ok(to_bytes(std::string_view(kBody)),
+                                   "text/html");
     });
     platform = std::make_unique<sevsnp::AmdSp>(
         to_bytes("platform-10.0.0.1-" + seed),
@@ -128,31 +146,154 @@ struct GatewayWorld {
   std::mutex mu;  // one lane drives the world at a time
 };
 
-struct LevelResult {
-  unsigned clients = 0;
-  core::SessionEngine::Report report;
+// ---------------------------------------------------------------------------
+// Level result + JSON
+
+/// One bench level, normalized across the blocking and staged engines so
+/// run_benches.sh gates every mode with the same keys. Staged-only fields
+/// stay zero for blocking levels.
+struct Level {
+  std::string mode;  // "blocking" | "staged" | "synthetic" | "chaos"
+  unsigned workers = 0;
+  std::size_t sessions = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::size_t shed = 0;
   int unverified_accepts = 0;
   std::uint64_t kds_fetch_count_delta = 0;
+  double virt_makespan_ms = 0.0;
+  double sessions_per_virtual_sec = 0.0;
+  double virt_p50_ms = 0.0;
+  double virt_p95_ms = 0.0;
+  double virt_p99_ms = 0.0;
+  double wait_virt_ms = 0.0;
+  double real_elapsed_ms = 0.0;
+  double sessions_per_real_sec = 0.0;
+  std::size_t peak_parked = 0;
+  double parked_per_worker = 0.0;
+  std::size_t peak_inflight_kds = 0;
+  std::size_t peak_queue_depth = 0;
+  double wake_p99_ms = 0.0;
+  std::size_t engine_bytes = 0;
+  double bytes_per_parked_session = 0.0;
+  std::string transcript_digest;
+  bool determinism_checked = false;
+  bool deterministic = false;
+  pki::ChainVerificationCache::Stats chain_stats;
+  core::VcekCache::Stats vcek_stats;
 };
 
-/// One load level: N sessions at `clients` concurrency over a FRESH engine
-/// (cold shared caches — the level must re-prove the single-flight
-/// guarantee). Each session locks its world, binds its clock, and runs a
-/// complete fresh-profile client: new TLS handshake, full attestation via
-/// the shared caches, verified page fetch.
-LevelResult run_level(std::vector<std::unique_ptr<GatewayWorld>>& worlds,
-                      unsigned clients) {
+void fill_from(Level& level, const core::SessionEngine::Report& r) {
+  level.sessions = r.sessions;
+  level.succeeded = r.succeeded;
+  level.failed = r.failed;
+  level.virt_makespan_ms = r.virt_makespan_ms;
+  level.sessions_per_virtual_sec = r.sessions_per_virtual_sec;
+  level.virt_p50_ms = r.virt_p50_ms;
+  level.virt_p95_ms = r.virt_p95_ms;
+  level.virt_p99_ms = r.virt_p99_ms;
+  level.real_elapsed_ms = r.real_elapsed_ms;
+  level.sessions_per_real_sec = r.sessions_per_real_sec;
+  level.chain_stats = r.chain_stats;
+  level.vcek_stats = r.vcek_stats;
+}
+
+void fill_from(Level& level, const core::SessionEngine::StagedReport& r) {
+  level.sessions = r.sessions;
+  level.succeeded = r.succeeded;
+  level.failed = r.failed;
+  level.shed = r.shed;
+  level.virt_makespan_ms = r.virt_makespan_ms;
+  level.sessions_per_virtual_sec = r.sessions_per_virtual_sec;
+  level.virt_p50_ms = r.virt_p50_ms;
+  level.virt_p95_ms = r.virt_p95_ms;
+  level.virt_p99_ms = r.virt_p99_ms;
+  level.wait_virt_ms = r.wait_virt_ms;
+  level.real_elapsed_ms = r.real_elapsed_ms;
+  level.sessions_per_real_sec = r.sessions_per_real_sec;
+  level.peak_parked = r.peak_parked;
+  level.parked_per_worker = r.parked_per_worker;
+  level.peak_inflight_kds = r.peak_inflight_kds;
+  level.peak_queue_depth = r.peak_queue_depth;
+  level.wake_p99_ms = r.wake_p99_ms;
+  level.engine_bytes = r.engine_bytes;
+  level.bytes_per_parked_session = r.bytes_per_parked_session;
+  level.transcript_digest = r.transcript_digest;
+  level.chain_stats = r.chain_stats;
+  level.vcek_stats = r.vcek_stats;
+}
+
+std::string level_json(const Level& level) {
+  std::string out =
+      "{\"mode\":\"" + level.mode + "\"" +
+      ",\"workers\":" + std::to_string(level.workers) +
+      ",\"sessions\":" + std::to_string(level.sessions) +
+      ",\"succeeded\":" + std::to_string(level.succeeded) +
+      ",\"failed\":" + std::to_string(level.failed) +
+      ",\"shed\":" + std::to_string(level.shed) +
+      ",\"unverified_accepts\":" + std::to_string(level.unverified_accepts) +
+      ",\"kds_fetch_count_delta\":" +
+      std::to_string(level.kds_fetch_count_delta) +
+      ",\"virt_makespan_ms\":" + obs::json_number(level.virt_makespan_ms) +
+      ",\"sessions_per_virtual_sec\":" +
+      obs::json_number(level.sessions_per_virtual_sec) +
+      ",\"virt_p50_ms\":" + obs::json_number(level.virt_p50_ms) +
+      ",\"virt_p95_ms\":" + obs::json_number(level.virt_p95_ms) +
+      ",\"virt_p99_ms\":" + obs::json_number(level.virt_p99_ms) +
+      ",\"wait_virt_ms\":" + obs::json_number(level.wait_virt_ms) +
+      ",\"real_elapsed_ms\":" + obs::json_number(level.real_elapsed_ms) +
+      ",\"sessions_per_real_sec\":" +
+      obs::json_number(level.sessions_per_real_sec) +
+      ",\"peak_parked\":" + std::to_string(level.peak_parked) +
+      ",\"parked_per_worker\":" + obs::json_number(level.parked_per_worker) +
+      ",\"peak_inflight_kds\":" + std::to_string(level.peak_inflight_kds) +
+      ",\"peak_queue_depth\":" + std::to_string(level.peak_queue_depth) +
+      ",\"wake_p99_ms\":" + obs::json_number(level.wake_p99_ms) +
+      ",\"engine_bytes\":" + std::to_string(level.engine_bytes) +
+      ",\"bytes_per_parked_session\":" +
+      obs::json_number(level.bytes_per_parked_session) +
+      ",\"transcript_digest\":\"" + level.transcript_digest + "\"";
+  if (level.determinism_checked) {
+    out += std::string(",\"deterministic\":") +
+           (level.deterministic ? "true" : "false");
+  }
+  out += ",\"chain\":{\"hits\":" + std::to_string(level.chain_stats.hits) +
+         ",\"misses\":" + std::to_string(level.chain_stats.misses) +
+         ",\"evictions\":" + std::to_string(level.chain_stats.evictions) +
+         ",\"window_rejects\":" +
+         std::to_string(level.chain_stats.window_rejects) + "}";
+  out += ",\"vcek\":{\"hits\":" + std::to_string(level.vcek_stats.hits) +
+         ",\"fetches\":" + std::to_string(level.vcek_stats.fetches) +
+         ",\"coalesced\":" + std::to_string(level.vcek_stats.coalesced) +
+         ",\"failures\":" + std::to_string(level.vcek_stats.failures) + "}";
+  out += "}";
+  return out;
+}
+
+void print_level(const Level& level) {
+  std::printf("%-9s %3uw %7zu  %5zu/%-6zu %12.1f %12.1f %9zu %10.1f\n",
+              level.mode.c_str(), level.workers, level.sessions,
+              level.succeeded, level.sessions, level.virt_makespan_ms,
+              level.sessions_per_virtual_sec, level.peak_parked,
+              level.bytes_per_parked_session);
+}
+
+// ---------------------------------------------------------------------------
+// Blocking levels (the legacy thread-per-session lane model)
+
+Level run_blocking(std::vector<GatewayWorld*>& worlds, unsigned workers) {
   core::SessionEngineConfig config;
-  config.workers = clients;
+  config.workers = workers;
   core::SessionEngine engine(config);
   std::atomic<int> unverified{0};
   const std::uint64_t kds_before =
       obs::metrics().counter_value("kds.fetch.count");
 
-  LevelResult out;
-  out.clients = clients;
-  out.report = engine.run(
-      kSessionsPerLevel, [&](core::SessionContext& ctx) -> Status {
+  Level level;
+  level.mode = "blocking";
+  level.workers = workers;
+  const auto report = engine.run(
+      kFullSessions, [&](core::SessionContext& ctx) -> Status {
         GatewayWorld& world = *worlds[ctx.index % worlds.size()];
         std::lock_guard<std::mutex> world_lock(world.mu);
         ScopedClockCurrent clock_scope(world.clock);
@@ -176,93 +317,258 @@ LevelResult run_level(std::vector<std::unique_ptr<GatewayWorld>>& worlds,
         }
         return Status::success();
       });
-  out.unverified_accepts = unverified.load();
-  out.kds_fetch_count_delta =
+  fill_from(level, report);
+  level.unverified_accepts = unverified.load();
+  level.kds_fetch_count_delta =
       obs::metrics().counter_value("kds.fetch.count") - kds_before;
-  return out;
+  return level;
 }
 
-std::string level_json(const LevelResult& level) {
-  const auto& r = level.report;
-  std::string out = "{\"clients\":" + std::to_string(level.clients) +
-                    ",\"sessions\":" + std::to_string(r.sessions) +
-                    ",\"succeeded\":" + std::to_string(r.succeeded) +
-                    ",\"failed\":" + std::to_string(r.failed) +
-                    ",\"unverified_accepts\":" +
-                    std::to_string(level.unverified_accepts) +
-                    ",\"virt_makespan_ms\":" +
-                    obs::json_number(r.virt_makespan_ms) +
-                    ",\"sessions_per_virtual_sec\":" +
-                    obs::json_number(r.sessions_per_virtual_sec) +
-                    ",\"virt_p50_ms\":" + obs::json_number(r.virt_p50_ms) +
-                    ",\"virt_p95_ms\":" + obs::json_number(r.virt_p95_ms) +
-                    ",\"virt_p99_ms\":" + obs::json_number(r.virt_p99_ms) +
-                    ",\"real_elapsed_ms\":" +
-                    obs::json_number(r.real_elapsed_ms) +
-                    ",\"sessions_per_real_sec\":" +
-                    obs::json_number(r.sessions_per_real_sec) +
-                    ",\"kds_fetch_count_delta\":" +
-                    std::to_string(level.kds_fetch_count_delta);
-  out += ",\"chain\":{\"hits\":" + std::to_string(r.chain_stats.hits) +
-         ",\"misses\":" + std::to_string(r.chain_stats.misses) +
-         ",\"evictions\":" + std::to_string(r.chain_stats.evictions) +
-         ",\"window_rejects\":" +
-         std::to_string(r.chain_stats.window_rejects) + "}";
-  out += ",\"vcek\":{\"hits\":" + std::to_string(r.vcek_stats.hits) +
-         ",\"fetches\":" + std::to_string(r.vcek_stats.fetches) +
-         ",\"coalesced\":" + std::to_string(r.vcek_stats.coalesced) +
-         ",\"failures\":" + std::to_string(r.vcek_stats.failures) + "}";
-  out += "}";
-  return out;
+// ---------------------------------------------------------------------------
+// Staged full-crypto levels (the event-driven state-machine path)
+
+Level run_staged_full(std::vector<GatewayWorld*>& worlds, unsigned workers,
+                      std::size_t sessions, int retry_attempts,
+                      const core::AdmissionConfig& admission,
+                      const char* mode) {
+  core::SessionEngineConfig config;
+  config.workers = workers;
+  core::SessionEngine engine(config);
+  struct Slot {
+    std::unique_ptr<core::WebExtension> ext;
+    std::unique_ptr<core::WebExtension::StagedAttestation> staged;
+  };
+  std::vector<Slot> slots(sessions);
+  std::atomic<int> unverified{0};
+  const std::uint64_t kds_before =
+      obs::metrics().counter_value("kds.fetch.count");
+
+  Level level;
+  level.mode = mode;
+  level.workers = workers;
+  const auto report = engine.run_staged(
+      sessions,
+      [&](core::StagedContext& ctx) -> core::SessionState {
+        GatewayWorld& world = *worlds[ctx.index % worlds.size()];
+        std::lock_guard<std::mutex> world_lock(world.mu);
+        ScopedClockCurrent clock_scope(world.clock);
+        const double virt_start = world.clock.now_ms();
+        Slot& slot = slots[ctx.index];
+        const auto finish = [&](core::SessionState next) {
+          ctx.stage_virt_ms = world.clock.now_ms() - virt_start;
+          return next;
+        };
+        const auto fail = [&](Error error) {
+          ctx.failure = std::move(error);
+          return finish(core::SessionState::kFailed);
+        };
+
+        switch (ctx.state) {
+          case core::SessionState::kHandshake: {
+            world.browser.set_chain_cache(ctx.chain_cache);
+            world.browser.drop_session(kDomain);
+            core::WebExtensionConfig ext_config;
+            ext_config.kds_address = {kKdsHost, 443};
+            ext_config.retry.max_attempts = retry_attempts;
+            ext_config.shared_chain_cache = ctx.chain_cache;
+            ext_config.shared_vcek_cache = ctx.vcek_cache;
+            slot.ext =
+                std::make_unique<core::WebExtension>(world.browser, ext_config);
+            slot.ext->register_site(kDomain, world.registration());
+            slot.staged =
+                std::make_unique<core::WebExtension::StagedAttestation>(
+                    slot.ext->begin_session(kDomain, 443));
+            auto st = slot.staged->handshake();
+            if (!st.ok()) return fail(st.error());
+            return finish(core::SessionState::kEvidenceFetch);
+          }
+          case core::SessionState::kEvidenceFetch: {
+            auto st = slot.staged->fetch_evidence();
+            if (!st.ok()) return fail(st.error());
+            return finish(core::SessionState::kKdsFetch);
+          }
+          case core::SessionState::kKdsFetch: {
+            auto st = slot.staged->fetch_kds();
+            if (!st.ok()) return fail(st.error());
+            return finish(core::SessionState::kVerify);
+          }
+          case core::SessionState::kVerify: {
+            auto st = slot.staged->verify();
+            if (!st.ok()) return fail(st.error());
+            return finish(core::SessionState::kPageFetch);
+          }
+          case core::SessionState::kPageFetch: {
+            auto page = slot.staged->fetch_page("/");
+            if (!page.ok()) return fail(page.error());
+            if (!slot.staged->checks().all_ok()) {
+              unverified.fetch_add(1);
+              return fail(Error::make("bench.unverified_trust_accepted"));
+            }
+            if (to_string(page->body) != kBody) {
+              return fail(Error::make("bench.body_mismatch"));
+            }
+            return finish(core::SessionState::kDone);
+          }
+          default:
+            return fail(Error::make("bench.unexpected_state"));
+        }
+      },
+      admission, [&](std::size_t i) { return i % worlds.size(); });
+  fill_from(level, report);
+  level.unverified_accepts = unverified.load();
+  level.kds_fetch_count_delta =
+      obs::metrics().counter_value("kds.fetch.count") - kds_before;
+  return level;
 }
 
-int run_gateway_bench(const char* out_path) {
-  std::fprintf(stderr, "building %zu world replicas...\n", kSessionsPerLevel);
-  std::vector<std::unique_ptr<GatewayWorld>> worlds;
-  worlds.reserve(kSessionsPerLevel);
-  for (std::size_t i = 0; i < kSessionsPerLevel; ++i) {
-    worlds.push_back(std::make_unique<GatewayWorld>("gw-bench-1"));
+// ---------------------------------------------------------------------------
+// Synthetic scale levels (1k / 10k / 100k parked sessions)
+
+/// Deterministic per-(session, stage) duration in [1.0, 10.6] ms —
+/// a splitmix-style mixer, no RNG state, so re-runs are bit-identical.
+double synth_ms(std::uint64_t index, std::uint64_t stage, std::uint64_t salt) {
+  std::uint64_t x = index * 0x9E3779B97F4A7C15ull + stage * 0xBF58476D1CE4E5B9ull +
+                    salt * 0x94D049BB133111EBull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  return 1.0 + static_cast<double>(x % 97) / 10.0;
+}
+
+core::SessionEngine::StagedReport run_synthetic_once(std::size_t sessions) {
+  core::SessionEngineConfig config;
+  config.workers = kScaleWorkers;
+  config.isolate_obs = false;  // 500k dispatches; skip per-stage registries
+  core::SessionEngine engine(config);
+  core::AdmissionConfig admission;
+  admission.max_inflight_kds = 512;
+  return engine.run_staged(
+      sessions,
+      [](core::StagedContext& ctx) -> core::SessionState {
+        const auto stage = static_cast<std::uint64_t>(ctx.state);
+        ctx.stage_virt_ms = synth_ms(ctx.index, stage, /*salt=*/29);
+        switch (ctx.state) {
+          case core::SessionState::kHandshake:
+            return core::SessionState::kEvidenceFetch;
+          case core::SessionState::kEvidenceFetch:
+            return core::SessionState::kKdsFetch;
+          case core::SessionState::kKdsFetch:
+            return core::SessionState::kVerify;
+          case core::SessionState::kVerify:
+            return core::SessionState::kPageFetch;
+          case core::SessionState::kPageFetch:
+            return core::SessionState::kDone;
+          default:
+            return core::SessionState::kFailed;
+        }
+      },
+      admission, [](std::size_t i) { return i % kWorlds; });
+}
+
+Level run_synthetic(std::size_t sessions, bool check_determinism) {
+  Level level;
+  level.mode = "synthetic";
+  level.workers = kScaleWorkers;
+  const auto report = run_synthetic_once(sessions);
+  fill_from(level, report);
+  if (check_determinism) {
+    const auto replay = run_synthetic_once(sessions);
+    level.determinism_checked = true;
+    level.deterministic =
+        replay.transcript_digest == report.transcript_digest &&
+        replay.virt_makespan_ms == report.virt_makespan_ms;
+  }
+  return level;
+}
+
+// ---------------------------------------------------------------------------
+
+int run_gateway_bench(const char* out_path, bool quick) {
+  std::fprintf(stderr, "building %zu world replicas...\n", kWorlds);
+  std::vector<std::unique_ptr<GatewayWorld>> world_store;
+  world_store.reserve(kWorlds);
+  for (std::size_t i = 0; i < kWorlds; ++i) {
+    world_store.push_back(std::make_unique<GatewayWorld>("gw-bench-1"));
+  }
+  std::vector<GatewayWorld*> worlds;
+  for (auto& w : world_store) worlds.push_back(w.get());
+
+  std::vector<Level> levels;
+  std::printf("%-9s %4s %7s  %12s %12s %12s %9s %10s\n", "mode", "wrk",
+              "sess", "ok/total", "makespan(ms)", "sess/vsec", "parked",
+              "B/parked");
+
+  // Blocking vs staged on the same 64 full-crypto sessions.
+  for (const unsigned workers : {1u, 4u}) {
+    levels.push_back(run_blocking(worlds, workers));
+    print_level(levels.back());
+  }
+  for (const unsigned workers : {1u, 4u}) {
+    levels.push_back(run_staged_full(worlds, workers, kFullSessions,
+                                     /*retry_attempts=*/1, {}, "staged"));
+    print_level(levels.back());
   }
 
-  std::vector<LevelResult> levels;
-  std::printf("%8s %10s %14s %12s %10s %10s %10s\n", "clients", "sessions",
-              "makespan(ms)", "sess/vsec", "p50(ms)", "p95(ms)", "p99(ms)");
-  for (const unsigned clients : kLevels) {
-    LevelResult level = run_level(worlds, clients);
-    std::printf("%8u %7zu/%zu %14.1f %12.1f %10.1f %10.1f %10.1f\n",
-                clients, level.report.succeeded, level.report.sessions,
-                level.report.virt_makespan_ms,
-                level.report.sessions_per_virtual_sec,
-                level.report.virt_p50_ms, level.report.virt_p95_ms,
-                level.report.virt_p99_ms);
-    levels.push_back(std::move(level));
+  // Parked-session scale: 1k / 10k / 100k synthetic state machines. The
+  // 1k and 100k levels replay to prove same-seed bit-identical digests.
+  const std::vector<std::size_t> scale =
+      quick ? std::vector<std::size_t>{1000}
+            : std::vector<std::size_t>{1000, 10000, 100000};
+  for (const std::size_t sessions : scale) {
+    const bool check = sessions == 1000 || sessions == 100000;
+    levels.push_back(run_synthetic(sessions, check));
+    print_level(levels.back());
   }
 
-  auto per_vsec = [&](unsigned clients) {
+  // Chaos soak: lossy links + retries over the first 32 worlds, with a
+  // narrow KDS admission gate keeping the herd parked.
+  if (!quick) {
+    net::LinkFaultProfile lossy;
+    lossy.drop_prob = 0.08;
+    lossy.delay_prob = 0.2;
+    lossy.delay_min_ms = 1.0;
+    lossy.delay_max_ms = 6.0;
+    for (std::size_t i = 0; i < kChaosWorlds; ++i) {
+      net::FaultPlan plan(to_bytes("gw-bench-chaos-" + std::to_string(i)));
+      plan.set_default_profile(lossy);
+      worlds[i]->network.set_fault_plan(std::move(plan));
+    }
+    std::vector<GatewayWorld*> chaos_worlds(worlds.begin(),
+                                            worlds.begin() + kChaosWorlds);
+    core::AdmissionConfig admission;
+    admission.max_inflight_kds = 8;
+    levels.push_back(run_staged_full(chaos_worlds, kScaleWorkers,
+                                     kChaosSessions, /*retry_attempts=*/5,
+                                     admission, "chaos"));
+    print_level(levels.back());
+  }
+
+  // Headline: virtual throughput of the staged engine vs the blocking
+  // lane model at one worker — parked waits overlap, lanes don't.
+  auto vsec = [&](const char* mode, unsigned workers) {
     for (const auto& level : levels) {
-      if (level.clients == clients) {
-        return level.report.sessions_per_virtual_sec;
+      if (level.mode == mode && level.workers == workers) {
+        return level.sessions_per_virtual_sec;
       }
     }
     return 0.0;
   };
-  const double base = per_vsec(1);
-  const double scaling_16v1 = base > 0.0 ? per_vsec(16) / base : 0.0;
-  const double scaling_64v1 = base > 0.0 ? per_vsec(64) / base : 0.0;
-  std::printf("scaling: 16 clients vs 1 = %.1fx, 64 vs 1 = %.1fx\n",
-              scaling_16v1, scaling_64v1);
+  const double blocking_1 = vsec("blocking", 1);
+  const double staged_speedup_1w =
+      blocking_1 > 0.0 ? vsec("staged", 1) / blocking_1 : 0.0;
+  std::printf("staged vs blocking at 1 worker: %.1fx virtual throughput\n",
+              staged_speedup_1w);
 
   if (out_path == nullptr) return 0;
-  std::string doc = "{\"sessions_per_level\":" +
-                    std::to_string(kSessionsPerLevel) +
-                    ",\"worlds\":" + std::to_string(worlds.size()) +
-                    ",\"levels\":[";
+  std::string doc = "{\"worlds\":" + std::to_string(kWorlds) +
+                    ",\"full_sessions_per_level\":" +
+                    std::to_string(kFullSessions) + ",\"levels\":[";
   for (std::size_t i = 0; i < levels.size(); ++i) {
     if (i > 0) doc += ",";
     doc += level_json(levels[i]);
   }
-  doc += "],\"scaling_16v1\":" + obs::json_number(scaling_16v1) +
-         ",\"scaling_64v1\":" + obs::json_number(scaling_64v1) + "}";
+  doc += "],\"staged_speedup_1worker\":" + obs::json_number(staged_speedup_1w) +
+         "}";
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path);
@@ -278,10 +584,13 @@ int run_gateway_bench(const char* out_path) {
 
 int main(int argc, char** argv) {
   const char* out_path = nullptr;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
     }
   }
-  return run_gateway_bench(out_path);
+  return run_gateway_bench(out_path, quick);
 }

@@ -21,12 +21,19 @@
 # bench/BENCH_attestation.baseline.json; a stage whose virt_ms regresses by
 # more than 25% fails the run.
 #
-# Also writes BENCH_gateway.json: sessions/sec scaling of the concurrent
-# attestation gateway (bench_gateway) at 1/4/16/64 concurrent clients. The
-# virtual-clock numbers are deterministic and gated: >= 3x throughput at 16
-# clients vs 1, exactly one KDS fetch per cold level (single-flight), zero
-# unverified-trust acceptances, and virtual makespan/latency percentiles
-# within 25% of bench/BENCH_gateway.baseline.json.
+# Also writes BENCH_gateway.json: the event-driven session engine vs the
+# blocking lane model (bench_gateway). Gated: >= 3x staged-vs-blocking
+# virtual throughput at one worker, exactly one KDS fetch per cold
+# full-crypto level (single-flight), zero unverified-trust acceptances
+# everywhere (chaos soak included), >= 1000 parked sessions per worker at
+# the 100k-session level, bytes/parked-session flat (100k within 15% of
+# 1k), bit-identical transcript digests on the replayed synthetic levels,
+# and virtual makespan/latency percentiles within 25% of
+# bench/BENCH_gateway.baseline.json (chaos levels excepted: their fault
+# draws key on absolute virtual time, which inherits real boot timing).
+# A missing or malformed gateway baseline fails the run with a clear
+# message — regenerate it by copying a trusted BENCH_gateway.json over
+# bench/BENCH_gateway.baseline.json.
 #
 # Each binary is run with --benchmark_out so the JSON stays clean even for
 # benches that print their own human-readable tables to stdout.
@@ -123,6 +130,10 @@ except FileNotFoundError:
     print(f"no baseline at {baseline_path}; skipping regression gate",
           file=sys.stderr)
     sys.exit(0)
+except json.JSONDecodeError as e:
+    print(f"error: storage baseline {baseline_path} is not valid JSON "
+          f"({e}); restore or regenerate it", file=sys.stderr)
+    sys.exit(1)
 
 THRESHOLD = 0.25
 failures = []
@@ -173,6 +184,10 @@ except FileNotFoundError:
     print(f"no baseline at {baseline_path}; skipping regression gate",
           file=sys.stderr)
     sys.exit(0)
+except json.JSONDecodeError as e:
+    print(f"error: attestation baseline {baseline_path} is not valid JSON "
+          f"({e}); restore or regenerate it", file=sys.stderr)
+    sys.exit(1)
 
 # Only virtual-clock time is diffed: it is deterministic. Real time varies
 # with the machine and is reported for information only.
@@ -235,72 +250,131 @@ import json
 import sys
 
 current_path, baseline_path = sys.argv[1], sys.argv[2]
-with open(current_path) as f:
-    current = json.load(f)
+try:
+    with open(current_path) as f:
+        current = json.load(f)
+except json.JSONDecodeError as e:
+    print(f"error: {current_path} is not valid JSON ({e}); bench_gateway "
+          f"output is corrupt", file=sys.stderr)
+    sys.exit(1)
 
 failures = []
 
-# Correctness gates: these hold regardless of any baseline. Every session
-# must succeed fully verified, and a cold cache must cost exactly one KDS
-# round trip per level no matter how many clients stampede it.
-MIN_SCALING_16V1 = 3.0
-for level in current.get("levels", []):
-    c = level["clients"]
+
+def key(level):
+    return f"{level['mode']}/w{level['workers']}/n{level['sessions']}"
+
+
+# Correctness gates: these hold regardless of any baseline.
+blocking = [l for l in current.get("levels", []) if l["mode"] == "blocking"]
+staged = [l for l in current.get("levels", []) if l["mode"] == "staged"]
+synthetic = [l for l in current.get("levels", []) if l["mode"] == "synthetic"]
+chaos = [l for l in current.get("levels", []) if l["mode"] == "chaos"]
+
+# Every fully-verified path must succeed end to end, nothing may be served
+# unverified (chaos included: sessions may fail closed, never open), and a
+# cold cache costs exactly one KDS round trip per full-crypto level no
+# matter how many sessions stampede it.
+for level in blocking + staged + synthetic:
     if level["succeeded"] != level["sessions"]:
-        failures.append(f"clients={c}: {level['succeeded']}/"
+        failures.append(f"{key(level)}: {level['succeeded']}/"
                         f"{level['sessions']} sessions succeeded")
+for level in current.get("levels", []):
     if level["unverified_accepts"] != 0:
-        failures.append(f"clients={c}: "
+        failures.append(f"{key(level)}: "
                         f"{level['unverified_accepts']} unverified accepts")
+for level in blocking + staged + chaos:
     if level["vcek"]["fetches"] != 1:
-        failures.append(f"clients={c}: {level['vcek']['fetches']} KDS "
+        failures.append(f"{key(level)}: {level['vcek']['fetches']} KDS "
                         f"fetches on a cold cache (single-flight broken)")
     if level["kds_fetch_count_delta"] != 1:
-        failures.append(f"clients={c}: kds.fetch.count rose by "
+        failures.append(f"{key(level)}: kds.fetch.count rose by "
                         f"{level['kds_fetch_count_delta']}, expected 1")
-scaling = current.get("scaling_16v1", 0.0)
-if scaling < MIN_SCALING_16V1:
-    failures.append(f"scaling_16v1 = {scaling:.2f}x, "
-                    f"below the {MIN_SCALING_16V1}x gate")
 
-# Regression gate: virtual-clock throughput and latency vs the committed
-# baseline. Real time is machine-dependent and reported only.
+# The tentpole: parked sessions scale past thread counts. The largest
+# synthetic level must park >= 1000 sessions per worker with per-session
+# memory flat relative to the smallest level, and every replayed level
+# must reproduce its transcript digest bit for bit.
+MIN_PARKED_PER_WORKER = 1000.0
+MAX_MEMORY_GROWTH = 1.15
+if not synthetic:
+    failures.append("no synthetic scale levels in bench output")
+else:
+    largest = max(synthetic, key=lambda l: l["sessions"])
+    smallest = min(synthetic, key=lambda l: l["sessions"])
+    if largest["parked_per_worker"] < MIN_PARKED_PER_WORKER:
+        failures.append(
+            f"{key(largest)}: {largest['parked_per_worker']:.0f} parked "
+            f"sessions/worker, below the {MIN_PARKED_PER_WORKER:.0f} gate")
+    small_bytes = smallest["bytes_per_parked_session"]
+    large_bytes = largest["bytes_per_parked_session"]
+    if small_bytes > 0 and large_bytes > small_bytes * MAX_MEMORY_GROWTH:
+        failures.append(
+            f"bytes/parked-session grew {small_bytes:.1f} -> "
+            f"{large_bytes:.1f} from {smallest['sessions']} to "
+            f"{largest['sessions']} sessions (not flat)")
+    for level in synthetic:
+        if "deterministic" in level and not level["deterministic"]:
+            failures.append(f"{key(level)}: replay produced a different "
+                            f"transcript digest (nondeterministic)")
+
+# Chaos soak: lossy links may fail sessions, but most must still land.
+for level in chaos:
+    if level["succeeded"] < 0.8 * level["sessions"]:
+        failures.append(f"{key(level)}: only {level['succeeded']}/"
+                        f"{level['sessions']} chaos sessions succeeded")
+
+MIN_STAGED_SPEEDUP = 3.0
+speedup = current.get("staged_speedup_1worker", 0.0)
+if speedup < MIN_STAGED_SPEEDUP:
+    failures.append(f"staged_speedup_1worker = {speedup:.2f}x, below the "
+                    f"{MIN_STAGED_SPEEDUP}x gate")
+
+# Regression gate: virtual-clock makespan and latency vs the committed
+# baseline. Real time is machine-dependent and reported only. The baseline
+# is required: a missing or unreadable one is a failure, not a skip.
 THRESHOLD = 0.25
 try:
     with open(baseline_path) as f:
         baseline = json.load(f)
 except FileNotFoundError:
-    baseline = None
-    print(f"no baseline at {baseline_path}; skipping regression gate",
-          file=sys.stderr)
+    print(f"error: gateway baseline missing at {baseline_path}; copy a "
+          f"trusted BENCH_gateway.json there to re-baseline", file=sys.stderr)
+    sys.exit(1)
+except json.JSONDecodeError as e:
+    print(f"error: gateway baseline {baseline_path} is not valid JSON "
+          f"({e}); restore or regenerate it", file=sys.stderr)
+    sys.exit(1)
 
-base_levels = ({level["clients"]: level
-                for level in baseline.get("levels", [])} if baseline else {})
+base_levels = {key(l): l for l in baseline.get("levels", [])}
 for level in current.get("levels", []):
-    c = level["clients"]
-    base = base_levels.get(c)
-    rows = [("virt_makespan_ms", 1), ("virt_p50_ms", 1),
-            ("virt_p95_ms", 1), ("virt_p99_ms", 1)]
-    for key, _ in rows:
-        cur_ms = level.get(key, 0.0)
-        base_ms = base.get(key, 0.0) if base else 0.0
+    if level["mode"] == "chaos":
+        continue  # absolute-time-keyed fault draws; not reproducible
+    base = base_levels.get(key(level))
+    if base is None:
+        print(f"  {key(level):26s} (no baseline entry)", file=sys.stderr)
+        continue
+    for metric in ("virt_makespan_ms", "virt_p50_ms", "virt_p95_ms",
+                   "virt_p99_ms"):
+        cur_ms = level.get(metric, 0.0)
+        base_ms = base.get(metric, 0.0)
         delta = (cur_ms - base_ms) / base_ms if base_ms > 0 else 0.0
         flag = ""
         if base_ms > 0 and delta > THRESHOLD:
-            failures.append(f"clients={c} {key}: {base_ms:.1f} -> "
+            failures.append(f"{key(level)} {metric}: {base_ms:.1f} -> "
                             f"{cur_ms:.1f} ms (+{delta*100:.0f}%)")
             flag = "  <-- REGRESSION"
-        print(f"  clients={c:<3d} {key:18s} {cur_ms:9.1f} ms"
+        print(f"  {key(level):26s} {metric:18s} {cur_ms:9.1f} ms"
               f" (baseline {base_ms:9.1f} ms){flag}", file=sys.stderr)
-print(f"  scaling_16v1 = {scaling:.2f}x, scaling_64v1 = "
-      f"{current.get('scaling_64v1', 0.0):.2f}x", file=sys.stderr)
+print(f"  staged_speedup_1worker = {speedup:.2f}x", file=sys.stderr)
 
 if failures:
     print("gateway gate failure(s):", file=sys.stderr)
     for f_ in failures:
         print(f"  {f_}", file=sys.stderr)
     sys.exit(1)
-print("gateway scaling and latency within gates", file=sys.stderr)
+print("gateway engine, scale, memory, and determinism gates all green",
+      file=sys.stderr)
 PY
 else
   echo "note: $gateway_bin not built; skipping gateway load bench" >&2

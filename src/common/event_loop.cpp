@@ -1,0 +1,109 @@
+#include "common/event_loop.hpp"
+
+#include <algorithm>
+
+namespace revelio::common {
+
+bool EventLoop::later(const Event& a, const Event& b) {
+  if (a.due_us != b.due_us) return a.due_us > b.due_us;
+  if (a.track != b.track) return a.track > b.track;
+  return a.seq > b.seq;
+}
+
+std::uint64_t EventLoop::schedule_at(Micros due_us, std::size_t track,
+                                     std::uint64_t payload) {
+  Event e;
+  e.due_us = std::max(due_us, now_us_);
+  e.track = track;
+  e.seq = next_seq_++;
+  e.id = next_id_++;
+  e.payload = payload;
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  live_.insert(e.id);
+  ++pending_;
+  ++stats_.scheduled;
+  stats_.peak_pending = std::max(stats_.peak_pending, pending_);
+  return e.id;
+}
+
+std::uint64_t EventLoop::schedule_after(Micros delay_us, std::size_t track,
+                                        std::uint64_t payload) {
+  return schedule_at(now_us_ + delay_us, track, payload);
+}
+
+bool EventLoop::cancel(std::uint64_t id) {
+  // Only ids that are still parked are cancellable: fired, unknown, and
+  // doubly-cancelled ids all report false.
+  if (live_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  // The heap slot stays until it surfaces; only the live count drops now.
+  --pending_;
+  ++stats_.cancelled;
+  return true;
+}
+
+void EventLoop::next_batch(std::vector<Event>& out) {
+  out.clear();
+  // Skim cancelled tombstones off the top first so the batch instant is
+  // the earliest *live* due time.
+  while (!heap_.empty() && cancelled_.count(heap_.front().id) > 0) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+  if (heap_.empty()) return;
+
+  const Micros due = heap_.front().due_us;
+  now_us_ = due;
+  while (!heap_.empty() && heap_.front().due_us == due) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Event e = heap_.back();
+    heap_.pop_back();
+    if (cancelled_.count(e.id) > 0) {
+      cancelled_.erase(e.id);
+      continue;
+    }
+    live_.erase(e.id);
+    --pending_;
+    out.push_back(e);
+  }
+  stats_.dispatched += out.size();
+  stats_.batches += out.empty() ? 0 : 1;
+  stats_.max_batch = std::max(stats_.max_batch, out.size());
+  if (!out.empty()) stats_.end_us = due;
+}
+
+std::vector<EventLoop::Event> EventLoop::next_batch() {
+  std::vector<Event> out;
+  next_batch(out);
+  return out;
+}
+
+void EventLoop::run_serial(
+    const std::function<void(const Event&, Micros)>& fn) {
+  std::vector<Event> batch;
+  for (;;) {
+    next_batch(batch);
+    if (batch.empty()) return;
+    for (const Event& e : batch) fn(e, now_us_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local VirtualWaitScope* g_wait_scope = nullptr;
+}  // namespace
+
+void note_virtual_wait_us(std::uint64_t us) {
+  if (g_wait_scope != nullptr) g_wait_scope->waited_us_ += us;
+}
+
+VirtualWaitScope::VirtualWaitScope() : prev_(g_wait_scope) {
+  g_wait_scope = this;
+}
+
+VirtualWaitScope::~VirtualWaitScope() { g_wait_scope = prev_; }
+
+}  // namespace revelio::common

@@ -11,7 +11,11 @@
 // waiter of that flight and nothing is cached here — the next caller
 // starts a fresh flight. Retries therefore stay where they belong, inside
 // the leader's fetch function (net::with_retries), and are never
-// multiplied by the number of waiters.
+// multiplied by the number of waiters. A leader that *throws* is handled
+// the same way: the in-flight entry is published as a
+// "singleflight.leader_failed" error (waking every waiter) before the
+// exception propagates to the leader's caller, so a throwing fetch can
+// never strand waiters on a flight that will not complete.
 #pragma once
 
 #include <condition_variable>
@@ -57,15 +61,18 @@ class SingleFlight {
       flight = std::make_shared<Flight>();
       inflight_[key] = flight;
     }
-    // Leader: execute outside the lock, publish, wake the waiters.
-    Result<Value> result = fn();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      flight->result = result;
-      flight->done = true;
-      inflight_.erase(key);
+    // Leader: execute outside the lock, publish, wake the waiters. The
+    // publish must happen even if `fn` throws — otherwise every waiter
+    // blocks forever on a flight that will never complete.
+    Result<Value> result = Error::make("singleflight.leader_failed",
+                                       "leader threw before producing");
+    try {
+      result = fn();
+    } catch (...) {
+      publish(key, flight, result);
+      throw;  // the leader's caller sees the original exception
     }
-    cv_.notify_all();
+    publish(key, flight, result);
     return result;
   }
 
@@ -80,6 +87,17 @@ class SingleFlight {
     bool done = false;
     Result<Value> result = Error::make("singleflight.pending");
   };
+
+  void publish(const Key& key, const std::shared_ptr<Flight>& flight,
+               const Result<Value>& result) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      flight->result = result;
+      flight->done = true;
+      inflight_.erase(key);
+    }
+    cv_.notify_all();
+  }
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

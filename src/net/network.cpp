@@ -4,9 +4,21 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/event_loop.hpp"
 #include "obs/metrics.hpp"
 
 namespace revelio::net {
+
+namespace {
+/// Transport time is a *wait* from the caller's point of view: charge it
+/// to the world clock and report it to the event layer's wait observer
+/// (common/event_loop.hpp), so a staged session engine can park sessions
+/// for exactly this long instead of blocking a thread.
+void charge_wait_ms(SimClock& clock, double ms) {
+  clock.advance_ms(ms);
+  common::note_virtual_wait_ms(ms);
+}
+}  // namespace
 
 // --- FaultPlan -----------------------------------------------------------
 
@@ -170,7 +182,7 @@ Result<Bytes> Network::call(const Address& from, const Address& to,
       case MitmAction::Kind::kDrop:
         // The caller observes a timeout; a drop is never free — the full
         // configured timeout is charged to virtual time.
-        clock_->advance_ms(call_timeout_ms_);
+        charge_wait_ms(*clock_, call_timeout_ms_);
         return Error::make("net.timeout", "request dropped in transit");
       case MitmAction::Kind::kTamper:
         tampered = std::move(action.tampered_request);
@@ -191,14 +203,14 @@ Result<Bytes> Network::call(const Address& from, const Address& to,
         obs::metrics()
             .counter("net.fault.injected", {{"kind", d.kind}})
             .inc();
-        clock_->advance_ms(call_timeout_ms_);
+        charge_wait_ms(*clock_, call_timeout_ms_);
         return Error::make("net.unreachable",
                            target.to_string() + " (" + d.kind + ")");
       case FaultPlan::Decision::Verdict::kDrop:
         obs::metrics()
             .counter("net.fault.injected", {{"kind", d.kind}})
             .inc();
-        clock_->advance_ms(call_timeout_ms_);
+        charge_wait_ms(*clock_, call_timeout_ms_);
         return Error::make("net.timeout",
                            "dropped by fault plan: " + target.to_string());
       case FaultPlan::Decision::Verdict::kDeliver:
@@ -206,7 +218,7 @@ Result<Bytes> Network::call(const Address& from, const Address& to,
           obs::metrics()
               .counter("net.fault.injected", {{"kind", "delay"}})
               .inc();
-          clock_->advance_ms(d.extra_delay_ms);
+          charge_wait_ms(*clock_, d.extra_delay_ms);
         }
         duplicate = d.duplicate;
         break;
@@ -215,11 +227,11 @@ Result<Bytes> Network::call(const Address& from, const Address& to,
 
   const auto it = handlers_.find(target);
   if (it == handlers_.end()) {
-    clock_->advance_ms(latency_between(from.host, target.host));
+    charge_wait_ms(*clock_, latency_between(from.host, target.host));
     return Error::make("net.connection_refused", target.to_string());
   }
   // One round trip.
-  clock_->advance_ms(2.0 * latency_between(from.host, target.host));
+  charge_wait_ms(*clock_, 2.0 * latency_between(from.host, target.host));
   ++messages_delivered_;
   Bytes response = it->second(payload, from);
   if (duplicate) {

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/event_loop.hpp"
 #include "common/result.hpp"
 #include "common/sim_clock.hpp"
 #include "crypto/drbg.hpp"
@@ -249,7 +250,12 @@ auto with_retries(SimClock& clock, crypto::HmacDrbg& jitter_drbg,
     double backoff = policy.backoff_ms(attempt, jitter_drbg);
     const double remaining = deadline.remaining_ms(clock);
     if (backoff > remaining) backoff = remaining;
-    if (backoff > 0.0) clock.advance_ms(backoff);
+    if (backoff > 0.0) {
+      // A backoff sleep is pure waiting: charge virtual time and report it
+      // to the event layer so a staged engine parks instead of blocking.
+      clock.advance_ms(backoff);
+      common::note_virtual_wait_ms(backoff);
+    }
     obs::metrics().counter("retry.backoff.count", {{"op", op}}).inc();
     ++attempt;
   }

@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <deque>
 #include <optional>
+#include <unordered_map>
 
+#include "common/event_loop.hpp"
+#include "common/hex.hpp"
 #include "common/parallel.hpp"
+#include "crypto/sha2.hpp"
 #include "obs/metrics.hpp"
 
 namespace revelio::core {
@@ -21,6 +27,19 @@ double percentile(const std::vector<double>& sorted, double q) {
 }
 
 }  // namespace
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kHandshake: return "handshake";
+    case SessionState::kEvidenceFetch: return "evidence_fetch";
+    case SessionState::kKdsFetch: return "kds_fetch";
+    case SessionState::kVerify: return "verify";
+    case SessionState::kPageFetch: return "page_fetch";
+    case SessionState::kDone: return "done";
+    case SessionState::kFailed: return "failed";
+  }
+  return "?";
+}
 
 SessionEngine::SessionEngine(SessionEngineConfig config)
     : config_(config),
@@ -105,6 +124,344 @@ SessionEngine::Report SessionEngine::run(std::size_t sessions,
   report.virt_p50_ms = percentile(sorted, 0.50);
   report.virt_p95_ms = percentile(sorted, 0.95);
   report.virt_p99_ms = percentile(sorted, 0.99);
+
+  report.chain_stats = chain_cache_.stats();
+  report.vcek_stats = vcek_cache_.stats();
+  return report;
+}
+
+namespace {
+
+/// Which admission gate a stage passes through. 0 = ungated.
+enum : std::uint8_t { kGateNone = 0, kGateEvidence = 1, kGateKds = 2 };
+
+std::uint8_t gate_for(SessionState state, const AdmissionConfig& admission) {
+  if (state == SessionState::kEvidenceFetch &&
+      admission.max_inflight_evidence > 0) {
+    return kGateEvidence;
+  }
+  if (state == SessionState::kKdsFetch && admission.max_inflight_kds > 0) {
+    return kGateKds;
+  }
+  return kGateNone;
+}
+
+/// Everything the engine keeps per session — this struct (plus one pending
+/// heap event) IS the cost of a parked session, which is why it stays
+/// plain data.
+struct Cell {
+  SessionState next = SessionState::kHandshake;  // stage to run at wake
+  std::uint8_t holds = kGateNone;  // gate capacity held through the park
+  double total_virt_ms = 0.0;
+  double wait_virt_ms = 0.0;
+  common::EventLoop::Micros queued_at_us = 0;  // set while in a gate FIFO
+};
+
+/// What one dispatched stage produced (slot-indexed; written by exactly
+/// one pool lane, read by the driver after the batch join).
+struct StageResult {
+  SessionState next = SessionState::kFailed;
+  double stage_virt_ms = 0.0;
+  double wait_ms = 0.0;
+  Status failure = Status::success();
+};
+
+common::EventLoop::Micros to_us(double ms) {
+  return ms <= 0.0 ? 0
+                   : static_cast<common::EventLoop::Micros>(ms * 1000.0 + 0.5);
+}
+
+}  // namespace
+
+SessionEngine::StagedReport SessionEngine::run_staged(
+    std::size_t sessions, const StagedSessionFn& fn,
+    const AdmissionConfig& admission, const TrackFn& track) {
+  StagedReport report;
+  report.sessions = sessions;
+  report.outcomes.assign(sessions, Status::success());
+  report.final_states.assign(sessions, SessionState::kFailed);
+  report.session_virt_ms.assign(sessions, 0.0);
+  if (sessions == 0) {
+    report.transcript_digest = to_hex(crypto::Sha256().finish().view());
+    return report;
+  }
+
+  const auto real_start = std::chrono::steady_clock::now();
+  const auto track_of = [&](std::size_t i) { return track ? track(i) : i; };
+
+  common::EventLoop loop;
+  std::vector<Cell> cells(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    loop.schedule_at(0, track_of(i), i);
+  }
+
+  struct Gate {
+    std::size_t limit = 0;
+    std::size_t inflight = 0;
+    std::deque<std::size_t> fifo;
+    std::size_t peak_inflight = 0;
+  };
+  Gate gates[3];
+  gates[kGateEvidence].limit = admission.max_inflight_evidence;
+  gates[kGateKds].limit = admission.max_inflight_kds;
+
+  auto& metrics = obs::metrics();
+  obs::Gauge& parked_gauge = metrics.gauge("gw.sessions.parked");
+  obs::Gauge& running_gauge = metrics.gauge("gw.sessions.running");
+  obs::Gauge& queue_gauge = metrics.gauge("gw.admission.queue_depth");
+  obs::Counter& park_counter = metrics.counter("gw.admission.park.count");
+  obs::Counter& shed_counter = metrics.counter("gw.admission.shed.count");
+  obs::Histogram& wake_hist = metrics.histogram(
+      "gw.wake.latency.ms", {1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000});
+  std::vector<double> wake_latencies;
+
+  const auto finalize = [&](std::size_t i, SessionState state, Status st) {
+    Cell& c = cells[i];
+    if (c.holds != kGateNone) {  // terminal exit from a gated stage
+      --gates[c.holds].inflight;
+      c.holds = kGateNone;
+    }
+    report.final_states[i] = state;
+    report.outcomes[i] = std::move(st);
+    report.session_virt_ms[i] = c.total_virt_ms;
+    report.wait_virt_ms += c.wait_virt_ms;
+  };
+
+  common::ThreadPool pool(workers());
+  std::vector<common::EventLoop::Event> batch;
+  std::vector<std::size_t> ready;        // session indices to dispatch now
+  std::vector<StageResult> results;      // slot-parallel with `ready`
+  std::vector<std::vector<std::size_t>> groups;  // ready slots, by track
+  // Virtual completion time of the latest-finishing session, including its
+  // final stage (which needs no wake and so never reaches the loop clock).
+  double makespan_ms = 0.0;
+
+  while (true) {
+    loop.next_batch(batch);
+    if (batch.empty()) break;  // gate FIFOs are empty too: a non-empty
+                               // FIFO implies a capacity holder, and every
+                               // holder has a wake pending in the loop
+    const common::EventLoop::Micros now_us = loop.now_us();
+    ready.clear();
+
+    // 1. Waking sessions release the gate capacity their park was holding
+    //    (the in-flight fetch completed at this instant).
+    for (const auto& e : batch) {
+      Cell& c = cells[e.payload];
+      if (c.holds != kGateNone) {
+        --gates[c.holds].inflight;
+        c.holds = kGateNone;
+      }
+    }
+
+    // 2. Freed capacity goes to gate-parked sessions first, FIFO.
+    for (std::uint8_t g : {kGateEvidence, kGateKds}) {
+      Gate& gate = gates[g];
+      while (!gate.fifo.empty() && gate.inflight < gate.limit) {
+        const std::size_t i = gate.fifo.front();
+        gate.fifo.pop_front();
+        ++gate.inflight;
+        cells[i].holds = g;
+        const double waited =
+            static_cast<double>(now_us - cells[i].queued_at_us) / 1000.0;
+        wake_hist.observe(waited);
+        wake_latencies.push_back(waited);
+        ready.push_back(i);
+      }
+      gate.peak_inflight = std::max(gate.peak_inflight, gate.inflight);
+    }
+
+    // 3. Admission for the batch itself, in deterministic batch order.
+    for (const auto& e : batch) {
+      const std::size_t i = e.payload;
+      Cell& c = cells[i];
+      const std::uint8_t g = gate_for(c.next, admission);
+      if (g == kGateNone) {
+        ready.push_back(i);
+        continue;
+      }
+      Gate& gate = gates[g];
+      if (gate.inflight < gate.limit) {
+        ++gate.inflight;
+        c.holds = g;
+        gate.peak_inflight = std::max(gate.peak_inflight, gate.inflight);
+        ready.push_back(i);
+      } else if (admission.on_overload == AdmissionConfig::Overload::kPark &&
+                 (admission.max_parked == 0 ||
+                  gate.fifo.size() < admission.max_parked)) {
+        c.queued_at_us = now_us;
+        gate.fifo.push_back(i);
+        park_counter.inc();
+      } else {
+        // Shed: fail closed. The session never reaches verify, so it can
+        // never be counted as an accepted (trusted) session.
+        shed_counter.inc();
+        ++report.shed;
+        makespan_ms =
+            std::max(makespan_ms, static_cast<double>(now_us) / 1000.0);
+        finalize(i, SessionState::kFailed,
+                 Error::make("gw.admission.shed", to_string(c.next)));
+      }
+    }
+    const std::size_t queued =
+        gates[kGateEvidence].fifo.size() + gates[kGateKds].fifo.size();
+    report.peak_queue_depth = std::max(report.peak_queue_depth, queued);
+    queue_gauge.set(static_cast<double>(queued));
+    running_gauge.set(static_cast<double>(ready.size()));
+
+    // 4. Dispatch the ready stages over the pool, grouped by track so
+    //    sessions sharing a world replica never run concurrently. Groups
+    //    materialize in first-appearance order of the (track, seq)-ordered
+    //    ready list, and each slot writes only results[slot] — the outcome
+    //    is identical however lanes claim the groups.
+    results.assign(ready.size(), StageResult{});
+    const auto run_stage = [&](std::size_t slot) {
+      const std::size_t i = ready[slot];
+      Cell& c = cells[i];
+      obs::MetricsRegistry session_metrics;
+      obs::Tracer session_tracer;
+      session_tracer.set_enabled(config_.trace_sessions);
+      StageResult r;
+      {
+        obs::ScopedThreadTracer tracer_scope(session_tracer);
+        std::optional<obs::ScopedThreadMetrics> metrics_scope;
+        if (config_.isolate_obs) metrics_scope.emplace(session_metrics);
+        common::VirtualWaitScope waits;
+
+        StagedContext ctx;
+        ctx.index = i;
+        ctx.state = c.next;
+        ctx.chain_cache = &chain_cache_;
+        ctx.vcek_cache = &vcek_cache_;
+        ctx.tracer = &session_tracer;
+        ctx.total_virt_ms = c.total_virt_ms;
+        r.next = fn(ctx);
+        r.stage_virt_ms = ctx.stage_virt_ms;
+        r.failure = std::move(ctx.failure);
+        r.wait_ms = waits.waited_ms();
+      }
+      if (config_.isolate_obs && config_.merge_metrics) {
+        obs::metrics().merge_from(session_metrics);
+      }
+      results[slot] = std::move(r);
+    };
+    if (pool.width() <= 1 || ready.size() <= 1) {
+      for (std::size_t slot = 0; slot < ready.size(); ++slot) run_stage(slot);
+    } else {
+      groups.clear();
+      std::unordered_map<std::size_t, std::size_t> group_of;
+      for (std::size_t slot = 0; slot < ready.size(); ++slot) {
+        const std::size_t t = track_of(ready[slot]);
+        const auto [it, fresh] = group_of.emplace(t, groups.size());
+        if (fresh) groups.emplace_back();
+        groups[it->second].push_back(slot);
+      }
+      pool.for_tasks(groups.size(), [&](std::size_t gi) {
+        for (const std::size_t slot : groups[gi]) run_stage(slot);
+      });
+    }
+
+    // 5. Post-pass on the driver thread, in ready order: advance the state
+    //    machines and schedule wakes. Single-threaded scheduling is what
+    //    keeps event seq numbers — and the whole schedule — deterministic.
+    for (std::size_t slot = 0; slot < ready.size(); ++slot) {
+      const std::size_t i = ready[slot];
+      StageResult& r = results[slot];
+      Cell& c = cells[i];
+      c.total_virt_ms += r.stage_virt_ms;
+      c.wait_virt_ms += std::min(r.wait_ms, r.stage_virt_ms);
+      if (r.next == SessionState::kDone || r.next == SessionState::kFailed) {
+        makespan_ms = std::max(makespan_ms, static_cast<double>(now_us) /
+                                                    1000.0 +
+                                                r.stage_virt_ms);
+      }
+      if (r.next == SessionState::kDone) {
+        finalize(i, SessionState::kDone, Status::success());
+      } else if (r.next == SessionState::kFailed) {
+        finalize(i, SessionState::kFailed,
+                 r.failure.ok() ? Error::make("gw.session_failed",
+                                              "stage reported failure")
+                                : std::move(r.failure));
+      } else {
+        c.next = r.next;
+        loop.schedule_after(to_us(r.stage_virt_ms), track_of(i), i);
+      }
+    }
+    const std::size_t parked =
+        loop.pending() + gates[kGateEvidence].fifo.size() +
+        gates[kGateKds].fifo.size();
+    report.peak_parked = std::max(report.peak_parked, parked);
+    parked_gauge.set(static_cast<double>(parked));
+  }
+  running_gauge.set(0.0);
+  const auto real_end = std::chrono::steady_clock::now();
+
+  // ---- aggregation -------------------------------------------------------
+  report.real_elapsed_ms =
+      std::chrono::duration<double, std::milli>(real_end - real_start).count();
+  if (report.real_elapsed_ms > 0.0) {
+    report.sessions_per_real_sec =
+        static_cast<double>(sessions) / (report.real_elapsed_ms / 1000.0);
+  }
+  for (const auto& st : report.outcomes) {
+    if (st.ok()) {
+      ++report.succeeded;
+    } else {
+      ++report.failed;
+    }
+  }
+
+  const auto& stats = loop.stats();
+  report.events_dispatched = stats.dispatched;
+  report.batches = stats.batches;
+  report.max_batch = stats.max_batch;
+  report.virt_makespan_ms = makespan_ms;
+  if (report.virt_makespan_ms > 0.0) {
+    report.sessions_per_virtual_sec =
+        static_cast<double>(sessions) / (report.virt_makespan_ms / 1000.0);
+  }
+  report.parked_per_worker =
+      static_cast<double>(report.peak_parked) / static_cast<double>(workers());
+  report.peak_inflight_evidence = gates[kGateEvidence].peak_inflight;
+  report.peak_inflight_kds = gates[kGateKds].peak_inflight;
+
+  std::vector<double> sorted = report.session_virt_ms;
+  std::sort(sorted.begin(), sorted.end());
+  report.virt_p50_ms = percentile(sorted, 0.50);
+  report.virt_p95_ms = percentile(sorted, 0.95);
+  report.virt_p99_ms = percentile(sorted, 0.99);
+  std::sort(wake_latencies.begin(), wake_latencies.end());
+  report.wake_p99_ms = percentile(wake_latencies, 0.99);
+  double total_virt = 0.0;
+  for (const double v : report.session_virt_ms) total_virt += v;
+  report.service_virt_ms = total_virt - report.wait_virt_ms;
+
+  report.engine_bytes = sessions * sizeof(Cell) + loop.peak_heap_bytes() +
+                        report.peak_queue_depth * sizeof(std::size_t);
+  if (report.peak_parked > 0) {
+    report.bytes_per_parked_session =
+        static_cast<double>(report.engine_bytes) /
+        static_cast<double>(report.peak_parked);
+  }
+
+  // Transcript digest: the run's observable outcome, hashed in session
+  // order. Two same-seed runs must produce the same hex string bit for bit.
+  crypto::Sha256 digest;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    std::uint8_t rec[17];
+    std::uint64_t idx = static_cast<std::uint64_t>(i);
+    std::memcpy(rec, &idx, 8);
+    rec[8] = static_cast<std::uint8_t>(report.final_states[i]);
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(double));
+    std::memcpy(&bits, &report.session_virt_ms[i], 8);
+    std::memcpy(rec + 9, &bits, 8);
+    digest.update(ByteView(rec, sizeof(rec)));
+    if (!report.outcomes[i].ok()) {
+      digest.update(to_bytes(report.outcomes[i].error().code));
+    }
+  }
+  report.transcript_digest = to_hex(digest.finish().view());
 
   report.chain_stats = chain_cache_.stats();
   report.vcek_stats = vcek_cache_.stats();

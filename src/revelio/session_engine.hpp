@@ -31,10 +31,22 @@
 // come from the per-session virtual durations the session function
 // reports, which are deterministic — benchmarks gate on them (see
 // bench/bench_gateway.cpp).
+// run_staged() is the event-driven successor to run(): sessions become
+// explicit state machines over a deterministic virtual-time EventLoop
+// (common/event_loop.hpp). One dispatched *stage* runs synchronously; the
+// virtual time it consumes (network round trips, retry backoff, chaos
+// timeouts) becomes the session's park interval, and the session costs a
+// 40-byte heap event — not a blocked thread — until its wake. That is what
+// lets one worker carry thousands of in-flight sessions (the 100k-session
+// level in bench_gateway). Admission control bounds the in-flight gated
+// stages (evidence/KDS fetches) with park-or-shed overload policy, all
+// exported as gw.* metrics.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/result.hpp"
@@ -43,6 +55,30 @@
 #include "revelio/vcek_cache.hpp"
 
 namespace revelio::core {
+
+/// The session state machine driven by run_staged(). Stage order for a
+/// full gateway session:
+///
+///   handshake -> evidence_fetch -> kds_fetch -> verify -> page_fetch
+///     -> done | failed
+///
+/// The session function may skip stages (a monitored reconnect goes
+/// handshake -> page_fetch) but may only move forward; kDone/kFailed are
+/// terminal.
+enum class SessionState : std::uint8_t {
+  kHandshake,
+  kEvidenceFetch,
+  kKdsFetch,
+  kVerify,
+  kPageFetch,
+  kDone,
+  kFailed,
+};
+
+const char* to_string(SessionState state);
+/// The SessionState overload above would otherwise hide the byte-level
+/// to_string(ByteView) from the enclosing namespace for code inside core.
+using revelio::to_string;
 
 struct SessionEngineConfig {
   /// Worker lanes (0 = ThreadPool::default_thread_count()). Also the lane
@@ -84,6 +120,54 @@ struct SessionContext {
 /// failed in the Report; the engine itself never interprets the error.
 using SessionFn = std::function<Status(SessionContext&)>;
 
+/// What one *stage* of a staged session sees. Shared-cache rules are the
+/// same as SessionContext; the tracer and (with isolate_obs) the metrics
+/// registry are per-dispatch, merged into the process registry when the
+/// stage returns.
+struct StagedContext {
+  std::size_t index = 0;                      // session number in [0, N)
+  SessionState state = SessionState::kHandshake;  // the stage to run NOW
+  pki::ChainVerifier* chain_cache = nullptr;
+  VcekCache* vcek_cache = nullptr;
+  obs::Tracer* tracer = nullptr;
+  /// Virtual time the session has accumulated across earlier stages.
+  double total_virt_ms = 0.0;
+
+  /// Out: virtual duration of this stage (e.g. the world clock's delta
+  /// across it). The engine parks the session for exactly this long before
+  /// dispatching the returned state — the stage's I/O time IS the wake
+  /// delay.
+  double stage_virt_ms = 0.0;
+  /// Out: why the session failed; read only when kFailed is returned.
+  Status failure = Status::success();
+};
+
+/// Runs ctx.state and returns the NEXT state (kDone/kFailed to finish).
+/// Called once per dispatch; must be safe to run concurrently with stages
+/// of sessions on *other* tracks (sessions sharing a track never overlap).
+using StagedSessionFn = std::function<SessionState(StagedContext&)>;
+
+/// Maps a session to its event-loop track (= independence class; sessions
+/// sharing a single-threaded world replica must share a track). Default:
+/// every session its own track.
+using TrackFn = std::function<std::size_t(std::size_t)>;
+
+/// Backpressure for the two remote-fetch stages. A gated stage holds one
+/// unit of its gate's capacity from dispatch until the session's next wake
+/// (the park IS the in-flight fetch); a session arriving at a full gate is
+/// parked in the gate's FIFO (kPark) or failed closed with
+/// "gw.admission.shed" (kShed, or kPark with the FIFO at max_parked).
+struct AdmissionConfig {
+  /// Max in-flight evidence/BN fetches (0 = unlimited).
+  std::size_t max_inflight_evidence = 0;
+  /// Max in-flight KDS fetches (0 = unlimited).
+  std::size_t max_inflight_kds = 0;
+  enum class Overload { kPark, kShed };
+  Overload on_overload = Overload::kPark;
+  /// Park-queue bound per gate before shedding anyway (0 = unbounded).
+  std::size_t max_parked = 0;
+};
+
 class SessionEngine {
  public:
   explicit SessionEngine(SessionEngineConfig config = {});
@@ -119,6 +203,73 @@ class SessionEngine {
   /// re-entrant: one run() at a time per engine (the shared caches persist
   /// across runs; construct a fresh engine for cold-cache measurements).
   Report run(std::size_t sessions, const SessionFn& fn);
+
+  struct StagedReport {
+    std::size_t sessions = 0;
+    std::size_t succeeded = 0;
+    std::size_t failed = 0;  // includes shed
+    std::size_t shed = 0;    // failed by admission control, never verified
+    std::vector<Status> outcomes;
+    std::vector<SessionState> final_states;
+    std::vector<double> session_virt_ms;
+
+    /// Wall-clock time of the whole run (not deterministic; not gated).
+    double real_elapsed_ms = 0.0;
+    double sessions_per_real_sec = 0.0;
+
+    /// Virtual completion time of the last session — the event loop's last
+    /// wake instant. Unlike run()'s lane model this is *measured* from the
+    /// schedule, so overlap is real: N sessions of latency L that overlap
+    /// perfectly finish at L, not N*L/workers.
+    double virt_makespan_ms = 0.0;
+    double sessions_per_virtual_sec = 0.0;
+    double virt_p50_ms = 0.0;
+    double virt_p95_ms = 0.0;
+    double virt_p99_ms = 0.0;
+    /// Split of total session virtual time into I/O waits (reported by
+    /// net/resilience via note_virtual_wait) vs everything else.
+    double wait_virt_ms = 0.0;
+    double service_virt_ms = 0.0;
+
+    // Event-loop shape.
+    std::uint64_t events_dispatched = 0;
+    std::uint64_t batches = 0;
+    std::size_t max_batch = 0;
+    /// High-water parked population (loop events + gate FIFOs) — the
+    /// sessions simultaneously in flight without holding a thread.
+    std::size_t peak_parked = 0;
+    double parked_per_worker = 0.0;
+
+    // Admission control.
+    std::size_t peak_inflight_evidence = 0;
+    std::size_t peak_inflight_kds = 0;
+    std::size_t peak_queue_depth = 0;  // both gate FIFOs, summed
+    /// p99 of time spent parked in a gate FIFO before capacity freed.
+    double wake_p99_ms = 0.0;
+
+    /// Engine-owned bytes per session in flight: session cells + the event
+    /// heap + gate FIFO slots at their peaks. Flat in session count by
+    /// construction; the bench gates on it.
+    std::size_t engine_bytes = 0;
+    double bytes_per_parked_session = 0.0;
+
+    /// SHA-256 (hex) over every session's (index, final state, outcome
+    /// code, virtual duration) — same seed, same digest, bit for bit.
+    std::string transcript_digest;
+
+    pki::ChainVerificationCache::Stats chain_stats;
+    VcekCache::Stats vcek_stats;
+  };
+
+  /// Event-driven run: every session starts at virtual t=0 in kHandshake;
+  /// ready stages are dispatched over the pool in deterministic batches
+  /// (grouped by track — see TrackFn) and parked between stages on the
+  /// event loop. Deterministic for fixed (sessions, fn behavior, admission,
+  /// track, workers) — the transcript digest is the proof. Same
+  /// re-entrancy rule as run().
+  StagedReport run_staged(std::size_t sessions, const StagedSessionFn& fn,
+                          const AdmissionConfig& admission = {},
+                          const TrackFn& track = {});
 
   /// Lanes the engine schedules on (== the makespan model's lane count).
   unsigned workers() const;

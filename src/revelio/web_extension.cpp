@@ -72,6 +72,14 @@ Result<Browser::FetchResult> Browser::get(const std::string& domain,
   return fetch(domain, port, request);
 }
 
+Result<Bytes> Browser::connect(const std::string& domain,
+                               std::uint16_t port) {
+  bool created = false;
+  auto session = session_for(domain, port, created);
+  if (!session.ok()) return session.error();
+  return (*session)->server_public_key();
+}
+
 void Browser::drop_session(const std::string& domain) {
   sessions_.erase(domain);
 }
@@ -186,18 +194,20 @@ Result<AttestationChecks> WebExtension::attest(const std::string& domain,
       !checks.ok() ? checks.error().code
                    : (checks->all_ok() ? "ok" : checks->failure_step);
   span.attr("result", result);
-  obs::metrics()
-      .counter("ext.attest.result.count", {{"result", result}})
-      .inc();
+  note_attest_result(result);
   return checks;
 }
 
-Result<AttestationChecks> WebExtension::attest_impl(
-    const std::string& domain, std::uint16_t port, const Bytes& session_key,
-    const net::Deadline& deadline) {
+void WebExtension::note_attest_result(const std::string& result) {
+  obs::metrics()
+      .counter("ext.attest.result.count", {{"result", result}})
+      .inc();
+}
+
+std::optional<EvidenceBundle> WebExtension::stage_evidence(
+    const std::string& domain, std::uint16_t port,
+    const net::Deadline& deadline, AttestationChecks& checks) {
   ++attestations_;
-  AttestationChecks checks;
-  const SiteRegistration& site = sites_.at(domain);
 
   // 1. Fetch the evidence from the well-known URL over the same session.
   obs::Span evidence_span("ext.evidence_fetch");
@@ -211,14 +221,14 @@ Result<AttestationChecks> WebExtension::attest_impl(
     evidence_span.attr("result", "fetch_failed");
     checks.failure = "evidence fetch failed";
     checks.failure_step = "evidence_fetch";
-    return checks;
+    return std::nullopt;
   }
   auto bundle = EvidenceBundle::parse(evidence_response->response.body);
   if (!bundle.ok()) {
     evidence_span.attr("result", "unparseable");
     checks.failure = "evidence unparseable";
     checks.failure_step = "evidence_parse";
-    return checks;
+    return std::nullopt;
   }
   evidence_span.attr("result", "ok");
   evidence_span.end();
@@ -228,9 +238,20 @@ Result<AttestationChecks> WebExtension::attest_impl(
   if (!bundle->binding_ok()) {
     checks.failure = "REPORT_DATA does not cover the payload";
     checks.failure_step = "binding";
-    return checks;
+    return std::nullopt;
   }
   checks.binding_ok = true;
+  return *bundle;
+}
+
+Result<AttestationChecks> WebExtension::attest_impl(
+    const std::string& domain, std::uint16_t port, const Bytes& session_key,
+    const net::Deadline& deadline) {
+  AttestationChecks checks;
+
+  // Stages 1-2: evidence fetch + parse + REPORT_DATA binding.
+  auto bundle = stage_evidence(domain, port, deadline, checks);
+  if (!bundle.has_value()) return checks;
 
   // 3. VCEK chain from the AMD KDS (cached across sessions).
   auto kds = fetch_vcek(bundle->report.chip_id, bundle->report.reported_tcb,
@@ -240,23 +261,35 @@ Result<AttestationChecks> WebExtension::attest_impl(
     checks.failure_step = "kds_fetch";
     return checks;
   }
+
+  // Stages 4-5: verification, measurement policy, TLS binding.
+  stage_verify(domain, *bundle, *kds, session_key, checks);
+  return checks;
+}
+
+bool WebExtension::stage_verify(const std::string& domain,
+                                const EvidenceBundle& bundle,
+                                const KdsService::VcekResponse& kds,
+                                const Bytes& session_key,
+                                AttestationChecks& checks) {
+  const SiteRegistration& site = sites_.at(domain);
   sevsnp::ReportVerifyOptions options;
   options.now_us = browser_->network().clock().now_us();
   options.minimum_tcb = site.minimum_tcb;
   options.chain_cache = chain_verifier_;
-  const auto verify = sevsnp::verify_report(bundle->report, kds->vcek,
-                                            {kds->ask}, {kds->ark}, options);
+  const auto verify = sevsnp::verify_report(bundle.report, kds.vcek,
+                                            {kds.ask}, {kds.ark}, options);
   if (!verify.ok()) {
     // Distinguish chain failures from signature failures for the UI.
     if (verify.error().code == "snp.vcek_chain_invalid") {
       checks.failure = verify.error().to_string();
       checks.failure_step = "chain";
-      return checks;
+      return false;
     }
     checks.chain_ok = true;
     checks.failure = verify.error().to_string();
     checks.failure_step = "report_verify";
-    return checks;
+    return false;
   }
   checks.chain_ok = true;
   checks.signature_ok = true;
@@ -264,34 +297,34 @@ Result<AttestationChecks> WebExtension::attest_impl(
   // 4. Measurement: manual pin or delegated registry.
   bool acceptable = false;
   for (const auto& m : site.expected_measurements) {
-    acceptable = acceptable || bundle->report.measurement == m;
+    acceptable = acceptable || bundle.report.measurement == m;
   }
   if (site.registry != nullptr) {
     acceptable = acceptable ||
                  site.registry->is_acceptable(site.registry_service,
-                                              bundle->report.measurement);
+                                              bundle.report.measurement);
   }
   if (!acceptable) {
     checks.failure = "measurement not in the accepted set";
     checks.failure_step = "measurement";
-    return checks;
+    return false;
   }
   checks.measurement_ok = true;
 
   // 5. The TLS endpoint must terminate at the attested key (§3.4.5).
-  if (!(session_key == bundle->payload)) {
+  if (!(session_key == bundle.payload)) {
     checks.failure = "TLS connection does not terminate at the attested key";
     checks.failure_step = "tls_binding";
-    return checks;
+    return false;
   }
   checks.tls_binding_ok = true;
 
   DomainState state;
   state.attested = true;
-  state.attested_key = bundle->payload;
+  state.attested_key = bundle.payload;
   state.checks = checks;
   state_[domain] = std::move(state);
-  return checks;
+  return true;
 }
 
 Result<WebExtension::Verified> WebExtension::fetch(
@@ -370,6 +403,87 @@ Result<WebExtension::Verified> WebExtension::get(const std::string& domain,
   request.path = path;
   request.host = domain;
   return fetch(domain, port, request);
+}
+
+// --- StagedAttestation ------------------------------------------------------
+
+Status WebExtension::StagedAttestation::wrong_stage(const char* want) const {
+  return Error::make("extension.stage_order",
+                     std::string("expected stage ") + want);
+}
+
+Status WebExtension::StagedAttestation::handshake() {
+  if (next_ != Stage::kHandshake) return wrong_stage("handshake");
+  if (ext_->sites_.count(domain_) == 0) {
+    return Error::make("extension.site_not_registered", domain_);
+  }
+  SimClock& clock = ext_->browser_->network().clock();
+  deadline_ = ext_->config_.attest_deadline_ms > 0.0
+                  ? net::Deadline::after_ms(clock,
+                                            ext_->config_.attest_deadline_ms)
+                  : net::Deadline::unlimited();
+  auto key = ext_->browser_->connect(domain_, port_);
+  if (!key.ok()) return key.error();
+  session_key_ = std::move(*key);
+  next_ = Stage::kEvidence;
+  return Status::success();
+}
+
+Status WebExtension::StagedAttestation::fetch_evidence() {
+  if (next_ != Stage::kEvidence) return wrong_stage("fetch_evidence");
+  bundle_ = ext_->stage_evidence(domain_, port_, deadline_, checks_);
+  if (!bundle_.has_value()) {
+    ext_->note_attest_result(checks_.failure_step);
+    return Error::make("extension.attestation_failed", checks_.failure);
+  }
+  next_ = Stage::kKds;
+  return Status::success();
+}
+
+Status WebExtension::StagedAttestation::fetch_kds() {
+  if (next_ != Stage::kKds) return wrong_stage("fetch_kds");
+  auto kds = ext_->fetch_vcek(bundle_->report.chip_id,
+                              bundle_->report.reported_tcb, deadline_);
+  if (!kds.ok()) {
+    checks_.failure = "VCEK fetch failed: " + kds.error().to_string();
+    checks_.failure_step = "kds_fetch";
+    ext_->note_attest_result(checks_.failure_step);
+    return Error::make("extension.attestation_failed", checks_.failure);
+  }
+  kds_ = std::move(*kds);
+  next_ = Stage::kVerify;
+  return Status::success();
+}
+
+Status WebExtension::StagedAttestation::verify() {
+  if (next_ != Stage::kVerify) return wrong_stage("verify");
+  const bool ok =
+      ext_->stage_verify(domain_, *bundle_, *kds_, session_key_, checks_);
+  if (!ok) {
+    // Fail closed, mirroring fetch(): record the verdict so last_checks()
+    // shows why, and never serve the page.
+    ext_->state_[domain_].checks = checks_;
+    ext_->state_[domain_].attested = false;
+    ext_->note_attest_result(checks_.failure_step);
+    return Error::make("extension.attestation_failed", checks_.failure);
+  }
+  ext_->note_attest_result("ok");
+  next_ = Stage::kPage;
+  return Status::success();
+}
+
+Result<net::HttpResponse> WebExtension::StagedAttestation::fetch_page(
+    const std::string& path) {
+  if (next_ != Stage::kPage) {
+    auto err = wrong_stage("fetch_page");
+    return err.error();
+  }
+  // The session is attested now, so this takes fetch()'s monitoring path
+  // (connection-context re-check included).
+  auto verified = ext_->get(domain_, port_, path);
+  if (!verified.ok()) return verified.error();
+  next_ = Stage::kDone;
+  return std::move(verified->response);
 }
 
 }  // namespace revelio::core

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 
 #include "net/http.hpp"
 #include "net/resilience.hpp"
@@ -40,6 +41,12 @@ class Browser {
                             const net::HttpRequest& request);
   Result<FetchResult> get(const std::string& domain, std::uint16_t port,
                           const std::string& path);
+
+  /// Establishes (or reuses) the TLS session to `domain` without issuing a
+  /// request and returns the server's public key. The staged gateway path
+  /// uses this as its handshake stage so the TLS round trips land in their
+  /// own wake interval instead of being folded into the first page fetch.
+  Result<Bytes> connect(const std::string& domain, std::uint16_t port);
 
   void drop_session(const std::string& domain);
   const std::string& host() const { return client_host_; }
@@ -164,6 +171,80 @@ class WebExtension {
   Result<Verified> get(const std::string& domain, std::uint16_t port,
                        const std::string& path);
 
+  /// The attestation pipeline of fetch(), cut at its I/O boundaries so an
+  /// event-driven engine can run one stage per wake and park the session
+  /// between them. Stage order is fixed:
+  ///
+  ///   handshake() -> fetch_evidence() -> fetch_kds() -> verify()
+  ///     -> fetch_page(path)
+  ///
+  /// Each stage returns Status: transport errors propagate with their
+  /// original code; failed *checks* return "extension.attestation_failed"
+  /// (fail closed, same as fetch()), with the step recorded in
+  /// checks().failure_step. Calling a stage out of order is a programming
+  /// error and returns "extension.stage_order". The checks sequence and
+  /// side effects (caches, DomainState, metrics) match the blocking path;
+  /// the only intended difference is that the page fetch happens *after*
+  /// verification, so it takes the monitoring path and pays
+  /// connection_check_overhead_ms.
+  ///
+  /// Thread safety: none — one StagedAttestation belongs to one session,
+  /// and the parent extension/browser must be externally serialized per
+  /// world, exactly like the blocking path.
+  class StagedAttestation {
+   public:
+    /// TLS connect (or session reuse); captures the server key.
+    Status handshake();
+    /// Evidence fetch from the well-known URL + parse + REPORT_DATA
+    /// binding check.
+    Status fetch_evidence();
+    /// VCEK chain from the KDS via the shared single-flight cache (or the
+    /// private one), with retry x failover.
+    Status fetch_kds();
+    /// Pure compute: chain walk, report signature, measurement policy, TLS
+    /// binding. Records the attested DomainState on success.
+    Status verify();
+    /// Monitored page fetch over the now-attested session.
+    Result<net::HttpResponse> fetch_page(const std::string& path);
+
+    const AttestationChecks& checks() const { return checks_; }
+    const std::string& domain() const { return domain_; }
+
+   private:
+    friend class WebExtension;
+    StagedAttestation(WebExtension& ext, std::string domain,
+                      std::uint16_t port)
+        : ext_(&ext), domain_(std::move(domain)), port_(port) {}
+
+    enum class Stage : std::uint8_t {
+      kHandshake,
+      kEvidence,
+      kKds,
+      kVerify,
+      kPage,
+      kDone,
+    };
+    Status wrong_stage(const char* want) const;
+
+    WebExtension* ext_;
+    std::string domain_;
+    std::uint16_t port_ = 0;
+    Stage next_ = Stage::kHandshake;
+    net::Deadline deadline_;
+    Bytes session_key_;
+    AttestationChecks checks_;
+    std::optional<EvidenceBundle> bundle_;
+    std::optional<KdsService::VcekResponse> kds_;
+  };
+
+  /// Starts a staged attestation pass against a registered site. The
+  /// returned object borrows this extension and its browser; drive it one
+  /// stage at a time (see StagedAttestation).
+  StagedAttestation begin_session(const std::string& domain,
+                                  std::uint16_t port) {
+    return StagedAttestation(*this, domain, port);
+  }
+
   const AttestationChecks* last_checks(const std::string& domain) const;
 
   /// Drops the attested state (e.g. the user clicked "re-verify").
@@ -197,6 +278,21 @@ class WebExtension {
   Result<KdsService::VcekResponse> fetch_vcek(const sevsnp::ChipId& chip,
                                               sevsnp::TcbVersion tcb,
                                               const net::Deadline& deadline);
+  /// Shared stage bodies (blocking attest_impl and StagedAttestation both
+  /// call these, so check order and side effects cannot drift apart).
+  /// Fetches + parses the evidence and checks the REPORT_DATA binding;
+  /// on failure `checks` carries the step and the optional is empty.
+  std::optional<EvidenceBundle> stage_evidence(const std::string& domain,
+                                               std::uint16_t port,
+                                               const net::Deadline& deadline,
+                                               AttestationChecks& checks);
+  /// Chain/signature/measurement/TLS-binding checks; records the attested
+  /// DomainState and returns true iff everything passed.
+  bool stage_verify(const std::string& domain, const EvidenceBundle& bundle,
+                    const KdsService::VcekResponse& kds,
+                    const Bytes& session_key, AttestationChecks& checks);
+  /// Emits the ext.attest.result.count counter (shared by both paths).
+  static void note_attest_result(const std::string& result);
 
   Browser* browser_;
   WebExtensionConfig config_;

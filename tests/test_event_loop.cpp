@@ -1,0 +1,277 @@
+// Deterministic virtual-time event loop (common/event_loop.hpp) and the
+// single-flight failure-propagation contract the staged engine relies on.
+//
+// Runs tier-1 and under `ctest -L eventloop` / `-L tsan`: the EventLoop
+// itself is single-threaded by contract, but the SingleFlight suites here
+// drive real thread herds at a failing leader, which is exactly the
+// interleaving the race sanitizer needs to see.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/event_loop.hpp"
+#include "common/result.hpp"
+#include "common/single_flight.hpp"
+
+namespace revelio {
+namespace {
+
+using common::EventLoop;
+
+// ---------------------------------------------------------------------------
+// EventLoop ordering
+
+TEST(EventLoop, DispatchesInDueThenTrackThenSeqOrder) {
+  EventLoop loop;
+  loop.schedule_at(200, /*track=*/1, /*payload=*/10);
+  loop.schedule_at(100, 5, 20);
+  loop.schedule_at(100, 2, 30);
+  loop.schedule_at(100, 2, 40);  // same (due, track): seq breaks the tie
+
+  auto batch = loop.next_batch();
+  ASSERT_EQ(batch.size(), 3u) << "everything due at t=100, nothing later";
+  EXPECT_EQ(loop.now_us(), 100u);
+  EXPECT_EQ(batch[0].payload, 30u);  // track 2 before track 5
+  EXPECT_EQ(batch[1].payload, 40u);  // same track: scheduling order
+  EXPECT_EQ(batch[2].payload, 20u);
+
+  batch = loop.next_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].payload, 10u);
+  EXPECT_EQ(loop.now_us(), 200u);
+  EXPECT_TRUE(loop.empty());
+  EXPECT_TRUE(loop.next_batch().empty());
+}
+
+TEST(EventLoop, SchedulingInThePastClampsToNow) {
+  EventLoop loop;
+  loop.schedule_at(500, 0, 1);
+  (void)loop.next_batch();
+  ASSERT_EQ(loop.now_us(), 500u);
+
+  loop.schedule_at(100, 0, 2);  // the past is not addressable
+  auto batch = loop.next_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].due_us, 500u);
+  EXPECT_EQ(loop.now_us(), 500u) << "clock never moves backwards";
+}
+
+TEST(EventLoop, ScheduleAfterIsRelativeToTheCurrentBatchInstant) {
+  EventLoop loop;
+  loop.schedule_at(250, 0, 1);
+  (void)loop.next_batch();
+  loop.schedule_after(50, 0, 2);
+  auto batch = loop.next_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(loop.now_us(), 300u);
+}
+
+TEST(EventLoop, CancelSuppressesDispatchAndIsIdempotent) {
+  EventLoop loop;
+  const auto keep = loop.schedule_at(100, 0, 1);
+  const auto drop = loop.schedule_at(100, 0, 2);
+  EXPECT_EQ(loop.pending(), 2u);
+
+  EXPECT_TRUE(loop.cancel(drop));
+  EXPECT_FALSE(loop.cancel(drop)) << "second cancel is a no-op";
+  EXPECT_FALSE(loop.cancel(9999)) << "unknown ids are rejected";
+  EXPECT_EQ(loop.pending(), 1u);
+
+  auto batch = loop.next_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, keep);
+  EXPECT_FALSE(loop.cancel(keep)) << "already fired";
+  EXPECT_EQ(loop.stats().cancelled, 1u);
+}
+
+TEST(EventLoop, CancellingTheEntireEarliestInstantSkipsToTheNextOne) {
+  EventLoop loop;
+  const auto a = loop.schedule_at(100, 0, 1);
+  const auto b = loop.schedule_at(100, 1, 2);
+  loop.schedule_at(900, 0, 3);
+  EXPECT_TRUE(loop.cancel(a));
+  EXPECT_TRUE(loop.cancel(b));
+
+  auto batch = loop.next_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].payload, 3u);
+  EXPECT_EQ(loop.now_us(), 900u)
+      << "a fully-cancelled instant must not advance the clock to itself";
+}
+
+TEST(EventLoop, RunSerialDrainsHandlersThatReschedule) {
+  EventLoop loop;
+  loop.schedule_at(10, 0, 0);
+  std::vector<std::uint64_t> instants;
+  loop.run_serial([&](const EventLoop::Event& e, EventLoop::Micros now) {
+    instants.push_back(now);
+    if (e.payload < 4) {
+      loop.schedule_after(10, 0, e.payload + 1);  // a 5-link wake chain
+    }
+  });
+  ASSERT_EQ(instants.size(), 5u);
+  EXPECT_EQ(instants.front(), 10u);
+  EXPECT_EQ(instants.back(), 50u);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, StatsTrackPeaksAndHeapBytes) {
+  EventLoop loop;
+  for (std::uint64_t i = 0; i < 100; ++i) loop.schedule_at(i, 0, i);
+  EXPECT_EQ(loop.stats().peak_pending, 100u);
+  EXPECT_EQ(loop.peak_heap_bytes(),
+            100 * (sizeof(EventLoop::Event) + sizeof(std::uint64_t)));
+
+  std::size_t dispatched = 0;
+  loop.run_serial([&](const EventLoop::Event&, EventLoop::Micros) {
+    ++dispatched;
+  });
+  EXPECT_EQ(dispatched, 100u);
+  EXPECT_EQ(loop.stats().dispatched, 100u);
+  EXPECT_EQ(loop.stats().batches, 100u);
+  EXPECT_EQ(loop.stats().max_batch, 1u);
+  EXPECT_EQ(loop.stats().peak_pending, 100u) << "peak survives the drain";
+}
+
+TEST(EventLoop, IdenticalSchedulesProduceIdenticalTranscripts) {
+  // The engine's determinism reduces to this: replaying the same schedule
+  // (including mid-drain rescheduling) yields the same dispatch sequence.
+  const auto transcript = [] {
+    EventLoop loop;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      loop.schedule_at((i * 37) % 11, i % 4, i);
+    }
+    std::vector<std::uint64_t> out;
+    loop.run_serial([&](const EventLoop::Event& e, EventLoop::Micros now) {
+      out.push_back(now);
+      out.push_back(e.payload);
+      if (e.payload % 3 == 0) loop.schedule_after(5, e.track, 1000 + e.payload);
+    });
+    return out;
+  };
+  EXPECT_EQ(transcript(), transcript());
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-wait observation
+
+TEST(VirtualWait, NoScopeBoundIsANoOp) {
+  common::note_virtual_wait_us(123);  // must not crash or leak anywhere
+}
+
+TEST(VirtualWait, ScopeCollectsReportedWaits) {
+  common::VirtualWaitScope scope;
+  common::note_virtual_wait_us(1500);
+  common::note_virtual_wait_ms(2.5);
+  EXPECT_EQ(scope.waited_us(), 4000u);
+  EXPECT_DOUBLE_EQ(scope.waited_ms(), 4.0);
+}
+
+TEST(VirtualWait, NestedScopesInnermostWins) {
+  common::VirtualWaitScope outer;
+  {
+    common::VirtualWaitScope inner;
+    common::note_virtual_wait_us(100);
+    EXPECT_EQ(inner.waited_us(), 100u);
+  }
+  common::note_virtual_wait_us(7);
+  EXPECT_EQ(outer.waited_us(), 7u)
+      << "inner waits are charged to the inner scope only";
+}
+
+// ---------------------------------------------------------------------------
+// SingleFlight failure propagation under real thread herds (the staged
+// engine's wake-on-single-flight-completion path depends on a failing
+// leader releasing every waiter exactly once).
+
+TEST(SingleFlightConcurrent, LeaderErrorReachesEveryCoalescedWaiter) {
+  common::SingleFlight<int, int> flights;
+  constexpr int kThreads = 8;
+  std::atomic<int> calls{0};
+  std::atomic<int> entered{0};
+  std::vector<std::string> codes(kThreads);
+  std::vector<char> coalesced(kThreads, 0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      entered.fetch_add(1);
+      bool waited = false;
+      auto result = flights.run(1, &waited, [&]() -> Result<int> {
+        calls.fetch_add(1);
+        while (entered.load() < kThreads) std::this_thread::yield();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return Error::make("net.timeout", "kds saturated");
+      });
+      codes[t] = result.ok() ? "" : result.error().code;
+      coalesced[t] = waited ? 1 : 0;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(calls.load(), 1) << "one leader, no retry amplification";
+  int waited_count = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(codes[t], "net.timeout") << "waiter " << t;
+    waited_count += coalesced[t];
+  }
+  EXPECT_EQ(waited_count, kThreads - 1);
+
+  // The failure is not sticky: the next caller becomes a fresh leader.
+  auto retried = flights.run(1, nullptr, []() -> Result<int> { return 9; });
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(*retried, 9);
+  EXPECT_EQ(flights.inflight(), 0u);
+}
+
+TEST(SingleFlightConcurrent, ThrowingLeaderWakesWaitersAndRethrows) {
+  common::SingleFlight<int, int> flights;
+  constexpr int kThreads = 8;
+  std::atomic<int> entered{0};
+  std::atomic<int> threw{0};
+  std::vector<std::string> codes(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      entered.fetch_add(1);
+      try {
+        auto result = flights.run(1, nullptr, [&]() -> Result<int> {
+          while (entered.load() < kThreads) std::this_thread::yield();
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          throw std::runtime_error("leader exploded");
+        });
+        codes[t] = result.ok() ? "" : result.error().code;
+      } catch (const std::runtime_error&) {
+        threw.fetch_add(1);  // only the leader's caller sees the exception
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(threw.load(), 1) << "the exception stays with the leader";
+  int errored = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    if (codes[t] == "singleflight.leader_failed") ++errored;
+  }
+  EXPECT_EQ(errored, kThreads - 1)
+      << "every waiter is woken with the leader-failed error, none strand";
+
+  // Nothing left in flight; a later caller leads a fresh, working flight.
+  EXPECT_EQ(flights.inflight(), 0u);
+  auto retried = flights.run(1, nullptr, []() -> Result<int> { return 3; });
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(*retried, 3);
+}
+
+}  // namespace
+}  // namespace revelio

@@ -739,5 +739,474 @@ TEST(GatewayEndToEnd, ConcurrentChaosSoakNeverAcceptsUnverifiedTrust) {
   EXPECT_LT(run.report.vcek_stats.fetches, 24u);
 }
 
+// ---------------------------------------------------------------------------
+// Staged engine: synthetic state machines on the virtual-time event loop
+
+/// Deterministic per-session stage duration: a fixed mix of (index, stage,
+/// salt) — no wall clock, no shared state, so same inputs give the same
+/// schedule on every run.
+double synth_ms(std::size_t index, int stage, std::uint64_t salt) {
+  std::uint64_t x = static_cast<std::uint64_t>(index) * 2654435761ull +
+                    static_cast<std::uint64_t>(stage) * 40503ull + salt;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return 1.0 + static_cast<double>(x % 97) / 10.0;
+}
+
+TEST(StagedEngine, DrivesTheFullStateMachineAndAggregates) {
+  SessionEngineConfig config;
+  config.workers = 4;
+  SessionEngine engine(config);
+  constexpr std::size_t kSessions = 8;
+  // Per-index slots: each session appends only to its own sequence.
+  std::vector<std::vector<SessionState>> sequences(kSessions);
+
+  const auto report = engine.run_staged(
+      kSessions, [&](StagedContext& ctx) -> SessionState {
+        EXPECT_NE(ctx.chain_cache, nullptr);
+        EXPECT_NE(ctx.vcek_cache, nullptr);
+        sequences[ctx.index].push_back(ctx.state);
+        ctx.stage_virt_ms = static_cast<double>(ctx.index + 1);
+        switch (ctx.state) {
+          case SessionState::kHandshake: return SessionState::kEvidenceFetch;
+          case SessionState::kEvidenceFetch: return SessionState::kKdsFetch;
+          case SessionState::kKdsFetch: return SessionState::kVerify;
+          case SessionState::kVerify:
+            if (ctx.index == 2) {
+              ctx.failure = Error::make("test.verify_rejected");
+              return SessionState::kFailed;
+            }
+            return SessionState::kPageFetch;
+          case SessionState::kPageFetch: return SessionState::kDone;
+          default:
+            ADD_FAILURE() << "terminal state dispatched";
+            return SessionState::kFailed;
+        }
+      });
+
+  EXPECT_EQ(report.sessions, kSessions);
+  EXPECT_EQ(report.succeeded, 7u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.shed, 0u);
+  ASSERT_FALSE(report.outcomes[2].ok());
+  EXPECT_EQ(report.outcomes[2].error().code, "test.verify_rejected");
+  EXPECT_EQ(report.final_states[2], SessionState::kFailed);
+
+  const std::vector<SessionState> full{
+      SessionState::kHandshake, SessionState::kEvidenceFetch,
+      SessionState::kKdsFetch, SessionState::kVerify,
+      SessionState::kPageFetch};
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    if (i == 2) {
+      EXPECT_EQ(sequences[i],
+                std::vector<SessionState>(full.begin(), full.end() - 1));
+      EXPECT_DOUBLE_EQ(report.session_virt_ms[i], 4.0 * 3.0);
+    } else {
+      EXPECT_EQ(sequences[i], full) << "session " << i;
+      EXPECT_EQ(report.final_states[i], SessionState::kDone);
+      EXPECT_DOUBLE_EQ(report.session_virt_ms[i],
+                       5.0 * static_cast<double>(i + 1));
+    }
+  }
+  // All sessions start at t=0 and *overlap*: the makespan is the slowest
+  // session (8 * 5ms), not the lane-model sum a blocking pool would give.
+  EXPECT_DOUBLE_EQ(report.virt_makespan_ms, 40.0);
+  // 5 dispatches per completed session, 4 for the one failing at verify.
+  EXPECT_EQ(report.events_dispatched, 7u * 5u + 4u);
+  EXPECT_EQ(report.peak_parked, kSessions);
+  EXPECT_GT(report.bytes_per_parked_session, 0.0);
+  EXPECT_FALSE(report.transcript_digest.empty());
+}
+
+TEST(StagedEngine, OneWorkerParksThousandsOfSessions) {
+  SessionEngineConfig config;
+  config.workers = 1;  // the whole point: parked sessions hold no thread
+  config.isolate_obs = false;
+  SessionEngine engine(config);
+  constexpr std::size_t kSessions = 4096;
+
+  const auto report = engine.run_staged(
+      kSessions, [&](StagedContext& ctx) -> SessionState {
+        ctx.stage_virt_ms = synth_ms(ctx.index, static_cast<int>(ctx.state), 7);
+        switch (ctx.state) {
+          case SessionState::kHandshake: return SessionState::kEvidenceFetch;
+          case SessionState::kEvidenceFetch: return SessionState::kKdsFetch;
+          case SessionState::kKdsFetch: return SessionState::kVerify;
+          case SessionState::kVerify: return SessionState::kPageFetch;
+          case SessionState::kPageFetch: return SessionState::kDone;
+          default: return SessionState::kFailed;
+        }
+      });
+
+  EXPECT_EQ(report.succeeded, kSessions);
+  EXPECT_EQ(report.peak_parked, kSessions)
+      << "every session in flight at once, none holding a thread";
+  EXPECT_GE(report.parked_per_worker, 4096.0);
+  // Flat per-session memory: one cell + one heap event, nothing per-stage.
+  EXPECT_LT(report.bytes_per_parked_session, 256.0);
+  // The makespan is bounded by the slowest *session* (~5 stages * <=10.7ms),
+  // not by sessions/workers — 4096 sessions complete inside ~54 virtual ms.
+  EXPECT_LT(report.virt_makespan_ms, 60.0);
+}
+
+TEST(StagedEngine, AdmissionControlBoundsInflightKdsAndParksTheRest) {
+  SessionEngineConfig config;
+  config.workers = 4;
+  config.isolate_obs = false;
+  SessionEngine engine(config);
+  constexpr std::size_t kSessions = 64;
+  AdmissionConfig admission;
+  admission.max_inflight_kds = 4;
+
+  const std::uint64_t parks_before =
+      obs::metrics().counter_value("gw.admission.park.count");
+
+  const auto report = engine.run_staged(
+      kSessions, [&](StagedContext& ctx) -> SessionState {
+        switch (ctx.state) {
+          case SessionState::kHandshake:
+            ctx.stage_virt_ms = 1.0;
+            return SessionState::kEvidenceFetch;
+          case SessionState::kEvidenceFetch:
+            ctx.stage_virt_ms = 2.0;
+            return SessionState::kKdsFetch;
+          case SessionState::kKdsFetch:
+            ctx.stage_virt_ms = 100.0;  // a slow, saturated KDS
+            return SessionState::kVerify;
+          case SessionState::kVerify:
+            ctx.stage_virt_ms = 0.5;
+            return SessionState::kPageFetch;
+          case SessionState::kPageFetch:
+            ctx.stage_virt_ms = 1.0;
+            return SessionState::kDone;
+          default:
+            return SessionState::kFailed;
+        }
+      },
+      admission);
+
+  EXPECT_EQ(report.succeeded, kSessions) << "park policy sheds nothing";
+  EXPECT_EQ(report.shed, 0u);
+  // The gate's own accounting: capacity is held from kds_fetch dispatch
+  // until the wake that runs verify, and never exceeded the limit.
+  EXPECT_EQ(report.peak_inflight_kds, 4u);
+  EXPECT_GE(report.peak_queue_depth, kSessions - 8)
+      << "the herd parks at the gate instead of fanning out";
+  EXPECT_EQ(report.peak_parked, kSessions)
+      << "waiting sessions park; none holds a pool lane while gated";
+  EXPECT_GT(report.wake_p99_ms, 0.0) << "parked sessions waited measurably";
+  EXPECT_GT(obs::metrics().counter_value("gw.admission.park.count"),
+            parks_before);
+  // The bound is provable from the timeline: 64 sessions through a
+  // width-4 gate of a 100ms stage is at least 16 serial gate turns, so a
+  // makespan under 1600ms would mean the gate admitted more than 4 at
+  // some virtual instant.
+  EXPECT_GE(report.virt_makespan_ms, 1600.0);
+}
+
+TEST(StagedEngine, ShedPolicyFailsClosedAndNeverReachesVerify) {
+  SessionEngineConfig config;
+  config.workers = 4;
+  config.isolate_obs = false;
+  SessionEngine engine(config);
+  constexpr std::size_t kSessions = 32;
+  AdmissionConfig admission;
+  admission.max_inflight_kds = 2;
+  admission.on_overload = AdmissionConfig::Overload::kShed;
+
+  std::vector<char> verify_ran(kSessions, 0);
+  const auto report = engine.run_staged(
+      kSessions, [&](StagedContext& ctx) -> SessionState {
+        ctx.stage_virt_ms = 1.0;  // identical timing: the herd arrives at
+                                  // the gate in one batch
+        switch (ctx.state) {
+          case SessionState::kHandshake: return SessionState::kEvidenceFetch;
+          case SessionState::kEvidenceFetch: return SessionState::kKdsFetch;
+          case SessionState::kKdsFetch: return SessionState::kVerify;
+          case SessionState::kVerify:
+            verify_ran[ctx.index] = 1;
+            return SessionState::kPageFetch;
+          case SessionState::kPageFetch: return SessionState::kDone;
+          default: return SessionState::kFailed;
+        }
+      },
+      admission);
+
+  EXPECT_EQ(report.succeeded, 2u) << "only the admitted pair completes";
+  EXPECT_EQ(report.shed, kSessions - 2);
+  EXPECT_EQ(report.failed, kSessions - 2);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    if (report.outcomes[i].ok()) {
+      EXPECT_EQ(verify_ran[i], 1);
+      EXPECT_EQ(report.final_states[i], SessionState::kDone);
+      continue;
+    }
+    // Fail-closed: a shed session fails with the admission code, never
+    // runs verify, and can never be mistaken for an attested session.
+    EXPECT_EQ(report.outcomes[i].error().code, "gw.admission.shed");
+    EXPECT_EQ(report.final_states[i], SessionState::kFailed);
+    EXPECT_EQ(verify_ran[i], 0);
+  }
+}
+
+TEST(StagedEngine, SameSeedRerunsAreBitIdentical) {
+  const auto run_once = [](std::uint64_t salt) {
+    SessionEngineConfig config;
+    config.workers = 4;
+    config.isolate_obs = false;
+    SessionEngine engine(config);
+    AdmissionConfig admission;
+    admission.max_inflight_kds = 8;
+    admission.max_inflight_evidence = 16;
+    return engine.run_staged(
+        256,
+        [salt](StagedContext& ctx) -> SessionState {
+          ctx.stage_virt_ms =
+              synth_ms(ctx.index, static_cast<int>(ctx.state), salt);
+          switch (ctx.state) {
+            case SessionState::kHandshake:
+              return SessionState::kEvidenceFetch;
+            case SessionState::kEvidenceFetch:
+              return SessionState::kKdsFetch;
+            case SessionState::kKdsFetch: return SessionState::kVerify;
+            case SessionState::kVerify:
+              if (ctx.index % 17 == 0) {
+                ctx.failure = Error::make("test.rejected");
+                return SessionState::kFailed;
+              }
+              return SessionState::kPageFetch;
+            case SessionState::kPageFetch: return SessionState::kDone;
+            default: return SessionState::kFailed;
+          }
+        },
+        admission);
+  };
+
+  const auto a = run_once(11);
+  const auto b = run_once(11);
+  const auto c = run_once(12);
+  EXPECT_EQ(a.transcript_digest, b.transcript_digest)
+      << "same seed, same transcript, bit for bit — across real threads";
+  EXPECT_EQ(a.virt_makespan_ms, b.virt_makespan_ms);
+  EXPECT_EQ(a.session_virt_ms, b.session_virt_ms);
+  EXPECT_NE(a.transcript_digest, c.transcript_digest)
+      << "the digest actually depends on the schedule";
+}
+
+// ---------------------------------------------------------------------------
+// Staged engine end-to-end: real worlds, staged WebExtension sessions
+
+struct StagedGatewayRun {
+  SessionEngine::StagedReport report;
+  int unverified_accepts = 0;
+  int wrong_bodies = 0;
+};
+
+/// run_gateway's staged twin: one WebExtension + StagedAttestation per
+/// session live across stages (per-index slots), tracks map sessions to
+/// their world so one world is never driven from two lanes at once. Each
+/// stage binds the world clock and reports its clock delta as the park
+/// interval — the engine never sees the world internals.
+StagedGatewayRun run_gateway_staged(
+    SessionEngine& engine, std::vector<std::unique_ptr<GatewayWorld>>& worlds,
+    std::size_t sessions, int retry_attempts,
+    const AdmissionConfig& admission = {}) {
+  struct Slot {
+    std::unique_ptr<WebExtension> ext;
+    std::unique_ptr<WebExtension::StagedAttestation> staged;
+  };
+  std::vector<Slot> slots(sessions);
+  std::atomic<int> unverified{0};
+  std::atomic<int> wrong_body{0};
+
+  StagedGatewayRun out;
+  out.report = engine.run_staged(
+      sessions,
+      [&](StagedContext& ctx) -> SessionState {
+        GatewayWorld& world = *worlds[ctx.index % worlds.size()];
+        std::lock_guard<std::mutex> world_lock(world.mu);
+        ScopedClockCurrent clock_scope(world.clock);
+        const double virt_start = world.clock.now_ms();
+        Slot& slot = slots[ctx.index];
+        const auto finish = [&](SessionState next) {
+          ctx.stage_virt_ms = world.clock.now_ms() - virt_start;
+          return next;
+        };
+        const auto fail = [&](Error error) {
+          ctx.failure = std::move(error);
+          return finish(SessionState::kFailed);
+        };
+
+        switch (ctx.state) {
+          case SessionState::kHandshake: {
+            world.browser.drop_session(kDomain);
+            WebExtensionConfig config;
+            config.kds_address = {kKdsPrimary, 443};
+            config.kds_mirrors = {{kKdsMirror, 443}};
+            config.retry.max_attempts = retry_attempts;
+            config.shared_chain_cache = ctx.chain_cache;
+            config.shared_vcek_cache = ctx.vcek_cache;
+            slot.ext = std::make_unique<WebExtension>(world.browser, config);
+            slot.ext->register_site(kDomain, world.registration());
+            slot.staged = std::make_unique<WebExtension::StagedAttestation>(
+                slot.ext->begin_session(kDomain, 443));
+            auto st = slot.staged->handshake();
+            if (!st.ok()) return fail(st.error());
+            return finish(SessionState::kEvidenceFetch);
+          }
+          case SessionState::kEvidenceFetch: {
+            auto st = slot.staged->fetch_evidence();
+            if (!st.ok()) return fail(st.error());
+            return finish(SessionState::kKdsFetch);
+          }
+          case SessionState::kKdsFetch: {
+            auto st = slot.staged->fetch_kds();
+            if (!st.ok()) return fail(st.error());
+            return finish(SessionState::kVerify);
+          }
+          case SessionState::kVerify: {
+            auto st = slot.staged->verify();
+            if (!st.ok()) return fail(st.error());
+            return finish(SessionState::kPageFetch);
+          }
+          case SessionState::kPageFetch: {
+            auto page = slot.staged->fetch_page("/");
+            if (!page.ok()) return fail(page.error());
+            // Fail-closed audit: a served page without fully green checks
+            // is an unverified-trust acceptance.
+            if (!slot.staged->checks().all_ok()) {
+              unverified.fetch_add(1);
+              return fail(Error::make("test.unverified_trust_accepted"));
+            }
+            if (to_string(page->body) != kBody) {
+              wrong_body.fetch_add(1);
+              return fail(Error::make("test.body_mismatch"));
+            }
+            return finish(SessionState::kDone);
+          }
+          default:
+            return fail(Error::make("test.unexpected_state"));
+        }
+      },
+      admission, [&](std::size_t i) { return i % worlds.size(); });
+  out.unverified_accepts = unverified.load();
+  out.wrong_bodies = wrong_body.load();
+  return out;
+}
+
+TEST(StagedGatewayEndToEnd, StagedSessionsShareCachesAndFetchKdsOnce) {
+  SessionEngineConfig config;
+  config.workers = 4;
+  SessionEngine engine(config);
+  auto worlds = build_worlds(4, "gw-staged-1");
+  for (auto& world : worlds) {
+    world->browser.set_chain_cache(&engine.chain_cache());
+  }
+
+  const StagedGatewayRun run = run_gateway_staged(engine, worlds, 16, 1);
+
+  EXPECT_EQ(run.report.sessions, 16u);
+  EXPECT_EQ(run.report.succeeded, 16u)
+      << "fault-free staged run must be all green";
+  EXPECT_EQ(run.unverified_accepts, 0);
+  EXPECT_EQ(run.wrong_bodies, 0);
+  for (const auto state : run.report.final_states) {
+    EXPECT_EQ(state, SessionState::kDone);
+  }
+
+  // The staged path preserves the caching story: one KDS round trip total.
+  const auto vcek = run.report.vcek_stats;
+  EXPECT_EQ(vcek.fetches, 1u);
+  EXPECT_EQ(vcek.hits + vcek.coalesced, 15u);
+  EXPECT_EQ(vcek.failures, 0u);
+
+  EXPECT_GT(run.report.virt_makespan_ms, 0.0);
+  // Sessions genuinely overlap: total session-time exceeds the makespan.
+  double total = 0.0;
+  for (const double v : run.report.session_virt_ms) total += v;
+  EXPECT_GT(total, run.report.virt_makespan_ms);
+  EXPECT_GT(run.report.wait_virt_ms, 0.0)
+      << "network round trips were observed as virtual waits";
+}
+
+TEST(StagedGatewayEndToEnd, ChaosSoakNeverAcceptsUnverifiedTrustWhileParked) {
+  SessionEngineConfig config;
+  config.workers = 4;
+  SessionEngine engine(config);
+  auto worlds = build_worlds(4, "gw-staged-chaos-1");
+  for (auto& world : worlds) {
+    world->browser.set_chain_cache(&engine.chain_cache());
+    net::LinkFaultProfile lossy;
+    lossy.drop_prob = 0.12;
+    lossy.delay_prob = 0.2;
+    lossy.delay_min_ms = 1.0;
+    lossy.delay_max_ms = 8.0;
+    lossy.duplicate_prob = 0.05;
+    net::FaultPlan plan(to_bytes(std::string_view("gw-staged-chaos-plan")));
+    plan.set_default_profile(lossy);
+    world->network.set_fault_plan(std::move(plan));
+  }
+  AdmissionConfig admission;
+  admission.max_inflight_kds = 8;
+
+  const StagedGatewayRun run =
+      run_gateway_staged(engine, worlds, 24, 5, admission);
+
+  EXPECT_EQ(run.report.sessions, 24u);
+  EXPECT_EQ(run.report.succeeded + run.report.failed, 24u);
+  EXPECT_EQ(run.unverified_accepts, 0);
+  EXPECT_EQ(run.wrong_bodies, 0);
+  EXPECT_GT(run.report.succeeded, 0u)
+      << "retries must carry some sessions through the chaos";
+  for (std::size_t i = 0; i < 24; ++i) {
+    const auto& st = run.report.outcomes[i];
+    if (!st.ok()) {
+      EXPECT_NE(st.error().code, "test.unverified_trust_accepted");
+      EXPECT_EQ(run.report.final_states[i], SessionState::kFailed);
+    }
+  }
+  EXPECT_LT(run.report.vcek_stats.fetches, 24u);
+}
+
+TEST(StagedGatewayEndToEnd, SameSeedWorldsGiveBitIdenticalTranscripts) {
+  // One world => one track: every stage of every session runs in a single
+  // deterministic serial order, so even the chaos plan's draws replay
+  // exactly. Two fresh same-seed worlds must produce the same digest.
+  const auto run_once = [] {
+    SessionEngineConfig config;
+    config.workers = 2;
+    SessionEngine engine(config);
+    auto worlds = build_worlds(1, "gw-staged-det-1");
+    worlds[0]->browser.set_chain_cache(&engine.chain_cache());
+    net::LinkFaultProfile lossy;
+    lossy.drop_prob = 0.10;
+    lossy.delay_prob = 0.2;
+    lossy.delay_min_ms = 1.0;
+    lossy.delay_max_ms = 6.0;
+    net::FaultPlan plan(to_bytes(std::string_view("gw-staged-det-plan")));
+    plan.set_default_profile(lossy);
+    worlds[0]->network.set_fault_plan(std::move(plan));
+    // Pin the session-start instant. Boot charges measured wall time to
+    // the virtual clock (vm::PhaseTimer), and the fault plan keys its
+    // draws on absolute virtual time, so two runs replay identically only
+    // if their sessions begin at the same t0. Deploy finishes well inside
+    // one virtual minute; snapping up to the next minute boundary lands
+    // every run on exactly the same instant without rewinding past the
+    // certificates issued during provisioning.
+    constexpr SimClock::Micros kMinute = 60'000'000;
+    auto& clock = worlds[0]->clock;
+    clock.advance_us(kMinute - clock.now_us() % kMinute);
+    return run_gateway_staged(engine, worlds, 6, 3).report;
+  };
+
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.transcript_digest, b.transcript_digest);
+  EXPECT_EQ(a.session_virt_ms, b.session_virt_ms);
+  EXPECT_EQ(a.succeeded, b.succeeded);
+  EXPECT_EQ(a.virt_makespan_ms, b.virt_makespan_ms);
+}
+
 }  // namespace
 }  // namespace revelio::core
