@@ -29,7 +29,15 @@
 // fault plan keys on absolute virtual time, which inherits real boot
 // timing). Real elapsed time is reported but never gated.
 //
-//   bench_gateway [--out BENCH_gateway.json] [--quick]
+// PR 7 additions: a "recorder" level re-runs the largest quick-safe
+// synthetic level with every session carrying a flight-recorder ring
+// (virtual-time overhead ratio gated at <= 1.05), per-stage
+// wait-vs-service quantile rows are exported per staged level, and the
+// chaos level appends every verdict to a tamper-evident audit chain
+// written to --audit-out for tools/audit_verify to replay offline.
+//
+//   bench_gateway [--out BENCH_gateway.json]
+//                 [--audit-out AUDIT_gateway.bin] [--quick]
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -39,6 +47,7 @@
 #include <vector>
 
 #include "imagebuild/builder.hpp"
+#include "obs/audit_log.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "revelio/revelio_vm.hpp"
@@ -181,6 +190,10 @@ struct Level {
   bool deterministic = false;
   pki::ChainVerificationCache::Stats chain_stats;
   core::VcekCache::Stats vcek_stats;
+  /// Per-stage wait-vs-service attribution (staged levels only).
+  std::vector<core::SessionEngine::StagedReport::StageBreakdown> stages;
+  std::size_t anomaly_dumps = 0;
+  std::size_t recorder_bytes = 0;
 };
 
 void fill_from(Level& level, const core::SessionEngine::Report& r) {
@@ -221,6 +234,9 @@ void fill_from(Level& level, const core::SessionEngine::StagedReport& r) {
   level.transcript_digest = r.transcript_digest;
   level.chain_stats = r.chain_stats;
   level.vcek_stats = r.vcek_stats;
+  level.stages = r.stage_breakdown;
+  level.anomaly_dumps = r.anomaly_dumps.size();
+  level.recorder_bytes = r.recorder_bytes;
 }
 
 std::string level_json(const Level& level) {
@@ -266,6 +282,26 @@ std::string level_json(const Level& level) {
          ",\"fetches\":" + std::to_string(level.vcek_stats.fetches) +
          ",\"coalesced\":" + std::to_string(level.vcek_stats.coalesced) +
          ",\"failures\":" + std::to_string(level.vcek_stats.failures) + "}";
+  // Per-stage tail attribution: where a session's virtual time goes, split
+  // into I/O wait vs service, with log-bucket p50/p99 per stage. This is
+  // what run_benches.sh gates stage tails against.
+  out += ",\"stages\":[";
+  for (std::size_t i = 0; i < level.stages.size(); ++i) {
+    const auto& row = level.stages[i];
+    if (i > 0) out += ",";
+    out += std::string("{\"stage\":\"") + core::to_string(row.stage) +
+           "\",\"count\":" + std::to_string(row.count) +
+           ",\"wait_p50_ms\":" + obs::json_number(row.wait_p50_ms) +
+           ",\"wait_p99_ms\":" + obs::json_number(row.wait_p99_ms) +
+           ",\"service_p50_ms\":" + obs::json_number(row.service_p50_ms) +
+           ",\"service_p99_ms\":" + obs::json_number(row.service_p99_ms) +
+           ",\"wait_total_ms\":" + obs::json_number(row.wait_total_ms) +
+           ",\"service_total_ms\":" + obs::json_number(row.service_total_ms) +
+           "}";
+  }
+  out += "]";
+  out += ",\"anomaly_dumps\":" + std::to_string(level.anomaly_dumps) +
+         ",\"recorder_bytes\":" + std::to_string(level.recorder_bytes);
   out += "}";
   return out;
 }
@@ -330,9 +366,10 @@ Level run_blocking(std::vector<GatewayWorld*>& worlds, unsigned workers) {
 Level run_staged_full(std::vector<GatewayWorld*>& worlds, unsigned workers,
                       std::size_t sessions, int retry_attempts,
                       const core::AdmissionConfig& admission,
-                      const char* mode) {
+                      const char* mode, obs::AuditLog* audit = nullptr) {
   core::SessionEngineConfig config;
   config.workers = workers;
+  config.audit_log = audit;  // shed sessions still get a rejected verdict
   core::SessionEngine engine(config);
   struct Slot {
     std::unique_ptr<core::WebExtension> ext;
@@ -372,6 +409,8 @@ Level run_staged_full(std::vector<GatewayWorld*>& worlds, unsigned workers,
             ext_config.retry.max_attempts = retry_attempts;
             ext_config.shared_chain_cache = ctx.chain_cache;
             ext_config.shared_vcek_cache = ctx.vcek_cache;
+            ext_config.audit_log = audit;
+            ext_config.audit_session_id = ctx.index;
             slot.ext =
                 std::make_unique<core::WebExtension>(world.browser, ext_config);
             slot.ext->register_site(kDomain, world.registration());
@@ -435,10 +474,12 @@ double synth_ms(std::uint64_t index, std::uint64_t stage, std::uint64_t salt) {
   return 1.0 + static_cast<double>(x % 97) / 10.0;
 }
 
-core::SessionEngine::StagedReport run_synthetic_once(std::size_t sessions) {
+core::SessionEngine::StagedReport run_synthetic_once(std::size_t sessions,
+                                                     bool recorder = false) {
   core::SessionEngineConfig config;
   config.workers = kScaleWorkers;
   config.isolate_obs = false;  // 500k dispatches; skip per-stage registries
+  config.flight_recorder.enabled = recorder;
   core::SessionEngine engine(config);
   core::AdmissionConfig admission;
   admission.max_inflight_kds = 512;
@@ -481,9 +522,23 @@ Level run_synthetic(std::size_t sessions, bool check_determinism) {
   return level;
 }
 
+/// Recorder-overhead level: the 10k synthetic run again with every session
+/// carrying a live flight-recorder ring. The virtual schedule must not
+/// move at all (observation must not perturb the simulation — the ratio
+/// the bench gate holds at <= 1.05 is virtual time), and the real-time
+/// cost is reported for information.
+Level run_recorder(std::size_t sessions) {
+  Level level;
+  level.mode = "recorder";
+  level.workers = kScaleWorkers;
+  fill_from(level, run_synthetic_once(sessions, /*recorder=*/true));
+  return level;
+}
+
 // ---------------------------------------------------------------------------
 
-int run_gateway_bench(const char* out_path, bool quick) {
+int run_gateway_bench(const char* out_path, const char* audit_path,
+                      bool quick) {
   std::fprintf(stderr, "building %zu world replicas...\n", kWorlds);
   std::vector<std::unique_ptr<GatewayWorld>> world_store;
   world_store.reserve(kWorlds);
@@ -520,8 +575,29 @@ int run_gateway_bench(const char* out_path, bool quick) {
     print_level(levels.back());
   }
 
+  // Flight-recorder overhead on the largest quick-safe synthetic level:
+  // same sessions, rings armed on every one of them.
+  const std::size_t recorder_sessions = quick ? 1000 : 10000;
+  levels.push_back(run_recorder(recorder_sessions));
+  print_level(levels.back());
+  double recorder_overhead_virt = 0.0;
+  for (const auto& level : levels) {
+    if (level.mode == "synthetic" && level.sessions == recorder_sessions) {
+      if (level.virt_makespan_ms > 0.0) {
+        recorder_overhead_virt =
+            levels.back().virt_makespan_ms / level.virt_makespan_ms;
+      }
+      break;
+    }
+  }
+  std::printf("flight recorder virtual-time overhead at %zu sessions: %.4fx\n",
+              recorder_sessions, recorder_overhead_virt);
+
   // Chaos soak: lossy links + retries over the first 32 worlds, with a
-  // narrow KDS admission gate keeping the herd parked.
+  // narrow KDS admission gate keeping the herd parked. Every verdict —
+  // accepted, rejected, or shed — lands in the tamper-evident audit chain
+  // that tools/audit_verify replays offline.
+  obs::AuditLog audit(/*checkpoint_interval=*/64);
   if (!quick) {
     net::LinkFaultProfile lossy;
     lossy.drop_prob = 0.08;
@@ -539,9 +615,23 @@ int run_gateway_bench(const char* out_path, bool quick) {
     admission.max_inflight_kds = 8;
     levels.push_back(run_staged_full(chaos_worlds, kScaleWorkers,
                                      kChaosSessions, /*retry_attempts=*/5,
-                                     admission, "chaos"));
+                                     admission, "chaos", &audit));
     print_level(levels.back());
+    if (audit_path != nullptr) {
+      const Bytes stream = audit.serialize();
+      std::FILE* af = std::fopen(audit_path, "wb");
+      if (af == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", audit_path);
+        return 1;
+      }
+      std::fwrite(stream.data(), 1, stream.size(), af);
+      std::fclose(af);
+      std::fprintf(stderr, "audit chain (%llu records) written to %s\n",
+                   static_cast<unsigned long long>(audit.records()),
+                   audit_path);
+    }
   }
+  const auto audit_verified = obs::AuditLog::verify(audit.serialize());
 
   // Headline: virtual throughput of the staged engine vs the blocking
   // lane model at one worker — parked waits overlap, lanes don't.
@@ -567,8 +657,13 @@ int run_gateway_bench(const char* out_path, bool quick) {
     if (i > 0) doc += ",";
     doc += level_json(levels[i]);
   }
-  doc += "],\"staged_speedup_1worker\":" + obs::json_number(staged_speedup_1w) +
-         "}";
+  doc += "],\"staged_speedup_1worker\":" + obs::json_number(staged_speedup_1w);
+  doc += ",\"recorder_overhead_virt\":" +
+         obs::json_number(recorder_overhead_virt);
+  doc += ",\"audit\":{\"records\":" + std::to_string(audit.records()) +
+         ",\"checkpoints\":" + std::to_string(audit.checkpoints()) +
+         ",\"ok\":" + (audit_verified.ok() ? "true" : "false") + "}";
+  doc += "}";
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path);
@@ -584,13 +679,16 @@ int run_gateway_bench(const char* out_path, bool quick) {
 
 int main(int argc, char** argv) {
   const char* out_path = nullptr;
+  const char* audit_path = nullptr;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--audit-out") == 0 && i + 1 < argc) {
+      audit_path = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     }
   }
-  return run_gateway_bench(out_path, quick);
+  return run_gateway_bench(out_path, audit_path, quick);
 }

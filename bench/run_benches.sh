@@ -35,6 +35,12 @@
 # message — regenerate it by copying a trusted BENCH_gateway.json over
 # bench/BENCH_gateway.baseline.json.
 #
+# PR 7 gates on top of the gateway bench: per-stage wait/service p99s are
+# diffed against the baseline (25%, non-chaos levels), the flight-recorder
+# level's virtual-time overhead must stay <= 1.05x its recorder-off twin,
+# and the chaos level's audit chain (AUDIT_gateway.bin) must verify with
+# tools/audit_verify — and *stop* verifying after a single flipped byte.
+#
 # Each binary is run with --benchmark_out so the JSON stays clean even for
 # benches that print their own human-readable tables to stdout.
 set -euo pipefail
@@ -242,9 +248,10 @@ fi
 gateway_bin="$build_dir/bench/bench_gateway"
 gateway_json="$repo_root/BENCH_gateway.json"
 gateway_baseline="$repo_root/bench/BENCH_gateway.baseline.json"
+gateway_audit="$repo_root/AUDIT_gateway.bin"
 if [ -x "$gateway_bin" ]; then
   echo "== bench_gateway" >&2
-  "$gateway_bin" --out "$gateway_json" >&2
+  "$gateway_bin" --out "$gateway_json" --audit-out "$gateway_audit" >&2
   python3 - "$gateway_json" "$gateway_baseline" <<'PY'
 import json
 import sys
@@ -324,6 +331,28 @@ for level in chaos:
         failures.append(f"{key(level)}: only {level['succeeded']}/"
                         f"{level['sessions']} chaos sessions succeeded")
 
+# Observability must not perturb the simulation: the recorder level re-runs
+# a synthetic level with flight-recorder rings on every session, and its
+# virtual makespan may grow at most 5%.
+MAX_RECORDER_OVERHEAD = 1.05
+recorder_overhead = current.get("recorder_overhead_virt", 0.0)
+if recorder_overhead <= 0.0:
+    failures.append("recorder_overhead_virt missing from bench output")
+elif recorder_overhead > MAX_RECORDER_OVERHEAD:
+    failures.append(f"flight recorder virtual-time overhead "
+                    f"{recorder_overhead:.3f}x breaches the "
+                    f"{MAX_RECORDER_OVERHEAD}x gate")
+print(f"  recorder_overhead_virt = {recorder_overhead:.4f}x",
+      file=sys.stderr)
+
+# The audit chain self-verified in-process (the offline tools/audit_verify
+# replay plus tamper probe runs below, in the shell).
+audit = current.get("audit", {})
+if chaos and not audit.get("ok", False):
+    failures.append("in-process audit-chain verification failed")
+if chaos and audit.get("records", 0) <= 0:
+    failures.append("chaos level produced an empty audit chain")
+
 MIN_STAGED_SPEEDUP = 3.0
 speedup = current.get("staged_speedup_1worker", 0.0)
 if speedup < MIN_STAGED_SPEEDUP:
@@ -366,6 +395,25 @@ for level in current.get("levels", []):
             flag = "  <-- REGRESSION"
         print(f"  {key(level):26s} {metric:18s} {cur_ms:9.1f} ms"
               f" (baseline {base_ms:9.1f} ms){flag}", file=sys.stderr)
+    # Per-stage tail attribution: a stage whose wait or service p99 grows
+    # past the threshold is a localized regression even when the end-to-end
+    # percentiles absorb it.
+    base_stages = {s["stage"]: s for s in base.get("stages", [])}
+    for stage in level.get("stages", []):
+        base_stage = base_stages.get(stage["stage"])
+        if base_stage is None:
+            continue
+        for metric in ("wait_p99_ms", "service_p99_ms"):
+            cur_ms = stage.get(metric, 0.0)
+            base_ms = base_stage.get(metric, 0.0)
+            delta = (cur_ms - base_ms) / base_ms if base_ms > 0 else 0.0
+            if base_ms > 0 and delta > THRESHOLD:
+                failures.append(
+                    f"{key(level)} stage {stage['stage']} {metric}: "
+                    f"{base_ms:.2f} -> {cur_ms:.2f} ms (+{delta*100:.0f}%)")
+                print(f"  {key(level):26s} {stage['stage']}/{metric}: "
+                      f"{base_ms:.2f} -> {cur_ms:.2f} ms  <-- REGRESSION",
+                      file=sys.stderr)
 print(f"  staged_speedup_1worker = {speedup:.2f}x", file=sys.stderr)
 
 if failures:
@@ -376,6 +424,36 @@ if failures:
 print("gateway engine, scale, memory, and determinism gates all green",
       file=sys.stderr)
 PY
+
+  # Offline audit replay: the standalone verifier (no gateway state) must
+  # accept the chain the chaos level exported, and must reject it again
+  # after a single flipped byte — the tamper-evidence property itself.
+  audit_bin="$build_dir/tools/audit_verify"
+  if [ ! -x "$audit_bin" ]; then
+    echo "error: $audit_bin not built (run: cmake --build $build_dir -j)" >&2
+    exit 1
+  fi
+  if [ ! -s "$gateway_audit" ]; then
+    echo "error: $gateway_audit missing or empty; bench_gateway should" \
+         "have written the chaos level's audit chain" >&2
+    exit 1
+  fi
+  echo "== tools/audit_verify $gateway_audit" >&2
+  "$audit_bin" "$gateway_audit" >&2
+  tampered="$tmp_dir/audit_tampered.bin"
+  python3 - "$gateway_audit" "$tampered" <<'PY'
+import sys
+with open(sys.argv[1], "rb") as f:
+    data = bytearray(f.read())
+data[len(data) // 2] ^= 0x01  # flip one bit mid-stream
+with open(sys.argv[2], "wb") as f:
+    f.write(data)
+PY
+  if "$audit_bin" "$tampered" >&2; then
+    echo "error: audit_verify accepted a tampered chain" >&2
+    exit 1
+  fi
+  echo "audit chain verified; single-byte tamper correctly rejected" >&2
 else
   echo "note: $gateway_bin not built; skipping gateway load bench" >&2
 fi

@@ -1,9 +1,20 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 
 namespace revelio::common {
+
+namespace {
+// Pool workers get globally-unique 1-based lane ids at spawn; 0 is every
+// other thread. Global (not per-pool) so two pools' lanes stay distinct
+// in a merged trace.
+std::atomic<unsigned> next_lane_id{1};
+thread_local unsigned this_lane = 0;
+}  // namespace
+
+unsigned current_lane() { return this_lane; }
 
 unsigned ThreadPool::default_thread_count() {
   if (const char* env = std::getenv("REVELIO_THREADS")) {
@@ -53,6 +64,7 @@ void ThreadPool::drain_current_job(std::unique_lock<std::mutex>& lock) {
 }
 
 void ThreadPool::worker_loop() {
+  this_lane = next_lane_id.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [this] {

@@ -112,6 +112,12 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
+/// Lane id of the calling thread: pool workers carry a process-globally
+/// unique 1-based id assigned at spawn; every non-pool thread (including
+/// the caller participating in a fan-out) reports 0. The tracer uses this
+/// to render pool work as parallel lanes in the Chrome trace export.
+unsigned current_lane();
+
 /// Convenience wrapper over ThreadPool::global().
 inline void parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,

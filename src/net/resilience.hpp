@@ -34,6 +34,7 @@
 #include "common/sim_clock.hpp"
 #include "crypto/drbg.hpp"
 #include "net/network.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -256,6 +257,9 @@ auto with_retries(SimClock& clock, crypto::HmacDrbg& jitter_drbg,
       clock.advance_ms(backoff);
       common::note_virtual_wait_ms(backoff);
     }
+    obs::flight_record(obs::FlightEventType::kRetry,
+                       static_cast<std::uint16_t>(attempt),
+                       static_cast<std::uint32_t>(backoff * 1000.0));
     obs::metrics().counter("retry.backoff.count", {{"op", op}}).inc();
     ++attempt;
   }

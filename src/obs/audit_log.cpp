@@ -1,0 +1,227 @@
+#include "obs/audit_log.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hex.hpp"
+#include "crypto/merkle.hpp"
+
+namespace revelio::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'V', 'A', 'U', 'D', 'T', '0', '1'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 4;  // magic, interval, rec size
+constexpr std::uint8_t kFrameRecord = 0x01;
+constexpr std::uint8_t kFrameCheckpoint = 0x02;
+constexpr std::uint8_t kFrameTrailer = 0x03;
+// checkpoint frame body: root(32) || u64be(total records so far)
+constexpr std::size_t kCheckpointBody = 32 + 8;
+
+crypto::Digest32 genesis_head() {
+  static const char kSeed[] = "revelio-audit-v1";
+  return crypto::sha256(ByteView(
+      reinterpret_cast<const std::uint8_t*>(kSeed), sizeof(kSeed) - 1));
+}
+
+/// h' = SHA-256(h || frame_type || frame_body) — the one chaining rule
+/// both append and verify use.
+crypto::Digest32 chain(const crypto::Digest32& head, std::uint8_t frame_type,
+                       ByteView body) {
+  Bytes buf;
+  buf.reserve(32 + 1 + body.size());
+  append(buf, head.view());
+  append_u8(buf, frame_type);
+  append(buf, body);
+  return crypto::sha256(buf);
+}
+
+Error tamper(std::uint64_t frame, std::string detail) {
+  return Error::make("audit.tamper",
+                     "frame " + std::to_string(frame) + ": " + std::move(detail));
+}
+
+}  // namespace
+
+Bytes AuditRecord::serialize() const {
+  Bytes out;
+  out.reserve(kWireSize);
+  append_u64be(out, session);
+  append_u64be(out, virt_us);
+  append_u8(out, accepted ? 1 : 0);
+  append_u8(out, checks);
+  char step[kFailureStepSize] = {};
+  std::memcpy(step, failure_step.data(),
+              std::min(failure_step.size(), kFailureStepSize - 1));
+  out.insert(out.end(), step, step + kFailureStepSize);
+  append(out, measurement.view());
+  append(out, vcek_chain.view());
+  append_u64be(out, tcb);
+  append(out, evidence_digest.view());
+  return out;
+}
+
+AuditRecord AuditRecord::parse(ByteView wire) {
+  AuditRecord rec;
+  rec.session = read_u64be(wire, 0);
+  rec.virt_us = read_u64be(wire, 8);
+  rec.accepted = wire[16] != 0;
+  rec.checks = wire[17];
+  const char* step = reinterpret_cast<const char*>(wire.data() + 18);
+  rec.failure_step.assign(step, strnlen(step, kFailureStepSize));
+  rec.measurement = crypto::Digest48::from(wire.subspan(18 + kFailureStepSize, 48));
+  rec.vcek_chain = crypto::Digest32::from(wire.subspan(18 + kFailureStepSize + 48, 32));
+  rec.tcb = read_u64be(wire, 18 + kFailureStepSize + 48 + 32);
+  rec.evidence_digest =
+      crypto::Digest32::from(wire.subspan(18 + kFailureStepSize + 48 + 32 + 8, 32));
+  return rec;
+}
+
+AuditLog::AuditLog(std::size_t checkpoint_interval)
+    : interval_(checkpoint_interval == 0 ? 1 : checkpoint_interval),
+      head_(genesis_head()) {}
+
+void AuditLog::append(const AuditRecord& record) {
+  const Bytes wire = record.serialize();
+  std::lock_guard<std::mutex> lock(mu_);
+  append_u8(frames_, kFrameRecord);
+  revelio::append(frames_, wire);
+  head_ = chain(head_, kFrameRecord, wire);
+  epoch_leaves_.push_back(crypto::sha256(wire));
+  ++records_;
+  if (record.accepted) ++accepted_;
+  if (epoch_leaves_.size() >= interval_) append_checkpoint_locked();
+}
+
+void AuditLog::append_checkpoint_locked() {
+  const crypto::Digest32 root =
+      crypto::MerkleTree::from_leaves(epoch_leaves_).root();
+  epoch_leaves_.clear();
+  Bytes body;
+  body.reserve(kCheckpointBody);
+  revelio::append(body, root.view());
+  append_u64be(body, records_);
+  append_u8(frames_, kFrameCheckpoint);
+  revelio::append(frames_, body);
+  head_ = chain(head_, kFrameCheckpoint, body);
+  ++checkpoints_;
+}
+
+std::uint64_t AuditLog::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::uint64_t AuditLog::checkpoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoints_;
+}
+
+crypto::Digest32 AuditLog::head() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+Bytes AuditLog::serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bytes out;
+  out.reserve(kHeaderSize + frames_.size() + 1 + 32);
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  append_u32be(out, static_cast<std::uint32_t>(interval_));
+  append_u32be(out, static_cast<std::uint32_t>(AuditRecord::kWireSize));
+  revelio::append(out, frames_);
+  append_u8(out, kFrameTrailer);
+  revelio::append(out, head_.view());
+  return out;
+}
+
+Result<AuditLog::VerifySummary> AuditLog::verify(ByteView stream) {
+  if (stream.size() < kHeaderSize + 1 + 32) {
+    return Error::make("audit.truncated", "stream shorter than header+trailer");
+  }
+  if (std::memcmp(stream.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Error::make("audit.bad_magic", "not an audit stream");
+  }
+  const std::uint64_t interval = read_u32be(stream, 8);
+  const std::uint64_t rec_size = read_u32be(stream, 12);
+  if (interval == 0 || rec_size != AuditRecord::kWireSize) {
+    return Error::make("audit.bad_header",
+                       "interval=" + std::to_string(interval) +
+                           " record_size=" + std::to_string(rec_size));
+  }
+
+  VerifySummary summary;
+  crypto::Digest32 head = genesis_head();
+  std::vector<crypto::Digest32> epoch;
+  std::uint64_t frame = 0;
+  std::size_t off = kHeaderSize;
+  bool saw_trailer = false;
+
+  while (off < stream.size()) {
+    const std::uint8_t type = stream[off];
+    ++off;
+    ++frame;
+    if (type == kFrameRecord) {
+      if (off + rec_size > stream.size()) {
+        return tamper(frame, "truncated record frame");
+      }
+      const ByteView wire = stream.subspan(off, rec_size);
+      off += rec_size;
+      head = chain(head, kFrameRecord, wire);
+      epoch.push_back(crypto::sha256(wire));
+      ++summary.records;
+      if (wire[16] != 0) {
+        ++summary.accepted;
+      } else {
+        ++summary.rejected;
+      }
+      if (epoch.size() > interval) {
+        return tamper(frame, "missing checkpoint after " +
+                                 std::to_string(interval) + " records");
+      }
+    } else if (type == kFrameCheckpoint) {
+      if (off + kCheckpointBody > stream.size()) {
+        return tamper(frame, "truncated checkpoint frame");
+      }
+      const ByteView body = stream.subspan(off, kCheckpointBody);
+      off += kCheckpointBody;
+      if (epoch.size() != interval) {
+        return tamper(frame, "checkpoint after " +
+                                 std::to_string(epoch.size()) + " records, " +
+                                 "expected " + std::to_string(interval));
+      }
+      const crypto::Digest32 expected =
+          crypto::MerkleTree::from_leaves(epoch).root();
+      if (crypto::Digest32::from(body.subspan(0, 32)) != expected) {
+        return tamper(frame, "checkpoint Merkle root mismatch");
+      }
+      if (read_u64be(body, 32) != summary.records) {
+        return tamper(frame, "checkpoint record count mismatch");
+      }
+      epoch.clear();
+      head = chain(head, kFrameCheckpoint, body);
+      ++summary.checkpoints;
+    } else if (type == kFrameTrailer) {
+      if (off + 32 > stream.size()) {
+        return tamper(frame, "truncated trailer");
+      }
+      if (crypto::Digest32::from(stream.subspan(off, 32)) != head) {
+        return tamper(frame, "chain head mismatch — history was modified");
+      }
+      off += 32;
+      if (off != stream.size()) {
+        return tamper(frame, "trailing bytes after trailer");
+      }
+      saw_trailer = true;
+    } else {
+      return tamper(frame, "unknown frame type " + std::to_string(type));
+    }
+  }
+  if (!saw_trailer) {
+    return Error::make("audit.truncated", "stream ends without trailer");
+  }
+  summary.head_hex = to_hex(head.view());
+  return summary;
+}
+
+}  // namespace revelio::obs

@@ -1,0 +1,122 @@
+// Tamper-evident attestation audit chain.
+//
+// The paper's trust story is that *end users* can check what the gateway
+// did on their behalf; SNPGuard (PAPERS.md) argues an attestation workflow
+// must leave an independently checkable evidence trail. This log is that
+// trail: every session verdict — accepted or rejected — is appended as a
+// fixed-size binary record (measurement, VCEK chain digest, TCB, checks
+// bitmap, failure step, evidence digest) to a hash chain
+//
+//   h_0 = SHA-256("revelio-audit-v1")
+//   h_i = SHA-256(h_{i-1} || 0x01 || record_i)
+//
+// with a Merkle checkpoint every `interval` records (the root over the
+// epoch's record hashes, itself folded into the chain), so an auditor can
+// verify a whole epoch against one 32-byte root without replaying every
+// record, while the chain makes any insertion, deletion, reorder, or
+// single flipped bit change every later h_i and the final head.
+//
+// serialize() emits a self-contained byte stream (magic + parameters +
+// frames + head trailer) that tools/audit_verify — a standalone binary
+// with no gateway state — replays offline with verify(). The gateway
+// cannot rewrite history it has already exported: any divergence between
+// a published head and a re-verified stream is proof of tampering.
+//
+// Thread-safety: append() serializes on an internal mutex (many sessions
+// reach their verdict concurrently); serialize()/head() take the same
+// mutex and may interleave with appends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/sha2.hpp"
+
+namespace revelio::obs {
+
+/// One session verdict. Fixed-size on the wire (kWireSize bytes) so the
+/// stream is seekable and a flipped byte cannot shift frame boundaries.
+struct AuditRecord {
+  /// Bits of `checks`, mirroring core::AttestationChecks field order.
+  enum Check : std::uint8_t {
+    kEvidenceFetched = 1 << 0,
+    kBindingOk = 1 << 1,      // REPORT_DATA covers the served key
+    kChainOk = 1 << 2,        // VCEK chains to the AMD root
+    kSignatureOk = 1 << 3,    // report signed by that VCEK
+    kMeasurementOk = 1 << 4,  // measurement in the accepted set
+    kTlsBindingOk = 1 << 5,   // session terminates at the attested key
+  };
+
+  std::uint64_t session = 0;
+  std::uint64_t virt_us = 0;  // virtual clock at the verdict
+  bool accepted = false;
+  std::uint8_t checks = 0;  // bitmap of Check
+  /// First check that failed ("" when accepted); truncated to 15 bytes on
+  /// the wire (NUL-padded fixed field).
+  std::string failure_step;
+  crypto::Digest48 measurement{};    // zero when evidence never arrived
+  crypto::Digest32 vcek_chain{};     // SHA-256 over vcek||ask||ark DER
+  std::uint64_t tcb = 0;             // reported TCB, TcbVersion::encode()
+  crypto::Digest32 evidence_digest{};  // SHA-256 over the evidence bundle
+
+  static constexpr std::size_t kFailureStepSize = 16;  // 15 chars + NUL pad
+  static constexpr std::size_t kWireSize =
+      8 + 8 + 1 + 1 + kFailureStepSize + 48 + 32 + 8 + 32;
+
+  Bytes serialize() const;
+  static AuditRecord parse(ByteView wire);  // wire.size() == kWireSize
+};
+
+class AuditLog {
+ public:
+  /// `checkpoint_interval` records per Merkle epoch (clamped to >= 1).
+  explicit AuditLog(std::size_t checkpoint_interval = 64);
+
+  /// Appends one verdict: extends the hash chain, and when the current
+  /// epoch reaches the checkpoint interval, folds the epoch's Merkle root
+  /// in as a checkpoint frame. Thread-safe.
+  void append(const AuditRecord& record);
+
+  std::uint64_t records() const;
+  std::uint64_t checkpoints() const;
+  /// Current chain head. Publish it out of band (a transparency log, a
+  /// signed statement) to bind the gateway to this history.
+  crypto::Digest32 head() const;
+
+  /// Self-contained stream: magic, parameters, every frame appended so
+  /// far, and a trailer carrying the current head. verify() replays it.
+  Bytes serialize() const;
+
+  struct VerifySummary {
+    std::uint64_t records = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::string head_hex;  // recomputed chain head
+  };
+
+  /// Replays a serialized stream with no state beyond the bytes given:
+  /// recomputes the chain and every checkpoint root, and compares the
+  /// trailer head. Any flipped byte, truncation, insertion or reorder
+  /// yields an "audit.tamper" error naming the offending frame.
+  static Result<VerifySummary> verify(ByteView stream);
+
+ private:
+  void append_checkpoint_locked();
+
+  const std::size_t interval_;
+  mutable std::mutex mu_;
+  crypto::Digest32 head_;
+  Bytes frames_;  // every frame appended so far, in order
+  std::vector<crypto::Digest32> epoch_leaves_;  // record hashes this epoch
+  std::uint64_t records_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace revelio::obs

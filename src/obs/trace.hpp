@@ -42,6 +42,7 @@ struct SpanRecord {
   std::uint64_t virt_end_us = 0;
   std::uint64_t real_start_ns = 0;  // monotonic clock at begin/end
   std::uint64_t real_end_ns = 0;
+  std::uint32_t lane = 0;  // pool-worker lane at begin (0 = non-pool thread)
 
   std::uint64_t virt_us() const { return virt_end_us - virt_start_us; }
   double real_us() const {
@@ -85,8 +86,12 @@ class Tracer {
   std::string finished_spans_json() const;
 
   /// Chrome trace_event dump: one complete ("ph":"X") event per span per
-  /// clock, tid 1 = virtual clock, tid 2 = real clock. Real timestamps are
-  /// rebased to the earliest span so the trace starts near t=0.
+  /// clock, tid 1 = virtual clock, tid 2 = real clock for spans begun on
+  /// the driving thread. Spans begun on a pool-worker lane (a staged batch
+  /// fanned out via common::ThreadPool) put their real-clock event on
+  /// tid 100+lane instead, each with its own thread_name row — so parallel
+  /// batches render as parallel lanes, not one merged row. Real timestamps
+  /// are rebased to the earliest span so the trace starts near t=0.
   std::string chrome_trace_json() const;
 
  private:

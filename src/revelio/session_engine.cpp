@@ -12,6 +12,8 @@
 #include "common/hex.hpp"
 #include "common/parallel.hpp"
 #include "crypto/sha2.hpp"
+#include "obs/audit_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace revelio::core {
@@ -211,9 +213,38 @@ SessionEngine::StagedReport SessionEngine::run_staged(
   obs::Gauge& queue_gauge = metrics.gauge("gw.admission.queue_depth");
   obs::Counter& park_counter = metrics.counter("gw.admission.park.count");
   obs::Counter& shed_counter = metrics.counter("gw.admission.shed.count");
-  obs::Histogram& wake_hist = metrics.histogram(
-      "gw.wake.latency.ms", {1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000});
+  // Log-bucketed summary, not a fixed-bucket histogram: gate-FIFO waits
+  // span microseconds to whole chaos timeouts, and the tail is the point.
+  obs::Summary& wake_summary = metrics.summary("gw.wake.latency.ms");
   std::vector<double> wake_latencies;
+
+  // Per-session flight recorders: a fixed 16-byte/event ring each,
+  // preallocated up front so record() never touches the heap. Stage-body
+  // events arrive through the thread binding in run_stage; driver-side
+  // events (park/wake/admission) are stamped with the loop clock directly.
+  const FlightRecorderConfig& fr = config_.flight_recorder;
+  std::vector<obs::FlightRecorder> recorders;
+  if (fr.enabled) {
+    recorders.reserve(sessions);
+    for (std::size_t i = 0; i < sessions; ++i) {
+      recorders.emplace_back(fr.ring_events);
+    }
+  }
+  const auto flight = [&](std::size_t i, obs::FlightEventType type,
+                          std::uint16_t arg, std::uint32_t value,
+                          common::EventLoop::Micros t_us) {
+    if (fr.enabled) recorders[i].record_at(t_us, type, arg, value);
+  };
+
+  // Per-stage wait-vs-service attribution, accumulated on the driver in
+  // post-pass order (single-threaded — no summary lock contention while
+  // stages run). kDone is the bound: only real stages index these.
+  constexpr std::size_t kStageCount =
+      static_cast<std::size_t>(SessionState::kDone);
+  obs::Summary stage_wait[kStageCount];
+  obs::Summary stage_service[kStageCount];
+  double stage_wait_total[kStageCount] = {};
+  double stage_service_total[kStageCount] = {};
 
   const auto finalize = [&](std::size_t i, SessionState state, Status st) {
     Cell& c = cells[i];
@@ -252,6 +283,8 @@ SessionEngine::StagedReport SessionEngine::run_staged(
         --gates[c.holds].inflight;
         c.holds = kGateNone;
       }
+      flight(e.payload, obs::FlightEventType::kWake,
+             static_cast<std::uint16_t>(c.next), 0, now_us);
     }
 
     // 2. Freed capacity goes to gate-parked sessions first, FIFO.
@@ -264,8 +297,10 @@ SessionEngine::StagedReport SessionEngine::run_staged(
         cells[i].holds = g;
         const double waited =
             static_cast<double>(now_us - cells[i].queued_at_us) / 1000.0;
-        wake_hist.observe(waited);
+        wake_summary.observe(waited);
         wake_latencies.push_back(waited);
+        flight(i, obs::FlightEventType::kWake,
+               static_cast<std::uint16_t>(cells[i].next), 0, now_us);
         ready.push_back(i);
       }
       gate.peak_inflight = std::max(gate.peak_inflight, gate.inflight);
@@ -285,6 +320,7 @@ SessionEngine::StagedReport SessionEngine::run_staged(
         ++gate.inflight;
         c.holds = g;
         gate.peak_inflight = std::max(gate.peak_inflight, gate.inflight);
+        flight(i, obs::FlightEventType::kAdmission, g, 0, now_us);
         ready.push_back(i);
       } else if (admission.on_overload == AdmissionConfig::Overload::kPark &&
                  (admission.max_parked == 0 ||
@@ -292,13 +328,25 @@ SessionEngine::StagedReport SessionEngine::run_staged(
         c.queued_at_us = now_us;
         gate.fifo.push_back(i);
         park_counter.inc();
+        flight(i, obs::FlightEventType::kAdmission, g, 1, now_us);
       } else {
         // Shed: fail closed. The session never reaches verify, so it can
         // never be counted as an accepted (trusted) session.
         shed_counter.inc();
         ++report.shed;
+        flight(i, obs::FlightEventType::kAdmission, g, 2, now_us);
         makespan_ms =
             std::max(makespan_ms, static_cast<double>(now_us) / 1000.0);
+        if (config_.audit_log != nullptr) {
+          // Shed sessions never reach the web extension, so the engine
+          // itself must leave their rejected verdict in the audit trail.
+          obs::AuditRecord rec;
+          rec.session = static_cast<std::uint64_t>(i);
+          rec.virt_us = now_us;
+          rec.accepted = false;
+          rec.failure_step = "admission_shed";
+          config_.audit_log->append(rec);
+        }
         finalize(i, SessionState::kFailed,
                  Error::make("gw.admission.shed", to_string(c.next)));
       }
@@ -326,6 +374,10 @@ SessionEngine::StagedReport SessionEngine::run_staged(
         obs::ScopedThreadTracer tracer_scope(session_tracer);
         std::optional<obs::ScopedThreadMetrics> metrics_scope;
         if (config_.isolate_obs) metrics_scope.emplace(session_metrics);
+        // Bind the session's recorder so deep charge sites (retry backoff,
+        // VCEK cache probes) hit this session's ring via flight_record().
+        std::optional<obs::ScopedFlightRecorder> recorder_scope;
+        if (fr.enabled) recorder_scope.emplace(recorders[i]);
         common::VirtualWaitScope waits;
 
         StagedContext ctx;
@@ -335,10 +387,16 @@ SessionEngine::StagedReport SessionEngine::run_staged(
         ctx.vcek_cache = &vcek_cache_;
         ctx.tracer = &session_tracer;
         ctx.total_virt_ms = c.total_virt_ms;
+        flight(i, obs::FlightEventType::kStageEnter,
+               static_cast<std::uint16_t>(c.next), 0, now_us);
         r.next = fn(ctx);
         r.stage_virt_ms = ctx.stage_virt_ms;
         r.failure = std::move(ctx.failure);
         r.wait_ms = waits.waited_ms();
+        flight(i, obs::FlightEventType::kStageExit,
+               static_cast<std::uint16_t>(c.next),
+               static_cast<std::uint32_t>(to_us(r.stage_virt_ms)),
+               now_us + to_us(r.stage_virt_ms));
       }
       if (config_.isolate_obs && config_.merge_metrics) {
         obs::metrics().merge_from(session_metrics);
@@ -369,7 +427,16 @@ SessionEngine::StagedReport SessionEngine::run_staged(
       StageResult& r = results[slot];
       Cell& c = cells[i];
       c.total_virt_ms += r.stage_virt_ms;
-      c.wait_virt_ms += std::min(r.wait_ms, r.stage_virt_ms);
+      const double stage_wait_ms = std::min(r.wait_ms, r.stage_virt_ms);
+      c.wait_virt_ms += stage_wait_ms;
+      // c.next still names the stage that just ran (advanced below).
+      const auto stage_idx = static_cast<std::size_t>(c.next);
+      if (stage_idx < kStageCount) {
+        stage_wait[stage_idx].observe(stage_wait_ms);
+        stage_service[stage_idx].observe(r.stage_virt_ms - stage_wait_ms);
+        stage_wait_total[stage_idx] += stage_wait_ms;
+        stage_service_total[stage_idx] += r.stage_virt_ms - stage_wait_ms;
+      }
       if (r.next == SessionState::kDone || r.next == SessionState::kFailed) {
         makespan_ms = std::max(makespan_ms, static_cast<double>(now_us) /
                                                     1000.0 +
@@ -384,6 +451,10 @@ SessionEngine::StagedReport SessionEngine::run_staged(
                                 : std::move(r.failure));
       } else {
         c.next = r.next;
+        flight(i, obs::FlightEventType::kPark,
+               static_cast<std::uint16_t>(r.next),
+               static_cast<std::uint32_t>(to_us(r.stage_virt_ms)),
+               now_us);
         loop.schedule_after(to_us(r.stage_virt_ms), track_of(i), i);
       }
     }
@@ -436,8 +507,55 @@ SessionEngine::StagedReport SessionEngine::run_staged(
   for (const double v : report.session_virt_ms) total_virt += v;
   report.service_virt_ms = total_virt - report.wait_virt_ms;
 
+  // Per-stage wait-vs-service rows, state-machine order; fold the same
+  // summaries into the process registry for exporters.
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    if (stage_wait[s].count() == 0) continue;
+    StagedReport::StageBreakdown row;
+    row.stage = static_cast<SessionState>(s);
+    row.count = stage_wait[s].count();
+    row.wait_p50_ms = stage_wait[s].quantile(0.50);
+    row.wait_p99_ms = stage_wait[s].quantile(0.99);
+    row.service_p50_ms = stage_service[s].quantile(0.50);
+    row.service_p99_ms = stage_service[s].quantile(0.99);
+    row.wait_total_ms = stage_wait_total[s];
+    row.service_total_ms = stage_service_total[s];
+    report.stage_breakdown.push_back(row);
+    const obs::Labels labels = {{"stage", to_string(row.stage)}};
+    metrics.summary("gw.stage.wait.ms", labels).merge_from(stage_wait[s]);
+    metrics.summary("gw.stage.service.ms", labels)
+        .merge_from(stage_service[s]);
+  }
+
+  // Dump-on-anomaly: failed/shed sessions first (their timelines answer
+  // "why did this fail"), then the virtual-latency tail at or beyond the
+  // configured quantile, up to max_dumps total.
+  if (fr.enabled) {
+    for (const auto& rec : recorders) report.recorder_bytes += rec.bytes();
+    const double tail_ms =
+        sorted.empty() ? 0.0
+                       : percentile(sorted, std::clamp(fr.tail_quantile,
+                                                       0.0, 1.0));
+    const auto dump = [&](std::size_t i, const char* reason) {
+      if (report.anomaly_dumps.size() >= fr.max_dumps) return;
+      report.anomaly_dumps.push_back(
+          recorders[i].to_json(static_cast<std::uint64_t>(i), reason));
+    };
+    for (std::size_t i = 0; i < sessions; ++i) {
+      if (report.outcomes[i].ok()) continue;
+      dump(i, report.outcomes[i].error().code == "gw.admission.shed"
+                  ? "shed"
+                  : "failed");
+    }
+    for (std::size_t i = 0; i < sessions; ++i) {
+      if (!report.outcomes[i].ok()) continue;
+      if (report.session_virt_ms[i] >= tail_ms) dump(i, "p99_tail");
+    }
+  }
+
   report.engine_bytes = sessions * sizeof(Cell) + loop.peak_heap_bytes() +
-                        report.peak_queue_depth * sizeof(std::size_t);
+                        report.peak_queue_depth * sizeof(std::size_t) +
+                        report.recorder_bytes;
   if (report.peak_parked > 0) {
     report.bytes_per_parked_session =
         static_cast<double>(report.engine_bytes) /

@@ -54,6 +54,10 @@
 #include "pki/chain_cache.hpp"
 #include "revelio/vcek_cache.hpp"
 
+namespace revelio::obs {
+class AuditLog;  // obs/audit_log.hpp — engine links revelio_audit
+}  // namespace revelio::obs
+
 namespace revelio::core {
 
 /// The session state machine driven by run_staged(). Stage order for a
@@ -80,6 +84,21 @@ const char* to_string(SessionState state);
 /// to_string(ByteView) from the enclosing namespace for code inside core.
 using revelio::to_string;
 
+/// Per-session flight recorder policy for run_staged (obs/flight_recorder
+/// .hpp). Every session continuously records its last `ring_events` engine
+/// events; only anomalous sessions (failed, shed, or in the virtual-latency
+/// tail at or beyond `tail_quantile`) dump their timeline into
+/// StagedReport::anomaly_dumps. The rings' fixed memory cost is reported in
+/// StagedReport::recorder_bytes and counted into engine_bytes, next to the
+/// parked-session budget.
+struct FlightRecorderConfig {
+  bool enabled = false;
+  std::size_t ring_events = 32;  // 16 bytes/event
+  double tail_quantile = 0.99;
+  /// Cap on dumped timelines per run (failures first, then tail sessions).
+  std::size_t max_dumps = 128;
+};
+
 struct SessionEngineConfig {
   /// Worker lanes (0 = ThreadPool::default_thread_count()). Also the lane
   /// count of the virtual-time makespan model in Report.
@@ -95,6 +114,15 @@ struct SessionEngineConfig {
   bool merge_metrics = true;
   /// Enable each session's private tracer (spans cost nothing otherwise).
   bool trace_sessions = false;
+  /// Per-session flight recorder (run_staged only).
+  FlightRecorderConfig flight_recorder;
+  /// Optional attestation audit chain. The engine appends a rejected
+  /// verdict (failure_step "admission_shed") for every session shed by
+  /// admission control — shed sessions never reach the web extension, yet
+  /// the audit trail must still account for them. Stage functions append
+  /// their own verdicts (see WebExtensionConfig::audit_log). Must outlive
+  /// the run; appends are thread-safe.
+  obs::AuditLog* audit_log = nullptr;
 };
 
 /// What one session sees while it runs. The cache pointers are shared with
@@ -256,6 +284,31 @@ class SessionEngine {
     /// SHA-256 (hex) over every session's (index, final state, outcome
     /// code, virtual duration) — same seed, same digest, bit for bit.
     std::string transcript_digest;
+
+    /// Per-stage tail-latency attribution: virtual time split into I/O
+    /// wait vs service, with log-bucket quantiles (obs::Summary), one row
+    /// per stage that ran at least once, in state-machine order. Also
+    /// exported into the process registry as summaries
+    /// gw.stage.{wait,service}.ms{stage=...}.
+    struct StageBreakdown {
+      SessionState stage = SessionState::kHandshake;
+      std::uint64_t count = 0;  // dispatches of this stage
+      double wait_p50_ms = 0.0;
+      double wait_p99_ms = 0.0;
+      double service_p50_ms = 0.0;
+      double service_p99_ms = 0.0;
+      double wait_total_ms = 0.0;
+      double service_total_ms = 0.0;
+    };
+    std::vector<StageBreakdown> stage_breakdown;
+
+    /// Flight-recorder anomaly dumps (JSON, one per anomalous session —
+    /// failed/shed first, then the >= tail_quantile latency tail), capped
+    /// at FlightRecorderConfig::max_dumps. Empty when the recorder is off.
+    std::vector<std::string> anomaly_dumps;
+    /// Fixed ring cost of all session recorders (0 when off); also
+    /// included in engine_bytes.
+    std::size_t recorder_bytes = 0;
 
     pki::ChainVerificationCache::Stats chain_stats;
     VcekCache::Stats vcek_stats;

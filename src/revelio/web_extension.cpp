@@ -1,5 +1,7 @@
 #include "revelio/web_extension.hpp"
 
+#include "obs/audit_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -136,7 +138,9 @@ Result<KdsService::VcekResponse> WebExtension::fetch_vcek(
     // resilience stack (retry x failover, breakers) becomes the
     // single-flight leader's fetch — concurrent sessions missing on the
     // same (chip, tcb) wait for it instead of stampeding the KDS.
-    return config_.shared_vcek_cache->get_or_fetch(chip, tcb, [&] {
+    bool fetched = false;  // did THIS call run the leader fetch?
+    auto result = config_.shared_vcek_cache->get_or_fetch(chip, tcb, [&] {
+      fetched = true;
       obs::Span span("ext.kds_fetch");
       ++kds_fetches_;
       obs::metrics().counter("ext.kds_fetch.count").inc();
@@ -152,6 +156,12 @@ Result<KdsService::VcekResponse> WebExtension::fetch_vcek(
       span.attr("result", response.ok() ? "ok" : response.error().code);
       return response;
     });
+    // Single-flight followers land on the hit side: they paid a wait, not
+    // a fetch — the flight timeline should say so.
+    obs::flight_record(fetched ? obs::FlightEventType::kCacheMiss
+                               : obs::FlightEventType::kCacheHit,
+                       /*arg=*/1);
+    return result;
   }
 
   const auto key = std::make_pair(chip.bytes(), tcb.encode());
@@ -160,9 +170,11 @@ Result<KdsService::VcekResponse> WebExtension::fetch_vcek(
     if (it != vcek_cache_.end()) {
       ++vcek_cache_hits_;
       obs::metrics().counter("ext.vcek_cache.hit.count").inc();
+      obs::flight_record(obs::FlightEventType::kCacheHit, /*arg=*/1);
       return it->second;
     }
   }
+  obs::flight_record(obs::FlightEventType::kCacheMiss, /*arg=*/1);
   obs::Span span("ext.kds_fetch");
   ++kds_fetches_;
   obs::metrics().counter("ext.kds_fetch.count").inc();
@@ -202,6 +214,41 @@ void WebExtension::note_attest_result(const std::string& result) {
   obs::metrics()
       .counter("ext.attest.result.count", {{"result", result}})
       .inc();
+}
+
+void WebExtension::note_verdict(const AttestationChecks& checks,
+                                const EvidenceBundle* bundle,
+                                const KdsService::VcekResponse* kds,
+                                bool accepted) {
+  obs::flight_record(obs::FlightEventType::kVerdict, accepted ? 1 : 0);
+  if (config_.audit_log == nullptr) return;
+  obs::AuditRecord rec;
+  rec.session = config_.audit_session_id;
+  rec.virt_us = browser_->network().clock().now_us();
+  rec.accepted = accepted;
+  rec.failure_step = checks.failure_step;
+  if (checks.evidence_fetched) rec.checks |= obs::AuditRecord::kEvidenceFetched;
+  if (checks.binding_ok) rec.checks |= obs::AuditRecord::kBindingOk;
+  if (checks.chain_ok) rec.checks |= obs::AuditRecord::kChainOk;
+  if (checks.signature_ok) rec.checks |= obs::AuditRecord::kSignatureOk;
+  if (checks.measurement_ok) rec.checks |= obs::AuditRecord::kMeasurementOk;
+  if (checks.tls_binding_ok) rec.checks |= obs::AuditRecord::kTlsBindingOk;
+  if (bundle != nullptr) {
+    // What the verdict was based on: the exact evidence bytes and the
+    // claimed launch measurement / TCB inside them.
+    rec.measurement = bundle->report.measurement;
+    rec.tcb = bundle->report.reported_tcb.encode();
+    rec.evidence_digest = crypto::sha256(bundle->serialize());
+  }
+  if (kds != nullptr) {
+    // One digest binding all three certificates the chain walk consumed.
+    Bytes chain_der;
+    append(chain_der, kds->vcek.serialize());
+    append(chain_der, kds->ask.serialize());
+    append(chain_der, kds->ark.serialize());
+    rec.vcek_chain = crypto::sha256(chain_der);
+  }
+  config_.audit_log->append(rec);
 }
 
 std::optional<EvidenceBundle> WebExtension::stage_evidence(
@@ -251,7 +298,10 @@ Result<AttestationChecks> WebExtension::attest_impl(
 
   // Stages 1-2: evidence fetch + parse + REPORT_DATA binding.
   auto bundle = stage_evidence(domain, port, deadline, checks);
-  if (!bundle.has_value()) return checks;
+  if (!bundle.has_value()) {
+    note_verdict(checks, nullptr, nullptr, false);
+    return checks;
+  }
 
   // 3. VCEK chain from the AMD KDS (cached across sessions).
   auto kds = fetch_vcek(bundle->report.chip_id, bundle->report.reported_tcb,
@@ -259,11 +309,13 @@ Result<AttestationChecks> WebExtension::attest_impl(
   if (!kds.ok()) {
     checks.failure = "VCEK fetch failed: " + kds.error().to_string();
     checks.failure_step = "kds_fetch";
+    note_verdict(checks, &*bundle, nullptr, false);
     return checks;
   }
 
   // Stages 4-5: verification, measurement policy, TLS binding.
-  stage_verify(domain, *bundle, *kds, session_key, checks);
+  const bool ok = stage_verify(domain, *bundle, *kds, session_key, checks);
+  note_verdict(checks, &*bundle, &*kds, ok);
   return checks;
 }
 
@@ -434,6 +486,7 @@ Status WebExtension::StagedAttestation::fetch_evidence() {
   bundle_ = ext_->stage_evidence(domain_, port_, deadline_, checks_);
   if (!bundle_.has_value()) {
     ext_->note_attest_result(checks_.failure_step);
+    ext_->note_verdict(checks_, nullptr, nullptr, false);
     return Error::make("extension.attestation_failed", checks_.failure);
   }
   next_ = Stage::kKds;
@@ -448,6 +501,7 @@ Status WebExtension::StagedAttestation::fetch_kds() {
     checks_.failure = "VCEK fetch failed: " + kds.error().to_string();
     checks_.failure_step = "kds_fetch";
     ext_->note_attest_result(checks_.failure_step);
+    ext_->note_verdict(checks_, &*bundle_, nullptr, false);
     return Error::make("extension.attestation_failed", checks_.failure);
   }
   kds_ = std::move(*kds);
@@ -459,6 +513,7 @@ Status WebExtension::StagedAttestation::verify() {
   if (next_ != Stage::kVerify) return wrong_stage("verify");
   const bool ok =
       ext_->stage_verify(domain_, *bundle_, *kds_, session_key_, checks_);
+  ext_->note_verdict(checks_, &*bundle_, &*kds_, ok);
   if (!ok) {
     // Fail closed, mirroring fetch(): record the verdict so last_checks()
     // shows why, and never serve the page.

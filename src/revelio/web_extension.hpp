@@ -22,6 +22,10 @@
 #include "revelio/trusted_registry.hpp"
 #include "revelio/vcek_cache.hpp"
 
+namespace revelio::obs {
+class AuditLog;  // obs/audit_log.hpp
+}  // namespace revelio::obs
+
 namespace revelio::core {
 
 class Browser {
@@ -143,6 +147,14 @@ struct WebExtensionConfig {
   /// coalescing, replacing the private per-extension VCEK map (and making
   /// cache_vcek irrelevant). Must outlive the extension.
   VcekCache* shared_vcek_cache = nullptr;
+  /// When set, every attestation verdict — accept or reject, blocking or
+  /// staged path — is appended to this tamper-evident chain (measurement,
+  /// VCEK chain digest, TCB, checks bitmap, failure step, evidence
+  /// digest). Must outlive the extension; appends are thread-safe.
+  obs::AuditLog* audit_log = nullptr;
+  /// Session id stamped on this extension's audit records (the gateway
+  /// sets it to the session index; a lone extension can leave 0).
+  std::uint64_t audit_session_id = 0;
 };
 
 class WebExtension {
@@ -293,6 +305,13 @@ class WebExtension {
                     const Bytes& session_key, AttestationChecks& checks);
   /// Emits the ext.attest.result.count counter (shared by both paths).
   static void note_attest_result(const std::string& result);
+  /// Terminal-verdict bookkeeping shared by both paths: a kVerdict flight
+  /// event, and — when config_.audit_log is set — an AuditRecord built
+  /// from whatever evidence the session got as far as gathering (`bundle`
+  /// and `kds` may be null when the corresponding fetch never succeeded).
+  void note_verdict(const AttestationChecks& checks,
+                    const EvidenceBundle* bundle,
+                    const KdsService::VcekResponse* kds, bool accepted);
 
   Browser* browser_;
   WebExtensionConfig config_;

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Fold a Chrome trace export and an attestation audit chain into a
+per-stage critical-path report.
+
+Usage:
+    tools/trace_report.py TRACE.json [AUDIT.bin] [--top N]
+
+TRACE.json is the output of Tracer::chrome_trace_json() (e.g. from
+`quickstart --trace`); AUDIT.bin is the serialized obs::AuditLog stream
+written by `bench_gateway --audit-out` (verify it with tools/audit_verify
+first — this tool reports, it does not authenticate).
+
+The report answers "where did the virtual time go":
+  - per span name: dispatch count, total / self virtual time (self =
+    total minus child spans), p50/p99 of span duration;
+  - the virtual-time critical path: the chain of nested spans whose
+    durations dominate the trace, from root to leaf;
+  - from the audit chain: verdict counts and the failure-step histogram,
+    so rejected sessions can be matched against the stages they died in.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import json
+import math
+import struct
+import sys
+
+AUDIT_MAGIC = b"RVAUDT01"
+AUDIT_HEADER = 16       # magic + u32 interval + u32 record size
+FRAME_RECORD = 0x01
+FRAME_CHECKPOINT = 0x02
+FRAME_TRAILER = 0x03
+RECORD_SIZE = 154
+CHECKPOINT_SIZE = 40
+TRAILER_SIZE = 32
+
+
+def percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank - 1, len(sorted_values) - 1)]
+
+
+def load_virt_spans(path):
+    """Virtual-clock complete events ('cat': 'virt'), one per span."""
+    with open(path) as f:
+        doc = json.load(f)
+    spans = []
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "X" or ev.get("cat") != "virt":
+            continue
+        args = ev.get("args", {})
+        spans.append({
+            "name": ev.get("name", "?"),
+            "ts": ev.get("ts", 0),
+            "dur": ev.get("dur", 0),
+            "id": args.get("span_id", 0),
+            "parent": args.get("parent_id", 0),
+        })
+    return spans
+
+
+def stage_table(spans):
+    by_id = {s["id"]: s for s in spans}
+    child_dur = {}
+    for s in spans:
+        if s["parent"] in by_id:
+            child_dur[s["parent"]] = child_dur.get(s["parent"], 0) + s["dur"]
+    rows = {}
+    for s in spans:
+        row = rows.setdefault(s["name"],
+                              {"count": 0, "total": 0, "self": 0, "durs": []})
+        row["count"] += 1
+        row["total"] += s["dur"]
+        row["self"] += max(0, s["dur"] - child_dur.get(s["id"], 0))
+        row["durs"].append(s["dur"])
+    for row in rows.values():
+        row["durs"].sort()
+    return rows
+
+
+def critical_path(spans):
+    """Longest-duration chain of nested spans, root to leaf."""
+    children = {}
+    by_id = {s["id"]: s for s in spans}
+    roots = []
+    for s in spans:
+        if s["parent"] in by_id:
+            children.setdefault(s["parent"], []).append(s)
+        else:
+            roots.append(s)
+    if not roots:
+        return []
+    path = []
+    node = max(roots, key=lambda s: s["dur"])
+    while node is not None:
+        path.append(node)
+        kids = children.get(node["id"], [])
+        node = max(kids, key=lambda s: s["dur"]) if kids else None
+    return path
+
+
+def load_audit(path):
+    """Parses the audit stream structurally (no hash verification)."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if len(data) < AUDIT_HEADER or data[:8] != AUDIT_MAGIC:
+        raise ValueError(f"{path}: not an audit stream (bad magic)")
+    interval, record_size = struct.unpack_from(">II", data, 8)
+    if record_size != RECORD_SIZE:
+        raise ValueError(f"{path}: unexpected record size {record_size}")
+    off = AUDIT_HEADER
+    accepted = rejected = checkpoints = 0
+    failure_steps = {}
+    while off < len(data):
+        frame = data[off]
+        off += 1
+        if frame == FRAME_RECORD:
+            body = data[off:off + RECORD_SIZE]
+            if len(body) < RECORD_SIZE:
+                raise ValueError(f"{path}: truncated record at {off}")
+            if body[16]:
+                accepted += 1
+            else:
+                rejected += 1
+                step = body[18:34].split(b"\0", 1)[0].decode(
+                    "ascii", "replace") or "(none)"
+                failure_steps[step] = failure_steps.get(step, 0) + 1
+            off += RECORD_SIZE
+        elif frame == FRAME_CHECKPOINT:
+            checkpoints += 1
+            off += CHECKPOINT_SIZE
+        elif frame == FRAME_TRAILER:
+            off += TRAILER_SIZE
+        else:
+            raise ValueError(f"{path}: unknown frame 0x{frame:02x} at {off}")
+    return {
+        "interval": interval,
+        "accepted": accepted,
+        "rejected": rejected,
+        "checkpoints": checkpoints,
+        "failure_steps": failure_steps,
+    }
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    top = 10
+    for i, a in enumerate(argv[1:]):
+        if a == "--top" and i + 2 < len(argv):
+            top = int(argv[i + 2])
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    trace_path = args[0]
+    audit_path = args[1] if len(args) > 1 else None
+
+    spans = load_virt_spans(trace_path)
+    if not spans:
+        print(f"{trace_path}: no virtual-clock spans found", file=sys.stderr)
+        return 1
+    rows = stage_table(spans)
+
+    print(f"== per-stage virtual time ({len(spans)} spans, "
+          f"{len(rows)} distinct names)")
+    print(f"{'span':32s} {'count':>7s} {'total ms':>10s} {'self ms':>10s} "
+          f"{'p50 ms':>8s} {'p99 ms':>8s}")
+    ranked = sorted(rows.items(), key=lambda kv: kv[1]["self"], reverse=True)
+    for name, row in ranked[:top]:
+        print(f"{name:32s} {row['count']:7d} {row['total']/1000.0:10.2f} "
+              f"{row['self']/1000.0:10.2f} "
+              f"{percentile(row['durs'], 0.5)/1000.0:8.2f} "
+              f"{percentile(row['durs'], 0.99)/1000.0:8.2f}")
+    if len(ranked) > top:
+        print(f"... {len(ranked) - top} more (raise with --top N)")
+
+    path = critical_path(spans)
+    print("\n== virtual-time critical path (heaviest nested chain)")
+    for depth, s in enumerate(path):
+        print(f"{'  ' * depth}{s['name']}  {s['dur']/1000.0:.2f} ms")
+
+    if audit_path:
+        audit = load_audit(audit_path)
+        total = audit["accepted"] + audit["rejected"]
+        print(f"\n== audit chain ({total} verdicts, "
+              f"{audit['checkpoints']} Merkle checkpoints, "
+              f"epoch interval {audit['interval']})")
+        print(f"accepted: {audit['accepted']}   rejected: {audit['rejected']}")
+        if audit["failure_steps"]:
+            print("failure steps:")
+            for step, count in sorted(audit["failure_steps"].items(),
+                                      key=lambda kv: -kv[1]):
+                print(f"  {step:24s} {count}")
+        print("note: structural read only — authenticate the chain with "
+              "tools/audit_verify")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
