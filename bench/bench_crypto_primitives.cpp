@@ -41,6 +41,27 @@ void BM_Sha384(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha384)->Arg(4096)->Arg(1 << 20);
 
+void BM_Sha256x8(benchmark::State& state) {
+  // Eight equal-length messages per call — the multi-buffer shape Merkle
+  // builds and the batched verifier feed. Items = lane-messages hashed.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Bytes data[Sha256x8::kLanes];
+  ByteView views[Sha256x8::kLanes];
+  for (std::size_t l = 0; l < Sha256x8::kLanes; ++l) {
+    data[l] = make_data(n + l);
+    data[l].resize(n);
+    views[l] = data[l];
+  }
+  Digest32 out[Sha256x8::kLanes];
+  for (auto _ : state) {
+    sha256_x8(views, out);
+    benchmark::DoNotOptimize(&out[0]);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) *
+                          Sha256x8::kLanes);
+}
+BENCHMARK(BM_Sha256x8)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
 void BM_HmacSha256(benchmark::State& state) {
   const Bytes key = make_data(32);
   const Bytes data = make_data(4096);
@@ -90,6 +111,28 @@ void BM_EcdsaVerify(benchmark::State& state, const Curve& curve) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ecdsa_verify(curve, kp.q, hash.view(), sig));
   }
+}
+
+void BM_EcdsaVerifyBatch(benchmark::State& state, const Curve& curve) {
+  HmacDrbg drbg(to_bytes(std::string_view("bench-verify-batch")));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // A handful of signer keys cycling through the batch — the gateway
+  // shape, where many sessions verify against a few well-known VCEKs.
+  std::vector<EcKeyPair> keys;
+  for (int i = 0; i < 4; ++i) keys.push_back(ec_generate(curve, drbg));
+  for (const auto& kp : keys) curve.pin_verify_tables(kp.q);
+  std::vector<EcdsaBatchItem> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const EcKeyPair& kp = keys[i % keys.size()];
+    const auto hash = sha384(make_data(100 + i));
+    items[i].pub = kp.q;
+    append(items[i].msg_hash, hash.view());
+    items[i].sig = ecdsa_sign(curve, kp.d, hash.view());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecdsa_verify_batch(curve, items));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
 // --- scalar-multiplication paths (the fast paths vs the naive ladder) ----
@@ -162,6 +205,12 @@ int main(int argc, char** argv) {
                                std::cref(revelio::crypto::p256()));
   benchmark::RegisterBenchmark("BM_EcdsaVerify/P384", BM_EcdsaVerify,
                                std::cref(revelio::crypto::p384()));
+  benchmark::RegisterBenchmark("BM_EcdsaVerifyBatch/P384",
+                               BM_EcdsaVerifyBatch,
+                               std::cref(revelio::crypto::p384()))
+      ->Arg(8)
+      ->Arg(64)
+      ->Arg(512);
   for (const auto* curve : {&revelio::crypto::p256(),
                             &revelio::crypto::p384()}) {
     const std::string name = curve->params().name == "P-256" ? "P256" : "P384";

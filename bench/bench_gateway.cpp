@@ -1,7 +1,7 @@
 // Gateway load bench: the blocking lane model vs the event-driven staged
 // engine (revelio/session_engine.hpp), plus parked-session scale levels.
 //
-// Four families of levels, all over the same 64 identically-seeded world
+// Five families of levels, all over the same 64 identically-seeded world
 // replicas (KDS + attested VM + SP + browser; identical seeds make the
 // AMD certificates byte-identical, so worlds share the engine's VCEK and
 // chain caches):
@@ -23,6 +23,14 @@
 //    delay fault plan, retries on) with a width-8 KDS gate. The gate that
 //    matters: zero unverified-trust acceptances while thousands of wakes
 //    interleave.
+//  - "staged_batch" (PR 8): the staged levels re-run with the engine's
+//    batched verify stage on — whole wavefronts of verify-ready sessions
+//    go to ecdsa_verify_batch in one pool task. The staged and
+//    staged_batch pairs each run on their own fresh identically-seeded
+//    world sets so their transcript digests are comparable; the
+//    one-worker pair must match bit for bit (batch_digest_match), and
+//    the real verify-stage time ratio is exported as
+//    batch_verify_speedup.
 //
 // Virtual-clock numbers are deterministic and gated by run_benches.sh
 // against bench/BENCH_gateway.baseline.json (chaos levels excepted: the
@@ -38,7 +46,9 @@
 //
 //   bench_gateway [--out BENCH_gateway.json]
 //                 [--audit-out AUDIT_gateway.bin] [--quick]
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -186,6 +196,8 @@ struct Level {
   std::size_t engine_bytes = 0;
   double bytes_per_parked_session = 0.0;
   std::string transcript_digest;
+  std::uint64_t batch_calls = 0;
+  std::size_t max_stage_batch = 0;
   bool determinism_checked = false;
   bool deterministic = false;
   pki::ChainVerificationCache::Stats chain_stats;
@@ -232,6 +244,8 @@ void fill_from(Level& level, const core::SessionEngine::StagedReport& r) {
   level.engine_bytes = r.engine_bytes;
   level.bytes_per_parked_session = r.bytes_per_parked_session;
   level.transcript_digest = r.transcript_digest;
+  level.batch_calls = r.batch_calls;
+  level.max_stage_batch = r.max_stage_batch;
   level.chain_stats = r.chain_stats;
   level.vcek_stats = r.vcek_stats;
   level.stages = r.stage_breakdown;
@@ -268,7 +282,9 @@ std::string level_json(const Level& level) {
       ",\"engine_bytes\":" + std::to_string(level.engine_bytes) +
       ",\"bytes_per_parked_session\":" +
       obs::json_number(level.bytes_per_parked_session) +
-      ",\"transcript_digest\":\"" + level.transcript_digest + "\"";
+      ",\"transcript_digest\":\"" + level.transcript_digest + "\"" +
+      ",\"batch_calls\":" + std::to_string(level.batch_calls) +
+      ",\"max_stage_batch\":" + std::to_string(level.max_stage_batch);
   if (level.determinism_checked) {
     out += std::string(",\"deterministic\":") +
            (level.deterministic ? "true" : "false");
@@ -297,7 +313,10 @@ std::string level_json(const Level& level) {
            ",\"service_p99_ms\":" + obs::json_number(row.service_p99_ms) +
            ",\"wait_total_ms\":" + obs::json_number(row.wait_total_ms) +
            ",\"service_total_ms\":" + obs::json_number(row.service_total_ms) +
-           "}";
+           ",\"real_p50_ms\":" + obs::json_number(row.real_p50_ms) +
+           ",\"real_p99_ms\":" + obs::json_number(row.real_p99_ms) +
+           ",\"real_total_ms\":" + obs::json_number(row.real_total_ms) +
+           ",\"batched\":" + std::to_string(row.batched) + "}";
   }
   out += "]";
   out += ",\"anomaly_dumps\":" + std::to_string(level.anomaly_dumps) +
@@ -366,7 +385,8 @@ Level run_blocking(std::vector<GatewayWorld*>& worlds, unsigned workers) {
 Level run_staged_full(std::vector<GatewayWorld*>& worlds, unsigned workers,
                       std::size_t sessions, int retry_attempts,
                       const core::AdmissionConfig& admission,
-                      const char* mode, obs::AuditLog* audit = nullptr) {
+                      const char* mode, obs::AuditLog* audit = nullptr,
+                      bool batch_verify = false) {
   core::SessionEngineConfig config;
   config.workers = workers;
   config.audit_log = audit;  // shed sessions still get a rejected verdict
@@ -383,6 +403,48 @@ Level run_staged_full(std::vector<GatewayWorld*>& worlds, unsigned workers,
   Level level;
   level.mode = mode;
   level.workers = workers;
+
+  // Batched verify: the engine hands over whole verify wavefronts; one
+  // multi-scalar ECDSA pass + one multi-buffer hash walk covers all of
+  // them. Every track (== world) in the batch is exclusively owned by
+  // this one pool task — the engine only subsumes a track group when ALL
+  // its ready sessions sit at the verify stage — so taking every involved
+  // world lock up front cannot contend with concurrently dispatched
+  // groups.
+  core::BatchStageConfig batching;
+  if (batch_verify) {
+    batching.stage = core::SessionState::kVerify;
+    batching.fn = [&](std::vector<core::StagedBatchItem>& items) {
+      std::vector<GatewayWorld*> held;
+      held.reserve(items.size());
+      for (const auto& item : items) {
+        held.push_back(worlds[item.ctx.index % worlds.size()]);
+      }
+      std::sort(held.begin(), held.end());
+      held.erase(std::unique(held.begin(), held.end()), held.end());
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(held.size());
+      for (GatewayWorld* world : held) locks.emplace_back(world->mu);
+
+      std::vector<core::WebExtension::StagedAttestation*> staged;
+      staged.reserve(items.size());
+      for (const auto& item : items) {
+        staged.push_back(slots[item.ctx.index].staged.get());
+      }
+      const auto statuses = core::batch_verify_sessions(staged);
+      for (std::size_t k = 0; k < items.size(); ++k) {
+        // Verify is pure compute: no world clock advances, so
+        // stage_virt_ms stays 0 exactly like the per-session path.
+        if (statuses[k].ok()) {
+          items[k].next = core::SessionState::kPageFetch;
+        } else {
+          items[k].ctx.failure = statuses[k];
+          items[k].next = core::SessionState::kFailed;
+        }
+      }
+    };
+  }
+
   const auto report = engine.run_staged(
       sessions,
       [&](core::StagedContext& ctx) -> core::SessionState {
@@ -452,8 +514,15 @@ Level run_staged_full(std::vector<GatewayWorld*>& worlds, unsigned workers,
             return fail(Error::make("bench.unexpected_state"));
         }
       },
-      admission, [&](std::size_t i) { return i % worlds.size(); });
+      admission, [&](std::size_t i) { return i % worlds.size(); }, batching);
   fill_from(level, report);
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    if (!report.outcomes[i].ok()) {  // surface the first failure per level
+      std::fprintf(stderr, "  [%s] first failure: session %zu: %s\n", mode, i,
+                   report.outcomes[i].error().to_string().c_str());
+      break;
+    }
+  }
   level.unverified_accepts = unverified.load();
   level.kds_fetch_count_delta =
       obs::metrics().counter_value("kds.fetch.count") - kds_before;
@@ -540,13 +609,19 @@ Level run_recorder(std::size_t sessions) {
 int run_gateway_bench(const char* out_path, const char* audit_path,
                       bool quick) {
   std::fprintf(stderr, "building %zu world replicas...\n", kWorlds);
+  const auto build_world_set = [](std::vector<std::unique_ptr<GatewayWorld>>&
+                                      store) {
+    store.clear();
+    store.reserve(kWorlds);
+    std::vector<GatewayWorld*> ptrs;
+    for (std::size_t i = 0; i < kWorlds; ++i) {
+      store.push_back(std::make_unique<GatewayWorld>("gw-bench-1"));
+      ptrs.push_back(store.back().get());
+    }
+    return ptrs;
+  };
   std::vector<std::unique_ptr<GatewayWorld>> world_store;
-  world_store.reserve(kWorlds);
-  for (std::size_t i = 0; i < kWorlds; ++i) {
-    world_store.push_back(std::make_unique<GatewayWorld>("gw-bench-1"));
-  }
-  std::vector<GatewayWorld*> worlds;
-  for (auto& w : world_store) worlds.push_back(w.get());
+  std::vector<GatewayWorld*> worlds = build_world_set(world_store);
 
   std::vector<Level> levels;
   std::printf("%-9s %4s %7s  %12s %12s %12s %9s %10s\n", "mode", "wrk",
@@ -558,10 +633,35 @@ int run_gateway_bench(const char* out_path, const char* audit_path,
     levels.push_back(run_blocking(worlds, workers));
     print_level(levels.back());
   }
-  for (const unsigned workers : {1u, 4u}) {
-    levels.push_back(run_staged_full(worlds, workers, kFullSessions,
-                                     /*retry_attempts=*/1, {}, "staged"));
-    print_level(levels.back());
+  // Staged vs staged_batch run on their own FRESH world sets built from
+  // the same seed: worlds are stateful (caches, tickets, DRBG draws), so
+  // digest parity is only meaningful when both modes start from identical
+  // state. Within a set the 1w level's mutations carry into the 4w level
+  // the same way for both modes.
+  {
+    std::vector<std::unique_ptr<GatewayWorld>> staged_store;
+    std::vector<GatewayWorld*> staged_worlds = build_world_set(staged_store);
+    for (const unsigned workers : {1u, 4u}) {
+      levels.push_back(run_staged_full(staged_worlds, workers, kFullSessions,
+                                       /*retry_attempts=*/1, {}, "staged"));
+      print_level(levels.back());
+    }
+  }
+
+  // The same staged levels with batched verify dispatch: wavefronts of
+  // sessions parked at verify go through ONE ecdsa_verify_batch +
+  // multi-buffer audit hashing. Gated against "staged": bit-identical
+  // transcript digest, zero unverified accepts, and less real verify time.
+  {
+    std::vector<std::unique_ptr<GatewayWorld>> batch_store;
+    std::vector<GatewayWorld*> batch_worlds = build_world_set(batch_store);
+    for (const unsigned workers : {1u, 4u}) {
+      levels.push_back(run_staged_full(batch_worlds, workers, kFullSessions,
+                                       /*retry_attempts=*/1, {},
+                                       "staged_batch", nullptr,
+                                       /*batch_verify=*/true));
+      print_level(levels.back());
+    }
   }
 
   // Parked-session scale: 1k / 10k / 100k synthetic state machines. The
@@ -649,6 +749,52 @@ int run_gateway_bench(const char* out_path, const char* audit_path,
   std::printf("staged vs blocking at 1 worker: %.1fx virtual throughput\n",
               staged_speedup_1w);
 
+  // Batched-verify gates: real CPU time spent in the verify stage (summed
+  // over both worker counts to damp scheduling noise), plus transcript
+  // parity — batching must not move a single virtual-time bit.
+  auto verify_real_total = [&](const char* mode) {
+    double total = 0.0;
+    for (const auto& level : levels) {
+      if (level.mode != mode) continue;
+      for (const auto& row : level.stages) {
+        if (row.stage == core::SessionState::kVerify) {
+          total += row.real_total_ms;
+        }
+      }
+    }
+    return total;
+  };
+  const double verify_real_staged = verify_real_total("staged");
+  const double verify_real_batch = verify_real_total("staged_batch");
+  const double batch_verify_speedup =
+      verify_real_batch > 0.0 ? verify_real_staged / verify_real_batch : 0.0;
+  // The bit-identical claim is gated on the single-worker pair: at one
+  // worker the staged schedule is fully deterministic, so any digest delta
+  // is the batch path's fault. At >1 workers WHICH session pays the
+  // single-flight KDS fetch wait is decided by real thread arrival order
+  // (pre-existing: plain staged 4w digests already vary run to run), so
+  // those pairs usually match but cannot be promised.
+  bool batch_digest_match = true;
+  std::uint64_t batch_calls = 0;
+  for (const auto& level : levels) {
+    if (level.mode != "staged_batch") continue;
+    batch_calls += level.batch_calls;
+    if (level.workers != 1) continue;
+    for (const auto& other : levels) {
+      if (other.mode == "staged" && other.workers == level.workers) {
+        batch_digest_match = batch_digest_match &&
+                             other.transcript_digest ==
+                                 level.transcript_digest;
+      }
+    }
+  }
+  std::printf(
+      "batched verify: %.2fx less real verify time (%.1fms -> %.1fms), "
+      "%llu batch calls, transcripts %s\n",
+      batch_verify_speedup, verify_real_staged, verify_real_batch,
+      static_cast<unsigned long long>(batch_calls),
+      batch_digest_match ? "identical" : "DIVERGED");
+
   if (out_path == nullptr) return 0;
   std::string doc = "{\"worlds\":" + std::to_string(kWorlds) +
                     ",\"full_sessions_per_level\":" +
@@ -658,6 +804,11 @@ int run_gateway_bench(const char* out_path, const char* audit_path,
     doc += level_json(levels[i]);
   }
   doc += "],\"staged_speedup_1worker\":" + obs::json_number(staged_speedup_1w);
+  doc += ",\"verify_real_staged_ms\":" + obs::json_number(verify_real_staged) +
+         ",\"verify_real_batch_ms\":" + obs::json_number(verify_real_batch) +
+         ",\"batch_verify_speedup\":" + obs::json_number(batch_verify_speedup) +
+         ",\"batch_calls\":" + std::to_string(batch_calls) +
+         ",\"batch_digest_match\":" + (batch_digest_match ? "true" : "false");
   doc += ",\"recorder_overhead_virt\":" +
          obs::json_number(recorder_overhead_virt);
   doc += ",\"audit\":{\"records\":" + std::to_string(audit.records()) +

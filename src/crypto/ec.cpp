@@ -67,6 +67,16 @@ Curve::Curve(const CurveParams& params)
   a_mont_ = fp_.to_mont(a);
   b_mont_ = fp_.to_mont(params_.b);
 
+  // (p + 1) / 4: the sqrt exponent for p = 3 mod 4. p + 1 never carries out
+  // of 384 bits (neither prime is 2^384 - 1).
+  U384 p_plus_1;
+  add_with_carry(p_plus_1, params_.p, U384::from_u64(1));
+  for (std::size_t i = 0; i + 1 < U384::kLimbs; ++i) {
+    sqrt_exp_.limbs[i] =
+        (p_plus_1.limbs[i] >> 2) | (p_plus_1.limbs[i + 1] << 62);
+  }
+  sqrt_exp_.limbs[U384::kLimbs - 1] = p_plus_1.limbs[U384::kLimbs - 1] >> 2;
+
   order_bits_ = static_cast<unsigned>(params_.byte_length * 8);
   half_bits_ = order_bits_ / 2;  // 128 (P-256) / 192 (P-384): whole limbs
   const ecp::Aff g{fp_.to_mont(params_.gx), fp_.to_mont(params_.gy), false};
@@ -164,11 +174,8 @@ Curve::Point Curve::scalar_mult_base(const U384& k) const {
   return to_affine(fixed_base_->mul(fp_, kr));
 }
 
-std::shared_ptr<const ecp::VerifyTables> Curve::tables_for(
+std::shared_ptr<ecp::VerifyTables> Curve::build_verify_tables(
     const Point& q) const {
-  const Bytes key = encode_point(q);
-  if (auto cached = verify_cache_->get(key)) return cached;
-
   auto tables = std::make_shared<ecp::VerifyTables>();
   tables->half_bits = half_bits_;
   tables->width = kWnafWidth;
@@ -179,8 +186,30 @@ std::shared_ptr<const ecp::VerifyTables> Curve::tables_for(
     shifted = ecp::jac_double(fp_, shifted);
   }
   tables->high = ecp::odd_multiples(fp_, shifted, kWnafWidth);
+  return tables;
+}
+
+std::shared_ptr<const ecp::VerifyTables> Curve::tables_for(
+    const Point& q) const {
+  const Bytes key = encode_point(q);
+  // Pinned well-known bases first: shared-lock read, no LRU splice, no
+  // contention with other verification threads.
+  if (auto pinned = ecp::PinnedTableRegistry::instance().get(key)) {
+    return pinned;
+  }
+  if (auto cached = verify_cache_->get(key)) return cached;
+
+  auto tables = build_verify_tables(q);
   verify_cache_->put(key, tables);
   return tables;
+}
+
+void Curve::pin_verify_tables(const Point& q) const {
+  if (q.infinity) return;
+  const Bytes key = encode_point(q);
+  auto& registry = ecp::PinnedTableRegistry::instance();
+  if (registry.get(key) != nullptr) return;  // already pinned
+  registry.pin(key, build_verify_tables(q));
 }
 
 Curve::Point Curve::double_scalar_mult_base(const U384& u1, const U384& u2,
@@ -222,6 +251,103 @@ Curve::Point Curve::double_scalar_mult_base(const U384& u1, const U384& u2,
     acc = ecp::jac_add(fp_, acc, fixed_base_->mul(fp_, a));
   }
   return to_affine(acc);
+}
+
+Curve::Point Curve::multi_scalar_mult_base(
+    const U384& base_scalar, const std::vector<MsmTerm>& full_terms,
+    const std::vector<MsmTerm>& small_terms) const {
+  const U384 a = reduce_scalar(base_scalar);
+
+  // Full-width terms ride the same split-and-cache machinery as
+  // double_scalar_mult_base: two half-length wNAF digit strings against the
+  // per-key low/high tables.
+  struct FullPlan {
+    std::shared_ptr<const ecp::VerifyTables> tables;
+    std::vector<std::int8_t> lo;
+    std::vector<std::int8_t> hi;
+  };
+  std::vector<FullPlan> fulls;
+  fulls.reserve(full_terms.size());
+  const std::size_t split_limb = half_bits_ / 64;
+  for (const MsmTerm& term : full_terms) {
+    if (term.point.infinity) continue;
+    const U384 k = reduce_scalar(term.scalar);
+    if (k.is_zero()) continue;
+    FullPlan plan;
+    plan.tables = tables_for(term.point);
+    U384 lo = k;
+    U384 hi;
+    for (std::size_t i = split_limb; i < U384::kLimbs; ++i) {
+      hi.limbs[i - split_limb] = k.limbs[i];
+      lo.limbs[i] = 0;
+    }
+    plan.lo = ecp::wnaf_recode(lo, kWnafWidth);
+    plan.hi = ecp::wnaf_recode(hi, kWnafWidth);
+    fulls.push_back(std::move(plan));
+  }
+
+  // Small terms (batch coefficients): one-shot width-4 tables, ALL
+  // normalized with a single shared inversion.
+  constexpr unsigned kSmallWidth = 4;
+  std::vector<ecp::Jac> small_bases;
+  std::vector<std::vector<std::int8_t>> small_digits;
+  for (const MsmTerm& term : small_terms) {
+    if (term.point.infinity) continue;
+    const U384 k = reduce_scalar(term.scalar);
+    if (k.is_zero()) continue;
+    small_bases.push_back(ecp::Jac{fp_.to_mont(term.point.x),
+                                   fp_.to_mont(term.point.y), fp_.one()});
+    small_digits.push_back(ecp::wnaf_recode(k, kSmallWidth));
+  }
+  const std::vector<std::vector<ecp::Aff>> small_tables =
+      ecp::odd_multiples_many(fp_, small_bases, kSmallWidth);
+
+  std::size_t steps = 0;
+  for (const FullPlan& plan : fulls) {
+    steps = std::max({steps, plan.lo.size(), plan.hi.size()});
+  }
+  for (const auto& digits : small_digits) {
+    steps = std::max(steps, digits.size());
+  }
+
+  // One doubling chain covers every term; each term contributes only its
+  // nonzero digits as mixed additions.
+  ecp::Jac acc = ecp::Jac::inf();
+  for (std::size_t i = steps; i-- > 0;) {
+    acc = ecp::jac_double(fp_, acc);
+    for (const FullPlan& plan : fulls) {
+      if (i < plan.lo.size() && plan.lo[i] != 0) {
+        acc = apply_digit_aff(fp_, acc, plan.lo[i], plan.tables->low);
+      }
+      if (i < plan.hi.size() && plan.hi[i] != 0) {
+        acc = apply_digit_aff(fp_, acc, plan.hi[i], plan.tables->high);
+      }
+    }
+    for (std::size_t t = 0; t < small_digits.size(); ++t) {
+      if (i < small_digits[t].size() && small_digits[t][i] != 0) {
+        acc = apply_digit_aff(fp_, acc, small_digits[t][i], small_tables[t]);
+      }
+    }
+  }
+  if (!a.is_zero()) {
+    acc = ecp::jac_add(fp_, acc, fixed_base_->mul(fp_, a));
+  }
+  return to_affine(acc);
+}
+
+std::optional<Curve::Point> Curve::lift_x_even(const U384& x) const {
+  if (x.cmp(params_.p) >= 0) return std::nullopt;
+  const U384 xm = fp_.to_mont(x);
+  const U384 x3 = fp_.mul(fp_.mul(xm, xm), xm);
+  const U384 rhs = fp_.add(fp_.add(x3, fp_.mul(a_mont_, xm)), b_mont_);
+  const U384 y = fp_.pow(rhs, sqrt_exp_);
+  // p = 3 mod 4: the pow is a square root iff rhs is a quadratic residue.
+  if (fp_.mul(y, y) != rhs) return std::nullopt;
+  U384 y_plain = fp_.from_mont(y);
+  if (y_plain.bit(0)) {
+    sub_with_borrow(y_plain, params_.p, y_plain);
+  }
+  return Point{x, y_plain, false};
 }
 
 Curve::Point Curve::scalar_mult_naive(const U384& k, const Point& pt) const {

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -80,6 +82,39 @@ class Curve {
   Point double_scalar_mult_base(const U384& u1, const U384& u2,
                                 const Point& q) const;
 
+  /// One term of a multi-scalar sum (see multi_scalar_mult_base).
+  struct MsmTerm {
+    U384 scalar;
+    Point point;
+  };
+
+  /// base_scalar * G + sum(full_terms) + sum(small_terms), computed over ONE
+  /// interleaved Strauss–Shamir doubling ladder shared by every term — the
+  /// batch-verification workhorse. Full terms expect full-width scalars and
+  /// use the per-key verification tables (pinned registry, then LRU), split
+  /// at half the order bits like double_scalar_mult_base. Small terms expect
+  /// short scalars (batch coefficients, ~128 bits) against one-shot points;
+  /// their width-4 tables are built on the fly and normalized with a single
+  /// shared inversion. The G term uses the fixed-base table and costs no
+  /// doublings at all.
+  Point multi_scalar_mult_base(const U384& base_scalar,
+                               const std::vector<MsmTerm>& full_terms,
+                               const std::vector<MsmTerm>& small_terms) const;
+
+  /// The curve point (x, y) with EVEN y for the given x coordinate, if one
+  /// exists (p = 3 mod 4 on both curves, so the sqrt is one exponentiation).
+  /// Batch ECDSA verification uses this to reconstruct the signer's nonce
+  /// point R from r; the signer normalizes to even y so the choice of root
+  /// is never ambiguous.
+  std::optional<Point> lift_x_even(const U384& x) const;
+
+  /// Builds Q's verification tables and pins them in the process-wide
+  /// read-only registry (ecp::PinnedTableRegistry), so every thread from
+  /// here on skips both the table build and the LRU lock for Q. Meant for
+  /// the well-known long-lived bases (ARK / ASK / VCEK); a full registry
+  /// degrades silently to the LRU.
+  void pin_verify_tables(const Point& q) const;
+
   /// Reference MSB-first double-and-add ladder. Slow; exists so tests and
   /// benchmarks can compare the optimized paths against it.
   Point scalar_mult_naive(const U384& k, const Point& pt) const;
@@ -105,12 +140,14 @@ class Curve {
   U384 reduce_scalar(const U384& k) const;
   Point to_affine(const ecp::Jac& p) const;
   std::shared_ptr<const ecp::VerifyTables> tables_for(const Point& q) const;
+  std::shared_ptr<ecp::VerifyTables> build_verify_tables(const Point& q) const;
 
   CurveParams params_;
   MontCtx fp_;
   MontCtx fn_;
   U384 a_mont_;  // -3 mod p, Montgomery domain
   U384 b_mont_;
+  U384 sqrt_exp_;  // (p + 1) / 4 — both primes are 3 mod 4
   unsigned order_bits_;
   unsigned half_bits_;  // Strauss–Shamir split point (multiple of 64)
   std::unique_ptr<ecp::FixedBaseTable> fixed_base_;

@@ -189,6 +189,28 @@ std::vector<Aff> odd_multiples(const MontCtx& fp, const Jac& p,
   return batch_normalize(fp, jac);
 }
 
+std::vector<std::vector<Aff>> odd_multiples_many(const MontCtx& fp,
+                                                 const std::vector<Jac>& pts,
+                                                 unsigned width) {
+  const std::size_t count = std::size_t{1} << (width - 1);
+  std::vector<Jac> all;
+  all.reserve(pts.size() * count);
+  for (const Jac& p : pts) {
+    all.push_back(p);
+    const Jac twice = jac_double(fp, p);
+    for (std::size_t i = 1; i < count; ++i) {
+      all.push_back(jac_add(fp, all.back(), twice));
+    }
+  }
+  const std::vector<Aff> flat = batch_normalize(fp, all);
+  std::vector<std::vector<Aff>> out(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    out[i].assign(flat.begin() + static_cast<std::ptrdiff_t>(i * count),
+                  flat.begin() + static_cast<std::ptrdiff_t>((i + 1) * count));
+  }
+  return out;
+}
+
 FixedBaseTable::FixedBaseTable(const MontCtx& fp, const Aff& g,
                                unsigned scalar_bits) {
   windows_ = (scalar_bits + kWindowBits - 1) / kWindowBits;
@@ -258,6 +280,41 @@ VerifyTableCache::Stats VerifyTableCache::stats() const {
 std::size_t VerifyTableCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+PinnedTableRegistry& PinnedTableRegistry::instance() {
+  static PinnedTableRegistry registry;
+  return registry;
+}
+
+std::shared_ptr<const VerifyTables> PinnedTableRegistry::get(
+    const Bytes& key) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+bool PinnedTableRegistry::pin(const Bytes& key,
+                              std::shared_ptr<const VerifyTables> tables) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (entries_.count(key) > 0) return true;
+  if (entries_.size() >= kCapacity) return false;
+  entries_.emplace(key, std::move(tables));
+  return true;
+}
+
+PinnedTableRegistry::Stats PinnedTableRegistry::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  s.pinned = entries_.size();
+  return s;
 }
 
 }  // namespace revelio::crypto::ecp

@@ -18,11 +18,13 @@
 // side (public data only) and what the sign side would need instead.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -72,6 +74,15 @@ std::vector<std::int8_t> wnaf_recode(const U384& k, unsigned width);
 /// Odd multiples {1, 3, 5, ..., 2^(w-1)-1... } of a point: table[i] holds
 /// (2i+1) * P in Montgomery affine. Sized for wNAF width `width`.
 std::vector<Aff> odd_multiples(const MontCtx& fp, const Jac& p, unsigned width);
+
+/// Odd-multiple tables for MANY points at once, normalized together: the
+/// whole batch shares a single field inversion instead of one per point.
+/// This is what makes per-signature R tables affordable in batch ECDSA
+/// verification — at N=64 the per-table inversions would otherwise rival
+/// the ladder itself.
+std::vector<std::vector<Aff>> odd_multiples_many(const MontCtx& fp,
+                                                 const std::vector<Jac>& pts,
+                                                 unsigned width);
 
 /// Fixed-base precomputation for one curve generator: radix-16 windows with
 /// per-window multiple tables, windows_[i][d-1] = d * 16^i * G. A base-point
@@ -143,6 +154,45 @@ class VerifyTableCache {
   std::list<Bytes> lru_;  // front = most recently used
   std::map<Bytes, Entry> entries_;
   Stats stats_;
+};
+
+/// Process-wide registry of PINNED verification tables for well-known bases
+/// (the AMD ARK/ASK and the fleet's VCEKs — the same handful of keys every
+/// session verifies against). Unlike the LRU above, entries are immutable
+/// once pinned and are never evicted, so readers take only a shared lock and
+/// never mutate list structure; thousands of concurrent session threads can
+/// hit the same table without serializing on a splice. Bounded at kCapacity
+/// pins; beyond that, pin() refuses and callers fall back to the LRU.
+class PinnedTableRegistry {
+ public:
+  /// Pins for every curve live in one registry: keys are SEC1 encodings,
+  /// whose length differs per curve, so entries cannot collide.
+  static PinnedTableRegistry& instance();
+
+  std::shared_ptr<const VerifyTables> get(const Bytes& key) const;
+
+  /// Pins `tables` under `key`. Returns false (and pins nothing) when the
+  /// registry is full; returns true when pinned now or already present.
+  bool pin(const Bytes& key, std::shared_ptr<const VerifyTables> tables);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t pinned = 0;
+  };
+  Stats stats() const;
+
+  /// A pinned table is ~3 KiB; 16 pins cover ARK + ASK + a fleet's VCEKs
+  /// while bounding the never-freed footprint at ~48 KiB.
+  static constexpr std::size_t kCapacity = 16;
+
+ private:
+  PinnedTableRegistry() = default;
+
+  mutable std::shared_mutex mutex_;
+  std::map<Bytes, std::shared_ptr<const VerifyTables>> entries_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace revelio::crypto::ecp

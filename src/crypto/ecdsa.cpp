@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <chrono>
+#include <map>
 
+#include "crypto/sha2.hpp"
 #include "obs/metrics.hpp"
 
 namespace revelio::crypto {
@@ -107,8 +109,17 @@ EcdsaSignature ecdsa_sign(const Curve& curve, const U384& priv,
     const U384 rd = fn.mul(r_mont, d_mont);
     const U384 sum = fn.add(z_mont, rd);
     const U384 k_inv = fn.inv(k_mont);
-    const U384 s = fn.from_mont(fn.mul(k_inv, sum));
+    U384 s = fn.from_mont(fn.mul(k_inv, sum));
     if (s.is_zero()) continue;
+
+    // Normalize to an EVEN-y nonce point: when y(kG) is odd, emit the
+    // malleability twin (r, n - s), whose implied nonce point is -kG. Both
+    // forms are standard-valid signatures; fixing the parity lets batch
+    // verification reconstruct R from r alone (lift_x_even) with no sign
+    // ambiguity.
+    if (kg.y.bit(0)) {
+      sub_with_borrow(s, curve.params().n, s);
+    }
 
     return EcdsaSignature{r, s};
   }
@@ -137,6 +148,161 @@ bool ecdsa_verify(const Curve& curve, const Curve::Point& pub,
 
   const U384 v = fn.reduce(sum.x);
   return v == sig.r;
+}
+
+namespace {
+
+/// Batch coefficients a_i bound to the whole batch transcript: a forger
+/// cannot pick signatures whose per-item errors cancel in the combined
+/// equation without predicting the coefficients, which depend on every
+/// byte of every item. a_0 is fixed to 1 (scaling the whole equation by
+/// a_0^-1 shows the first coefficient carries no soundness).
+std::vector<U384> batch_coefficients(const Curve& curve,
+                                     const std::vector<EcdsaBatchItem>& items,
+                                     const std::vector<U384>& zs) {
+  Sha256 seed_hash;
+  seed_hash.update(to_bytes(std::string_view("revelio-ecdsa-batch-v1")));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    seed_hash.update(curve.encode_point(items[i].pub));
+    seed_hash.update(items[i].sig.r.to_bytes_be());
+    seed_hash.update(items[i].sig.s.to_bytes_be());
+    seed_hash.update(zs[i].to_bytes_be());
+  }
+  const Digest32 seed = seed_hash.finish();
+
+  std::vector<U384> coeffs(items.size());
+  coeffs[0] = U384::from_u64(1);
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    Sha256 h;
+    h.update(seed.view());
+    std::uint8_t idx[8];
+    for (int b = 0; b < 8; ++b) {
+      idx[b] = static_cast<std::uint8_t>(i >> (8 * b));
+    }
+    h.update(ByteView(idx, sizeof(idx)));
+    // 128-bit coefficients: soundness error 2^-128, and the per-signature
+    // ladder term stays a third of a full-width scalar multiplication.
+    coeffs[i] = U384::from_bytes_be(h.finish().view().subspan(0, 16));
+    if (coeffs[i].is_zero()) coeffs[i] = U384::from_u64(1);
+  }
+  return coeffs;
+}
+
+}  // namespace
+
+std::vector<bool> ecdsa_verify_batch(const Curve& curve,
+                                     const std::vector<EcdsaBatchItem>& items) {
+  std::vector<bool> verdicts(items.size(), false);
+  if (items.empty()) return verdicts;
+  if (items.size() == 1) {
+    verdicts[0] = ecdsa_verify(curve, items[0].pub, items[0].msg_hash,
+                               items[0].sig);
+    return verdicts;
+  }
+
+  OpTimer timer("ecdsa_verify_batch");
+  obs::metrics()
+      .counter("crypto.ecdsa_verify_batch.sigs")
+      .inc(items.size());
+  const MontCtx& fn = curve.scalar_field();
+  const U384& n = curve.params().n;
+  const U384& p = curve.params().p;
+
+  // Pass 1: the same structural prechecks as ecdsa_verify. Items failing
+  // them are invalid outright; items whose nonce point cannot be
+  // reconstructed (r is not an x-coordinate — possible for the rare valid
+  // signature with x in [n, p)) cannot join the combined equation and go
+  // to the individual path instead.
+  std::vector<std::size_t> batched;   // indices in the combined equation
+  std::vector<std::size_t> singles;   // indices verified individually
+  std::vector<U384> zs(items.size());
+  std::vector<Curve::Point> nonce_pts(items.size());
+  batched.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const EcdsaBatchItem& it = items[i];
+    if (it.pub.infinity || !curve.on_curve(it.pub)) continue;
+    if (it.sig.r.is_zero() || it.sig.r.cmp(n) >= 0) continue;
+    if (it.sig.s.is_zero() || it.sig.s.cmp(n) >= 0) continue;
+    zs[i] = hash_to_scalar(curve, it.msg_hash);
+    const auto r_pt = curve.lift_x_even(it.sig.r);
+    if (!r_pt.has_value()) {
+      singles.push_back(i);
+      continue;
+    }
+    nonce_pts[i] = *r_pt;
+    batched.push_back(i);
+  }
+
+  if (!batched.empty()) {
+    const std::vector<U384> coeffs = batch_coefficients(curve, items, zs);
+
+    // All s_i^-1 with ONE field inversion (Montgomery's trick): invert the
+    // running product, then peel one factor per item walking backwards.
+    std::vector<U384> s_inv(batched.size());
+    {
+      std::vector<U384> prefix(batched.size());
+      U384 acc = fn.one();
+      for (std::size_t j = 0; j < batched.size(); ++j) {
+        acc = fn.mul(acc, fn.to_mont(items[batched[j]].sig.s));
+        prefix[j] = acc;
+      }
+      U384 inv_acc = fn.inv(acc);
+      for (std::size_t j = batched.size(); j-- > 0;) {
+        s_inv[j] = j == 0 ? inv_acc : fn.mul(inv_acc, prefix[j - 1]);
+        inv_acc = fn.mul(inv_acc, fn.to_mont(items[batched[j]].sig.s));
+      }
+    }
+
+    // Fold the G terms into one scalar and group equal public keys into one
+    // full-width term each (the gateway verifies one VCEK across sessions).
+    U384 u_g = U384::zero();  // Montgomery domain accumulator
+    std::map<Bytes, std::size_t> q_index;
+    std::vector<Curve::MsmTerm> full_terms;
+    std::vector<Curve::MsmTerm> small_terms;
+    small_terms.reserve(batched.size());
+    for (std::size_t j = 0; j < batched.size(); ++j) {
+      const std::size_t i = batched[j];
+      const U384 a_mont = fn.to_mont(coeffs[i]);
+      const U384 u1 = fn.mul(fn.to_mont(zs[i]), s_inv[j]);
+      const U384 u2 = fn.mul(fn.to_mont(items[i].sig.r), s_inv[j]);
+      u_g = fn.add(u_g, fn.mul(a_mont, u1));
+
+      const Bytes q_key = curve.encode_point(items[i].pub);
+      const auto [it, fresh] = q_index.emplace(q_key, full_terms.size());
+      if (fresh) {
+        full_terms.push_back(
+            Curve::MsmTerm{U384::zero(), items[i].pub});
+      }
+      full_terms[it->second].scalar =
+          fn.add(full_terms[it->second].scalar, fn.mul(a_mont, u2));
+
+      // -R_i with the small coefficient a_i: the subtraction side of the
+      // combined equation.
+      Curve::Point neg_r = nonce_pts[i];
+      if (!neg_r.y.is_zero()) sub_with_borrow(neg_r.y, p, neg_r.y);
+      small_terms.push_back(Curve::MsmTerm{coeffs[i], neg_r});
+    }
+    for (auto& term : full_terms) term.scalar = fn.from_mont(term.scalar);
+
+    const Curve::Point sum = curve.multi_scalar_mult_base(
+        fn.from_mont(u_g), full_terms, small_terms);
+    if (sum.infinity) {
+      for (const std::size_t i : batched) verdicts[i] = true;
+    } else {
+      // Fail closed: something in the batch is wrong (or merely
+      // non-normalized). Re-verify each batched item individually to hand
+      // back exact per-signature verdicts.
+      obs::metrics().counter("crypto.ecdsa_verify_batch.fallback.count").inc();
+      singles.insert(singles.end(), batched.begin(), batched.end());
+    }
+  }
+
+  for (const std::size_t i : singles) {
+    verdicts[i] =
+        ecdsa_verify(curve, items[i].pub, items[i].msg_hash,
+                     items[i].sig);
+  }
+  return verdicts;
 }
 
 Result<Bytes> ecdh_shared_secret(const Curve& curve, const U384& priv,

@@ -6,6 +6,8 @@
 // removes nonce-reuse risk.
 #pragma once
 
+#include <vector>
+
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "crypto/drbg.hpp"
@@ -44,6 +46,36 @@ EcdsaSignature ecdsa_sign(const Curve& curve, const U384& priv,
 /// Verifies a signature on a prehashed message.
 bool ecdsa_verify(const Curve& curve, const Curve::Point& pub,
                   ByteView msg_hash, const EcdsaSignature& sig);
+
+/// One signature of a batch-verification call.
+struct EcdsaBatchItem {
+  Curve::Point pub;
+  Bytes msg_hash;  // prehashed message, same convention as ecdsa_verify
+  EcdsaSignature sig;
+};
+
+/// Verifies N independent signatures in one pass and returns the verdict
+/// for each item, bit-identical to calling ecdsa_verify N times.
+///
+/// The fast path checks the single random-linear-combination equation
+///
+///   sum_i a_i * (u1_i * G + u2_i * Q_i - R_i)  ==  O
+///
+/// over ONE interleaved Strauss–Shamir ladder (multi_scalar_mult_base): the
+/// G terms fold into one fixed-base multiplication, equal public keys share
+/// one full-width scalar each (the gateway verifies the same VCEK for every
+/// session), and each signature adds only a ~128-bit coefficient term. The
+/// a_i are derived Fiat–Shamir-style from the whole batch, so an adversary
+/// cannot craft signatures whose errors cancel. R_i is reconstructed from r
+/// via lift_x_even — sound because ecdsa_sign normalizes to even-y nonce
+/// points (the (r, n-s) malleability twin verifies identically).
+///
+/// Fail closed: if the combined equation does not hold — a forged or merely
+/// non-normalized signature anywhere in the batch — every batched item is
+/// re-verified individually, which both identifies the offender(s) exactly
+/// and accepts valid signatures the fast path cannot represent.
+std::vector<bool> ecdsa_verify_batch(const Curve& curve,
+                                     const std::vector<EcdsaBatchItem>& items);
 
 /// ECDH: x-coordinate of priv * peer, fixed-width encoded. Callers run the
 /// result through a KDF before use.

@@ -1,6 +1,7 @@
 #include "crypto/merkle.hpp"
 
 #include <atomic>
+#include <cstring>
 
 #include "common/parallel.hpp"
 
@@ -14,6 +15,26 @@ constexpr std::uint8_t kInnerPrefix = 0x01;
 // the hash work is cheaper than the wake-up.
 constexpr std::size_t kLeafGrain = 64;    // 64 x 4 KiB SHA-256 ≈ 1 ms scalar
 constexpr std::size_t kInnerGrain = 512;  // inner hashes are 65-byte inputs
+
+// Computes parent nodes [i, i+8) of the level above `below` in one 8-way
+// multi-buffer pass. Inner inputs are a uniform 65 bytes (prefix + two
+// digests), exactly the lockstep shape Sha256x8 wants.
+void hash_inner_x8(const std::vector<Digest32>& below, std::size_t i,
+                   Digest32 out[Sha256x8::kLanes]) {
+  std::uint8_t bufs[Sha256x8::kLanes][65];
+  ByteView views[Sha256x8::kLanes];
+  for (std::size_t l = 0; l < Sha256x8::kLanes; ++l) {
+    const std::size_t j = i + l;
+    const Digest32& left = below[2 * j];
+    const Digest32& right =
+        (2 * j + 1 < below.size()) ? below[2 * j + 1] : below[2 * j];
+    bufs[l][0] = kInnerPrefix;
+    std::memcpy(bufs[l] + 1, left.view().data(), 32);
+    std::memcpy(bufs[l] + 33, right.view().data(), 32);
+    views[l] = ByteView(bufs[l], 65);
+  }
+  sha256_x8(views, out);
+}
 }  // namespace
 
 Digest32 MerkleTree::hash_leaf(ByteView block) {
@@ -46,7 +67,11 @@ MerkleTree MerkleTree::from_leaves(std::vector<Digest32> leaves) {
     common::parallel_for(
         level.size(),
         [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
+          std::size_t i = begin;
+          for (; i + Sha256x8::kLanes <= end; i += Sha256x8::kLanes) {
+            hash_inner_x8(below, i, &level[i]);
+          }
+          for (; i < end; ++i) {
             // Odd node promoted by pairing with itself — keeps the tree
             // total and the path logic uniform.
             const Digest32& left = below[2 * i];
@@ -68,7 +93,26 @@ MerkleTree MerkleTree::from_blocks(ByteView data, std::size_t block_size) {
   common::parallel_for(
       count,
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
+        std::size_t i = begin;
+        // 8-way fast path over runs of full blocks: the prefix byte and the
+        // block bodies are the same length in every lane, so eight leaves
+        // ride one multi-buffer schedule. Only the final (possibly short)
+        // block ever drops to the scalar tail below.
+        for (; i + Sha256x8::kLanes <= end &&
+               (i + Sha256x8::kLanes) * block_size <= data.size();
+             i += Sha256x8::kLanes) {
+          ByteView prefixes[Sha256x8::kLanes];
+          ByteView blocks[Sha256x8::kLanes];
+          for (std::size_t l = 0; l < Sha256x8::kLanes; ++l) {
+            prefixes[l] = ByteView(&kLeafPrefix, 1);
+            blocks[l] = data.subspan((i + l) * block_size, block_size);
+          }
+          Sha256x8 h;
+          h.update(prefixes);
+          h.update(blocks);
+          h.finish(&leaves[i]);
+        }
+        for (; i < end; ++i) {
           const std::size_t off = i * block_size;
           const std::size_t len = std::min(block_size, data.size() - off);
           // Short tail blocks are zero-padded to the full block size,
@@ -165,7 +209,18 @@ Result<MerkleTree> MerkleTree::deserialize(ByteView data) {
     common::parallel_for(
         above.size(),
         [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
+          std::size_t i = begin;
+          for (; i + Sha256x8::kLanes <= end; i += Sha256x8::kLanes) {
+            if (mismatch.load(std::memory_order_relaxed)) return;
+            Digest32 expect[Sha256x8::kLanes];
+            hash_inner_x8(below, i, expect);
+            for (std::size_t l = 0; l < Sha256x8::kLanes; ++l) {
+              if (!(expect[l] == above[i + l])) {
+                mismatch.store(true, std::memory_order_relaxed);
+              }
+            }
+          }
+          for (; i < end; ++i) {
             if (mismatch.load(std::memory_order_relaxed)) return;
             const Digest32& left = below[2 * i];
             const Digest32& right =

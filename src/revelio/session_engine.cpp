@@ -165,6 +165,10 @@ struct StageResult {
   SessionState next = SessionState::kFailed;
   double stage_virt_ms = 0.0;
   double wait_ms = 0.0;
+  /// Wall-clock compute of this dispatch (an even share of the batch's
+  /// wall time when batched).
+  double real_ms = 0.0;
+  bool batched = false;
   Status failure = Status::success();
 };
 
@@ -177,7 +181,8 @@ common::EventLoop::Micros to_us(double ms) {
 
 SessionEngine::StagedReport SessionEngine::run_staged(
     std::size_t sessions, const StagedSessionFn& fn,
-    const AdmissionConfig& admission, const TrackFn& track) {
+    const AdmissionConfig& admission, const TrackFn& track,
+    const BatchStageConfig& batching) {
   StagedReport report;
   report.sessions = sessions;
   report.outcomes.assign(sessions, Status::success());
@@ -243,8 +248,11 @@ SessionEngine::StagedReport SessionEngine::run_staged(
       static_cast<std::size_t>(SessionState::kDone);
   obs::Summary stage_wait[kStageCount];
   obs::Summary stage_service[kStageCount];
+  obs::Summary stage_real[kStageCount];
   double stage_wait_total[kStageCount] = {};
   double stage_service_total[kStageCount] = {};
+  double stage_real_total[kStageCount] = {};
+  std::uint64_t stage_batched[kStageCount] = {};
 
   const auto finalize = [&](std::size_t i, SessionState state, Status st) {
     Cell& c = cells[i];
@@ -263,6 +271,7 @@ SessionEngine::StagedReport SessionEngine::run_staged(
   std::vector<std::size_t> ready;        // session indices to dispatch now
   std::vector<StageResult> results;      // slot-parallel with `ready`
   std::vector<std::vector<std::size_t>> groups;  // ready slots, by track
+  std::vector<std::size_t> batch_slots;  // ready slots routed to the hook
   // Virtual completion time of the latest-finishing session, including its
   // final stage (which needs no wake and so never reaches the loop clock).
   double makespan_ms = 0.0;
@@ -389,7 +398,11 @@ SessionEngine::StagedReport SessionEngine::run_staged(
         ctx.total_virt_ms = c.total_virt_ms;
         flight(i, obs::FlightEventType::kStageEnter,
                static_cast<std::uint16_t>(c.next), 0, now_us);
+        const auto real_t0 = std::chrono::steady_clock::now();
         r.next = fn(ctx);
+        r.real_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - real_t0)
+                        .count();
         r.stage_virt_ms = ctx.stage_virt_ms;
         r.failure = std::move(ctx.failure);
         r.wait_ms = waits.waited_ms();
@@ -403,10 +416,8 @@ SessionEngine::StagedReport SessionEngine::run_staged(
       }
       results[slot] = std::move(r);
     };
-    if (pool.width() <= 1 || ready.size() <= 1) {
-      for (std::size_t slot = 0; slot < ready.size(); ++slot) run_stage(slot);
-    } else {
-      groups.clear();
+    groups.clear();
+    {
       std::unordered_map<std::size_t, std::size_t> group_of;
       for (std::size_t slot = 0; slot < ready.size(); ++slot) {
         const std::size_t t = track_of(ready[slot]);
@@ -414,9 +425,115 @@ SessionEngine::StagedReport SessionEngine::run_staged(
         if (fresh) groups.emplace_back();
         groups[it->second].push_back(slot);
       }
-      pool.for_tasks(groups.size(), [&](std::size_t gi) {
-        for (const std::size_t slot : groups[gi]) run_stage(slot);
+    }
+    // Batch-hook coalescing: a track group whose EVERY ready member is
+    // parked at the batch stage is subsumed whole into one cross-track
+    // batch task (its members run sequentially inside that task, so track
+    // isolation holds). Mixed groups keep per-session dispatch.
+    batch_slots.clear();
+    if (batching.fn) {
+      std::vector<std::size_t> subsumed;  // group indices fully at the stage
+      std::size_t coalesced = 0;
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const bool all_at_stage = std::all_of(
+            groups[gi].begin(), groups[gi].end(), [&](std::size_t slot) {
+              return cells[ready[slot]].next == batching.stage;
+            });
+        if (all_at_stage) {
+          subsumed.push_back(gi);
+          coalesced += groups[gi].size();
+        }
+      }
+      // Commit only when there is something to amortize; otherwise groups
+      // stay untouched and everything dispatches per-session.
+      if (coalesced >= std::max<std::size_t>(batching.min_batch, 1)) {
+        std::vector<std::vector<std::size_t>> kept;
+        kept.reserve(groups.size() - subsumed.size());
+        std::size_t s = 0;
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+          if (s < subsumed.size() && subsumed[s] == gi) {
+            ++s;
+            batch_slots.insert(batch_slots.end(), groups[gi].begin(),
+                               groups[gi].end());
+          } else {
+            kept.push_back(std::move(groups[gi]));
+          }
+        }
+        groups = std::move(kept);
+      }
+    }
+    const auto run_batch = [&]() {
+      const auto real_t0 = std::chrono::steady_clock::now();
+      // One observability scope for the whole batch: a single registry
+      // merged once, one tracer — the batch is one unit of work.
+      obs::MetricsRegistry batch_metrics;
+      obs::Tracer batch_tracer;
+      batch_tracer.set_enabled(config_.trace_sessions);
+      std::vector<StagedBatchItem> items(batch_slots.size());
+      {
+        obs::ScopedThreadTracer tracer_scope(batch_tracer);
+        std::optional<obs::ScopedThreadMetrics> metrics_scope;
+        if (config_.isolate_obs) metrics_scope.emplace(batch_metrics);
+        for (std::size_t k = 0; k < batch_slots.size(); ++k) {
+          const std::size_t i = ready[batch_slots[k]];
+          StagedContext& ctx = items[k].ctx;
+          ctx.index = i;
+          ctx.state = batching.stage;
+          ctx.chain_cache = &chain_cache_;
+          ctx.vcek_cache = &vcek_cache_;
+          ctx.tracer = &batch_tracer;
+          ctx.total_virt_ms = cells[i].total_virt_ms;
+          flight(i, obs::FlightEventType::kStageEnter,
+                 static_cast<std::uint16_t>(batching.stage), 1, now_us);
+        }
+        batching.fn(items);
+      }
+      if (config_.isolate_obs && config_.merge_metrics) {
+        obs::metrics().merge_from(batch_metrics);
+      }
+      const double batch_real_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - real_t0)
+              .count();
+      const double share =
+          batch_real_ms / static_cast<double>(batch_slots.size());
+      for (std::size_t k = 0; k < batch_slots.size(); ++k) {
+        const std::size_t slot = batch_slots[k];
+        const std::size_t i = ready[slot];
+        StageResult r;
+        r.next = items[k].next;
+        r.stage_virt_ms = items[k].ctx.stage_virt_ms;
+        r.failure = std::move(items[k].ctx.failure);
+        r.wait_ms = 0.0;  // batched stages are pure compute by contract
+        r.real_ms = share;
+        r.batched = true;
+        flight(i, obs::FlightEventType::kStageExit,
+               static_cast<std::uint16_t>(batching.stage),
+               static_cast<std::uint32_t>(to_us(r.stage_virt_ms)),
+               now_us + to_us(r.stage_virt_ms));
+        results[slot] = std::move(r);
+      }
+    };
+    const std::size_t task_count =
+        groups.size() + (batch_slots.empty() ? 0 : 1);
+    if (pool.width() <= 1 || task_count <= 1) {
+      if (!batch_slots.empty()) run_batch();
+      for (const auto& g : groups) {
+        for (const std::size_t slot : g) run_stage(slot);
+      }
+    } else {
+      pool.for_tasks(task_count, [&](std::size_t gi) {
+        if (gi < groups.size()) {
+          for (const std::size_t slot : groups[gi]) run_stage(slot);
+        } else {
+          run_batch();
+        }
       });
+    }
+    if (!batch_slots.empty()) {
+      ++report.batch_calls;
+      report.max_stage_batch =
+          std::max(report.max_stage_batch, batch_slots.size());
     }
 
     // 5. Post-pass on the driver thread, in ready order: advance the state
@@ -436,6 +553,9 @@ SessionEngine::StagedReport SessionEngine::run_staged(
         stage_service[stage_idx].observe(r.stage_virt_ms - stage_wait_ms);
         stage_wait_total[stage_idx] += stage_wait_ms;
         stage_service_total[stage_idx] += r.stage_virt_ms - stage_wait_ms;
+        stage_real[stage_idx].observe(r.real_ms);
+        stage_real_total[stage_idx] += r.real_ms;
+        if (r.batched) ++stage_batched[stage_idx];
       }
       if (r.next == SessionState::kDone || r.next == SessionState::kFailed) {
         makespan_ms = std::max(makespan_ms, static_cast<double>(now_us) /
@@ -520,11 +640,16 @@ SessionEngine::StagedReport SessionEngine::run_staged(
     row.service_p99_ms = stage_service[s].quantile(0.99);
     row.wait_total_ms = stage_wait_total[s];
     row.service_total_ms = stage_service_total[s];
+    row.real_p50_ms = stage_real[s].quantile(0.50);
+    row.real_p99_ms = stage_real[s].quantile(0.99);
+    row.real_total_ms = stage_real_total[s];
+    row.batched = stage_batched[s];
     report.stage_breakdown.push_back(row);
     const obs::Labels labels = {{"stage", to_string(row.stage)}};
     metrics.summary("gw.stage.wait.ms", labels).merge_from(stage_wait[s]);
     metrics.summary("gw.stage.service.ms", labels)
         .merge_from(stage_service[s]);
+    metrics.summary("gw.stage.real.ms", labels).merge_from(stage_real[s]);
   }
 
   // Dump-on-anomaly: failed/shed sessions first (their timelines answer
@@ -564,16 +689,20 @@ SessionEngine::StagedReport SessionEngine::run_staged(
 
   // Transcript digest: the run's observable outcome, hashed in session
   // order. Two same-seed runs must produce the same hex string bit for bit.
+  // Virtual durations are hashed at the loop's own granularity (integer
+  // microseconds): the raw doubles carry sub-picosecond accumulation dust
+  // whose distribution depends on real thread interleaving, which is below
+  // anything the schedule can express and would make equal schedules hash
+  // unequal.
   crypto::Sha256 digest;
   for (std::size_t i = 0; i < sessions; ++i) {
     std::uint8_t rec[17];
     std::uint64_t idx = static_cast<std::uint64_t>(i);
     std::memcpy(rec, &idx, 8);
     rec[8] = static_cast<std::uint8_t>(report.final_states[i]);
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(double));
-    std::memcpy(&bits, &report.session_virt_ms[i], 8);
-    std::memcpy(rec + 9, &bits, 8);
+    const std::uint64_t virt_us = static_cast<std::uint64_t>(
+        std::llround(report.session_virt_ms[i] * 1000.0));
+    std::memcpy(rec + 9, &virt_us, 8);
     digest.update(ByteView(rec, sizeof(rec)));
     if (!report.outcomes[i].ok()) {
       digest.update(to_bytes(report.outcomes[i].error().code));

@@ -180,6 +180,39 @@ using StagedSessionFn = std::function<SessionState(StagedContext&)>;
 /// every session its own track.
 using TrackFn = std::function<std::size_t(std::size_t)>;
 
+/// One session's slice of a batched stage dispatch. `ctx` carries exactly
+/// what a per-session dispatch would see; the batch function fills
+/// ctx.stage_virt_ms / ctx.failure and `next` for every item, as
+/// StagedSessionFn would have.
+struct StagedBatchItem {
+  StagedContext ctx;
+  SessionState next = SessionState::kFailed;
+};
+
+/// Runs one stage for a whole batch of sessions in a single pool task.
+/// Items arrive in deterministic ready order. The function must be pure
+/// compute plus shared-cache access — a batched stage cannot park
+/// mid-stage, and the engine records zero I/O wait for it.
+using StagedBatchFn = std::function<void(std::vector<StagedBatchItem>&)>;
+
+/// Opt-in batched dispatch for ONE stage of run_staged. When every ready
+/// session of a track group is parked at `stage`, the engine coalesces
+/// those groups — across tracks — into a single pool task and hands them
+/// to `fn` together instead of dispatching one stage per session. That is
+/// what lets the verify stage amortize one multi-scalar ECDSA pass and one
+/// multi-buffer hash walk over the whole wavefront. Track groups with any
+/// session at a different stage keep per-session dispatch, so sessions
+/// sharing a world replica still never run concurrently. Per-session
+/// verdicts, audit records, and the transcript digest are bit-identical to
+/// unbatched dispatch.
+struct BatchStageConfig {
+  SessionState stage = SessionState::kVerify;
+  StagedBatchFn fn;           // empty = batching off
+  /// Wavefronts smaller than this dispatch per-session (nothing to
+  /// amortize).
+  std::size_t min_batch = 2;
+};
+
 /// Backpressure for the two remote-fetch stages. A gated stage holds one
 /// unit of its gate's capacity from dispatch until the session's next wake
 /// (the park IS the in-flight fetch); a session arriving at a full gate is
@@ -299,8 +332,23 @@ class SessionEngine {
       double service_p99_ms = 0.0;
       double wait_total_ms = 0.0;
       double service_total_ms = 0.0;
+      /// Measured wall-clock compute of the stage's dispatches — the cost
+      /// the virtual clock cannot see (verify is pure compute and has zero
+      /// virtual time). Batched dispatches attribute their batch's wall
+      /// time evenly across members. Not deterministic; the batching gate
+      /// in bench_gateway compares it batched-vs-unbatched within one run.
+      double real_p50_ms = 0.0;
+      double real_p99_ms = 0.0;
+      double real_total_ms = 0.0;
+      /// Dispatches of this stage that went through the batch hook.
+      std::uint64_t batched = 0;
     };
     std::vector<StageBreakdown> stage_breakdown;
+
+    /// Batch-hook shape: invocations of the batch fn and the largest
+    /// wavefront it received (0 when no hook is installed).
+    std::uint64_t batch_calls = 0;
+    std::size_t max_stage_batch = 0;
 
     /// Flight-recorder anomaly dumps (JSON, one per anomalous session —
     /// failed/shed first, then the >= tail_quantile latency tail), capped
@@ -322,7 +370,8 @@ class SessionEngine {
   /// re-entrancy rule as run().
   StagedReport run_staged(std::size_t sessions, const StagedSessionFn& fn,
                           const AdmissionConfig& admission = {},
-                          const TrackFn& track = {});
+                          const TrackFn& track = {},
+                          const BatchStageConfig& batching = {});
 
   /// Lanes the engine schedules on (== the makespan model's lane count).
   unsigned workers() const;

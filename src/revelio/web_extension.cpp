@@ -1,5 +1,7 @@
 #include "revelio/web_extension.hpp"
 
+#include "crypto/ecdsa.hpp"
+#include "crypto/sha2.hpp"
 #include "obs/audit_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -219,7 +221,9 @@ void WebExtension::note_attest_result(const std::string& result) {
 void WebExtension::note_verdict(const AttestationChecks& checks,
                                 const EvidenceBundle* bundle,
                                 const KdsService::VcekResponse* kds,
-                                bool accepted) {
+                                bool accepted,
+                                const crypto::Digest32* evidence_digest,
+                                const crypto::Digest32* chain_digest) {
   obs::flight_record(obs::FlightEventType::kVerdict, accepted ? 1 : 0);
   if (config_.audit_log == nullptr) return;
   obs::AuditRecord rec;
@@ -238,15 +242,21 @@ void WebExtension::note_verdict(const AttestationChecks& checks,
     // claimed launch measurement / TCB inside them.
     rec.measurement = bundle->report.measurement;
     rec.tcb = bundle->report.reported_tcb.encode();
-    rec.evidence_digest = crypto::sha256(bundle->serialize());
+    rec.evidence_digest = evidence_digest != nullptr
+                              ? *evidence_digest
+                              : crypto::sha256(bundle->serialize());
   }
   if (kds != nullptr) {
     // One digest binding all three certificates the chain walk consumed.
-    Bytes chain_der;
-    append(chain_der, kds->vcek.serialize());
-    append(chain_der, kds->ask.serialize());
-    append(chain_der, kds->ark.serialize());
-    rec.vcek_chain = crypto::sha256(chain_der);
+    if (chain_digest != nullptr) {
+      rec.vcek_chain = *chain_digest;
+    } else {
+      Bytes chain_der;
+      append(chain_der, kds->vcek.serialize());
+      append(chain_der, kds->ask.serialize());
+      append(chain_der, kds->ark.serialize());
+      rec.vcek_chain = crypto::sha256(chain_der);
+    }
   }
   config_.audit_log->append(rec);
 }
@@ -319,33 +329,30 @@ Result<AttestationChecks> WebExtension::attest_impl(
   return checks;
 }
 
-bool WebExtension::stage_verify(const std::string& domain,
-                                const EvidenceBundle& bundle,
-                                const KdsService::VcekResponse& kds,
-                                const Bytes& session_key,
-                                AttestationChecks& checks) {
-  const SiteRegistration& site = sites_.at(domain);
-  sevsnp::ReportVerifyOptions options;
-  options.now_us = browser_->network().clock().now_us();
-  options.minimum_tcb = site.minimum_tcb;
-  options.chain_cache = chain_verifier_;
-  const auto verify = sevsnp::verify_report(bundle.report, kds.vcek,
-                                            {kds.ask}, {kds.ark}, options);
-  if (!verify.ok()) {
+bool WebExtension::apply_verify_status(const Status& st,
+                                       AttestationChecks& checks) {
+  if (!st.ok()) {
     // Distinguish chain failures from signature failures for the UI.
-    if (verify.error().code == "snp.vcek_chain_invalid") {
-      checks.failure = verify.error().to_string();
+    if (st.error().code == "snp.vcek_chain_invalid") {
+      checks.failure = st.error().to_string();
       checks.failure_step = "chain";
       return false;
     }
     checks.chain_ok = true;
-    checks.failure = verify.error().to_string();
+    checks.failure = st.error().to_string();
     checks.failure_step = "report_verify";
     return false;
   }
   checks.chain_ok = true;
   checks.signature_ok = true;
+  return true;
+}
 
+bool WebExtension::verify_policy(const std::string& domain,
+                                 const EvidenceBundle& bundle,
+                                 const Bytes& session_key,
+                                 AttestationChecks& checks) {
+  const SiteRegistration& site = sites_.at(domain);
   // 4. Measurement: manual pin or delegated registry.
   bool acceptable = false;
   for (const auto& m : site.expected_measurements) {
@@ -377,6 +384,22 @@ bool WebExtension::stage_verify(const std::string& domain,
   state.checks = checks;
   state_[domain] = std::move(state);
   return true;
+}
+
+bool WebExtension::stage_verify(const std::string& domain,
+                                const EvidenceBundle& bundle,
+                                const KdsService::VcekResponse& kds,
+                                const Bytes& session_key,
+                                AttestationChecks& checks) {
+  const SiteRegistration& site = sites_.at(domain);
+  sevsnp::ReportVerifyOptions options;
+  options.now_us = browser_->network().clock().now_us();
+  options.minimum_tcb = site.minimum_tcb;
+  options.chain_cache = chain_verifier_;
+  const auto verify = sevsnp::verify_report(bundle.report, kds.vcek,
+                                            {kds.ask}, {kds.ark}, options);
+  if (!apply_verify_status(verify, checks)) return false;
+  return verify_policy(domain, bundle, session_key, checks);
 }
 
 Result<WebExtension::Verified> WebExtension::fetch(
@@ -527,6 +550,61 @@ Status WebExtension::StagedAttestation::verify() {
   return Status::success();
 }
 
+Result<sevsnp::PreparedReportVerify>
+WebExtension::StagedAttestation::verify_prepare() {
+  if (next_ != Stage::kVerify || prepared_) {
+    return wrong_stage("verify").error();
+  }
+  sevsnp::ReportVerifyOptions options;
+  options.now_us = ext_->browser_->network().clock().now_us();
+  options.minimum_tcb = ext_->sites_.at(domain_).minimum_tcb;
+  options.chain_cache = ext_->chain_verifier_;
+  auto prepared = sevsnp::prepare_report_verify(
+      bundle_->report, kds_->vcek, {kds_->ask}, {kds_->ark}, options);
+  if (!prepared.ok()) {
+    // Terminal, exactly like a failed verify(): same counters, same audit
+    // record, same state writes, same error.
+    const Status st = prepared.error();
+    sevsnp::record_report_verify_result(st);
+    apply_verify_status(st, checks_);
+    ext_->note_verdict(checks_, &*bundle_, &*kds_, false);
+    ext_->state_[domain_].checks = checks_;
+    ext_->state_[domain_].attested = false;
+    ext_->note_attest_result(checks_.failure_step);
+    return Error::make("extension.attestation_failed", checks_.failure);
+  }
+  // The VCEK is a well-known base every session of this gateway verifies
+  // against — share its precomputed tables process-wide.
+  crypto::p384().pin_verify_tables(prepared->vcek_pub);
+  prepared_ = true;
+  return *prepared;
+}
+
+Status WebExtension::StagedAttestation::verify_finish(bool signature_ok) {
+  if (next_ != Stage::kVerify || !prepared_) return wrong_stage("verify");
+  prepared_ = false;
+  sevsnp::ReportVerifyOptions options;
+  options.minimum_tcb = ext_->sites_.at(domain_).minimum_tcb;
+  const Status st =
+      sevsnp::finish_report_verify(bundle_->report, signature_ok, options);
+  sevsnp::record_report_verify_result(st);
+  bool ok = apply_verify_status(st, checks_);
+  if (ok) ok = ext_->verify_policy(domain_, *bundle_, session_key_, checks_);
+  ext_->note_verdict(
+      checks_, &*bundle_, &*kds_, ok,
+      audit_evidence_digest_ ? &*audit_evidence_digest_ : nullptr,
+      audit_chain_digest_ ? &*audit_chain_digest_ : nullptr);
+  if (!ok) {
+    ext_->state_[domain_].checks = checks_;
+    ext_->state_[domain_].attested = false;
+    ext_->note_attest_result(checks_.failure_step);
+    return Error::make("extension.attestation_failed", checks_.failure);
+  }
+  ext_->note_attest_result("ok");
+  next_ = Stage::kPage;
+  return Status::success();
+}
+
 Result<net::HttpResponse> WebExtension::StagedAttestation::fetch_page(
     const std::string& path) {
   if (next_ != Stage::kPage) {
@@ -539,6 +617,93 @@ Result<net::HttpResponse> WebExtension::StagedAttestation::fetch_page(
   if (!verified.ok()) return verified.error();
   next_ = Stage::kDone;
   return std::move(verified->response);
+}
+
+std::vector<Status> batch_verify_sessions(
+    const std::vector<WebExtension::StagedAttestation*>& sessions) {
+  using StagedAttestation = WebExtension::StagedAttestation;
+  std::vector<Status> out(sessions.size(), Status::success());
+
+  // Per-session prepare: chain walk, key/signature decode, signed-body
+  // digest. A failure is terminal for that slot and bookkept exactly like a
+  // failed verify(); the slot simply doesn't join the signature batch.
+  std::vector<crypto::EcdsaBatchItem> items;
+  std::vector<std::size_t> slots;  // items[j] belongs to sessions[slots[j]]
+  items.reserve(sessions.size());
+  slots.reserve(sessions.size());
+  for (std::size_t k = 0; k < sessions.size(); ++k) {
+    StagedAttestation* session = sessions[k];
+    if (session == nullptr) continue;
+    auto prep = session->verify_prepare();
+    if (!prep.ok()) {
+      out[k] = prep.error();
+      continue;
+    }
+    crypto::EcdsaBatchItem item;
+    item.pub = prep->vcek_pub;
+    append(item.msg_hash, prep->digest.view());
+    item.sig = prep->signature;
+    items.push_back(std::move(item));
+    slots.push_back(k);
+  }
+  if (items.empty()) return out;
+
+  // Audit digests, eight sessions per multi-buffer SHA-256 pass. The lanes
+  // advance in lockstep, so only aligned runs of equal-length encodings
+  // batch; every other slot keeps note_verdict's inline hashing, which
+  // produces the identical digest.
+  std::vector<Bytes> evidence(slots.size());
+  std::vector<Bytes> chains(slots.size());
+  for (std::size_t j = 0; j < slots.size(); ++j) {
+    const StagedAttestation& session = *sessions[slots[j]];
+    evidence[j] = session.bundle_->serialize();
+    Bytes der;
+    append(der, session.kds_->vcek.serialize());
+    append(der, session.kds_->ask.serialize());
+    append(der, session.kds_->ark.serialize());
+    chains[j] = std::move(der);
+  }
+  const auto hash_runs =
+      [&](const std::vector<Bytes>& encodings,
+          std::optional<crypto::Digest32> StagedAttestation::*member) {
+        constexpr std::size_t kLanes = crypto::Sha256x8::kLanes;
+        std::size_t j = 0;
+        while (j + kLanes <= encodings.size()) {
+          bool uniform = true;
+          for (std::size_t l = 1; l < kLanes; ++l) {
+            uniform = uniform && encodings[j + l].size() == encodings[j].size();
+          }
+          if (!uniform) {
+            ++j;
+            continue;
+          }
+          ByteView views[kLanes];
+          crypto::Digest32 digests[kLanes];
+          for (std::size_t l = 0; l < kLanes; ++l) views[l] = encodings[j + l];
+          crypto::sha256_x8(views, digests);
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            sessions[slots[j + l]]->*member = digests[l];
+          }
+          j += kLanes;
+        }
+      };
+  hash_runs(evidence, &StagedAttestation::audit_evidence_digest_);
+  hash_runs(chains, &StagedAttestation::audit_chain_digest_);
+
+  // ONE interleaved multi-scalar pass over every prepared signature; the
+  // per-signature offender fallback lives inside ecdsa_verify_batch, so a
+  // forged signature fails exactly its own session.
+  obs::Span span("sevsnp.batch_signature_verify");
+  span.attr("batch", static_cast<std::uint64_t>(items.size()));
+  const std::vector<bool> verdicts =
+      crypto::ecdsa_verify_batch(crypto::p384(), items);
+  std::size_t rejected = 0;
+  for (std::size_t j = 0; j < slots.size(); ++j) {
+    rejected += verdicts[j] ? 0 : 1;
+    out[slots[j]] = sessions[slots[j]]->verify_finish(verdicts[j]);
+  }
+  span.attr("rejected", static_cast<std::uint64_t>(rejected));
+  return out;
 }
 
 }  // namespace revelio::core

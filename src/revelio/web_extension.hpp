@@ -216,6 +216,17 @@ class WebExtension {
     /// Pure compute: chain walk, report signature, measurement policy, TLS
     /// binding. Records the attested DomainState on success.
     Status verify();
+    /// Batched alternative to verify(), split at the signature check.
+    /// verify_prepare() runs the chain walk, key/signature decode and
+    /// signed-body digest for THIS session and returns the triple a batch
+    /// verifier needs; the caller checks the signature out of line —
+    /// typically one crypto::ecdsa_verify_batch pass across many sessions
+    /// — and hands the verdict to verify_finish(), which applies the same
+    /// policy checks, verdict bookkeeping and state updates as verify().
+    /// A failed verify_prepare() is terminal exactly like a failed
+    /// verify(); statuses and audit records are identical either way.
+    Result<sevsnp::PreparedReportVerify> verify_prepare();
+    Status verify_finish(bool signature_ok);
     /// Monitored page fetch over the now-attested session.
     Result<net::HttpResponse> fetch_page(const std::string& path);
 
@@ -224,6 +235,8 @@ class WebExtension {
 
    private:
     friend class WebExtension;
+    friend std::vector<Status> batch_verify_sessions(
+        const std::vector<StagedAttestation*>& sessions);
     StagedAttestation(WebExtension& ext, std::string domain,
                       std::uint16_t port)
         : ext_(&ext), domain_(std::move(domain)), port_(port) {}
@@ -242,11 +255,17 @@ class WebExtension {
     std::string domain_;
     std::uint16_t port_ = 0;
     Stage next_ = Stage::kHandshake;
+    bool prepared_ = false;  // verify_prepare succeeded, awaiting finish
     net::Deadline deadline_;
     Bytes session_key_;
     AttestationChecks checks_;
     std::optional<EvidenceBundle> bundle_;
     std::optional<KdsService::VcekResponse> kds_;
+    /// Audit digests precomputed by the batch verifier (8-way SHA-256 over
+    /// equal-size evidence/chain encodings); note_verdict falls back to
+    /// hashing inline when unset, so digests are identical either way.
+    std::optional<crypto::Digest32> audit_evidence_digest_;
+    std::optional<crypto::Digest32> audit_chain_digest_;
   };
 
   /// Starts a staged attestation pass against a registered site. The
@@ -303,15 +322,29 @@ class WebExtension {
   bool stage_verify(const std::string& domain, const EvidenceBundle& bundle,
                     const KdsService::VcekResponse& kds,
                     const Bytes& session_key, AttestationChecks& checks);
+  /// Maps a (split or blocking) report-verify Status onto the checks
+  /// struct: chain failures vs report_verify failures, exactly as the
+  /// blocking path has always classified them. True iff st is ok.
+  static bool apply_verify_status(const Status& st,
+                                  AttestationChecks& checks);
+  /// Post-signature policy: measurement pin/registry, TLS binding, and the
+  /// attested DomainState write. Shared by stage_verify and the batch
+  /// path's verify_finish.
+  bool verify_policy(const std::string& domain, const EvidenceBundle& bundle,
+                     const Bytes& session_key, AttestationChecks& checks);
   /// Emits the ext.attest.result.count counter (shared by both paths).
   static void note_attest_result(const std::string& result);
   /// Terminal-verdict bookkeeping shared by both paths: a kVerdict flight
   /// event, and — when config_.audit_log is set — an AuditRecord built
   /// from whatever evidence the session got as far as gathering (`bundle`
   /// and `kds` may be null when the corresponding fetch never succeeded).
+  /// The digest pointers let the batch path hand in evidence/chain hashes
+  /// it computed 8 sessions at a time (Sha256x8); null = hash inline.
   void note_verdict(const AttestationChecks& checks,
                     const EvidenceBundle* bundle,
-                    const KdsService::VcekResponse* kds, bool accepted);
+                    const KdsService::VcekResponse* kds, bool accepted,
+                    const crypto::Digest32* evidence_digest = nullptr,
+                    const crypto::Digest32* chain_digest = nullptr);
 
   Browser* browser_;
   WebExtensionConfig config_;
@@ -332,5 +365,16 @@ class WebExtension {
   std::uint64_t vcek_cache_hits_ = 0;
   std::uint64_t attestations_ = 0;
 };
+
+/// Runs the verify stage for many staged sessions — typically the whole
+/// wavefront a SessionEngine batch dispatch hands over — in one pass:
+/// per-session verify_prepare, ONE crypto::ecdsa_verify_batch over every
+/// prepared signature (the per-signature offender fallback lives inside
+/// it), audit evidence/chain digests hashed eight sessions at a time, then
+/// per-session verify_finish. The returned statuses are slot-parallel with
+/// `sessions` and identical to what each session's own verify() would have
+/// produced; null entries are skipped and left as success.
+std::vector<Status> batch_verify_sessions(
+    const std::vector<WebExtension::StagedAttestation*>& sessions);
 
 }  // namespace revelio::core

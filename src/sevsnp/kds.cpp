@@ -49,13 +49,11 @@ Result<pki::Certificate> KeyDistributionServer::fetch_vcek(
   return cert;
 }
 
-namespace {
-
-Status verify_report_impl(const AttestationReport& report,
-                          const pki::Certificate& vcek_cert,
-                          const std::vector<pki::Certificate>& intermediates,
-                          const std::vector<pki::Certificate>& roots,
-                          const ReportVerifyOptions& options) {
+Result<PreparedReportVerify> prepare_report_verify(
+    const AttestationReport& report, const pki::Certificate& vcek_cert,
+    const std::vector<pki::Certificate>& intermediates,
+    const std::vector<pki::Certificate>& roots,
+    const ReportVerifyOptions& options) {
   // 1. The VCEK certificate must chain to a pinned AMD root.
   pki::ChainVerifyOptions chain_options;
   chain_options.now_us = options.now_us;
@@ -82,7 +80,9 @@ Status verify_report_impl(const AttestationReport& report,
     return Error::make("snp.vcek_chain_invalid",
                        chain_status.error().to_string());
   }
-  // 2. The report signature must verify under the VCEK public key.
+  // 2. Decode the VCEK key and signature, and digest the signed body. The
+  // span covers the decode + hash here; the ECDSA equation itself runs in
+  // the caller (inline for verify_report, pooled for the batch verifier).
   obs::Span sig_span("sevsnp.signature_verify");
   const auto pub = crypto::p384().decode_point(vcek_cert.public_key);
   if (!pub.ok()) {
@@ -94,14 +94,21 @@ Status verify_report_impl(const AttestationReport& report,
     sig_span.attr("result", "bad_encoding");
     return Error::make("snp.bad_signature_encoding");
   }
-  const auto hash = crypto::sha384(report.signed_body());
-  if (!crypto::ecdsa_verify(crypto::p384(), *pub, hash.view(), *sig)) {
-    sig_span.attr("result", "invalid");
+  PreparedReportVerify prepared;
+  prepared.vcek_pub = *pub;
+  prepared.signature = *sig;
+  prepared.digest = crypto::sha384(report.signed_body());
+  sig_span.attr("result", "ok");
+  return prepared;
+}
+
+Status finish_report_verify(const AttestationReport& report,
+                            bool signature_ok,
+                            const ReportVerifyOptions& options) {
+  if (!signature_ok) {
     return Error::make("snp.signature_invalid",
                        "report not signed by presented VCEK");
   }
-  sig_span.attr("result", "ok");
-  sig_span.end();
   // 3. Optional TCB floor (anti-rollback for firmware, §6.1.4).
   if (options.minimum_tcb &&
       !report.reported_tcb.at_least(*options.minimum_tcb)) {
@@ -110,7 +117,12 @@ Status verify_report_impl(const AttestationReport& report,
   return Status::success();
 }
 
-}  // namespace
+void record_report_verify_result(const Status& st) {
+  const std::string result = st.ok() ? "ok" : st.error().code;
+  obs::metrics()
+      .counter("sevsnp.report_verify.result.count", {{"result", result}})
+      .inc();
+}
 
 Status verify_report(const AttestationReport& report,
                      const pki::Certificate& vcek_cert,
@@ -118,14 +130,21 @@ Status verify_report(const AttestationReport& report,
                      const std::vector<pki::Certificate>& roots,
                      const ReportVerifyOptions& options) {
   obs::Span span("sevsnp.report_verify");
-  const Status st =
-      verify_report_impl(report, vcek_cert, intermediates, roots, options);
+  Status st = Status::success();
+  auto prepared =
+      prepare_report_verify(report, vcek_cert, intermediates, roots, options);
+  if (!prepared.ok()) {
+    st = prepared.error();
+  } else {
+    const bool sig_ok =
+        crypto::ecdsa_verify(crypto::p384(), prepared->vcek_pub,
+                             prepared->digest.view(), prepared->signature);
+    st = finish_report_verify(report, sig_ok, options);
+  }
   const std::string result = st.ok() ? "ok" : st.error().code;
   span.attr("result", result);
   span.attr("measurement_ok", st.ok());
-  obs::metrics()
-      .counter("sevsnp.report_verify.result.count", {{"result", result}})
-      .inc();
+  record_report_verify_result(st);
   return st;
 }
 

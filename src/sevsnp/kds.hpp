@@ -9,6 +9,7 @@
 
 #include <map>
 
+#include "crypto/ecdsa.hpp"
 #include "pki/ca.hpp"
 #include "pki/chain_cache.hpp"
 #include "sevsnp/amd_sp.hpp"
@@ -59,5 +60,37 @@ Status verify_report(const AttestationReport& report,
                      const std::vector<pki::Certificate>& intermediates,
                      const std::vector<pki::Certificate>& roots,
                      const ReportVerifyOptions& options);
+
+/// Chain-checked, decoded inputs for a report-signature check that runs out
+/// of line — the handle a batch verifier carries between the two halves of
+/// a split verify_report.
+struct PreparedReportVerify {
+  crypto::Curve::Point vcek_pub;
+  crypto::EcdsaSignature signature;
+  crypto::Digest48 digest;  // SHA-384 over the report's signed body
+};
+
+/// First half of verify_report: the VCEK chain walk, public-key and
+/// signature decoding, and the signed-body digest — everything except the
+/// ECDSA equation itself. Error codes and messages are byte-identical to
+/// verify_report, so blocking and batched verifiers are indistinguishable
+/// to callers and audit logs.
+Result<PreparedReportVerify> prepare_report_verify(
+    const AttestationReport& report, const pki::Certificate& vcek_cert,
+    const std::vector<pki::Certificate>& intermediates,
+    const std::vector<pki::Certificate>& roots,
+    const ReportVerifyOptions& options);
+
+/// Second half: folds the out-of-line signature verdict back into the
+/// single-path result (snp.signature_invalid on false) and applies the
+/// optional TCB floor. Callers pair it with record_report_verify_result so
+/// the sevsnp.report_verify counters match the blocking path.
+Status finish_report_verify(const AttestationReport& report,
+                            bool signature_ok,
+                            const ReportVerifyOptions& options);
+
+/// Emits the sevsnp.report_verify.result counter verify_report would emit
+/// for `st`. Split verifiers call this once per report.
+void record_report_verify_result(const Status& st);
 
 }  // namespace revelio::sevsnp

@@ -10,6 +10,8 @@
 
 #include "crypto/drbg.hpp"
 #include "crypto/ec.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/sha2.hpp"
 
 namespace revelio::crypto {
 namespace {
@@ -120,6 +122,101 @@ TEST_P(EcEquivalence, ScalarReductionIsSound) {
     EXPECT_TRUE(same_point(curve().scalar_mult(k, g),
                            curve().scalar_mult(k_plus_n, g)));
   }
+}
+
+TEST_P(EcEquivalence, MultiScalarMatchesNaiveSum) {
+  // base*G + sum(full_i * Q_i) + sum(small_j * P_j) over the interleaved
+  // ladder must equal the naive term-by-term sum. Mix repeated keys (the
+  // gateway shape) with distinct ones, and ~128-bit small scalars.
+  HmacDrbg drbg(seed_bytes("msm-vs-naive"));
+  const Curve::Point g = curve().generator();
+  for (int round = 0; round < 4; ++round) {
+    const U384 base = random_scalar(drbg);
+    std::vector<Curve::MsmTerm> full, small;
+    const Curve::Point shared =
+        curve().scalar_mult_naive(random_scalar(drbg), g);
+    for (int i = 0; i < 5; ++i) {
+      const Curve::Point q =
+          i < 2 ? shared : curve().scalar_mult_naive(random_scalar(drbg), g);
+      full.push_back({random_scalar(drbg), q});
+    }
+    for (int i = 0; i < 6; ++i) {
+      U384 coeff = U384::from_bytes_be(drbg.generate(16));  // ~128 bits
+      small.push_back(
+          {coeff, curve().scalar_mult_naive(random_scalar(drbg), g)});
+    }
+    Curve::Point expected = curve().scalar_mult_naive(base, g);
+    for (const auto& t : full) {
+      expected =
+          curve().add(expected, curve().scalar_mult_naive(t.scalar, t.point));
+    }
+    for (const auto& t : small) {
+      expected =
+          curve().add(expected, curve().scalar_mult_naive(t.scalar, t.point));
+    }
+    EXPECT_TRUE(same_point(curve().multi_scalar_mult_base(base, full, small),
+                           expected))
+        << "round " << round;
+  }
+}
+
+TEST_P(EcEquivalence, MultiScalarHandlesEdgeScalars) {
+  const Curve::Point g = curve().generator();
+  const Curve::Point q = curve().scalar_mult_naive(U384::from_u64(9), g);
+  for (const U384& k : edge_scalars(curve())) {
+    const Curve::Point expected =
+        curve().add(curve().scalar_mult_naive(k, g),
+                    curve().scalar_mult_naive(k, q));
+    EXPECT_TRUE(same_point(
+        curve().multi_scalar_mult_base(k, {{k, q}}, {}), expected));
+    // Small-term slot must cope with full-width scalars too (reduction).
+    EXPECT_TRUE(same_point(
+        curve().multi_scalar_mult_base(k, {}, {{k, q}}), expected));
+  }
+}
+
+TEST_P(EcEquivalence, LiftXEvenRoundTripsEvenPointsOnly) {
+  HmacDrbg drbg(seed_bytes("lift-x-even"));
+  const Curve::Point g = curve().generator();
+  for (int i = 0; i < 16; ++i) {
+    const Curve::Point p =
+        curve().scalar_mult_naive(random_scalar(drbg), g);
+    ASSERT_FALSE(p.infinity);
+    const auto lifted = curve().lift_x_even(p.x);
+    ASSERT_TRUE(lifted.has_value());
+    // Same x; y is either p.y or its field negation, and always even.
+    U384 neg_y;
+    sub_with_borrow(neg_y, curve().params().p, p.y);
+    EXPECT_TRUE(lifted->x == p.x);
+    EXPECT_TRUE(lifted->y == p.y || lifted->y == neg_y);
+    EXPECT_FALSE(lifted->y.bit(0));
+    EXPECT_TRUE(curve().on_curve(*lifted));
+  }
+}
+
+TEST_P(EcEquivalence, BatchVerifyMatchesSinglesBitForBit) {
+  // The batch verifier sits on the MSM path above; random valid batches
+  // plus a corrupted item must reproduce N independent ecdsa_verify calls
+  // exactly.
+  HmacDrbg drbg(seed_bytes("batch-vs-single"));
+  std::vector<EcKeyPair> keys;
+  for (int i = 0; i < 3; ++i) keys.push_back(ec_generate(curve(), drbg));
+  std::vector<EcdsaBatchItem> items(24);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& kp = keys[i % keys.size()];
+    const Bytes msg = drbg.generate(80);
+    const auto hash = sha384(msg);
+    items[i].pub = kp.q;
+    append(items[i].msg_hash, hash.view());
+    items[i].sig = ecdsa_sign(curve(), kp.d, hash.view());
+  }
+  items[11].msg_hash[5] ^= 0x80;
+  std::vector<bool> singles;
+  for (const auto& item : items) {
+    singles.push_back(
+        ecdsa_verify(curve(), item.pub, item.msg_hash, item.sig));
+  }
+  EXPECT_EQ(ecdsa_verify_batch(curve(), items), singles);
 }
 
 INSTANTIATE_TEST_SUITE_P(Curves, EcEquivalence,
