@@ -44,8 +44,25 @@
 // chaos level appends every verdict to a tamper-evident audit chain
 // written to --audit-out for tools/audit_verify to replay offline.
 //
+// PR 9 additions: "restart_cold" / "restart_warm" levels measure the
+// durable state tier (src/store) across a full gateway restart. Unlike
+// every other level, these run over 16 worlds with PER-INDEX seeds —
+// distinct AMD chips — so the cold phase pays one KDS round trip per
+// world. The engine's VCEK and chain caches are attached to a KV store,
+// the audit chain is persisted append-through, and the revocation set is
+// store-backed. Between the phases everything in memory is destroyed
+// (engine, caches, audit log, worlds) and rebuilt from the same seeds
+// over the reopened store: the warm phase must serve every session with
+// ZERO KDS fetches, and the audit chain must re-verify its persisted
+// history before accepting a single new record. `--store-dir` points the
+// tier at real files (must be a fresh/empty directory) so that
+// run_benches.sh can replay the persisted chain offline with
+// tools/audit_verify --store; without it the deterministic in-memory
+// backend is used.
+//
 //   bench_gateway [--out BENCH_gateway.json]
-//                 [--audit-out AUDIT_gateway.bin] [--quick]
+//                 [--audit-out AUDIT_gateway.bin]
+//                 [--store-dir DIR] [--quick]
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -53,17 +70,22 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "imagebuild/builder.hpp"
 #include "obs/audit_log.hpp"
+#include "obs/audit_store.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "revelio/revelio_vm.hpp"
+#include "revelio/revocation.hpp"
 #include "revelio/session_engine.hpp"
 #include "revelio/sp_node.hpp"
 #include "revelio/web_extension.hpp"
+#include "store/kv_store.hpp"
+#include "store/storage_env.hpp"
 #include "vm/hypervisor.hpp"
 
 namespace {
@@ -78,6 +100,7 @@ constexpr std::size_t kFullSessions = 64;
 constexpr std::size_t kChaosWorlds = 32;
 constexpr std::size_t kChaosSessions = 1000;
 constexpr unsigned kScaleWorkers = 8;
+constexpr std::size_t kRestartWorlds = 16;
 
 /// One complete single-threaded deployment, driven by whichever engine
 /// lane holds its mutex. Identical seeds make the AMD chip/VCEK/root
@@ -293,11 +316,17 @@ std::string level_json(const Level& level) {
          ",\"misses\":" + std::to_string(level.chain_stats.misses) +
          ",\"evictions\":" + std::to_string(level.chain_stats.evictions) +
          ",\"window_rejects\":" +
-         std::to_string(level.chain_stats.window_rejects) + "}";
+         std::to_string(level.chain_stats.window_rejects) +
+         ",\"store_hits\":" + std::to_string(level.chain_stats.store_hits) +
+         ",\"store_write_failures\":" +
+         std::to_string(level.chain_stats.store_write_failures) + "}";
   out += ",\"vcek\":{\"hits\":" + std::to_string(level.vcek_stats.hits) +
          ",\"fetches\":" + std::to_string(level.vcek_stats.fetches) +
          ",\"coalesced\":" + std::to_string(level.vcek_stats.coalesced) +
-         ",\"failures\":" + std::to_string(level.vcek_stats.failures) + "}";
+         ",\"failures\":" + std::to_string(level.vcek_stats.failures) +
+         ",\"store_hits\":" + std::to_string(level.vcek_stats.store_hits) +
+         ",\"store_write_failures\":" +
+         std::to_string(level.vcek_stats.store_write_failures) + "}";
   // Per-stage tail attribution: where a session's virtual time goes, split
   // into I/O wait vs service, with log-bucket p50/p99 per stage. This is
   // what run_benches.sh gates stage tails against.
@@ -386,11 +415,19 @@ Level run_staged_full(std::vector<GatewayWorld*>& worlds, unsigned workers,
                       std::size_t sessions, int retry_attempts,
                       const core::AdmissionConfig& admission,
                       const char* mode, obs::AuditLog* audit = nullptr,
-                      bool batch_verify = false) {
+                      bool batch_verify = false,
+                      store::KvStore* durable = nullptr,
+                      RevocationSet* revocations = nullptr) {
   core::SessionEngineConfig config;
   config.workers = workers;
   config.audit_log = audit;  // shed sessions still get a rejected verdict
   core::SessionEngine engine(config);
+  if (durable != nullptr) {
+    // Restart levels: verified chain windows and fetched VCEK chains go
+    // through the KV store, so a rebuilt engine starts warm.
+    engine.chain_cache().attach_store(durable);
+    engine.vcek_cache().attach_store(durable);
+  }
   struct Slot {
     std::unique_ptr<core::WebExtension> ext;
     std::unique_ptr<core::WebExtension::StagedAttestation> staged;
@@ -473,6 +510,7 @@ Level run_staged_full(std::vector<GatewayWorld*>& worlds, unsigned workers,
             ext_config.shared_vcek_cache = ctx.vcek_cache;
             ext_config.audit_log = audit;
             ext_config.audit_session_id = ctx.index;
+            ext_config.revocation_set = revocations;
             slot.ext =
                 std::make_unique<core::WebExtension>(world.browser, ext_config);
             slot.ext->register_site(kDomain, world.registration());
@@ -606,8 +644,27 @@ Level run_recorder(std::size_t sessions) {
 
 // ---------------------------------------------------------------------------
 
+/// Everything the restart levels learned, exported under "restart" in the
+/// JSON document for run_benches.sh to gate on.
+struct RestartInfo {
+  bool ran = false;
+  std::string backend;  // "mem" | "real"
+  double cold_p50_ms = 0.0;
+  double warm_p50_ms = 0.0;
+  std::uint64_t cold_fetches = 0;
+  std::uint64_t warm_fetches = 0;
+  std::uint64_t warm_vcek_store_hits = 0;
+  std::uint64_t warm_chain_store_hits = 0;
+  std::uint64_t store_write_failures = 0;
+  std::uint64_t audit_restored_records = 0;
+  bool audit_reverified = false;
+  std::uint64_t recovery_generation = 0;
+  std::size_t recovery_wal_frames = 0;
+  bool recovery_truncated_tail = false;
+};
+
 int run_gateway_bench(const char* out_path, const char* audit_path,
-                      bool quick) {
+                      const char* store_dir, bool quick) {
   std::fprintf(stderr, "building %zu world replicas...\n", kWorlds);
   const auto build_world_set = [](std::vector<std::unique_ptr<GatewayWorld>>&
                                       store) {
@@ -662,6 +719,138 @@ int run_gateway_bench(const char* out_path, const char* audit_path,
                                        /*batch_verify=*/true));
       print_level(levels.back());
     }
+  }
+
+  // Warm-restart levels (PR 9): the durable state tier under a full
+  // gateway restart. Per-index seeds give every world a DISTINCT chip, so
+  // a cold engine pays kRestartWorlds KDS round trips; after tearing the
+  // whole gateway down and reopening the store, the warm engine must pay
+  // zero — every VCEK chain and verified chain window comes back through
+  // the KV read-through, and the audit chain re-verifies its persisted
+  // history before accepting new verdicts.
+  RestartInfo restart;
+  {
+    std::unique_ptr<store::MemStorageEnv> mem_env;
+    std::unique_ptr<store::RealStorageEnv> real_env;
+    store::StorageEnv* env = nullptr;
+    if (store_dir != nullptr) {
+      auto opened = store::RealStorageEnv::open(store_dir);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "cannot open --store-dir %s: %s\n", store_dir,
+                     opened.error().to_string().c_str());
+        return 1;
+      }
+      real_env = std::move(*opened);
+      env = real_env.get();
+      restart.backend = "real";
+    } else {
+      mem_env = std::make_unique<store::MemStorageEnv>();
+      env = mem_env.get();
+      restart.backend = "mem";
+    }
+
+    // Opens the whole durable tier: KV store, append-through audit chain
+    // (history re-verified before any append), store-backed revocations.
+    struct DurableTier {
+      std::unique_ptr<store::KvStore> kv;
+      std::optional<obs::DurableAudit> audit;
+      std::unique_ptr<RevocationSet> revocations;
+    };
+    const auto open_tier = [&](DurableTier& tier) -> bool {
+      auto kv = store::KvStore::open(*env);
+      if (!kv.ok()) {
+        std::fprintf(stderr, "restart: KvStore::open failed: %s\n",
+                     kv.error().to_string().c_str());
+        return false;
+      }
+      tier.kv = std::move(*kv);
+      auto audit_opened = obs::open_durable_audit(*tier.kv);
+      if (!audit_opened.ok()) {
+        std::fprintf(stderr, "restart: open_durable_audit failed: %s\n",
+                     audit_opened.error().to_string().c_str());
+        return false;
+      }
+      tier.audit = std::move(*audit_opened);
+      auto revocations = RevocationSet::open(*tier.kv);
+      if (!revocations.ok()) {
+        std::fprintf(stderr, "restart: RevocationSet::open failed: %s\n",
+                     revocations.error().to_string().c_str());
+        return false;
+      }
+      tier.revocations = std::move(*revocations);
+      return true;
+    };
+    const auto build_restart_worlds =
+        [](std::vector<std::unique_ptr<GatewayWorld>>& store) {
+          store.clear();
+          store.reserve(kRestartWorlds);
+          std::vector<GatewayWorld*> ptrs;
+          for (std::size_t i = 0; i < kRestartWorlds; ++i) {
+            store.push_back(std::make_unique<GatewayWorld>(
+                "gw-restart-" + std::to_string(i)));
+            // AMD's KDS is a throttled WAN service, not a LAN neighbour:
+            // charge its link a realistic 25 ms one-way latency (set after
+            // construction so fleet provisioning is unaffected). The cold
+            // phase pays this round trip once per world; the warm phase
+            // reads the persisted chains and never touches the KDS.
+            store.back()->network.set_link_latency_ms("laptop", kKdsHost,
+                                                      25.0);
+            ptrs.push_back(store.back().get());
+          }
+          return ptrs;
+        };
+
+    std::fprintf(stderr, "building %zu per-seed restart worlds...\n",
+                 kRestartWorlds);
+    {  // Cold phase: empty store, every world pays its own KDS fetch.
+      DurableTier tier;
+      if (!open_tier(tier)) return 1;
+      std::vector<std::unique_ptr<GatewayWorld>> restart_store;
+      auto restart_worlds = build_restart_worlds(restart_store);
+      levels.push_back(run_staged_full(
+          restart_worlds, /*workers=*/1, kRestartWorlds, /*retry_attempts=*/1,
+          {}, "restart_cold", tier.audit->log.get(), /*batch_verify=*/false,
+          tier.kv.get(), tier.revocations.get()));
+      print_level(levels.back());
+      restart.cold_p50_ms = levels.back().virt_p50_ms;
+      restart.cold_fetches = levels.back().vcek_stats.fetches;
+      restart.store_write_failures =
+          levels.back().vcek_stats.store_write_failures +
+          levels.back().chain_stats.store_write_failures;
+    }  // <- the restart: engine, caches, audit log, and worlds all die here
+    {  // Warm phase: same seeds, reopened store, rebuilt everything else.
+      DurableTier tier;
+      if (!open_tier(tier)) return 1;
+      restart.audit_restored_records = tier.audit->restored_records;
+      restart.recovery_generation = tier.kv->recovery().generation;
+      restart.recovery_wal_frames = tier.kv->recovery().wal_frames_replayed;
+      restart.recovery_truncated_tail = tier.kv->recovery().truncated_tail;
+      std::vector<std::unique_ptr<GatewayWorld>> restart_store;
+      auto restart_worlds = build_restart_worlds(restart_store);
+      levels.push_back(run_staged_full(
+          restart_worlds, /*workers=*/1, kRestartWorlds, /*retry_attempts=*/1,
+          {}, "restart_warm", tier.audit->log.get(), /*batch_verify=*/false,
+          tier.kv.get(), tier.revocations.get()));
+      print_level(levels.back());
+      restart.warm_p50_ms = levels.back().virt_p50_ms;
+      restart.warm_fetches = levels.back().vcek_stats.fetches;
+      restart.warm_vcek_store_hits = levels.back().vcek_stats.store_hits;
+      restart.warm_chain_store_hits = levels.back().chain_stats.store_hits;
+      restart.store_write_failures +=
+          levels.back().vcek_stats.store_write_failures +
+          levels.back().chain_stats.store_write_failures;
+      restart.audit_reverified =
+          obs::AuditLog::verify(tier.audit->log->serialize()).ok();
+      restart.ran = true;
+    }
+    std::printf(
+        "warm restart (%s store): cold p50 %.1fms / %llu fetches -> "
+        "warm p50 %.1fms / %llu fetches, %llu audit records re-verified\n",
+        restart.backend.c_str(), restart.cold_p50_ms,
+        static_cast<unsigned long long>(restart.cold_fetches),
+        restart.warm_p50_ms,
+        static_cast<unsigned long long>(restart.warm_fetches),
+        static_cast<unsigned long long>(restart.audit_restored_records));
   }
 
   // Parked-session scale: 1k / 10k / 100k synthetic state machines. The
@@ -814,6 +1003,29 @@ int run_gateway_bench(const char* out_path, const char* audit_path,
   doc += ",\"audit\":{\"records\":" + std::to_string(audit.records()) +
          ",\"checkpoints\":" + std::to_string(audit.checkpoints()) +
          ",\"ok\":" + (audit_verified.ok() ? "true" : "false") + "}";
+  doc += ",\"restart\":{\"ran\":" + std::string(restart.ran ? "true" : "false") +
+         ",\"backend\":\"" + restart.backend + "\"" +
+         ",\"worlds\":" + std::to_string(kRestartWorlds) +
+         ",\"cold_p50_ms\":" + obs::json_number(restart.cold_p50_ms) +
+         ",\"warm_p50_ms\":" + obs::json_number(restart.warm_p50_ms) +
+         ",\"cold_fetches\":" + std::to_string(restart.cold_fetches) +
+         ",\"warm_fetches\":" + std::to_string(restart.warm_fetches) +
+         ",\"warm_vcek_store_hits\":" +
+         std::to_string(restart.warm_vcek_store_hits) +
+         ",\"warm_chain_store_hits\":" +
+         std::to_string(restart.warm_chain_store_hits) +
+         ",\"store_write_failures\":" +
+         std::to_string(restart.store_write_failures) +
+         ",\"audit_restored_records\":" +
+         std::to_string(restart.audit_restored_records) +
+         ",\"audit_reverified\":" +
+         (restart.audit_reverified ? "true" : "false") +
+         ",\"recovery_generation\":" +
+         std::to_string(restart.recovery_generation) +
+         ",\"recovery_wal_frames\":" +
+         std::to_string(restart.recovery_wal_frames) +
+         ",\"recovery_truncated_tail\":" +
+         (restart.recovery_truncated_tail ? "true" : "false") + "}";
   doc += "}";
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -831,15 +1043,18 @@ int run_gateway_bench(const char* out_path, const char* audit_path,
 int main(int argc, char** argv) {
   const char* out_path = nullptr;
   const char* audit_path = nullptr;
+  const char* store_dir = nullptr;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--audit-out") == 0 && i + 1 < argc) {
       audit_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
+      store_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     }
   }
-  return run_gateway_bench(out_path, audit_path, quick);
+  return run_gateway_bench(out_path, audit_path, store_dir, quick);
 }

@@ -58,6 +58,18 @@
 # reproduce the unbatched transcript digest bit for bit at one worker
 # (batch_digest_match).
 #
+# PR 9 gates (durable state tier): bench_gateway runs with --store-dir so
+# the restart levels persist through real files. The warm-restart section
+# must report ran=true, the cold phase must pay exactly one KDS fetch per
+# restart world (distinct chips), the warm phase must pay ZERO KDS fetches
+# (every VCEK chain comes back through the store read-through) with warm
+# p50 session latency <= 0.5x cold, no durable write-throughs may fail,
+# and the persisted audit chain must both re-verify on open
+# (audit_reverified, restored_records > 0) and replay offline via
+# tools/audit_verify --store against the store directory itself. A
+# bench_gateway binary without the restart section fails with a clear
+# message, as does a cold phase that produced no latency baseline.
+#
 # Each binary is run with --benchmark_out so the JSON stays clean even for
 # benches that print their own human-readable tables to stdout.
 set -euo pipefail
@@ -357,9 +369,11 @@ gateway_bin="$build_dir/bench/bench_gateway"
 gateway_json="$repo_root/BENCH_gateway.json"
 gateway_baseline="$repo_root/bench/BENCH_gateway.baseline.json"
 gateway_audit="$repo_root/AUDIT_gateway.bin"
+gateway_store="$tmp_dir/gateway_store"
 if [ -x "$gateway_bin" ]; then
   echo "== bench_gateway" >&2
-  "$gateway_bin" --out "$gateway_json" --audit-out "$gateway_audit" >&2
+  "$gateway_bin" --out "$gateway_json" --audit-out "$gateway_audit" \
+                 --store-dir "$gateway_store" >&2
   python3 - "$gateway_json" "$gateway_baseline" <<'PY'
 import json
 import sys
@@ -387,12 +401,14 @@ staged_batch = [l for l in current.get("levels", [])
                 if l["mode"] == "staged_batch"]
 synthetic = [l for l in current.get("levels", []) if l["mode"] == "synthetic"]
 chaos = [l for l in current.get("levels", []) if l["mode"] == "chaos"]
+restart_levels = [l for l in current.get("levels", [])
+                  if l["mode"] in ("restart_cold", "restart_warm")]
 
 # Every fully-verified path must succeed end to end, nothing may be served
 # unverified (chaos included: sessions may fail closed, never open), and a
 # cold cache costs exactly one KDS round trip per full-crypto level no
 # matter how many sessions stampede it.
-for level in blocking + staged + staged_batch + synthetic:
+for level in blocking + staged + staged_batch + synthetic + restart_levels:
     if level["succeeded"] != level["sessions"]:
         failures.append(f"{key(level)}: {level['succeeded']}/"
                         f"{level['sessions']} sessions succeeded")
@@ -494,6 +510,66 @@ print(f"  batch_verify_speedup = {batch_speedup:.2f}x "
       f"({batch_calls} batch calls, digest_match="
       f"{current.get('batch_digest_match', False)})", file=sys.stderr)
 
+# Durable state tier (PR 9): the warm-restart levels. A gateway rebuilt
+# over a reopened store must serve every session without touching the KDS
+# (the persisted VCEK/chain entries are the cache), must be at least 2x
+# faster at the median, and must have re-verified its persisted audit
+# chain before accepting a single new verdict. These gates have no
+# baseline file — the contract is absolute — but a bench binary that
+# never ran the restart section is itself a failure, not a skip.
+MAX_WARM_COLD_RATIO = 0.5
+restart = current.get("restart")
+if restart is None or not restart.get("ran", False):
+    failures.append("restart section missing from bench output "
+                    "(bench_gateway predates the durable state tier, or "
+                    "the restart levels never ran)")
+else:
+    worlds = restart.get("worlds", 0)
+    cold_p50 = restart.get("cold_p50_ms", 0.0)
+    warm_p50 = restart.get("warm_p50_ms", 0.0)
+    if len(restart_levels) != 2:
+        failures.append(f"expected restart_cold + restart_warm levels, "
+                        f"found {len(restart_levels)}")
+    if restart.get("cold_fetches", 0) != worlds:
+        failures.append(f"restart cold phase paid "
+                        f"{restart.get('cold_fetches', 0)} KDS fetches "
+                        f"for {worlds} distinct-chip worlds, expected "
+                        f"{worlds}")
+    if restart.get("warm_fetches", -1) != 0:
+        failures.append(f"restart warm phase paid "
+                        f"{restart.get('warm_fetches', -1)} KDS fetches, "
+                        f"expected 0 (store read-through broken)")
+    if restart.get("warm_vcek_store_hits", 0) < worlds:
+        failures.append(f"warm phase served only "
+                        f"{restart.get('warm_vcek_store_hits', 0)} VCEK "
+                        f"chains from the store, expected {worlds}")
+    if restart.get("store_write_failures", 0) != 0:
+        failures.append(f"{restart.get('store_write_failures', 0)} durable "
+                        f"cache write-throughs failed during the restart "
+                        f"levels")
+    if cold_p50 <= 0.0:
+        failures.append("restart cold phase produced no p50 latency "
+                        "baseline (cold_p50_ms missing or zero); cannot "
+                        "gate the warm/cold ratio")
+    elif warm_p50 > MAX_WARM_COLD_RATIO * cold_p50:
+        failures.append(f"warm restart p50 {warm_p50:.1f} ms vs cold "
+                        f"{cold_p50:.1f} ms: ratio "
+                        f"{warm_p50 / cold_p50:.2f} breaches the "
+                        f"{MAX_WARM_COLD_RATIO}x gate")
+    if not restart.get("audit_reverified", False):
+        failures.append("persisted audit chain failed re-verification "
+                        "across the restart")
+    if restart.get("audit_restored_records", 0) <= 0:
+        failures.append("warm restart restored no audit records; the "
+                        "cold phase's verdicts did not persist")
+    ratio = warm_p50 / cold_p50 if cold_p50 > 0 else 0.0
+    print(f"  warm restart ({restart.get('backend', '?')} store): "
+          f"p50 {cold_p50:.1f} -> {warm_p50:.1f} ms ({ratio:.2f}x), "
+          f"fetches {restart.get('cold_fetches', 0)} -> "
+          f"{restart.get('warm_fetches', 0)}, "
+          f"{restart.get('audit_restored_records', 0)} audit records "
+          f"re-verified", file=sys.stderr)
+
 # Regression gate: virtual-clock makespan and latency vs the committed
 # baseline. Real time is machine-dependent and reported only. The baseline
 # is required: a missing or unreadable one is a failure, not a skip.
@@ -589,6 +665,19 @@ PY
     exit 1
   fi
   echo "audit chain verified; single-byte tamper correctly rejected" >&2
+
+  # Durable tier end-to-end: the restart levels persisted their audit
+  # chain through the real-file store backend; the standalone verifier
+  # must rebuild the stream from the store directory and re-verify the
+  # whole hash chain offline.
+  if [ ! -d "$gateway_store" ]; then
+    echo "error: $gateway_store missing; bench_gateway --store-dir should" \
+         "have persisted the restart levels' durable state" >&2
+    exit 1
+  fi
+  echo "== tools/audit_verify --store $gateway_store" >&2
+  "$audit_bin" --store "$gateway_store" >&2
+  echo "store-backed audit chain verified offline" >&2
 else
   echo "note: $gateway_bin not built; skipping gateway load bench" >&2
 fi

@@ -32,9 +32,14 @@ struct Error {
   /// retried — retrying an attacker-induced failure just hands the
   /// attacker more attempts.
   bool is_transient() const {
+    // store.io_transient is a recoverable I/O hiccup (retry is safe and
+    // idempotent: the frame either landed or it didn't, and recovery
+    // truncates a torn tail). store.corrupt and store.manifest_mismatch
+    // are NOT here by design: they mean the durable state failed its
+    // integrity checks, and retrying cannot make corrupt bytes honest.
     return code == "net.timeout" || code == "net.drop" ||
            code == "net.unreachable" || code == "net.connection_refused" ||
-           code == "acme.unavailable";
+           code == "acme.unavailable" || code == "store.io_transient";
   }
 };
 

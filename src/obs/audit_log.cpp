@@ -36,9 +36,133 @@ crypto::Digest32 chain(const crypto::Digest32& head, std::uint8_t frame_type,
   return crypto::sha256(buf);
 }
 
-Error tamper(std::uint64_t frame, std::string detail) {
-  return Error::make("audit.tamper",
-                     "frame " + std::to_string(frame) + ": " + std::move(detail));
+std::string frame_detail(std::uint64_t frame, std::string detail) {
+  return "frame " + std::to_string(frame) + ": " + std::move(detail);
+}
+
+/// One pass over a serialized stream, shared by verify(), verify_prefix()
+/// and restore(). Stops at the first problem and records whether it was a
+/// clean truncation (the bytes just end — what a crash produces) or
+/// interior damage (valid-length bytes that fail the chain).
+struct WalkState {
+  AuditLog::VerifySummary summary;
+  std::vector<crypto::Digest32> epoch;  // record hashes since last checkpoint
+  crypto::Digest32 head;
+  std::uint64_t interval = 0;
+  std::uint64_t frames = 0;        // fully verified frames
+  std::size_t frames_end = 0;      // offset one past the last verified frame
+  bool complete = false;
+  bool truncated = false;
+  std::string failure_code;
+  std::string failure_detail;
+};
+
+Result<WalkState> walk_stream(ByteView stream) {
+  if (stream.size() < kHeaderSize) {
+    return Error::make("audit.truncated", "stream shorter than header");
+  }
+  if (std::memcmp(stream.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Error::make("audit.bad_magic", "not an audit stream");
+  }
+  WalkState st;
+  st.interval = read_u32be(stream, 8);
+  const std::uint64_t rec_size = read_u32be(stream, 12);
+  if (st.interval == 0 || rec_size != AuditRecord::kWireSize) {
+    return Error::make("audit.bad_header",
+                       "interval=" + std::to_string(st.interval) +
+                           " record_size=" + std::to_string(rec_size));
+  }
+
+  st.head = genesis_head();
+  st.frames_end = kHeaderSize;
+  std::size_t off = kHeaderSize;
+  std::uint64_t frame = 0;
+
+  auto stop_truncated = [&](std::string code, std::string detail) {
+    st.truncated = true;
+    st.failure_code = std::move(code);
+    st.failure_detail = frame_detail(frame, std::move(detail));
+    return st;
+  };
+  auto stop_tamper = [&](std::string detail) {
+    st.truncated = false;
+    st.failure_code = "audit.tamper";
+    st.failure_detail = frame_detail(frame, std::move(detail));
+    return st;
+  };
+
+  while (off < stream.size()) {
+    const std::uint8_t type = stream[off];
+    ++off;
+    ++frame;
+    if (type == kFrameRecord) {
+      if (off + rec_size > stream.size()) {
+        return stop_truncated("audit.record_truncated",
+                              "record frame cut short by " +
+                                  std::to_string(off + rec_size - stream.size()) +
+                                  " bytes");
+      }
+      const ByteView wire = stream.subspan(off, rec_size);
+      off += rec_size;
+      st.head = chain(st.head, kFrameRecord, wire);
+      st.epoch.push_back(crypto::sha256(wire));
+      ++st.summary.records;
+      if (wire[16] != 0) {
+        ++st.summary.accepted;
+      } else {
+        ++st.summary.rejected;
+      }
+      if (st.epoch.size() > st.interval) {
+        return stop_tamper("missing checkpoint after " +
+                           std::to_string(st.interval) + " records");
+      }
+    } else if (type == kFrameCheckpoint) {
+      if (off + kCheckpointBody > stream.size()) {
+        return stop_truncated("audit.checkpoint_truncated",
+                              "checkpoint frame cut short");
+      }
+      const ByteView body = stream.subspan(off, kCheckpointBody);
+      off += kCheckpointBody;
+      if (st.epoch.size() != st.interval) {
+        return stop_tamper("checkpoint after " +
+                           std::to_string(st.epoch.size()) + " records, " +
+                           "expected " + std::to_string(st.interval));
+      }
+      const crypto::Digest32 expected =
+          crypto::MerkleTree::from_leaves(st.epoch).root();
+      if (crypto::Digest32::from(body.subspan(0, 32)) != expected) {
+        return stop_tamper("checkpoint Merkle root mismatch");
+      }
+      if (read_u64be(body, 32) != st.summary.records) {
+        return stop_tamper("checkpoint record count mismatch");
+      }
+      st.epoch.clear();
+      st.head = chain(st.head, kFrameCheckpoint, body);
+      ++st.summary.checkpoints;
+    } else if (type == kFrameTrailer) {
+      if (off + 32 > stream.size()) {
+        return stop_truncated("audit.trailer_truncated", "trailer cut short");
+      }
+      if (crypto::Digest32::from(stream.subspan(off, 32)) != st.head) {
+        return stop_tamper("chain head mismatch — history was modified");
+      }
+      off += 32;
+      if (off != stream.size()) {
+        return stop_tamper("trailing bytes after trailer");
+      }
+      st.complete = true;
+      st.summary.head_hex = to_hex(st.head.view());
+      return st;
+    } else {
+      return stop_tamper("unknown frame type " + std::to_string(type));
+    }
+    ++st.frames;
+    st.frames_end = off;
+  }
+  st.truncated = true;
+  st.failure_code = "audit.truncated";
+  st.failure_detail = "stream ends without trailer";
+  return st;
 }
 
 }  // namespace
@@ -61,7 +185,17 @@ Bytes AuditRecord::serialize() const {
   return out;
 }
 
-AuditRecord AuditRecord::parse(ByteView wire) {
+Result<AuditRecord> AuditRecord::parse(ByteView wire) {
+  if (wire.size() < kWireSize) {
+    return Error::make("audit.record_truncated",
+                       "record wire is " + std::to_string(wire.size()) +
+                           " bytes, need " + std::to_string(kWireSize));
+  }
+  if (wire.size() > kWireSize) {
+    return Error::make("audit.record_oversized",
+                       "record wire is " + std::to_string(wire.size()) +
+                           " bytes, expected " + std::to_string(kWireSize));
+  }
   AuditRecord rec;
   rec.session = read_u64be(wire, 0);
   rec.virt_us = read_u64be(wire, 8);
@@ -81,6 +215,14 @@ AuditLog::AuditLog(std::size_t checkpoint_interval)
     : interval_(checkpoint_interval == 0 ? 1 : checkpoint_interval),
       head_(genesis_head()) {}
 
+void AuditLog::emit_locked(std::uint8_t frame_type, ByteView body) {
+  if (!sink_) return;
+  if (auto st = sink_(frame_type, body); !st.ok()) {
+    ++sink_failures_;
+    last_sink_error_ = st.error().to_string();
+  }
+}
+
 void AuditLog::append(const AuditRecord& record) {
   const Bytes wire = record.serialize();
   std::lock_guard<std::mutex> lock(mu_);
@@ -90,6 +232,7 @@ void AuditLog::append(const AuditRecord& record) {
   epoch_leaves_.push_back(crypto::sha256(wire));
   ++records_;
   if (record.accepted) ++accepted_;
+  emit_locked(kFrameRecord, wire);
   if (epoch_leaves_.size() >= interval_) append_checkpoint_locked();
 }
 
@@ -105,6 +248,22 @@ void AuditLog::append_checkpoint_locked() {
   revelio::append(frames_, body);
   head_ = chain(head_, kFrameCheckpoint, body);
   ++checkpoints_;
+  emit_locked(kFrameCheckpoint, body);
+}
+
+void AuditLog::set_sink(FrameSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+std::uint64_t AuditLog::sink_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sink_failures_;
+}
+
+std::string AuditLog::last_sink_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_sink_error_;
 }
 
 std::uint64_t AuditLog::records() const {
@@ -124,104 +283,87 @@ crypto::Digest32 AuditLog::head() const {
 
 Bytes AuditLog::serialize() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return assemble_stream(interval_, frames_, head_);
+}
+
+crypto::Digest32 AuditLog::chain_step(const crypto::Digest32& head,
+                                      std::uint8_t frame_type, ByteView body) {
+  return chain(head, frame_type, body);
+}
+
+Bytes AuditLog::assemble_stream(std::size_t checkpoint_interval,
+                                ByteView frames, const crypto::Digest32& head) {
   Bytes out;
-  out.reserve(kHeaderSize + frames_.size() + 1 + 32);
+  out.reserve(kHeaderSize + frames.size() + 1 + 32);
   out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
-  append_u32be(out, static_cast<std::uint32_t>(interval_));
+  append_u32be(out, static_cast<std::uint32_t>(checkpoint_interval));
   append_u32be(out, static_cast<std::uint32_t>(AuditRecord::kWireSize));
-  revelio::append(out, frames_);
+  revelio::append(out, frames);
   append_u8(out, kFrameTrailer);
-  revelio::append(out, head_.view());
+  revelio::append(out, head.view());
   return out;
 }
 
 Result<AuditLog::VerifySummary> AuditLog::verify(ByteView stream) {
-  if (stream.size() < kHeaderSize + 1 + 32) {
-    return Error::make("audit.truncated", "stream shorter than header+trailer");
+  auto walked = walk_stream(stream);
+  if (!walked.ok()) return walked.error();
+  if (walked->complete) return walked->summary;
+  // Keep verify()'s historical contract: any mid-frame damage — even one
+  // that looks like truncation — is a verification failure with code
+  // audit.tamper; only a stream that stops cleanly between frames gets
+  // audit.truncated. Callers who need the torn-tail distinction use
+  // verify_prefix().
+  if (walked->failure_code == "audit.truncated") {
+    return Error::make("audit.truncated", walked->failure_detail);
   }
-  if (std::memcmp(stream.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Error::make("audit.bad_magic", "not an audit stream");
+  return Error::make("audit.tamper", walked->failure_detail);
+}
+
+Result<AuditLog::PrefixSummary> AuditLog::verify_prefix(ByteView stream) {
+  auto walked = walk_stream(stream);
+  if (!walked.ok()) return walked.error();
+  PrefixSummary out;
+  out.summary = walked->summary;
+  out.complete = walked->complete;
+  out.truncated = walked->truncated;
+  out.valid_frames = walked->frames;
+  out.last_valid_record = walked->summary.records;
+  if (!walked->complete) {
+    out.failure_code = walked->failure_code;
+    out.failure_detail = walked->failure_detail;
+    // A truncated stream's summary covers only fully verified frames; a
+    // record counted before the walk stopped on tampering stays counted —
+    // the caller sees exactly how far trust extends either way.
+    out.summary.head_hex.clear();
   }
-  const std::uint64_t interval = read_u32be(stream, 8);
-  const std::uint64_t rec_size = read_u32be(stream, 12);
-  if (interval == 0 || rec_size != AuditRecord::kWireSize) {
+  return out;
+}
+
+Status AuditLog::restore(ByteView stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_ != 0 || checkpoints_ != 0 || !frames_.empty()) {
+    return Error::make("audit.restore_nonempty",
+                       "restore() requires an empty log");
+  }
+  auto walked = walk_stream(stream);
+  if (!walked.ok()) return walked.error();
+  if (!walked->complete) {
+    return Error::make(walked->failure_code, walked->failure_detail);
+  }
+  if (walked->interval != interval_) {
     return Error::make("audit.bad_header",
-                       "interval=" + std::to_string(interval) +
-                           " record_size=" + std::to_string(rec_size));
+                       "stream checkpoint interval " +
+                           std::to_string(walked->interval) +
+                           " != log interval " + std::to_string(interval_));
   }
-
-  VerifySummary summary;
-  crypto::Digest32 head = genesis_head();
-  std::vector<crypto::Digest32> epoch;
-  std::uint64_t frame = 0;
-  std::size_t off = kHeaderSize;
-  bool saw_trailer = false;
-
-  while (off < stream.size()) {
-    const std::uint8_t type = stream[off];
-    ++off;
-    ++frame;
-    if (type == kFrameRecord) {
-      if (off + rec_size > stream.size()) {
-        return tamper(frame, "truncated record frame");
-      }
-      const ByteView wire = stream.subspan(off, rec_size);
-      off += rec_size;
-      head = chain(head, kFrameRecord, wire);
-      epoch.push_back(crypto::sha256(wire));
-      ++summary.records;
-      if (wire[16] != 0) {
-        ++summary.accepted;
-      } else {
-        ++summary.rejected;
-      }
-      if (epoch.size() > interval) {
-        return tamper(frame, "missing checkpoint after " +
-                                 std::to_string(interval) + " records");
-      }
-    } else if (type == kFrameCheckpoint) {
-      if (off + kCheckpointBody > stream.size()) {
-        return tamper(frame, "truncated checkpoint frame");
-      }
-      const ByteView body = stream.subspan(off, kCheckpointBody);
-      off += kCheckpointBody;
-      if (epoch.size() != interval) {
-        return tamper(frame, "checkpoint after " +
-                                 std::to_string(epoch.size()) + " records, " +
-                                 "expected " + std::to_string(interval));
-      }
-      const crypto::Digest32 expected =
-          crypto::MerkleTree::from_leaves(epoch).root();
-      if (crypto::Digest32::from(body.subspan(0, 32)) != expected) {
-        return tamper(frame, "checkpoint Merkle root mismatch");
-      }
-      if (read_u64be(body, 32) != summary.records) {
-        return tamper(frame, "checkpoint record count mismatch");
-      }
-      epoch.clear();
-      head = chain(head, kFrameCheckpoint, body);
-      ++summary.checkpoints;
-    } else if (type == kFrameTrailer) {
-      if (off + 32 > stream.size()) {
-        return tamper(frame, "truncated trailer");
-      }
-      if (crypto::Digest32::from(stream.subspan(off, 32)) != head) {
-        return tamper(frame, "chain head mismatch — history was modified");
-      }
-      off += 32;
-      if (off != stream.size()) {
-        return tamper(frame, "trailing bytes after trailer");
-      }
-      saw_trailer = true;
-    } else {
-      return tamper(frame, "unknown frame type " + std::to_string(type));
-    }
-  }
-  if (!saw_trailer) {
-    return Error::make("audit.truncated", "stream ends without trailer");
-  }
-  summary.head_hex = to_hex(head.view());
-  return summary;
+  head_ = walked->head;
+  frames_.assign(stream.begin() + kHeaderSize,
+                 stream.begin() + walked->frames_end);
+  epoch_leaves_ = std::move(walked->epoch);
+  records_ = walked->summary.records;
+  checkpoints_ = walked->summary.checkpoints;
+  accepted_ = walked->summary.accepted;
+  return Status::success();
 }
 
 }  // namespace revelio::obs

@@ -22,6 +22,15 @@
 // cannot rewrite history it has already exported: any divergence between
 // a published head and a re-verified stream is proof of tampering.
 //
+// Persistence (PR 9): set_sink() registers an append-through hook that
+// receives every frame as it is chained — the durable tier
+// (obs/audit_store.hpp) writes them to the KV store — and restore()
+// rebuilds a log from a serialized stream, re-verifying the entire chain
+// before accepting a single record, so a gateway can never resume on top
+// of a history it cannot prove. verify_prefix() distinguishes a cleanly
+// truncated tail (a crash mid-append) from interior tampering and reports
+// how far the valid prefix extends.
+//
 // Thread-safety: append() serializes on an internal mutex (many sessions
 // reach their verdict concurrently); serialize()/head() take the same
 // mutex and may interleave with appends.
@@ -29,6 +38,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -69,7 +79,11 @@ struct AuditRecord {
       8 + 8 + 1 + 1 + kFailureStepSize + 48 + 32 + 8 + 32;
 
   Bytes serialize() const;
-  static AuditRecord parse(ByteView wire);  // wire.size() == kWireSize
+  /// Bounds-checked deserialization: `wire` must be exactly kWireSize
+  /// bytes. Short input fails with "audit.record_truncated", long input
+  /// with "audit.record_oversized" — never silent acceptance or an
+  /// out-of-bounds read.
+  static Result<AuditRecord> parse(ByteView wire);
 };
 
 class AuditLog {
@@ -92,6 +106,16 @@ class AuditLog {
   /// far, and a trailer carrying the current head. verify() replays it.
   Bytes serialize() const;
 
+  /// Append-through persistence hook: called under the log mutex with
+  /// every frame (record and checkpoint) as it is folded into the chain,
+  /// in chain order. A failing sink never blocks the in-memory chain —
+  /// failures are counted and surfaced via sink_failures() so operators
+  /// can alarm on a durability gap instead of silently losing history.
+  using FrameSink = std::function<Status(std::uint8_t frame_type, ByteView body)>;
+  void set_sink(FrameSink sink);
+  std::uint64_t sink_failures() const;
+  std::string last_sink_error() const;
+
   struct VerifySummary {
     std::uint64_t records = 0;
     std::uint64_t checkpoints = 0;
@@ -103,11 +127,54 @@ class AuditLog {
   /// Replays a serialized stream with no state beyond the bytes given:
   /// recomputes the chain and every checkpoint root, and compares the
   /// trailer head. Any flipped byte, truncation, insertion or reorder
-  /// yields an "audit.tamper" error naming the offending frame.
+  /// yields an "audit.tamper" error naming the offending frame (a stream
+  /// that simply ends without a trailer yields "audit.truncated").
   static Result<VerifySummary> verify(ByteView stream);
+
+  /// How far a possibly-damaged stream verifies. Distinguishes a *clean
+  /// truncation* — the stream stops mid-frame or before the trailer,
+  /// exactly what a crash mid-append produces — from interior tampering
+  /// (valid-looking bytes that fail the chain). Header damage (bad magic
+  /// or parameters) still fails the call outright.
+  struct PrefixSummary {
+    VerifySummary summary;      // over the longest verifiable prefix
+    bool complete = false;      // trailer present and head matches
+    bool truncated = false;     // stopped at a clean truncation
+    std::uint64_t valid_frames = 0;
+    std::uint64_t last_valid_record = 0;  // 1-based; 0 = none survived
+    std::string failure_code;   // audit.record_truncated /
+                                // audit.checkpoint_truncated /
+                                // audit.trailer_truncated /
+                                // audit.truncated / audit.tamper
+    std::string failure_detail;
+  };
+  static Result<PrefixSummary> verify_prefix(ByteView stream);
+
+  /// One chaining step, h' = SHA-256(h || frame_type || body) — exposed so
+  /// the durable tier can maintain the running head it persists alongside
+  /// each frame.
+  static crypto::Digest32 chain_step(const crypto::Digest32& head,
+                                     std::uint8_t frame_type, ByteView body);
+
+  /// Assembles a serialized stream from its parts (header parameters, the
+  /// concatenated frames exactly as appended, and the trailer head). The
+  /// result is what serialize() would have produced — verify()/restore()
+  /// accept it. Used by the durable tier to rebuild a stream from
+  /// individually persisted frames.
+  static Bytes assemble_stream(std::size_t checkpoint_interval,
+                               ByteView frames, const crypto::Digest32& head);
+
+  /// Rebuilds this (empty) log from a serialized stream, re-verifying the
+  /// entire chain first: a stream that fails verification — including a
+  /// truncated tail — restores nothing. The stream's checkpoint interval
+  /// must match this log's. Fail-closed by construction: after a
+  /// successful restore the log's head equals the stream's trailer head
+  /// and appends continue the chain seamlessly.
+  Status restore(ByteView stream);
 
  private:
   void append_checkpoint_locked();
+  void emit_locked(std::uint8_t frame_type, ByteView body);
 
   const std::size_t interval_;
   mutable std::mutex mu_;
@@ -117,6 +184,9 @@ class AuditLog {
   std::uint64_t records_ = 0;
   std::uint64_t checkpoints_ = 0;
   std::uint64_t accepted_ = 0;
+  FrameSink sink_;
+  std::uint64_t sink_failures_ = 0;
+  std::string last_sink_error_;
 };
 
 }  // namespace revelio::obs

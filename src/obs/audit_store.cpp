@@ -1,0 +1,204 @@
+#include "obs/audit_store.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace revelio::obs {
+
+namespace {
+
+constexpr std::string_view kMetaKey = "audit/meta";
+constexpr std::string_view kHeadKey = "audit/head";
+constexpr std::string_view kFramePrefix = "audit/f/";
+
+std::string frame_key(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, seq);
+  return std::string(kFramePrefix) + buf;
+}
+
+struct StoredChain {
+  std::uint32_t interval = 0;
+  std::vector<Bytes> frames;  // type byte || body, in seq order
+  crypto::Digest32 head{};    // stored running head (genesis if absent)
+  bool have_head = false;
+};
+
+crypto::Digest32 genesis() {
+  // The chain's genesis head; the seed string is part of the public audit
+  // format (see audit_log.cpp).
+  static const char kSeed[] = "revelio-audit-v1";
+  return crypto::sha256(ByteView(
+      reinterpret_cast<const std::uint8_t*>(kSeed), sizeof(kSeed) - 1));
+}
+
+Result<StoredChain> read_chain(store::KvStore& kv) {
+  StoredChain out;
+  const auto meta = kv.get(to_bytes(kMetaKey));
+  if (!meta.has_value()) {
+    return Error::make("audit.store_empty", "no audit metadata in store");
+  }
+  if (meta->size() != 4) {
+    return Error::make("audit.bad_header", "audit/meta has wrong size");
+  }
+  out.interval = read_u32be(*meta, 0);
+  if (out.interval == 0) {
+    return Error::make("audit.bad_header", "audit/meta interval is 0");
+  }
+
+  bool contiguous = true;
+  std::uint64_t expect = 0;
+  kv.for_each_prefix(to_bytes(kFramePrefix), [&](ByteView key, ByteView val) {
+    // Keys are fixed-width hex, so lexicographic order is numeric order.
+    const std::string name = revelio::to_string(key);
+    if (name.size() != kFramePrefix.size() + 16) {
+      contiguous = false;
+      ++expect;
+      out.frames.push_back(to_bytes(val));
+      return;
+    }
+    char* end = nullptr;
+    const std::uint64_t seq =
+        std::strtoull(name.c_str() + kFramePrefix.size(), &end, 16);
+    if (end == nullptr || *end != '\0' || seq != expect) contiguous = false;
+    ++expect;
+    out.frames.push_back(to_bytes(val));
+  });
+  if (!contiguous) {
+    return Error::make("audit.tamper", "audit frame sequence has gaps");
+  }
+
+  if (const auto head = kv.get(to_bytes(kHeadKey)); head.has_value()) {
+    if (head->size() != 32) {
+      return Error::make("audit.tamper", "audit/head has wrong size");
+    }
+    out.head = crypto::Digest32::from(*head);
+    out.have_head = true;
+  } else {
+    out.head = genesis();
+  }
+  return out;
+}
+
+Bytes concat_frames(const std::vector<Bytes>& frames, std::size_t count) {
+  Bytes out;
+  for (std::size_t i = 0; i < count; ++i) append(out, ByteView(frames[i]));
+  return out;
+}
+
+struct LoadedStream {
+  Bytes stream;
+  std::uint32_t interval = 0;
+  bool reconciled = false;
+};
+
+Result<LoadedStream> load_reconciled(store::KvStore& kv) {
+  auto chain = read_chain(kv);
+  if (!chain.ok()) return chain.error();
+
+  LoadedStream out;
+  out.interval = chain->interval;
+  out.stream = AuditLog::assemble_stream(
+      chain->interval, concat_frames(chain->frames, chain->frames.size()),
+      chain->head);
+  const auto full = AuditLog::verify(out.stream);
+  if (full.ok()) return out;
+
+  // A crash between a frame put and its head put leaves exactly one frame
+  // the stored head does not cover. Dropping it must yield a stream the
+  // head verifies; anything else is damage we refuse to paper over.
+  if (!chain->frames.empty()) {
+    Bytes retry = AuditLog::assemble_stream(
+        chain->interval,
+        concat_frames(chain->frames, chain->frames.size() - 1), chain->head);
+    if (AuditLog::verify(retry).ok()) {
+      out.stream = std::move(retry);
+      out.reconciled = true;
+      return out;
+    }
+  }
+  return full.error();
+}
+
+}  // namespace
+
+Result<Bytes> load_audit_stream(store::KvStore& kv) {
+  auto loaded = load_reconciled(kv);
+  if (!loaded.ok()) return loaded.error();
+  return std::move(loaded->stream);
+}
+
+Result<DurableAudit> open_durable_audit(store::KvStore& kv,
+                                        std::size_t checkpoint_interval) {
+  if (checkpoint_interval == 0) checkpoint_interval = 1;
+
+  DurableAudit out;
+  out.log = std::make_unique<AuditLog>(checkpoint_interval);
+
+  const bool fresh = !kv.get(to_bytes(kMetaKey)).has_value();
+  crypto::Digest32 running_head = genesis();
+  std::uint64_t next_seq = 0;
+
+  if (fresh) {
+    Bytes meta;
+    append_u32be(meta, static_cast<std::uint32_t>(checkpoint_interval));
+    if (auto st = kv.put(to_bytes(kMetaKey), meta); !st.ok()) return st.error();
+  } else {
+    auto loaded = load_reconciled(kv);
+    if (!loaded.ok()) return loaded.error();
+    if (loaded->interval != checkpoint_interval) {
+      return Error::make("audit.bad_header",
+                         "persisted checkpoint interval " +
+                             std::to_string(loaded->interval) +
+                             " != requested " +
+                             std::to_string(checkpoint_interval));
+    }
+    if (auto st = out.log->restore(loaded->stream); !st.ok()) {
+      return st.error();
+    }
+    out.restored_records = out.log->records();
+    out.restored_checkpoints = out.log->checkpoints();
+    out.reconciled_torn_frame = loaded->reconciled;
+    running_head = out.log->head();
+    next_seq = out.restored_records + out.restored_checkpoints;
+  }
+
+  struct SinkState {
+    store::KvStore* kv;
+    std::uint64_t seq;
+    crypto::Digest32 head;
+    bool broken = false;
+  };
+  auto state = std::make_shared<SinkState>(
+      SinkState{&kv, next_seq, running_head});
+  out.log->set_sink([state](std::uint8_t type, ByteView body) -> Status {
+    if (state->broken) {
+      return Error::make("store.io_crashed",
+                         "audit persistence latched off after earlier failure");
+    }
+    Bytes value;
+    value.reserve(1 + body.size());
+    append_u8(value, type);
+    append(value, body);
+    if (auto st = state->kv->put(to_bytes(frame_key(state->seq)), value);
+        !st.ok()) {
+      state->broken = true;
+      return st;
+    }
+    const crypto::Digest32 next =
+        AuditLog::chain_step(state->head, type, body);
+    if (auto st = state->kv->put(to_bytes(kHeadKey), next.view()); !st.ok()) {
+      state->broken = true;
+      return st;
+    }
+    state->head = next;
+    ++state->seq;
+    return Status::success();
+  });
+  return out;
+}
+
+}  // namespace revelio::obs

@@ -1,0 +1,61 @@
+// Durable backing for the attestation audit chain.
+//
+// Frames are persisted individually in the KV store as they are chained,
+// together with the running head:
+//
+//   audit/meta          u32be checkpoint interval
+//   audit/f/<seq hex>   u8 frame_type || frame body   (seq = 0,1,2,...)
+//   audit/head          32-byte chain head after frame <seq>
+//
+// open_durable_audit() reconstructs the serialized stream from these keys
+// and *re-verifies the whole hash chain* before the log accepts a single
+// new record — a gateway can never resume on top of a history it cannot
+// prove. A flipped byte anywhere in the persisted frames surfaces as
+// audit.tamper and the open fails closed.
+//
+// Crash reconciliation: each frame commits as two KV puts (frame, then
+// head). A crash between them leaves one frame whose head never landed;
+// that frame was never fully committed, so the open drops it and resumes
+// from the verified prefix — the only state a crash can create that is
+// repaired, and only ever the final frame. Interior damage is never
+// "repaired".
+//
+// The returned log carries an append-through sink that persists every new
+// frame. If a sink write ever fails, persistence latches off (keeping the
+// on-disk prefix verifiable) and the gap is surfaced via
+// AuditLog::sink_failures(); the in-memory chain is unaffected.
+//
+// Lifetime: the KvStore must outlive the returned AuditLog.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.hpp"
+#include "obs/audit_log.hpp"
+#include "store/kv_store.hpp"
+
+namespace revelio::obs {
+
+struct DurableAudit {
+  std::unique_ptr<AuditLog> log;  // sink attached, history restored
+  std::uint64_t restored_records = 0;
+  std::uint64_t restored_checkpoints = 0;
+  bool reconciled_torn_frame = false;  // a crash-torn final frame was dropped
+};
+
+/// Opens (or initialises) the durable audit chain in `kv`. Fails closed on
+/// any chain damage beyond a single torn final frame, and on a checkpoint
+/// interval that does not match the persisted one.
+Result<DurableAudit> open_durable_audit(store::KvStore& kv,
+                                        std::size_t checkpoint_interval = 64);
+
+/// Rebuilds the serialized audit stream from the store for offline
+/// verification (tools/audit_verify --store), applying the same torn-final-
+/// frame reconciliation as open_durable_audit(). The returned stream has
+/// already passed AuditLog::verify(); damage fails the call with the
+/// verifier's error. Fails with "audit.store_empty" when the store holds no
+/// audit data at all.
+Result<Bytes> load_audit_stream(store::KvStore& kv);
+
+}  // namespace revelio::obs

@@ -5,8 +5,28 @@
 
 namespace revelio::pki {
 
+namespace {
+
+constexpr std::string_view kChainKeyPrefix = "chain/";
+constexpr std::size_t kChainValueSize = 16;  // from_us || until_us, u64be
+
+Bytes chain_store_key(const crypto::Digest32& key) {
+  Bytes k;
+  k.reserve(kChainKeyPrefix.size() + crypto::Digest32::size());
+  append(k, kChainKeyPrefix);
+  append(k, key.view());
+  return k;
+}
+
+}  // namespace
+
 ChainVerificationCache::ChainVerificationCache(std::size_t capacity)
     : capacity_(capacity) {}
+
+void ChainVerificationCache::attach_store(store::KvStore* kv) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_ = kv;
+}
 
 crypto::Digest32 ChainVerificationCache::cache_key(
     const Certificate& leaf, const std::vector<Certificate>& intermediates,
@@ -78,6 +98,28 @@ Status ChainVerificationCache::verify_keyed(
     obs::metrics().counter("pki.chain_cache.miss.count").inc();
   }
 
+  // Durable tier: a previous run may have verified this exact chain. The
+  // persisted record holds only the validity window — the verdict applies
+  // because the fingerprint was recomputed from the bytes presented *now*,
+  // and it is honored only while now_us stays inside that window. Anything
+  // malformed is treated as a miss and re-verified (never trusted).
+  if (store_ != nullptr) {
+    if (const auto stored = store_->get(chain_store_key(key));
+        stored && stored->size() == kChainValueSize) {
+      const std::uint64_t from = read_u64be(*stored, 0);
+      const std::uint64_t until = read_u64be(*stored, 8);
+      if (from <= until && options.now_us >= from && options.now_us <= until) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.store_hits;
+        obs::metrics().counter("pki.chain_cache.store_hit.count").inc();
+        insert_locked(key, from, until);
+        span.attr("cache", "store_hit");
+        span.attr("result", "ok");
+        return Status::success();
+      }
+    }
+  }
+
   const Status st = verify_chain(leaf, intermediates, roots, options);
   obs::metrics()
       .counter("pki.chain_verify.result.count",
@@ -99,7 +141,26 @@ Status ChainVerificationCache::verify_keyed(
   for (const auto& cert : roots) tighten(cert);
 
   std::lock_guard<std::mutex> lock(mutex_);
-  if (capacity_ == 0 || entries_.count(key) != 0) return st;
+  insert_locked(key, from, until);
+  if (store_ != nullptr) {
+    Bytes value;
+    value.reserve(kChainValueSize);
+    append_u64be(value, from);
+    append_u64be(value, until);
+    // Best effort: a failed write-through leaves the verdict memory-only
+    // and the next restart re-verifies — slower, never less safe.
+    if (!store_->put(chain_store_key(key), value).ok()) {
+      ++stats_.store_write_failures;
+      obs::metrics().counter("pki.chain_cache.store_write_failure.count").inc();
+    }
+  }
+  return st;
+}
+
+void ChainVerificationCache::insert_locked(const crypto::Digest32& key,
+                                           std::uint64_t from,
+                                           std::uint64_t until) {
+  if (capacity_ == 0 || entries_.count(key) != 0) return;
   if (entries_.size() >= capacity_) {
     entries_.erase(lru_.back());
     lru_.pop_back();
@@ -108,7 +169,6 @@ Status ChainVerificationCache::verify_keyed(
   }
   lru_.push_front(key);
   entries_[key] = Entry{from, until, lru_.begin()};
-  return st;
 }
 
 ChainVerificationCache::Stats ChainVerificationCache::stats() const {
@@ -163,6 +223,8 @@ ChainVerificationCache::Stats ShardedChainCache::stats() const {
     total.misses += s.misses;
     total.evictions += s.evictions;
     total.window_rejects += s.window_rejects;
+    total.store_hits += s.store_hits;
+    total.store_write_failures += s.store_write_failures;
   }
   return total;
 }
@@ -175,6 +237,10 @@ std::size_t ShardedChainCache::size() const {
 
 void ShardedChainCache::clear() {
   for (auto& shard : shards_) shard->clear();
+}
+
+void ShardedChainCache::attach_store(store::KvStore* kv) {
+  for (auto& shard : shards_) shard->attach_store(kv);
 }
 
 }  // namespace revelio::pki

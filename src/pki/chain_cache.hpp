@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "pki/cert.hpp"
+#include "store/kv_store.hpp"
 
 namespace revelio::pki {
 
@@ -81,6 +82,17 @@ class ChainVerificationCache final : public ChainVerifier {
                       const std::vector<Certificate>& roots,
                       const ChainVerifyOptions& options);
 
+  /// Durable tier behind this cache (attach_store): verified windows are
+  /// written through under "chain/<fingerprint>" and consulted on an
+  /// in-memory miss, so a restarted gateway skips re-verifying chains it
+  /// proved in a previous run. Safe by construction: the fingerprint is
+  /// recomputed from the *presented* chain bytes at lookup, so a persisted
+  /// verdict can only ever apply to a byte-identical chain + root set +
+  /// constraint, and the validity window is still enforced at query time.
+  /// Store write failures degrade to memory-only (counted, never trusted).
+  /// The store must outlive the cache.
+  void attach_store(store::KvStore* kv);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -89,6 +101,10 @@ class ChainVerificationCache final : public ChainVerifier {
     /// Lookups that matched a key but fell outside the cached validity
     /// window (entry expired, dropped, chain re-verified).
     std::uint64_t window_rejects = 0;
+    /// In-memory misses served from the durable tier without re-verifying.
+    std::uint64_t store_hits = 0;
+    /// Durable write-throughs that failed (entry stays memory-only).
+    std::uint64_t store_write_failures = 0;
   };
   /// Per-instance counters, read under the cache mutex (safe any time).
   /// The same events are also reported process-wide through obs::metrics()
@@ -106,11 +122,16 @@ class ChainVerificationCache final : public ChainVerifier {
     std::list<crypto::Digest32>::iterator lru_it;
   };
 
+  /// Inserts under the already-held mutex, evicting if needed.
+  void insert_locked(const crypto::Digest32& key, std::uint64_t from,
+                     std::uint64_t until);
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::list<crypto::Digest32> lru_;  // front = most recently used
   std::map<crypto::Digest32, Entry> entries_;
   Stats stats_;
+  store::KvStore* store_ = nullptr;
 };
 
 /// Lock-striped chain cache: the cache-key fingerprint picks one of
@@ -147,6 +168,11 @@ class ShardedChainCache final : public ChainVerifier {
   /// Which shard a cache key routes to: first 8 bytes of the fingerprint
   /// (big-endian) modulo the shard count. Exposed for tests.
   std::size_t shard_index(const crypto::Digest32& key) const;
+
+  /// Attaches the durable tier to every shard (they share the thread-safe
+  /// store; keys cannot collide across shards since the fingerprint picks
+  /// the shard). See ChainVerificationCache::attach_store.
+  void attach_store(store::KvStore* kv);
 
  private:
   // unique_ptr: ChainVerificationCache owns a mutex, so the shard array

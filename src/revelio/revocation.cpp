@@ -1,0 +1,121 @@
+#include "revelio/revocation.hpp"
+
+namespace revelio {
+
+namespace {
+
+constexpr std::string_view kPrefix = "revoked/";
+
+std::size_t id_size_for(char kind) {
+  switch (kind) {
+    case 'm':
+      return sevsnp::Measurement::size();
+    case 'c':
+      return sevsnp::ChipId::size();
+    case 'v':
+      return crypto::Digest32::size();
+    default:
+      return 0;
+  }
+}
+
+Bytes entry_key(char kind, ByteView id) {
+  Bytes key;
+  key.reserve(1 + id.size());
+  append_u8(key, static_cast<std::uint8_t>(kind));
+  append(key, id);
+  return key;
+}
+
+Bytes store_key(char kind, ByteView id) {
+  Bytes key;
+  key.reserve(kPrefix.size() + 2 + id.size());
+  append(key, kPrefix);
+  append_u8(key, static_cast<std::uint8_t>(kind));
+  append_u8(key, '/');
+  append(key, id);
+  return key;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RevocationSet>> RevocationSet::open(store::KvStore& kv) {
+  auto set = std::make_unique<RevocationSet>();
+  set->kv_ = &kv;
+  Status bad = Status::success();
+  kv.for_each_prefix(to_bytes(kPrefix), [&](ByteView key, ByteView) {
+    if (!bad.ok()) return;
+    // key = "revoked/" <kind> "/" <id>
+    if (key.size() < kPrefix.size() + 2) {
+      bad = Error::make("revocation.corrupt", "persisted key too short");
+      return;
+    }
+    const char kind = static_cast<char>(key[kPrefix.size()]);
+    const std::size_t want = id_size_for(kind);
+    const ByteView id = key.subspan(kPrefix.size() + 2);
+    if (want == 0 || key[kPrefix.size() + 1] != '/' || id.size() != want) {
+      bad = Error::make("revocation.corrupt",
+                        "malformed persisted revocation entry");
+      return;
+    }
+    set->entries_.insert(entry_key(kind, id));
+  });
+  if (!bad.ok()) return bad.error();
+  return set;
+}
+
+Status RevocationSet::revoke(char kind, ByteView id, const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.insert(entry_key(kind, id));
+  if (kv_ == nullptr) return Status::success();
+  return kv_->put(store_key(kind, id), to_bytes(reason));
+}
+
+bool RevocationSet::is_revoked(char kind, ByteView id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  const bool hit = entries_.count(entry_key(kind, id)) != 0;
+  if (hit) ++hits_;
+  return hit;
+}
+
+Status RevocationSet::revoke_measurement(const sevsnp::Measurement& measurement,
+                                         const std::string& reason) {
+  return revoke('m', measurement.view(), reason);
+}
+
+Status RevocationSet::revoke_chip(const sevsnp::ChipId& chip,
+                                  const std::string& reason) {
+  return revoke('c', chip.view(), reason);
+}
+
+Status RevocationSet::revoke_vcek(const crypto::Digest32& cert_fingerprint,
+                                  const std::string& reason) {
+  return revoke('v', cert_fingerprint.view(), reason);
+}
+
+bool RevocationSet::is_measurement_revoked(
+    const sevsnp::Measurement& measurement) const {
+  return is_revoked('m', measurement.view());
+}
+
+bool RevocationSet::is_chip_revoked(const sevsnp::ChipId& chip) const {
+  return is_revoked('c', chip.view());
+}
+
+bool RevocationSet::is_vcek_revoked(
+    const crypto::Digest32& cert_fingerprint) const {
+  return is_revoked('v', cert_fingerprint.view());
+}
+
+RevocationSet::Stats RevocationSet::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{entries_.size(), checks_, hits_};
+}
+
+std::size_t RevocationSet::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace revelio

@@ -1,0 +1,84 @@
+// Revocation set consulted fail-closed in the attestation verify stage.
+//
+// The paper's fleet-lifecycle story (ROADMAP item 3) needs a way to kill
+// trust *after* the fact: a launch measurement whose image turned out to
+// be exploitable, a chip whose endorsement key leaked, a VCEK certificate
+// AMD revoked. This set holds all three kinds, keyed by their canonical
+// binary identity:
+//
+//   measurement  48-byte launch digest
+//   chip         64-byte CHIP_ID
+//   vcek         32-byte certificate fingerprint (sha256 over the DER)
+//
+// The verify stage checks the set *before* any signature work: a revoked
+// identity is rejected no matter how valid its evidence is, and the
+// rejection is audited with failure_step "revocation".
+//
+// Persistence: open() backs the set with the durable KV tier so
+// revocations outlive a gateway restart — forgetting a revocation on
+// reboot would be a fail-open. Entries live under "revoked/<kind>/<id>"
+// with the human-readable reason as the value; open() fails closed on any
+// malformed persisted entry rather than silently skipping it.
+//
+// Thread-safe: checks take a mutex; the set is read-mostly and far off
+// the crypto hot path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/sha2.hpp"
+#include "sevsnp/attestation_report.hpp"
+#include "store/kv_store.hpp"
+
+namespace revelio {
+
+class RevocationSet {
+ public:
+  /// In-memory set (tests, ephemeral gateways).
+  RevocationSet() = default;
+
+  /// Store-backed set: loads every persisted entry and writes new
+  /// revocations through. Fails closed ("revocation.corrupt") if any
+  /// persisted entry is malformed. The store must outlive the set.
+  static Result<std::unique_ptr<RevocationSet>> open(store::KvStore& kv);
+
+  /// Revocations return an error when the durable write fails — but the
+  /// entry is ALWAYS active in memory from this call on (revoking more
+  /// than asked is safe; forgetting a revocation is not).
+  Status revoke_measurement(const sevsnp::Measurement& measurement,
+                            const std::string& reason = {});
+  Status revoke_chip(const sevsnp::ChipId& chip,
+                     const std::string& reason = {});
+  Status revoke_vcek(const crypto::Digest32& cert_fingerprint,
+                     const std::string& reason = {});
+
+  bool is_measurement_revoked(const sevsnp::Measurement& measurement) const;
+  bool is_chip_revoked(const sevsnp::ChipId& chip) const;
+  bool is_vcek_revoked(const crypto::Digest32& cert_fingerprint) const;
+
+  struct Stats {
+    std::uint64_t entries = 0;
+    std::uint64_t checks = 0;  // is_*_revoked calls
+    std::uint64_t hits = 0;    // checks that found a revocation
+  };
+  Stats stats() const;
+  std::size_t size() const;
+
+ private:
+  Status revoke(char kind, ByteView id, const std::string& reason);
+  bool is_revoked(char kind, ByteView id) const;
+
+  mutable std::mutex mu_;
+  std::set<Bytes> entries_;  // kind byte || id bytes
+  store::KvStore* kv_ = nullptr;
+  mutable std::uint64_t checks_ = 0;
+  mutable std::uint64_t hits_ = 0;
+};
+
+}  // namespace revelio

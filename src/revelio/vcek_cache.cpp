@@ -1,8 +1,55 @@
 #include "revelio/vcek_cache.hpp"
 
+#include <optional>
+
 #include "obs/metrics.hpp"
 
 namespace revelio::core {
+
+namespace {
+
+constexpr std::string_view kVcekKeyPrefix = "vcek/";
+
+Bytes vcek_store_key(const VcekCache::Key& key) {
+  Bytes k;
+  k.reserve(kVcekKeyPrefix.size() + key.first.size() + 8);
+  append(k, kVcekKeyPrefix);
+  append(k, key.first);
+  append_u64be(k, key.second);
+  return k;
+}
+
+// Durable record: three u32be-length-prefixed certificate serializations
+// (vcek, ask, ark). Exact-parse — trailing bytes make the record invalid.
+Bytes serialize_response(const KdsService::VcekResponse& response) {
+  Bytes out;
+  for (const pki::Certificate* cert :
+       {&response.vcek, &response.ask, &response.ark}) {
+    const Bytes s = cert->serialize();
+    append_u32be(out, static_cast<std::uint32_t>(s.size()));
+    append(out, s);
+  }
+  return out;
+}
+
+std::optional<KdsService::VcekResponse> parse_response(ByteView data) {
+  KdsService::VcekResponse response;
+  for (pki::Certificate* cert : {&response.vcek, &response.ask,
+                                 &response.ark}) {
+    if (data.size() < 4) return std::nullopt;
+    const std::uint32_t len = read_u32be(data, 0);
+    data = data.subspan(4);
+    if (data.size() < len) return std::nullopt;
+    auto parsed = pki::Certificate::parse(data.subspan(0, len));
+    if (!parsed.ok()) return std::nullopt;
+    *cert = std::move(*parsed);
+    data = data.subspan(len);
+  }
+  if (!data.empty()) return std::nullopt;
+  return response;
+}
+
+}  // namespace
 
 VcekCache::VcekCache(std::size_t shards, std::size_t capacity_per_shard)
     : capacity_per_shard_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
@@ -38,6 +85,22 @@ bool VcekCache::lookup(Shard& shard, const Key& key,
   return true;
 }
 
+void VcekCache::insert(Shard& shard, const Key& key,
+                       const KdsService::VcekResponse& response) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.entries.count(key) != 0) return;
+  if (shard.entries.size() >= capacity_per_shard_) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(key);
+  shard.entries.emplace(key, std::make_pair(response, shard.lru.begin()));
+}
+
+void VcekCache::attach_store(store::KvStore* kv) {
+  store_.store(kv, std::memory_order_release);
+}
+
 Result<KdsService::VcekResponse> VcekCache::get_or_fetch(
     const sevsnp::ChipId& chip, sevsnp::TcbVersion tcb, const FetchFn& fetch) {
   const Key key = std::make_pair(chip.bytes(), tcb.encode());
@@ -61,6 +124,22 @@ Result<KdsService::VcekResponse> VcekCache::get_or_fetch(
       return Result<KdsService::VcekResponse>(refilled);
     }
 
+    // Durable tier before the network: a chain persisted by a previous
+    // run serves this miss with zero KDS traffic. Coalesced followers
+    // inherit it through the flight, like a real fetch. Anything that
+    // fails to parse is a plain miss — the KDS round trip repairs it.
+    store::KvStore* kv = store_.load(std::memory_order_acquire);
+    if (kv != nullptr) {
+      if (const auto stored = kv->get(vcek_store_key(key))) {
+        if (auto parsed = parse_response(*stored)) {
+          store_hits_.fetch_add(1, std::memory_order_relaxed);
+          obs::metrics().counter("kds.fetch.store_hit.count").inc();
+          insert(shard, key, *parsed);
+          return Result<KdsService::VcekResponse>(std::move(*parsed));
+        }
+      }
+    }
+
     fetches_.fetch_add(1, std::memory_order_relaxed);
     obs::metrics().counter("kds.fetch.count").inc();
     Result<KdsService::VcekResponse> fetched = fetch();
@@ -69,15 +148,14 @@ Result<KdsService::VcekResponse> VcekCache::get_or_fetch(
     // Insert BEFORE the flight publishes: once any waiter observes the
     // result, the entry is already servable — no window where a fresh
     // caller misses a chain that a finished flight just fetched.
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.entries.count(key) == 0) {
-      if (shard.entries.size() >= capacity_per_shard_) {
-        shard.entries.erase(shard.lru.back());
-        shard.lru.pop_back();
+    insert(shard, key, *fetched);
+    if (kv != nullptr) {
+      // Best effort: a failed write-through costs a re-fetch after the
+      // next restart, nothing else.
+      if (!kv->put(vcek_store_key(key), serialize_response(*fetched)).ok()) {
+        store_write_failures_.fetch_add(1, std::memory_order_relaxed);
+        obs::metrics().counter("kds.fetch.store_write_failure.count").inc();
       }
-      shard.lru.push_front(key);
-      shard.entries.emplace(
-          key, std::make_pair(*fetched, shard.lru.begin()));
     }
     return fetched;
   });
@@ -96,6 +174,9 @@ VcekCache::Stats VcekCache::stats() const {
   s.fetches = fetches_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
   s.failures = failures_.load(std::memory_order_relaxed);
+  s.store_hits = store_hits_.load(std::memory_order_relaxed);
+  s.store_write_failures =
+      store_write_failures_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -35,6 +35,7 @@
 
 #include "common/single_flight.hpp"
 #include "revelio/evidence.hpp"
+#include "store/kv_store.hpp"
 
 namespace revelio::core {
 
@@ -61,11 +62,24 @@ class VcekCache {
                                                 sevsnp::TcbVersion tcb,
                                                 const FetchFn& fetch);
 
+  /// Durable tier behind the shards (attach_store): fetched chains are
+  /// written through under "vcek/<chip><tcb>" and consulted before paying a
+  /// KDS round trip, so a restarted gateway resolves known (chip, TCB)
+  /// pairs with zero fetches. The persisted bytes carry no authority —
+  /// every certificate loaded from the store is still chain-walked to the
+  /// pinned ARK by the verify path, so a corrupted or malicious record can
+  /// only cause a re-fetch or a verification failure, never silent trust.
+  /// Unparseable records are treated as a miss. The store must be
+  /// thread-safe for the cache's callers and must outlive the cache.
+  void attach_store(store::KvStore* kv);
+
   struct Stats {
     std::uint64_t hits = 0;       // served from a shard without fetching
     std::uint64_t fetches = 0;    // FetchFn actually executed (leaders)
     std::uint64_t coalesced = 0;  // waited on another caller's fetch
     std::uint64_t failures = 0;   // get_or_fetch calls that returned error
+    std::uint64_t store_hits = 0;  // served from the durable tier, no fetch
+    std::uint64_t store_write_failures = 0;  // write-throughs that failed
   };
   /// Atomic counters; readable at any time from any thread.
   Stats stats() const;
@@ -91,15 +105,21 @@ class VcekCache {
 
   /// Looks `key` up in `shard`, refreshing LRU order on a hit.
   bool lookup(Shard& shard, const Key& key, KdsService::VcekResponse* out);
+  /// Inserts into `shard` under its mutex (no-op if already present).
+  void insert(Shard& shard, const Key& key,
+              const KdsService::VcekResponse& response);
 
   std::size_t capacity_per_shard_;
   // unique_ptr: Shard owns a mutex, the array must never move.
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<store::KvStore*> store_{nullptr};
 
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> fetches_{0};
   mutable std::atomic<std::uint64_t> coalesced_{0};
   mutable std::atomic<std::uint64_t> failures_{0};
+  mutable std::atomic<std::uint64_t> store_hits_{0};
+  mutable std::atomic<std::uint64_t> store_write_failures_{0};
 };
 
 }  // namespace revelio::core

@@ -6,6 +6,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "revelio/revocation.hpp"
 
 namespace revelio::core {
 
@@ -386,11 +387,37 @@ bool WebExtension::verify_policy(const std::string& domain,
   return true;
 }
 
+bool WebExtension::check_revocation(const EvidenceBundle& bundle,
+                                    const KdsService::VcekResponse& kds,
+                                    AttestationChecks& checks) {
+  if (config_.revocation_set == nullptr) return true;
+  const RevocationSet& set = *config_.revocation_set;
+  std::string what;
+  if (set.is_measurement_revoked(bundle.report.measurement)) {
+    what = "measurement";
+  } else if (set.is_chip_revoked(bundle.report.chip_id)) {
+    what = "chip";
+  } else if (set.is_vcek_revoked(kds.vcek.fingerprint())) {
+    what = "VCEK certificate";
+  } else {
+    return true;
+  }
+  checks.failure = what + " is revoked";
+  checks.failure_step = "revocation";
+  obs::metrics()
+      .counter("ext.attest.revoked.count", {{"kind", what}})
+      .inc();
+  return false;
+}
+
 bool WebExtension::stage_verify(const std::string& domain,
                                 const EvidenceBundle& bundle,
                                 const KdsService::VcekResponse& kds,
                                 const Bytes& session_key,
                                 AttestationChecks& checks) {
+  // Revocation is checked before a single signature is examined: evidence
+  // from a revoked identity must not even reach the crypto.
+  if (!check_revocation(bundle, kds, checks)) return false;
   const SiteRegistration& site = sites_.at(domain);
   sevsnp::ReportVerifyOptions options;
   options.now_us = browser_->network().clock().now_us();
@@ -554,6 +581,15 @@ Result<sevsnp::PreparedReportVerify>
 WebExtension::StagedAttestation::verify_prepare() {
   if (next_ != Stage::kVerify || prepared_) {
     return wrong_stage("verify").error();
+  }
+  if (!ext_->check_revocation(*bundle_, *kds_, checks_)) {
+    // Terminal like any other failed verify: audited, counted, fail closed
+    // — and the signature batch never sees this session.
+    ext_->note_verdict(checks_, &*bundle_, &*kds_, false);
+    ext_->state_[domain_].checks = checks_;
+    ext_->state_[domain_].attested = false;
+    ext_->note_attest_result(checks_.failure_step);
+    return Error::make("extension.attestation_failed", checks_.failure);
   }
   sevsnp::ReportVerifyOptions options;
   options.now_us = ext_->browser_->network().clock().now_us();

@@ -26,6 +26,10 @@ namespace revelio::obs {
 class AuditLog;  // obs/audit_log.hpp
 }  // namespace revelio::obs
 
+namespace revelio {
+class RevocationSet;  // revelio/revocation.hpp
+}  // namespace revelio
+
 namespace revelio::core {
 
 class Browser {
@@ -155,6 +159,12 @@ struct WebExtensionConfig {
   /// Session id stamped on this extension's audit records (the gateway
   /// sets it to the session index; a lone extension can leave 0).
   std::uint64_t audit_session_id = 0;
+  /// When set, the verify stage consults this set *before* any signature
+  /// work and rejects fail-closed (failure_step "revocation") if the
+  /// report's measurement, chip, or the fetched VCEK certificate has been
+  /// revoked — on every path: blocking, staged, and batch. Must outlive
+  /// the extension; checks are thread-safe.
+  const RevocationSet* revocation_set = nullptr;
 };
 
 class WebExtension {
@@ -317,6 +327,12 @@ class WebExtension {
                                                std::uint16_t port,
                                                const net::Deadline& deadline,
                                                AttestationChecks& checks);
+  /// Fail-closed revocation gate (config_.revocation_set): true when no
+  /// identity in the evidence is revoked (or no set is configured). Runs
+  /// before any signature work on every verify path.
+  bool check_revocation(const EvidenceBundle& bundle,
+                        const KdsService::VcekResponse& kds,
+                        AttestationChecks& checks);
   /// Chain/signature/measurement/TLS-binding checks; records the attested
   /// DomainState and returns true iff everything passed.
   bool stage_verify(const std::string& domain, const EvidenceBundle& bundle,

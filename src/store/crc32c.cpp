@@ -1,0 +1,38 @@
+#include "store/crc32c.hpp"
+
+#include <array>
+
+namespace revelio::store {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& table() {
+  static const std::array<uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32c(ByteView data, uint32_t seed) {
+  const auto& t = table();
+  uint32_t crc = ~seed;
+  for (uint8_t byte : data) {
+    crc = (crc >> 8) ^ t[(crc ^ byte) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace revelio::store

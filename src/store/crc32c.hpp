@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) used to frame every durable
+// record in the store. Software table-driven implementation: the store's
+// unit of work is a whole WAL frame or snapshot body, so per-byte table
+// lookup is far from the bottleneck (fsync is).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace revelio::store {
+
+/// CRC-32C of `data`. `seed` is a previous return value for incremental use.
+uint32_t crc32c(ByteView data, uint32_t seed = 0);
+
+}  // namespace revelio::store

@@ -1,0 +1,436 @@
+#include "store/kv_store.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "store/crc32c.hpp"
+
+namespace revelio::store {
+
+namespace {
+
+constexpr char kManifestMagic[] = "RVKVMAN1";
+constexpr char kSnapMagic[] = "RVKVSNP1";
+constexpr uint8_t kOpPut = 1;
+constexpr uint8_t kOpErase = 2;
+
+struct ParsedOp {
+  uint8_t op = 0;
+  Bytes key;
+  Bytes val;
+};
+
+// A frame payload must parse exactly — trailing garbage marks the frame bad.
+bool parse_op(ByteView payload, ParsedOp& out) {
+  if (payload.size() < 5) return false;
+  out.op = payload[0];
+  if (out.op != kOpPut && out.op != kOpErase) return false;
+  const uint32_t klen = read_u32be(payload, 1);
+  size_t pos = 5;
+  if (payload.size() - pos < klen) return false;
+  out.key = to_bytes(payload.subspan(pos, klen));
+  pos += klen;
+  if (out.op == kOpPut) {
+    if (payload.size() - pos < 4) return false;
+    const uint32_t vlen = read_u32be(payload, pos);
+    pos += 4;
+    if (payload.size() - pos < vlen) return false;
+    out.val = to_bytes(payload.subspan(pos, vlen));
+    pos += vlen;
+  }
+  return pos == payload.size();
+}
+
+enum class FrameCheck { kOk, kShort, kBad };
+
+// Classifies the bytes at `off`: a complete valid frame, an incomplete
+// tail, or a damaged frame. `op_out` may be null when only validity is
+// being probed (the corruption scan).
+FrameCheck check_frame(ByteView wal, size_t off, size_t& total_len,
+                       ParsedOp* op_out) {
+  if (wal.size() - off < 8) return FrameCheck::kShort;
+  const uint32_t len = read_u32be(wal, off);
+  if (len < 5 || len > KvStore::kMaxFrameLen) return FrameCheck::kBad;
+  if (wal.size() - off - 8 < len) return FrameCheck::kShort;
+  const uint32_t crc = read_u32be(wal, off + 4);
+  const ByteView payload = wal.subspan(off + 8, len);
+  if (crc32c(payload) != crc) return FrameCheck::kBad;
+  ParsedOp scratch;
+  ParsedOp& op = op_out != nullptr ? *op_out : scratch;
+  if (!parse_op(payload, op)) return FrameCheck::kBad;
+  total_len = 8 + static_cast<size_t>(len);
+  return FrameCheck::kOk;
+}
+
+std::optional<uint64_t> parse_gen(const std::string& name,
+                                  const std::string& prefix) {
+  if (name.size() != prefix.size() + 16 || name.compare(0, prefix.size(), prefix) != 0) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const uint64_t gen = std::strtoull(name.c_str() + prefix.size(), &end, 16);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return gen;
+}
+
+}  // namespace
+
+std::string KvStore::wal_name(uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%016" PRIx64, gen);
+  return buf;
+}
+
+std::string KvStore::snap_name(uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "snap-%016" PRIx64, gen);
+  return buf;
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::open(StorageEnv& env,
+                                               KvStoreOptions opts) {
+  std::unique_ptr<KvStore> kv(new KvStore(env, opts));
+  std::lock_guard<std::mutex> lock(kv->mu_);
+  if (auto st = kv->recover_locked(); !st.ok()) return st.error();
+  return kv;
+}
+
+Status KvStore::recover_locked() {
+  auto files = env_.list_files();
+  if (!files.ok()) return files.error();
+
+  bool have_manifest = false;
+  bool have_data = false;
+  for (const auto& name : *files) {
+    if (name == kManifestName) have_manifest = true;
+    if (parse_gen(name, "wal-") || parse_gen(name, "snap-")) have_data = true;
+  }
+
+  if (!have_manifest) {
+    if (have_data) {
+      // Data files with no manifest means the commit record is gone; the
+      // store's history cannot be authenticated, so refuse to guess.
+      return Error::make("store.manifest_mismatch",
+                         "data files present but MANIFEST missing");
+    }
+    generation_ = 1;
+    if (auto st = write_manifest_locked(1); !st.ok()) return st;
+    auto wal = env_.open_append(wal_name(1));
+    if (!wal.ok()) return wal.error();
+    wal_ = std::move(*wal);
+    recovery_.generation = 1;
+    return Status::success();
+  }
+
+  auto manifest = env_.read_file(kManifestName);
+  if (!manifest.ok()) return manifest.error();
+  if (manifest->size() != 20 ||
+      !std::equal(kManifestMagic, kManifestMagic + 8, manifest->begin())) {
+    return Error::make("store.manifest_mismatch", "bad manifest size or magic");
+  }
+  if (crc32c(ByteView(*manifest).first(16)) != read_u32be(*manifest, 16)) {
+    return Error::make("store.manifest_mismatch", "manifest CRC mismatch");
+  }
+  const uint64_t gen = read_u64be(*manifest, 8);
+  if (gen == 0) {
+    return Error::make("store.manifest_mismatch", "manifest generation 0");
+  }
+  generation_ = gen;
+  recovery_.generation = gen;
+
+  // Files from any other generation are uncommitted compaction output or
+  // post-commit garbage; both are safe (and necessary) to delete.
+  for (const auto& name : *files) {
+    for (const char* prefix : {"wal-", "snap-"}) {
+      auto g = parse_gen(name, prefix);
+      if (g && *g != gen) {
+        if (auto st = env_.remove_file(name); !st.ok()) return st;
+        ++recovery_.stray_files_removed;
+      }
+    }
+  }
+
+  if (env_.exists(snap_name(gen))) {
+    auto snap = env_.read_file(snap_name(gen));
+    if (!snap.ok()) return snap.error();
+    if (snap->size() < 12 ||
+        !std::equal(kSnapMagic, kSnapMagic + 8, snap->begin())) {
+      return Error::make("store.corrupt", "snapshot header damaged");
+    }
+    const ByteView body = ByteView(*snap).subspan(12);
+    if (crc32c(body) != read_u32be(*snap, 8)) {
+      return Error::make("store.corrupt", "snapshot CRC mismatch");
+    }
+    if (body.size() < 4) {
+      return Error::make("store.corrupt", "snapshot body truncated");
+    }
+    const uint32_t count = read_u32be(body, 0);
+    size_t pos = 4;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (body.size() - pos < 4) {
+        return Error::make("store.corrupt", "snapshot record truncated");
+      }
+      const uint32_t klen = read_u32be(body, pos);
+      pos += 4;
+      if (body.size() - pos < klen) {
+        return Error::make("store.corrupt", "snapshot key truncated");
+      }
+      Bytes key = to_bytes(body.subspan(pos, klen));
+      pos += klen;
+      if (body.size() - pos < 4) {
+        return Error::make("store.corrupt", "snapshot record truncated");
+      }
+      const uint32_t vlen = read_u32be(body, pos);
+      pos += 4;
+      if (body.size() - pos < vlen) {
+        return Error::make("store.corrupt", "snapshot value truncated");
+      }
+      table_[std::move(key)] = to_bytes(body.subspan(pos, vlen));
+      pos += vlen;
+    }
+    if (pos != body.size()) {
+      return Error::make("store.corrupt", "snapshot trailing bytes");
+    }
+    recovery_.snapshot_keys = table_.size();
+  }
+
+  if (env_.exists(wal_name(gen))) {
+    auto wal = env_.read_file(wal_name(gen));
+    if (!wal.ok()) return wal.error();
+    size_t frames = 0;
+    size_t truncate_at = wal->size();
+    bool truncated = false;
+    if (auto st = replay_wal_locked(*wal, frames, truncate_at, truncated);
+        !st.ok()) {
+      return st;
+    }
+    recovery_.wal_frames_replayed = frames;
+    if (truncated) {
+      recovery_.truncated_tail = true;
+      recovery_.wal_bytes_truncated = wal->size() - truncate_at;
+      // Physically drop the torn tail so future appends extend a clean log.
+      if (auto st = env_.write_file_atomic(
+              wal_name(gen), ByteView(*wal).first(truncate_at));
+          !st.ok()) {
+        return st;
+      }
+    }
+  }
+
+  auto wal = env_.open_append(wal_name(gen));
+  if (!wal.ok()) return wal.error();
+  wal_ = std::move(*wal);
+  stats_.wal_bytes = wal_->size();
+  return Status::success();
+}
+
+Status KvStore::replay_wal_locked(ByteView wal, size_t& frames,
+                                  size_t& truncate_at, bool& truncated) {
+  size_t off = 0;
+  while (off < wal.size()) {
+    size_t total = 0;
+    ParsedOp op;
+    const FrameCheck fc = check_frame(wal, off, total, &op);
+    if (fc == FrameCheck::kOk) {
+      if (op.op == kOpPut) {
+        table_[std::move(op.key)] = std::move(op.val);
+      } else {
+        table_.erase(op.key);
+      }
+      off += total;
+      ++frames;
+      continue;
+    }
+    // Torn tail or corruption? A crash can only damage the *end* of an
+    // append-only log. If any complete valid frame exists beyond this
+    // point, the damage is inside the log: fail closed.
+    for (size_t p = off + 1; p + 8 <= wal.size(); ++p) {
+      size_t probe = 0;
+      if (check_frame(wal, p, probe, nullptr) == FrameCheck::kOk) {
+        return Error::make(
+            "store.corrupt",
+            "bad WAL frame at offset " + std::to_string(off) +
+                " followed by valid frames: mid-log corruption");
+      }
+    }
+    truncate_at = off;
+    truncated = true;
+    return Status::success();
+  }
+  truncate_at = wal.size();
+  truncated = false;
+  return Status::success();
+}
+
+Status KvStore::write_manifest_locked(uint64_t gen) {
+  Bytes m;
+  append(m, std::string_view(kManifestMagic, 8));
+  append_u64be(m, gen);
+  append_u32be(m, crc32c(m));
+  return env_.write_file_atomic(kManifestName, m);
+}
+
+Status KvStore::append_frame_locked(ByteView payload) {
+  Bytes frame;
+  frame.reserve(payload.size() + 8);
+  append_u32be(frame, static_cast<uint32_t>(payload.size()));
+  append_u32be(frame, crc32c(payload));
+  append(frame, payload);
+  if (auto st = wal_->append(frame); !st.ok()) {
+    // A pure transient failure (injected EIO) wrote nothing and may be
+    // retried; anything else leaves the log in an unknown state, so the
+    // store wedges until it is reopened through recovery.
+    if (st.error().code != "store.io_transient") wedged_ = true;
+    return st;
+  }
+  if (opts_.sync_on_put) {
+    if (auto st = wal_->sync(); !st.ok()) {
+      wedged_ = true;
+      return st;
+    }
+  }
+  stats_.wal_bytes += payload.size() + 8;
+  return Status::success();
+}
+
+Status KvStore::put(ByteView key, ByteView value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wedged_) {
+    return Error::make("store.io_crashed", "store wedged by earlier WAL failure");
+  }
+  Bytes payload;
+  payload.reserve(key.size() + value.size() + 9);
+  append_u8(payload, kOpPut);
+  append_u32be(payload, static_cast<uint32_t>(key.size()));
+  append(payload, key);
+  append_u32be(payload, static_cast<uint32_t>(value.size()));
+  append(payload, value);
+  if (auto st = append_frame_locked(payload); !st.ok()) return st;
+  table_[to_bytes(key)] = to_bytes(value);
+  ++stats_.puts;
+  if (opts_.compact_threshold_bytes > 0 &&
+      stats_.wal_bytes > opts_.compact_threshold_bytes) {
+    // The put is already durably acked; a compaction failure here wedges
+    // the store (handled inside) but must not retract the ack.
+    (void)compact_locked();
+  }
+  return Status::success();
+}
+
+Status KvStore::erase(ByteView key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wedged_) {
+    return Error::make("store.io_crashed", "store wedged by earlier WAL failure");
+  }
+  Bytes payload;
+  payload.reserve(key.size() + 5);
+  append_u8(payload, kOpErase);
+  append_u32be(payload, static_cast<uint32_t>(key.size()));
+  append(payload, key);
+  if (auto st = append_frame_locked(payload); !st.ok()) return st;
+  table_.erase(to_bytes(key));
+  ++stats_.erases;
+  return Status::success();
+}
+
+std::optional<Bytes> KvStore::get(ByteView key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.gets;
+  auto it = table_.find(to_bytes(key));
+  if (it == table_.end()) return std::nullopt;
+  ++stats_.hits;
+  return it->second;
+}
+
+void KvStore::for_each_prefix(
+    ByteView prefix,
+    const std::function<void(ByteView key, ByteView value)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Bytes p = to_bytes(prefix);
+  for (auto it = table_.lower_bound(p); it != table_.end(); ++it) {
+    if (it->first.size() < p.size() ||
+        !std::equal(p.begin(), p.end(), it->first.begin())) {
+      break;
+    }
+    fn(it->first, it->second);
+  }
+}
+
+Status KvStore::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wedged_) {
+    return Error::make("store.io_crashed", "store wedged by earlier WAL failure");
+  }
+  return compact_locked();
+}
+
+Status KvStore::compact_locked() {
+  const uint64_t new_gen = generation_ + 1;
+
+  Bytes body;
+  append_u32be(body, static_cast<uint32_t>(table_.size()));
+  for (const auto& [key, val] : table_) {
+    append_u32be(body, static_cast<uint32_t>(key.size()));
+    append(body, ByteView(key));
+    append_u32be(body, static_cast<uint32_t>(val.size()));
+    append(body, ByteView(val));
+  }
+  Bytes snap;
+  snap.reserve(body.size() + 12);
+  append(snap, std::string_view(kSnapMagic, 8));
+  append_u32be(snap, crc32c(body));
+  append(snap, body);
+
+  if (auto st = env_.write_file_atomic(snap_name(new_gen), snap); !st.ok()) {
+    if (st.error().code == "store.io_crashed") wedged_ = true;
+    return st;
+  }
+  auto new_wal = env_.open_append(wal_name(new_gen));
+  if (!new_wal.ok()) {
+    if (new_wal.error().code == "store.io_crashed") wedged_ = true;
+    return new_wal.error();
+  }
+  if (auto st = (*new_wal)->sync(); !st.ok()) {
+    if (st.error().code == "store.io_crashed") wedged_ = true;
+    return st;
+  }
+  // Commit point: after this manifest lands, recovery reads the new
+  // generation; before it, the old one. Either way the store is whole.
+  if (auto st = write_manifest_locked(new_gen); !st.ok()) {
+    if (st.error().code == "store.io_crashed") wedged_ = true;
+    return st;
+  }
+  const uint64_t old_gen = generation_;
+  generation_ = new_gen;
+  wal_ = std::move(*new_wal);
+  stats_.wal_bytes = 0;
+  ++stats_.compactions;
+  // Old-generation files are garbage now; failures here are repaired by
+  // the stray-file sweep on the next open.
+  (void)env_.remove_file(wal_name(old_gen));
+  (void)env_.remove_file(snap_name(old_gen));
+  return Status::success();
+}
+
+Status KvStore::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wedged_) {
+    return Error::make("store.io_crashed", "store wedged by earlier WAL failure");
+  }
+  return wal_->sync();
+}
+
+KvStore::Stats KvStore::stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.keys = table_.size();
+  return s;
+}
+
+size_t KvStore::size() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+}  // namespace revelio::store

@@ -1,0 +1,361 @@
+#include "store/storage_env.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace revelio::store {
+
+namespace {
+Error crashed_error() {
+  return Error::make("store.io_crashed", "storage env hit its crash point");
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemStorageEnv
+
+class MemStorageEnv::MemFile : public StorageFile {
+ public:
+  MemFile(MemStorageEnv* env, std::string name) : env_(env), name_(std::move(name)) {}
+
+  Status append(ByteView data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->crashed_) return crashed_error();
+    return env_->append_locked(env_->files_[name_], data);
+  }
+
+  Status sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->crashed_) return crashed_error();
+    auto& fs = env_->files_[name_];
+    if (env_->plan_.drop_sync) return Status::success();  // the lying fsync
+    revelio::append(fs.durable, fs.tail);
+    fs.tail.clear();
+    fs.dup_tail_armed = false;
+    return Status::success();
+  }
+
+  uint64_t size() const override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    auto it = env_->files_.find(name_);
+    if (it == env_->files_.end()) return 0;
+    return it->second.durable.size() + it->second.tail.size();
+  }
+
+ private:
+  MemStorageEnv* env_;
+  std::string name_;
+};
+
+Status MemStorageEnv::append_locked(FileState& fs, ByteView data) {
+  if (plan_.fail_appends > 0) {
+    --plan_.fail_appends;
+    return Error::make("store.io_transient", "injected transient write error");
+  }
+  size_t apply = data.size();
+  bool crosses = false;
+  if (plan_.crash_at_bytes >= 0) {
+    const uint64_t budget = static_cast<uint64_t>(plan_.crash_at_bytes);
+    if (bytes_appended_ + data.size() > budget) {
+      apply = budget > bytes_appended_
+                  ? static_cast<size_t>(budget - bytes_appended_)
+                  : 0;
+      crosses = true;
+    }
+  }
+  revelio::append(fs.tail, data.first(apply));
+  fs.last_block = to_bytes(data.first(apply));
+  fs.dup_tail_armed = plan_.duplicate_tail && apply > 0;
+  bytes_appended_ += apply;
+  if (crosses) {
+    crashed_ = true;
+    return crashed_error();
+  }
+  return Status::success();
+}
+
+Result<std::unique_ptr<StorageFile>> MemStorageEnv::open_append(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return crashed_error();
+  files_.try_emplace(name);
+  return std::unique_ptr<StorageFile>(new MemFile(this, name));
+}
+
+Result<Bytes> MemStorageEnv::read_file(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error::make("store.io_transient", "no such file: " + name);
+  }
+  Bytes out = it->second.durable;
+  revelio::append(out, it->second.tail);
+  return out;
+}
+
+Status MemStorageEnv::write_file_atomic(const std::string& name,
+                                        ByteView data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return crashed_error();
+  // The rename makes this all-or-nothing: either the whole new content is
+  // durable or the old content survives. A crash budget that fires inside
+  // the tmp-file write therefore leaves the target untouched.
+  if (plan_.crash_at_bytes >= 0 &&
+      bytes_appended_ + data.size() >
+          static_cast<uint64_t>(plan_.crash_at_bytes)) {
+    bytes_appended_ = static_cast<uint64_t>(plan_.crash_at_bytes);
+    crashed_ = true;
+    return crashed_error();
+  }
+  bytes_appended_ += data.size();
+  auto& fs = files_[name];
+  fs.durable = to_bytes(data);
+  fs.tail.clear();
+  fs.dup_tail_armed = false;
+  return Status::success();
+}
+
+Status MemStorageEnv::remove_file(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return crashed_error();
+  files_.erase(name);
+  return Status::success();
+}
+
+Result<std::vector<std::string>> MemStorageEnv::list_files() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, _] : files_) names.push_back(name);
+  return names;
+}
+
+bool MemStorageEnv::exists(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(name) != 0;
+}
+
+void MemStorageEnv::set_fault_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+}
+
+void MemStorageEnv::crash_and_recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, fs] : files_) {
+    fs.tail.clear();
+    if (fs.dup_tail_armed) {
+      // The controller replays the last block after what was already
+      // durable — the duplicated-tail anomaly.
+      revelio::append(fs.durable, fs.last_block);
+      revelio::append(fs.durable, fs.last_block);
+      fs.dup_tail_armed = false;
+    }
+    fs.last_block.clear();
+  }
+  plan_ = FaultPlan{};
+  crashed_ = false;
+}
+
+bool MemStorageEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+bool MemStorageEnv::corrupt_durable_byte(const std::string& name,
+                                         size_t offset, uint8_t xor_mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end() || offset >= it->second.durable.size()) return false;
+  it->second.durable[offset] ^= xor_mask;
+  return true;
+}
+
+uint64_t MemStorageEnv::bytes_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_appended_;
+}
+
+// ---------------------------------------------------------------------------
+// RealStorageEnv
+
+namespace {
+
+class PosixFile : public StorageFile {
+ public:
+  PosixFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status append(ByteView data) override {
+    const uint8_t* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Error::make("store.io_transient",
+                           std::string("write: ") + std::strerror(errno));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    size_ += data.size();
+    return Status::success();
+  }
+
+  Status sync() override {
+    if (::fsync(fd_) != 0) {
+      return Error::make("store.io_transient",
+                         std::string("fsync: ") + std::strerror(errno));
+    }
+    return Status::success();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+};
+
+Status sync_dir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Error::make("store.io_transient",
+                       "open dir " + dir + ": " + std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Error::make("store.io_transient",
+                       "fsync dir " + dir + ": " + std::strerror(errno));
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RealStorageEnv>> RealStorageEnv::open(
+    const std::string& root) {
+  if (::mkdir(root.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Error::make("store.io_transient",
+                       "mkdir " + root + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<RealStorageEnv>(new RealStorageEnv(root));
+}
+
+Result<std::unique_ptr<StorageFile>> RealStorageEnv::open_append(
+    const std::string& name) {
+  int fd = ::open(path(name).c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) {
+    return Error::make("store.io_transient",
+                       "open " + name + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Error::make("store.io_transient",
+                       "fstat " + name + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<StorageFile>(
+      new PosixFile(fd, static_cast<uint64_t>(st.st_size)));
+}
+
+Result<Bytes> RealStorageEnv::read_file(const std::string& name) {
+  int fd = ::open(path(name).c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Error::make("store.io_transient",
+                       "open " + name + ": " + std::strerror(errno));
+  }
+  Bytes out;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Error::make("store.io_transient",
+                         "read " + name + ": " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    revelio::append(out, ByteView(buf, static_cast<size_t>(n)));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status RealStorageEnv::write_file_atomic(const std::string& name,
+                                         ByteView data) {
+  const std::string tmp = path(name) + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Error::make("store.io_transient",
+                       "open " + tmp + ": " + std::strerror(errno));
+  }
+  const uint8_t* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Error::make("store.io_transient",
+                         "write " + tmp + ": " + std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Error::make("store.io_transient",
+                       "fsync " + tmp + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path(name).c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Error::make("store.io_transient",
+                       "rename " + name + ": " + std::strerror(errno));
+  }
+  return sync_dir(root_);
+}
+
+Status RealStorageEnv::remove_file(const std::string& name) {
+  if (::unlink(path(name).c_str()) != 0 && errno != ENOENT) {
+    return Error::make("store.io_transient",
+                       "unlink " + name + ": " + std::strerror(errno));
+  }
+  return sync_dir(root_);
+}
+
+Result<std::vector<std::string>> RealStorageEnv::list_files() {
+  DIR* dir = ::opendir(root_.c_str());
+  if (dir == nullptr) {
+    return Error::make("store.io_transient",
+                       "opendir " + root_ + ": " + std::strerror(errno));
+  }
+  std::vector<std::string> names;
+  while (struct dirent* ent = ::readdir(dir)) {
+    std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  return names;
+}
+
+bool RealStorageEnv::exists(const std::string& name) {
+  struct stat st{};
+  return ::stat(path(name).c_str(), &st) == 0;
+}
+
+}  // namespace revelio::store

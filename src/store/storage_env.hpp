@@ -1,0 +1,165 @@
+// Pluggable storage backend for the durable state tier.
+//
+// The KV engine (kv_store.hpp) talks to storage exclusively through
+// `StorageEnv` / `StorageFile`, which model the three primitives a
+// log-structured store needs:
+//
+//   - append-only streams with an explicit `sync()` durability barrier
+//     (the WAL),
+//   - whole-file atomic replacement (`write_file_atomic`, i.e. the
+//     write-tmp / fsync / rename idiom) for snapshots and the manifest,
+//   - directory listing for recovery.
+//
+// Two implementations:
+//
+//   `MemStorageEnv` — deterministic, fault-injectable. Extends the PR 4
+//   chaos philosophy (seeded, reproducible faults) down to the storage
+//   layer. Every file keeps a *durable* prefix (what survived the last
+//   honoured sync) and a *volatile* tail (written but not yet synced). A
+//   crash discards every volatile tail — so a kill point between a write
+//   and its barrier yields exactly the torn-write states a real kernel
+//   can produce. Fault plan knobs:
+//
+//     crash_at_bytes   kill the process after N total appended bytes;
+//                      the append that crosses the budget is applied
+//                      *partially* (a torn write) and fails.
+//     drop_sync        fsync lies: reports success without promoting the
+//                      volatile tail (firmware/VM write-cache betrayal).
+//     duplicate_tail   on crash, the last appended block reappears twice
+//                      (a re-ordered/replayed block, as seen on some
+//                      buggy flash translation layers).
+//     fail_appends     the next N appends fail with `store.io_transient`
+//                      without touching state (retryable EIO).
+//
+//   `RealStorageEnv` — POSIX files under a root directory, with real
+//   fsync barriers and atomic rename. Used by the warm-restart bench and
+//   the offline `audit_verify --store` path.
+//
+// Thread safety: both envs serialise internally; the KV store adds its
+// own coarser lock on top.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace revelio::store {
+
+/// Append-only handle to one file. Writes become durable only after a
+/// successful (and honoured) `sync()`.
+class StorageFile {
+ public:
+  virtual ~StorageFile() = default;
+  virtual Status append(ByteView data) = 0;
+  virtual Status sync() = 0;
+  virtual uint64_t size() const = 0;  // includes unsynced tail
+};
+
+class StorageEnv {
+ public:
+  virtual ~StorageEnv() = default;
+
+  /// Opens `name` for appending, creating it empty if missing.
+  virtual Result<std::unique_ptr<StorageFile>> open_append(
+      const std::string& name) = 0;
+  /// Reads the whole current content of `name`.
+  virtual Result<Bytes> read_file(const std::string& name) = 0;
+  /// Replaces `name` with `data` all-or-nothing (tmp + fsync + rename).
+  virtual Status write_file_atomic(const std::string& name, ByteView data) = 0;
+  virtual Status remove_file(const std::string& name) = 0;
+  virtual Result<std::vector<std::string>> list_files() = 0;
+  virtual bool exists(const std::string& name) = 0;
+};
+
+/// Seeded crash/fault plan for `MemStorageEnv`.
+struct FaultPlan {
+  int64_t crash_at_bytes = -1;  // total appended bytes before the kill; -1 off
+  bool drop_sync = false;       // sync() reports success but is a no-op
+  bool duplicate_tail = false;  // crash re-appends the last block once more
+  int fail_appends = 0;         // next N appends fail store.io_transient
+};
+
+/// In-memory backend with deterministic fault injection.
+class MemStorageEnv : public StorageEnv {
+ public:
+  MemStorageEnv() = default;
+
+  Result<std::unique_ptr<StorageFile>> open_append(
+      const std::string& name) override;
+  Result<Bytes> read_file(const std::string& name) override;
+  Status write_file_atomic(const std::string& name, ByteView data) override;
+  Status remove_file(const std::string& name) override;
+  Result<std::vector<std::string>> list_files() override;
+  bool exists(const std::string& name) override;
+
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// Simulates the machine dying and rebooting: every volatile (unsynced)
+  /// tail is discarded, the duplicate-tail fault is applied if armed, and
+  /// the env becomes usable again with a clean fault plan.
+  void crash_and_recover();
+
+  /// True once a crash point fired; all mutating ops fail until
+  /// `crash_and_recover()`.
+  bool crashed() const;
+
+  /// Flips one byte of the *durable* image of `name` (disk corruption).
+  /// Returns false if the file or offset does not exist.
+  bool corrupt_durable_byte(const std::string& name, size_t offset,
+                            uint8_t xor_mask = 0xFF);
+
+  /// Total bytes appended across all files (to size crash matrices).
+  uint64_t bytes_appended() const;
+
+ private:
+  struct FileState {
+    Bytes durable;        // survives a crash
+    Bytes tail;           // volatile: written since the last honoured sync
+    Bytes last_block;     // most recent append, for duplicate_tail
+    bool dup_tail_armed = false;
+  };
+
+  class MemFile;
+  friend class MemFile;
+
+  // Applies up to `budget_left()` bytes of `data` to `fs.tail`; returns
+  // whether the full append fit (false == the crash point fired).
+  Status append_locked(FileState& fs, ByteView data);
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  FaultPlan plan_;
+  uint64_t bytes_appended_ = 0;
+  bool crashed_ = false;
+};
+
+/// POSIX-file backend rooted at `root` (created if missing).
+class RealStorageEnv : public StorageEnv {
+ public:
+  /// Fails with `store.io_transient` if the root cannot be created.
+  static Result<std::unique_ptr<RealStorageEnv>> open(const std::string& root);
+
+  Result<std::unique_ptr<StorageFile>> open_append(
+      const std::string& name) override;
+  Result<Bytes> read_file(const std::string& name) override;
+  Status write_file_atomic(const std::string& name, ByteView data) override;
+  Status remove_file(const std::string& name) override;
+  Result<std::vector<std::string>> list_files() override;
+  bool exists(const std::string& name) override;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  explicit RealStorageEnv(std::string root) : root_(std::move(root)) {}
+  std::string path(const std::string& name) const { return root_ + "/" + name; }
+
+  std::string root_;
+};
+
+}  // namespace revelio::store

@@ -6,6 +6,7 @@
 
 #include "imagebuild/builder.hpp"
 #include "revelio/revelio_vm.hpp"
+#include "revelio/revocation.hpp"
 #include "revelio/sp_node.hpp"
 #include "revelio/web_extension.hpp"
 
@@ -327,6 +328,86 @@ TEST_F(FaultFixture, FirewallBlocksUnlistedBootstrapPort) {
   ASSERT_TRUE(node.ok());
   EXPECT_FALSE(network.is_listening((*node)->bootstrap_address()));
   platforms.push_back(std::move(platform));
+}
+
+// ------------------------------------------------ storage error taxonomy
+
+TEST(ErrorTaxonomy, StorageCodesSplitTransientFromPermanent) {
+  // A recoverable I/O hiccup may be retried: the WAL frame either landed
+  // or it didn't, and recovery truncates a torn tail.
+  EXPECT_TRUE(Error::make("store.io_transient", "EINTR").is_transient());
+  // Integrity failures must never be retried — corrupt bytes do not
+  // become honest on the second read, and retrying an attacker-induced
+  // failure just hands the attacker more attempts.
+  EXPECT_FALSE(Error::make("store.corrupt", "bad CRC").is_transient());
+  EXPECT_FALSE(
+      Error::make("store.manifest_mismatch", "bad gen").is_transient());
+  EXPECT_FALSE(Error::make("store.io_crashed", "wedged").is_transient());
+  // The existing split is unchanged.
+  EXPECT_TRUE(Error::make("net.timeout", "").is_transient());
+  EXPECT_FALSE(Error::make("attest.bad_signature", "").is_transient());
+}
+
+// ------------------------------------------------- revocation fail-closed
+
+TEST_F(FaultFixture, RevokedMeasurementFailsAttestationClosed) {
+  auto node = deploy_node("10.0.0.1");
+  auto sp = make_sp();
+  sp->approve_node(node->bootstrap_address(), platforms[0]->chip_id());
+  ASSERT_TRUE(sp->provision_fleet().ok());
+  network.dns_set_a(kDomain, "10.0.0.1");
+
+  RevocationSet revocations;
+  Browser browser(network, "laptop", acme.trusted_roots(),
+                  HmacDrbg(to_bytes(std::string_view("user"))));
+  WebExtensionConfig ext_config;
+  ext_config.kds_address = {"kds.amd.com", 443};
+  ext_config.revocation_set = &revocations;
+  WebExtension extension(browser, ext_config);
+  SiteRegistration site;
+  site.expected_measurements = {expected};
+  extension.register_site(kDomain, site);
+
+  // Empty revocation set: the page attests fine.
+  ASSERT_TRUE(extension.get(kDomain, 443, "/").ok());
+  EXPECT_GE(revocations.stats().checks, 1u);
+
+  // The image's measurement is revoked (vulnerability disclosed). The
+  // same genuine server — valid report, valid VCEK chain, expected
+  // measurement — must now be refused, before any signature work.
+  ASSERT_TRUE(revocations.revoke_measurement(expected, "CVE-2026-0001").ok());
+  browser.drop_session(kDomain);
+  auto r = extension.get(kDomain, 443, "/");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "extension.attestation_failed");
+  EXPECT_GE(revocations.stats().hits, 1u);
+}
+
+TEST_F(FaultFixture, RevokedChipFailsAttestationClosed) {
+  auto node = deploy_node("10.0.0.1");
+  auto sp = make_sp();
+  sp->approve_node(node->bootstrap_address(), platforms[0]->chip_id());
+  ASSERT_TRUE(sp->provision_fleet().ok());
+  network.dns_set_a(kDomain, "10.0.0.1");
+
+  RevocationSet revocations;
+  ASSERT_TRUE(
+      revocations.revoke_chip(platforms[0]->chip_id(), "compromised host")
+          .ok());
+  Browser browser(network, "laptop", acme.trusted_roots(),
+                  HmacDrbg(to_bytes(std::string_view("user"))));
+  WebExtensionConfig ext_config;
+  ext_config.kds_address = {"kds.amd.com", 443};
+  ext_config.revocation_set = &revocations;
+  WebExtension extension(browser, ext_config);
+  SiteRegistration site;
+  site.expected_measurements = {expected};
+  extension.register_site(kDomain, site);
+
+  auto r = extension.get(kDomain, 443, "/");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "extension.attestation_failed");
+  EXPECT_GE(revocations.stats().hits, 1u);
 }
 
 }  // namespace

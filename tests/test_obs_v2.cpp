@@ -246,7 +246,9 @@ TEST(AuditLog, RecordRoundTripsThroughTheWire) {
   const obs::AuditRecord rec = sample_record(9, false);
   const Bytes wire = rec.serialize();
   ASSERT_EQ(wire.size(), obs::AuditRecord::kWireSize);
-  const obs::AuditRecord back = obs::AuditRecord::parse(wire);
+  const auto parsed = obs::AuditRecord::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const obs::AuditRecord& back = *parsed;
   EXPECT_EQ(back.session, rec.session);
   EXPECT_EQ(back.virt_us, rec.virt_us);
   EXPECT_EQ(back.accepted, rec.accepted);
@@ -319,6 +321,115 @@ TEST(AuditLog, ConcurrentAppendsKeepTheChainConsistent) {
   ASSERT_TRUE(verified.ok()) << verified.error().to_string();
   EXPECT_EQ(verified.value().records, kThreads * kPerThread);
   EXPECT_EQ(verified.value().checkpoints, kThreads * kPerThread / 8);
+}
+
+TEST(AuditLog, ParseRejectsTruncatedAndOversizedWires) {
+  const Bytes wire = sample_record(3, true).serialize();
+
+  // Every strict prefix must be refused — no partial record ever parses.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const auto short_parse =
+        obs::AuditRecord::parse(ByteView(wire).subspan(0, len));
+    ASSERT_FALSE(short_parse.ok()) << "prefix of " << len << " parsed";
+    EXPECT_EQ(short_parse.error().code, "audit.record_truncated");
+  }
+
+  // Trailing garbage must be refused too: a record is exactly kWireSize.
+  Bytes padded = wire;
+  padded.push_back(0x00);
+  const auto long_parse = obs::AuditRecord::parse(padded);
+  ASSERT_FALSE(long_parse.ok());
+  EXPECT_EQ(long_parse.error().code, "audit.record_oversized");
+}
+
+TEST(AuditLog, VerifyPrefixDistinguishesTruncationFromTampering) {
+  obs::AuditLog log(/*checkpoint_interval=*/4);
+  for (std::uint64_t i = 0; i < 6; ++i) log.append(sample_record(i, true));
+  const Bytes stream = log.serialize();
+
+  // Intact stream: complete, every frame valid.
+  const auto whole = obs::AuditLog::verify_prefix(stream);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_TRUE(whole->complete);
+  EXPECT_FALSE(whole->truncated);
+  EXPECT_EQ(whole->summary.records, 6u);
+  EXPECT_EQ(whole->last_valid_record, 6u);
+
+  // Chop the stream anywhere after the header: always reported as a
+  // clean truncation (what a crash mid-append produces), never tamper,
+  // and the verified prefix tells the auditor how much history stands.
+  for (std::size_t len = 16; len < stream.size(); ++len) {
+    const auto cut = obs::AuditLog::verify_prefix(
+        ByteView(stream).subspan(0, len));
+    ASSERT_TRUE(cut.ok()) << "cut at " << len;
+    EXPECT_FALSE(cut->complete) << "cut at " << len;
+    EXPECT_TRUE(cut->truncated) << "cut at " << len;
+    EXPECT_LE(cut->summary.records, 6u);
+    EXPECT_EQ(cut->last_valid_record, cut->summary.records);
+  }
+
+  // A flipped byte inside a *complete* stream is tampering, not truncation.
+  Bytes tampered = stream;
+  tampered[40] ^= 0x01;
+  const auto flip = obs::AuditLog::verify_prefix(tampered);
+  ASSERT_TRUE(flip.ok());
+  EXPECT_FALSE(flip->complete);
+  EXPECT_FALSE(flip->truncated);
+  EXPECT_EQ(flip->failure_code, "audit.tamper");
+}
+
+TEST(AuditLog, RestoreRebuildsChainAndContinuesAppending) {
+  obs::AuditLog original(/*checkpoint_interval=*/4);
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    original.append(sample_record(i, i % 2 == 0));
+  }
+  const Bytes stream = original.serialize();
+
+  obs::AuditLog revived(/*checkpoint_interval=*/4);
+  ASSERT_TRUE(revived.restore(stream).ok());
+  EXPECT_EQ(revived.records(), original.records());
+  EXPECT_EQ(revived.checkpoints(), original.checkpoints());
+  EXPECT_EQ(revived.head(), original.head());
+
+  // Appends continue the chain seamlessly: both logs fed the same next
+  // record reach the same head.
+  revived.append(sample_record(9, true));
+  original.append(sample_record(9, true));
+  EXPECT_EQ(revived.head(), original.head());
+  ASSERT_TRUE(obs::AuditLog::verify(revived.serialize()).ok());
+
+  // A truncated stream restores nothing (fail closed) ...
+  obs::AuditLog blank(/*checkpoint_interval=*/4);
+  EXPECT_FALSE(
+      blank.restore(ByteView(stream).subspan(0, stream.size() - 1)).ok());
+  EXPECT_EQ(blank.records(), 0u);
+  // ... and so does an interval mismatch.
+  obs::AuditLog wrong_interval(/*checkpoint_interval=*/8);
+  EXPECT_FALSE(wrong_interval.restore(stream).ok());
+
+  // Restore is only for empty logs: the revived one must refuse.
+  EXPECT_FALSE(revived.restore(stream).ok());
+}
+
+TEST(AuditLog, SinkSeesEveryFrameAndFailuresAreCounted) {
+  obs::AuditLog log(/*checkpoint_interval=*/2);
+  std::vector<std::uint8_t> types;
+  int fail_after = 5;
+  log.set_sink([&](std::uint8_t frame_type, ByteView) {
+    if (static_cast<int>(types.size()) >= fail_after) {
+      return Status(Error::make("store.io_crashed", "disk gone"));
+    }
+    types.push_back(frame_type);
+    return Status::success();
+  });
+
+  for (std::uint64_t i = 0; i < 6; ++i) log.append(sample_record(i, true));
+  // 6 records + 3 checkpoints (after records 2, 4, 6) = 9 frames; the sink
+  // accepted 5 and then failed. The in-memory chain is unaffected.
+  EXPECT_EQ(types.size(), 5u);
+  EXPECT_EQ(log.sink_failures(), 4u);
+  EXPECT_EQ(log.records(), 6u);
+  ASSERT_TRUE(obs::AuditLog::verify(log.serialize()).ok());
 }
 
 // ------------------------------------------------ pool-lane trace tags

@@ -1,23 +1,115 @@
 // Offline verifier for the gateway's attestation audit chain.
 //
 //   audit_verify <audit-stream-file>
+//   audit_verify --store <store-dir>
 //
-// Replays a stream exported by obs::AuditLog::serialize() with no gateway
-// state: recomputes the hash chain record by record, recomputes every
-// Merkle checkpoint root, and compares the trailer head. Exit 0 when the
-// chain verifies, 1 on any tampering (a single flipped byte anywhere in
-// the stream fails), 2 on usage/IO errors. This is the external party's
-// side of the trust story: the gateway publishes the stream and its head,
-// anyone re-derives both.
+// File mode replays a stream exported by obs::AuditLog::serialize() with
+// no gateway state: recomputes the hash chain record by record, recomputes
+// every Merkle checkpoint root, and compares the trailer head. Store mode
+// opens the gateway's durable KV store directly (read path only) and
+// rebuilds the stream from the individually persisted frames, so an
+// auditor can validate a crashed gateway's disk without the gateway
+// running. This is the external party's side of the trust story: the
+// gateway publishes the stream (or the disk), anyone re-derives the head.
+//
+// Exit codes:
+//   0  chain verifies end to end (trailer present, head matches)
+//   1  tampering — a flipped byte, reordered frame, or corrupt store
+//   2  usage / IO errors
+//   3  truncated tail — the stream stops mid-frame or before the trailer
+//      (what a crash mid-append produces); the verified prefix and the
+//      last valid record index are reported so the auditor knows exactly
+//      how much history still stands
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <vector>
 
 #include "obs/audit_log.hpp"
+#include "obs/audit_store.hpp"
+#include "store/kv_store.hpp"
+#include "store/storage_env.hpp"
+
+namespace {
+
+using revelio::obs::AuditLog;
+
+void print_summary(const AuditLog::VerifySummary& s) {
+  std::printf(
+      "records=%llu checkpoints=%llu accepted=%llu rejected=%llu\n"
+      "head=%s\n",
+      static_cast<unsigned long long>(s.records),
+      static_cast<unsigned long long>(s.checkpoints),
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.rejected), s.head_hex.c_str());
+}
+
+int verify_stream(revelio::ByteView stream) {
+  const auto result = AuditLog::verify_prefix(stream);
+  if (!result.ok()) {
+    // Header-level damage: nothing verifiable at all.
+    std::fprintf(stderr, "FAIL %s\n", result.error().to_string().c_str());
+    return 1;
+  }
+  const auto& p = result.value();
+  if (p.complete) {
+    std::printf("OK ");
+    print_summary(p.summary);
+    return 0;
+  }
+  if (p.truncated) {
+    std::printf("TRUNCATED %s (%s)\nvalid_frames=%llu last_valid_record=%llu\n",
+                p.failure_code.c_str(), p.failure_detail.c_str(),
+                static_cast<unsigned long long>(p.valid_frames),
+                static_cast<unsigned long long>(p.last_valid_record));
+    std::printf("verified prefix: ");
+    print_summary(p.summary);
+    return 3;
+  }
+  std::fprintf(stderr,
+               "FAIL %s (%s)\nvalid_frames=%llu last_valid_record=%llu\n",
+               p.failure_code.c_str(), p.failure_detail.c_str(),
+               static_cast<unsigned long long>(p.valid_frames),
+               static_cast<unsigned long long>(p.last_valid_record));
+  return 1;
+}
+
+int verify_store(const char* dir) {
+  auto env = revelio::store::RealStorageEnv::open(dir);
+  if (!env.ok()) {
+    std::fprintf(stderr, "audit_verify: cannot open store %s: %s\n", dir,
+                 env.error().to_string().c_str());
+    return 2;
+  }
+  auto kv = revelio::store::KvStore::open(**env);
+  if (!kv.ok()) {
+    // The KV layer failed its own integrity checks (CRC, manifest): the
+    // durable state is not trustworthy, which for an auditor is tamper.
+    std::fprintf(stderr, "FAIL store: %s\n", kv.error().to_string().c_str());
+    return 1;
+  }
+  auto stream = revelio::obs::load_audit_stream(**kv);
+  if (!stream.ok()) {
+    if (stream.error().code == "audit.store_empty") {
+      std::fprintf(stderr, "audit_verify: store holds no audit chain\n");
+      return 2;
+    }
+    std::fprintf(stderr, "FAIL %s\n", stream.error().to_string().c_str());
+    return 1;
+  }
+  return verify_stream(*stream);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--store") == 0) {
+    return verify_store(argv[2]);
+  }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: audit_verify <audit-stream-file>\n");
+    std::fprintf(stderr,
+                 "usage: audit_verify <audit-stream-file>\n"
+                 "       audit_verify --store <store-dir>\n");
     return 2;
   }
   std::ifstream in(argv[1], std::ios::binary);
@@ -27,19 +119,5 @@ int main(int argc, char** argv) {
   }
   const std::vector<std::uint8_t> stream(
       (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-
-  const auto result = revelio::obs::AuditLog::verify(stream);
-  if (!result.ok()) {
-    std::fprintf(stderr, "FAIL %s\n", result.error().to_string().c_str());
-    return 1;
-  }
-  const auto& s = result.value();
-  std::printf(
-      "OK records=%llu checkpoints=%llu accepted=%llu rejected=%llu\n"
-      "head=%s\n",
-      static_cast<unsigned long long>(s.records),
-      static_cast<unsigned long long>(s.checkpoints),
-      static_cast<unsigned long long>(s.accepted),
-      static_cast<unsigned long long>(s.rejected), s.head_hex.c_str());
-  return 0;
+  return verify_stream(stream);
 }
