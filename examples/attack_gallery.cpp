@@ -9,6 +9,10 @@
 //   scene 4 — 6.1.3: runtime modification of the running system
 //   scene 5 — 6.1.4: rollback to an obsolete vulnerable release
 //   scene 6 — MITM: certificate-swap redirect after attestation
+//   scene 7 — 6.1.1: measurement permutations (swapped blobs, shifted
+//             boundaries) under a forged hash table
+//   scene 8 — 2.1.1: guest-channel protocol-state fuzzing (replay,
+//             reflection, truncation, bit-flips, type confusion)
 //
 // Each scene also asserts on the *observability* signal the attack leaves
 // behind — the specific failed-verification counter or span attribute —
@@ -37,6 +41,7 @@ void scene(int number, const char* title) {
 }
 
 void verdict(bool blocked, const char* how) {
+  if (!blocked) ++g_metric_failures;  // a successful attack fails the run
   std::printf("    verdict: %s (%s)\n",
               blocked ? "ATTACK BLOCKED/DETECTED" : "ATTACK SUCCEEDED",
               how);
@@ -351,6 +356,191 @@ int main() {
     }
     verdict(!redirected.ok(),
             "per-request TLS-key monitoring against the attested key");
+  }
+
+  // ------------------------------------------------------------- scene 7
+  scene(7, "6.1.1 — measurement permutations under a forged hash table");
+  {
+    // Both variants present blobs whose *contents* are made of the genuine
+    // bytes — only their arrangement changes — and forge the firmware hash
+    // table to match, so every local firmware check passes. The only line
+    // of defence left is the launch measurement itself: because the AMD-SP
+    // length-frames every LAUNCH_UPDATE extend, neither permutation can
+    // collide with the genuine digest.
+    const auto fw_ok0 = counter("vm.firmware_check.ok.count");
+
+    // 7a: swap kernel and initrd wholesale.
+    sevsnp::AmdSp sp_a(to_bytes(std::string_view("scene7a")),
+                       sevsnp::TcbVersion{2, 0, 8, 115});
+    vm::Hypervisor hyp_a(sp_a, clock);
+    vm::LaunchConfig swapped;
+    swapped.kernel_blob = image.initrd_blob;  // permuted order
+    swapped.initrd_blob = image.kernel_blob;
+    swapped.cmdline = image.cmdline;
+    swapped.disk = image.instantiate_disk();
+    swapped.forged_hash_table = vm::FirmwareHashTable::over(
+        swapped.kernel_blob, swapped.initrd_blob, to_bytes(swapped.cmdline));
+    auto guest_a = hyp_a.launch(swapped);
+    // The forged table is built over exactly the permuted blobs, so the
+    // firmware the SP measures is bit-identical to the honest reference
+    // firmware *for that permutation* — expected_measurement over the
+    // permuted blobs reproduces the launch measurement even when the
+    // guest never gets far enough to hand one out (a wholesale swap dies
+    // at the kernel handoff: an initrd is not a parseable kernel).
+    const auto measured_a = vm::Hypervisor::expected_measurement(
+        swapped.kernel_blob, swapped.initrd_blob, swapped.cmdline);
+    const bool swap_detected = !(measured_a == expected);
+    std::printf("    swapped kernel/initrd: firmware checks pass, boots: "
+                "%s, measurement == genuine: %s\n",
+                guest_a.ok() ? "yes" : "no",
+                swap_detected ? "no" : "yes (?)");
+
+    // 7b: shift one byte across the kernel/initrd boundary. The
+    // concatenation of all measured blobs is bit-identical to the genuine
+    // image; only the boundary moved. An unframed digest would collide.
+    sevsnp::AmdSp sp_b(to_bytes(std::string_view("scene7b")),
+                       sevsnp::TcbVersion{2, 0, 8, 115});
+    vm::Hypervisor hyp_b(sp_b, clock);
+    vm::LaunchConfig shifted;
+    shifted.kernel_blob = image.kernel_blob;
+    shifted.initrd_blob = image.initrd_blob;
+    shifted.initrd_blob.insert(shifted.initrd_blob.begin(),
+                               shifted.kernel_blob.back());
+    shifted.kernel_blob.pop_back();
+    shifted.cmdline = image.cmdline;
+    shifted.disk = image.instantiate_disk();
+    shifted.forged_hash_table = vm::FirmwareHashTable::over(
+        shifted.kernel_blob, shifted.initrd_blob, to_bytes(shifted.cmdline));
+    auto guest_b = hyp_b.launch(shifted);
+    const auto measured_b = vm::Hypervisor::expected_measurement(
+        shifted.kernel_blob, shifted.initrd_blob, shifted.cmdline);
+    const bool shift_detected = !(measured_b == expected);
+    std::printf("    boundary-shifted blobs: concatenation identical, "
+                "boots: %s, measurement == genuine: %s\n",
+                guest_b.ok() ? "yes" : "no",
+                shift_detected ? "no" : "yes (?)");
+
+    // The forged tables matched their permuted blobs, so the firmware
+    // checks *passed* — the permutations are invisible to every local
+    // check and only the measurement separates them.
+    expect_delta("vm.firmware_check.ok.count", fw_ok0,
+                 counter("vm.firmware_check.ok.count"), 2);
+    verdict(swap_detected && shift_detected,
+            "the per-blob hash table puts blob boundaries into the "
+            "measured firmware, so no permutation can collide");
+  }
+
+  // ------------------------------------------------------------- scene 8
+  scene(8, "2.1.1 — guest-channel protocol-state fuzzing");
+  {
+    sevsnp::AmdSp sp(to_bytes(std::string_view("scene8")),
+                     sevsnp::TcbVersion{2, 0, 8, 115});
+    vm::Hypervisor hypervisor(sp, clock);
+    vm::LaunchConfig config;
+    config.kernel_blob = image.kernel_blob;
+    config.initrd_blob = image.initrd_blob;
+    config.cmdline = image.cmdline;
+    config.disk = image.instantiate_disk();
+    auto guest = hypervisor.launch(config);
+    (void)(*guest)->boot();
+    auto& channel = (*guest)->channel();
+
+    const auto auth0 = counter("sevsnp.channel.auth_fail.count",
+                               {{"side", "sp"}});
+    int rejected = 0;
+    const auto attempt = [&](const char* what, const Result<Bytes>& r) {
+      const bool blocked = !r.ok();
+      if (blocked) ++rejected;
+      std::printf("    %-44s %s\n", what,
+                  blocked ? r.error().code.c_str() : "ACCEPTED (?)");
+    };
+
+    // A malicious hypervisor owns the transport: capture a legitimate
+    // sealed exchange to replay and reflect later.
+    Bytes captured_request, captured_response;
+    channel.set_transport([&](ByteView sealed) -> Result<Bytes> {
+      captured_request = to_bytes(sealed);
+      auto response = channel.deliver_to_sp(sealed);
+      if (response.ok()) captured_response = *response;
+      return response;
+    });
+    (void)channel.request_counter(0, false);
+    channel.set_transport(nullptr);
+
+    // Out-of-order / replayed: the captured request carries an old seq.
+    attempt("replay an already-delivered request",
+            channel.deliver_to_sp(captured_request));
+    // Reflection: a response sealed in the SP->guest direction can never
+    // authenticate as a guest->SP request.
+    attempt("reflect an SP response back at the SP",
+            channel.deliver_to_sp(captured_response));
+    // Truncation and bit-flips break the AEAD tag.
+    Bytes truncated = channel.seal_request(to_bytes(std::string_view("x")));
+    truncated.pop_back();
+    attempt("truncate a sealed request", channel.deliver_to_sp(truncated));
+    Bytes flipped = channel.seal_request(to_bytes(std::string_view("x")));
+    flipped[flipped.size() / 2] ^= 0x40;
+    attempt("bit-flip a sealed ciphertext", channel.deliver_to_sp(flipped));
+    // A message from a *future* sequence number must not be accepted early
+    // (the hypervisor withholding one message cannot skip the stream).
+    {
+      Bytes skip;  // seal at seq n+1 by advancing guest_seq_ past n first
+      append_u8(skip, 4);  // COUNTER_REQ
+      append_u8(skip, 0);
+      append_u8(skip, 0);
+      // Seal at current seq, advance the guest with a *delivered* message,
+      // then replay the earlier seal: from the SP's view that seq already
+      // passed, equivalent to an out-of-order arrival.
+      const Bytes early = channel.seal_request(skip);
+      (void)channel.request_counter(0, false);  // consumes the seq
+      attempt("deliver an out-of-order (stale-seq) request",
+              channel.deliver_to_sp(early));
+    }
+    // Type confusion: validly sealed, in-sequence messages whose plaintext
+    // confuses one message type for another. The AEAD opens — only the
+    // per-type body validators hold the line, and they must reject before
+    // any state moves. Each probe runs on a fresh channel (same VMPCK,
+    // fresh sequence space) because a valid-but-malformed message consumes
+    // an SP-side sequence number: the channel fails closed afterwards
+    // rather than resynchronising.
+    const auto confuse = [&](const char* what, Bytes plaintext) {
+      auto fuzz = sevsnp::GuestChannel::open(sp);
+      if (!fuzz.ok()) {
+        ++g_metric_failures;
+        return;
+      }
+      attempt(what, fuzz->deliver_to_sp(fuzz->seal_request(plaintext)));
+    };
+    {
+      Bytes keyreq_as_counter;
+      append_u8(keyreq_as_counter, 4);  // COUNTER_REQ type...
+      append_u8(keyreq_as_counter, 1);  // ...with a KEY_REQ-shaped body
+      append_u8(keyreq_as_counter, 1);
+      append_u32be(keyreq_as_counter, 4);
+      append(keyreq_as_counter, std::string_view("seal"));
+      append_u32be(keyreq_as_counter, 32);
+      confuse("COUNTER_REQ with a KEY_REQ body", keyreq_as_counter);
+    }
+    {
+      Bytes unknown;
+      append_u8(unknown, 9);  // no such message type
+      append(unknown, std::string_view("junk"));
+      confuse("unknown message type 9", unknown);
+    }
+
+    const auto auth_delta =
+        counter("sevsnp.channel.auth_fail.count", {{"side", "sp"}}) - auth0;
+    expect_delta("sevsnp.channel.auth_fail.count{side=sp}", 0, auth_delta,
+                 5);  // replay, reflect, truncate, flip, stale-seq
+    const bool counter_still_zero = [&] {
+      // None of the fuzzed messages may have moved the counter slot.
+      auto v = channel.request_counter(0, false);
+      return v.ok() && *v == 0;
+    }();
+    std::printf("    counter slot after the barrage: %s\n",
+                counter_still_zero ? "untouched" : "MOVED (?)");
+    verdict(rejected == 7 && counter_still_zero,
+            "AEAD over (direction, seq) AAD + strict per-type validators");
   }
 
   if (g_metric_failures > 0) {

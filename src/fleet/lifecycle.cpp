@@ -1,0 +1,86 @@
+#include "fleet/lifecycle.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha2.hpp"
+#include "obs/metrics.hpp"
+
+namespace revelio::fleet {
+
+namespace {
+
+/// Session-id namespace for lifecycle records: keeps fleet operations
+/// visually and numerically distinct from real session verdicts when the
+/// chain is replayed offline (sessions are dense small integers).
+constexpr std::uint64_t kLifecycleSessionBase = 0xf1ee7000'00000000ULL;
+
+}  // namespace
+
+void LifecycleEngine::schedule(LifecycleOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_.push_back(Scheduled{std::move(op), next_seq_++, false});
+}
+
+std::size_t LifecycleEngine::apply_due(std::uint64_t now_us) {
+  // Collect due ops under the lock, run them outside it: an op may call
+  // back into systems that themselves log or schedule.
+  std::vector<Scheduled*> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& scheduled : ops_) {
+      if (!scheduled.applied && scheduled.op.at_us <= now_us) {
+        scheduled.applied = true;
+        due.push_back(&scheduled);
+      }
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const Scheduled* a, const Scheduled* b) {
+    return a->op.at_us != b->op.at_us ? a->op.at_us < b->op.at_us
+                                      : a->seq < b->seq;
+  });
+  for (Scheduled* scheduled : due) {
+    const Status st = scheduled->op.apply ? scheduled->op.apply(now_us)
+                                          : Status::success();
+    const bool ok = st.ok();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++applied_;
+      if (!ok) ++failed_;
+    }
+    obs::metrics()
+        .counter("fleet.op.count", {{"op", scheduled->op.name},
+                                    {"result", ok ? "ok" : "failed"}})
+        .inc();
+    if (audit_ != nullptr) {
+      // Transparency-log-style entry in the attestation audit chain: the
+      // op name rides the failure_step field (its wire slot), the op's
+      // scheduled instant + outcome ride evidence_digest, and the verdict
+      // flag records whether the operation succeeded.
+      obs::AuditRecord record;
+      record.session = kLifecycleSessionBase | scheduled->seq;
+      record.virt_us = now_us;
+      record.accepted = ok;
+      record.failure_step = scheduled->op.name;
+      Bytes body;
+      append_u64be(body, scheduled->op.at_us);
+      append(body, scheduled->op.name);
+      if (!ok) append(body, st.error().to_string());
+      record.evidence_digest = crypto::sha256(body);
+      audit_->append(record);
+    }
+  }
+  return due.size();
+}
+
+LifecycleEngine::Stats LifecycleEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.applied = applied_;
+  s.failed = failed_;
+  for (const auto& scheduled : ops_) {
+    if (!scheduled.applied) ++s.pending;
+  }
+  return s;
+}
+
+}  // namespace revelio::fleet

@@ -1,0 +1,93 @@
+// Deterministic fleet-lifecycle engine (ROADMAP item 3).
+//
+// A live fleet is not static: TCB versions advance chip by chip,
+// certificates expire and rotate under ACME rate limits, measurements are
+// revoked after the fact, and hosts try to roll sealed volumes back. This
+// engine turns those operations into *scheduled virtual-time events* so
+// they can run as chaos-layer scenarios inside a soak: each LifecycleOp
+// carries the virtual instant it fires at and a closure that performs it
+// (announce a TcbHorizon, push into a RevocationSet, re-run the SP node's
+// provisioning round, attempt a volume rollback). apply_due(now_us) runs
+// every op whose instant has arrived, exactly once, in (instant,
+// insertion) order — always on the caller's thread, which is what keeps a
+// seeded soak bit-identical run to run.
+//
+// Wired into a staged gateway run via SessionEngineConfig::on_virtual_time
+// (the driver calls the hook at the top of every event-loop batch), or
+// called directly between sessions in a blocking soak.
+//
+// Every application is audited transparency-log-style: when an AuditLog is
+// attached, the op's name, virtual instant and outcome are folded into the
+// same Merkle-checkpointed hash chain the attestation verdicts live in —
+// an offline verifier replaying the chain sees revocation pushes and TCB
+// announcements interleaved with the verdicts they affected.
+//
+// Thread-safe: schedule() and apply_due() take a mutex. apply_due() is
+// expected from one driver thread at a time; ops run outside the engine
+// lock so they may take their targets' own locks freely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "obs/audit_log.hpp"
+
+namespace revelio::fleet {
+
+/// One timed fleet operation. `apply` runs at most once, the first time
+/// the virtual clock reaches `at_us`; it returns why it failed, if it did
+/// (failures are audited and counted, never retried — schedule a second op
+/// for retry semantics).
+struct LifecycleOp {
+  std::uint64_t at_us = 0;
+  /// Audited + metric label; <= 15 chars survive the audit wire format
+  /// (AuditRecord::kFailureStepSize), e.g. "tcb_update", "revoke_push",
+  /// "cert_rotate", "rollback_probe".
+  std::string name;
+  std::function<Status(std::uint64_t now_us)> apply;
+};
+
+class LifecycleEngine {
+ public:
+  /// `audit` (optional) receives one record per applied op; must outlive
+  /// the engine. Appends are thread-safe on the log's side.
+  explicit LifecycleEngine(obs::AuditLog* audit = nullptr) : audit_(audit) {}
+
+  void schedule(LifecycleOp op);
+
+  /// Applies every scheduled op with at_us <= now_us that has not run
+  /// yet, in (at_us, insertion) order. Returns how many ran.
+  std::size_t apply_due(std::uint64_t now_us);
+
+  /// Adapter for SessionEngineConfig::on_virtual_time.
+  std::function<void(std::uint64_t)> hook() {
+    return [this](std::uint64_t now_us) { apply_due(now_us); };
+  }
+
+  struct Stats {
+    std::uint64_t applied = 0;
+    std::uint64_t failed = 0;   // applied ops whose Status was an error
+    std::uint64_t pending = 0;  // scheduled, not yet due
+  };
+  Stats stats() const;
+
+ private:
+  struct Scheduled {
+    LifecycleOp op;
+    std::uint64_t seq = 0;  // insertion order tiebreak
+    bool applied = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Scheduled> ops_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t applied_ = 0;
+  std::uint64_t failed_ = 0;
+  obs::AuditLog* audit_ = nullptr;
+};
+
+}  // namespace revelio::fleet

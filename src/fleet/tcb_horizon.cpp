@@ -1,0 +1,92 @@
+#include "fleet/tcb_horizon.hpp"
+
+namespace revelio::fleet {
+
+namespace {
+
+constexpr std::string_view kPrefix = "fleet/tcb/";
+
+Bytes store_key(ByteView chip) {
+  Bytes key;
+  key.reserve(kPrefix.size() + chip.size());
+  append(key, kPrefix);
+  append(key, chip);
+  return key;
+}
+
+// Durable value: u64be(minimum) || u64be(horizon_us) || reason (free-form).
+Bytes store_value(std::uint64_t minimum, std::uint64_t horizon_us,
+                  const std::string& reason) {
+  Bytes value;
+  append_u64be(value, minimum);
+  append_u64be(value, horizon_us);
+  append(value, reason);
+  return value;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcbHorizon>> TcbHorizon::open(store::KvStore& kv) {
+  auto set = std::make_unique<TcbHorizon>();
+  set->kv_ = &kv;
+  Status bad = Status::success();
+  kv.for_each_prefix(to_bytes(kPrefix), [&](ByteView key, ByteView value) {
+    if (!bad.ok()) return;
+    const ByteView chip = key.subspan(kPrefix.size());
+    if (chip.size() != sevsnp::ChipId::size() || value.size() < 16) {
+      bad = Error::make("fleet.tcb_corrupt",
+                        "malformed persisted TCB horizon entry");
+      return;
+    }
+    Entry entry;
+    entry.minimum = read_u64be(value, 0);
+    entry.horizon_us = read_u64be(value, 8);
+    set->entries_[Bytes(chip.begin(), chip.end())] = entry;
+  });
+  if (!bad.ok()) return bad.error();
+  return set;
+}
+
+Status TcbHorizon::announce(const sevsnp::ChipId& chip,
+                            sevsnp::TcbVersion minimum,
+                            std::uint64_t horizon_us,
+                            const std::string& reason) {
+  const std::uint64_t encoded = minimum.encode();
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[chip.bytes()];
+  // Never lower an announced floor; an equal-or-higher minimum takes the
+  // new horizon (a re-announcement may extend or shorten the rollout).
+  if (encoded < entry.minimum) return Status::success();
+  entry.minimum = encoded;
+  entry.horizon_us = horizon_us;
+  if (kv_ == nullptr) return Status::success();
+  return kv_->put(store_key(chip.view()),
+                  store_value(encoded, horizon_us, reason));
+}
+
+bool TcbHorizon::acceptable(const sevsnp::ChipId& chip,
+                            sevsnp::TcbVersion reported,
+                            std::uint64_t now_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  const auto it = entries_.find(chip.bytes());
+  if (it == entries_.end()) return true;
+  if (now_us < it->second.horizon_us) return true;  // rollout in progress
+  const sevsnp::TcbVersion minimum =
+      sevsnp::TcbVersion::decode(it->second.minimum);
+  if (reported.at_least(minimum)) return true;
+  ++rejections_;
+  return false;
+}
+
+TcbHorizon::Stats TcbHorizon::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{entries_.size(), checks_, rejections_};
+}
+
+std::size_t TcbHorizon::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace revelio::fleet

@@ -253,8 +253,12 @@ Status verify_chain(const Certificate& leaf,
   constexpr std::size_t kMaxDepth = 8;
 
   auto check_validity = [&](const Certificate& cert) -> Status {
+    // Validity is the half-open window [not_before, not_after): a
+    // certificate expiring exactly at the validation instant is already
+    // expired. The closed upper bound this used to have made the expiry
+    // instant itself fail open.
     if (options.now_us < cert.not_before_us ||
-        options.now_us > cert.not_after_us) {
+        options.now_us >= cert.not_after_us) {
       return Error::make("pki.cert_expired",
                          cert.subject.common_name + " outside validity");
     }

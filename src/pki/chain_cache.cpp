@@ -75,8 +75,10 @@ Status ChainVerificationCache::verify_keyed(
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
+      // Half-open window, matching verify_chain: a hit must not be served
+      // at the instant the chain expires.
       if (options.now_us >= it->second.valid_from_us &&
-          options.now_us <= it->second.valid_until_us) {
+          options.now_us < it->second.valid_until_us) {
         ++stats_.hits;
         obs::metrics().counter("pki.chain_cache.hit.count").inc();
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -108,7 +110,7 @@ Status ChainVerificationCache::verify_keyed(
         stored && stored->size() == kChainValueSize) {
       const std::uint64_t from = read_u64be(*stored, 0);
       const std::uint64_t until = read_u64be(*stored, 8);
-      if (from <= until && options.now_us >= from && options.now_us <= until) {
+      if (from < until && options.now_us >= from && options.now_us < until) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.store_hits;
         obs::metrics().counter("pki.chain_cache.store_hit.count").inc();

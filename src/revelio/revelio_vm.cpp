@@ -8,6 +8,9 @@ namespace revelio::core {
 
 namespace {
 
+/// AMD-SP monotonic counter slot stamping the sealed TLS identity record.
+constexpr std::size_t kIdentityCounterSlot = 0;
+
 /// Parses "host:port" from a length-prefixed wire field layout used by the
 /// certificate-install message.
 struct Reader {
@@ -22,6 +25,15 @@ struct Reader {
     }
     const std::uint32_t v = read_u32be(data, off);
     off += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (off + 8 > data.size()) {
+      failed = true;
+      return 0;
+    }
+    const std::uint64_t v = read_u64be(data, off);
+    off += 8;
     return v;
   }
   Bytes bytes() {
@@ -349,6 +361,22 @@ Status RevelioVm::acquire_key_from_leader(const net::Address& leader) {
   return persist_tls_identity();
 }
 
+Status RevelioVm::refresh_evidence() {
+  // The identity key pair and CSR are unchanged — only the reports are
+  // re-signed, so the new bundles bind the same public key and CSR bytes
+  // under the VCEK of the chip's current (post-update) TCB.
+  auto& channel = guest_->channel();
+  const Bytes pubkey = identity_.public_encoded(crypto::p256());
+  auto id_report = channel.request_report(EvidenceBundle::bind(pubkey));
+  if (!id_report.ok()) return id_report.error();
+  const Bytes csr_bytes = csr_.serialize();
+  auto csr_report = channel.request_report(EvidenceBundle::bind(csr_bytes));
+  if (!csr_report.ok()) return csr_report.error();
+  identity_evidence_ = EvidenceBundle{std::move(*id_report), pubkey};
+  csr_evidence_ = EvidenceBundle{std::move(*csr_report), csr_bytes};
+  return Status::success();
+}
+
 Status RevelioVm::persist_tls_identity() {
   // The private key (and the certificate it belongs to) lives in the
   // sealed (dm-crypt) partition: unreadable at rest, after migration to a
@@ -358,8 +386,17 @@ Status RevelioVm::persist_tls_identity() {
   if (!tls_private_key_ || !tls_certificate_) {
     return Error::make("revelio.no_tls_identity", "nothing to persist");
   }
+  // Rollback defence: every persist advances the AMD-SP's measurement-
+  // bound monotonic counter and stamps the new value into the sealed
+  // record. The counter lives in the chip, out of the host's reach, so a
+  // host that later serves an older volume snapshot presents a stale
+  // stamp — load_tls_identity refuses it (§6.1.4 applied to state).
+  auto counter =
+      guest_->channel().request_counter(kIdentityCounterSlot, true);
+  if (!counter.ok()) return counter.error();
   Bytes record;
-  append(record, std::string_view("TLSID1"));
+  append(record, std::string_view("TLSID2"));
+  append_u64be(record, *counter);
   append_field(record, tls_private_key_->to_bytes_be(32));
   append_field(record, tls_certificate_->serialize());
   append_u32be(record, static_cast<std::uint32_t>(tls_chain_.size()));
@@ -376,12 +413,25 @@ Result<bool> RevelioVm::load_tls_identity() {
   if (!volume) return false;  // image built without a sealed volume
   Bytes record(volume->block_size());
   if (auto st = volume->read_block(0, record); !st.ok()) return st.error();
-  constexpr std::string_view kTag = "TLSID1";
+  constexpr std::string_view kTag = "TLSID2";
   if (record.size() < kTag.size() ||
       to_string(ByteView(record).subspan(0, kTag.size())) != kTag) {
     return false;  // first boot: nothing persisted yet
   }
   Reader r{record, kTag.size()};
+  const std::uint64_t stamped = r.u64();
+  // Freshness first: the stamp must equal the chip counter exactly. Less
+  // means the host rolled the volume back to an older snapshot; more
+  // means the record was not written through this VM's persist path at
+  // all. Either way the identity inside must not be trusted or served.
+  auto counter =
+      guest_->channel().request_counter(kIdentityCounterSlot, false);
+  if (!counter.ok()) return counter.error();
+  if (stamped != *counter) {
+    return Error::make("revelio.rollback_detected",
+                       "sealed identity stamp " + std::to_string(stamped) +
+                           " != chip counter " + std::to_string(*counter));
+  }
   const Bytes key_bytes = r.bytes();
   const Bytes cert_bytes = r.bytes();
   const std::uint32_t chain_count = r.u32();

@@ -81,6 +81,14 @@ class RevelioVm {
   /// The disk backing this VM (hand to `existing_disk` to reboot it).
   std::shared_ptr<storage::MemDisk> disk() const { return disk_; }
 
+  /// Re-requests both attestation reports (identity and CSR) from the
+  /// AMD-SP so the evidence carries the chip's *current* TCB. Operators
+  /// call this after a staged firmware update: evidence minted before the
+  /// update names the old TCB and is rejected once the fleet's update
+  /// horizon passes (failure_step "tcb_horizon"); refreshing re-signs the
+  /// unchanged identity under the post-update VCEK.
+  Status refresh_evidence();
+
   /// Direct HTTP dispatch (used by tests; network traffic arrives via the
   /// registered handlers).
   net::HttpResponse dispatch(const net::HttpRequest& request);

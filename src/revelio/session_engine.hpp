@@ -123,6 +123,15 @@ struct SessionEngineConfig {
   /// their own verdicts (see WebExtensionConfig::audit_log). Must outlive
   /// the run; appends are thread-safe.
   obs::AuditLog* audit_log = nullptr;
+  /// Called on the driver thread at the top of every run_staged batch with
+  /// the loop's current virtual time (µs). This is the deterministic
+  /// injection point for fleet lifecycle operations — TCB updates,
+  /// revocation pushes, certificate rotations — mid-soak: the hook runs
+  /// before the batch's stages are dispatched, so every session dispatched
+  /// at or after a lifecycle op's instant observes its effects
+  /// (fleet::LifecycleEngine::hook() adapts to this signature). No stages
+  /// are in flight while it runs.
+  std::function<void(std::uint64_t now_us)> on_virtual_time;
 };
 
 /// What one session sees while it runs. The cache pointers are shared with

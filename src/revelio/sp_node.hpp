@@ -65,6 +65,21 @@ class SpNode {
     return certificate_;
   }
 
+  /// True when the issued certificate is inside its renewal overlap window:
+  /// `now_us >= not_after - overlap_us` (or no certificate exists yet).
+  /// Rotation itself is a provision_fleet() re-run — the round is
+  /// idempotent over the approved set, obtains a fresh certificate under
+  /// the same ACME rate limits, and redistributes it while the old one is
+  /// still valid, so sessions never observe a gap (§3.4.6). The old
+  /// certificate keeps verifying until its own not_after passes; pki's
+  /// half-open validity window then fails it closed and clients
+  /// re-handshake against the rotated one.
+  bool renewal_due(std::uint64_t now_us, std::uint64_t overlap_us) const {
+    if (!certificate_) return true;
+    const std::uint64_t not_after = certificate_->not_after_us;
+    return now_us + overlap_us >= not_after;
+  }
+
  private:
   Result<pki::Certificate> obtain_certificate(
       const pki::CertificateSigningRequest& leader_csr,

@@ -1,5 +1,6 @@
 #include "revelio/vcek_cache.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "obs/metrics.hpp"
@@ -19,10 +20,22 @@ Bytes vcek_store_key(const VcekCache::Key& key) {
   return k;
 }
 
-// Durable record: three u32be-length-prefixed certificate serializations
+// Durable record: the (chip, TCB) identity the chain was fetched for,
+// echoed ahead of three u32be-length-prefixed certificate serializations
 // (vcek, ask, ark). Exact-parse — trailing bytes make the record invalid.
-Bytes serialize_response(const KdsService::VcekResponse& response) {
+//
+// The echo is what binds a record to its key. A VCEK cert subject names
+// only the chip, not the TCB, so without the echo a record copied (or
+// mis-written) under another (chip, TCB) key — say the pre-update chain
+// surfacing under the post-update key — would parse cleanly and serve a
+// stale VCEK as if it were fresh. parse_response rejects any record whose
+// embedded identity differs from the key it was looked up by; the
+// mismatch is treated as a miss and repaired by a real KDS fetch.
+Bytes serialize_response(const VcekCache::Key& key,
+                         const KdsService::VcekResponse& response) {
   Bytes out;
+  append(out, key.first);
+  append_u64be(out, key.second);
   for (const pki::Certificate* cert :
        {&response.vcek, &response.ask, &response.ark}) {
     const Bytes s = cert->serialize();
@@ -32,7 +45,16 @@ Bytes serialize_response(const KdsService::VcekResponse& response) {
   return out;
 }
 
-std::optional<KdsService::VcekResponse> parse_response(ByteView data) {
+std::optional<KdsService::VcekResponse> parse_response(
+    const VcekCache::Key& key, ByteView data) {
+  if (data.size() < key.first.size() + 8) return std::nullopt;
+  if (!std::equal(key.first.begin(), key.first.end(), data.begin())) {
+    return std::nullopt;  // record bound to a different chip
+  }
+  if (read_u64be(data, key.first.size()) != key.second) {
+    return std::nullopt;  // record bound to a different TCB version
+  }
+  data = data.subspan(key.first.size() + 8);
   KdsService::VcekResponse response;
   for (pki::Certificate* cert : {&response.vcek, &response.ask,
                                  &response.ark}) {
@@ -131,7 +153,7 @@ Result<KdsService::VcekResponse> VcekCache::get_or_fetch(
     store::KvStore* kv = store_.load(std::memory_order_acquire);
     if (kv != nullptr) {
       if (const auto stored = kv->get(vcek_store_key(key))) {
-        if (auto parsed = parse_response(*stored)) {
+        if (auto parsed = parse_response(key, *stored)) {
           store_hits_.fetch_add(1, std::memory_order_relaxed);
           obs::metrics().counter("kds.fetch.store_hit.count").inc();
           insert(shard, key, *parsed);
@@ -152,7 +174,8 @@ Result<KdsService::VcekResponse> VcekCache::get_or_fetch(
     if (kv != nullptr) {
       // Best effort: a failed write-through costs a re-fetch after the
       // next restart, nothing else.
-      if (!kv->put(vcek_store_key(key), serialize_response(*fetched)).ok()) {
+      if (!kv->put(vcek_store_key(key),
+                   serialize_response(key, *fetched)).ok()) {
         store_write_failures_.fetch_add(1, std::memory_order_relaxed);
         obs::metrics().counter("kds.fetch.store_write_failure.count").inc();
       }

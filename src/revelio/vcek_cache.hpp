@@ -69,6 +69,10 @@ class VcekCache {
   /// every certificate loaded from the store is still chain-walked to the
   /// pinned ARK by the verify path, so a corrupted or malicious record can
   /// only cause a re-fetch or a verification failure, never silent trust.
+  /// Each record embeds the (chip, TCB) identity it was fetched for and is
+  /// rejected when that identity differs from the key it is looked up by —
+  /// a chain-valid record surfacing under the wrong TCB (e.g. a pre-update
+  /// chain after a fleet TCB update) parses as a miss, never a hit.
   /// Unparseable records are treated as a miss. The store must be
   /// thread-safe for the cache's callers and must outlive the cache.
   void attach_store(store::KvStore* kv);

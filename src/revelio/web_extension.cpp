@@ -2,6 +2,7 @@
 
 #include "crypto/ecdsa.hpp"
 #include "crypto/sha2.hpp"
+#include "fleet/tcb_horizon.hpp"
 #include "obs/audit_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -410,14 +411,30 @@ bool WebExtension::check_revocation(const EvidenceBundle& bundle,
   return false;
 }
 
+bool WebExtension::check_tcb_horizon(const EvidenceBundle& bundle,
+                                     AttestationChecks& checks) {
+  if (config_.tcb_horizon == nullptr) return true;
+  const std::uint64_t now_us = browser_->network().clock().now_us();
+  if (config_.tcb_horizon->acceptable(bundle.report.chip_id,
+                                      bundle.report.reported_tcb, now_us)) {
+    return true;
+  }
+  checks.failure = "report TCB is below the chip's update horizon";
+  checks.failure_step = "tcb_horizon";
+  obs::metrics().counter("ext.attest.tcb_horizon.count").inc();
+  return false;
+}
+
 bool WebExtension::stage_verify(const std::string& domain,
                                 const EvidenceBundle& bundle,
                                 const KdsService::VcekResponse& kds,
                                 const Bytes& session_key,
                                 AttestationChecks& checks) {
-  // Revocation is checked before a single signature is examined: evidence
-  // from a revoked identity must not even reach the crypto.
+  // Revocation and the fleet TCB horizon are checked before a single
+  // signature is examined: evidence from a revoked identity or below its
+  // chip's update horizon must not even reach the crypto.
   if (!check_revocation(bundle, kds, checks)) return false;
+  if (!check_tcb_horizon(bundle, checks)) return false;
   const SiteRegistration& site = sites_.at(domain);
   sevsnp::ReportVerifyOptions options;
   options.now_us = browser_->network().clock().now_us();
@@ -582,7 +599,8 @@ WebExtension::StagedAttestation::verify_prepare() {
   if (next_ != Stage::kVerify || prepared_) {
     return wrong_stage("verify").error();
   }
-  if (!ext_->check_revocation(*bundle_, *kds_, checks_)) {
+  if (!ext_->check_revocation(*bundle_, *kds_, checks_) ||
+      !ext_->check_tcb_horizon(*bundle_, checks_)) {
     // Terminal like any other failed verify: audited, counted, fail closed
     // — and the signature batch never sees this session.
     ext_->note_verdict(checks_, &*bundle_, &*kds_, false);

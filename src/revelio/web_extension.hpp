@@ -30,6 +30,10 @@ namespace revelio {
 class RevocationSet;  // revelio/revocation.hpp
 }  // namespace revelio
 
+namespace revelio::fleet {
+class TcbHorizon;  // fleet/tcb_horizon.hpp
+}  // namespace revelio::fleet
+
 namespace revelio::core {
 
 class Browser {
@@ -111,8 +115,9 @@ struct AttestationChecks {
   bool tls_binding_ok = false;   // session terminates at the attested key
   std::string failure;
   /// Machine-readable step id of the first failed check ("" when all pass):
-  /// evidence_fetch | evidence_parse | binding | kds_fetch | chain |
-  /// report_verify | measurement | tls_binding. Mirrors the `result` label
+  /// evidence_fetch | evidence_parse | binding | kds_fetch | revocation |
+  /// tcb_horizon | chain | report_verify | measurement | tls_binding.
+  /// Mirrors the `result` label
   /// on the ext.attest.result.count metric and the ext.attest span.
   std::string failure_step;
 
@@ -165,6 +170,13 @@ struct WebExtensionConfig {
   /// revoked — on every path: blocking, staged, and batch. Must outlive
   /// the extension; checks are thread-safe.
   const RevocationSet* revocation_set = nullptr;
+  /// When set, the verify stage also consults the fleet's per-chip TCB
+  /// update horizons *before* any signature work and rejects fail-closed
+  /// (failure_step "tcb_horizon") any report whose TCB is below its
+  /// chip's announced minimum once the horizon instant has passed — on
+  /// every path: blocking, staged, and batch. Must outlive the extension;
+  /// checks are thread-safe.
+  const fleet::TcbHorizon* tcb_horizon = nullptr;
 };
 
 class WebExtension {
@@ -333,6 +345,12 @@ class WebExtension {
   bool check_revocation(const EvidenceBundle& bundle,
                         const KdsService::VcekResponse& kds,
                         AttestationChecks& checks);
+  /// Fail-closed fleet TCB-horizon gate (config_.tcb_horizon): true when
+  /// the report's TCB is acceptable for its chip at the current virtual
+  /// instant (or no horizon set is configured). Runs next to the
+  /// revocation gate, before any signature work, on every verify path.
+  bool check_tcb_horizon(const EvidenceBundle& bundle,
+                         AttestationChecks& checks);
   /// Chain/signature/measurement/TLS-binding checks; records the attested
   /// DomainState and returns true iff everything passed.
   bool stage_verify(const std::string& domain, const EvidenceBundle& bundle,

@@ -142,4 +142,21 @@ Result<Bytes> AmdSp::derive_key(const KeyDerivationPolicy& policy,
                              length);
 }
 
+Result<std::uint64_t> AmdSp::counter_read(std::size_t index) const {
+  if (state_ != State::kRunning) {
+    return Error::make("snp.no_guest", "no measured guest is running");
+  }
+  if (index >= kCounterSlots) return Error::make("snp.bad_counter_index");
+  const auto it = counters_.find({measurement_.bytes(), index});
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Result<std::uint64_t> AmdSp::counter_increment(std::size_t index) {
+  if (state_ != State::kRunning) {
+    return Error::make("snp.no_guest", "no measured guest is running");
+  }
+  if (index >= kCounterSlots) return Error::make("snp.bad_counter_index");
+  return ++counters_[{measurement_.bytes(), index}];
+}
+
 }  // namespace revelio::sevsnp

@@ -88,6 +88,23 @@ class AmdSp {
 
   const std::array<Measurement, kRtmrCount>& rtmrs() const { return rtmrs_; }
 
+  // --- Monotonic counters (rollback defence) ---------------------------
+  // Chip-resident NVRAM-style counter slots, bound to the running guest's
+  // launch measurement: only the identical image on this chip sees the
+  // same slots, and the values live in the AMD-SP — they survive guest
+  // teardown, reboot, and any amount of host disk manipulation. A guest
+  // that stamps the current counter value into its sealed volume on every
+  // write can detect a rolled-back volume on the next boot: the sealed
+  // stamp no longer matches the chip's counter, which only ever moved
+  // forward (§6.1.4's anti-rollback story applied to persistent state).
+
+  /// Current value of counter `index` (starts at 0). Never advances.
+  Result<std::uint64_t> counter_read(std::size_t index) const;
+  /// Atomically advances counter `index` and returns the NEW value.
+  Result<std::uint64_t> counter_increment(std::size_t index);
+
+  static constexpr std::size_t kCounterSlots = 8;
+
  private:
   crypto::EcKeyPair vcek_for(TcbVersion tcb) const;
 
@@ -102,6 +119,10 @@ class AmdSp {
   crypto::Sha384 launch_digest_;
   Measurement measurement_;
   std::array<Measurement, kRtmrCount> rtmrs_{};
+  /// (measurement bytes, slot) -> value. Keyed by measurement so distinct
+  /// images on one chip cannot read or bump each other's counters; kept
+  /// across launch_reset — that persistence IS the rollback defence.
+  std::map<std::pair<Bytes, std::size_t>, std::uint64_t> counters_;
 };
 
 /// Replays an ordered sequence of event digests into the RTMR value a

@@ -1,5 +1,7 @@
 #include "sevsnp/guest_channel.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace revelio::sevsnp {
 
 namespace {
@@ -7,6 +9,7 @@ namespace {
 constexpr std::uint8_t kMsgReportReq = 1;
 constexpr std::uint8_t kMsgKeyReq = 2;
 constexpr std::uint8_t kMsgRtmrExtend = 3;
+constexpr std::uint8_t kMsgCounterReq = 4;
 
 // Directions keep request and response nonce spaces disjoint.
 constexpr std::uint8_t kDirGuestToSp = 0x47;  // 'G'
@@ -55,6 +58,9 @@ Result<Bytes> GuestChannel::deliver_to_sp(ByteView sealed_request) {
   auto plaintext = aead_.open(make_aad(kDirGuestToSp, sp_expected_seq_),
                               sealed_request);
   if (!plaintext.ok()) {
+    obs::metrics()
+        .counter("sevsnp.channel.auth_fail.count", {{"side", "sp"}})
+        .inc();
     return Error::make("snp.channel_auth_failed",
                        "sealed request rejected (replay or tamper?)");
   }
@@ -107,6 +113,21 @@ Result<Bytes> GuestChannel::handle_request(ByteView plaintext) const {
       }
       return to_bytes(std::string_view("ok"));
     }
+    case kMsgCounterReq: {
+      // Body: u8 slot index, u8 op (0 = read, 1 = increment). Anything
+      // else — wrong size, unknown op — is rejected before touching the
+      // counter, so a fuzzed body can never move a slot.
+      if (body.size() != 2) return Error::make("snp.bad_counter_request");
+      if (body[1] > 1) {
+        return Error::make("snp.bad_counter_request", "unknown op");
+      }
+      auto value = body[1] == 1 ? sp_->counter_increment(body[0])
+                                : sp_->counter_read(body[0]);
+      if (!value.ok()) return value.error();
+      Bytes response;
+      append_u64be(response, *value);
+      return response;
+    }
     default:
       return Error::make("snp.unknown_message_type");
   }
@@ -129,6 +150,9 @@ Result<Bytes> GuestChannel::transact(ByteView plaintext_request) {
   auto response =
       aead_.open(make_aad(kDirSpToGuest, seq), *sealed_response);
   if (!response.ok()) {
+    obs::metrics()
+        .counter("sevsnp.channel.auth_fail.count", {{"side", "guest"}})
+        .inc();
     return Error::make("snp.channel_auth_failed", "response rejected");
   }
   return response;
@@ -153,6 +177,20 @@ Status GuestChannel::extend_rtmr(std::size_t index,
   auto response = transact(request);
   if (!response.ok()) return response.error();
   return Status::success();
+}
+
+Result<std::uint64_t> GuestChannel::request_counter(std::size_t index,
+                                                    bool increment) {
+  Bytes request;
+  append_u8(request, kMsgCounterReq);
+  append_u8(request, static_cast<std::uint8_t>(index));
+  append_u8(request, increment ? 1 : 0);
+  auto response = transact(request);
+  if (!response.ok()) return response.error();
+  if (response->size() != 8) {
+    return Error::make("snp.bad_counter_response");
+  }
+  return read_u64be(*response, 0);
 }
 
 Result<Bytes> GuestChannel::request_key(const KeyDerivationPolicy& policy,

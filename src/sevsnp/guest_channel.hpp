@@ -40,6 +40,11 @@ class GuestChannel {
   /// MSG_RTMR_EXTEND: extends a runtime measurement register.
   Status extend_rtmr(std::size_t index, const Measurement& event_digest);
 
+  /// MSG_COUNTER_REQ: reads (increment=false) or advances-and-returns
+  /// (increment=true) one of the AMD-SP's measurement-bound monotonic
+  /// counter slots — the guest's rollback-defence primitive.
+  Result<std::uint64_t> request_counter(std::size_t index, bool increment);
+
   /// Low-level entry point used by attack tests: delivers an arbitrary
   /// sealed request to the SP side, as a malicious hypervisor would.
   Result<Bytes> deliver_to_sp(ByteView sealed_request);

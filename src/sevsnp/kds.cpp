@@ -41,10 +41,12 @@ Result<pki::Certificate> KeyDistributionServer::fetch_vcek(
                        to_hex(chip_id.view()).substr(0, 16) + "...");
   }
   const Bytes vcek_pub = platform_it->second->vcek_public_key(tcb);
+  const std::uint64_t not_after =
+      vcek_not_after_us_ != 0 ? vcek_not_after_us_ : kCenturyUs;
   pki::Certificate cert = ask_->issue_for_key(
       "P-384", vcek_pub,
       {"VCEK-" + to_hex(chip_id.view()).substr(0, 16), "AMD", "US"}, {}, 0,
-      kCenturyUs);
+      not_after);
   vcek_cache_[cache_key] = cert;
   return cert;
 }

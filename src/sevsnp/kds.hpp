@@ -27,6 +27,15 @@ class KeyDistributionServer {
   /// VCEK certificate for (chip, TCB). Issued lazily, then cached.
   Result<pki::Certificate> fetch_vcek(const ChipId& chip_id, TcbVersion tcb);
 
+  /// Overrides the expiry instant (absolute not_after, µs) of VCEKs
+  /// issued from now on (default: a century out, so simulated clocks
+  /// never outrun them). Expiry tests use this to place a certificate's
+  /// not_after at a chosen instant; already-issued (cached) VCEKs keep
+  /// their original window.
+  void set_vcek_not_after(std::uint64_t not_after_us) {
+    vcek_not_after_us_ = not_after_us;
+  }
+
   const pki::Certificate& ark_certificate() const { return ark_cert_; }
   const pki::Certificate& ask_certificate() const { return ask_cert_; }
 
@@ -41,6 +50,7 @@ class KeyDistributionServer {
   pki::Certificate ask_cert_;
   std::map<Bytes, const AmdSp*> platforms_;  // keyed by chip id bytes
   std::map<std::pair<Bytes, std::uint64_t>, pki::Certificate> vcek_cache_;
+  std::uint64_t vcek_not_after_us_ = 0;  // 0 = the century default
 };
 
 /// Full report verification as the paper's web extension performs it

@@ -102,6 +102,33 @@ TEST_F(PkiFixture, ExpiredLeafRejected) {
   EXPECT_EQ(st.error().code, "pki.cert_expired");
 }
 
+// The validity window is half-open: [not_before, not_after). A clock that
+// lands EXACTLY on not_after must reject — "valid through the last
+// microsecond" off-by-ones on either side of the boundary are a classic
+// expiry-edge bug (a certificate that validates at its own expiry instant
+// is honoured one tick too long, fleet-wide).
+TEST_F(PkiFixture, ExpiryBoundaryIsHalfOpen) {
+  const auto leaf = issue_leaf("site.example", {"site.example"}, 0, kYearUs);
+  ChainVerifyOptions options;
+  options.dns_name = "site.example";
+  options.now_us = kYearUs - 1;  // last valid instant
+  EXPECT_TRUE(verify_chain(leaf, {inter.certificate()}, {root.certificate()},
+                           options)
+                  .ok());
+  options.now_us = kYearUs;  // exactly not_after: expired
+  const auto st = verify_chain(leaf, {inter.certificate()},
+                               {root.certificate()}, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "pki.cert_expired");
+  // And the lower bound is closed: not_before itself is valid.
+  const auto future =
+      issue_leaf("site.example", {"site.example"}, kYearUs, 2 * kYearUs);
+  options.now_us = kYearUs;
+  EXPECT_TRUE(verify_chain(future, {inter.certificate()},
+                           {root.certificate()}, options)
+                  .ok());
+}
+
 TEST_F(PkiFixture, NotYetValidLeafRejected) {
   const auto leaf =
       issue_leaf("site.example", {"site.example"}, kYearUs, 2 * kYearUs);

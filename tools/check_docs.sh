@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Documentation checker (ctest label `docs`).
 #
-# Two guarantees:
+# Three guarantees:
 #   1. Every intra-repo markdown link in the maintained docs (README.md,
 #      DESIGN.md, EXPERIMENTS.md, ROADMAP.md, CHANGES.md, docs/**) points
 #      at a file that exists. External links (http/https/mailto) and pure
@@ -10,6 +10,11 @@
 #      are not checked.
 #   2. docs/ARCHITECTURE.md names every subsystem directory under src/ —
 #      adding a module without documenting it fails the build.
+#   3. ctest labels stay in sync both ways: every label referenced from
+#      README.md / DESIGN.md (`-L <label>` invocations and the README
+#      label table) is declared in tests/CMakeLists.txt, and every
+#      declared label has a row in the README label table — adding a
+#      suite label without documenting how to run it fails the build.
 #
 # Usage: tools/check_docs.sh [repo-root]   (defaults to the script's repo)
 set -euo pipefail
@@ -75,6 +80,45 @@ else:
             failures.append(
                 f"docs/ARCHITECTURE.md does not mention src/{d}")
     print(f"architecture doc covers {len(subsystems)} src/ subsystems")
+
+# --- 3. ctest labels: docs <-> tests/CMakeLists.txt -------------------------
+cmake_path = os.path.join(root, "tests", "CMakeLists.txt")
+if not os.path.exists(cmake_path):
+    failures.append("tests/CMakeLists.txt is missing")
+else:
+    with open(cmake_path) as f:
+        cmake = f.read()
+    declared = set()
+    # Matches both `LABELS tsan` and `LABELS "fleet;chaos;tsan"`.
+    for group in re.findall(r'LABELS\s+"?([A-Za-z0-9;_-]+)"?', cmake):
+        declared.update(group.split(";"))
+
+    readme_path = os.path.join(root, "README.md")
+    design_path = os.path.join(root, "DESIGN.md")
+    with open(readme_path) as f:
+        readme = f.read()
+    design = ""
+    if os.path.exists(design_path):
+        with open(design_path) as f:
+            design = f.read()
+
+    # Labels the docs tell readers to run: `-L <label>` invocations plus
+    # the README label table's first column (backticked label per row).
+    referenced = set(re.findall(r"-L\s+([A-Za-z0-9_-]+)", readme + design))
+    table_labels = set(re.findall(r"^\| `([A-Za-z0-9_-]+)` \|", readme,
+                                  re.MULTILINE))
+    referenced |= table_labels
+
+    for label in sorted(referenced - declared):
+        failures.append(
+            f"docs reference ctest label '{label}' but tests/CMakeLists.txt "
+            "never declares it")
+    for label in sorted(declared - table_labels):
+        failures.append(
+            f"tests/CMakeLists.txt declares ctest label '{label}' but the "
+            "README label table has no row for it")
+    print(f"ctest labels in sync: {len(declared)} declared, "
+          f"{len(referenced)} referenced")
 
 if failures:
     print("documentation check failure(s):", file=sys.stderr)
