@@ -22,25 +22,29 @@ void LifecycleEngine::schedule(LifecycleOp op) {
 }
 
 std::size_t LifecycleEngine::apply_due(std::uint64_t now_us) {
-  // Collect due ops under the lock, run them outside it: an op may call
-  // back into systems that themselves log or schedule.
-  std::vector<Scheduled*> due;
+  // Move due ops out under the lock, run them outside it: an op may call
+  // back into systems that themselves log or schedule — including
+  // schedule() on THIS engine (follow-up ops for retry semantics), which
+  // push_backs into ops_ and may reallocate it. `due` therefore owns its
+  // ops; pointers into ops_ would dangle on the first follow-up schedule
+  // (or a concurrent one from another thread). The vacated ops_ entries
+  // stay behind as applied tombstones so stats() keeps counting.
+  std::vector<Scheduled> due;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& scheduled : ops_) {
       if (!scheduled.applied && scheduled.op.at_us <= now_us) {
         scheduled.applied = true;
-        due.push_back(&scheduled);
+        due.push_back(Scheduled{std::move(scheduled.op), scheduled.seq, true});
       }
     }
   }
-  std::sort(due.begin(), due.end(), [](const Scheduled* a, const Scheduled* b) {
-    return a->op.at_us != b->op.at_us ? a->op.at_us < b->op.at_us
-                                      : a->seq < b->seq;
+  std::sort(due.begin(), due.end(), [](const Scheduled& a, const Scheduled& b) {
+    return a.op.at_us != b.op.at_us ? a.op.at_us < b.op.at_us : a.seq < b.seq;
   });
-  for (Scheduled* scheduled : due) {
-    const Status st = scheduled->op.apply ? scheduled->op.apply(now_us)
-                                          : Status::success();
+  for (Scheduled& scheduled : due) {
+    const Status st = scheduled.op.apply ? scheduled.op.apply(now_us)
+                                         : Status::success();
     const bool ok = st.ok();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -48,7 +52,7 @@ std::size_t LifecycleEngine::apply_due(std::uint64_t now_us) {
       if (!ok) ++failed_;
     }
     obs::metrics()
-        .counter("fleet.op.count", {{"op", scheduled->op.name},
+        .counter("fleet.op.count", {{"op", scheduled.op.name},
                                     {"result", ok ? "ok" : "failed"}})
         .inc();
     if (audit_ != nullptr) {
@@ -57,13 +61,13 @@ std::size_t LifecycleEngine::apply_due(std::uint64_t now_us) {
       // scheduled instant + outcome ride evidence_digest, and the verdict
       // flag records whether the operation succeeded.
       obs::AuditRecord record;
-      record.session = kLifecycleSessionBase | scheduled->seq;
+      record.session = kLifecycleSessionBase | scheduled.seq;
       record.virt_us = now_us;
       record.accepted = ok;
-      record.failure_step = scheduled->op.name;
+      record.failure_step = scheduled.op.name;
       Bytes body;
-      append_u64be(body, scheduled->op.at_us);
-      append(body, scheduled->op.name);
+      append_u64be(body, scheduled.op.at_us);
+      append(body, scheduled.op.name);
       if (!ok) append(body, st.error().to_string());
       record.evidence_digest = crypto::sha256(body);
       audit_->append(record);

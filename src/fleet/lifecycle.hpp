@@ -24,7 +24,12 @@
 //
 // Thread-safe: schedule() and apply_due() take a mutex. apply_due() is
 // expected from one driver thread at a time; ops run outside the engine
-// lock so they may take their targets' own locks freely.
+// lock so they may take their targets' own locks freely — and may call
+// schedule() on this engine (follow-up/retry ops), concurrently with
+// schedule() from other threads. Due ops are moved out of the engine's
+// storage before they run, so those schedules can never invalidate the
+// batch in flight; a follow-up already due still waits for the next
+// apply_due() call.
 #pragma once
 
 #include <cstdint>

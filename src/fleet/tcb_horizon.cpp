@@ -47,21 +47,27 @@ Result<std::unique_ptr<TcbHorizon>> TcbHorizon::open(store::KvStore& kv) {
   return set;
 }
 
-Status TcbHorizon::announce(const sevsnp::ChipId& chip,
-                            sevsnp::TcbVersion minimum,
-                            std::uint64_t horizon_us,
-                            const std::string& reason) {
+Result<bool> TcbHorizon::announce(const sevsnp::ChipId& chip,
+                                  sevsnp::TcbVersion minimum,
+                                  std::uint64_t horizon_us,
+                                  const std::string& reason) {
   const std::uint64_t encoded = minimum.encode();
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[chip.bytes()];
   // Never lower an announced floor; an equal-or-higher minimum takes the
   // new horizon (a re-announcement may extend or shorten the rollout).
-  if (encoded < entry.minimum) return Status::success();
+  // The drop is reported, not swallowed: an audit trail that recorded an
+  // ignored announcement as applied would hide the ineffective rollout.
+  if (encoded < entry.minimum) return false;
   entry.minimum = encoded;
   entry.horizon_us = horizon_us;
-  if (kv_ == nullptr) return Status::success();
-  return kv_->put(store_key(chip.view()),
-                  store_value(encoded, horizon_us, reason));
+  if (kv_ == nullptr) return true;
+  if (auto st = kv_->put(store_key(chip.view()),
+                         store_value(encoded, horizon_us, reason));
+      !st.ok()) {
+    return st.error();
+  }
+  return true;
 }
 
 bool TcbHorizon::acceptable(const sevsnp::ChipId& chip,

@@ -49,11 +49,17 @@ class TcbHorizon {
   static Result<std::unique_ptr<TcbHorizon>> open(store::KvStore& kv);
 
   /// Announces a staged update: from `horizon_us` on, reports from `chip`
-  /// below `minimum` are rejected. Returns an error when the durable
-  /// write fails — but the horizon is ALWAYS active in memory from this
-  /// call on.
-  Status announce(const sevsnp::ChipId& chip, sevsnp::TcbVersion minimum,
-                  std::uint64_t horizon_us, const std::string& reason = {});
+  /// below `minimum` are rejected. Returns whether the announcement was
+  /// applied: ok(true) when it set or raised the floor (or re-announced
+  /// an equal minimum with a new horizon), ok(false) when it was IGNORED
+  /// because `minimum` is below the chip's current floor — callers
+  /// auditing the operation (LifecycleEngine ops, operator tooling) must
+  /// surface the drop distinctly, not record it as an applied update.
+  /// Returns an error when the durable write fails — but the horizon is
+  /// ALWAYS active in memory from this call on.
+  Result<bool> announce(const sevsnp::ChipId& chip, sevsnp::TcbVersion minimum,
+                        std::uint64_t horizon_us,
+                        const std::string& reason = {});
 
   /// True when a report from `chip` carrying `reported` is acceptable at
   /// virtual instant `now_us`. Chips with no announcement always pass.

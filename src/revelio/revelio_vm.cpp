@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "crypto/ecies.hpp"
+#include "obs/metrics.hpp"
 
 namespace revelio::core {
 
@@ -99,7 +100,10 @@ Result<std::unique_ptr<RevelioVm>> RevelioVm::deploy(
   }
 
   // 4. Reboot path: unseal a previously installed TLS identity and resume
-  // serving immediately (no SP round needed).
+  // serving immediately (no SP round needed). A counter-stamp mismatch
+  // (volume rollback, torn persist) restores nothing: the stale record is
+  // discarded, rollback_detected() reports it, and the node boots
+  // unprovisioned so the next SP round re-seals a fresh identity.
   auto restored = node->load_tls_identity();
   if (!restored.ok()) return restored.error();
   if (*restored) {
@@ -391,12 +395,21 @@ Status RevelioVm::persist_tls_identity() {
   // record. The counter lives in the chip, out of the host's reach, so a
   // host that later serves an older volume snapshot presents a stale
   // stamp — load_tls_identity refuses it (§6.1.4 applied to state).
+  //
+  // Ordering matters for availability: stamp the record with counter+1,
+  // write it durably, and only then advance the chip counter. An ordinary
+  // write failure therefore leaves the counter untouched and the
+  // previously sealed record still matching — the node stays bootable. A
+  // crash in the window between the write and the increment leaves the
+  // stamp one AHEAD of the chip; load_tls_identity treats any mismatch
+  // the same way (discard, re-provision), never as trusted state.
   auto counter =
-      guest_->channel().request_counter(kIdentityCounterSlot, true);
+      guest_->channel().request_counter(kIdentityCounterSlot, false);
   if (!counter.ok()) return counter.error();
+  const std::uint64_t stamp = *counter + 1;
   Bytes record;
   append(record, std::string_view("TLSID2"));
-  append_u64be(record, *counter);
+  append_u64be(record, stamp);
   append_field(record, tls_private_key_->to_bytes_be(32));
   append_field(record, tls_certificate_->serialize());
   append_u32be(record, static_cast<std::uint32_t>(tls_chain_.size()));
@@ -405,7 +418,18 @@ Status RevelioVm::persist_tls_identity() {
     return Error::make("revelio.identity_too_large");
   }
   record.resize(volume->block_size(), 0);
-  return volume->write_block(0, record);
+  if (auto st = volume->write_block(0, record); !st.ok()) return st;
+  auto advanced = guest_->channel().request_counter(kIdentityCounterSlot, true);
+  if (!advanced.ok()) return advanced.error();
+  if (*advanced != stamp) {
+    // Another persist raced this one between read and increment; the
+    // record on disk no longer matches the chip. Surface it — the next
+    // boot will discard and re-provision rather than serve it.
+    return Error::make("revelio.counter_skew",
+                       "chip counter advanced to " + std::to_string(*advanced) +
+                           ", stamped " + std::to_string(stamp));
+  }
+  return Status::success();
 }
 
 Result<bool> RevelioVm::load_tls_identity() {
@@ -421,16 +445,25 @@ Result<bool> RevelioVm::load_tls_identity() {
   Reader r{record, kTag.size()};
   const std::uint64_t stamped = r.u64();
   // Freshness first: the stamp must equal the chip counter exactly. Less
-  // means the host rolled the volume back to an older snapshot; more
-  // means the record was not written through this VM's persist path at
-  // all. Either way the identity inside must not be trusted or served.
+  // means the host rolled the volume back to an older snapshot (or a
+  // persist's durable write was lost after the counter moved); more means
+  // a torn persist crashed between write and increment. Either way the
+  // identity inside must not be trusted or served — but detection must
+  // not brick the node either: the record is discarded unserved, the
+  // detection is surfaced (rollback_detected() + metric, for operator
+  // alerting — see docs/OPERATIONS.md), and boot falls through to the
+  // fresh-provision path. The next SP round re-attests this VM from
+  // scratch and re-seals a new identity with a fresh stamp. Fail closed
+  // on trust, not on availability.
   auto counter =
       guest_->channel().request_counter(kIdentityCounterSlot, false);
   if (!counter.ok()) return counter.error();
   if (stamped != *counter) {
-    return Error::make("revelio.rollback_detected",
-                       "sealed identity stamp " + std::to_string(stamped) +
-                           " != chip counter " + std::to_string(*counter));
+    rollback_detected_ = true;
+    rollback_detail_ = "sealed identity stamp " + std::to_string(stamped) +
+                       " != chip counter " + std::to_string(*counter);
+    obs::metrics().counter("revelio.rollback.detected.count").inc();
+    return false;
   }
   const Bytes key_bytes = r.bytes();
   const Bytes cert_bytes = r.bytes();

@@ -75,6 +75,16 @@ class RevelioVm {
   }
 
   bool serving_tls() const { return tls_server_ != nullptr; }
+
+  /// True when boot found a sealed identity whose monotonic-counter stamp
+  /// did not match the chip (volume rollback, or a torn/lost persist).
+  /// The record was discarded unserved; the VM booted unprovisioned and
+  /// the next SP provisioning round re-seals a fresh identity. Operators
+  /// alert on this signal (and on the revelio.rollback.detected.count
+  /// metric) — see docs/OPERATIONS.md.
+  bool rollback_detected() const { return rollback_detected_; }
+  /// Stamp-vs-counter detail for the detection above (empty when none).
+  const std::string& rollback_detail() const { return rollback_detail_; }
   const net::Address& https_address() const { return https_address_; }
   const net::Address& bootstrap_address() const { return bootstrap_address_; }
 
@@ -131,6 +141,8 @@ class RevelioVm {
   std::vector<pki::Certificate> tls_chain_;
   std::optional<crypto::U384> tls_private_key_;
   std::unique_ptr<net::TlsServer> tls_server_;
+  bool rollback_detected_ = false;
+  std::string rollback_detail_;
 
   net::HttpRouter app_routes_;
   net::Address https_address_;

@@ -76,8 +76,12 @@ class SpNode {
   /// re-handshake against the rotated one.
   bool renewal_due(std::uint64_t now_us, std::uint64_t overlap_us) const {
     if (!certificate_) return true;
+    // Compared without `now_us + overlap_us`: the sum wraps std::uint64_t
+    // for century-scale overlap windows (used elsewhere in this codebase
+    // as "never expires"), which would suppress rotation exactly when the
+    // caller asked for the widest window.
     const std::uint64_t not_after = certificate_->not_after_us;
-    return now_us + overlap_us >= not_after;
+    return not_after <= now_us || not_after - now_us <= overlap_us;
   }
 
  private:

@@ -186,7 +186,9 @@ TEST(TcbHorizon, GatesByInstantAndNeverLowersTheFloor) {
   // No announcement: everything passes.
   EXPECT_TRUE(horizon.acceptable(chip_a.chip_id(), old_tcb(), 0));
 
-  ASSERT_TRUE(horizon.announce(chip_a.chip_id(), new_tcb(), 1000).ok());
+  auto applied = horizon.announce(chip_a.chip_id(), new_tcb(), 1000);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(*applied);
   // Before the horizon the rollout is in progress — old reports verify.
   EXPECT_TRUE(horizon.acceptable(chip_a.chip_id(), old_tcb(), 999));
   // At the horizon, old reports are rejected; updated ones pass.
@@ -195,11 +197,16 @@ TEST(TcbHorizon, GatesByInstantAndNeverLowersTheFloor) {
   // Other chips are unaffected.
   EXPECT_TRUE(horizon.acceptable(chip_b.chip_id(), old_tcb(), 1000));
 
-  // A later announcement may not lower the floor (fail-open otherwise).
-  ASSERT_TRUE(horizon.announce(chip_a.chip_id(), old_tcb(), 0).ok());
+  // A later announcement may not lower the floor (fail-open otherwise) —
+  // and the drop is reported to the caller, not recorded as applied.
+  auto ignored = horizon.announce(chip_a.chip_id(), old_tcb(), 0);
+  ASSERT_TRUE(ignored.ok());
+  EXPECT_FALSE(*ignored) << "a lowered floor must report as ignored";
   EXPECT_FALSE(horizon.acceptable(chip_a.chip_id(), old_tcb(), 1000));
   // Re-announcing an equal-or-higher minimum may move the horizon.
-  ASSERT_TRUE(horizon.announce(chip_a.chip_id(), new_tcb(), 5000).ok());
+  auto reannounced = horizon.announce(chip_a.chip_id(), new_tcb(), 5000);
+  ASSERT_TRUE(reannounced.ok());
+  EXPECT_TRUE(*reannounced);
   EXPECT_TRUE(horizon.acceptable(chip_a.chip_id(), old_tcb(), 4999));
   EXPECT_FALSE(horizon.acceptable(chip_a.chip_id(), old_tcb(), 5000));
 
@@ -285,6 +292,44 @@ TEST(LifecycleEngine, AppliesDueOpsOnceInOrderAndAuditsThem) {
   auto summary = obs::AuditLog::verify(audit.serialize());
   ASSERT_TRUE(summary.ok()) << summary.error().to_string();
   EXPECT_EQ(summary->records, 4u);
+}
+
+// Regression: apply_due used to collect raw Scheduled* into ops_ and run
+// them after dropping the lock; an op scheduling follow-ups (the retry
+// pattern the header documents) could push_back-reallocate ops_ mid-batch
+// and dangle every remaining pointer. Due ops are moved out by value now —
+// a follow-up storm must leave the rest of the batch intact (ASAN pins
+// the use-after-free on the old code).
+TEST(LifecycleEngine, OpsMaySafelyScheduleFollowUpsMidBatch) {
+  fleet::LifecycleEngine engine;
+  std::vector<std::string> ran;
+  // Two due ops; the first schedules enough follow-ups to force ops_ to
+  // reallocate before the second op (and its own audit/metric tail) runs.
+  engine.schedule({10, "storm", [&](std::uint64_t now_us) {
+                     ran.push_back("storm");
+                     for (int i = 0; i < 256; ++i) {
+                       engine.schedule({now_us, "follow_up",
+                                        [&ran](std::uint64_t) {
+                                          ran.push_back("follow_up");
+                                          return Status::success();
+                                        }});
+                     }
+                     return Status::success();
+                   }});
+  engine.schedule({20, "tail", [&](std::uint64_t) {
+                     ran.push_back("tail");
+                     return Status::success();
+                   }});
+
+  // The storm's follow-ups are already due but belong to the NEXT batch —
+  // the in-flight batch was snapshotted before any op ran.
+  EXPECT_EQ(engine.apply_due(100), 2u);
+  EXPECT_EQ(ran, (std::vector<std::string>{"storm", "tail"}));
+  EXPECT_EQ(engine.stats().pending, 256u);
+  EXPECT_EQ(engine.apply_due(100), 256u);
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.applied, 258u);
+  EXPECT_EQ(stats.pending, 0u);
 }
 
 // --------------------------------------------- VcekCache durable binding
@@ -412,6 +457,14 @@ TEST(CertRotation, RenewalWindowRotationAndExpiryDrivenRehandshake) {
 
   // Fresh certificate: far from its overlap window.
   EXPECT_FALSE(world.sp->renewal_due(world.clock.now_us(), kOverlap));
+  // Regression: a maximal overlap window ("rotate always") used to wrap
+  // now + overlap around std::uint64_t and spuriously suppress rotation;
+  // century-scale overlaps (the codebase's "never expires" magnitude) are
+  // the realistic variant of the same hazard.
+  EXPECT_TRUE(world.sp->renewal_due(
+      world.clock.now_us(), std::numeric_limits<std::uint64_t>::max()));
+  EXPECT_TRUE(world.sp->renewal_due(
+      world.clock.now_us(), world.acme.trusted_roots()[0].not_after_us));
 
   // Step inside the overlap window: renewal is due, the old certificate
   // still verifies, and a rotation round (the same provisioning workflow,
@@ -474,7 +527,9 @@ TEST(RollbackDefense, RestoredSealedVolumeIsRejectedOnReboot) {
   // The attack: restore the pre-rotation snapshot byte for byte. The
   // ciphertext is genuine (same chip, same measurement — it unseals), but
   // its stamp is older than the chip counter, which the host cannot roll
-  // back. The reboot must fail closed.
+  // back. The reboot must fail closed on TRUST — the stale identity is
+  // discarded unserved and the detection surfaced — but not on
+  // availability: the node boots unprovisioned instead of bricking.
   const Bytes current = disk->raw_dump(0, disk_bytes);
   for (std::size_t i = 0; i < disk_bytes; ++i) {
     if (current[i] != snapshot[i]) {
@@ -486,9 +541,63 @@ TEST(RollbackDefense, RestoredSealedVolumeIsRejectedOnReboot) {
   auto rolled_back =
       RevelioVm::deploy(*world.platforms[0], world.network, config,
                         world.routes);
-  ASSERT_FALSE(rolled_back.ok())
-      << "a rolled-back sealed volume must not boot into service";
-  EXPECT_EQ(rolled_back.error().code, "revelio.rollback_detected");
+  ASSERT_TRUE(rolled_back.ok()) << rolled_back.error().to_string();
+  EXPECT_FALSE((*rolled_back)->serving_tls())
+      << "a rolled-back sealed volume must never boot into service";
+  EXPECT_TRUE((*rolled_back)->rollback_detected());
+  EXPECT_NE((*rolled_back)->rollback_detail().find("stamp"),
+            std::string::npos);
+  world.nodes[0] = std::move(*rolled_back);
+
+  // Recovery: a fresh SP provisioning round re-attests the node from
+  // scratch and re-seals a NEW identity — service resumes on the current
+  // certificate, and the snapshot's identity was never served.
+  auto reprovisioned = world.sp->provision_fleet();
+  ASSERT_TRUE(reprovisioned.ok()) << reprovisioned.error().to_string();
+  EXPECT_TRUE(world.nodes[0]->serving_tls());
+
+  // The re-sealed record carries a fresh stamp: a plain reboot resumes
+  // service again with no detection.
+  world.platforms[0]->launch_reset();
+  world.nodes[0].reset();
+  auto resumed = RevelioVm::deploy(*world.platforms[0], world.network,
+                                   config, world.routes);
+  ASSERT_TRUE(resumed.ok()) << resumed.error().to_string();
+  EXPECT_TRUE((*resumed)->serving_tls());
+  EXPECT_FALSE((*resumed)->rollback_detected());
+}
+
+// The review scenario that motivated fail-closed-on-trust-only: the chip
+// counter ends up AHEAD of the sealed stamp through an ordinary fault
+// (a persist's durable write lost, or a crash between write and counter
+// increment) — indistinguishable on disk from a rollback. The node must
+// not be bricked: boot discards the record, reports the detection, and a
+// provisioning round restores service.
+TEST(RollbackDefense, CounterAheadOfStampRecoversByReprovisioning) {
+  FleetWorldOptions options;
+  options.vm_count = 1;
+  FleetWorld world("rollback-2", options);
+  auto disk = world.nodes[0]->disk();
+
+  // Simulate the lost persist: the chip counter moves, the volume doesn't.
+  ASSERT_TRUE(world.platforms[0]->counter_increment(0).ok());
+
+  world.platforms[0]->launch_reset();
+  world.nodes[0].reset();
+  RevelioVmConfig config = world.vm_config("10.0.0.1");
+  config.existing_disk = disk;
+  auto rebooted = RevelioVm::deploy(*world.platforms[0], world.network,
+                                    config, world.routes);
+  ASSERT_TRUE(rebooted.ok())
+      << "a lost persist must not brick the node: "
+      << rebooted.error().to_string();
+  EXPECT_FALSE((*rebooted)->serving_tls());
+  EXPECT_TRUE((*rebooted)->rollback_detected());
+  world.nodes[0] = std::move(*rebooted);
+
+  auto reprovisioned = world.sp->provision_fleet();
+  ASSERT_TRUE(reprovisioned.ok()) << reprovisioned.error().to_string();
+  EXPECT_TRUE(world.nodes[0]->serving_tls());
 }
 
 // ------------------------------------------------- expiry edge cases
@@ -830,9 +939,15 @@ SoakResult run_lifecycle_soak(const std::string& seed) {
       {20 * pace_us, "tcb_update", [&](std::uint64_t) -> Status {
          return with_world([&]() -> Status {
            world.platforms[0]->update_firmware(new_tcb());
-           return horizon.value()->announce(world.platforms[0]->chip_id(),
-                                            new_tcb(), world.clock.now_us(),
-                                            "fleet-wide TCB update");
+           auto applied = horizon.value()->announce(
+               world.platforms[0]->chip_id(), new_tcb(),
+               world.clock.now_us(), "fleet-wide TCB update");
+           if (!applied.ok()) return applied.error();
+           // An ignored (below-floor) announcement must not audit as an
+           // applied tcb_update — surface it as a distinct failed op.
+           return *applied ? Status::success()
+                           : Error::make("fleet.tcb_ignored",
+                                         "minimum below the announced floor");
          });
        }});
   lifecycle.schedule(
@@ -860,13 +975,15 @@ SoakResult run_lifecycle_soak(const std::string& seed) {
            auto rebooted = RevelioVm::deploy(*world.platforms[1],
                                              world.network, config,
                                              world.routes);
-           if (rebooted.ok()) {
+           if (!rebooted.ok()) return rebooted.error();
+           // Fail closed on trust, not availability: the node must boot
+           // (unprovisioned) but never serve the rolled-back identity.
+           if ((*rebooted)->serving_tls() ||
+               !(*rebooted)->rollback_detected()) {
              return Error::make("fleet.rollback_not_detected",
                                 "stale sealed volume booted into service");
            }
-           if (rebooted.error().code != "revelio.rollback_detected") {
-             return rebooted.error();
-           }
+           world.nodes[1] = std::move(*rebooted);
            return Status::success();
          });
        }});
